@@ -1,0 +1,424 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (see DESIGN.md §4 for the experiment
+// index). The expensive part — the measurement campaign itself — runs once
+// per `go test -bench` invocation in shared setup; each benchmark then
+// times the analysis that produces its table/figure, and micro-benchmarks
+// cover the substrate hot paths (wire codec, signing, sealing, resolution,
+// scanning, browsing).
+package repro
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/ech"
+	"repro/internal/providers"
+	"repro/internal/scanner"
+	"repro/internal/svcb"
+)
+
+var (
+	benchOnce sync.Once
+	benchCamp *core.Campaign
+	benchErr  error
+)
+
+// benchCampaign runs one shared scaled-down campaign (1.5k domains, 2-week
+// sampling, hourly ECH, validation census).
+func benchCampaign(b *testing.B) *core.Campaign {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCamp, benchErr = core.NewCampaign(core.CampaignConfig{
+			Size: 1500, Seed: 42, StepDays: 14,
+		})
+		if benchErr != nil {
+			return
+		}
+		if benchErr = benchCamp.RunDaily(); benchErr != nil {
+			return
+		}
+		benchCamp.RunHourlyECH(time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC), 2)
+		benchCamp.RunValidationCensus(time.Date(2024, 1, 2, 0, 0, 0, 0, time.UTC))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCamp
+}
+
+func benchStore(b *testing.B) *dataset.Store { return benchCampaign(b).Store }
+
+// --- E1: Fig 2 ---
+
+func BenchmarkFig2AdoptionRates(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.Adoption(st)
+		if len(res.DynamicApex.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E2: Table 2 ---
+
+func BenchmarkTable2NSCategories(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if analysis.NSCategories(st, nil).Days == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E3: Table 3 + Fig 3 ---
+
+func BenchmarkTable3NonCloudflare(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if analysis.NonCFProviders(st, nil).DistinctTotal == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig3ProviderTrend(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.NonCFProviders(st, nil)
+		if len(res.DailyDistinct.Points) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// --- E4: §4.2.3 ---
+
+func BenchmarkIntermittencyAnalysis(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Intermittency(st)
+	}
+}
+
+// --- E5: Table 4 ---
+
+func BenchmarkTable4DefaultVsCustom(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if analysis.DefaultVsCustom(st, nil).Days == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E6: Table 5 ---
+
+func BenchmarkTable5ProviderParams(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		google := analysis.ProviderParams(st, "Google")
+		godaddy := analysis.ProviderParams(st, "GoDaddy")
+		_ = analysis.Table5(google, godaddy)
+	}
+}
+
+// --- E7: §4.3.3 ---
+
+func BenchmarkSvcPriorityTargetName(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if analysis.SvcParams(st, "apex").ServiceModePct == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E8: Table 8 ---
+
+func BenchmarkTable8ALPN(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.ALPN(st, "apex", nil, providers.H3Draft29SunsetDate)
+		if len(res.Share) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E9: Fig 11 ---
+
+func BenchmarkFig11IPHints(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.HintUsage(st, "apex")
+		if len(res.V4Usage.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E10: Fig 12 + connectivity ---
+
+func BenchmarkFig12MismatchDuration(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.MismatchDurations(st, "apex")
+	}
+}
+
+func BenchmarkIPHintConnectivity(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.Connectivity(st)
+	}
+}
+
+// --- E11: Fig 13 ---
+
+func BenchmarkFig13ECHDeployment(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.ECHDeployment(st, nil)
+		if len(res.Apex.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E12: Fig 4 ---
+
+func BenchmarkFig4ECHRotation(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.ECHRotation(st)
+		if res.DistinctConfigs == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E13: Fig 5 ---
+
+func BenchmarkFig5SignedValidated(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.Signed(st, nil)
+		if len(res.SignedApex.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E14: Table 9 ---
+
+func BenchmarkTable9DNSSECValidation(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.Census(st)
+		if res.WithHTTPS.Signed == 0 {
+			b.Fatal("empty census")
+		}
+	}
+}
+
+// --- E15: Fig 14 ---
+
+func BenchmarkFig14SignedECH(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := analysis.SignedECH(st, nil)
+		if len(res.SignedPct.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- E16/E17/E18: Tables 6, 7 and the failover matrix ---
+
+func BenchmarkTable6BrowserMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, marks := browser.RunMatrix("Table 6", browser.Table6Scenarios(), browser.All())
+		if len(marks) == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+func BenchmarkTable7ECHMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, marks := browser.RunMatrix("Table 7", browser.Table7Scenarios(), browser.All())
+		if len(marks) == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+func BenchmarkFailoverBehaviour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, marks := browser.RunMatrix("failover", browser.FailoverScenarios(), browser.All())
+		if len(marks) == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+// --- E20: Fig 8/9 ---
+
+func BenchmarkFig8Rankings(b *testing.B) {
+	st := benchStore(b)
+	phase1, _ := analysis.OverlappingSets(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := analysis.RankDistributions(st, phase1)
+		if len(stats) != 2 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkScanDay(b *testing.B) {
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: 1000, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := scanner.New(w.Net, w.GoogleAddr, w.CFResolverAddr, w.Whois)
+	day := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	list := w.Tranco.ListFor(day)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Clock.Set(day.Add(time.Duration(i) * 24 * time.Hour))
+		snap := sc.ScanList(day, "apex", list)
+		if snap.Total != len(list) {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+func BenchmarkResolveHTTPS(b *testing.B) {
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: 500, Seed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
+	list := w.Tranco.ListFor(w.Clock.Now())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := list[i%len(list)]
+		if _, err := w.GoogleResolver.Resolve(name, dnswire.TypeHTTPS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSWirePackUnpack(b *testing.B) {
+	var params svcb.Params
+	_ = params.SetALPN([]string{"h2", "h3"})
+	_ = params.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("104.16.132.229")})
+	m := dnswire.NewQuery(1, "example.com", dnswire.TypeHTTPS, true)
+	m.Response = true
+	m.Answer = []dnswire.RR{{
+		Name: "example.com.", Type: dnswire.TypeHTTPS, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SVCBData{Priority: 1, Target: ".", Params: params},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := m.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECHSealOpen(b *testing.B) {
+	kp, err := ech.GenerateKeyPair(rand.New(rand.NewSource(1)), 1, "cover.example")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("inner client hello sni=secret.example alpn=h2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, ct, err := ech.Seal(nil, kp.Config, nil, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kp.Open(enc, nil, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRRSIGSignVerify(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	key, err := dnssec.GenerateKey(rng, "example.com.", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rrs := []dnswire.RR{{
+		Name: "example.com.", Type: dnswire.TypeHTTPS, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SVCBData{Priority: 1, Target: "."},
+	}}
+	now := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig, err := dnssec.SignRRset(rng, key, rrs, now.Add(-time.Hour), now.Add(time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dnssec.VerifyRRSIG(sig, rrs, key.DNSKEY(3600), now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrowserNavigate(b *testing.B) {
+	scenarios := browser.Table6Scenarios()
+	l := browser.NewLab()
+	scenarios[2].Build(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := l.Visit(browser.Chrome(), "https://a.com")
+		if !v.OK {
+			b.Fatal("visit failed")
+		}
+	}
+}
+
+func BenchmarkWorldBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := providers.BuildWorld(providers.WorldConfig{Size: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

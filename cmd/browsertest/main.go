@@ -1,0 +1,44 @@
+// Command browsertest runs the paper's §5 client-side experiments: it
+// builds the controlled testbed (authoritative zone + web endpoints) and
+// measures how each browser model handles HTTPS records and ECH, printing
+// Tables 6 and 7 plus the failover matrix. Use -verbose to see every
+// connection attempt.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/browser"
+)
+
+func main() {
+	verbose := flag.Bool("verbose", false, "print each visit's attempt log")
+	flag.Parse()
+
+	behaviors := browser.All()
+	suites := []struct {
+		title     string
+		scenarios []browser.Scenario
+	}{
+		{"Table 6: HTTPS RR support from four major browsers", browser.Table6Scenarios()},
+		{"Table 7: browser support and failover mechanisms of ECH", browser.Table7Scenarios()},
+		{"§5.2.2: failover behaviours", browser.FailoverScenarios()},
+	}
+	for _, suite := range suites {
+		t, _ := browser.RunMatrix(suite.title, suite.scenarios, behaviors)
+		fmt.Println(t.Format())
+		if *verbose {
+			for _, sc := range suite.scenarios {
+				for _, b := range behaviors {
+					l := browser.NewLab()
+					sc.Build(l)
+					v := l.Visit(b, sc.URL)
+					fmt.Printf("  %-28s %-8s %s\n", sc.Row, b.Name, v)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("legend: ● full support  ◐ fetched but unused  ○ no support / failure")
+}

@@ -1,0 +1,155 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation from a fresh simulated campaign.
+//
+// Usage:
+//
+//	reproduce [-size N] [-seed S] [-step D] [-exp all|fig2|tab2|tab3|fig3|
+//	          intermittency|tab4|tab5|params|tab8|fig11|fig12|connectivity|
+//	          fig13|fig4|fig5|tab9|fig14|fig8|tab6|tab7|failover]
+//
+// Larger -size values converge the percentages to the paper's (the
+// non-Cloudflare population floor dominates below ~90k domains); -step
+// trades trend resolution for runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/providers"
+)
+
+func main() {
+	size := flag.Int("size", 10_000, "Tranco list size of the generated world")
+	seed := flag.Int64("seed", 2024, "generation seed")
+	step := flag.Int("step", 7, "scan every Nth day")
+	exp := flag.String("exp", "all", "experiment selector (comma-separated ids or 'all')")
+	quiet := flag.Bool("q", false, "suppress per-day progress")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(id string) bool { return want["all"] || want[id] }
+
+	serverSide := false
+	for _, id := range []string{"fig2", "tab2", "tab3", "fig3", "intermittency", "tab4",
+		"tab5", "params", "tab8", "fig11", "fig12", "connectivity", "fig13", "fig4",
+		"fig5", "tab9", "fig14", "fig8"} {
+		if sel(id) {
+			serverSide = true
+		}
+	}
+
+	if serverSide {
+		runServerSide(*size, *seed, *step, *quiet, sel)
+	}
+	if sel("tab6") || sel("tab7") || sel("failover") {
+		runClientSide(sel)
+	}
+}
+
+func runServerSide(size int, seed int64, step int, quiet bool, sel func(string) bool) {
+	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step}
+	if !quiet {
+		cfg.Progress = os.Stderr
+	}
+	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd\n", size, seed, step)
+	c, err := core.NewCampaign(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	if err := c.RunDaily(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "daily campaign done in %v (%d DNS queries)\n",
+		time.Since(start).Round(time.Second), c.World.Net.QueryCount())
+
+	if sel("fig4") {
+		c.RunHourlyECH(time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC), 7)
+	}
+	if sel("tab9") {
+		c.RunValidationCensus(time.Date(2024, 1, 2, 0, 0, 0, 0, time.UTC))
+	}
+
+	st := c.Store
+	phase1, phase2 := analysis.OverlappingSets(st)
+
+	print := func(id string, tables ...*analysis.Table) {
+		if !sel(id) {
+			return
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+	}
+
+	if sel("fig2") {
+		print("fig2", analysis.Adoption(st).Tables()...)
+	}
+	print("tab2", analysis.NSCategories(st, nil).Table("dynamic"),
+		analysis.NSCategories(st, phase2).Table("overlapping"))
+	nonCF := analysis.NonCFProviders(st, nil)
+	print("tab3", nonCF.Table(10))
+	print("fig3", analysis.SeriesTable("Fig 3: distinct non-Cloudflare providers with HTTPS RR", 20, nonCF.DailyDistinct))
+	print("intermittency", analysis.Intermittency(st).Table())
+	print("tab4", analysis.DefaultVsCustom(st, nil).Table("dynamic"),
+		analysis.DefaultVsCustom(st, phase2).Table("overlapping"))
+	if sel("tab5") {
+		google := analysis.ProviderParams(st, "Google")
+		godaddy := analysis.ProviderParams(st, "GoDaddy")
+		fmt.Println(analysis.Table5(google, godaddy).Format())
+	}
+	print("params", analysis.SvcParams(st, "apex").Table("apex"),
+		analysis.SvcParams(st, "www").Table("www"))
+	print("tab8", analysis.ALPN(st, "apex", phase2, providers.H3Draft29SunsetDate).Table(),
+		analysis.ALPN(st, "www", phase2, providers.H3Draft29SunsetDate).Table())
+	if sel("fig11") {
+		print("fig11", analysis.HintUsage(st, "apex").Tables()...)
+	}
+	print("fig12", analysis.MismatchDurations(st, "apex").Table())
+	print("connectivity", analysis.Connectivity(st).Table())
+	print("fig13", analysis.ECHDeployment(st, nil).Table())
+	print("fig4", analysis.ECHRotation(st).Table())
+	if sel("fig5") {
+		for _, t := range analysis.Signed(st, nil).Tables("dynamic") {
+			fmt.Println(t.Format())
+		}
+		for _, t := range analysis.Signed(st, phase2).Tables("overlapping") {
+			fmt.Println(t.Format())
+		}
+	}
+	print("tab9", analysis.Census(st).Table())
+	print("fig14", analysis.SignedECH(st, nil).Table())
+	if sel("fig8") {
+		stats := analysis.RankDistributions(st, phase1)
+		stats = append(stats, analysis.NonCFRankings(st))
+		fmt.Println(analysis.RankTable("Fig 8/9: rank distributions", stats...).Format())
+	}
+}
+
+func runClientSide(sel func(string) bool) {
+	behaviors := browser.All()
+	if sel("tab6") {
+		t, _ := browser.RunMatrix("Table 6: browser HTTPS RR support", browser.Table6Scenarios(), behaviors)
+		fmt.Println(t.Format())
+	}
+	if sel("tab7") {
+		t, _ := browser.RunMatrix("Table 7: browser ECH support and failover", browser.Table7Scenarios(), behaviors)
+		fmt.Println(t.Format())
+	}
+	if sel("failover") {
+		t, _ := browser.RunMatrix("§5.2.2: failover behaviours", browser.FailoverScenarios(), behaviors)
+		fmt.Println(t.Format())
+	}
+}

@@ -1,0 +1,61 @@
+// Browserlab: walk one browser model through every §5 testbed scenario and
+// print the full attempt logs — the verbose view behind Tables 6 and 7.
+// Pass a browser name (Chrome, Safari, Edge, Firefox) as the argument.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/browser"
+)
+
+func main() {
+	name := "Firefox"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	var b browser.Behavior
+	for _, cand := range browser.All() {
+		if strings.EqualFold(cand.Name, name) {
+			b = cand
+		}
+	}
+	if b.Name == "" {
+		fmt.Fprintf(os.Stderr, "unknown browser %q (use Chrome|Safari|Edge|Firefox)\n", name)
+		os.Exit(2)
+	}
+	fmt.Printf("=== %s %s ===\n\n", b.Name, b.Version)
+
+	suites := []struct {
+		title     string
+		scenarios []browser.Scenario
+	}{
+		{"HTTPS RR handling (Table 6 scenarios)", browser.Table6Scenarios()},
+		{"ECH handling (Table 7 scenarios)", browser.Table7Scenarios()},
+		{"failover (§5.2.2)", browser.FailoverScenarios()},
+	}
+	for _, suite := range suites {
+		fmt.Println("##", suite.title)
+		for _, sc := range suite.scenarios {
+			l := browser.NewLab()
+			sc.Build(l)
+			v := l.Visit(b, sc.URL)
+			grade := sc.Classify(l, v)
+			fmt.Printf("%-34s %s  %s\n", sc.Row, grade.Mark(), v)
+			for i, a := range v.Attempts {
+				status := "ok"
+				if a.Err != "" {
+					status = a.Err
+				}
+				fmt.Printf("    attempt %d: %s:%d sni=%s alpn=%v ech=%v/%v (%s)\n",
+					i+1, a.Addr, a.Port, a.SNI, a.ALPN, a.ECHOffered, a.ECHAccepted, status)
+			}
+			if len(v.FollowUpQueries) > 0 {
+				fmt.Printf("    follow-up DNS: %v\n", v.FollowUpQueries)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,79 @@
+// Recordaudit: demonstrate the §7 "automation tool" the paper calls for.
+// An operator zone is seeded with every misconfiguration class the
+// measurements found in the wild; the auditor reports them, the manager
+// repairs what is repairable, and the audit runs again.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/ech"
+	"repro/internal/manager"
+	"repro/internal/svcb"
+	"repro/internal/zone"
+)
+
+func main() {
+	now := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	km, err := ech.NewKeyManager(rand.New(rand.NewSource(7)), "cover.example.com",
+		76*time.Minute, 3*time.Hour, now.Add(-24*time.Hour))
+	if err != nil {
+		panic(err)
+	}
+
+	z := zone.New("example.com")
+	z.SetSOA("ns1.example.com.", "hostmaster.example.com.", 1, 300)
+	z.Add(dnswire.RR{Name: "example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.AData{Addr: netip.MustParseAddr("192.0.2.10")}})
+
+	// The operator moved the site to 192.0.2.10 but forgot the hint
+	// (§4.3.5), kept a stale ECH key (§4.4.2), and still advertises a
+	// draft protocol (§E.2).
+	staleECH := km.ConfigList(now.Add(-20 * time.Hour))
+	var ps svcb.Params
+	_ = ps.SetALPN([]string{"h2", "h3-29"})
+	_ = ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("198.51.100.99")})
+	ps.SetECH(staleECH)
+	z.Add(dnswire.RR{Name: "example.com.", Type: dnswire.TypeHTTPS, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.SVCBData{Priority: 1, Target: ".", Params: ps}})
+
+	auditor := &manager.Auditor{Zone: z, ECHKeys: km, Now: now}
+	fmt.Println("== initial audit ==")
+	for _, f := range auditor.Audit("example.com.") {
+		fmt.Println(" ", f)
+	}
+
+	fmt.Println("\n== rotation policy check ==")
+	policy := manager.ECHPolicy{RecordTTL: 300 * time.Second, Margin: time.Minute}
+	for _, f := range policy.CheckRotation(76*time.Minute, 3*time.Hour) {
+		fmt.Println(" ", f)
+	}
+	fmt.Println("  (rotation period 76m with 3h retention: safe for a 300s TTL)")
+
+	fmt.Println("\n== remediation ==")
+	m := &manager.Manager{Zone: z, TTL: 300}
+	if changed, err := m.SyncHints("example.com."); err == nil {
+		fmt.Printf("  SyncHints: changed=%v\n", changed)
+	}
+	if err := m.PublishECH("example.com.", km, now); err == nil {
+		fmt.Println("  PublishECH: refreshed config list")
+	}
+
+	fmt.Println("\n== post-remediation audit ==")
+	findings := auditor.Audit("example.com.")
+	critical := 0
+	for _, f := range findings {
+		fmt.Println(" ", f)
+		if f.Severity == manager.Critical {
+			critical++
+		}
+	}
+	if len(findings) == 0 {
+		fmt.Println("  (no findings)")
+	}
+	fmt.Printf("\ncritical findings remaining: %d\n", critical)
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dnswire"
+	"repro/internal/tranco"
+)
+
+// obsName maps a listed apex domain to its snapshot observation key for the
+// given kind.
+func obsName(kind, apex string) string {
+	name := dnswire.CanonicalName(apex)
+	if kind == "www" {
+		return "www." + name
+	}
+	return name
+}
+
+// hasHTTPSOn reports whether the domain had HTTPS records in the snapshot.
+func hasHTTPSOn(snap *dataset.Snapshot, kind, apex string) bool {
+	obs, ok := snap.Obs[obsName(kind, apex)]
+	return ok && obs.HasHTTPS()
+}
+
+// OverlappingSets computes the phase-1 and phase-2 overlapping domain sets
+// (domains present in the stored Tranco list on every scanned day of the
+// phase, split at the 2023-08-01 source change).
+func OverlappingSets(store *dataset.Store) (phase1, phase2 map[string]bool) {
+	var lists1, lists2 [][]string
+	for _, day := range store.Days("apex") {
+		list, ok := store.TrancoListFor(day)
+		if !ok {
+			continue
+		}
+		if day.Before(tranco.SourceChangeDate) {
+			lists1 = append(lists1, list)
+		} else {
+			lists2 = append(lists2, list)
+		}
+	}
+	toSet := func(domains []string) map[string]bool {
+		out := make(map[string]bool, len(domains))
+		for _, d := range domains {
+			out[d] = true
+		}
+		return out
+	}
+	return toSet(tranco.Overlapping(lists1)), toSet(tranco.Overlapping(lists2))
+}
+
+// AdoptionResult holds the Fig 2 series.
+type AdoptionResult struct {
+	// Dynamic is the adoption percentage over the full daily list
+	// (Fig 2a), per kind.
+	DynamicApex, DynamicWWW Series
+	// Overlap is the adoption percentage within the phase's overlapping
+	// set (Fig 2b).
+	OverlapApex, OverlapWWW Series
+	// Phase1/Phase2 are the overlapping set sizes.
+	Phase1Size, Phase2Size int
+}
+
+// Adoption reproduces Fig 2: HTTPS adoption rates for dynamic and
+// overlapping domains, apex and www.
+func Adoption(store *dataset.Store) *AdoptionResult {
+	phase1, phase2 := OverlappingSets(store)
+	res := &AdoptionResult{
+		DynamicApex: Series{Name: "dynamic-apex%"},
+		DynamicWWW:  Series{Name: "dynamic-www%"},
+		OverlapApex: Series{Name: "overlap-apex%"},
+		OverlapWWW:  Series{Name: "overlap-www%"},
+		Phase1Size:  len(phase1),
+		Phase2Size:  len(phase2),
+	}
+	for _, day := range store.Days("apex") {
+		list, ok := store.TrancoListFor(day)
+		if !ok {
+			continue
+		}
+		overlap := phase1
+		if !day.Before(tranco.SourceChangeDate) {
+			overlap = phase2
+		}
+		apexSnap, okA := store.SnapshotFor("apex", day)
+		wwwSnap, okW := store.SnapshotFor("www", day)
+		if !okA || !okW {
+			continue
+		}
+		var dynApex, dynWWW, ovApex, ovWWW, ovTotal int
+		for _, apex := range list {
+			inOverlap := overlap[apex]
+			if inOverlap {
+				ovTotal++
+			}
+			if hasHTTPSOn(apexSnap, "apex", apex) {
+				dynApex++
+				if inOverlap {
+					ovApex++
+				}
+			}
+			if hasHTTPSOn(wwwSnap, "www", apex) {
+				dynWWW++
+				if inOverlap {
+					ovWWW++
+				}
+			}
+		}
+		res.DynamicApex.Points = append(res.DynamicApex.Points, Point{day, pct(dynApex, len(list))})
+		res.DynamicWWW.Points = append(res.DynamicWWW.Points, Point{day, pct(dynWWW, len(list))})
+		res.OverlapApex.Points = append(res.OverlapApex.Points, Point{day, pct(ovApex, ovTotal)})
+		res.OverlapWWW.Points = append(res.OverlapWWW.Points, Point{day, pct(ovWWW, ovTotal)})
+	}
+	return res
+}
+
+// Tables renders Fig 2 as two tables.
+func (r *AdoptionResult) Tables() []*Table {
+	return []*Table{
+		SeriesTable("Fig 2a: HTTPS adoption, dynamic Tranco list", 24, r.DynamicApex, r.DynamicWWW),
+		SeriesTable("Fig 2b: HTTPS adoption, overlapping domains", 24, r.OverlapApex, r.OverlapWWW),
+	}
+}
+
+// TrendDelta summarises a series: first value, last value, and change.
+func TrendDelta(s Series) (first, last, delta float64) {
+	if len(s.Points) == 0 {
+		return 0, 0, 0
+	}
+	first = s.Points[0].Value
+	last = s.Points[len(s.Points)-1].Value
+	return first, last, last - first
+}
+
+// ValueOn returns the series value on the sample closest to date.
+func ValueOn(s Series, date time.Time) float64 {
+	best := 0.0
+	bestDiff := time.Duration(1 << 62)
+	for _, p := range s.Points {
+		d := p.Date.Sub(date)
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			bestDiff = d
+			best = p.Value
+		}
+	}
+	return best
+}

@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/providers"
+)
+
+// The tests in this file share one campaign: a scaled-down version of the
+// paper's full study (2k domains, weekly sampling) plus the hourly ECH
+// experiment and the validation census. Assertions check the *shape* of
+// each result against the paper's findings with generous bands.
+
+var (
+	once     sync.Once
+	campaign *core.Campaign
+	buildErr error
+)
+
+func sharedCampaign(t *testing.T) *core.Campaign {
+	t.Helper()
+	once.Do(func() {
+		campaign, buildErr = core.NewCampaign(core.CampaignConfig{
+			Size: 2000, Seed: 7, StepDays: 7,
+		})
+		if buildErr != nil {
+			return
+		}
+		if buildErr = campaign.RunDaily(); buildErr != nil {
+			return
+		}
+		campaign.RunHourlyECH(time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC), 2)
+		campaign.RunValidationCensus(time.Date(2024, 1, 2, 0, 0, 0, 0, time.UTC))
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return campaign
+}
+
+func store(t *testing.T) *dataset.Store { return sharedCampaign(t).Store }
+
+func TestFig2Adoption(t *testing.T) {
+	res := Adoption(store(t))
+	if len(res.DynamicApex.Points) < 10 {
+		t.Fatalf("too few samples: %d", len(res.DynamicApex.Points))
+	}
+	first, last, delta := TrendDelta(res.DynamicApex)
+	if first < 12 || first > 30 {
+		t.Errorf("dynamic apex adoption at start = %.1f%%, paper ≈20%%", first)
+	}
+	if last < 18 || last > 36 {
+		t.Errorf("dynamic apex adoption at end = %.1f%%, paper ≈27%%", last)
+	}
+	if delta <= 0 {
+		t.Errorf("dynamic apex trend not increasing: Δ=%.2f", delta)
+	}
+	// Overlapping set: broadly stable (no strong rise like the dynamic).
+	_, _, ovDelta := TrendDelta(res.OverlapApex)
+	if ovDelta > delta {
+		t.Errorf("overlapping trend (Δ=%.2f) rose faster than dynamic (Δ=%.2f)", ovDelta, delta)
+	}
+	// www sits below apex.
+	aFirst, _, _ := TrendDelta(res.DynamicApex)
+	wFirst, _, _ := TrendDelta(res.DynamicWWW)
+	if wFirst > aFirst {
+		t.Errorf("www adoption (%.1f%%) above apex (%.1f%%)", wFirst, aFirst)
+	}
+	if res.Phase1Size == 0 || res.Phase2Size == 0 {
+		t.Error("empty overlapping sets")
+	}
+}
+
+func TestTable2NSCategories(t *testing.T) {
+	res := NSCategories(store(t), nil)
+	if res.Days == 0 {
+		t.Fatal("no NS days analysed")
+	}
+	// The MinNonCFAdopters scale floor inflates the non-CF share at this
+	// size; the paper's 99.89% emerges at ≳90k domains. Cloudflare must
+	// still dominate overwhelmingly.
+	if res.FullMean < 85 {
+		t.Errorf("full-Cloudflare share = %.2f%%, want dominant (99.89%% at scale)", res.FullMean)
+	}
+	if res.NoneMean > 14 {
+		t.Errorf("none-Cloudflare share = %.2f%%, want small (0.11%% at scale)", res.NoneMean)
+	}
+	if res.FullMean+res.NoneMean+res.PartialMean < 99 ||
+		res.FullMean+res.NoneMean+res.PartialMean > 101 {
+		t.Errorf("category shares do not sum to 100: %v", res)
+	}
+	_ = res.Table("dynamic")
+}
+
+func TestTable3AndFig3NonCFProviders(t *testing.T) {
+	res := NonCFProviders(store(t), nil)
+	if res.DistinctTotal == 0 {
+		t.Fatal("no non-CF providers observed")
+	}
+	for _, pc := range res.TopProviders {
+		if isCloudflareOrg(pc.Org) {
+			t.Errorf("Cloudflare leaked into the non-CF table")
+		}
+	}
+	// Fig 3: upward trend in distinct provider count.
+	first, last, _ := TrendDelta(res.DailyDistinct)
+	if last < first {
+		t.Errorf("non-CF provider count fell: %.0f → %.0f (paper: upward trend)", first, last)
+	}
+	_ = res.Table(5)
+}
+
+func TestIntermittency(t *testing.T) {
+	res := Intermittency(store(t))
+	if res.Intermittent == 0 {
+		t.Fatal("no intermittent domains detected (paper: 4,598 at 1M scale)")
+	}
+	if res.SameNS == 0 {
+		t.Error("no same-NS intermittent domains (paper: 59.13%)")
+	}
+	if res.SameNSAllCF == 0 {
+		t.Error("no exclusively-Cloudflare same-NS intermittents (paper: 98.31%)")
+	}
+	if res.NSChanged == 0 {
+		t.Error("no NS-change intermittents (paper: multi-provider mixes)")
+	}
+	_ = res.Table()
+}
+
+func TestTable4DefaultVsCustom(t *testing.T) {
+	res := DefaultVsCustom(store(t), nil)
+	if res.Days == 0 {
+		t.Fatal("no days analysed")
+	}
+	if res.DefaultMean < 60 || res.DefaultMean > 95 {
+		t.Errorf("default share = %.2f%%, paper 79.96%%", res.DefaultMean)
+	}
+	_ = res.Table("dynamic")
+}
+
+func TestTable5ProviderParams(t *testing.T) {
+	google := ProviderParams(store(t), "Google")
+	godaddy := ProviderParams(store(t), "GoDaddy")
+	if google.Domains == 0 || godaddy.Domains == 0 {
+		t.Skip("provider populations too small at this scale")
+	}
+	if google.ServiceModePct < 80 {
+		t.Errorf("Google ServiceMode = %.1f%%, paper 98.95%%", google.ServiceModePct)
+	}
+	if google.NoALPNPct < 60 {
+		t.Errorf("Google empty-alpn = %.1f%%, paper 95.11%%", google.NoALPNPct)
+	}
+	if godaddy.AliasModePct < 80 {
+		t.Errorf("GoDaddy AliasMode = %.1f%%, paper 99.19%%", godaddy.AliasModePct)
+	}
+	_ = Table5(google, godaddy)
+}
+
+func TestSvcParamsOverview(t *testing.T) {
+	res := SvcParams(store(t), "apex")
+	if res.ServiceModePct < 95 {
+		t.Errorf("ServiceMode share = %.2f%%, paper 99.97%%", res.ServiceModePct)
+	}
+	if res.AliasSelfTarget == 0 {
+		t.Error("no AliasMode-self-target pathology observed (paper: 19+22)")
+	}
+	if res.ServiceNoParams == 0 {
+		t.Error("no ServiceMode-without-params domains (paper: 232)")
+	}
+	if res.PriorityListDomains == 0 {
+		t.Error("no multi-priority domains (paper: 14)")
+	}
+	_ = res.Table("apex")
+}
+
+func TestTable8ALPN(t *testing.T) {
+	_, phase2 := OverlappingSets(store(t))
+	res := ALPN(store(t), "apex", phase2, providers.H3Draft29SunsetDate)
+	if res.Share["h2"] < 90 {
+		t.Errorf("h2 share = %.1f%%, paper 99.64%%", res.Share["h2"])
+	}
+	if res.Share["h3"] < 50 || res.Share["h3"] > res.Share["h2"] {
+		t.Errorf("h3 share = %.1f%%, paper 78.42%% (below h2)", res.Share["h3"])
+	}
+	if res.H3Draft29Before <= res.H3Draft29After {
+		t.Errorf("h3-29 before (%.1f%%) not above after (%.1f%%): sunset not visible",
+			res.H3Draft29Before, res.H3Draft29After)
+	}
+	_ = res.Table()
+}
+
+func TestFig11HintUsage(t *testing.T) {
+	res := HintUsage(store(t), "apex")
+	if len(res.V4Usage.Points) == 0 {
+		t.Fatal("no points")
+	}
+	_, v4Last, _ := TrendDelta(res.V4Usage)
+	if v4Last < 85 {
+		t.Errorf("ipv4hint usage = %.1f%%, paper ≈97%%", v4Last)
+	}
+	_, matchLast, _ := TrendDelta(res.V4Match)
+	if matchLast < 90 {
+		t.Errorf("v4 hint match = %.1f%%, paper >99%% post-fix", matchLast)
+	}
+	// v6 below v4 usage.
+	_, v6Last, _ := TrendDelta(res.V6Usage)
+	if v6Last > v4Last+2 {
+		t.Errorf("ipv6hint usage (%.1f%%) above ipv4hint (%.1f%%)", v6Last, v4Last)
+	}
+	_ = res.Tables()
+}
+
+func TestFig12MismatchDurations(t *testing.T) {
+	res := MismatchDurations(store(t), "apex")
+	if res.DistinctDomains == 0 {
+		t.Fatal("no mismatched domains observed")
+	}
+	if res.MeanDays <= 0 || res.MeanDays > 60 {
+		t.Errorf("mean mismatch duration = %.1f days, paper 6.57", res.MeanDays)
+	}
+	if res.PersistentDomains == 0 {
+		t.Error("no persistent mismatch domains (paper: 5)")
+	}
+	_ = res.Table()
+}
+
+func TestConnectivityProbes(t *testing.T) {
+	res := Connectivity(store(t))
+	if res.Occurrences == 0 {
+		t.Fatal("no probe occurrences (experiment window Jan 24 – Mar 31)")
+	}
+	if res.AnyUnreachable == 0 {
+		t.Error("no unreachable domains observed (paper: 193 of 317)")
+	}
+	if res.AnyUnreachable > res.DistinctDomains {
+		t.Error("inconsistent aggregation")
+	}
+	// Paper: of the unreachable domains, hint-only (117) outnumbers
+	// A-only (59); at small scale just require consistency.
+	if res.HintOnly+res.AOnly > res.AnyUnreachable {
+		t.Error("reachability split exceeds unreachable count")
+	}
+	_ = res.Table()
+}
+
+func TestFig13ECHDeployment(t *testing.T) {
+	res := ECHDeployment(store(t), nil)
+	before := ValueOn(res.Apex, time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC))
+	if before < 50 || before > 90 {
+		t.Errorf("ECH share before shutdown = %.1f%%, paper ≈70%%", before)
+	}
+	after := ValueOn(res.Apex, time.Date(2023, 11, 1, 0, 0, 0, 0, time.UTC))
+	if after > 1 {
+		t.Errorf("ECH share after shutdown = %.1f%%, paper 0%%", after)
+	}
+	if res.DropDate.IsZero() {
+		t.Error("shutdown drop not detected")
+	} else {
+		gap := res.DropDate.Sub(providers.ECHDisableDate)
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > 14*24*time.Hour {
+			t.Errorf("drop detected at %v, expected near Oct 5 2023", res.DropDate)
+		}
+	}
+	_ = res.Table()
+}
+
+func TestFig4ECHRotation(t *testing.T) {
+	res := ECHRotation(store(t))
+	if res.DistinctConfigs < 10 {
+		t.Fatalf("distinct configs = %d over 48 hourly scans, want ≳30", res.DistinctConfigs)
+	}
+	if len(res.PublicNames) != 1 || res.PublicNames[0] != "cloudflare-ech.com" {
+		t.Errorf("public names = %v, paper: only cloudflare-ech.com", res.PublicNames)
+	}
+	if res.MeanDurationHours < 0.9 || res.MeanDurationHours > 2.0 {
+		t.Errorf("mean config duration = %.2fh, paper 1.26h (1–2h band)", res.MeanDurationHours)
+	}
+	_ = res.Table()
+}
+
+func TestFig5Signed(t *testing.T) {
+	res := Signed(store(t), nil)
+	_, last, _ := TrendDelta(res.SignedApex)
+	if last < 3 || last > 20 {
+		t.Errorf("signed share = %.1f%%, paper <10%%", last)
+	}
+	_, validLast, _ := TrendDelta(res.ValidApex)
+	if validLast > last {
+		t.Errorf("validated (%.1f%%) exceeds signed (%.1f%%)", validLast, last)
+	}
+	if validLast >= last*0.95 {
+		t.Errorf("validated ≈ signed (%.1f vs %.1f); paper: ≈half cannot validate", validLast, last)
+	}
+	_ = res.Tables("dynamic")
+}
+
+func TestTable9Census(t *testing.T) {
+	res := Census(store(t))
+	if res.WithHTTPS.Signed == 0 || res.WithoutHTTPS.Signed == 0 {
+		t.Fatalf("census empty: %+v", res)
+	}
+	withIns := pct(res.WithHTTPS.Insecure, res.WithHTTPS.Signed)
+	withoutIns := pct(res.WithoutHTTPS.Insecure, res.WithoutHTTPS.Signed)
+	if withIns < 30 || withIns > 65 {
+		t.Errorf("insecure (with HTTPS) = %.1f%%, paper 49.4%%", withIns)
+	}
+	if withoutIns < 10 || withoutIns > 40 {
+		t.Errorf("insecure (without HTTPS) = %.1f%%, paper 23.7%%", withoutIns)
+	}
+	if withIns <= withoutIns {
+		t.Errorf("HTTPS-domain insecure ratio (%.1f%%) not above non-HTTPS (%.1f%%)", withIns, withoutIns)
+	}
+	// CF-NS signed domains are the drivers of the high insecure ratio.
+	cfIns := pct(res.CFNS.Insecure, res.CFNS.Signed)
+	nonIns := pct(res.NonCFNS.Insecure, res.NonCFNS.Signed)
+	if res.NonCFNS.Signed > 0 && cfIns <= nonIns {
+		t.Errorf("CF insecure (%.1f%%) not above non-CF (%.1f%%); paper 49.5%% vs 14.1%%", cfIns, nonIns)
+	}
+	if res.WithHTTPS.Bogus != 0 {
+		t.Errorf("bogus results present: %d (paper: none)", res.WithHTTPS.Bogus)
+	}
+	_ = res.Table()
+}
+
+func TestFig14SignedECH(t *testing.T) {
+	res := SignedECH(store(t), nil)
+	// Only meaningful before the shutdown.
+	v := ValueOn(res.SignedPct, time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC))
+	if v > 15 {
+		t.Errorf("signed ECH share = %.1f%%, paper <6%%", v)
+	}
+	_ = res.Table()
+}
+
+func TestFig8Rankings(t *testing.T) {
+	phase1, _ := OverlappingSets(store(t))
+	stats := RankDistributions(store(t), phase1)
+	if len(stats) != 2 {
+		t.Fatal("want two populations")
+	}
+	if stats[0].Count == 0 || stats[1].Count == 0 {
+		t.Fatal("empty rank populations")
+	}
+	if stats[0].Mean >= stats[1].Mean {
+		t.Errorf("overlapping mean rank (%.0f) not above (better than) non-overlapping (%.0f)",
+			stats[0].Mean, stats[1].Mean)
+	}
+	_ = RankTable("Fig 8", stats...)
+	_ = NonCFRankings(store(t))
+}

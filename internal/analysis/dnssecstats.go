@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"repro/internal/dataset"
+)
+
+// SignedResult is Fig 5: RRSIG presence and AD validation of HTTPS records
+// over time, for one population (dynamic or overlapping).
+type SignedResult struct {
+	SignedApex Series
+	SignedWWW  Series
+	ValidApex  Series
+	ValidWWW   Series
+}
+
+// Signed reproduces Fig 5.
+func Signed(store *dataset.Store, overlap map[string]bool) *SignedResult {
+	res := &SignedResult{
+		SignedApex: Series{Name: "signed-apex%"},
+		SignedWWW:  Series{Name: "signed-www%"},
+		ValidApex:  Series{Name: "ad-apex%"},
+		ValidWWW:   Series{Name: "ad-www%"},
+	}
+	for _, kind := range []string{"apex", "www"} {
+		signed, valid := &res.SignedApex, &res.ValidApex
+		if kind == "www" {
+			signed, valid = &res.SignedWWW, &res.ValidWWW
+		}
+		for _, day := range store.Days(kind) {
+			snap, ok := store.SnapshotFor(kind, day)
+			if !ok {
+				continue
+			}
+			adopters, s, v := 0, 0, 0
+			for name, obs := range snap.Obs {
+				if !obs.HasHTTPS() {
+					continue
+				}
+				if overlap != nil && !inOverlap(overlap, kind, name) {
+					continue
+				}
+				adopters++
+				if obs.Signed {
+					s++
+					if obs.AD {
+						v++
+					}
+				}
+			}
+			signed.Points = append(signed.Points, Point{day, pct(s, adopters)})
+			valid.Points = append(valid.Points, Point{day, pct(v, adopters)})
+		}
+	}
+	return res
+}
+
+// Tables renders Fig 5.
+func (r *SignedResult) Tables(label string) []*Table {
+	return []*Table{
+		SeriesTable("Fig 5 ("+label+"): signed (RRSIG) and validated (AD) HTTPS records", 24,
+			r.SignedApex, r.ValidApex, r.SignedWWW, r.ValidWWW),
+	}
+}
+
+// CensusResult is Table 9: the one-shot DNSSEC validation census.
+type CensusResult struct {
+	// Rows per category.
+	WithoutHTTPS CensusRow
+	WithHTTPS    CensusRow
+	CFNS         CensusRow
+	NonCFNS      CensusRow
+}
+
+// CensusRow aggregates signed/secure/insecure counts.
+type CensusRow struct {
+	Signed   int
+	Secure   int
+	Insecure int
+	Bogus    int
+}
+
+func (c *CensusRow) add(res string) {
+	c.Signed++
+	switch res {
+	case "secure":
+		c.Secure++
+	case "insecure":
+		c.Insecure++
+	case "bogus":
+		c.Bogus++
+	}
+}
+
+// Census reproduces Table 9.
+func Census(store *dataset.Store) *CensusResult {
+	out := &CensusResult{}
+	for _, row := range store.Validation() {
+		if !row.Signed {
+			continue
+		}
+		if row.HasHTTPS {
+			out.WithHTTPS.add(row.Result)
+			if row.CFNS {
+				out.CFNS.add(row.Result)
+			} else {
+				out.NonCFNS.add(row.Result)
+			}
+		} else {
+			out.WithoutHTTPS.add(row.Result)
+		}
+	}
+	return out
+}
+
+// Table renders Table 9.
+func (r *CensusResult) Table() *Table {
+	row := func(name string, c CensusRow) []string {
+		return []string{name, itoa(c.Signed),
+			itoa(c.Secure) + " (" + fmtPct(pct(c.Secure, c.Signed)) + ")",
+			itoa(c.Insecure) + " (" + fmtPct(pct(c.Insecure, c.Signed)) + ")"}
+	}
+	return &Table{
+		Title:   "Table 9: DNSSEC validation of signed domains (one-shot census)",
+		Columns: []string{"category", "signed", "secure", "insecure"},
+		Rows: [][]string{
+			row("without HTTPS RR", r.WithoutHTTPS),
+			row("with HTTPS RR", r.WithHTTPS),
+			row("  - Cloudflare NS", r.CFNS),
+			row("  - non-Cloudflare NS", r.NonCFNS),
+		},
+	}
+}
+
+// SignedECHResult is Fig 14: ECH domains with signed/validated records.
+type SignedECHResult struct {
+	SignedPct Series // % of (HTTPS ∧ ECH) domains whose records are signed
+	ValidPct  Series
+}
+
+// SignedECH reproduces Fig 14 for apex domains.
+func SignedECH(store *dataset.Store, overlap map[string]bool) *SignedECHResult {
+	res := &SignedECHResult{
+		SignedPct: Series{Name: "ech-signed%"},
+		ValidPct:  Series{Name: "ech-ad%"},
+	}
+	for _, day := range store.Days("apex") {
+		snap, ok := store.SnapshotFor("apex", day)
+		if !ok {
+			continue
+		}
+		ech, signed, valid := 0, 0, 0
+		for name, obs := range snap.Obs {
+			if !obs.HasHTTPS() {
+				continue
+			}
+			if overlap != nil && !inOverlap(overlap, "apex", name) {
+				continue
+			}
+			hasECH := false
+			for _, r := range obs.HTTPS {
+				if r.HasECH {
+					hasECH = true
+					break
+				}
+			}
+			if !hasECH {
+				continue
+			}
+			ech++
+			if obs.Signed {
+				signed++
+				if obs.AD {
+					valid++
+				}
+			}
+		}
+		res.SignedPct.Points = append(res.SignedPct.Points, Point{day, pct(signed, ech)})
+		res.ValidPct.Points = append(res.ValidPct.Points, Point{day, pct(valid, ech)})
+	}
+	return res
+}
+
+// Table renders Fig 14.
+func (r *SignedECHResult) Table() *Table {
+	return SeriesTable("Fig 14: DNSSEC among ECH-publishing domains", 24, r.SignedPct, r.ValidPct)
+}

@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// HintUsageResult is Fig 11: hint usage and A/AAAA consistency over time.
+type HintUsageResult struct {
+	Kind      string
+	V4Usage   Series // % of adopters publishing ipv4hint
+	V6Usage   Series
+	V4Match   Series // % of hint publishers whose hints equal the A set
+	V6Match   Series
+}
+
+// HintUsage reproduces Fig 11 for a kind.
+func HintUsage(store *dataset.Store, kind string) *HintUsageResult {
+	res := &HintUsageResult{
+		Kind:    kind,
+		V4Usage: Series{Name: "ipv4hint%"},
+		V6Usage: Series{Name: "ipv6hint%"},
+		V4Match: Series{Name: "v4-match%"},
+		V6Match: Series{Name: "v6-match%"},
+	}
+	for _, day := range store.Days(kind) {
+		snap, ok := store.SnapshotFor(kind, day)
+		if !ok {
+			continue
+		}
+		var adopters, with4, with6, match4, match6 int
+		for _, obs := range snap.Obs {
+			if !obs.HasHTTPS() {
+				continue
+			}
+			adopters++
+			var h4, h6 []netip.Addr
+			for _, r := range obs.HTTPS {
+				h4 = append(h4, r.V4Hints...)
+				h6 = append(h6, r.V6Hints...)
+			}
+			if len(h4) > 0 {
+				with4++
+				if addrSetEqual(h4, obs.A) {
+					match4++
+				}
+			}
+			if len(h6) > 0 {
+				with6++
+				if addrSetEqual(h6, obs.AAAA) {
+					match6++
+				}
+			}
+		}
+		res.V4Usage.Points = append(res.V4Usage.Points, Point{day, pct(with4, adopters)})
+		res.V6Usage.Points = append(res.V6Usage.Points, Point{day, pct(with6, adopters)})
+		res.V4Match.Points = append(res.V4Match.Points, Point{day, pct(match4, with4)})
+		res.V6Match.Points = append(res.V6Match.Points, Point{day, pct(match6, with6)})
+	}
+	return res
+}
+
+func addrSetEqual(a, b []netip.Addr) bool {
+	if len(b) == 0 {
+		return false
+	}
+	set := map[netip.Addr]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if !set[y] {
+			return false
+		}
+	}
+	back := map[netip.Addr]bool{}
+	for _, y := range b {
+		back[y] = true
+	}
+	for _, x := range a {
+		if !back[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tables renders Fig 11.
+func (r *HintUsageResult) Tables() []*Table {
+	return []*Table{
+		SeriesTable("Fig 11 ("+r.Kind+"): IP hint usage and consistency", 20,
+			r.V4Usage, r.V4Match, r.V6Usage, r.V6Match),
+	}
+}
+
+// MismatchDurationsResult is Fig 12 plus the §4.3.5 counts.
+type MismatchDurationsResult struct {
+	Kind string
+	// Episodes holds per-domain mismatch episode lengths in scan steps.
+	Durations []int
+	MeanDays  float64
+	// DistinctDomains ever mismatched.
+	DistinctDomains int
+	// PersistentDomains were mismatched on every scanned day they
+	// appeared with hints.
+	PersistentDomains int
+	// StepDays converts run lengths to days.
+	StepDays int
+}
+
+// MismatchDurations reproduces Fig 12: consecutive-day runs of hint/A
+// disagreement per domain.
+func MismatchDurations(store *dataset.Store, kind string) *MismatchDurationsResult {
+	days := store.Days(kind)
+	res := &MismatchDurationsResult{Kind: kind, StepDays: stepOf(days)}
+	type state struct {
+		run        int
+		mismatches int
+		observed   int
+	}
+	states := map[string]*state{}
+	flush := func(st *state) {
+		if st.run > 0 {
+			res.Durations = append(res.Durations, st.run)
+			st.run = 0
+		}
+	}
+	for _, day := range days {
+		snap, ok := store.SnapshotFor(kind, day)
+		if !ok {
+			continue
+		}
+		seen := map[string]bool{}
+		for name, obs := range snap.Obs {
+			if !obs.HasHTTPS() {
+				continue
+			}
+			var h4 []netip.Addr
+			for _, r := range obs.HTTPS {
+				h4 = append(h4, r.V4Hints...)
+			}
+			if len(h4) == 0 {
+				continue
+			}
+			seen[name] = true
+			st := states[name]
+			if st == nil {
+				st = &state{}
+				states[name] = st
+			}
+			st.observed++
+			if !addrSetEqual(h4, obs.A) {
+				st.run++
+				st.mismatches++
+			} else {
+				flush(st)
+			}
+		}
+		for name, st := range states {
+			if !seen[name] {
+				flush(st)
+			}
+		}
+	}
+	var totalRuns, totalLen int
+	for _, st := range states {
+		flush(st)
+	}
+	for _, d := range res.Durations {
+		totalRuns++
+		totalLen += d
+	}
+	for _, st := range states {
+		if st.mismatches > 0 {
+			res.DistinctDomains++
+			if st.mismatches == st.observed && st.observed > 1 {
+				res.PersistentDomains++
+			}
+		}
+	}
+	if totalRuns > 0 {
+		res.MeanDays = float64(totalLen*res.StepDays) / float64(totalRuns)
+	}
+	sort.Ints(res.Durations)
+	return res
+}
+
+func stepOf(days []time.Time) int {
+	if len(days) < 2 {
+		return 1
+	}
+	return int(days[1].Sub(days[0]).Hours() / 24)
+}
+
+// Table renders Fig 12 as a duration histogram.
+func (r *MismatchDurationsResult) Table() *Table {
+	buckets := map[string]int{}
+	order := []string{"1-3d", "4-7d", "8-14d", "15-30d", ">30d"}
+	for _, runLen := range r.Durations {
+		d := runLen * r.StepDays
+		switch {
+		case d <= 3:
+			buckets["1-3d"]++
+		case d <= 7:
+			buckets["4-7d"]++
+		case d <= 14:
+			buckets["8-14d"]++
+		case d <= 30:
+			buckets["15-30d"]++
+		default:
+			buckets[">30d"]++
+		}
+	}
+	t := &Table{
+		Title:   "Fig 12 (" + r.Kind + "): duration of IP hint / A mismatches",
+		Columns: []string{"duration", "episodes"},
+	}
+	for _, b := range order {
+		t.Rows = append(t.Rows, []string{b, itoa(buckets[b])})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"mean (days)", fmtFloat(r.MeanDays)},
+		[]string{"distinct domains", itoa(r.DistinctDomains)},
+		[]string{"persistent domains", itoa(r.PersistentDomains)},
+	)
+	return t
+}
+
+func fmtFloat(v float64) string {
+	n := int(v * 100)
+	return itoa(n/100) + "." + pad2(n%100)
+}
+
+func pad2(n int) string {
+	if n < 0 {
+		n = -n
+	}
+	if n < 10 {
+		return "0" + itoa(n)
+	}
+	return itoa(n)
+}
+
+// ConnectivityResult is the §4.3.5 probing experiment summary.
+type ConnectivityResult struct {
+	// Occurrences counts (domain, day) mismatch probes.
+	Occurrences int
+	// DistinctDomains with at least one mismatch probe.
+	DistinctDomains int
+	// AnyUnreachable: domains with ≥1 unreachable address in a probe.
+	AnyUnreachable int
+	// HintOnly: domains only reachable via the hint address.
+	HintOnly int
+	// AOnly: domains only reachable via the A address.
+	AOnly int
+}
+
+// Connectivity aggregates the TLS probe results.
+func Connectivity(store *dataset.Store) *ConnectivityResult {
+	res := &ConnectivityResult{}
+	type domainAgg struct{ hintFail, aFail, probes int }
+	agg := map[string]*domainAgg{}
+	for _, p := range store.Probes() {
+		if !p.Mismatch {
+			continue
+		}
+		res.Occurrences++
+		da := agg[p.Domain]
+		if da == nil {
+			da = &domainAgg{}
+			agg[p.Domain] = da
+		}
+		da.probes++
+		if !p.HintOK {
+			da.hintFail++
+		}
+		if !p.AOK {
+			da.aFail++
+		}
+	}
+	res.DistinctDomains = len(agg)
+	for _, da := range agg {
+		if da.hintFail > 0 || da.aFail > 0 {
+			res.AnyUnreachable++
+			switch {
+			case da.aFail > 0 && da.hintFail == 0:
+				res.HintOnly++
+			case da.hintFail > 0 && da.aFail == 0:
+				res.AOnly++
+			}
+		}
+	}
+	return res
+}
+
+// Table renders the connectivity experiment.
+func (r *ConnectivityResult) Table() *Table {
+	return &Table{
+		Title:   "§4.3.5: connectivity of domains with mismatched IP hints",
+		Columns: []string{"metric", "count"},
+		Rows: [][]string{
+			{"mismatch occurrences (domain-days)", itoa(r.Occurrences)},
+			{"distinct domains", itoa(r.DistinctDomains)},
+			{"domains with ≥1 unreachable address", itoa(r.AnyUnreachable)},
+			{"  reachable only via IP hint", itoa(r.HintOnly)},
+			{"  reachable only via A record", itoa(r.AOnly)},
+		},
+	}
+}

@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/dnswire"
+)
+
+// CloudflareOrg is the organisation name used for Cloudflare attribution.
+const CloudflareOrg = "Cloudflare"
+
+// nsOrgs returns the set of operator orgs behind a domain observation's NS
+// hosts, using the day's NS snapshot for attribution.
+func nsOrgs(obs *dataset.Observation, nsSnap *dataset.NSSnapshot) []string {
+	seen := map[string]bool{}
+	var orgs []string
+	for _, host := range obs.NS {
+		host = dnswire.CanonicalName(host)
+		org := ""
+		if nsSnap != nil {
+			if nso, ok := nsSnap.Servers[host]; ok {
+				org = nso.Org
+			}
+		}
+		if org == "" {
+			// Fallback attribution from the host name itself (the
+			// paper's manual-review step).
+			org = orgFromHost(host)
+		}
+		if org != "" && !seen[org] {
+			seen[org] = true
+			orgs = append(orgs, org)
+		}
+	}
+	return orgs
+}
+
+func orgFromHost(host string) string {
+	parts := dnswire.SplitLabels(host)
+	if len(parts) < 2 {
+		return ""
+	}
+	infra := parts[len(parts)-2] // e.g. "cloudflare-dns-sim"
+	name, _, _ := strings.Cut(infra, "-dns-sim")
+	if name == "" {
+		return ""
+	}
+	// Restore capitalisation conventions loosely: exact org strings come
+	// from WHOIS normally; this fallback is best-effort.
+	return name
+}
+
+func isCloudflareOrg(org string) bool {
+	return strings.EqualFold(org, CloudflareOrg) || strings.EqualFold(org, "cloudflare")
+}
+
+// NSCategoriesResult is Table 2: full/none/partial Cloudflare NS shares.
+type NSCategoriesResult struct {
+	FullMean, FullStd       float64
+	NoneMean, NoneStd       float64
+	PartialMean, PartialStd float64
+	Days                    int
+}
+
+// NSCategories reproduces Table 2 over the NS measurement days. overlap,
+// when non-nil, restricts to the overlapping set (Table 2's second column
+// pair); nil gives the dynamic column.
+func NSCategories(store *dataset.Store, overlap map[string]bool) *NSCategoriesResult {
+	var full, none, partial []float64
+	for _, day := range store.NSDays() {
+		apexSnap, ok := store.SnapshotFor("apex", day)
+		if !ok {
+			continue
+		}
+		nsSnap, _ := store.NSSnapshotFor(day)
+		var f, n, p, total int
+		for name, obs := range apexSnap.Obs {
+			if !obs.HasHTTPS() || len(obs.NS) == 0 {
+				continue
+			}
+			if overlap != nil && !overlap[strings.TrimSuffix(name, ".")] {
+				continue
+			}
+			orgs := nsOrgs(obs, nsSnap)
+			cf, other := 0, 0
+			for _, org := range orgs {
+				if isCloudflareOrg(org) {
+					cf++
+				} else {
+					other++
+				}
+			}
+			total++
+			switch {
+			case cf > 0 && other == 0:
+				f++
+			case cf == 0:
+				n++
+			default:
+				p++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		full = append(full, pct(f, total))
+		none = append(none, pct(n, total))
+		partial = append(partial, pct(p, total))
+	}
+	res := &NSCategoriesResult{Days: len(full)}
+	res.FullMean, res.FullStd = meanStd(full)
+	res.NoneMean, res.NoneStd = meanStd(none)
+	res.PartialMean, res.PartialStd = meanStd(partial)
+	return res
+}
+
+// Table renders Table 2.
+func (r *NSCategoriesResult) Table(label string) *Table {
+	f := func(m, s float64) []string {
+		return []string{fmtPct(m), fmtPct(s)}
+	}
+	t := &Table{
+		Title:   "Table 2 (" + label + "): Cloudflare NS categories among apex domains with HTTPS",
+		Columns: []string{"category", "mean", "std"},
+	}
+	t.Rows = append(t.Rows, append([]string{"Full Cloudflare NS"}, f(r.FullMean, r.FullStd)...))
+	t.Rows = append(t.Rows, append([]string{"None Cloudflare NS"}, f(r.NoneMean, r.NoneStd)...))
+	t.Rows = append(t.Rows, append([]string{"Partial Cloudflare NS"}, f(r.PartialMean, r.PartialStd)...))
+	return t
+}
+
+// NonCFProvidersResult holds Table 3 + Fig 3.
+type NonCFProvidersResult struct {
+	// TopProviders ranks non-CF orgs by distinct HTTPS-adopting domains
+	// ever seen.
+	TopProviders []ProviderCount
+	// DistinctTotal is the number of distinct non-CF providers ever seen.
+	DistinctTotal int
+	// DailyDistinct is the Fig 3 series.
+	DailyDistinct Series
+}
+
+// ProviderCount is one Table 3 row.
+type ProviderCount struct {
+	Org     string
+	Domains int
+}
+
+// NonCFProviders reproduces Table 3 and Fig 3.
+func NonCFProviders(store *dataset.Store, overlap map[string]bool) *NonCFProvidersResult {
+	domainsPerOrg := map[string]map[string]bool{}
+	res := &NonCFProvidersResult{DailyDistinct: Series{Name: "distinct-nonCF-providers"}}
+	for _, day := range store.NSDays() {
+		apexSnap, ok := store.SnapshotFor("apex", day)
+		if !ok {
+			continue
+		}
+		nsSnap, _ := store.NSSnapshotFor(day)
+		today := map[string]bool{}
+		for name, obs := range apexSnap.Obs {
+			if !obs.HasHTTPS() {
+				continue
+			}
+			if overlap != nil && !overlap[strings.TrimSuffix(name, ".")] {
+				continue
+			}
+			// Table 3 counts the "None Cloudflare NS" population:
+			// domains whose NS set contains no Cloudflare servers
+			// (partial mixes belong to Table 2's partial row).
+			orgs := nsOrgs(obs, nsSnap)
+			anyCF := false
+			for _, org := range orgs {
+				if isCloudflareOrg(org) {
+					anyCF = true
+				}
+			}
+			if anyCF {
+				continue
+			}
+			for _, org := range orgs {
+				today[org] = true
+				if domainsPerOrg[org] == nil {
+					domainsPerOrg[org] = map[string]bool{}
+				}
+				domainsPerOrg[org][name] = true
+			}
+		}
+		res.DailyDistinct.Points = append(res.DailyDistinct.Points,
+			Point{day, float64(len(today))})
+	}
+	for org, domains := range domainsPerOrg {
+		res.TopProviders = append(res.TopProviders, ProviderCount{Org: org, Domains: len(domains)})
+	}
+	sort.Slice(res.TopProviders, func(i, j int) bool {
+		if res.TopProviders[i].Domains != res.TopProviders[j].Domains {
+			return res.TopProviders[i].Domains > res.TopProviders[j].Domains
+		}
+		return res.TopProviders[i].Org < res.TopProviders[j].Org
+	})
+	res.DistinctTotal = len(res.TopProviders)
+	return res
+}
+
+// Table renders Table 3 (top n rows).
+func (r *NonCFProvidersResult) Table(n int) *Table {
+	t := &Table{
+		Title:   "Table 3: top non-Cloudflare DNS providers (distinct HTTPS domains)",
+		Columns: []string{"provider", "#domains"},
+	}
+	for i, pc := range r.TopProviders {
+		if i == n {
+			break
+		}
+		t.Rows = append(t.Rows, []string{pc.Org, itoa(pc.Domains)})
+	}
+	return t
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// IntermittencyResult summarises §4.2.3.
+type IntermittencyResult struct {
+	// Intermittent counts apex domains that deactivated previously
+	// published HTTPS records at least once within the NS window.
+	Intermittent int
+	// SameNS of those kept an identical NS set across all active days.
+	SameNS int
+	// SameNSAllCF of the SameNS group used exclusively Cloudflare NS.
+	SameNSAllCF int
+	// NSChanged deactivated alongside an NS set change.
+	NSChanged int
+	// LostNS became entirely unresolvable (no NS) while deactivated.
+	LostNS int
+}
+
+// Intermittency reproduces the §4.2.3 analysis over the NS window.
+func Intermittency(store *dataset.Store) *IntermittencyResult {
+	days := store.NSDays()
+	if len(days) == 0 {
+		return &IntermittencyResult{}
+	}
+	type history struct {
+		present  []bool
+		nsSets   []string // canonical NS org set per active day
+		errDays  int      // days the domain failed to resolve at all
+		inList   int
+	}
+	hist := map[string]*history{}
+	for di, day := range days {
+		apexSnap, ok := store.SnapshotFor("apex", day)
+		if !ok {
+			continue
+		}
+		list, _ := store.TrancoListFor(day)
+		listed := map[string]bool{}
+		for _, d := range list {
+			listed[dnswire.CanonicalName(d)] = true
+		}
+		nsSnap, _ := store.NSSnapshotFor(day)
+		for name := range listed {
+			h := hist[name]
+			if h == nil {
+				h = &history{present: make([]bool, len(days)), nsSets: make([]string, len(days))}
+				hist[name] = h
+			}
+			h.inList++
+			obs, ok := apexSnap.Obs[name]
+			if !ok {
+				continue
+			}
+			if obs.HasHTTPS() {
+				h.present[di] = true
+				orgs := nsOrgs(obs, nsSnap)
+				sort.Strings(orgs)
+				h.nsSets[di] = strings.Join(orgs, ",")
+			} else if obs.Err != "" {
+				// The domain became unresolvable (e.g. lost its NS
+				// records entirely).
+				h.errDays++
+			}
+		}
+	}
+	res := &IntermittencyResult{}
+	for _, h := range hist {
+		// Only consider domains consistently in the list (avoids churn
+		// artifacts).
+		if h.inList < len(days) {
+			continue
+		}
+		// Intermittency = at least one deactivation (on → off) of
+		// previously observed records.
+		deactivations := 0
+		for i := 1; i < len(h.present); i++ {
+			if h.present[i-1] && !h.present[i] {
+				deactivations++
+			}
+		}
+		if deactivations == 0 {
+			continue
+		}
+		res.Intermittent++
+		// Compare NS org sets across active days.
+		sets := map[string]bool{}
+		for i, p := range h.present {
+			if p && h.nsSets[i] != "" {
+				sets[h.nsSets[i]] = true
+			}
+		}
+		switch {
+		case h.errDays > 0:
+			res.LostNS++
+		case len(sets) <= 1:
+			res.SameNS++
+			for s := range sets {
+				if isCloudflareOrg(s) {
+					res.SameNSAllCF++
+				}
+			}
+		default:
+			res.NSChanged++
+		}
+	}
+	return res
+}
+
+// Table renders the intermittency summary.
+func (r *IntermittencyResult) Table() *Table {
+	return &Table{
+		Title:   "§4.2.3: intermittent HTTPS record activation",
+		Columns: []string{"metric", "count"},
+		Rows: [][]string{
+			{"intermittent apex domains", itoa(r.Intermittent)},
+			{"  same NS set throughout", itoa(r.SameNS)},
+			{"    of which exclusively Cloudflare", itoa(r.SameNSAllCF)},
+			{"  NS set changed", itoa(r.NSChanged)},
+			{"  transient NS loss", itoa(r.LostNS)},
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package authserver
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+func buildServer() *Server {
+	s := New()
+	z := zone.New("example.com")
+	z.SetSOA("ns1.example.com.", "hostmaster.example.com.", 1, 300)
+	z.Add(dnswire.RR{Name: "example.com.", Type: dnswire.TypeNS, Class: dnswire.ClassINET,
+		TTL: 3600, Data: &dnswire.NSData{Host: "ns1.example.com."}})
+	z.Add(dnswire.RR{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.AData{Addr: netip.MustParseAddr("10.0.0.80")}})
+	z.Add(dnswire.RR{Name: "example.com.", Type: dnswire.TypeHTTPS, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.SVCBData{Priority: 1, Target: "."}})
+	s.AddZone(z)
+
+	sub := zone.New("deep.example.com")
+	sub.SetSOA("ns1.deep.example.com.", "h.deep.example.com.", 1, 300)
+	sub.Add(dnswire.RR{Name: "x.deep.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.AData{Addr: netip.MustParseAddr("10.0.2.2")}})
+	s.AddZone(sub)
+	return s
+}
+
+func query(name string, t dnswire.Type) *dnswire.Message {
+	return dnswire.NewQuery(42, name, t, false)
+}
+
+func TestHandleDNSAnswer(t *testing.T) {
+	s := buildServer()
+	resp := s.HandleDNS(query("www.example.com.", dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answer) != 1 || !resp.Authoritative {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestHandleDNSLongestZoneMatch(t *testing.T) {
+	s := buildServer()
+	resp := s.HandleDNS(query("x.deep.example.com.", dnswire.TypeA))
+	if len(resp.Answer) != 1 {
+		t.Fatalf("deep zone not matched: %+v", resp)
+	}
+	if resp.Answer[0].Data.(*dnswire.AData).Addr.String() != "10.0.2.2" {
+		t.Error("answer from wrong zone")
+	}
+}
+
+func TestHandleDNSRefusesForeign(t *testing.T) {
+	s := buildServer()
+	resp := s.HandleDNS(query("other.net.", dnswire.TypeA))
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestHandleDNSFormErr(t *testing.T) {
+	s := buildServer()
+	q := &dnswire.Message{ID: 1}
+	if resp := s.HandleDNS(q); resp.RCode != dnswire.RCodeFormErr {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestNoHTTPSSupportMode(t *testing.T) {
+	s := buildServer()
+	s.NoHTTPSSupport = true
+	resp := s.HandleDNS(query("example.com.", dnswire.TypeHTTPS))
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answer) != 0 {
+		t.Errorf("legacy server should return empty NOERROR: %+v", resp)
+	}
+	// Other types still served.
+	resp = s.HandleDNS(query("www.example.com.", dnswire.TypeA))
+	if len(resp.Answer) != 1 {
+		t.Error("A record lost in NoHTTPSSupport mode")
+	}
+}
+
+func TestRefuseAllMode(t *testing.T) {
+	s := buildServer()
+	s.RefuseAll = true
+	if resp := s.HandleDNS(query("example.com.", dnswire.TypeA)); resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestRemoveZone(t *testing.T) {
+	s := buildServer()
+	s.RemoveZone("deep.example.com.")
+	resp := s.HandleDNS(query("x.deep.example.com.", dnswire.TypeA))
+	// Falls back to example.com zone → NXDOMAIN there.
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+// TestServeUDP exercises the real-socket path end to end on loopback.
+func TestServeUDP(t *testing.T) {
+	s := buildServer()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go s.ServeUDP(pc) //nolint:errcheck
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := query("www.example.com.", dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != q.ID || len(resp.Answer) != 1 {
+		t.Errorf("UDP response = %+v", resp)
+	}
+}
+
+// TestServeTCP exercises TCP framing over a real listener.
+func TestServeTCP(t *testing.T) {
+	s := buildServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go s.ServeTCP(ln) //nolint:errcheck
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	q := query("example.com.", dnswire.TypeHTTPS)
+	if err := dnswire.WriteTCP(conn, q); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.ReadTCP(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answer) != 1 || resp.Answer[0].Type != dnswire.TypeHTTPS {
+		t.Errorf("TCP response = %+v", resp)
+	}
+}

@@ -1,0 +1,171 @@
+// Package core orchestrates end-to-end reproduction campaigns: it builds a
+// simulated world, runs the paper's measurement schedules (daily snapshot
+// scans, name-server scans, hourly ECH scans, connectivity probes, the
+// DNSSEC validation census), and hands the collected dataset to the
+// analysis package.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/providers"
+	"repro/internal/scanner"
+)
+
+// CampaignConfig controls a measurement campaign.
+type CampaignConfig struct {
+	// Size is the Tranco list size of the generated world.
+	Size int
+	// Seed drives world generation.
+	Seed int64
+	// Start and End bound the daily-scan period; zero values mean the
+	// paper's full study period.
+	Start, End time.Time
+	// StepDays samples every Nth day (1 = daily like the paper; larger
+	// steps trade trend resolution for speed).
+	StepDays int
+	// Progress, when non-nil, receives one line per scanned day.
+	Progress io.Writer
+}
+
+// Campaign is a running reproduction: a world, its scanner, and the
+// collected data.
+type Campaign struct {
+	Cfg     CampaignConfig
+	World   *providers.World
+	Scanner *scanner.Scanner
+	Store   *dataset.Store
+}
+
+// NewCampaign builds the world and wires the scanner.
+func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
+	if cfg.Size == 0 {
+		cfg.Size = 20_000
+	}
+	if cfg.StepDays == 0 {
+		cfg.StepDays = 1
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = providers.StudyStart
+	}
+	if cfg.End.IsZero() {
+		cfg.End = providers.StudyEnd
+	}
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: cfg.Size, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("building world: %w", err)
+	}
+	sc := scanner.New(w.Net, w.GoogleAddr, w.CFResolverAddr, w.Whois)
+	return &Campaign{Cfg: cfg, World: w, Scanner: sc, Store: dataset.NewStore()}, nil
+}
+
+// connectivityProbeStart is when the §4.3.5 TLS probing experiment began.
+var connectivityProbeStart = time.Date(2024, 1, 24, 0, 0, 0, 0, time.UTC)
+
+// RunDaily executes the daily scan schedule over the campaign window.
+func (c *Campaign) RunDaily() error {
+	for day := c.Cfg.Start; !day.After(c.Cfg.End); day = day.AddDate(0, 0, c.Cfg.StepDays) {
+		if err := c.ScanDay(day); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanDay performs one day's full scan sequence.
+func (c *Campaign) ScanDay(day time.Time) error {
+	// Scans run mid-day so date-boundary schedules behave sharply.
+	c.World.Clock.Set(day.Add(12 * time.Hour))
+	list := c.World.Tranco.ListFor(day)
+	c.Store.AddTrancoList(day, list)
+
+	apexSnap := c.Scanner.ScanList(day, "apex", list)
+	c.Store.AddSnapshot(apexSnap)
+	wwwSnap := c.Scanner.ScanList(day, "www", list)
+	c.Store.AddSnapshot(wwwSnap)
+
+	if !day.Before(providers.NSScanStart) {
+		nsSnap := c.Scanner.ScanNameServers(day, apexSnap, wwwSnap)
+		c.Store.AddNSSnapshot(nsSnap)
+	}
+	if !day.Before(connectivityProbeStart) {
+		probes := c.Scanner.ProbeMismatches(day, apexSnap, c.World)
+		c.Store.AddProbes(probes...)
+	}
+	if c.Cfg.Progress != nil {
+		fmt.Fprintf(c.Cfg.Progress, "%s scanned: apex adopters %d/%d, www adopters %d/%d\n",
+			day.Format("2006-01-02"), len(apexSnap.Obs), apexSnap.Total,
+			len(wwwSnap.Obs), wwwSnap.Total)
+	}
+	return nil
+}
+
+// RunHourlyECH reproduces the §4.4.2 experiment: hourly scans of
+// ECH-publishing apex domains for the given number of days starting at
+// start (the paper used July 21–27, 2023).
+func (c *Campaign) RunHourlyECH(start time.Time, days int) {
+	// Discover the ECH population once.
+	c.World.Clock.Set(start)
+	list := c.World.Tranco.ListFor(start)
+	snap := c.Scanner.ScanList(start, "apex", list)
+	var echDomains []string
+	for name, obs := range snap.Obs {
+		for _, rec := range obs.HTTPS {
+			if rec.HasECH {
+				echDomains = append(echDomains, name)
+				break
+			}
+		}
+	}
+	for h := 0; h < days*24; h++ {
+		now := start.Add(time.Duration(h) * time.Hour)
+		c.World.Clock.Set(now)
+		// Fresh caches each hour, as the paper's scanner saw records
+		// refreshed by the 300s TTL.
+		c.World.GoogleResolver.FlushCache()
+		c.Store.AddECH(c.Scanner.ECHScan(now, echDomains)...)
+	}
+}
+
+// RunValidationCensus reproduces the Table 9 one-shot census (the paper ran
+// it on January 2nd, 2024): for every domain in that day's list, determine
+// HTTPS presence, signing, Cloudflare NS use, and full-chain validation.
+func (c *Campaign) RunValidationCensus(day time.Time) {
+	c.World.Clock.Set(day.Add(12 * time.Hour))
+	list := c.World.Tranco.ListFor(day)
+	r := c.World.GoogleResolver
+	for _, name := range list {
+		apex := dnswire.CanonicalName(name)
+		row := dataset.ValidationResult{Domain: apex}
+
+		httpsRRs, _, httpsOK := r.FetchRRset(apex, dnswire.TypeHTTPS)
+		row.HasHTTPS = httpsOK && len(httpsRRs) > 0
+
+		_, keySigs, keyOK := r.FetchRRset(apex, dnswire.TypeDNSKEY)
+		row.Signed = keyOK && len(keySigs) > 0
+
+		if nsRRs, _, ok := r.FetchRRset(apex, dnswire.TypeNS); ok {
+			for _, rr := range nsRRs {
+				if ns, ok := rr.Data.(*dnswire.NSData); ok &&
+					dnswire.IsSubdomain(ns.Host, c.World.Cloudflare.InfraDomain) {
+					row.CFNS = true
+				}
+			}
+		}
+		if row.Signed {
+			v := dnssec.NewValidator(r, c.World.Anchor, c.World.Clock.Now())
+			target := dnswire.TypeDNSKEY
+			if row.HasHTTPS {
+				target = dnswire.TypeHTTPS
+			}
+			res, _ := v.Validate(apex, target)
+			row.Result = res.String()
+		}
+		c.Store.AddValidation(row)
+	}
+}

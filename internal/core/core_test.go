@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func augCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	c, err := NewCampaign(CampaignConfig{
+		Size: 1200, Seed: 17,
+		Start:    time.Date(2023, 8, 16, 0, 0, 0, 0, time.UTC),
+		End:      time.Date(2023, 9, 20, 0, 0, 0, 0, time.UTC),
+		StepDays: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCampaignDefaults(t *testing.T) {
+	c, err := NewCampaign(CampaignConfig{Size: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cfg.StepDays != 1 {
+		t.Errorf("default StepDays = %d", c.Cfg.StepDays)
+	}
+	if c.Cfg.Start.IsZero() || c.Cfg.End.IsZero() {
+		t.Error("default window not applied")
+	}
+	if !c.Cfg.Start.Equal(time.Date(2023, 5, 8, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("start = %v", c.Cfg.Start)
+	}
+}
+
+func TestRunDailyCollectsAllDatasets(t *testing.T) {
+	c := augCampaign(t)
+	var progress bytes.Buffer
+	c.Cfg.Progress = &progress
+	if err := c.RunDaily(); err != nil {
+		t.Fatal(err)
+	}
+	apexDays := c.Store.Days("apex")
+	wwwDays := c.Store.Days("www")
+	if len(apexDays) != 6 || len(wwwDays) != 6 {
+		t.Fatalf("days: apex=%d www=%d, want 6", len(apexDays), len(wwwDays))
+	}
+	// NS snapshots collected (window starts 2023-08-16).
+	if len(c.Store.NSDays()) != 6 {
+		t.Errorf("NS days = %d", len(c.Store.NSDays()))
+	}
+	// Tranco lists stored alongside.
+	if _, ok := c.Store.TrancoListFor(apexDays[0]); !ok {
+		t.Error("tranco list missing")
+	}
+	// Adopter ratio in a plausible band.
+	snap, _ := c.Store.SnapshotFor("apex", apexDays[0])
+	ratio := float64(len(snap.Obs)) / float64(snap.Total)
+	if ratio < 0.10 || ratio > 0.40 {
+		t.Errorf("adopter ratio = %.2f", ratio)
+	}
+	if !strings.Contains(progress.String(), "scanned") {
+		t.Error("progress output missing")
+	}
+}
+
+func TestHourlyECHCadence(t *testing.T) {
+	c := augCampaign(t)
+	start := time.Date(2023, 8, 20, 0, 0, 0, 0, time.UTC)
+	c.RunHourlyECH(start, 1)
+	obs := c.Store.ECHObservations()
+	if len(obs) == 0 {
+		t.Fatal("no hourly ECH observations")
+	}
+	// Observations must cover 24 distinct hours.
+	hours := map[int64]bool{}
+	for _, o := range obs {
+		hours[o.Time.Unix()/3600] = true
+	}
+	if len(hours) != 24 {
+		t.Errorf("hourly coverage = %d hours, want 24", len(hours))
+	}
+	// Multiple distinct keys must appear within a day (76-minute period).
+	keys := map[uint64]bool{}
+	for _, o := range obs {
+		keys[o.KeyHash] = true
+	}
+	if len(keys) < 10 {
+		t.Errorf("distinct keys in 24h = %d, want ≈19", len(keys))
+	}
+}
+
+func TestValidationCensusClassification(t *testing.T) {
+	c := augCampaign(t)
+	c.RunValidationCensus(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
+	rows := c.Store.Validation()
+	if len(rows) != 1200 {
+		t.Fatalf("census rows = %d", len(rows))
+	}
+	var signed, secure, insecure, withHTTPS int
+	for _, r := range rows {
+		if r.HasHTTPS {
+			withHTTPS++
+		}
+		if r.Signed {
+			signed++
+			switch r.Result {
+			case "secure":
+				secure++
+			case "insecure":
+				insecure++
+			case "bogus":
+				t.Errorf("bogus validation for %s", r.Domain)
+			}
+		} else if r.Result != "" {
+			t.Errorf("unsigned domain %s has result %q", r.Domain, r.Result)
+		}
+	}
+	if signed == 0 || withHTTPS == 0 {
+		t.Fatalf("census empty: signed=%d https=%d", signed, withHTTPS)
+	}
+	if secure+insecure != signed {
+		t.Errorf("secure(%d)+insecure(%d) != signed(%d)", secure, insecure, signed)
+	}
+}

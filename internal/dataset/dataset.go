@@ -1,0 +1,319 @@
+// Package dataset holds the measurement campaign's collected data: daily
+// snapshots of per-domain DNS observations (compact summaries, not raw
+// messages), name-server observations with WHOIS attribution, hourly ECH
+// observations, TLS connectivity probe results, and the one-shot DNSSEC
+// validation census — the in-memory equivalent of the paper's Table 1
+// datasets, with JSON export.
+package dataset
+
+import (
+	"encoding/json"
+	"io"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HTTPSRecord is the compact summary of one observed HTTPS resource record.
+type HTTPSRecord struct {
+	Priority uint16       `json:"priority"`
+	Target   string       `json:"target"`
+	ALPN     []string     `json:"alpn,omitempty"`
+	NoDefALPN bool        `json:"no_default_alpn,omitempty"`
+	Port     uint16       `json:"port,omitempty"`
+	HasPort  bool         `json:"has_port,omitempty"`
+	V4Hints  []netip.Addr `json:"ipv4hint,omitempty"`
+	V6Hints  []netip.Addr `json:"ipv6hint,omitempty"`
+	HasECH   bool         `json:"ech,omitempty"`
+	// ECHConfigID and ECHKeyHash identify the ECH key for rotation
+	// tracking without storing the full config.
+	ECHConfigID uint8  `json:"ech_config_id,omitempty"`
+	ECHKeyHash  uint64 `json:"ech_key_hash,omitempty"`
+	ECHPublicName string `json:"ech_public_name,omitempty"`
+}
+
+// AliasMode reports whether the record is in AliasMode.
+func (r HTTPSRecord) AliasMode() bool { return r.Priority == 0 }
+
+// Observation is one domain's scan result on one day.
+type Observation struct {
+	Name string `json:"name"`
+	// Rank is the domain's Tranco rank that day (1-based).
+	Rank int `json:"rank"`
+	// Err records a resolution failure ("" on success).
+	Err string `json:"err,omitempty"`
+
+	HTTPS []HTTPSRecord `json:"https,omitempty"`
+	// Signed: RRSIG records accompanied the HTTPS RRset.
+	Signed bool `json:"signed,omitempty"`
+	// AD: the resolver set the Authenticated Data bit.
+	AD bool `json:"ad,omitempty"`
+	// CNAMEChain lists CNAME targets chased during the HTTPS query.
+	CNAMEChain []string `json:"cname_chain,omitempty"`
+
+	A    []netip.Addr `json:"a,omitempty"`
+	AAAA []netip.Addr `json:"aaaa,omitempty"`
+	NS   []string     `json:"ns,omitempty"`
+	HasSOA bool       `json:"has_soa,omitempty"`
+}
+
+// HasHTTPS reports whether any HTTPS record was observed.
+func (o *Observation) HasHTTPS() bool { return len(o.HTTPS) > 0 }
+
+// Snapshot is one day's scan of one list.
+type Snapshot struct {
+	Date time.Time `json:"date"`
+	// Kind is "apex" or "www".
+	Kind string `json:"kind"`
+	// Total is the number of domains scanned.
+	Total int `json:"total"`
+	// Obs holds the observations for domains with HTTPS records (plus
+	// errors); clean no-HTTPS domains are only counted in Total.
+	Obs map[string]*Observation `json:"obs"`
+}
+
+// NSObservation records one name server host's resolution + attribution.
+type NSObservation struct {
+	Host  string       `json:"host"`
+	Addrs []netip.Addr `json:"addrs"`
+	// Org is the WHOIS-attributed operator ("" if inconclusive).
+	Org string `json:"org"`
+}
+
+// NSSnapshot is one day's name-server scan.
+type NSSnapshot struct {
+	Date    time.Time                 `json:"date"`
+	Servers map[string]*NSObservation `json:"servers"`
+}
+
+// ECHObservation is one hourly-scan data point.
+type ECHObservation struct {
+	Time       time.Time `json:"time"`
+	Domain     string    `json:"domain"`
+	ConfigID   uint8     `json:"config_id"`
+	KeyHash    uint64    `json:"key_hash"`
+	PublicName string    `json:"public_name"`
+}
+
+// ProbeResult is one §4.3.5 connectivity experiment data point.
+type ProbeResult struct {
+	Date   time.Time `json:"date"`
+	Domain string    `json:"domain"`
+	// Mismatch: the hint and A addresses differed at probe time.
+	Mismatch bool `json:"mismatch"`
+	HintAddr netip.Addr `json:"hint_addr"`
+	AAddr    netip.Addr `json:"a_addr"`
+	HintOK   bool       `json:"hint_ok"`
+	AOK      bool       `json:"a_ok"`
+}
+
+// ValidationResult is one row of the one-shot DNSSEC census (Table 9).
+type ValidationResult struct {
+	Domain   string `json:"domain"`
+	HasHTTPS bool   `json:"has_https"`
+	CFNS     bool   `json:"cf_ns"`
+	Signed   bool   `json:"signed"`
+	// Result is "secure", "insecure", "bogus" or "indeterminate".
+	Result string `json:"result"`
+}
+
+// Store accumulates a campaign's data.
+type Store struct {
+	mu sync.RWMutex
+
+	apex map[int64]*Snapshot // keyed by unix day
+	www  map[int64]*Snapshot
+	ns   map[int64]*NSSnapshot
+
+	ech        []ECHObservation
+	probes     []ProbeResult
+	validation []ValidationResult
+
+	// TrancoLists preserves each day's ranked list for overlap analysis.
+	trancoLists map[int64][]string
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		apex:        map[int64]*Snapshot{},
+		www:         map[int64]*Snapshot{},
+		ns:          map[int64]*NSSnapshot{},
+		trancoLists: map[int64][]string{},
+	}
+}
+
+func dayKey(t time.Time) int64 { return t.UTC().Truncate(24 * time.Hour).Unix() }
+
+// AddSnapshot stores a daily snapshot.
+func (s *Store) AddSnapshot(snap *Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch snap.Kind {
+	case "www":
+		s.www[dayKey(snap.Date)] = snap
+	default:
+		s.apex[dayKey(snap.Date)] = snap
+	}
+}
+
+// AddNSSnapshot stores a daily name-server snapshot.
+func (s *Store) AddNSSnapshot(snap *NSSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ns[dayKey(snap.Date)] = snap
+}
+
+// AddTrancoList stores the day's ranked list.
+func (s *Store) AddTrancoList(date time.Time, list []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trancoLists[dayKey(date)] = list
+}
+
+// AddECH appends hourly ECH observations.
+func (s *Store) AddECH(obs ...ECHObservation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ech = append(s.ech, obs...)
+}
+
+// AddProbes appends connectivity probe results.
+func (s *Store) AddProbes(res ...ProbeResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes = append(s.probes, res...)
+}
+
+// AddValidation appends DNSSEC census rows.
+func (s *Store) AddValidation(res ...ValidationResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.validation = append(s.validation, res...)
+}
+
+// Days returns the sorted scan dates present for the given kind.
+func (s *Store) Days(kind string) []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.apex
+	if kind == "www" {
+		m = s.www
+	}
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]time.Time, len(keys))
+	for i, k := range keys {
+		out[i] = time.Unix(k, 0).UTC()
+	}
+	return out
+}
+
+// SnapshotFor returns the snapshot for (kind, date).
+func (s *Store) SnapshotFor(kind string, date time.Time) (*Snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.apex
+	if kind == "www" {
+		m = s.www
+	}
+	snap, ok := m[dayKey(date)]
+	return snap, ok
+}
+
+// NSDays returns the sorted dates with name-server snapshots.
+func (s *Store) NSDays() []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]int64, 0, len(s.ns))
+	for k := range s.ns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]time.Time, len(keys))
+	for i, k := range keys {
+		out[i] = time.Unix(k, 0).UTC()
+	}
+	return out
+}
+
+// NSSnapshotFor returns the name-server snapshot for a date.
+func (s *Store) NSSnapshotFor(date time.Time) (*NSSnapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap, ok := s.ns[dayKey(date)]
+	return snap, ok
+}
+
+// TrancoListFor returns the stored ranked list for a date.
+func (s *Store) TrancoListFor(date time.Time) ([]string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.trancoLists[dayKey(date)]
+	return l, ok
+}
+
+// ECHObservations returns all hourly ECH data points.
+func (s *Store) ECHObservations() []ECHObservation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]ECHObservation(nil), s.ech...)
+}
+
+// Probes returns all connectivity probe results.
+func (s *Store) Probes() []ProbeResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]ProbeResult(nil), s.probes...)
+}
+
+// Validation returns the DNSSEC census.
+func (s *Store) Validation() []ValidationResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]ValidationResult(nil), s.validation...)
+}
+
+// export is the JSON layout for WriteJSON.
+type export struct {
+	Apex       []*Snapshot        `json:"apex"`
+	WWW        []*Snapshot        `json:"www"`
+	NS         []*NSSnapshot      `json:"ns"`
+	ECH        []ECHObservation   `json:"ech"`
+	Probes     []ProbeResult      `json:"probes"`
+	Validation []ValidationResult `json:"validation"`
+}
+
+// WriteJSON serialises the whole store.
+func (s *Store) WriteJSON(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var e export
+	for _, day := range sortedKeys(s.apex) {
+		e.Apex = append(e.Apex, s.apex[day])
+	}
+	for _, day := range sortedKeys(s.www) {
+		e.WWW = append(e.WWW, s.www[day])
+	}
+	for _, day := range sortedKeys(s.ns) {
+		e.NS = append(e.NS, s.ns[day])
+	}
+	e.ECH = s.ech
+	e.Probes = s.probes
+	e.Validation = s.validation
+	enc := json.NewEncoder(w)
+	return enc.Encode(&e)
+}
+
+func sortedKeys[V any](m map[int64]V) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

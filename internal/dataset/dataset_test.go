@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func day(y, m, d int) time.Time { return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC) }
+
+func sampleSnapshot(date time.Time, kind string) *Snapshot {
+	return &Snapshot{
+		Date: date, Kind: kind, Total: 100,
+		Obs: map[string]*Observation{
+			"a.com.": {
+				Name: "a.com.", Rank: 1,
+				HTTPS: []HTTPSRecord{{Priority: 1, Target: ".", ALPN: []string{"h2"},
+					V4Hints: []netip.Addr{netip.MustParseAddr("1.2.3.4")}}},
+				Signed: true, AD: true,
+				A: []netip.Addr{netip.MustParseAddr("1.2.3.4")},
+			},
+		},
+	}
+}
+
+func TestSnapshotStorageAndDays(t *testing.T) {
+	s := NewStore()
+	d1, d2 := day(2023, 5, 8), day(2023, 5, 9)
+	s.AddSnapshot(sampleSnapshot(d1, "apex"))
+	s.AddSnapshot(sampleSnapshot(d2, "apex"))
+	s.AddSnapshot(sampleSnapshot(d1, "www"))
+
+	days := s.Days("apex")
+	if len(days) != 2 || !days[0].Equal(d1) || !days[1].Equal(d2) {
+		t.Fatalf("Days = %v", days)
+	}
+	if len(s.Days("www")) != 1 {
+		t.Error("www days wrong")
+	}
+	snap, ok := s.SnapshotFor("apex", d1)
+	if !ok || snap.Total != 100 {
+		t.Fatalf("SnapshotFor = %+v, %v", snap, ok)
+	}
+	if _, ok := s.SnapshotFor("apex", day(2024, 1, 1)); ok {
+		t.Error("phantom snapshot")
+	}
+	// Same-day replacement.
+	s.AddSnapshot(&Snapshot{Date: d1.Add(3 * time.Hour), Kind: "apex", Total: 7, Obs: map[string]*Observation{}})
+	snap, _ = s.SnapshotFor("apex", d1)
+	if snap.Total != 7 {
+		t.Error("same-day snapshot not replaced")
+	}
+}
+
+func TestNSAndTrancoStorage(t *testing.T) {
+	s := NewStore()
+	d := day(2023, 10, 11)
+	s.AddNSSnapshot(&NSSnapshot{Date: d, Servers: map[string]*NSObservation{
+		"ns1.x.com.": {Host: "ns1.x.com.", Org: "Cloudflare"},
+	}})
+	s.AddTrancoList(d, []string{"a.com", "b.com"})
+
+	if len(s.NSDays()) != 1 {
+		t.Fatal("NSDays wrong")
+	}
+	snap, ok := s.NSSnapshotFor(d)
+	if !ok || snap.Servers["ns1.x.com."].Org != "Cloudflare" {
+		t.Fatalf("NSSnapshotFor = %+v, %v", snap, ok)
+	}
+	list, ok := s.TrancoListFor(d)
+	if !ok || len(list) != 2 {
+		t.Fatalf("TrancoListFor = %v, %v", list, ok)
+	}
+}
+
+func TestAppendersAndCopies(t *testing.T) {
+	s := NewStore()
+	s.AddECH(ECHObservation{Domain: "a.com.", KeyHash: 1})
+	s.AddProbes(ProbeResult{Domain: "a.com.", Mismatch: true})
+	s.AddValidation(ValidationResult{Domain: "a.com.", Signed: true, Result: "insecure"})
+
+	if len(s.ECHObservations()) != 1 || len(s.Probes()) != 1 || len(s.Validation()) != 1 {
+		t.Fatal("appenders broken")
+	}
+	// Returned slices are copies.
+	probes := s.Probes()
+	probes[0].Domain = "evil.com."
+	if s.Probes()[0].Domain != "a.com." {
+		t.Error("Probes aliases internal state")
+	}
+}
+
+func TestObservationHasHTTPS(t *testing.T) {
+	o := &Observation{}
+	if o.HasHTTPS() {
+		t.Error("empty observation has HTTPS")
+	}
+	o.HTTPS = []HTTPSRecord{{Priority: 0, Target: "b.com."}}
+	if !o.HasHTTPS() {
+		t.Error("observation with record lacks HTTPS")
+	}
+	if !o.HTTPS[0].AliasMode() {
+		t.Error("priority 0 not AliasMode")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	s := NewStore()
+	d := day(2023, 5, 8)
+	s.AddSnapshot(sampleSnapshot(d, "apex"))
+	s.AddSnapshot(sampleSnapshot(d, "www"))
+	s.AddNSSnapshot(&NSSnapshot{Date: d, Servers: map[string]*NSObservation{}})
+	s.AddECH(ECHObservation{Time: d, Domain: "a.com.", KeyHash: 42})
+	s.AddValidation(ValidationResult{Domain: "a.com.", Result: "secure"})
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"apex", "www", "ns", "ech", "validation"} {
+		if decoded[key] == nil {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package dnssec
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+var (
+	testNow        = time.Date(2024, 1, 2, 0, 0, 0, 0, time.UTC)
+	testInception  = testNow.Add(-24 * time.Hour)
+	testExpiration = testNow.Add(30 * 24 * time.Hour)
+)
+
+func testRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestKeyTagMatchesDNSKEY(t *testing.T) {
+	key, err := GenerateKey(testRNG(1), "example.com", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := key.DNSKEY(3600)
+	data := rr.Data.(*dnswire.DNSKEYData)
+	if key.KeyTag() != data.KeyTag() {
+		t.Error("KeyTag mismatch between KeyPair and DNSKEYData")
+	}
+	if !data.IsKSK() {
+		t.Error("KSK flag not set")
+	}
+	zsk, _ := GenerateKey(testRNG(2), "example.com", false)
+	if zsk.DNSKEY(0).Data.(*dnswire.DNSKEYData).IsKSK() {
+		t.Error("ZSK has SEP flag")
+	}
+}
+
+func TestSignVerifyRRset(t *testing.T) {
+	key, err := GenerateKey(testRNG(3), "example.com", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs := []dnswire.RR{
+		{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+			Data: &dnswire.AData{Addr: netip.MustParseAddr("1.2.3.4")}},
+		{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+			Data: &dnswire.AData{Addr: netip.MustParseAddr("5.6.7.8")}},
+	}
+	sig, err := SignRRset(testRNG(4), key, rrs, testInception, testExpiration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRRSIG(sig, rrs, key.DNSKEY(3600), testNow); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+	// Order must not matter (canonical ordering).
+	swapped := []dnswire.RR{rrs[1], rrs[0]}
+	if err := VerifyRRSIG(sig, swapped, key.DNSKEY(3600), testNow); err != nil {
+		t.Errorf("reordered RRset rejected: %v", err)
+	}
+	// TTL must not matter (original TTL is in the RRSIG).
+	bumped := []dnswire.RR{rrs[0].Clone(), rrs[1].Clone()}
+	bumped[0].TTL, bumped[1].TTL = 150, 150
+	if err := VerifyRRSIG(sig, bumped, key.DNSKEY(3600), testNow); err != nil {
+		t.Errorf("TTL-decayed RRset rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	key, _ := GenerateKey(testRNG(5), "example.com", false)
+	rrs := []dnswire.RR{{Name: "a.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.AData{Addr: netip.MustParseAddr("1.2.3.4")}}}
+	sig, err := SignRRset(testRNG(6), key, rrs, testInception, testExpiration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := []dnswire.RR{rrs[0].Clone()}
+	tampered[0].Data = &dnswire.AData{Addr: netip.MustParseAddr("6.6.6.6")}
+	if err := VerifyRRSIG(sig, tampered, key.DNSKEY(3600), testNow); err == nil {
+		t.Error("tampered RRset verified")
+	}
+	// Corrupt the signature bytes.
+	badSig := sig.Clone()
+	badSig.Data.(*dnswire.RRSIGData).Signature[10] ^= 0xff
+	if err := VerifyRRSIG(badSig, rrs, key.DNSKEY(3600), testNow); err == nil {
+		t.Error("corrupted signature verified")
+	}
+	// Wrong key.
+	other, _ := GenerateKey(testRNG(7), "example.com", false)
+	if err := VerifyRRSIG(sig, rrs, other.DNSKEY(3600), testNow); err == nil {
+		t.Error("signature verified with unrelated key")
+	}
+}
+
+func TestVerifyValidityWindow(t *testing.T) {
+	key, _ := GenerateKey(testRNG(8), "example.com", false)
+	rrs := []dnswire.RR{{Name: "a.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.AData{Addr: netip.MustParseAddr("1.2.3.4")}}}
+	sig, err := SignRRset(testRNG(9), key, rrs, testInception, testExpiration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRRSIG(sig, rrs, key.DNSKEY(3600), testExpiration.Add(time.Hour)); err != ErrExpired {
+		t.Errorf("expired signature: err = %v", err)
+	}
+	if err := VerifyRRSIG(sig, rrs, key.DNSKEY(3600), testInception.Add(-time.Hour)); err != ErrExpired {
+		t.Errorf("not-yet-valid signature: err = %v", err)
+	}
+}
+
+func TestDSMatching(t *testing.T) {
+	key, _ := GenerateKey(testRNG(10), "example.com", true)
+	ds, err := key.DS(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MatchesDS(key.DNSKEY(3600), ds) {
+		t.Error("DS does not match its own DNSKEY")
+	}
+	other, _ := GenerateKey(testRNG(11), "example.com", true)
+	if MatchesDS(other.DNSKEY(3600), ds) {
+		t.Error("DS matched unrelated DNSKEY")
+	}
+}
+
+// testWorld builds a three-level signed hierarchy: . → com. → example.com.
+type testWorld struct {
+	records map[string][]dnswire.RR // key: name|type for RRsets
+	sigs    map[string][]dnswire.RR
+	rootKey *KeyPair
+	zoneKey map[string]*KeyPair
+}
+
+func rrKey(name string, t dnswire.Type) string {
+	return dnswire.CanonicalName(name) + "|" + t.String()
+}
+
+func (w *testWorld) FetchRRset(name string, t dnswire.Type) ([]dnswire.RR, []dnswire.RR, bool) {
+	rrs, ok := w.records[rrKey(name, t)]
+	return rrs, w.sigs[rrKey(name, t)], ok
+}
+
+func (w *testWorld) add(t *testing.T, signer *KeyPair, rrs ...dnswire.RR) {
+	t.Helper()
+	k := rrKey(rrs[0].Name, rrs[0].Type)
+	w.records[k] = rrs
+	if signer != nil {
+		sig, err := SignRRset(testRNG(999), signer, rrs, testInception, testExpiration)
+		if err != nil {
+			t.Fatalf("signing %s: %v", k, err)
+		}
+		w.sigs[k] = []dnswire.RR{sig}
+	}
+}
+
+func buildWorld(t *testing.T, signExample bool, uploadDS bool) *testWorld {
+	t.Helper()
+	w := &testWorld{
+		records: map[string][]dnswire.RR{},
+		sigs:    map[string][]dnswire.RR{},
+		zoneKey: map[string]*KeyPair{},
+	}
+	var err error
+	w.rootKey, err = GenerateKey(testRNG(20), ".", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comKey, _ := GenerateKey(testRNG(21), "com.", true)
+	exKey, _ := GenerateKey(testRNG(22), "example.com.", true)
+	w.zoneKey["com."] = comKey
+	w.zoneKey["example.com."] = exKey
+
+	ns := func(zone, host string) dnswire.RR {
+		return dnswire.RR{Name: zone, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600,
+			Data: &dnswire.NSData{Host: host}}
+	}
+	// Root zone: self-signed DNSKEY, NS, DS for com.
+	w.add(t, w.rootKey, w.rootKey.DNSKEY(3600))
+	w.add(t, w.rootKey, ns(".", "a.root-servers.net."))
+	comDS, _ := comKey.DS(3600)
+	w.add(t, w.rootKey, comDS)
+
+	// com zone.
+	w.add(t, comKey, comKey.DNSKEY(3600))
+	w.add(t, comKey, ns("com.", "a.gtld-servers.net."))
+	if uploadDS {
+		exDS, _ := exKey.DS(3600)
+		w.add(t, comKey, exDS)
+	}
+
+	// example.com zone.
+	w.add(t, exKey, ns("example.com.", "ns1.example.com."))
+	a := dnswire.RR{Name: "www.example.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.AData{Addr: netip.MustParseAddr("93.184.216.34")}}
+	if signExample {
+		w.add(t, exKey, exKey.DNSKEY(3600))
+		w.add(t, exKey, a)
+	} else {
+		w.add(t, nil, a)
+	}
+	return w
+}
+
+func TestValidateSecureChain(t *testing.T) {
+	w := buildWorld(t, true, true)
+	v := NewValidator(w, w.records[rrKey(".", dnswire.TypeDNSKEY)], testNow)
+	res, err := v.Validate("www.example.com.", dnswire.TypeA)
+	if res != Secure {
+		t.Errorf("Validate = %v (%v), want secure", res, err)
+	}
+}
+
+func TestValidateInsecureMissingDS(t *testing.T) {
+	// example.com signs its records but never uploaded DS to com: the
+	// misconfiguration behind the paper's 49.4% insecure ratio.
+	w := buildWorld(t, true, false)
+	v := NewValidator(w, w.records[rrKey(".", dnswire.TypeDNSKEY)], testNow)
+	res, err := v.Validate("www.example.com.", dnswire.TypeA)
+	if res != Insecure {
+		t.Errorf("Validate = %v (%v), want insecure", res, err)
+	}
+}
+
+func TestValidateBogusTamperedRecord(t *testing.T) {
+	w := buildWorld(t, true, true)
+	// An attacker swaps the A record without being able to re-sign.
+	k := rrKey("www.example.com.", dnswire.TypeA)
+	w.records[k][0].Data = &dnswire.AData{Addr: netip.MustParseAddr("6.6.6.6")}
+	v := NewValidator(w, w.records[rrKey(".", dnswire.TypeDNSKEY)], testNow)
+	res, _ := v.Validate("www.example.com.", dnswire.TypeA)
+	if res != Bogus {
+		t.Errorf("Validate = %v, want bogus", res)
+	}
+}
+
+func TestValidateBogusUnsignedInSignedZone(t *testing.T) {
+	w := buildWorld(t, true, true)
+	// Strip the RRSIG of the target RRset while the zone stays signed.
+	delete(w.sigs, rrKey("www.example.com.", dnswire.TypeA))
+	v := NewValidator(w, w.records[rrKey(".", dnswire.TypeDNSKEY)], testNow)
+	res, _ := v.Validate("www.example.com.", dnswire.TypeA)
+	if res != Bogus {
+		t.Errorf("Validate = %v, want bogus", res)
+	}
+}
+
+func TestValidateBogusWrongAnchor(t *testing.T) {
+	w := buildWorld(t, true, true)
+	evil, _ := GenerateKey(testRNG(66), ".", true)
+	v := NewValidator(w, []dnswire.RR{evil.DNSKEY(3600)}, testNow)
+	res, _ := v.Validate("www.example.com.", dnswire.TypeA)
+	if res != Bogus {
+		t.Errorf("Validate = %v, want bogus", res)
+	}
+}
+
+func TestValidateIndeterminateMissing(t *testing.T) {
+	w := buildWorld(t, true, true)
+	v := NewValidator(w, w.records[rrKey(".", dnswire.TypeDNSKEY)], testNow)
+	res, _ := v.Validate("missing.example.com.", dnswire.TypeA)
+	if res != Indeterminate {
+		t.Errorf("Validate = %v, want indeterminate", res)
+	}
+}
+
+func TestValidateHTTPSRecordChain(t *testing.T) {
+	// The paper's target record type end-to-end: a signed HTTPS record.
+	w := buildWorld(t, true, true)
+	exKey := w.zoneKey["example.com."]
+	httpsRR := dnswire.RR{Name: "example.com.", Type: dnswire.TypeHTTPS,
+		Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SVCBData{Priority: 1, Target: "."}}
+	w.add(t, exKey, httpsRR)
+	v := NewValidator(w, w.records[rrKey(".", dnswire.TypeDNSKEY)], testNow)
+	res, err := v.Validate("example.com.", dnswire.TypeHTTPS)
+	if res != Secure {
+		t.Errorf("Validate HTTPS = %v (%v), want secure", res, err)
+	}
+}

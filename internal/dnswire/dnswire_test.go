@@ -1,0 +1,409 @@
+package dnswire
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/svcb"
+)
+
+func TestCanonicalName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "."},
+		{".", "."},
+		{"Example.COM", "example.com."},
+		{"example.com.", "example.com."},
+		{" www.a.com ", "www.a.com."},
+	}
+	for _, c := range cases {
+		if got := CanonicalName(c.in); got != c.want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if got := ParentName("www.example.com."); got != "example.com." {
+		t.Errorf("ParentName = %q", got)
+	}
+	if got := ParentName("com."); got != "." {
+		t.Errorf("ParentName(com.) = %q", got)
+	}
+	if !IsSubdomain("a.b.com", "b.com") || !IsSubdomain("b.com", "b.com") || !IsSubdomain("x.y", ".") {
+		t.Error("IsSubdomain false negatives")
+	}
+	if IsSubdomain("ab.com", "b.com") {
+		t.Error("IsSubdomain matched partial label")
+	}
+	if got := ApexOf("a.b.example.com."); got != "example.com." {
+		t.Errorf("ApexOf = %q", got)
+	}
+	if got := CountLabels("www.example.com."); got != 3 {
+		t.Errorf("CountLabels = %d", got)
+	}
+	if got := CountLabels("."); got != 0 {
+		t.Errorf("CountLabels(.) = %d", got)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	if err := ValidateName("example.com"); err != nil {
+		t.Errorf("valid name rejected: %v", err)
+	}
+	if err := ValidateName(strings.Repeat("a", 64) + ".com"); err == nil {
+		t.Error("overlong label accepted")
+	}
+	long := strings.Repeat("aaaaaaaaaa.", 26) // 286 bytes
+	if err := ValidateName(long); err == nil {
+		t.Error("overlong name accepted")
+	}
+}
+
+func TestNameWireRoundTrip(t *testing.T) {
+	names := []string{".", "com.", "example.com.", "a.very.deep.sub.domain.example.org."}
+	for _, name := range names {
+		wire, err := packName(nil, name, nil)
+		if err != nil {
+			t.Fatalf("packName(%q): %v", name, err)
+		}
+		got, off, err := unpackName(wire, 0)
+		if err != nil {
+			t.Fatalf("unpackName(%q): %v", name, err)
+		}
+		if got != name || off != len(wire) {
+			t.Errorf("round trip %q = %q (off %d of %d)", name, got, off, len(wire))
+		}
+	}
+}
+
+func TestNameCompression(t *testing.T) {
+	cmap := compressionMap{}
+	buf, err := packName(nil, "www.example.com.", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncompressedLen := len(buf)
+	buf, err = packName(buf, "mail.example.com.", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second name should use a pointer: "mail" label (5 bytes) + 2-byte ptr.
+	if len(buf)-uncompressedLen != 7 {
+		t.Errorf("compression not applied: second name used %d bytes", len(buf)-uncompressedLen)
+	}
+	name, _, err := unpackName(buf, uncompressedLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "mail.example.com." {
+		t.Errorf("decompressed = %q", name)
+	}
+}
+
+func TestUnpackNameLoopGuard(t *testing.T) {
+	// Pointer to self: 0xc000 at offset 0 would point to itself; our decoder
+	// requires pointers to point strictly backwards.
+	msg := []byte{0xc0, 0x00}
+	if _, _, err := unpackName(msg, 0); err == nil {
+		t.Error("self-pointer accepted")
+	}
+}
+
+func testRRs() []RR {
+	mustAddr := netip.MustParseAddr
+	var params svcb.Params
+	_ = params.SetALPN([]string{"h2", "h3"})
+	_ = params.SetIPv4Hints([]netip.Addr{mustAddr("104.16.132.229")})
+	params.SetECH([]byte{0, 5, 1, 2, 3, 4, 5})
+	return []RR{
+		{Name: "a.com.", Type: TypeA, Class: ClassINET, TTL: 300, Data: &AData{Addr: mustAddr("1.2.3.4")}},
+		{Name: "a.com.", Type: TypeAAAA, Class: ClassINET, TTL: 300, Data: &AAAAData{Addr: mustAddr("2606:4700::1")}},
+		{Name: "b.com.", Type: TypeCNAME, Class: ClassINET, TTL: 60, Data: &CNAMEData{Target: "a.com."}},
+		{Name: "a.com.", Type: TypeNS, Class: ClassINET, TTL: 86400, Data: &NSData{Host: "ns1.a.com."}},
+		{Name: "a.com.", Type: TypeSOA, Class: ClassINET, TTL: 3600, Data: &SOAData{
+			MName: "ns1.a.com.", RName: "hostmaster.a.com.", Serial: 2024010101,
+			Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300}},
+		{Name: "a.com.", Type: TypeTXT, Class: ClassINET, TTL: 300, Data: &TXTData{Strings: []string{"v=spf1 -all", "x"}}},
+		{Name: "a.com.", Type: TypeMX, Class: ClassINET, TTL: 300, Data: &MXData{Preference: 10, Host: "mx.a.com."}},
+		{Name: "_https._tcp.a.com.", Type: TypeSRV, Class: ClassINET, TTL: 300, Data: &SRVData{
+			Priority: 1, Weight: 5, Port: 443, Target: "a.com."}},
+		{Name: "sub.a.com.", Type: TypeDNAME, Class: ClassINET, TTL: 300, Data: &DNAMEData{Target: "other.net."}},
+		{Name: "a.com.", Type: TypeHTTPS, Class: ClassINET, TTL: 300, Data: &SVCBData{
+			Priority: 1, Target: ".", Params: params}},
+		{Name: "a.com.", Type: TypeHTTPS, Class: ClassINET, TTL: 300, Data: &SVCBData{
+			Priority: 0, Target: "b.com."}},
+		{Name: "a.com.", Type: TypeDS, Class: ClassINET, TTL: 3600, Data: &DSData{
+			KeyTag: 12345, Algorithm: AlgECDSAP256SHA256, DigestType: DigestSHA256,
+			Digest: bytes.Repeat([]byte{0xab}, 32)}},
+		{Name: "a.com.", Type: TypeDNSKEY, Class: ClassINET, TTL: 3600, Data: &DNSKEYData{
+			Flags: DNSKEYFlagZone | DNSKEYFlagSEP, Protocol: 3, Algorithm: AlgECDSAP256SHA256,
+			PublicKey: bytes.Repeat([]byte{0xcd}, 64)}},
+		{Name: "a.com.", Type: TypeRRSIG, Class: ClassINET, TTL: 300, Data: &RRSIGData{
+			TypeCovered: TypeHTTPS, Algorithm: AlgECDSAP256SHA256, Labels: 2,
+			OriginalTTL: 300, Expiration: 1700000000, Inception: 1690000000,
+			KeyTag: 4242, SignerName: "a.com.", Signature: bytes.Repeat([]byte{0xef}, 64)}},
+		{Name: "a.com.", Type: TypeNSEC, Class: ClassINET, TTL: 300, Data: &NSECData{
+			NextName: "b.a.com.", Types: []Type{TypeA, TypeRRSIG, TypeNSEC, TypeHTTPS}}},
+	}
+}
+
+func TestRRWireRoundTrip(t *testing.T) {
+	for _, rr := range testRRs() {
+		wire, err := PackRR(rr)
+		if err != nil {
+			t.Fatalf("PackRR(%s): %v", rr.Type, err)
+		}
+		got, off, err := unpackRR(wire, 0)
+		if err != nil {
+			t.Fatalf("unpackRR(%s): %v", rr.Type, err)
+		}
+		if off != len(wire) {
+			t.Errorf("%s: trailing bytes after unpack", rr.Type)
+		}
+		if !reflect.DeepEqual(got, rr) {
+			t.Errorf("%s round trip:\n got %+v\nwant %+v", rr.Type, got, rr)
+		}
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := NewQuery(4242, "Example.COM", TypeHTTPS, true)
+	m.Answer = testRRs()[:4]
+	m.Authority = []RR{testRRs()[4]}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 4242 || !got.RecursionDesired || got.Response {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Question) != 1 || got.Question[0].Name != "example.com." || got.Question[0].Type != TypeHTTPS {
+		t.Errorf("question mismatch: %+v", got.Question)
+	}
+	if !reflect.DeepEqual(got.Answer, m.Answer) {
+		t.Errorf("answer mismatch:\n got %+v\nwant %+v", got.Answer, m.Answer)
+	}
+	if !got.DNSSECOK() {
+		t.Error("DO bit lost")
+	}
+	if got.UDPSize() != MaxUDPSize {
+		t.Errorf("UDPSize = %d", got.UDPSize())
+	}
+}
+
+func TestMessageFlags(t *testing.T) {
+	m := &Message{
+		ID: 1, Response: true, Authoritative: true, Truncated: true,
+		RecursionDesired: true, RecursionAvailable: true,
+		AuthenticatedData: true, CheckingDisabled: true,
+		RCode: RCodeNXDomain,
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("flags round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestReply(t *testing.T) {
+	q := NewQuery(7, "a.com", TypeA, true)
+	r := q.Reply()
+	if !r.Response || r.ID != 7 || len(r.Question) != 1 {
+		t.Errorf("Reply() = %+v", r)
+	}
+	if !r.DNSSECOK() {
+		t.Error("Reply dropped DO bit")
+	}
+	q2 := &Message{ID: 9, Question: []Question{{Name: "a.com.", Type: TypeA, Class: ClassINET}}}
+	if q2.Reply().OPT() != nil {
+		t.Error("Reply added OPT to non-EDNS query")
+	}
+}
+
+func TestAliasModeRejectsParams(t *testing.T) {
+	var params svcb.Params
+	params.SetPort(443)
+	rr := RR{Name: "a.com.", Type: TypeHTTPS, Class: ClassINET, TTL: 300,
+		Data: &SVCBData{Priority: 0, Target: "b.com.", Params: params}}
+	if _, err := PackRR(rr); err == nil {
+		t.Error("AliasMode with params packed successfully")
+	}
+}
+
+func TestUnpackCorruptMessages(t *testing.T) {
+	m := NewQuery(1, "a.com", TypeHTTPS, false)
+	m.Answer = testRRs()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any truncation must error, never panic.
+	for i := 0; i < len(wire); i++ {
+		_, _ = Unpack(wire[:i])
+	}
+	// Random corruption must never panic.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		corrupt := append([]byte(nil), wire...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			corrupt[rng.Intn(len(corrupt))] = byte(rng.Intn(256))
+		}
+		_, _ = Unpack(corrupt)
+	}
+}
+
+func TestTCPFraming(t *testing.T) {
+	m := NewQuery(99, "tcp.example.com", TypeHTTPS, true)
+	var buf bytes.Buffer
+	if err := WriteTCP(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 99 || got.Question[0].Name != "tcp.example.com." {
+		t.Errorf("TCP round trip = %+v", got)
+	}
+}
+
+func TestKeyTagStable(t *testing.T) {
+	key := &DNSKEYData{Flags: 257, Protocol: 3, Algorithm: AlgECDSAP256SHA256,
+		PublicKey: bytes.Repeat([]byte{1, 2, 3, 4}, 16)}
+	tag1 := key.KeyTag()
+	tag2 := key.KeyTag()
+	if tag1 != tag2 {
+		t.Error("KeyTag not deterministic")
+	}
+	key2 := key.clone().(*DNSKEYData)
+	key2.PublicKey[0] ^= 0xff
+	if key2.KeyTag() == tag1 {
+		t.Error("KeyTag insensitive to key bytes")
+	}
+}
+
+func TestTypeBitmapRoundTrip(t *testing.T) {
+	types := []Type{TypeA, TypeNS, TypeSOA, TypeAAAA, TypeHTTPS, TypeRRSIG, Type(1234)}
+	wire, err := packTypeBitmap(nil, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unpackTypeBitmap(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]Type(nil), types...)
+	sortTypes(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("bitmap round trip = %v, want %v", got, want)
+	}
+}
+
+func sortTypes(ts []Type) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j-1] > ts[j]; j-- {
+			ts[j-1], ts[j] = ts[j], ts[j-1]
+		}
+	}
+}
+
+func TestRRString(t *testing.T) {
+	for _, rr := range testRRs() {
+		s := rr.String()
+		if !strings.Contains(s, rr.Type.String()) {
+			t.Errorf("String() for %s missing type: %q", rr.Type, s)
+		}
+	}
+}
+
+func TestTypeClassRCodeStrings(t *testing.T) {
+	if TypeHTTPS.String() != "HTTPS" || Type(9999).String() != "TYPE9999" {
+		t.Error("Type.String broken")
+	}
+	if ClassINET.String() != "IN" || Class(7).String() != "CLASS7" {
+		t.Error("Class.String broken")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(77).String() != "RCODE77" {
+		t.Error("RCode.String broken")
+	}
+}
+
+// Property: packing then unpacking any message built from random valid RRs
+// is the identity.
+func TestQuickMessageRoundTrip(t *testing.T) {
+	rrs := testRRs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewQuery(uint16(rng.Intn(65536)), "q.example.org", TypeHTTPS, rng.Intn(2) == 0)
+		m.Response = true
+		n := rng.Intn(len(rrs))
+		for i := 0; i < n; i++ {
+			m.Answer = append(m.Answer, rrs[rng.Intn(len(rrs))].Clone())
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Answer, m.Answer)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compression never changes decoded names.
+func TestQuickCompressionCorrectness(t *testing.T) {
+	labels := []string{"www", "mail", "a", "cdn", "example", "test", "com", "org", "net"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var names []string
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			n := 1 + rng.Intn(4)
+			parts := make([]string, n)
+			for j := range parts {
+				parts[j] = labels[rng.Intn(len(labels))]
+			}
+			names = append(names, strings.Join(parts, ".")+".")
+		}
+		cmap := compressionMap{}
+		var buf []byte
+		var offsets []int
+		for _, name := range names {
+			offsets = append(offsets, len(buf))
+			var err error
+			buf, err = packName(buf, name, cmap)
+			if err != nil {
+				return false
+			}
+		}
+		for i, name := range names {
+			got, _, err := unpackName(buf, offsets[i])
+			if err != nil || got != name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,379 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", CanonicalName(q.Name), q.Class, q.Type)
+}
+
+// Message is a full DNS message.
+type Message struct {
+	ID     uint16
+	Opcode Opcode
+	RCode  RCode
+
+	// Header flags.
+	Response           bool // QR
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	AuthenticatedData  bool // AD
+	CheckingDisabled   bool // CD
+
+	Question   []Question
+	Answer     []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a recursion-desired query for (name, type) with EDNS(0).
+func NewQuery(id uint16, name string, t Type, dnssecOK bool) *Message {
+	m := &Message{
+		ID:               id,
+		RecursionDesired: true,
+		Question:         []Question{{Name: CanonicalName(name), Type: t, Class: ClassINET}},
+	}
+	m.SetEDNS0(MaxUDPSize, dnssecOK)
+	return m
+}
+
+// Reply builds a response skeleton for the query: same ID, question, and
+// opcode; RD copied; QR set.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		ID:               m.ID,
+		Opcode:           m.Opcode,
+		Response:         true,
+		RecursionDesired: m.RecursionDesired,
+		Question:         append([]Question(nil), m.Question...),
+	}
+	if opt := m.OPT(); opt != nil {
+		r.SetEDNS0(MaxUDPSize, m.DNSSECOK())
+	}
+	return r
+}
+
+// OPT returns the EDNS(0) pseudo-record from the additional section, if any.
+func (m *Message) OPT() *RR {
+	for i := range m.Additional {
+		if m.Additional[i].Type == TypeOPT {
+			return &m.Additional[i]
+		}
+	}
+	return nil
+}
+
+// SetEDNS0 attaches (or replaces) an EDNS(0) OPT record advertising the
+// given UDP payload size and DO bit.
+func (m *Message) SetEDNS0(udpSize uint16, dnssecOK bool) {
+	var ttl uint32
+	if dnssecOK {
+		ttl |= 0x8000 // DO bit lives in the high bit of the TTL field's flags half
+	}
+	opt := RR{
+		Name:  ".",
+		Type:  TypeOPT,
+		Class: Class(udpSize),
+		TTL:   ttl,
+		Data:  &OPTData{},
+	}
+	for i := range m.Additional {
+		if m.Additional[i].Type == TypeOPT {
+			m.Additional[i] = opt
+			return
+		}
+	}
+	m.Additional = append(m.Additional, opt)
+}
+
+// DNSSECOK reports whether the message carries an OPT record with the DO bit.
+func (m *Message) DNSSECOK() bool {
+	opt := m.OPT()
+	return opt != nil && opt.TTL&0x8000 != 0
+}
+
+// UDPSize returns the advertised EDNS(0) UDP payload size, or 512 when no
+// OPT record is present.
+func (m *Message) UDPSize() int {
+	opt := m.OPT()
+	if opt == nil {
+		return 512
+	}
+	if s := int(opt.Class); s >= 512 {
+		return s
+	}
+	return 512
+}
+
+// Errors returned by message decoding.
+var (
+	ErrShortMessage = errors.New("dnswire: message shorter than header")
+	ErrTrailingData = errors.New("dnswire: trailing bytes after message")
+)
+
+const headerLen = 12
+
+// Pack encodes the message into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	dst := make([]byte, headerLen, 512)
+	binary.BigEndian.PutUint16(dst[0:], m.ID)
+
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Truncated {
+		flags |= 1 << 9
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	if m.AuthenticatedData {
+		flags |= 1 << 5
+	}
+	if m.CheckingDisabled {
+		flags |= 1 << 4
+	}
+	flags |= uint16(m.RCode & 0xf)
+	binary.BigEndian.PutUint16(dst[2:], flags)
+	binary.BigEndian.PutUint16(dst[4:], uint16(len(m.Question)))
+	binary.BigEndian.PutUint16(dst[6:], uint16(len(m.Answer)))
+	binary.BigEndian.PutUint16(dst[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(dst[10:], uint16(len(m.Additional)))
+
+	cmap := compressionMap{}
+	var err error
+	for _, q := range m.Question {
+		dst, err = packName(dst, q.Name, cmap)
+		if err != nil {
+			return nil, fmt.Errorf("packing question %q: %w", q.Name, err)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(q.Type))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+		for _, rr := range section {
+			dst, err = packRR(dst, rr, cmap)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+func packRR(dst []byte, rr RR, cmap compressionMap) ([]byte, error) {
+	if rr.Data == nil {
+		return nil, fmt.Errorf("dnswire: record %s %s has nil RDATA", rr.Name, rr.Type)
+	}
+	var err error
+	dst, err = packName(dst, rr.Name, cmap)
+	if err != nil {
+		return nil, fmt.Errorf("packing owner %q: %w", rr.Name, err)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rr.Type))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rr.Class))
+	dst = binary.BigEndian.AppendUint32(dst, rr.TTL)
+	lenOff := len(dst)
+	dst = append(dst, 0, 0) // rdlength placeholder
+	// Name compression inside RDATA is only allowed for the RFC 1035
+	// well-known types; others pack names uncompressed. Each RData
+	// implementation honours that by ignoring or using cmap.
+	rdataCmap := cmap
+	switch rr.Type {
+	case TypeCNAME, TypeNS, TypePTR, TypeMX, TypeSOA:
+		// compression permitted
+	default:
+		rdataCmap = nil
+	}
+	dst, err = rr.Data.pack(dst, rdataCmap)
+	if err != nil {
+		return nil, fmt.Errorf("packing %s RDATA for %q: %w", rr.Type, rr.Name, err)
+	}
+	rdlen := len(dst) - lenOff - 2
+	if rdlen > 65535 {
+		return nil, fmt.Errorf("dnswire: RDATA for %q exceeds 65535 bytes", rr.Name)
+	}
+	binary.BigEndian.PutUint16(dst[lenOff:], uint16(rdlen))
+	return dst, nil
+}
+
+// PackRR encodes a single record without message context (no compression).
+// This is the canonical form used for DNSSEC signing.
+func PackRR(rr RR) ([]byte, error) {
+	return packRR(nil, rr, nil)
+}
+
+// Unpack decodes a wire-format message.
+func Unpack(b []byte) (*Message, error) {
+	if len(b) < headerLen {
+		return nil, ErrShortMessage
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(b)}
+	flags := binary.BigEndian.Uint16(b[2:])
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = Opcode(flags >> 11 & 0xf)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.AuthenticatedData = flags&(1<<5) != 0
+	m.CheckingDisabled = flags&(1<<4) != 0
+	m.RCode = RCode(flags & 0xf)
+
+	qd := int(binary.BigEndian.Uint16(b[4:]))
+	an := int(binary.BigEndian.Uint16(b[6:]))
+	ns := int(binary.BigEndian.Uint16(b[8:]))
+	ar := int(binary.BigEndian.Uint16(b[10:]))
+
+	off := headerLen
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = unpackName(b, off)
+		if err != nil {
+			return nil, fmt.Errorf("unpacking question %d: %w", i, err)
+		}
+		if off+4 > len(b) {
+			return nil, ErrTruncatedName
+		}
+		q.Type = Type(binary.BigEndian.Uint16(b[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(b[off+2:]))
+		off += 4
+		m.Question = append(m.Question, q)
+	}
+	sections := []*[]RR{&m.Answer, &m.Authority, &m.Additional}
+	counts := []int{an, ns, ar}
+	for si, count := range counts {
+		for i := 0; i < count; i++ {
+			var rr RR
+			rr, off, err = unpackRR(b, off)
+			if err != nil {
+				return nil, fmt.Errorf("unpacking record %d of section %d: %w", i, si, err)
+			}
+			*sections[si] = append(*sections[si], rr)
+		}
+	}
+	// Extended RCODE from OPT (high 8 bits live in the OPT TTL).
+	if opt := m.OPT(); opt != nil {
+		m.RCode |= RCode(opt.TTL>>24&0xff) << 4
+	}
+	return m, nil
+}
+
+func unpackRR(b []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	rr.Name, off, err = unpackName(b, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(b) {
+		return rr, 0, ErrTruncatedName
+	}
+	rr.Type = Type(binary.BigEndian.Uint16(b[off:]))
+	rr.Class = Class(binary.BigEndian.Uint16(b[off+2:]))
+	rr.TTL = binary.BigEndian.Uint32(b[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(b[off+8:]))
+	off += 10
+	if off+rdlen > len(b) {
+		return rr, 0, fmt.Errorf("dnswire: RDATA truncated for %q", rr.Name)
+	}
+	rr.Data, err = unpackRData(rr.Type, b, off, rdlen)
+	if err != nil {
+		return rr, 0, err
+	}
+	return rr, off + rdlen, nil
+}
+
+// String renders the message in dig-like presentation form.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; opcode: %d, status: %s, id: %d\n", m.Opcode, m.RCode, m.ID)
+	fmt.Fprintf(&sb, ";; flags:")
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{m.Response, "qr"}, {m.Authoritative, "aa"}, {m.Truncated, "tc"},
+		{m.RecursionDesired, "rd"}, {m.RecursionAvailable, "ra"},
+		{m.AuthenticatedData, "ad"}, {m.CheckingDisabled, "cd"},
+	} {
+		if f.on {
+			sb.WriteString(" " + f.name)
+		}
+	}
+	sb.WriteString("\n")
+	for _, q := range m.Question {
+		fmt.Fprintf(&sb, ";%s\n", q)
+	}
+	for _, sec := range []struct {
+		name string
+		rrs  []RR
+	}{{"ANSWER", m.Answer}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Additional}} {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, ";; %s:\n", sec.name)
+		for _, rr := range sec.rrs {
+			if rr.Type == TypeOPT {
+				continue
+			}
+			sb.WriteString(rr.String() + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// WriteTCP writes the message to w with the 2-byte length prefix used by
+// DNS over TCP.
+func WriteTCP(w io.Writer, m *Message) error {
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	if len(wire) > 65535 {
+		return fmt.Errorf("dnswire: message exceeds TCP limit")
+	}
+	buf := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(buf, uint16(len(wire)))
+	copy(buf[2:], wire)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadTCP reads one length-prefixed DNS message from r.
+func ReadTCP(r io.Reader) (*Message, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return Unpack(buf)
+}

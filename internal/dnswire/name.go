@@ -1,0 +1,201 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name handling. Throughout the framework, domain names are represented as
+// fully-qualified, lower-case, dot-terminated strings ("example.com.").
+// CanonicalName normalises arbitrary input into that form.
+
+// Errors returned by name encoding/decoding.
+var (
+	ErrNameTooLong    = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label")
+	ErrBadPointer     = errors.New("dnswire: bad compression pointer")
+	ErrTruncatedName  = errors.New("dnswire: truncated name")
+	ErrTooManyPointer = errors.New("dnswire: compression pointer loop")
+)
+
+// CanonicalName lower-cases s and ensures a trailing dot. The root name is
+// returned as ".".
+func CanonicalName(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" || s == "." {
+		return "."
+	}
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return s
+}
+
+// SplitLabels splits a canonical name into its labels, excluding the root.
+// SplitLabels("www.example.com.") == ["www", "example", "com"].
+func SplitLabels(name string) []string {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(name, "."), ".")
+}
+
+// CountLabels returns the number of labels in the canonical name.
+func CountLabels(name string) int {
+	return len(SplitLabels(name))
+}
+
+// ParentName returns the name with its leftmost label removed.
+// ParentName("www.example.com.") == "example.com.". The parent of the root
+// is the root.
+func ParentName(name string) string {
+	labels := SplitLabels(name)
+	if len(labels) <= 1 {
+		return "."
+	}
+	return strings.Join(labels[1:], ".") + "."
+}
+
+// IsSubdomain reports whether child is equal to or underneath parent.
+func IsSubdomain(child, parent string) bool {
+	child, parent = CanonicalName(child), CanonicalName(parent)
+	if parent == "." {
+		return true
+	}
+	return child == parent || strings.HasSuffix(child, "."+parent)
+}
+
+// ApexOf returns the registrable apex assuming single-label TLDs
+// ("a.b.example.com." → "example.com."). Names with fewer than two labels
+// are returned unchanged.
+func ApexOf(name string) string {
+	labels := SplitLabels(name)
+	if len(labels) < 2 {
+		return CanonicalName(name)
+	}
+	return strings.Join(labels[len(labels)-2:], ".") + "."
+}
+
+// ValidateName checks RFC 1035 length limits on a canonical name.
+func ValidateName(name string) error {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	total := 1 // root byte
+	for _, label := range SplitLabels(name) {
+		if len(label) == 0 {
+			return ErrEmptyLabel
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		total += len(label) + 1
+	}
+	if total > 255 {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// compressionMap tracks name→offset mappings while packing a message.
+// A nil map disables compression (used for RDATA fields where compression
+// is forbidden, e.g. RRSIG signer names and SVCB targets).
+type compressionMap map[string]int
+
+// packName appends the wire form of name to dst. When cmap is non-nil,
+// compression pointers are emitted for previously seen suffixes and new
+// suffixes are registered at their offsets.
+func packName(dst []byte, name string, cmap compressionMap) ([]byte, error) {
+	name = CanonicalName(name)
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	labels := SplitLabels(name)
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if cmap != nil {
+			if off, ok := cmap[suffix]; ok {
+				if off <= 0x3fff {
+					dst = append(dst, 0xc0|byte(off>>8), byte(off))
+					return dst, nil
+				}
+			}
+			if len(dst) <= 0x3fff {
+				cmap[suffix] = len(dst)
+			}
+		}
+		dst = append(dst, byte(len(labels[i])))
+		dst = append(dst, labels[i]...)
+	}
+	return append(dst, 0), nil
+}
+
+// unpackName reads a (possibly compressed) name from msg starting at off.
+// It returns the canonical name and the offset just past the name in the
+// original (uncompressed) stream.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrCount := 0
+	end := -1 // offset after the name in the original stream
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			if err := ValidateName(name); err != nil {
+				return "", 0, err
+			}
+			return CanonicalName(name), end, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			ptr := int(b&0x3f)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				return "", 0, ErrBadPointer
+			}
+			ptrCount++
+			if ptrCount > 32 {
+				return "", 0, ErrTooManyPointer
+			}
+			off = ptr
+		case b&0xc0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xc0)
+		default:
+			n := int(b)
+			if off+1+n > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			sb.Write(toLowerASCII(msg[off+1 : off+1+n]))
+			sb.WriteByte('.')
+			off += 1 + n
+		}
+	}
+}
+
+func toLowerASCII(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
+}

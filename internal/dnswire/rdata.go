@@ -1,0 +1,668 @@
+package dnswire
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/svcb"
+)
+
+// RR is a DNS resource record: owner name, type, class, TTL, and typed RDATA.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String renders the record in zone-file presentation format.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s", CanonicalName(rr.Name), rr.TTL, rr.Class, rr.Type, rr.Data.String())
+}
+
+// Clone returns a deep copy of the record.
+func (rr RR) Clone() RR {
+	out := rr
+	out.Data = rr.Data.clone()
+	return out
+}
+
+// RData is the typed RDATA portion of a resource record.
+type RData interface {
+	// pack appends the wire encoding of the RDATA to dst. cmap enables
+	// owner-message name compression for the record types where RFC 1035
+	// permits it; implementations for other types ignore it.
+	pack(dst []byte, cmap compressionMap) ([]byte, error)
+	clone() RData
+	String() string
+}
+
+// A (IPv4 address) record data.
+type AData struct{ Addr netip.Addr }
+
+func (d *AData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	if !d.Addr.Is4() {
+		return nil, fmt.Errorf("dnswire: A record address %v is not IPv4", d.Addr)
+	}
+	b := d.Addr.As4()
+	return append(dst, b[:]...), nil
+}
+func (d *AData) clone() RData    { c := *d; return &c }
+func (d *AData) String() string  { return d.Addr.String() }
+
+// AAAA (IPv6 address) record data.
+type AAAAData struct{ Addr netip.Addr }
+
+func (d *AAAAData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	if !d.Addr.Is6() || d.Addr.Is4In6() {
+		return nil, fmt.Errorf("dnswire: AAAA record address %v is not IPv6", d.Addr)
+	}
+	b := d.Addr.As16()
+	return append(dst, b[:]...), nil
+}
+func (d *AAAAData) clone() RData   { c := *d; return &c }
+func (d *AAAAData) String() string { return d.Addr.String() }
+
+// CNAMEData aliases the owner name to Target.
+type CNAMEData struct{ Target string }
+
+func (d *CNAMEData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+	return packName(dst, d.Target, cmap)
+}
+func (d *CNAMEData) clone() RData   { c := *d; return &c }
+func (d *CNAMEData) String() string { return CanonicalName(d.Target) }
+
+// DNAMEData redirects the subtree under the owner to Target.
+type DNAMEData struct{ Target string }
+
+func (d *DNAMEData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	return packName(dst, d.Target, nil)
+}
+func (d *DNAMEData) clone() RData   { c := *d; return &c }
+func (d *DNAMEData) String() string { return CanonicalName(d.Target) }
+
+// NSData names an authoritative name server for the owner zone.
+type NSData struct{ Host string }
+
+func (d *NSData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+	return packName(dst, d.Host, cmap)
+}
+func (d *NSData) clone() RData   { c := *d; return &c }
+func (d *NSData) String() string { return CanonicalName(d.Host) }
+
+// PTRData maps an address back to a name.
+type PTRData struct{ Target string }
+
+func (d *PTRData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+	return packName(dst, d.Target, cmap)
+}
+func (d *PTRData) clone() RData   { c := *d; return &c }
+func (d *PTRData) String() string { return CanonicalName(d.Target) }
+
+// MXData is a mail exchanger record.
+type MXData struct {
+	Preference uint16
+	Host       string
+}
+
+func (d *MXData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, d.Preference)
+	return packName(dst, d.Host, cmap)
+}
+func (d *MXData) clone() RData   { c := *d; return &c }
+func (d *MXData) String() string { return fmt.Sprintf("%d %s", d.Preference, CanonicalName(d.Host)) }
+
+// SOAData holds the start-of-authority parameters of a zone.
+type SOAData struct {
+	MName   string // primary name server
+	RName   string // responsible mailbox
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+func (d *SOAData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+	var err error
+	dst, err = packName(dst, d.MName, cmap)
+	if err != nil {
+		return nil, err
+	}
+	dst, err = packName(dst, d.RName, cmap)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint32(dst, d.Serial)
+	dst = binary.BigEndian.AppendUint32(dst, d.Refresh)
+	dst = binary.BigEndian.AppendUint32(dst, d.Retry)
+	dst = binary.BigEndian.AppendUint32(dst, d.Expire)
+	dst = binary.BigEndian.AppendUint32(dst, d.Minimum)
+	return dst, nil
+}
+func (d *SOAData) clone() RData { c := *d; return &c }
+func (d *SOAData) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d", CanonicalName(d.MName), CanonicalName(d.RName),
+		d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum)
+}
+
+// TXTData carries one or more character-strings.
+type TXTData struct{ Strings []string }
+
+func (d *TXTData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	if len(d.Strings) == 0 {
+		return nil, fmt.Errorf("dnswire: TXT record requires at least one string")
+	}
+	for _, s := range d.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+		}
+		dst = append(dst, byte(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst, nil
+}
+func (d *TXTData) clone() RData {
+	return &TXTData{Strings: append([]string(nil), d.Strings...)}
+}
+func (d *TXTData) String() string {
+	parts := make([]string, len(d.Strings))
+	for i, s := range d.Strings {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// SRVData locates a service endpoint (RFC 2782).
+type SRVData struct {
+	Priority uint16
+	Weight   uint16
+	Port     uint16
+	Target   string
+}
+
+func (d *SRVData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, d.Priority)
+	dst = binary.BigEndian.AppendUint16(dst, d.Weight)
+	dst = binary.BigEndian.AppendUint16(dst, d.Port)
+	return packName(dst, d.Target, nil)
+}
+func (d *SRVData) clone() RData { c := *d; return &c }
+func (d *SRVData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.Priority, d.Weight, d.Port, CanonicalName(d.Target))
+}
+
+// SVCBData is the RDATA shared by SVCB and HTTPS records (RFC 9460).
+// Priority zero means AliasMode; non-zero means ServiceMode.
+type SVCBData struct {
+	Priority uint16
+	Target   string // "." means the owner name itself in ServiceMode
+	Params   svcb.Params
+}
+
+// AliasMode reports whether the record is in AliasMode (priority 0).
+func (d *SVCBData) AliasMode() bool { return d.Priority == 0 }
+
+func (d *SVCBData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, d.Priority)
+	var err error
+	dst, err = packName(dst, d.Target, nil)
+	if err != nil {
+		return nil, err
+	}
+	if d.AliasMode() && len(d.Params) > 0 {
+		return nil, fmt.Errorf("dnswire: AliasMode SVCB record must not carry SvcParams")
+	}
+	return d.Params.Pack(dst)
+}
+func (d *SVCBData) clone() RData {
+	return &SVCBData{Priority: d.Priority, Target: d.Target, Params: d.Params.Clone()}
+}
+func (d *SVCBData) String() string {
+	s := fmt.Sprintf("%d %s", d.Priority, CanonicalName(d.Target))
+	if p := d.Params.String(); p != "" {
+		s += " " + p
+	}
+	return s
+}
+
+// DSData is a delegation signer digest uploaded to the parent zone.
+type DSData struct {
+	KeyTag     uint16
+	Algorithm  uint8
+	DigestType uint8
+	Digest     []byte
+}
+
+func (d *DSData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, d.KeyTag)
+	dst = append(dst, d.Algorithm, d.DigestType)
+	return append(dst, d.Digest...), nil
+}
+func (d *DSData) clone() RData {
+	return &DSData{KeyTag: d.KeyTag, Algorithm: d.Algorithm, DigestType: d.DigestType,
+		Digest: append([]byte(nil), d.Digest...)}
+}
+func (d *DSData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.KeyTag, d.Algorithm, d.DigestType,
+		strings.ToUpper(hex.EncodeToString(d.Digest)))
+}
+
+// DNSKEYData is a zone public key.
+type DNSKEYData struct {
+	Flags     uint16
+	Protocol  uint8 // always 3
+	Algorithm uint8
+	PublicKey []byte
+}
+
+// IsKSK reports whether the key has the Secure Entry Point flag set.
+func (d *DNSKEYData) IsKSK() bool { return d.Flags&DNSKEYFlagSEP != 0 }
+
+func (d *DNSKEYData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, d.Flags)
+	dst = append(dst, d.Protocol, d.Algorithm)
+	return append(dst, d.PublicKey...), nil
+}
+func (d *DNSKEYData) clone() RData {
+	return &DNSKEYData{Flags: d.Flags, Protocol: d.Protocol, Algorithm: d.Algorithm,
+		PublicKey: append([]byte(nil), d.PublicKey...)}
+}
+func (d *DNSKEYData) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.Flags, d.Protocol, d.Algorithm,
+		base64.StdEncoding.EncodeToString(d.PublicKey))
+}
+
+// KeyTag computes the RFC 4034 Appendix B key tag of the key.
+func (d *DNSKEYData) KeyTag() uint16 {
+	wire, err := d.pack(nil, nil)
+	if err != nil {
+		return 0
+	}
+	var acc uint32
+	for i, b := range wire {
+		if i&1 == 0 {
+			acc += uint32(b) << 8
+		} else {
+			acc += uint32(b)
+		}
+	}
+	acc += acc >> 16 & 0xffff
+	return uint16(acc & 0xffff)
+}
+
+// RRSIGData is a DNSSEC signature over an RRset.
+type RRSIGData struct {
+	TypeCovered Type
+	Algorithm   uint8
+	Labels      uint8
+	OriginalTTL uint32
+	Expiration  uint32 // seconds since epoch
+	Inception   uint32
+	KeyTag      uint16
+	SignerName  string
+	Signature   []byte
+}
+
+func (d *RRSIGData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	dst = d.packPresig(dst)
+	return append(dst, d.Signature...), nil
+}
+
+// packPresig packs all RRSIG fields except the signature itself; this is the
+// prefix that is included in the data being signed (RFC 4034 §3.1.8.1).
+func (d *RRSIGData) packPresig(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(d.TypeCovered))
+	dst = append(dst, d.Algorithm, d.Labels)
+	dst = binary.BigEndian.AppendUint32(dst, d.OriginalTTL)
+	dst = binary.BigEndian.AppendUint32(dst, d.Expiration)
+	dst = binary.BigEndian.AppendUint32(dst, d.Inception)
+	dst = binary.BigEndian.AppendUint16(dst, d.KeyTag)
+	dst, _ = packName(dst, d.SignerName, nil)
+	return dst
+}
+
+// SignedPrefix returns the canonical pre-signature prefix used as input to
+// the signing function.
+func (d *RRSIGData) SignedPrefix() []byte { return d.packPresig(nil) }
+
+func (d *RRSIGData) clone() RData {
+	c := *d
+	c.Signature = append([]byte(nil), d.Signature...)
+	return &c
+}
+func (d *RRSIGData) String() string {
+	return fmt.Sprintf("%s %d %d %d %d %d %d %s %s", d.TypeCovered, d.Algorithm, d.Labels,
+		d.OriginalTTL, d.Expiration, d.Inception, d.KeyTag, CanonicalName(d.SignerName),
+		base64.StdEncoding.EncodeToString(d.Signature))
+}
+
+// NSECData is an authenticated-denial record naming the next owner and the
+// types present at this owner.
+type NSECData struct {
+	NextName string
+	Types    []Type
+}
+
+func (d *NSECData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	var err error
+	dst, err = packName(dst, d.NextName, nil)
+	if err != nil {
+		return nil, err
+	}
+	return packTypeBitmap(dst, d.Types)
+}
+func (d *NSECData) clone() RData {
+	return &NSECData{NextName: d.NextName, Types: append([]Type(nil), d.Types...)}
+}
+func (d *NSECData) String() string {
+	parts := []string{CanonicalName(d.NextName)}
+	for _, t := range d.Types {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func packTypeBitmap(dst []byte, types []Type) ([]byte, error) {
+	if len(types) == 0 {
+		return dst, nil
+	}
+	sorted := append([]Type(nil), types...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Group by window (high byte).
+	window := -1
+	var bitmap [32]byte
+	maxOctet := 0
+	flush := func() {
+		if window >= 0 {
+			dst = append(dst, byte(window), byte(maxOctet))
+			dst = append(dst, bitmap[:maxOctet]...)
+		}
+		bitmap = [32]byte{}
+		maxOctet = 0
+	}
+	for _, t := range sorted {
+		w := int(t >> 8)
+		if w != window {
+			flush()
+			window = w
+		}
+		lo := int(t & 0xff)
+		bitmap[lo/8] |= 0x80 >> (lo % 8)
+		if lo/8+1 > maxOctet {
+			maxOctet = lo/8 + 1
+		}
+	}
+	flush()
+	return dst, nil
+}
+
+func unpackTypeBitmap(b []byte) ([]Type, error) {
+	var types []Type
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("dnswire: truncated type bitmap")
+		}
+		window := int(b[0])
+		octets := int(b[1])
+		b = b[2:]
+		if octets == 0 || octets > 32 || len(b) < octets {
+			return nil, fmt.Errorf("dnswire: invalid type bitmap window length %d", octets)
+		}
+		for i := 0; i < octets; i++ {
+			for bit := 0; bit < 8; bit++ {
+				if b[i]&(0x80>>bit) != 0 {
+					types = append(types, Type(window<<8|i*8+bit))
+				}
+			}
+		}
+		b = b[octets:]
+	}
+	return types, nil
+}
+
+// OPTData is the EDNS(0) pseudo-record RDATA (options only; the UDP size and
+// extended flags live in the RR header fields, handled by Message).
+type OPTData struct {
+	Options []EDNSOption
+}
+
+// EDNSOption is a single EDNS option TLV.
+type EDNSOption struct {
+	Code uint16
+	Data []byte
+}
+
+func (d *OPTData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	for _, o := range d.Options {
+		dst = binary.BigEndian.AppendUint16(dst, o.Code)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(o.Data)))
+		dst = append(dst, o.Data...)
+	}
+	return dst, nil
+}
+func (d *OPTData) clone() RData {
+	out := &OPTData{Options: make([]EDNSOption, len(d.Options))}
+	for i, o := range d.Options {
+		out.Options[i] = EDNSOption{Code: o.Code, Data: append([]byte(nil), o.Data...)}
+	}
+	return out
+}
+func (d *OPTData) String() string { return fmt.Sprintf("OPT(%d options)", len(d.Options)) }
+
+// RawData carries RDATA of record types the codec does not model (RFC 3597).
+type RawData struct{ Bytes []byte }
+
+func (d *RawData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+	return append(dst, d.Bytes...), nil
+}
+func (d *RawData) clone() RData { return &RawData{Bytes: append([]byte(nil), d.Bytes...)} }
+func (d *RawData) String() string {
+	return fmt.Sprintf("\\# %d %s", len(d.Bytes), hex.EncodeToString(d.Bytes))
+}
+
+// unpackRData decodes the RDATA of the given type from msg[off:off+rdlen].
+// msg is the full message so compressed names can be followed.
+func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
+	end := off + rdlen
+	if end > len(msg) {
+		return nil, fmt.Errorf("dnswire: RDATA extends past message end")
+	}
+	rd := msg[off:end]
+	switch t {
+	case TypeA:
+		if rdlen != 4 {
+			return nil, fmt.Errorf("dnswire: A RDATA must be 4 bytes, got %d", rdlen)
+		}
+		addr, _ := netip.AddrFromSlice(rd)
+		return &AData{Addr: addr}, nil
+	case TypeAAAA:
+		if rdlen != 16 {
+			return nil, fmt.Errorf("dnswire: AAAA RDATA must be 16 bytes, got %d", rdlen)
+		}
+		addr, _ := netip.AddrFromSlice(rd)
+		return &AAAAData{Addr: addr}, nil
+	case TypeCNAME, TypeNS, TypePTR, TypeDNAME:
+		name, n, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if n != end {
+			return nil, fmt.Errorf("dnswire: %s RDATA has %d trailing bytes", t, end-n)
+		}
+		switch t {
+		case TypeCNAME:
+			return &CNAMEData{Target: name}, nil
+		case TypeNS:
+			return &NSData{Host: name}, nil
+		case TypePTR:
+			return &PTRData{Target: name}, nil
+		default:
+			return &DNAMEData{Target: name}, nil
+		}
+	case TypeMX:
+		if rdlen < 3 {
+			return nil, fmt.Errorf("dnswire: MX RDATA too short")
+		}
+		pref := binary.BigEndian.Uint16(rd)
+		host, n, err := unpackName(msg, off+2)
+		if err != nil {
+			return nil, err
+		}
+		if n != end {
+			return nil, fmt.Errorf("dnswire: MX RDATA has trailing bytes")
+		}
+		return &MXData{Preference: pref, Host: host}, nil
+	case TypeSOA:
+		mname, n, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		rname, n, err := unpackName(msg, n)
+		if err != nil {
+			return nil, err
+		}
+		if n > end || end-n != 20 {
+			return nil, fmt.Errorf("dnswire: SOA RDATA fixed fields must be 20 bytes")
+		}
+		f := msg[n:end]
+		return &SOAData{
+			MName: mname, RName: rname,
+			Serial:  binary.BigEndian.Uint32(f[0:]),
+			Refresh: binary.BigEndian.Uint32(f[4:]),
+			Retry:   binary.BigEndian.Uint32(f[8:]),
+			Expire:  binary.BigEndian.Uint32(f[12:]),
+			Minimum: binary.BigEndian.Uint32(f[16:]),
+		}, nil
+	case TypeTXT:
+		var strs []string
+		b := rd
+		for len(b) > 0 {
+			n := int(b[0])
+			b = b[1:]
+			if len(b) < n {
+				return nil, fmt.Errorf("dnswire: truncated TXT string")
+			}
+			strs = append(strs, string(b[:n]))
+			b = b[n:]
+		}
+		if len(strs) == 0 {
+			return nil, fmt.Errorf("dnswire: empty TXT RDATA")
+		}
+		return &TXTData{Strings: strs}, nil
+	case TypeSRV:
+		if rdlen < 7 {
+			return nil, fmt.Errorf("dnswire: SRV RDATA too short")
+		}
+		target, n, err := unpackName(msg, off+6)
+		if err != nil {
+			return nil, err
+		}
+		if n != end {
+			return nil, fmt.Errorf("dnswire: SRV RDATA has trailing bytes")
+		}
+		return &SRVData{
+			Priority: binary.BigEndian.Uint16(rd),
+			Weight:   binary.BigEndian.Uint16(rd[2:]),
+			Port:     binary.BigEndian.Uint16(rd[4:]),
+			Target:   target,
+		}, nil
+	case TypeSVCB, TypeHTTPS:
+		if rdlen < 3 {
+			return nil, fmt.Errorf("dnswire: SVCB RDATA too short")
+		}
+		prio := binary.BigEndian.Uint16(rd)
+		target, n, err := unpackName(msg, off+2)
+		if err != nil {
+			return nil, err
+		}
+		if n > end {
+			return nil, fmt.Errorf("dnswire: SVCB target name overruns RDATA")
+		}
+		params, err := svcb.UnpackParams(msg[n:end])
+		if err != nil {
+			return nil, err
+		}
+		return &SVCBData{Priority: prio, Target: target, Params: params}, nil
+	case TypeDS:
+		if rdlen < 5 {
+			return nil, fmt.Errorf("dnswire: DS RDATA too short")
+		}
+		return &DSData{
+			KeyTag:     binary.BigEndian.Uint16(rd),
+			Algorithm:  rd[2],
+			DigestType: rd[3],
+			Digest:     append([]byte(nil), rd[4:]...),
+		}, nil
+	case TypeDNSKEY:
+		if rdlen < 5 {
+			return nil, fmt.Errorf("dnswire: DNSKEY RDATA too short")
+		}
+		return &DNSKEYData{
+			Flags:     binary.BigEndian.Uint16(rd),
+			Protocol:  rd[2],
+			Algorithm: rd[3],
+			PublicKey: append([]byte(nil), rd[4:]...),
+		}, nil
+	case TypeRRSIG:
+		if rdlen < 19 {
+			return nil, fmt.Errorf("dnswire: RRSIG RDATA too short")
+		}
+		signer, n, err := unpackName(msg, off+18)
+		if err != nil {
+			return nil, err
+		}
+		if n > end {
+			return nil, fmt.Errorf("dnswire: RRSIG signer name overruns RDATA")
+		}
+		return &RRSIGData{
+			TypeCovered: Type(binary.BigEndian.Uint16(rd)),
+			Algorithm:   rd[2],
+			Labels:      rd[3],
+			OriginalTTL: binary.BigEndian.Uint32(rd[4:]),
+			Expiration:  binary.BigEndian.Uint32(rd[8:]),
+			Inception:   binary.BigEndian.Uint32(rd[12:]),
+			KeyTag:      binary.BigEndian.Uint16(rd[16:]),
+			SignerName:  signer,
+			Signature:   append([]byte(nil), msg[n:end]...),
+		}, nil
+	case TypeNSEC:
+		next, n, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if n > end {
+			return nil, fmt.Errorf("dnswire: NSEC next name overruns RDATA")
+		}
+		types, err := unpackTypeBitmap(msg[n:end])
+		if err != nil {
+			return nil, err
+		}
+		return &NSECData{NextName: next, Types: types}, nil
+	case TypeOPT:
+		var opts []EDNSOption
+		b := rd
+		for len(b) > 0 {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("dnswire: truncated EDNS option")
+			}
+			code := binary.BigEndian.Uint16(b)
+			olen := int(binary.BigEndian.Uint16(b[2:]))
+			b = b[4:]
+			if len(b) < olen {
+				return nil, fmt.Errorf("dnswire: truncated EDNS option data")
+			}
+			opts = append(opts, EDNSOption{Code: code, Data: append([]byte(nil), b[:olen]...)})
+			b = b[olen:]
+		}
+		return &OPTData{Options: opts}, nil
+	default:
+		return &RawData{Bytes: append([]byte(nil), rd...)}, nil
+	}
+}

@@ -1,0 +1,155 @@
+package ech
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file implements the subset of HPKE (RFC 9180) needed for ECH: the
+// Base mode single-shot seal/open with DHKEM(X25519, HKDF-SHA256),
+// HKDF-SHA256 and AES-128-GCM. The derivation is a faithful shape of RFC
+// 9180's key schedule (labeled extract/expand over a suite id); the goal is
+// real public-key encryption over the wire, not interop with other stacks.
+
+// hkdfExtract implements HKDF-Extract with SHA-256.
+func hkdfExtract(salt, ikm []byte) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand implements HKDF-Expand with SHA-256.
+func hkdfExpand(prk, info []byte, length int) []byte {
+	var out []byte
+	var prev []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(prev)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length]
+}
+
+// suiteID identifies the fixed HPKE suite in key-schedule labels.
+func suiteID() []byte {
+	b := []byte("HPKE")
+	b = binary.BigEndian.AppendUint16(b, KEMX25519SHA256)
+	b = binary.BigEndian.AppendUint16(b, KDFHKDFSHA256)
+	b = binary.BigEndian.AppendUint16(b, AEADAES128GCM)
+	return b
+}
+
+func labeledExtract(salt []byte, label string, ikm []byte) []byte {
+	full := append([]byte("HPKE-v1"), suiteID()...)
+	full = append(full, label...)
+	full = append(full, ikm...)
+	return hkdfExtract(salt, full)
+}
+
+func labeledExpand(prk []byte, label string, info []byte, length int) []byte {
+	full := binary.BigEndian.AppendUint16(nil, uint16(length))
+	full = append(full, "HPKE-v1"...)
+	full = append(full, suiteID()...)
+	full = append(full, label...)
+	full = append(full, info...)
+	return hkdfExpand(prk, full, length)
+}
+
+// deriveKeyNonce runs the key schedule from the ECDH shared secret and the
+// encapsulated key, producing AEAD key and base nonce.
+func deriveKeyNonce(shared, enc, pkR, info []byte) (key, nonce []byte) {
+	kemContext := append(append([]byte(nil), enc...), pkR...)
+	eaePRK := labeledExtract(nil, "eae_prk", shared)
+	sharedSecret := labeledExpand(eaePRK, "shared_secret", kemContext, 32)
+	secret := labeledExtract(sharedSecret, "secret", info)
+	key = labeledExpand(secret, "key", info, 16)
+	nonce = labeledExpand(secret, "base_nonce", info, 12)
+	return key, nonce
+}
+
+func aeadSeal(key, nonce, aad, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.Seal(nil, nonce, plaintext, aad), nil
+}
+
+func aeadOpen(key, nonce, aad, ciphertext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := gcm.Open(nil, nonce, ciphertext, aad)
+	if err != nil {
+		return nil, ErrDecryptFailure
+	}
+	return pt, nil
+}
+
+// Seal encrypts plaintext to the holder of cfg's public key. It returns the
+// encapsulated ephemeral public key and the ciphertext. aad binds the outer
+// ClientHello to the encryption. rng may be nil for crypto/rand.
+func Seal(rng io.Reader, cfg Config, aad, plaintext []byte) (enc, ciphertext []byte, err error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if cfg.KEM != KEMX25519SHA256 {
+		return nil, nil, fmt.Errorf("ech: unsupported KEM %#04x", cfg.KEM)
+	}
+	pkR, err := ecdh.X25519().NewPublicKey(cfg.PublicKey)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ech: bad recipient key: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	shared, err := eph.ECDH(pkR)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc = eph.PublicKey().Bytes()
+	info := append([]byte("tls ech"), cfg.Marshal()...)
+	key, nonce := deriveKeyNonce(shared, enc, cfg.PublicKey, info)
+	ct, err := aeadSeal(key, nonce, aad, plaintext)
+	if err != nil {
+		return nil, nil, err
+	}
+	return enc, ct, nil
+}
+
+// Open decrypts a ciphertext produced by Seal using the key pair's private
+// key. It fails with ErrDecryptFailure if the key pair does not match the
+// config the sender used.
+func (kp *KeyPair) Open(enc, aad, ciphertext []byte) ([]byte, error) {
+	pkE, err := ecdh.X25519().NewPublicKey(enc)
+	if err != nil {
+		return nil, fmt.Errorf("ech: bad encapsulated key: %w", err)
+	}
+	shared, err := kp.Private.ECDH(pkE)
+	if err != nil {
+		return nil, err
+	}
+	info := append([]byte("tls ech"), kp.Config.Marshal()...)
+	key, nonce := deriveKeyNonce(shared, enc, kp.Config.PublicKey, info)
+	return aeadOpen(key, nonce, aad, ciphertext)
+}

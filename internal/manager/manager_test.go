@@ -1,0 +1,271 @@
+package manager
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/ech"
+	"repro/internal/svcb"
+	"repro/internal/zone"
+)
+
+func testZone() *zone.Zone {
+	z := zone.New("a.com")
+	z.SetSOA("ns1.a.com.", "hostmaster.a.com.", 1, 300)
+	z.Add(dnswire.RR{Name: "a.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.AData{Addr: netip.MustParseAddr("192.0.2.1")}})
+	z.Add(dnswire.RR{Name: "a.com.", Type: dnswire.TypeAAAA, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.AAAAData{Addr: netip.MustParseAddr("2001:db8::1")}})
+	return z
+}
+
+func addHTTPS(z *zone.Zone, prio uint16, target string, build func(ps *svcb.Params)) {
+	var ps svcb.Params
+	if build != nil {
+		build(&ps)
+	}
+	z.Add(dnswire.RR{Name: "a.com.", Type: dnswire.TypeHTTPS, Class: dnswire.ClassINET, TTL: 300,
+		Data: &dnswire.SVCBData{Priority: prio, Target: target, Params: ps}})
+}
+
+func findCode(fs []Finding, code string) *Finding {
+	for i := range fs {
+		if fs[i].Code == code {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestAuditClean(t *testing.T) {
+	z := testZone()
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2", "h3"})
+		_ = ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("192.0.2.1")})
+		_ = ps.SetIPv6Hints([]netip.Addr{netip.MustParseAddr("2001:db8::1")})
+	})
+	a := &Auditor{Zone: z, Now: time.Unix(0, 0)}
+	for _, f := range a.Audit("a.com.") {
+		if f.Severity >= Warning {
+			t.Errorf("clean config flagged: %v", f)
+		}
+	}
+}
+
+func TestAuditHintMismatch(t *testing.T) {
+	z := testZone()
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2"})
+		_ = ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("198.51.100.9")}) // stale
+	})
+	a := &Auditor{Zone: z, Now: time.Unix(0, 0)}
+	f := findCode(a.Audit("a.com."), CodeHintMismatchV4)
+	if f == nil || f.Severity != Critical {
+		t.Fatalf("mismatch not flagged critical: %v", f)
+	}
+}
+
+func TestAuditAliasPathologies(t *testing.T) {
+	z := testZone()
+	addHTTPS(z, 0, ".", nil)
+	a := &Auditor{Zone: z, Now: time.Unix(0, 0)}
+	if findCode(a.Audit("a.com."), CodeAliasSelfTarget) == nil {
+		t.Error("alias self-target not flagged")
+	}
+	// AliasMode with params (forbidden): construct directly.
+	z2 := testZone()
+	var ps svcb.Params
+	ps.SetPort(443)
+	z2.Add(dnswire.RR{Name: "a.com.", Type: dnswire.TypeHTTPS, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.SVCBData{Priority: 0, Target: "b.com.", Params: ps}})
+	a2 := &Auditor{Zone: z2, Now: time.Unix(0, 0)}
+	if f := findCode(a2.Audit("a.com."), CodeAliasWithParams); f == nil || f.Severity != Critical {
+		t.Error("alias-with-params not flagged critical")
+	}
+}
+
+func TestAuditServiceNoParamsAndMixed(t *testing.T) {
+	z := testZone()
+	addHTTPS(z, 1, ".", nil)
+	addHTTPS(z, 0, "b.com.", nil)
+	a := &Auditor{Zone: z, Now: time.Unix(0, 0)}
+	fs := a.Audit("a.com.")
+	if findCode(fs, CodeServiceNoParams) == nil {
+		t.Error("empty ServiceMode not noted")
+	}
+	if findCode(fs, CodeMixedAliasSvc) == nil {
+		t.Error("mixed alias/service not flagged")
+	}
+}
+
+func TestAuditMandatoryViolation(t *testing.T) {
+	z := testZone()
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2"})
+		_ = ps.SetMandatory([]svcb.ParamKey{svcb.KeyPort}) // port absent
+	})
+	a := &Auditor{Zone: z, Now: time.Unix(0, 0)}
+	if f := findCode(a.Audit("a.com."), CodeMandatoryBroken); f == nil || f.Severity != Critical {
+		t.Error("mandatory violation not flagged")
+	}
+}
+
+func TestAuditDraftALPN(t *testing.T) {
+	z := testZone()
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) { _ = ps.SetALPN([]string{"h3-29", "h3-27"}) })
+	a := &Auditor{Zone: z, Now: time.Unix(0, 0)}
+	if findCode(a.Audit("a.com."), CodeDraftALPN) == nil {
+		t.Error("draft alpn not flagged")
+	}
+}
+
+func TestAuditECH(t *testing.T) {
+	start := time.Unix(0, 0)
+	km, err := ech.NewKeyManager(rand.New(rand.NewSource(1)), "cover.a.com",
+		time.Hour, 2*time.Hour, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malformed ECH → critical (the Chrome/Edge hard-fail class).
+	z := testZone()
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2"})
+		ps.SetECH([]byte{0xba, 0xad})
+	})
+	a := &Auditor{Zone: z, ECHKeys: km, Now: start}
+	if f := findCode(a.Audit("a.com."), CodeECHUnparseable); f == nil || f.Severity != Critical {
+		t.Error("malformed ECH not flagged")
+	}
+	// Stale key past retention → critical.
+	z2 := testZone()
+	oldList := km.ConfigList(start)
+	addHTTPS(z2, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2"})
+		ps.SetECH(oldList)
+	})
+	late := start.Add(6 * time.Hour) // far past the 2h retention
+	a2 := &Auditor{Zone: z2, ECHKeys: km, Now: late}
+	if findCode(a2.Audit("a.com."), CodeECHStaleKey) == nil {
+		t.Error("stale ECH key not flagged")
+	}
+	// Fresh key → clean.
+	z3 := testZone()
+	addHTTPS(z3, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2"})
+		ps.SetECH(km.ConfigList(late))
+	})
+	a3 := &Auditor{Zone: z3, ECHKeys: km, Now: late}
+	if f := findCode(a3.Audit("a.com."), CodeECHStaleKey); f != nil {
+		t.Errorf("fresh ECH key flagged: %v", f)
+	}
+}
+
+func TestSyncHintsRepairsMismatch(t *testing.T) {
+	z := testZone()
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2"})
+		_ = ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("198.51.100.9")})
+	})
+	m := &Manager{Zone: z, TTL: 300}
+	changed, err := m.SyncHints("a.com.")
+	if err != nil || !changed {
+		t.Fatalf("SyncHints = %v, %v", changed, err)
+	}
+	a := &Auditor{Zone: z, Now: time.Unix(0, 0)}
+	if f := findCode(a.Audit("a.com."), CodeHintMismatchV4); f != nil {
+		t.Errorf("mismatch persists after sync: %v", f)
+	}
+	// Hints now equal the A record.
+	rrs, _, _ := z.Lookup("a.com.", dnswire.TypeHTTPS)
+	hints, ok := rrs[0].Data.(*dnswire.SVCBData).Params.IPv4Hints()
+	if !ok || hints[0] != netip.MustParseAddr("192.0.2.1") {
+		t.Errorf("hints = %v", hints)
+	}
+	// Idempotent second run.
+	changed, err = m.SyncHints("a.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = changed // re-setting identical hints may or may not report change
+}
+
+func TestSyncHintsDropsOrphanedHints(t *testing.T) {
+	z := zone.New("a.com")
+	z.SetSOA("ns1.a.com.", "h.a.com.", 1, 300)
+	// No A record at all, but a hint published.
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) {
+		_ = ps.SetALPN([]string{"h2"})
+		_ = ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("198.51.100.9")})
+	})
+	m := &Manager{Zone: z, TTL: 300}
+	if _, err := m.SyncHints("a.com."); err != nil {
+		t.Fatal(err)
+	}
+	rrs, _, _ := z.Lookup("a.com.", dnswire.TypeHTTPS)
+	if _, ok := rrs[0].Data.(*dnswire.SVCBData).Params.IPv4Hints(); ok {
+		t.Error("orphaned hint not removed")
+	}
+}
+
+func TestECHPolicy(t *testing.T) {
+	p := ECHPolicy{RecordTTL: 300 * time.Second, Margin: 60 * time.Second}
+	if p.SafeRetention() != 360*time.Second {
+		t.Errorf("SafeRetention = %v", p.SafeRetention())
+	}
+	// Safe configuration: no findings.
+	if fs := p.CheckRotation(76*time.Minute, 3*time.Hour); len(fs) != 0 {
+		t.Errorf("safe rotation flagged: %v", fs)
+	}
+	// Retention shorter than TTL: critical.
+	fs := p.CheckRotation(76*time.Minute, 100*time.Second)
+	if f := findCode(fs, CodeECHNoRetention); f == nil || f.Severity != Critical {
+		t.Errorf("unsafe retention not flagged: %v", fs)
+	}
+	// Rotation faster than TTL: warning.
+	fs = p.CheckRotation(60*time.Second, time.Hour)
+	if len(fs) == 0 {
+		t.Error("hyper-fast rotation not flagged")
+	}
+}
+
+func TestPublishECH(t *testing.T) {
+	start := time.Unix(0, 0)
+	km, err := ech.NewKeyManager(rand.New(rand.NewSource(2)), "cover.a.com",
+		time.Hour, 2*time.Hour, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := testZone()
+	addHTTPS(z, 1, ".", func(ps *svcb.Params) { _ = ps.SetALPN([]string{"h2"}) })
+	m := &Manager{Zone: z, TTL: 300}
+	if err := m.PublishECH("a.com.", km, start); err != nil {
+		t.Fatal(err)
+	}
+	rrs, _, _ := z.Lookup("a.com.", dnswire.TypeHTTPS)
+	raw, ok := rrs[0].Data.(*dnswire.SVCBData).Params.ECH()
+	if !ok {
+		t.Fatal("ECH not published")
+	}
+	configs, err := ech.UnmarshalList(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if configs[0].PublicName != "cover.a.com" {
+		t.Errorf("public name = %q", configs[0].PublicName)
+	}
+	// Audit agrees the key is valid.
+	a := &Auditor{Zone: z, ECHKeys: km, Now: start}
+	if f := findCode(a.Audit("a.com."), CodeECHStaleKey); f != nil {
+		t.Errorf("fresh publication flagged: %v", f)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: Critical, Code: CodeHintMismatchV4, Name: "a.com.", Message: "x"}
+	if f.String() == "" || Critical.String() != "CRITICAL" || Warning.String() != "WARNING" || Info.String() != "INFO" {
+		t.Error("string rendering broken")
+	}
+}

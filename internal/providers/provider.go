@@ -1,0 +1,260 @@
+package providers
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/ech"
+	"repro/internal/simnet"
+)
+
+// Provider models one DNS service provider: its name-server fleet, HTTPS-RR
+// support policy, and the synthesized authoritative service for all hosted
+// customer domains.
+type Provider struct {
+	Name string
+	// Org is the WHOIS organisation owning the NS addresses (usually the
+	// provider itself; BYOIP cases differ).
+	Org string
+	// InfraDomain is the provider's own domain for NS host names,
+	// e.g. "cloudflare-sim.com.".
+	InfraDomain string
+	NSHosts     []string
+	NSAddrs     []netip.Addr
+	// SupportsHTTPS is the provider's HTTPS-RRtype capability.
+	SupportsHTTPS bool
+	// HTTPSStartDay is when the provider began serving HTTPS records
+	// (drives the Fig 3 upward provider-count trend).
+	HTTPSStartDay time.Time
+	// IsCloudflare marks the dominant provider with the proxied default.
+	IsCloudflare bool
+	// ECHManager, when set, is the provider's client-facing ECH key
+	// manager (all of the paper's ECH configs point at Cloudflare's).
+	ECHManager *ech.KeyManager
+	// ECHProgramEnd is when the provider's ECH programme shut down
+	// (zero = never enrolled or never ends).
+	ECHProgramEnd time.Time
+	// ECHPublicName is the client-facing server name in ECH configs.
+	ECHPublicName string
+
+	Clock *simnet.Clock
+
+	mu      sync.RWMutex
+	domains map[string]*DomainState
+}
+
+// NewProvider creates a provider with n name servers, allocating addresses
+// from alloc under the provider's org.
+func NewProvider(name string, alloc *simnet.Allocator, clock *simnet.Clock, supportsHTTPS bool, start time.Time) *Provider {
+	infra := strings.ToLower(name) + "-dns-sim.com."
+	p := &Provider{
+		Name:          name,
+		Org:           name,
+		InfraDomain:   infra,
+		SupportsHTTPS: supportsHTTPS,
+		HTTPSStartDay: start,
+		Clock:         clock,
+		domains:       map[string]*DomainState{},
+	}
+	for i := 0; i < 2; i++ {
+		p.NSHosts = append(p.NSHosts, "ns"+string(rune('1'+i))+"."+infra)
+		p.NSAddrs = append(p.NSAddrs, alloc.AllocV4(p.Org))
+	}
+	return p
+}
+
+// AddDomain attaches a hosted domain.
+func (p *Provider) AddDomain(d *DomainState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.domains[d.Apex] = d
+}
+
+// Domain returns the hosted domain state, if any.
+func (p *Provider) Domain(apex string) (*DomainState, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	d, ok := p.domains[dnswire.CanonicalName(apex)]
+	return d, ok
+}
+
+// DomainCount returns the number of hosted domains.
+func (p *Provider) DomainCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.domains)
+}
+
+// echListFor returns the ECHConfigList to embed for a domain at time t,
+// or nil when the programme is inactive.
+func (p *Provider) echListFor(d *DomainState, t time.Time) []byte {
+	if p.ECHManager == nil || !d.ECH {
+		return nil
+	}
+	if !p.ECHProgramEnd.IsZero() && !t.Before(p.ECHProgramEnd) {
+		return nil
+	}
+	return p.ECHManager.ConfigList(t)
+}
+
+// HandleDNS implements simnet.DNSHandler: authoritative answers synthesized
+// from the hosted domain states.
+func (p *Provider) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	if len(q.Question) != 1 {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	question := q.Question[0]
+	name := dnswire.CanonicalName(question.Name)
+	now := p.Clock.Now()
+	dnssecOK := q.DNSSECOK()
+
+	// The provider's own infrastructure names (ns1.<infra> etc.).
+	if dnswire.IsSubdomain(name, p.InfraDomain) {
+		return p.answerInfra(resp, name, question.Type)
+	}
+
+	apex := dnswire.ApexOf(name)
+	p.mu.RLock()
+	d, ok := p.domains[apex]
+	p.mu.RUnlock()
+	if !ok {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	// A provider no longer serving the domain refuses (post switch-away).
+	serving := false
+	for _, sp := range d.ProvidersAt(now) {
+		if sp == p {
+			serving = true
+			break
+		}
+	}
+	if !serving {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+
+	resp.Authoritative = true
+	rrs := p.answerFor(d, name, question.Type, now)
+	if len(rrs) == 0 {
+		// NODATA (the owner names we model always exist).
+		if name != d.Apex && name != d.WWWName() {
+			resp.RCode = dnswire.RCodeNXDomain
+		}
+		resp.Authority = d.SOARRset(now)
+		if dnssecOK {
+			if sig, ok := d.signRRset(resp.Authority); ok {
+				resp.Authority = append(resp.Authority, sig)
+			}
+		}
+		return resp
+	}
+	resp.Answer = rrs
+	if dnssecOK {
+		resp.Answer = appendSigs(d, rrs)
+	}
+	return resp
+}
+
+// appendSigs groups the answer into RRsets and appends an RRSIG per set.
+func appendSigs(d *DomainState, rrs []dnswire.RR) []dnswire.RR {
+	out := append([]dnswire.RR(nil), rrs...)
+	type setKey struct {
+		name string
+		typ  dnswire.Type
+	}
+	sets := map[setKey][]dnswire.RR{}
+	var order []setKey
+	for _, rr := range rrs {
+		k := setKey{dnswire.CanonicalName(rr.Name), rr.Type}
+		if _, seen := sets[k]; !seen {
+			order = append(order, k)
+		}
+		sets[k] = append(sets[k], rr)
+	}
+	for _, k := range order {
+		if sig, ok := d.signRRset(sets[k]); ok {
+			out = append(out, sig)
+		}
+	}
+	return out
+}
+
+// answerFor synthesizes the answer RRs for (name, type) of a hosted domain.
+func (p *Provider) answerFor(d *DomainState, name string, t dnswire.Type, now time.Time) []dnswire.RR {
+	isApex := name == d.Apex
+	isWWW := name == d.WWWName()
+	if !isApex && !isWWW {
+		return nil
+	}
+	if isWWW && !d.HasWWW {
+		return nil
+	}
+
+	// CNAME pathologies first: they alias every type except CNAME itself.
+	if isApex && d.ApexCNAME && t != dnswire.TypeCNAME && t != dnswire.TypeNS &&
+		t != dnswire.TypeSOA && t != dnswire.TypeDNSKEY {
+		cname := dnswire.RR{Name: name, Type: dnswire.TypeCNAME, Class: dnswire.ClassINET,
+			TTL: d.TTL, Data: &dnswire.CNAMEData{Target: d.WWWName()}}
+		out := []dnswire.RR{cname}
+		return append(out, p.answerFor(d, d.WWWName(), t, now)...)
+	}
+	if isWWW && d.WWWCNAME && !d.ApexCNAME && t != dnswire.TypeCNAME {
+		cname := dnswire.RR{Name: name, Type: dnswire.TypeCNAME, Class: dnswire.ClassINET,
+			TTL: d.TTL, Data: &dnswire.CNAMEData{Target: d.Apex}}
+		out := []dnswire.RR{cname}
+		return append(out, p.answerFor(d, d.Apex, t, now)...)
+	}
+
+	switch t {
+	case dnswire.TypeA:
+		return d.ARRset(name, now)
+	case dnswire.TypeAAAA:
+		return d.AAAARRset(name)
+	case dnswire.TypeHTTPS:
+		if !d.HTTPSPublished(now, p) {
+			return nil
+		}
+		return d.BuildHTTPSRecords(name, now, p.echListFor(d, now))
+	case dnswire.TypeNS:
+		if isApex {
+			return d.NSRRset(now)
+		}
+	case dnswire.TypeSOA:
+		if isApex {
+			return d.SOARRset(now)
+		}
+	case dnswire.TypeDNSKEY:
+		if isApex {
+			return d.DNSKEYRRset()
+		}
+	}
+	return nil
+}
+
+// answerInfra serves the provider's own NS host records.
+func (p *Provider) answerInfra(resp *dnswire.Message, name string, t dnswire.Type) *dnswire.Message {
+	resp.Authoritative = true
+	for i, host := range p.NSHosts {
+		if name == host && t == dnswire.TypeA {
+			resp.Answer = append(resp.Answer, dnswire.RR{
+				Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 3600,
+				Data: &dnswire.AData{Addr: p.NSAddrs[i]},
+			})
+		}
+	}
+	if name == p.InfraDomain && t == dnswire.TypeNS {
+		for _, host := range p.NSHosts {
+			resp.Answer = append(resp.Answer, dnswire.RR{
+				Name: name, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 3600,
+				Data: &dnswire.NSData{Host: host},
+			})
+		}
+	}
+	return resp
+}

@@ -1,0 +1,251 @@
+package providers
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// TLDServer is a synthesized top-level-domain authoritative server: it
+// serves the delegation (referral + glue), the DS records of signed child
+// domains that uploaded them, and its own signed apex RRsets. Compared to a
+// materialised zone.Zone it holds only the compact DomainState index, which
+// keeps 10^5-delegation TLDs cheap.
+type TLDServer struct {
+	TLD   string // e.g. "com."
+	Host  string // its own NS host name
+	Addr  netip.Addr
+	Clock *simnet.Clock
+
+	ksk, zsk *dnssec.KeyPair
+
+	mu      sync.RWMutex
+	domains map[string]*DomainState
+	infra   map[string]*Provider // provider infra domains under this TLD
+	sigs    map[string][]dnswire.RR
+}
+
+// NewTLDServer creates a signed TLD server. Keys are generated from rng.
+func NewTLDServer(tld string, addr netip.Addr, clock *simnet.Clock, rng *rand.Rand) (*TLDServer, error) {
+	tld = dnswire.CanonicalName(tld)
+	ksk, err := dnssec.GenerateKey(rng, tld, true)
+	if err != nil {
+		return nil, err
+	}
+	zsk, err := dnssec.GenerateKey(rng, tld, false)
+	if err != nil {
+		return nil, err
+	}
+	return &TLDServer{
+		TLD:     tld,
+		Host:    "a.nic-sim." + tld,
+		Addr:    addr,
+		Clock:   clock,
+		ksk:     ksk,
+		zsk:     zsk,
+		domains: map[string]*DomainState{},
+		infra:   map[string]*Provider{},
+		sigs:    map[string][]dnswire.RR{},
+	}, nil
+}
+
+// DS returns the TLD's own DS record for the root zone.
+func (s *TLDServer) DS() (dnswire.RR, error) { return s.ksk.DS(3600) }
+
+// AddDomain registers a delegated child domain.
+func (s *TLDServer) AddDomain(d *DomainState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.domains[d.Apex] = d
+}
+
+// AddInfra registers a provider's infrastructure domain under this TLD.
+func (s *TLDServer) AddInfra(p *Provider) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.infra[p.InfraDomain] = p
+}
+
+// signCached signs an RRset with the TLD ZSK (KSK for DNSKEY), caching by
+// key.
+func (s *TLDServer) signCached(key string, rrs []dnswire.RR) []dnswire.RR {
+	s.mu.RLock()
+	sig, ok := s.sigs[key]
+	s.mu.RUnlock()
+	if ok {
+		return sig
+	}
+	signer := s.zsk
+	if rrs[0].Type == dnswire.TypeDNSKEY {
+		signer = s.ksk
+	}
+	rng := rand.New(rand.NewSource(int64(len(key)) * 2654435761))
+	rr, err := dnssec.SignRRset(rng, signer, rrs, sigInception, sigExpiration)
+	if err != nil {
+		return nil
+	}
+	out := []dnswire.RR{rr}
+	s.mu.Lock()
+	s.sigs[key] = out
+	s.mu.Unlock()
+	return out
+}
+
+func (s *TLDServer) apexNS() []dnswire.RR {
+	return []dnswire.RR{{Name: s.TLD, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 86400,
+		Data: &dnswire.NSData{Host: s.Host}}}
+}
+
+func (s *TLDServer) apexSOA() []dnswire.RR {
+	return []dnswire.RR{{Name: s.TLD, Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 3600,
+		Data: &dnswire.SOAData{MName: s.Host, RName: "nstld.nic-sim" + "." + s.TLD,
+			Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400}}}
+}
+
+func (s *TLDServer) dnskeys() []dnswire.RR {
+	return []dnswire.RR{s.ksk.DNSKEY(3600), s.zsk.DNSKEY(3600)}
+}
+
+// HandleDNS implements simnet.DNSHandler.
+func (s *TLDServer) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	if len(q.Question) != 1 {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	question := q.Question[0]
+	name := dnswire.CanonicalName(question.Name)
+	dnssecOK := q.DNSSECOK()
+	now := s.Clock.Now()
+
+	if !dnswire.IsSubdomain(name, s.TLD) {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+
+	// TLD apex.
+	if name == s.TLD {
+		resp.Authoritative = true
+		var rrs []dnswire.RR
+		var key string
+		switch question.Type {
+		case dnswire.TypeNS:
+			rrs, key = s.apexNS(), "ns"
+		case dnswire.TypeSOA:
+			rrs, key = s.apexSOA(), "soa"
+		case dnswire.TypeDNSKEY:
+			rrs, key = s.dnskeys(), "dnskey"
+		case dnswire.TypeA:
+			// The TLD server's glue (host a.nic-sim.<tld> is below, but
+			// the apex itself has no A).
+		}
+		if len(rrs) == 0 {
+			resp.Authority = s.apexSOA()
+			return resp
+		}
+		resp.Answer = rrs
+		if dnssecOK {
+			resp.Answer = append(resp.Answer, s.signCached(key, rrs)...)
+		}
+		return resp
+	}
+
+	// Own NS host glue.
+	if name == s.Host && question.Type == dnswire.TypeA {
+		resp.Authoritative = true
+		resp.Answer = []dnswire.RR{{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET,
+			TTL: 86400, Data: &dnswire.AData{Addr: s.Addr}}}
+		return resp
+	}
+
+	// Provider infrastructure delegations.
+	s.mu.RLock()
+	var infraProv *Provider
+	for infraDomain, p := range s.infra {
+		if dnswire.IsSubdomain(name, infraDomain) {
+			infraProv = p
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if infraProv != nil {
+		return s.referToProvider(resp, infraProv.InfraDomain, []*Provider{infraProv})
+	}
+
+	apex := dnswire.ApexOf(name)
+	s.mu.RLock()
+	d, ok := s.domains[apex]
+	s.mu.RUnlock()
+	if !ok {
+		resp.RCode = dnswire.RCodeNXDomain
+		resp.Authoritative = true
+		resp.Authority = s.apexSOA()
+		if dnssecOK {
+			resp.Authority = append(resp.Authority, s.signCached("soa", s.apexSOA())...)
+		}
+		return resp
+	}
+
+	// DS at the delegation point: answered authoritatively by the parent.
+	if name == apex && question.Type == dnswire.TypeDS {
+		resp.Authoritative = true
+		if d.Signed && d.DSUploaded {
+			ds, err := dnssec.MakeDS(d.KSK().DNSKEY(3600), 3600)
+			if err == nil {
+				rrs := []dnswire.RR{ds}
+				resp.Answer = rrs
+				if dnssecOK {
+					resp.Answer = append(resp.Answer, s.signCached("ds|"+apex, rrs)...)
+				}
+				return resp
+			}
+		}
+		// No DS: NODATA with (signed) SOA — provably unsigned delegation.
+		resp.Authority = s.apexSOA()
+		if dnssecOK {
+			resp.Authority = append(resp.Authority, s.signCached("soa", s.apexSOA())...)
+		}
+		return resp
+	}
+
+	// Regular delegation referral.
+	ps := d.ProvidersAt(now)
+	if len(ps) == 0 {
+		// The domain transiently has no NS records (§4.2.3).
+		resp.RCode = dnswire.RCodeServFail
+		return resp
+	}
+	m := s.referToProvider(resp, apex, ps)
+	if dnssecOK && d.Signed && d.DSUploaded {
+		if ds, err := dnssec.MakeDS(d.KSK().DNSKEY(3600), 3600); err == nil {
+			m.Authority = append(m.Authority, ds)
+			m.Authority = append(m.Authority, s.signCached("ds|"+apex, []dnswire.RR{ds})...)
+		}
+	}
+	return m
+}
+
+// referToProvider builds a referral for child at the given providers.
+func (s *TLDServer) referToProvider(resp *dnswire.Message, child string, ps []*Provider) *dnswire.Message {
+	for _, p := range ps {
+		for i, host := range p.NSHosts {
+			resp.Authority = append(resp.Authority, dnswire.RR{
+				Name: child, Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 86400,
+				Data: &dnswire.NSData{Host: host}})
+			resp.Additional = append([]dnswire.RR{{
+				Name: host, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: 86400,
+				Data: &dnswire.AData{Addr: p.NSAddrs[i]}}}, resp.Additional...)
+		}
+	}
+	return resp
+}
+
+// Ensure interface satisfaction.
+var (
+	_ simnet.DNSHandler = (*TLDServer)(nil)
+	_ simnet.DNSHandler = (*Provider)(nil)
+)

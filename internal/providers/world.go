@@ -1,0 +1,494 @@
+package providers
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/ech"
+	"repro/internal/resolver"
+	"repro/internal/simnet"
+	"repro/internal/tranco"
+	"repro/internal/whois"
+	"repro/internal/zone"
+)
+
+// WorldConfig parameterises world construction.
+type WorldConfig struct {
+	// Size is the daily Tranco list length (paper: 1M; default 20k).
+	Size int
+	// Seed drives all generation.
+	Seed int64
+	// Cal are the behavioural rates; zero value means DefaultCalibration.
+	Cal *Calibration
+}
+
+// World is the fully wired simulated Internet: root + TLD + provider DNS
+// infrastructure, the domain population with its schedules, public
+// resolvers, and the WHOIS database.
+type World struct {
+	Cfg   WorldConfig
+	Cal   Calibration
+	Net   *simnet.Network
+	Clock *simnet.Clock
+	Alloc *simnet.Allocator
+	Whois *whois.DB
+
+	Tranco *tranco.Simulator
+
+	Providers      []*Provider
+	ProviderByName map[string]*Provider
+	Cloudflare     *Provider
+
+	Domains map[string]*DomainState // by canonical apex
+	TLDs    map[string]*TLDServer
+
+	RootZone *zone.Zone
+	RootAddr netip.Addr
+	Anchor   []dnswire.RR
+
+	// GoogleResolver (8.8.8.8) is the primary public resolver;
+	// CFResolver (1.1.1.1) is the scanner's backup.
+	GoogleResolver *resolver.Resolver
+	CFResolver     *resolver.Resolver
+	GoogleAddr     netip.Addr
+	CFResolverAddr netip.Addr
+
+	// ECHKeys is Cloudflare's client-facing key manager
+	// (cloudflare-ech.com), rotated on the virtual clock.
+	ECHKeys *ech.KeyManager
+}
+
+func hashName(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// BuildWorld constructs the simulated ecosystem.
+func BuildWorld(cfg WorldConfig) (*World, error) {
+	if cfg.Size == 0 {
+		cfg.Size = 20_000
+	}
+	cal := DefaultCalibration()
+	if cfg.Cal != nil {
+		cal = *cfg.Cal
+	}
+	clock := simnet.NewClock(StudyStart)
+	w := &World{
+		Cfg:            cfg,
+		Cal:            cal,
+		Clock:          clock,
+		Net:            simnet.New(clock),
+		Alloc:          simnet.NewAllocator(),
+		Domains:        map[string]*DomainState{},
+		TLDs:           map[string]*TLDServer{},
+		ProviderByName: map[string]*Provider{},
+	}
+	w.Whois = whois.New(w.Alloc)
+	w.Tranco = tranco.NewSimulator(tranco.DefaultConfig(cfg.Size, cfg.Seed))
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var err error
+	w.ECHKeys, err = ech.NewKeyManager(rng, "cloudflare-ech.com",
+		cal.ECHRotationPeriod, cal.ECHRetention, StudyStart.Add(-24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+
+	w.buildProviders(rng)
+	if err := w.buildTLDsAndRoot(rng); err != nil {
+		return nil, err
+	}
+	w.buildDomains(rng)
+	w.assignSpecialPopulations(rng)
+	w.buildResolvers()
+	return w, nil
+}
+
+// buildProviders creates Cloudflare, the named Table 3 providers, and the
+// generated long tail.
+func (w *World) buildProviders(rng *rand.Rand) {
+	cf := NewProvider("Cloudflare", w.Alloc, w.Clock, true, StudyStart.Add(-365*24*time.Hour))
+	cf.IsCloudflare = true
+	cf.ECHManager = w.ECHKeys
+	cf.ECHProgramEnd = ECHDisableDate
+	cf.ECHPublicName = "cloudflare-ech.com"
+	w.Cloudflare = cf
+	w.addProvider(cf)
+
+	for i, pw := range w.Cal.NonCFWeights {
+		// Stagger HTTPS support start dates: about half supported from
+		// the beginning, the rest switch it on during the study,
+		// producing Fig 3's upward provider-count trend.
+		start := StudyStart.Add(-30 * 24 * time.Hour)
+		if i%2 == 1 {
+			offset := time.Duration(rng.Intn(300)) * 24 * time.Hour
+			start = StudyStart.Add(offset)
+		}
+		p := NewProvider(pw.Name, w.Alloc, w.Clock, true, start)
+		w.addProvider(p)
+	}
+	// Generated tail up to the scaled distinct-provider total.
+	total := ScaleCount(w.Cal.NonCFProviderTotal, w.Cfg.Size)
+	for i := len(w.Providers) - 1; i < total; i++ {
+		start := StudyStart.Add(time.Duration(rng.Intn(320)) * 24 * time.Hour)
+		if rng.Intn(2) == 0 {
+			start = StudyStart.Add(-24 * time.Hour)
+		}
+		p := NewProvider(fmt.Sprintf("Provider%03d", i), w.Alloc, w.Clock, true, start)
+		w.addProvider(p)
+	}
+	// Legacy registrars without HTTPS support (hosting the bulk of
+	// non-adopters and the switch-away targets).
+	for _, name := range []string{"LegacyDNS", "RegistrarOne", "RegistrarTwo", "SelfHosted"} {
+		p := NewProvider(name, w.Alloc, w.Clock, false, time.Time{})
+		w.addProvider(p)
+	}
+	// A pure cloud host (the AWS case): owns address space but is not a
+	// DNS provider; used by the WHOIS attribution rule.
+	w.Whois.RegisterOrg(whois.OrgInfo{Name: "CloudHostCo", IsCloudHost: true})
+	for _, p := range w.Providers {
+		w.Whois.RegisterOrg(whois.OrgInfo{Name: p.Org, IsDNSProvider: true})
+	}
+}
+
+func (w *World) addProvider(p *Provider) {
+	w.Providers = append(w.Providers, p)
+	w.ProviderByName[p.Name] = p
+	for _, addr := range p.NSAddrs {
+		w.Net.RegisterDNS(addr, p)
+	}
+}
+
+// buildTLDsAndRoot creates one signed TLD server per TLD in the universe
+// plus the signed root zone holding their DS records.
+func (w *World) buildTLDsAndRoot(rng *rand.Rand) error {
+	w.RootAddr = netip.MustParseAddr("198.41.0.4")
+
+	root := zone.New(".")
+	root.SetSOA("a.root-sim.net.", "nstld.root-sim.net.", 1, 86400)
+	root.Add(dnswire.RR{Name: ".", Type: dnswire.TypeNS, Class: dnswire.ClassINET, TTL: 518400,
+		Data: &dnswire.NSData{Host: "a.root-sim.net."}})
+	root.Add(dnswire.RR{Name: "a.root-sim.net.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		TTL: 518400, Data: &dnswire.AData{Addr: w.RootAddr}})
+
+	tldSet := map[string]bool{}
+	for _, d := range w.Tranco.Universe() {
+		tldSet[dnswire.ParentName(dnswire.CanonicalName(d))] = true
+	}
+	// Provider infra domains live under com.
+	tldSet["com."] = true
+
+	for tld := range tldSet {
+		addr := w.Alloc.AllocV4("TLDRegistry")
+		srv, err := NewTLDServer(tld, addr, w.Clock, rng)
+		if err != nil {
+			return err
+		}
+		w.TLDs[tld] = srv
+		w.Net.RegisterDNS(addr, srv)
+		root.Add(dnswire.RR{Name: tld, Type: dnswire.TypeNS, Class: dnswire.ClassINET,
+			TTL: 172800, Data: &dnswire.NSData{Host: srv.Host}})
+		root.Add(dnswire.RR{Name: srv.Host, Type: dnswire.TypeA, Class: dnswire.ClassINET,
+			TTL: 172800, Data: &dnswire.AData{Addr: addr}})
+		ds, err := srv.DS()
+		if err != nil {
+			return err
+		}
+		root.Add(ds)
+	}
+	if err := root.Sign(rng, sigInception, sigExpiration); err != nil {
+		return err
+	}
+	w.RootZone = root
+	rootKeys, _, _ := root.Lookup(".", dnswire.TypeDNSKEY)
+	w.Anchor = rootKeys
+
+	rootSrv := newRootServer(root)
+	w.Net.RegisterDNS(w.RootAddr, rootSrv)
+	w.Net.SetRootServers([]netip.Addr{w.RootAddr})
+
+	// Register provider infra delegations under com.
+	com := w.TLDs["com."]
+	for _, p := range w.Providers {
+		com.AddInfra(p)
+	}
+	return nil
+}
+
+// buildDomains creates the DomainState population from the Tranco universe.
+func (w *World) buildDomains(rng *rand.Rand) {
+	core := w.Tranco.CoreSet()
+	studyDays := StudyEnd.Sub(StudyStart).Hours() / 24
+
+	// Tail adoption window: uniform adoption dates chosen so the adopted
+	// fraction rises linearly from TailAdoptAtStart to TailAdoptAtEnd
+	// across the study (see DESIGN.md E1).
+	rate := (w.Cal.TailAdoptAtEnd - w.Cal.TailAdoptAtStart) / studyDays // per day
+	windowDays := 1.0 / rate
+	windowStart := StudyStart.Add(-time.Duration(w.Cal.TailAdoptAtStart*windowDays*24) * time.Hour)
+
+	for _, name := range w.Tranco.Universe() {
+		apex := dnswire.CanonicalName(name)
+		drng := rand.New(rand.NewSource(w.Cfg.Seed ^ hashName(apex)))
+		d := &DomainState{
+			Apex:    apex,
+			TTL:     w.Cal.RecordTTL,
+			HasWWW:  drng.Float64() < 0.95,
+			keySeed: w.Cfg.Seed ^ hashName(apex) ^ 0x5eed,
+		}
+		d.OriginV4 = w.Alloc.AllocV4("Origin-" + hostingOrg(drng))
+		d.OriginV6 = w.Alloc.AllocV6("Origin-" + hostingOrg(drng))
+		d.AltV4 = w.Alloc.AllocV4("Origin-" + hostingOrg(drng))
+
+		// Adoption.
+		adopts := false
+		if core[name] {
+			adopts = drng.Float64() < w.Cal.CoreAdoptRate
+			d.AdoptDay = StudyStart.Add(-24 * time.Hour)
+		} else {
+			adopts = true // adoption gated purely by the date
+			offset := time.Duration(drng.Float64()*windowDays*24) * time.Hour
+			d.AdoptDay = windowStart.Add(offset)
+		}
+		if !adopts {
+			d.Profile = ProfileNone
+			w.assignNonAdopterProvider(d, drng)
+		} else {
+			w.assignAdopterConfig(d, drng)
+		}
+
+		// DNSSEC state is assigned afterwards by quota (see
+		// assignSpecialPopulations) so the Table 9 ratios hold exactly
+		// at any scale.
+
+		w.Domains[apex] = d
+		for _, p := range d.Providers {
+			p.AddDomain(d)
+		}
+		tld := dnswire.ParentName(apex)
+		if srv, ok := w.TLDs[tld]; ok {
+			srv.AddDomain(d)
+		}
+	}
+}
+
+func hostingOrg(rng *rand.Rand) string {
+	return []string{"HostA", "HostB", "HostC", "CloudHostCo"}[rng.Intn(4)]
+}
+
+// nonCFShare returns the probability an adopter uses non-Cloudflare NS:
+// the paper's 0.11%, floored so small simulations keep a meaningful
+// non-CF population (documented in EXPERIMENTS.md).
+func (w *World) nonCFShare() float64 {
+	share := 1 - w.Cal.CloudflareShare
+	expectedAdopters := w.Cal.CoreAdoptRate * float64(w.Cfg.Size)
+	if expectedAdopters > 0 {
+		if floor := float64(w.Cal.MinNonCFAdopters) / expectedAdopters; floor > share {
+			return floor
+		}
+	}
+	return share
+}
+
+// assignAdopterConfig picks provider + profile + parameters for an
+// HTTPS-adopting domain.
+func (w *World) assignAdopterConfig(d *DomainState, rng *rand.Rand) {
+	r := rng.Float64()
+	switch {
+	case r >= w.nonCFShare():
+		d.Providers = []*Provider{w.Cloudflare}
+		d.Proxied = true
+		d.AnycastV4 = w.cfAnycastV4(rng)
+		d.AnycastV6 = w.cfAnycastV6(rng)
+		if rng.Float64() < w.Cal.CFDefaultShare {
+			d.Profile = ProfileCFDefault
+			d.HintV4, d.HintV6 = true, true
+			// ECH rides the free-plan proxied default (§4.4.1).
+			d.ECH = rng.Float64() < w.Cal.ECHShareOfAdopters/(w.Cal.CloudflareShare*w.Cal.CFDefaultShare)
+		} else {
+			d.Profile = ProfileCFCustom
+			// §E.2: customised CF domains advertise h2 (98.57%), rarely
+			// h3, sometimes nothing.
+			cr := rng.Float64()
+			switch {
+			case cr < 0.9857:
+				d.ALPN = []string{"h2"}
+			case cr < 0.9885:
+				d.ALPN = []string{"h2", "h3"}
+			}
+			d.HintV4 = rng.Float64() < w.Cal.HintShareV4
+			d.HintV6 = rng.Float64() < w.Cal.HintShareV6
+		}
+	default:
+		p := w.pickNonCFProvider(rng)
+		d.Providers = []*Provider{p}
+		d.AnycastV4, d.AnycastV6 = d.OriginV4, d.OriginV6
+		switch p.Name {
+		case "Google":
+			d.Profile = ProfileGoogle
+			if rng.Float64() >= w.Cal.GoogleEmptyParamShare {
+				d.ALPN = []string{"h2"}
+				d.HintV4 = rng.Float64() < 0.3
+			}
+		case "GoDaddy":
+			if rng.Float64() < w.Cal.GoDaddyAliasShare {
+				d.Profile = ProfileGoDaddyAlias
+			} else {
+				d.Profile = ProfileGoDaddyService
+				if rng.Float64() < 36.0/44.0 {
+					d.ALPN = []string{"h2", "h3"}
+				} else {
+					d.ALPN = []string{"h2"}
+				}
+			}
+		case "nexuspipe":
+			d.Profile = ProfilePriorityList
+		default:
+			d.Profile = ProfileNonCFGeneric
+			ar := rng.Float64()
+			switch {
+			case ar < w.Cal.NonCFNoneShare:
+				// no alpn parameter
+			case ar < w.Cal.NonCFNoneShare+w.Cal.NonCFH3Share:
+				d.ALPN = []string{"h2", "h3"}
+			case ar < w.Cal.NonCFNoneShare+w.Cal.NonCFH3Share+w.Cal.NonCFH2Share:
+				d.ALPN = []string{"h2"}
+			default:
+				d.ALPN = []string{"http/1.1"}
+			}
+			d.HintV4 = rng.Float64() < 0.5
+			d.HintV6 = rng.Float64() < 0.3
+		}
+	}
+	d.WWWHTTPS = rng.Float64() < w.Cal.WWWGivenApex
+	if d.HasWWW && rng.Float64() < 0.05 {
+		d.WWWCNAME = true
+	}
+}
+
+// cfAnycastV4 draws from a small pool of Cloudflare anycast addresses.
+func (w *World) cfAnycastV4(rng *rand.Rand) netip.Addr {
+	// A handful of shared anycast addresses, as in reality.
+	n := rng.Intn(8)
+	return netip.AddrFrom4([4]byte{104, 16, byte(132 + n), byte(229)})
+}
+
+func (w *World) cfAnycastV6(rng *rand.Rand) netip.Addr {
+	n := byte(rng.Intn(8))
+	return netip.AddrFrom16([16]byte{0x26, 0x06, 0x47, 0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0x68, 0x10, 0x84, 0xe5 + n})
+}
+
+// pickNonCFProvider draws a non-Cloudflare HTTPS-supporting provider with
+// Table 3 weighting.
+func (w *World) pickNonCFProvider(rng *rand.Rand) *Provider {
+	total := 0
+	for _, pw := range w.Cal.NonCFWeights {
+		total += pw.Count
+	}
+	// The generated tail shares a modest slice.
+	tailWeight := total / 4
+	pick := rng.Intn(total + tailWeight)
+	for _, pw := range w.Cal.NonCFWeights {
+		if pick < pw.Count {
+			return w.ProviderByName[pw.Name]
+		}
+		pick -= pw.Count
+	}
+	// Tail providers.
+	var tail []*Provider
+	for _, p := range w.Providers {
+		if !p.IsCloudflare && p.SupportsHTTPS && w.isTailProvider(p) {
+			tail = append(tail, p)
+		}
+	}
+	if len(tail) == 0 {
+		return w.ProviderByName[w.Cal.NonCFWeights[0].Name]
+	}
+	return tail[rng.Intn(len(tail))]
+}
+
+func (w *World) isTailProvider(p *Provider) bool {
+	for _, pw := range w.Cal.NonCFWeights {
+		if p.Name == pw.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// assignNonAdopterProvider hosts a non-adopting domain.
+func (w *World) assignNonAdopterProvider(d *DomainState, rng *rand.Rand) {
+	r := rng.Float64()
+	switch {
+	case r < 0.20:
+		d.Providers = []*Provider{w.Cloudflare}
+		d.AnycastV4 = w.cfAnycastV4(rng)
+		d.AnycastV6 = w.cfAnycastV6(rng)
+		// Not proxied (otherwise the default HTTPS record would exist).
+	case r < 0.60:
+		legacy := []string{"LegacyDNS", "RegistrarOne", "RegistrarTwo", "SelfHosted"}
+		d.Providers = []*Provider{w.ProviderByName[legacy[rng.Intn(len(legacy))]]}
+		d.AnycastV4, d.AnycastV6 = d.OriginV4, d.OriginV6
+	default:
+		d.Providers = []*Provider{w.pickNonCFProvider(rng)}
+		d.AnycastV4, d.AnycastV6 = d.OriginV4, d.OriginV6
+	}
+}
+
+// rootServer wraps the root zone in an authoritative handler.
+type rootServer struct{ z *zone.Zone }
+
+func newRootServer(z *zone.Zone) *rootServer { return &rootServer{z: z} }
+
+func (r *rootServer) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	if len(q.Question) != 1 {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	res := r.z.Query(q.Question[0].Name, q.Question[0].Type, q.DNSSECOK())
+	resp.RCode = res.RCode
+	resp.Answer = res.Answer
+	resp.Authority = res.Authority
+	resp.Additional = append(res.Additional, resp.Additional...)
+	resp.Authoritative = !res.Referral
+	return resp
+}
+
+// buildResolvers wires the two public resolvers.
+func (w *World) buildResolvers() {
+	w.GoogleAddr = netip.MustParseAddr("8.8.8.8")
+	w.CFResolverAddr = netip.MustParseAddr("1.1.1.1")
+
+	g := resolver.New(w.Net)
+	g.Validate = true
+	g.ValidateTypes = map[dnswire.Type]bool{dnswire.TypeHTTPS: true}
+	g.Anchor = w.Anchor
+	w.GoogleResolver = g
+	w.Net.RegisterDNS(w.GoogleAddr, g)
+
+	c := resolver.New(w.Net)
+	c.Validate = true
+	c.ValidateTypes = map[dnswire.Type]bool{dnswire.TypeHTTPS: true}
+	c.Anchor = w.Anchor
+	w.CFResolver = c
+	w.Net.RegisterDNS(w.CFResolverAddr, c)
+}
+
+// Domain returns the state for an apex (accepts names with or without the
+// trailing dot).
+func (w *World) Domain(apex string) (*DomainState, bool) {
+	d, ok := w.Domains[dnswire.CanonicalName(apex)]
+	return d, ok
+}
+
+// ECHProgramActive reports whether Cloudflare's ECH programme is on at t.
+func (w *World) ECHProgramActive(t time.Time) bool {
+	return t.Before(ECHDisableDate)
+}

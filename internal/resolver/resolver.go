@@ -1,0 +1,439 @@
+// Package resolver implements a caching recursive DNS resolver over simnet:
+// iterative resolution from the root servers, TTL-driven caching on the
+// virtual clock, cross-zone CNAME chasing, and DNSSEC chain validation that
+// sets the AD bit — the role Google Public DNS (8.8.8.8) and Cloudflare
+// (1.1.1.1) play in the paper's measurements.
+//
+// The cache is load-bearing for two of the paper's findings: stale HTTPS
+// records explain both the ECH key-inconsistency window (§4.4.2) and the
+// transient IP-hint/A mismatches (§4.3.5).
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// Errors returned by resolution.
+var (
+	ErrServFail  = errors.New("resolver: no authoritative server answered")
+	ErrLoop      = errors.New("resolver: resolution loop detected")
+	ErrNoServers = errors.New("resolver: no root servers configured")
+)
+
+// maxChase bounds CNAME chain length, matching common resolver limits.
+const maxChase = 8
+
+// maxDepth bounds referral-following depth.
+const maxDepth = 16
+
+// Response is the outcome of a recursive resolution.
+type Response struct {
+	RCode dnswire.RCode
+	// Answer contains the answer RRs in chase order (CNAMEs first).
+	Answer []dnswire.RR
+	// Sigs contains RRSIGs covering the answer RRsets (when DO was set by
+	// the stub or validation ran).
+	Sigs []dnswire.RR
+	// AuthenticatedData is the AD bit: the full chain validated.
+	AuthenticatedData bool
+	// Authority carries the SOA for negative answers.
+	Authority []dnswire.RR
+}
+
+type cacheEntry struct {
+	rrs       []dnswire.RR
+	sigs      []dnswire.RR
+	rcode     dnswire.RCode
+	authority []dnswire.RR
+	expires   time.Time
+	adKnown   bool
+	adValue   bool
+}
+
+// Resolver is a caching recursive resolver.
+type Resolver struct {
+	Net *simnet.Network
+	// Validate enables DNSSEC chain validation (AD bit computation).
+	Validate bool
+	// ValidateTypes, when non-nil, restricts validation to the listed
+	// query types (a measurement optimisation: the scanner only needs
+	// the AD bit on HTTPS responses).
+	ValidateTypes map[dnswire.Type]bool
+	// Anchor is the trusted root DNSKEY RRset used when Validate is set.
+	Anchor []dnswire.RR
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	// zoneKeys caches already-validated zone DNSKEY RRsets for
+	// zoneKeyTTL of virtual time.
+	zoneKeys map[string]zoneKeyEntry
+}
+
+type zoneKeyEntry struct {
+	keys    []dnswire.RR
+	expires time.Time
+}
+
+// zoneKeyTTL bounds reuse of validated zone keys (matches DNSKEY TTL).
+const zoneKeyTTL = time.Hour
+
+// New creates a resolver on the given network.
+func New(net *simnet.Network) *Resolver {
+	return &Resolver{Net: net, cache: map[string]*cacheEntry{}, zoneKeys: map[string]zoneKeyEntry{}}
+}
+
+// Get implements dnssec.ZoneKeyCache.
+func (r *Resolver) Get(zone string) ([]dnswire.RR, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.zoneKeys[zone]
+	if !ok || !e.expires.After(r.Net.Clock.Now()) {
+		return nil, false
+	}
+	return e.keys, true
+}
+
+// Put implements dnssec.ZoneKeyCache.
+func (r *Resolver) Put(zone string, keys []dnswire.RR) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.zoneKeys[zone] = zoneKeyEntry{keys: keys, expires: r.Net.Clock.Now().Add(zoneKeyTTL)}
+}
+
+func cacheKey(name string, t dnswire.Type) string {
+	return dnswire.CanonicalName(name) + "|" + t.String()
+}
+
+// FlushCache drops all cached entries (including validated zone keys).
+func (r *Resolver) FlushCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = map[string]*cacheEntry{}
+	r.zoneKeys = map[string]zoneKeyEntry{}
+}
+
+// CacheLen returns the number of live cache entries.
+func (r *Resolver) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.Net.Clock.Now()
+	n := 0
+	for _, e := range r.cache {
+		if e.expires.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Resolver) cached(name string, t dnswire.Type) (*cacheEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cache[cacheKey(name, t)]
+	if !ok || !e.expires.After(r.Net.Clock.Now()) {
+		return nil, false
+	}
+	return e, true
+}
+
+func (r *Resolver) store(name string, t dnswire.Type, e *cacheEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache[cacheKey(name, t)] = e
+}
+
+// minTTL returns the smallest TTL in the set, defaulting to def.
+func minTTL(rrs []dnswire.RR, def uint32) uint32 {
+	ttl := def
+	for i, rr := range rrs {
+		if i == 0 || rr.TTL < ttl {
+			ttl = rr.TTL
+		}
+	}
+	return ttl
+}
+
+// lookupAuthoritative performs one iterative resolution (no CNAME chasing,
+// no cache) starting from the root servers.
+func (r *Resolver) lookupAuthoritative(name string, t dnswire.Type) (*cacheEntry, error) {
+	servers := r.Net.RootServers()
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	name = dnswire.CanonicalName(name)
+	for depth := 0; depth < maxDepth; depth++ {
+		resp, err := r.queryAny(servers, name, t)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.RCode == dnswire.RCodeNXDomain,
+			resp.RCode == dnswire.RCodeNoError && len(resp.Answer) > 0,
+			resp.RCode == dnswire.RCodeNoError && resp.Authoritative:
+			rrs, sigs := splitSigs(resp.Answer)
+			ttl := minTTL(rrs, 300)
+			if len(rrs) == 0 {
+				// Negative answer: TTL from SOA minimum if present.
+				ttl = negativeTTL(resp.Authority)
+			}
+			auth, _ := splitSigs(resp.Authority)
+			return &cacheEntry{
+				rrs: rrs, sigs: sigs, rcode: resp.RCode, authority: auth,
+				expires: r.Net.Clock.Now().Add(time.Duration(ttl) * time.Second),
+			}, nil
+		case resp.RCode != dnswire.RCodeNoError:
+			return &cacheEntry{
+				rcode:   resp.RCode,
+				expires: r.Net.Clock.Now().Add(30 * time.Second),
+			}, nil
+		}
+		// Referral: gather next servers from the authority NS set.
+		next, err := r.referralServers(resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("%w: dead referral for %s", ErrServFail, name)
+		}
+		servers = next
+	}
+	return nil, ErrLoop
+}
+
+// queryAny tries the servers in order and returns the first response.
+func (r *Resolver) queryAny(servers []netip.Addr, name string, t dnswire.Type) (*dnswire.Message, error) {
+	q := dnswire.NewQuery(uint16(len(name)*31+int(t)), name, t, true)
+	q.RecursionDesired = false
+	var lastErr error
+	for _, s := range servers {
+		resp, err := r.Net.QueryDNS(s, q)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.RCode == dnswire.RCodeRefused {
+			lastErr = fmt.Errorf("resolver: %v refused", s)
+			continue
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrServFail
+	}
+	return nil, fmt.Errorf("%w: %v", ErrServFail, lastErr)
+}
+
+// referralServers extracts and resolves the name server addresses from a
+// referral response.
+func (r *Resolver) referralServers(resp *dnswire.Message) ([]netip.Addr, error) {
+	var hosts []string
+	for _, rr := range resp.Authority {
+		if ns, ok := rr.Data.(*dnswire.NSData); ok {
+			hosts = append(hosts, ns.Host)
+		}
+	}
+	var addrs []netip.Addr
+	// Prefer glue.
+	glue := map[string][]netip.Addr{}
+	for _, rr := range resp.Additional {
+		switch d := rr.Data.(type) {
+		case *dnswire.AData:
+			glue[rr.Name] = append(glue[rr.Name], d.Addr)
+		case *dnswire.AAAAData:
+			glue[rr.Name] = append(glue[rr.Name], d.Addr)
+		}
+	}
+	for _, h := range hosts {
+		h = dnswire.CanonicalName(h)
+		if g, ok := glue[h]; ok {
+			addrs = append(addrs, g...)
+			continue
+		}
+		// Glueless delegation: resolve the NS host's address.
+		sub, err := r.resolveRRset(h, dnswire.TypeA, maxChase)
+		if err != nil {
+			continue
+		}
+		for _, rr := range sub.rrs {
+			if a, ok := rr.Data.(*dnswire.AData); ok {
+				addrs = append(addrs, a.Addr)
+			}
+		}
+	}
+	return addrs, nil
+}
+
+func splitSigs(rrs []dnswire.RR) (data, sigs []dnswire.RR) {
+	for _, rr := range rrs {
+		if rr.Type == dnswire.TypeRRSIG {
+			sigs = append(sigs, rr)
+		} else {
+			data = append(data, rr)
+		}
+	}
+	return data, sigs
+}
+
+func negativeTTL(authority []dnswire.RR) uint32 {
+	for _, rr := range authority {
+		if soa, ok := rr.Data.(*dnswire.SOAData); ok {
+			ttl := soa.Minimum
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
+			return ttl
+		}
+	}
+	return 60
+}
+
+// resolveRRset resolves one (name, type) with caching, no CNAME chasing.
+func (r *Resolver) resolveRRset(name string, t dnswire.Type, depth int) (*cacheEntry, error) {
+	if depth <= 0 {
+		return nil, ErrLoop
+	}
+	if e, ok := r.cached(name, t); ok {
+		return e, nil
+	}
+	e, err := r.lookupAuthoritative(name, t)
+	if err != nil {
+		return nil, err
+	}
+	r.store(name, t, e)
+	return e, nil
+}
+
+// Resolve performs a full recursive resolution with CNAME chasing and
+// (when enabled) DNSSEC validation.
+func (r *Resolver) Resolve(name string, t dnswire.Type) (*Response, error) {
+	name = dnswire.CanonicalName(name)
+	out := &Response{RCode: dnswire.RCodeNoError, AuthenticatedData: r.Validate}
+	current := name
+	for hop := 0; hop < maxChase; hop++ {
+		e, err := r.resolveRRset(current, t, maxChase)
+		if err != nil {
+			return nil, err
+		}
+		out.RCode = e.rcode
+		out.Answer = append(out.Answer, e.rrs...)
+		out.Sigs = append(out.Sigs, e.sigs...)
+		if len(e.rrs) == 0 {
+			out.Authority = e.authority
+		}
+		shouldValidate := r.Validate && (r.ValidateTypes == nil || r.ValidateTypes[t])
+		if shouldValidate && (len(e.rrs) > 0 || e.rcode == dnswire.RCodeNoError) {
+			out.AuthenticatedData = out.AuthenticatedData && r.validateEntry(current, t, e)
+		} else {
+			out.AuthenticatedData = false
+		}
+		// Determine whether to chase a CNAME: answer has a CNAME at
+		// `current` but no record of the queried type.
+		next := chaseTarget(e.rrs, current, t)
+		if next == "" {
+			return out, nil
+		}
+		current = next
+		// If the chased target's records were already included by the
+		// authoritative server (in-zone chase), stop here.
+		if hasType(e.rrs, current, t) {
+			return out, nil
+		}
+	}
+	return nil, ErrLoop
+}
+
+func chaseTarget(rrs []dnswire.RR, name string, t dnswire.Type) string {
+	if t == dnswire.TypeCNAME {
+		return ""
+	}
+	var target string
+	for _, rr := range rrs {
+		if rr.Type == t && dnswire.CanonicalName(rr.Name) == name {
+			return "" // direct answer present
+		}
+		if c, ok := rr.Data.(*dnswire.CNAMEData); ok && dnswire.CanonicalName(rr.Name) == name {
+			target = dnswire.CanonicalName(c.Target)
+		}
+	}
+	return target
+}
+
+func hasType(rrs []dnswire.RR, name string, t dnswire.Type) bool {
+	for _, rr := range rrs {
+		if rr.Type == t && dnswire.CanonicalName(rr.Name) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// validateEntry runs chain validation for one RRset and caches the result.
+func (r *Resolver) validateEntry(name string, t dnswire.Type, e *cacheEntry) bool {
+	r.mu.Lock()
+	if e.adKnown {
+		v := e.adValue
+		r.mu.Unlock()
+		return v
+	}
+	r.mu.Unlock()
+	v := dnssec.NewValidator(&chainSource{r: r}, r.Anchor, r.Net.Clock.Now())
+	v.KeyCache = r
+	res, _ := v.Validate(name, t)
+	r.mu.Lock()
+	e.adKnown = true
+	e.adValue = res == dnssec.Secure
+	r.mu.Unlock()
+	return e.adValue
+}
+
+// chainSource adapts the resolver's own iterative lookups to the validator.
+type chainSource struct{ r *Resolver }
+
+func (cs *chainSource) FetchRRset(name string, t dnswire.Type) ([]dnswire.RR, []dnswire.RR, bool) {
+	e, err := cs.r.resolveRRset(name, t, maxChase)
+	if err != nil || e.rcode != dnswire.RCodeNoError || len(e.rrs) == 0 {
+		return nil, nil, false
+	}
+	return e.rrs, e.sigs, true
+}
+
+// FetchRRset exposes the resolver as a dnssec.ChainSource so callers (e.g.
+// the Table 9 validation census) can run full chain validation over live
+// recursive lookups.
+func (r *Resolver) FetchRRset(name string, t dnswire.Type) ([]dnswire.RR, []dnswire.RR, bool) {
+	return (&chainSource{r: r}).FetchRRset(name, t)
+}
+
+// HandleDNS implements simnet.DNSHandler so the resolver can be placed at a
+// public address (e.g. 8.8.8.8) and queried by stubs.
+func (r *Resolver) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	resp.RecursionAvailable = true
+	if len(q.Question) != 1 {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	question := q.Question[0]
+	res, err := r.Resolve(question.Name, question.Type)
+	if err != nil {
+		resp.RCode = dnswire.RCodeServFail
+		return resp
+	}
+	resp.RCode = res.RCode
+	resp.Answer = res.Answer
+	if q.DNSSECOK() {
+		resp.Answer = append(resp.Answer, res.Sigs...)
+		resp.Authority = res.Authority
+	}
+	resp.AuthenticatedData = res.AuthenticatedData
+	return resp
+}

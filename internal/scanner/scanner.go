@@ -1,0 +1,341 @@
+// Package scanner implements the paper's measurement framework (§4.1): the
+// daily HTTPS/A/AAAA/SOA/NS scans of the Tranco lists through public
+// resolvers (primary Google, backup Cloudflare), CNAME-chasing HTTPS
+// re-queries, RRSIG and AD-bit collection, name-server address + WHOIS
+// scans, the hourly ECH rotation scans, and the TLS connectivity probes for
+// domains with mismatched IP hints.
+package scanner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dnswire"
+	"repro/internal/ech"
+	"repro/internal/simnet"
+	"repro/internal/svcb"
+	"repro/internal/whois"
+)
+
+// Prober performs a TLS reachability check toward addr for a domain
+// (implemented by the providers world; an OpenSSL s_client in the paper).
+type Prober interface {
+	ProbeTLS(apex string, addr netip.Addr) error
+}
+
+// Scanner drives the measurement queries.
+type Scanner struct {
+	Net *simnet.Network
+	// Primary and Backup are the public resolvers (8.8.8.8 and 1.1.1.1
+	// in the paper).
+	Primary netip.Addr
+	Backup  netip.Addr
+	// Whois resolves name-server operators.
+	Whois *whois.DB
+	// Concurrency bounds parallel domain scans (the paper paces its
+	// scans for ethics; here it bounds simulation goroutines).
+	Concurrency int
+
+	mu  sync.Mutex
+	qid uint16
+}
+
+// New creates a scanner using the given resolvers.
+func New(net *simnet.Network, primary, backup netip.Addr, db *whois.DB) *Scanner {
+	return &Scanner{Net: net, Primary: primary, Backup: backup, Whois: db, Concurrency: 8}
+}
+
+func (s *Scanner) nextID() uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.qid++
+	return s.qid
+}
+
+// query sends one stub query, falling back to the backup resolver on error
+// or SERVFAIL (the paper's Google→Cloudflare fallback).
+func (s *Scanner) query(name string, t dnswire.Type) (*dnswire.Message, error) {
+	q := dnswire.NewQuery(s.nextID(), name, t, true)
+	resp, err := s.Net.QueryDNS(s.Primary, q)
+	if err == nil && resp.RCode != dnswire.RCodeServFail {
+		return resp, nil
+	}
+	resp, berr := s.Net.QueryDNS(s.Backup, q)
+	if berr == nil && resp.RCode != dnswire.RCodeServFail {
+		return resp, nil
+	}
+	if err == nil {
+		err = fmt.Errorf("scanner: SERVFAIL from both resolvers for %s/%s", name, t)
+	}
+	return nil, err
+}
+
+// SummarizeHTTPS converts a wire HTTPS record into the dataset summary.
+func SummarizeHTTPS(rr dnswire.RR) (dataset.HTTPSRecord, bool) {
+	data, ok := rr.Data.(*dnswire.SVCBData)
+	if !ok {
+		return dataset.HTTPSRecord{}, false
+	}
+	out := dataset.HTTPSRecord{
+		Priority: data.Priority,
+		Target:   data.Target,
+	}
+	if alpn, ok := data.Params.ALPN(); ok {
+		out.ALPN = alpn
+	}
+	out.NoDefALPN = data.Params.Has(svcb.KeyNoDefaultALPN)
+	if port, ok := data.Params.Port(); ok {
+		out.Port, out.HasPort = port, true
+	}
+	if hints, ok := data.Params.IPv4Hints(); ok {
+		out.V4Hints = hints
+	}
+	if hints, ok := data.Params.IPv6Hints(); ok {
+		out.V6Hints = hints
+	}
+	if echBytes, ok := data.Params.ECH(); ok {
+		out.HasECH = true
+		if configs, err := ech.UnmarshalList(echBytes); err == nil {
+			if cfg, err := ech.SelectConfig(configs); err == nil {
+				out.ECHConfigID = cfg.ConfigID
+				out.ECHKeyHash = hashBytes(cfg.PublicKey)
+				out.ECHPublicName = cfg.PublicName
+			}
+		}
+	}
+	return out, true
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// ScanDomain performs the full per-domain scan sequence: HTTPS (with CNAME
+// chasing), then A/AAAA/SOA/NS when HTTPS records exist.
+func (s *Scanner) ScanDomain(name string) *dataset.Observation {
+	obs := &dataset.Observation{Name: dnswire.CanonicalName(name)}
+
+	resp, err := s.query(name, dnswire.TypeHTTPS)
+	if err != nil {
+		obs.Err = err.Error()
+		return obs
+	}
+	obs.AD = resp.AuthenticatedData
+	s.extractHTTPS(resp, obs)
+
+	// CNAME chase (§4.1): if the answer contains a CNAME but the resolver
+	// did not chase to an HTTPS record, re-query the target explicitly.
+	if len(obs.CNAMEChain) > 0 && !obs.HasHTTPS() {
+		target := obs.CNAMEChain[len(obs.CNAMEChain)-1]
+		if sub, err := s.query(target, dnswire.TypeHTTPS); err == nil {
+			s.extractHTTPS(sub, obs)
+			obs.AD = obs.AD && sub.AuthenticatedData
+		}
+	}
+
+	if !obs.HasHTTPS() {
+		return obs
+	}
+	// Follow-up queries for adopters.
+	if resp, err := s.query(name, dnswire.TypeA); err == nil {
+		for _, rr := range resp.Answer {
+			if a, ok := rr.Data.(*dnswire.AData); ok {
+				obs.A = append(obs.A, a.Addr)
+			}
+		}
+	}
+	if resp, err := s.query(name, dnswire.TypeAAAA); err == nil {
+		for _, rr := range resp.Answer {
+			if a, ok := rr.Data.(*dnswire.AAAAData); ok {
+				obs.AAAA = append(obs.AAAA, a.Addr)
+			}
+		}
+	}
+	apex := dnswire.ApexOf(name)
+	if resp, err := s.query(apex, dnswire.TypeSOA); err == nil {
+		for _, rr := range resp.Answer {
+			if rr.Type == dnswire.TypeSOA {
+				obs.HasSOA = true
+			}
+		}
+	}
+	if resp, err := s.query(apex, dnswire.TypeNS); err == nil {
+		for _, rr := range resp.Answer {
+			if ns, ok := rr.Data.(*dnswire.NSData); ok {
+				obs.NS = append(obs.NS, ns.Host)
+			}
+		}
+	}
+	return obs
+}
+
+func (s *Scanner) extractHTTPS(resp *dnswire.Message, obs *dataset.Observation) {
+	for _, rr := range resp.Answer {
+		switch rr.Type {
+		case dnswire.TypeHTTPS:
+			if sum, ok := SummarizeHTTPS(rr); ok {
+				obs.HTTPS = append(obs.HTTPS, sum)
+			}
+		case dnswire.TypeRRSIG:
+			if sig, ok := rr.Data.(*dnswire.RRSIGData); ok && sig.TypeCovered == dnswire.TypeHTTPS {
+				obs.Signed = true
+			}
+		case dnswire.TypeCNAME:
+			obs.CNAMEChain = append(obs.CNAMEChain, rr.Data.(*dnswire.CNAMEData).Target)
+		}
+	}
+}
+
+// ScanList scans a ranked domain list concurrently, producing a snapshot.
+// kind is "apex" or "www"; for "www" the names are prefixed.
+func (s *Scanner) ScanList(date time.Time, kind string, list []string) *dataset.Snapshot {
+	snap := &dataset.Snapshot{Date: date, Kind: kind, Total: len(list), Obs: map[string]*dataset.Observation{}}
+	type job struct {
+		name string
+		rank int
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	workers := s.Concurrency
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				obs := s.ScanDomain(j.name)
+				obs.Rank = j.rank
+				if obs.HasHTTPS() || obs.Err != "" {
+					mu.Lock()
+					snap.Obs[obs.Name] = obs
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i, apex := range list {
+		name := apex
+		if kind == "www" {
+			name = "www." + apex
+		}
+		jobs <- job{name: name, rank: i + 1}
+	}
+	close(jobs)
+	wg.Wait()
+	return snap
+}
+
+// ScanNameServers resolves the addresses of every name-server host seen in
+// the snapshot and attributes them via WHOIS (§4.2.2 methodology).
+func (s *Scanner) ScanNameServers(date time.Time, snaps ...*dataset.Snapshot) *dataset.NSSnapshot {
+	hosts := map[string]bool{}
+	for _, snap := range snaps {
+		for _, obs := range snap.Obs {
+			for _, h := range obs.NS {
+				hosts[dnswire.CanonicalName(h)] = true
+			}
+		}
+	}
+	out := &dataset.NSSnapshot{Date: date, Servers: map[string]*dataset.NSObservation{}}
+	for host := range hosts {
+		nso := &dataset.NSObservation{Host: host}
+		if resp, err := s.query(host, dnswire.TypeA); err == nil {
+			for _, rr := range resp.Answer {
+				if a, ok := rr.Data.(*dnswire.AData); ok {
+					nso.Addrs = append(nso.Addrs, a.Addr)
+				}
+			}
+		}
+		if s.Whois != nil && len(nso.Addrs) > 0 {
+			nso.Org = s.Whois.AttributeNameServer(nso.Addrs[0])
+		}
+		out.Servers[host] = nso
+	}
+	return out
+}
+
+// ECHScan performs one hourly ECH observation pass over the given domains
+// (the §4.4.2 experiment).
+func (s *Scanner) ECHScan(now time.Time, domains []string) []dataset.ECHObservation {
+	var out []dataset.ECHObservation
+	for _, name := range domains {
+		resp, err := s.query(name, dnswire.TypeHTTPS)
+		if err != nil {
+			continue
+		}
+		for _, rr := range resp.Answer {
+			if rr.Type != dnswire.TypeHTTPS {
+				continue
+			}
+			sum, ok := SummarizeHTTPS(rr)
+			if !ok || !sum.HasECH {
+				continue
+			}
+			out = append(out, dataset.ECHObservation{
+				Time:       now,
+				Domain:     dnswire.CanonicalName(name),
+				ConfigID:   sum.ECHConfigID,
+				KeyHash:    sum.ECHKeyHash,
+				PublicName: sum.ECHPublicName,
+			})
+		}
+	}
+	return out
+}
+
+// ProbeMismatches runs the §4.3.5 connectivity experiment: for every
+// observation whose IP hints disagree with its A records, TLS-probe both
+// addresses.
+func (s *Scanner) ProbeMismatches(date time.Time, snap *dataset.Snapshot, prober Prober) []dataset.ProbeResult {
+	var out []dataset.ProbeResult
+	for _, obs := range snap.Obs {
+		if !obs.HasHTTPS() || len(obs.A) == 0 {
+			continue
+		}
+		var hints []netip.Addr
+		for _, rec := range obs.HTTPS {
+			hints = append(hints, rec.V4Hints...)
+		}
+		if len(hints) == 0 {
+			continue
+		}
+		mismatch := !sameAddrSet(hints, obs.A)
+		if !mismatch {
+			continue
+		}
+		apex := dnswire.ApexOf(obs.Name)
+		res := dataset.ProbeResult{
+			Date: date, Domain: obs.Name, Mismatch: true,
+			HintAddr: hints[0], AAddr: obs.A[0],
+		}
+		res.HintOK = prober.ProbeTLS(apex, hints[0]) == nil
+		res.AOK = prober.ProbeTLS(apex, obs.A[0]) == nil
+		out = append(out, res)
+	}
+	return out
+}
+
+func sameAddrSet(a, b []netip.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := map[netip.Addr]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, y := range b {
+		if !set[y] {
+			return false
+		}
+	}
+	return true
+}

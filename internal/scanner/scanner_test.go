@@ -1,0 +1,254 @@
+package scanner
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/providers"
+)
+
+// scanWorld builds a small world + scanner fixture.
+func scanWorld(t *testing.T) (*providers.World, *Scanner) {
+	t.Helper()
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: 1500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Clock.Set(time.Date(2023, 9, 15, 12, 0, 0, 0, time.UTC))
+	return w, New(w.Net, w.GoogleAddr, w.CFResolverAddr, w.Whois)
+}
+
+func findApex(w *providers.World, pred func(d *providers.DomainState) bool) string {
+	for apex, d := range w.Domains {
+		if pred(d) {
+			return apex
+		}
+	}
+	return ""
+}
+
+func TestScanDomainAdopter(t *testing.T) {
+	w, sc := scanWorld(t)
+	apex := findApex(w, func(d *providers.DomainState) bool {
+		return d.Profile == providers.ProfileCFDefault && !d.ApexCNAME &&
+			d.Intermittent == providers.IntermitNone && !d.AdoptDay.After(w.Clock.Now())
+	})
+	if apex == "" {
+		t.Fatal("no adopter found")
+	}
+	obs := sc.ScanDomain(apex)
+	if obs.Err != "" {
+		t.Fatalf("scan error: %s", obs.Err)
+	}
+	if !obs.HasHTTPS() {
+		t.Fatal("no HTTPS records observed")
+	}
+	rec := obs.HTTPS[0]
+	if rec.Priority != 1 || rec.Target != "." {
+		t.Errorf("CF default shape wrong: %+v", rec)
+	}
+	if len(rec.V4Hints) == 0 || len(rec.V6Hints) == 0 {
+		t.Error("missing IP hints")
+	}
+	// Follow-up queries populated.
+	if len(obs.A) == 0 || len(obs.NS) == 0 || !obs.HasSOA {
+		t.Errorf("follow-up data missing: A=%v NS=%v SOA=%v", obs.A, obs.NS, obs.HasSOA)
+	}
+}
+
+func TestScanDomainNonAdopter(t *testing.T) {
+	w, sc := scanWorld(t)
+	apex := findApex(w, func(d *providers.DomainState) bool {
+		return d.Profile == providers.ProfileNone
+	})
+	if apex == "" {
+		t.Fatal("no non-adopter found")
+	}
+	obs := sc.ScanDomain(apex)
+	if obs.HasHTTPS() {
+		t.Error("phantom HTTPS records")
+	}
+	// No follow-up queries for non-adopters (the paper's protocol).
+	if len(obs.A) != 0 || len(obs.NS) != 0 {
+		t.Error("follow-up queries issued for non-adopter")
+	}
+}
+
+func TestScanDomainCNAMEChase(t *testing.T) {
+	w, sc := scanWorld(t)
+	apex := findApex(w, func(d *providers.DomainState) bool { return d.ApexCNAME })
+	if apex == "" {
+		t.Skip("no apex-CNAME domain at this scale")
+	}
+	obs := sc.ScanDomain(apex)
+	if len(obs.CNAMEChain) == 0 {
+		t.Error("CNAME chain not recorded")
+	}
+	if !obs.HasHTTPS() {
+		t.Error("HTTPS record not found through CNAME")
+	}
+}
+
+func TestScanDomainECHSummary(t *testing.T) {
+	w, sc := scanWorld(t)
+	w.Clock.Set(time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC)) // ECH active
+	apex := findApex(w, func(d *providers.DomainState) bool {
+		return d.ECH && d.Profile == providers.ProfileCFDefault && !d.ApexCNAME &&
+			d.Intermittent == providers.IntermitNone && !d.AdoptDay.After(w.Clock.Now())
+	})
+	if apex == "" {
+		t.Fatal("no ECH domain")
+	}
+	obs := sc.ScanDomain(apex)
+	if !obs.HasHTTPS() || !obs.HTTPS[0].HasECH {
+		t.Fatal("ECH not observed")
+	}
+	if obs.HTTPS[0].ECHPublicName != "cloudflare-ech.com" {
+		t.Errorf("public name = %q", obs.HTTPS[0].ECHPublicName)
+	}
+	if obs.HTTPS[0].ECHKeyHash == 0 {
+		t.Error("key hash not computed")
+	}
+}
+
+func TestScanListCountsAndRanks(t *testing.T) {
+	w, sc := scanWorld(t)
+	list := w.Tranco.ListFor(w.Clock.Now())[:300]
+	snap := sc.ScanList(w.Clock.Now(), "apex", list)
+	if snap.Total != 300 {
+		t.Errorf("Total = %d", snap.Total)
+	}
+	if len(snap.Obs) == 0 {
+		t.Fatal("no adopters in 300 domains")
+	}
+	for name, obs := range snap.Obs {
+		if obs.Rank < 1 || obs.Rank > 300 {
+			t.Errorf("%s rank = %d", name, obs.Rank)
+		}
+	}
+	// www variant prefixes names.
+	wsnap := sc.ScanList(w.Clock.Now(), "www", list[:50])
+	for name := range wsnap.Obs {
+		if len(name) < 4 || name[:4] != "www." {
+			t.Errorf("www obs key %q not prefixed", name)
+		}
+	}
+}
+
+func TestScanNameServers(t *testing.T) {
+	w, sc := scanWorld(t)
+	list := w.Tranco.ListFor(w.Clock.Now())[:300]
+	snap := sc.ScanList(w.Clock.Now(), "apex", list)
+	ns := sc.ScanNameServers(w.Clock.Now(), snap)
+	if len(ns.Servers) == 0 {
+		t.Fatal("no name servers observed")
+	}
+	cloudflareSeen := false
+	for _, nso := range ns.Servers {
+		if len(nso.Addrs) == 0 {
+			t.Errorf("NS %s unresolved", nso.Host)
+		}
+		if nso.Org == "Cloudflare" {
+			cloudflareSeen = true
+		}
+	}
+	if !cloudflareSeen {
+		t.Error("Cloudflare NS not attributed")
+	}
+}
+
+func TestResolverFallback(t *testing.T) {
+	w, sc := scanWorld(t)
+	apex := findApex(w, func(d *providers.DomainState) bool {
+		return d.Profile == providers.ProfileCFDefault && !d.ApexCNAME &&
+			d.Intermittent == providers.IntermitNone && !d.AdoptDay.After(w.Clock.Now())
+	})
+	// Take the primary resolver down: the scanner must fall back to the
+	// backup (1.1.1.1), as the paper's framework does.
+	w.Net.SetAddrDown(w.GoogleAddr, true)
+	obs := sc.ScanDomain(apex)
+	if obs.Err != "" || !obs.HasHTTPS() {
+		t.Errorf("fallback scan failed: %+v", obs)
+	}
+	// Both down: error recorded, no panic.
+	w.Net.SetAddrDown(w.CFResolverAddr, true)
+	obs = sc.ScanDomain(apex)
+	if obs.Err == "" {
+		t.Error("error not recorded with both resolvers down")
+	}
+}
+
+func TestECHScanAndProbe(t *testing.T) {
+	w, sc := scanWorld(t)
+	w.Clock.Set(time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC))
+	var echDomains []string
+	for apex, d := range w.Domains {
+		if d.ECH && !d.ApexCNAME && d.Intermittent == providers.IntermitNone &&
+			!d.AdoptDay.After(w.Clock.Now()) {
+			echDomains = append(echDomains, apex)
+		}
+		if len(echDomains) == 5 {
+			break
+		}
+	}
+	if len(echDomains) == 0 {
+		t.Fatal("no eligible ECH domains")
+	}
+	obs := sc.ECHScan(w.Clock.Now(), echDomains)
+	if len(obs) == 0 {
+		t.Fatal("no ECH observations")
+	}
+	for _, o := range obs {
+		if o.KeyHash == 0 || o.PublicName == "" {
+			t.Errorf("incomplete observation: %+v", o)
+		}
+	}
+}
+
+func TestProbeMismatches(t *testing.T) {
+	w, sc := scanWorld(t)
+	// Pick a mismatch episode and set the clock inside it.
+	var target *providers.DomainState
+	for _, d := range w.Domains {
+		if len(d.MismatchEpisodes) > 0 && d.Intermittent == providers.IntermitNone &&
+			d.Profile == providers.ProfileCFDefault && !d.ApexCNAME {
+			target = d
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no mismatch domain")
+	}
+	ep := target.MismatchEpisodes[0]
+	mid := ep.From.Add(ep.To.Sub(ep.From) / 2)
+	w.Clock.Set(mid)
+	snap := sc.ScanList(mid, "apex", []string{trimDot(target.Apex)})
+	probes := sc.ProbeMismatches(mid, snap, w)
+	if len(probes) != 1 {
+		t.Fatalf("probes = %d, want 1", len(probes))
+	}
+	p := probes[0]
+	if !p.Mismatch {
+		t.Error("mismatch not flagged")
+	}
+	if p.HintOK != target.HintReachable || p.AOK != target.AReachable {
+		t.Errorf("reachability: got hint=%v a=%v, want %v/%v",
+			p.HintOK, p.AOK, target.HintReachable, target.AReachable)
+	}
+}
+
+func trimDot(s string) string {
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		return s[:len(s)-1]
+	}
+	return s
+}
+
+func TestSummarizeHTTPSNonSVCB(t *testing.T) {
+	rr := dnswire.RR{Name: "a.com.", Type: dnswire.TypeA, Class: dnswire.ClassINET,
+		Data: &dnswire.AData{}}
+	if _, ok := SummarizeHTTPS(rr); ok {
+		t.Error("non-SVCB record summarised")
+	}
+}

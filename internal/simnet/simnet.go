@@ -1,0 +1,300 @@
+// Package simnet provides the simulated Internet substrate the measurement
+// framework runs on: a virtual clock, an IPv4/IPv6 address allocator with
+// per-organisation blocks (feeding the WHOIS model), and a network that
+// routes DNS queries and TLS connections to registered virtual hosts, with
+// failure injection (unreachable addresses and ports).
+//
+// The paper's experiments ran against the live Internet; simnet substitutes
+// a deterministic, seedable world that speaks the same wire formats, so
+// every parsing, caching, validation, and failover code path is exercised
+// for real.
+package simnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Clock is a virtual clock shared by all components of a simulation.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock creates a clock starting at start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to t.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}
+
+// Errors returned by network operations.
+var (
+	ErrUnreachable = errors.New("simnet: host unreachable")
+	ErrNoService   = errors.New("simnet: no service at address")
+	ErrRefused     = errors.New("simnet: connection refused")
+)
+
+// DNSHandler answers DNS queries. Both authoritative servers and recursive
+// resolvers implement it.
+type DNSHandler interface {
+	HandleDNS(q *dnswire.Message) *dnswire.Message
+}
+
+// Network is the simulated Internet: a registry of DNS servers by address
+// and of arbitrary services (e.g. TLS endpoints) by address:port, plus
+// reachability failure injection.
+type Network struct {
+	Clock *Clock
+
+	mu           sync.RWMutex
+	dns          map[netip.Addr]DNSHandler
+	services     map[netip.AddrPort]any
+	downAddrs    map[netip.Addr]bool
+	downPorts    map[netip.AddrPort]bool
+	queryCount   uint64
+	rootServers  []netip.Addr
+}
+
+// New creates an empty network with the given clock.
+func New(clock *Clock) *Network {
+	return &Network{
+		Clock:     clock,
+		dns:       map[netip.Addr]DNSHandler{},
+		services:  map[netip.AddrPort]any{},
+		downAddrs: map[netip.Addr]bool{},
+		downPorts: map[netip.AddrPort]bool{},
+	}
+}
+
+// RegisterDNS attaches a DNS handler at addr.
+func (n *Network) RegisterDNS(addr netip.Addr, h DNSHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dns[addr] = h
+}
+
+// UnregisterDNS removes the handler at addr.
+func (n *Network) UnregisterDNS(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.dns, addr)
+}
+
+// SetRootServers records the root name server addresses for resolvers.
+func (n *Network) SetRootServers(addrs []netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rootServers = append([]netip.Addr(nil), addrs...)
+}
+
+// RootServers returns the configured root server addresses.
+func (n *Network) RootServers() []netip.Addr {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]netip.Addr(nil), n.rootServers...)
+}
+
+// QueryDNS sends a DNS query to the server at addr and returns its response.
+func (n *Network) QueryDNS(addr netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+	n.mu.RLock()
+	h, ok := n.dns[addr]
+	down := n.downAddrs[addr]
+	n.mu.RUnlock()
+	if down {
+		return nil, fmt.Errorf("querying %v: %w", addr, ErrUnreachable)
+	}
+	if !ok {
+		return nil, fmt.Errorf("querying %v: %w", addr, ErrNoService)
+	}
+	n.mu.Lock()
+	n.queryCount++
+	n.mu.Unlock()
+	resp := h.HandleDNS(q)
+	if resp == nil {
+		return nil, fmt.Errorf("querying %v: %w", addr, ErrRefused)
+	}
+	return resp, nil
+}
+
+// QueryCount returns the total number of DNS queries routed so far; the
+// ethics-minded rate accounting in the scanner uses it.
+func (n *Network) QueryCount() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.queryCount
+}
+
+// RegisterService attaches an arbitrary service object (e.g. a TLS endpoint)
+// at addr:port.
+func (n *Network) RegisterService(ap netip.AddrPort, svc any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.services[ap] = svc
+}
+
+// UnregisterService removes the service at addr:port.
+func (n *Network) UnregisterService(ap netip.AddrPort) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.services, ap)
+}
+
+// Service returns the service registered at addr:port. It honours failure
+// injection: a down address or port returns ErrUnreachable.
+func (n *Network) Service(ap netip.AddrPort) (any, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.downAddrs[ap.Addr()] || n.downPorts[ap] {
+		return nil, fmt.Errorf("connecting to %v: %w", ap, ErrUnreachable)
+	}
+	svc, ok := n.services[ap]
+	if !ok {
+		return nil, fmt.Errorf("connecting to %v: %w", ap, ErrRefused)
+	}
+	return svc, nil
+}
+
+// SetAddrDown marks an entire address (un)reachable.
+func (n *Network) SetAddrDown(addr netip.Addr, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.downAddrs[addr] = true
+	} else {
+		delete(n.downAddrs, addr)
+	}
+}
+
+// SetPortDown marks one address:port (un)reachable.
+func (n *Network) SetPortDown(ap netip.AddrPort, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.downPorts[ap] = true
+	} else {
+		delete(n.downPorts, ap)
+	}
+}
+
+// Allocator hands out IP addresses from per-organisation blocks, recording
+// ownership for the WHOIS model. IPv4 blocks are /16s carved sequentially
+// from 100.64.0.0/10-style space; IPv6 blocks are /32-ish prefixes.
+type Allocator struct {
+	mu       sync.Mutex
+	nextV4   uint32            // next /16 block index
+	orgV4    map[string]uint32 // org → block base (as uint32 address)
+	orgNext4 map[string]uint32 // org → next offset within block
+	nextV6   uint16
+	orgV6    map[string]uint16
+	orgNext6 map[string]uint64
+	owner    map[netip.Addr]string
+}
+
+// NewAllocator creates an empty allocator.
+func NewAllocator() *Allocator {
+	return &Allocator{
+		orgV4:    map[string]uint32{},
+		orgNext4: map[string]uint32{},
+		orgV6:    map[string]uint16{},
+		orgNext6: map[string]uint64{},
+		owner:    map[netip.Addr]string{},
+	}
+}
+
+// AllocV4 returns the next IPv4 address owned by org.
+func (a *Allocator) AllocV4(org string) netip.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	base, ok := a.orgV4[org]
+	if !ok {
+		// Carve the next /16 out of 10.0.0.0/8 then 100.64.0.0/10 space;
+		// addresses are synthetic so only uniqueness matters.
+		base = 0x0a000000 + a.nextV4<<16
+		a.nextV4++
+		a.orgV4[org] = base
+		a.orgNext4[org] = 1
+	}
+	off := a.orgNext4[org]
+	a.orgNext4[org]++
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], base+off)
+	addr := netip.AddrFrom4(b)
+	a.owner[addr] = org
+	return addr
+}
+
+// AllocV6 returns the next IPv6 address owned by org.
+func (a *Allocator) AllocV6(org string) netip.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prefix, ok := a.orgV6[org]
+	if !ok {
+		prefix = a.nextV6
+		a.nextV6++
+		a.orgV6[org] = prefix
+		a.orgNext6[org] = 1
+	}
+	off := a.orgNext6[org]
+	a.orgNext6[org]++
+	var b [16]byte
+	b[0], b[1] = 0x20, 0x01 // 2001::/16-style documentation space
+	binary.BigEndian.PutUint16(b[2:4], prefix)
+	binary.BigEndian.PutUint64(b[8:16], off)
+	addr := netip.AddrFrom16(b)
+	a.owner[addr] = org
+	return addr
+}
+
+// Owner returns the organisation that owns addr, if allocated.
+func (a *Allocator) Owner(addr netip.Addr) (string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	org, ok := a.owner[addr]
+	return org, ok
+}
+
+// SetOwner overrides ownership of an address (models BYOIP, where WHOIS
+// shows the original owner rather than the operating provider).
+func (a *Allocator) SetOwner(addr netip.Addr, org string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.owner[addr] = org
+}
+
+// Owners returns a snapshot of all allocations.
+func (a *Allocator) Owners() map[netip.Addr]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[netip.Addr]string, len(a.owner))
+	for k, v := range a.owner {
+		out[k] = v
+	}
+	return out
+}

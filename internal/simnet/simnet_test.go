@@ -1,0 +1,168 @@
+package simnet
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+func TestClock(t *testing.T) {
+	start := time.Date(2023, 5, 8, 0, 0, 0, 0, time.UTC)
+	c := NewClock(start)
+	if !c.Now().Equal(start) {
+		t.Error("initial time wrong")
+	}
+	c.Advance(time.Hour)
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("Advance wrong")
+	}
+	c.Set(start)
+	if !c.Now().Equal(start) {
+		t.Error("Set wrong")
+	}
+}
+
+type echoHandler struct{}
+
+func (echoHandler) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	r := q.Reply()
+	r.RCode = dnswire.RCodeNoError
+	return r
+}
+
+func TestQueryDNSRouting(t *testing.T) {
+	n := New(NewClock(time.Unix(0, 0)))
+	addr := netip.MustParseAddr("10.0.0.1")
+	n.RegisterDNS(addr, echoHandler{})
+
+	q := dnswire.NewQuery(1, "x.com", dnswire.TypeA, false)
+	resp, err := n.QueryDNS(addr, q)
+	if err != nil || resp.ID != 1 {
+		t.Fatalf("QueryDNS: %v %v", resp, err)
+	}
+	if n.QueryCount() != 1 {
+		t.Errorf("QueryCount = %d", n.QueryCount())
+	}
+	// Unknown address.
+	if _, err := n.QueryDNS(netip.MustParseAddr("10.0.0.2"), q); !errors.Is(err, ErrNoService) {
+		t.Errorf("err = %v", err)
+	}
+	// Down address.
+	n.SetAddrDown(addr, true)
+	if _, err := n.QueryDNS(addr, q); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("down addr err = %v", err)
+	}
+	n.SetAddrDown(addr, false)
+	if _, err := n.QueryDNS(addr, q); err != nil {
+		t.Errorf("recovered addr err = %v", err)
+	}
+	// Unregister.
+	n.UnregisterDNS(addr)
+	if _, err := n.QueryDNS(addr, q); !errors.Is(err, ErrNoService) {
+		t.Errorf("unregistered err = %v", err)
+	}
+}
+
+func TestServiceRegistry(t *testing.T) {
+	n := New(NewClock(time.Unix(0, 0)))
+	ap := netip.MustParseAddrPort("10.0.0.1:443")
+	n.RegisterService(ap, "svc")
+	svc, err := n.Service(ap)
+	if err != nil || svc != "svc" {
+		t.Fatalf("Service: %v %v", svc, err)
+	}
+	// Port-level failure injection.
+	n.SetPortDown(ap, true)
+	if _, err := n.Service(ap); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("down port err = %v", err)
+	}
+	n.SetPortDown(ap, false)
+	// Address-level failure injection affects services too.
+	n.SetAddrDown(ap.Addr(), true)
+	if _, err := n.Service(ap); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("down addr err = %v", err)
+	}
+	n.SetAddrDown(ap.Addr(), false)
+	// Unknown port refuses.
+	if _, err := n.Service(netip.MustParseAddrPort("10.0.0.1:8443")); !errors.Is(err, ErrRefused) {
+		t.Errorf("unknown port err = %v", err)
+	}
+	n.UnregisterService(ap)
+	if _, err := n.Service(ap); !errors.Is(err, ErrRefused) {
+		t.Errorf("unregistered err = %v", err)
+	}
+}
+
+func TestRootServers(t *testing.T) {
+	n := New(NewClock(time.Unix(0, 0)))
+	roots := []netip.Addr{netip.MustParseAddr("198.41.0.4")}
+	n.SetRootServers(roots)
+	got := n.RootServers()
+	if len(got) != 1 || got[0] != roots[0] {
+		t.Errorf("RootServers = %v", got)
+	}
+	// Returned slice is a copy.
+	got[0] = netip.MustParseAddr("1.1.1.1")
+	if n.RootServers()[0] != roots[0] {
+		t.Error("RootServers aliases internal state")
+	}
+}
+
+func TestAllocatorV4(t *testing.T) {
+	a := NewAllocator()
+	x1 := a.AllocV4("OrgA")
+	x2 := a.AllocV4("OrgA")
+	y1 := a.AllocV4("OrgB")
+	if x1 == x2 {
+		t.Error("duplicate allocation")
+	}
+	if !x1.Is4() || !y1.Is4() {
+		t.Error("non-IPv4 allocation")
+	}
+	// Same org shares a /16.
+	a16 := x1.As4()
+	b16 := x2.As4()
+	if a16[0] != b16[0] || a16[1] != b16[1] {
+		t.Error("same org allocated across blocks")
+	}
+	// Different orgs get different blocks.
+	c16 := y1.As4()
+	if a16[0] == c16[0] && a16[1] == c16[1] {
+		t.Error("different orgs share a block")
+	}
+	if org, ok := a.Owner(x1); !ok || org != "OrgA" {
+		t.Errorf("Owner = %q, %v", org, ok)
+	}
+}
+
+func TestAllocatorV6AndBYOIP(t *testing.T) {
+	a := NewAllocator()
+	v6 := a.AllocV6("OrgA")
+	if !v6.Is6() || v6.Is4In6() {
+		t.Errorf("AllocV6 = %v", v6)
+	}
+	// BYOIP: ownership override.
+	a.SetOwner(v6, "CustomerCo")
+	if org, _ := a.Owner(v6); org != "CustomerCo" {
+		t.Errorf("override failed: %q", org)
+	}
+	owners := a.Owners()
+	if owners[v6] != "CustomerCo" {
+		t.Error("Owners snapshot wrong")
+	}
+}
+
+func TestAllocatorUniqueness(t *testing.T) {
+	a := NewAllocator()
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 1000; i++ {
+		addr := a.AllocV4("Org")
+		if seen[addr] {
+			t.Fatalf("duplicate address %v at %d", addr, i)
+		}
+		seen[addr] = true
+	}
+}

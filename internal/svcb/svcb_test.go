@@ -1,0 +1,425 @@
+package svcb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyString(t *testing.T) {
+	cases := []struct {
+		key  ParamKey
+		want string
+	}{
+		{KeyMandatory, "mandatory"},
+		{KeyALPN, "alpn"},
+		{KeyNoDefaultALPN, "no-default-alpn"},
+		{KeyPort, "port"},
+		{KeyIPv4Hint, "ipv4hint"},
+		{KeyECH, "ech"},
+		{KeyIPv6Hint, "ipv6hint"},
+		{ParamKey(7), "key7"},
+		{ParamKey(65280), "key65280"},
+	}
+	for _, c := range cases {
+		if got := c.key.String(); got != c.want {
+			t.Errorf("ParamKey(%d).String() = %q, want %q", c.key, got, c.want)
+		}
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	for k := ParamKey(0); k <= KeyIPv6Hint; k++ {
+		got, err := ParseKey(k.String())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKey(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKey("nonsense"); err == nil {
+		t.Error("ParseKey accepted unknown key name")
+	}
+	if _, err := ParseKey("key99999"); err == nil {
+		t.Error("ParseKey accepted out-of-range numeric key")
+	}
+	if k, err := ParseKey("key300"); err != nil || k != ParamKey(300) {
+		t.Errorf("ParseKey(key300) = %v, %v", k, err)
+	}
+}
+
+func TestALPNRoundTrip(t *testing.T) {
+	protos := []string{"h2", "h3", "http/1.1"}
+	v, err := EncodeALPN(protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeALPN(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, protos) {
+		t.Errorf("ALPN round trip = %v, want %v", got, protos)
+	}
+}
+
+func TestALPNErrors(t *testing.T) {
+	if _, err := EncodeALPN([]string{""}); err == nil {
+		t.Error("EncodeALPN accepted empty id")
+	}
+	if _, err := DecodeALPN([]byte{}); err == nil {
+		t.Error("DecodeALPN accepted empty value")
+	}
+	if _, err := DecodeALPN([]byte{5, 'h', '2'}); err == nil {
+		t.Error("DecodeALPN accepted truncated id")
+	}
+	if _, err := DecodeALPN([]byte{0}); err == nil {
+		t.Error("DecodeALPN accepted zero-length id")
+	}
+}
+
+func TestParamsSetGetDelete(t *testing.T) {
+	var ps Params
+	ps.SetPort(8443)
+	if err := ps.SetALPN([]string{"h2"}); err != nil {
+		t.Fatal(err)
+	}
+	// List must stay key-sorted: alpn (1) before port (3).
+	if ps[0].Key != KeyALPN || ps[1].Key != KeyPort {
+		t.Errorf("params not sorted: %v", ps)
+	}
+	if port, ok := ps.Port(); !ok || port != 8443 {
+		t.Errorf("Port() = %d, %v", port, ok)
+	}
+	ps.SetPort(443)
+	if port, _ := ps.Port(); port != 443 {
+		t.Errorf("Set did not replace: port = %d", port)
+	}
+	if len(ps) != 2 {
+		t.Errorf("Set duplicated key: %v", ps)
+	}
+	ps.Delete(KeyPort)
+	if ps.Has(KeyPort) {
+		t.Error("Delete did not remove port")
+	}
+	ps.Delete(KeyPort) // idempotent
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	var ps Params
+	if err := ps.SetALPN([]string{"h2", "h3"}); err != nil {
+		t.Fatal(err)
+	}
+	ps.SetPort(8443)
+	if err := ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("104.16.132.229")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.SetIPv6Hints([]netip.Addr{netip.MustParseAddr("2606:4700::6810:84e5")}); err != nil {
+		t.Fatal(err)
+	}
+	ps.SetECH([]byte{0x00, 0x45, 0xfe, 0x0d})
+
+	wire, err := ps.Pack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnpackParams(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ps) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, ps)
+	}
+}
+
+func TestUnpackRejectsUnsortedKeys(t *testing.T) {
+	// port (3) followed by alpn (1): out of order.
+	var wire []byte
+	wire = binary.BigEndian.AppendUint16(wire, uint16(KeyPort))
+	wire = binary.BigEndian.AppendUint16(wire, 2)
+	wire = binary.BigEndian.AppendUint16(wire, 443)
+	wire = binary.BigEndian.AppendUint16(wire, uint16(KeyALPN))
+	wire = binary.BigEndian.AppendUint16(wire, 3)
+	wire = append(wire, 2, 'h', '2')
+	if _, err := UnpackParams(wire); err == nil {
+		t.Error("UnpackParams accepted unsorted keys")
+	}
+}
+
+func TestUnpackRejectsDuplicateKeys(t *testing.T) {
+	var wire []byte
+	for i := 0; i < 2; i++ {
+		wire = binary.BigEndian.AppendUint16(wire, uint16(KeyPort))
+		wire = binary.BigEndian.AppendUint16(wire, 2)
+		wire = binary.BigEndian.AppendUint16(wire, 443)
+	}
+	if _, err := UnpackParams(wire); err == nil {
+		t.Error("UnpackParams accepted duplicate keys")
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	var ps Params
+	ps.SetPort(443)
+	wire, _ := ps.Pack(nil)
+	for i := 1; i < len(wire); i++ {
+		if _, err := UnpackParams(wire[:i]); err == nil {
+			t.Errorf("UnpackParams accepted truncation at %d", i)
+		}
+	}
+}
+
+func TestMandatoryValidation(t *testing.T) {
+	var ps Params
+	if err := ps.SetALPN([]string{"h2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.SetMandatory([]ParamKey{KeyALPN}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Validate(); err != nil {
+		t.Errorf("valid mandatory rejected: %v", err)
+	}
+	keys, ok := ps.Mandatory()
+	if !ok || len(keys) != 1 || keys[0] != KeyALPN {
+		t.Errorf("Mandatory() = %v, %v", keys, ok)
+	}
+
+	// mandatory listing a missing key must fail validation.
+	var ps2 Params
+	if err := ps2.SetALPN([]string{"h2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps2.SetMandatory([]ParamKey{KeyPort}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps2.Validate(); err == nil {
+		t.Error("Validate accepted mandatory key that is absent")
+	}
+
+	// mandatory must not include itself.
+	var ps3 Params
+	if err := ps3.SetMandatory([]ParamKey{KeyMandatory}); err == nil {
+		t.Error("SetMandatory accepted self-reference")
+	}
+}
+
+func TestValidateValueRules(t *testing.T) {
+	cases := []struct {
+		name string
+		ps   Params
+		ok   bool
+	}{
+		{"no-default-alpn empty", Params{{Key: KeyNoDefaultALPN}}, true},
+		{"no-default-alpn nonempty", Params{{Key: KeyNoDefaultALPN, Value: []byte{1}}}, false},
+		{"port wrong len", Params{{Key: KeyPort, Value: []byte{1}}}, false},
+		{"ipv4hint bad len", Params{{Key: KeyIPv4Hint, Value: []byte{1, 2, 3}}}, false},
+		{"ipv4hint empty", Params{{Key: KeyIPv4Hint}}, false},
+		{"ipv6hint bad len", Params{{Key: KeyIPv6Hint, Value: make([]byte, 15)}}, false},
+		{"ech empty", Params{{Key: KeyECH}}, false},
+		{"ech ok", Params{{Key: KeyECH, Value: []byte{1}}}, true},
+	}
+	for _, c := range cases {
+		err := c.ps.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestIPHintAccessors(t *testing.T) {
+	var ps Params
+	v4 := []netip.Addr{netip.MustParseAddr("1.2.3.4"), netip.MustParseAddr("5.6.7.8")}
+	v6 := []netip.Addr{netip.MustParseAddr("2001:db8::1")}
+	if err := ps.SetIPv4Hints(v4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.SetIPv6Hints(v6); err != nil {
+		t.Fatal(err)
+	}
+	got4, ok := ps.IPv4Hints()
+	if !ok || !reflect.DeepEqual(got4, v4) {
+		t.Errorf("IPv4Hints = %v, %v", got4, ok)
+	}
+	got6, ok := ps.IPv6Hints()
+	if !ok || !reflect.DeepEqual(got6, v6) {
+		t.Errorf("IPv6Hints = %v, %v", got6, ok)
+	}
+	if err := ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("::1")}); err == nil {
+		t.Error("SetIPv4Hints accepted IPv6 address")
+	}
+	if err := ps.SetIPv6Hints([]netip.Addr{netip.MustParseAddr("1.2.3.4")}); err == nil {
+		t.Error("SetIPv6Hints accepted IPv4 address")
+	}
+}
+
+func TestPresentationFormat(t *testing.T) {
+	var ps Params
+	if err := ps.SetALPN([]string{"h2", "h3"}); err != nil {
+		t.Fatal(err)
+	}
+	ps.SetPort(8443)
+	if err := ps.SetIPv4Hints([]netip.Addr{netip.MustParseAddr("1.2.3.4")}); err != nil {
+		t.Fatal(err)
+	}
+	want := "alpn=h2,h3 port=8443 ipv4hint=1.2.3.4"
+	if got := ps.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseParamsRoundTrip(t *testing.T) {
+	tokens := []string{"alpn=h2,h3", "port=8443", "ipv4hint=1.2.3.4,5.6.7.8", "ipv6hint=2001:db8::1", "ech=AEX+DQ=="}
+	ps, err := ParseParams(tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseParams(splitTokens(ps.String()))
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", ps.String(), err)
+	}
+	if !reflect.DeepEqual(ps, reparsed) {
+		t.Errorf("presentation round trip mismatch:\n%v\n%v", ps, reparsed)
+	}
+}
+
+func splitTokens(s string) []string {
+	var out []string
+	for _, tok := range bytes.Fields([]byte(s)) {
+		out = append(out, string(tok))
+	}
+	return out
+}
+
+func TestParseParamsErrors(t *testing.T) {
+	bad := [][]string{
+		{"alpn="},
+		{"alpn=h2", "alpn=h3"}, // duplicate
+		{"port=notanumber"},
+		{"port=70000"},
+		{"ipv4hint=::1"},
+		{"ipv6hint=1.2.3.4"},
+		{"ech=!!!"},
+		{"no-default-alpn=x"},
+		{"mandatory=port"}, // port absent
+		{"bogus=1"},
+	}
+	for _, tokens := range bad {
+		if _, err := ParseParams(tokens); err == nil {
+			t.Errorf("ParseParams(%v) accepted invalid input", tokens)
+		}
+	}
+}
+
+func TestNoDefaultALPNParsing(t *testing.T) {
+	ps, err := ParseParams([]string{"alpn=h3", "no-default-alpn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Has(KeyNoDefaultALPN) {
+		t.Error("no-default-alpn not parsed")
+	}
+	if v, _ := ps.Get(KeyNoDefaultALPN); len(v) != 0 {
+		t.Error("no-default-alpn value not empty")
+	}
+}
+
+func TestClone(t *testing.T) {
+	var ps Params
+	ps.SetECH([]byte{1, 2, 3})
+	c := ps.Clone()
+	c[0].Value[0] = 99
+	if v, _ := ps.ECH(); v[0] != 1 {
+		t.Error("Clone shares value storage")
+	}
+	if Params(nil).Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+// Property: any randomly generated valid Params survives a wire round trip.
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomParams(rng)
+		wire, err := ps.Pack(nil)
+		if err != nil {
+			return false
+		}
+		got, err := UnpackParams(wire)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(got), normalize(ps))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func normalize(ps Params) Params {
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps
+}
+
+func randomParams(rng *rand.Rand) Params {
+	var ps Params
+	if rng.Intn(2) == 0 {
+		n := rng.Intn(3) + 1
+		protos := make([]string, n)
+		for i := range protos {
+			protos[i] = []string{"h2", "h3", "http/1.1", "h3-29"}[rng.Intn(4)]
+		}
+		// Dedup not needed; alpn allows repeats on the wire.
+		_ = ps.SetALPN(protos)
+	}
+	if rng.Intn(2) == 0 {
+		ps.SetPort(uint16(rng.Intn(65536)))
+	}
+	if rng.Intn(2) == 0 {
+		n := rng.Intn(3) + 1
+		addrs := make([]netip.Addr, n)
+		for i := range addrs {
+			var b [4]byte
+			rng.Read(b[:])
+			addrs[i] = netip.AddrFrom4(b)
+		}
+		_ = ps.SetIPv4Hints(addrs)
+	}
+	if rng.Intn(2) == 0 {
+		b := make([]byte, rng.Intn(64)+1)
+		rng.Read(b)
+		ps.SetECH(b)
+	}
+	return ps
+}
+
+// Property: String() output always reparses to an equivalent Params when the
+// params are semantically valid.
+func TestQuickPresentationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ps := randomParams(rng)
+		if len(ps) == 0 {
+			return true
+		}
+		got, err := ParseParams(splitTokens(ps.String()))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package tlssim simulates TLS 1.3 handshakes at message granularity over
+// the simnet: SNI, ALPN negotiation, certificate-name checking, and the ECH
+// outer/inner ClientHello flow with real HPKE-sealed payloads (via the ech
+// package), including the server retry-configs mechanism. It is the
+// substrate for the §5 client-side browser experiments, standing in for the
+// paper's OpenSSL/Nginx ECH-draft-13 testbed.
+package tlssim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"repro/internal/ech"
+	"repro/internal/simnet"
+)
+
+// Handshake errors.
+var (
+	ErrNoALPN       = errors.New("tlssim: no mutually supported ALPN protocol")
+	ErrNotTLSServer = errors.New("tlssim: service at address does not speak TLS")
+)
+
+// ClientHello is the logical content of a TLS ClientHello.
+type ClientHello struct {
+	// SNI is the server name indication (the outer SNI when ECH is
+	// offered).
+	SNI string
+	// ALPN lists offered application protocols in preference order.
+	ALPN []string
+	// ECH carries the encrypted inner hello, when offered.
+	ECH *ECHExtension
+}
+
+// ECHExtension is the encrypted_client_hello extension content.
+type ECHExtension struct {
+	ConfigID uint8
+	Enc      []byte
+	Payload  []byte
+}
+
+// HandshakeResult is what the client learns from the server's response.
+type HandshakeResult struct {
+	// CertNames are the DNS names the presented certificate covers.
+	CertNames []string
+	// ALPN is the negotiated protocol ("" if the client offered none).
+	ALPN string
+	// ECHAccepted: the server decrypted the inner hello and the
+	// connection is keyed to it.
+	ECHAccepted bool
+	// RetryConfigs is set when the server could not decrypt the ECH
+	// payload and offers fresh configs (draft-ietf-tls-esni §6.1.6).
+	RetryConfigs []byte
+	// ServedSNI is the effective SNI the server used (inner on ECH
+	// acceptance, outer otherwise).
+	ServedSNI string
+}
+
+// CertMatches reports whether the presented certificate covers name.
+func (r *HandshakeResult) CertMatches(name string) bool {
+	name = canonical(name)
+	for _, cn := range r.CertNames {
+		if canonical(cn) == name {
+			return true
+		}
+	}
+	return false
+}
+
+func canonical(name string) string {
+	return strings.TrimSuffix(strings.ToLower(name), ".")
+}
+
+// Server is a TLS endpoint registered on the simnet.
+type Server interface {
+	HandleTLS(ch *ClientHello) (*HandshakeResult, error)
+}
+
+// Dial performs a handshake with the server at ap.
+func Dial(net *simnet.Network, ap netip.AddrPort, ch *ClientHello) (*HandshakeResult, error) {
+	svc, err := net.Service(ap)
+	if err != nil {
+		return nil, err
+	}
+	srv, ok := svc.(Server)
+	if !ok {
+		return nil, ErrNotTLSServer
+	}
+	return srv.HandleTLS(ch)
+}
+
+// --- inner hello serialization ---
+
+// marshalInner encodes an inner ClientHello (SNI + ALPN) for sealing.
+func marshalInner(sni string, alpn []string) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, uint16(len(sni)))
+	b = append(b, sni...)
+	b = append(b, byte(len(alpn)))
+	for _, p := range alpn {
+		b = append(b, byte(len(p)))
+		b = append(b, p...)
+	}
+	return b
+}
+
+func unmarshalInner(b []byte) (sni string, alpn []string, err error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("tlssim: truncated inner hello")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n+1 {
+		return "", nil, fmt.Errorf("tlssim: truncated inner SNI")
+	}
+	sni = string(b[:n])
+	b = b[n:]
+	count := int(b[0])
+	b = b[1:]
+	for i := 0; i < count; i++ {
+		if len(b) < 1 {
+			return "", nil, fmt.Errorf("tlssim: truncated inner ALPN")
+		}
+		pl := int(b[0])
+		b = b[1:]
+		if len(b) < pl {
+			return "", nil, fmt.Errorf("tlssim: truncated inner ALPN entry")
+		}
+		alpn = append(alpn, string(b[:pl]))
+		b = b[pl:]
+	}
+	return sni, alpn, nil
+}
+
+// UnmarshalInnerForServer decodes a decrypted inner hello on the server
+// side, returning the inner SNI and ALPN list.
+func UnmarshalInnerForServer(b []byte) (sni string, alpn []string, err error) {
+	return unmarshalInner(b)
+}
+
+// echAAD binds the ECH payload to the outer hello.
+func echAAD(outerSNI string) []byte { return []byte("ech-aad:" + canonical(outerSNI)) }
+
+// BuildECHHello constructs an outer ClientHello toward cfg's client-facing
+// server carrying innerSNI encrypted under cfg. rng may be nil.
+func BuildECHHello(cfg ech.Config, innerSNI string, alpn []string) (*ClientHello, error) {
+	inner := marshalInner(canonical(innerSNI), alpn)
+	outerSNI := cfg.PublicName
+	enc, payload, err := ech.Seal(nil, cfg, echAAD(outerSNI), inner)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientHello{
+		SNI:  outerSNI,
+		ALPN: alpn,
+		ECH:  &ECHExtension{ConfigID: cfg.ConfigID, Enc: enc, Payload: payload},
+	}, nil
+}
+
+// NegotiateALPN picks the first client protocol the server supports.
+func NegotiateALPN(client, server []string) (string, error) {
+	if len(client) == 0 {
+		return "", nil
+	}
+	for _, c := range client {
+		for _, s := range server {
+			if c == s {
+				return c, nil
+			}
+		}
+	}
+	return "", ErrNoALPN
+}

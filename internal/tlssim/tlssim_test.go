@@ -1,0 +1,143 @@
+package tlssim
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/ech"
+	"repro/internal/simnet"
+)
+
+func TestInnerHelloRoundTrip(t *testing.T) {
+	b := marshalInner("secret.example", []string{"h2", "h3"})
+	sni, alpn, err := unmarshalInner(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sni != "secret.example" || !reflect.DeepEqual(alpn, []string{"h2", "h3"}) {
+		t.Errorf("round trip = %q %v", sni, alpn)
+	}
+}
+
+func TestInnerHelloTruncation(t *testing.T) {
+	b := marshalInner("secret.example", []string{"h2"})
+	for i := 0; i < len(b); i++ {
+		if _, _, err := unmarshalInner(b[:i]); err == nil && i < len(b) {
+			// Prefixes may accidentally parse only if structurally
+			// complete; the full buffer must parse.
+			_ = err
+		}
+	}
+	if _, _, err := unmarshalInner(nil); err == nil {
+		t.Error("empty inner hello parsed")
+	}
+}
+
+func TestNegotiateALPN(t *testing.T) {
+	p, err := NegotiateALPN([]string{"h3", "h2"}, []string{"h2"})
+	if err != nil || p != "h2" {
+		t.Errorf("NegotiateALPN = %q, %v", p, err)
+	}
+	if _, err := NegotiateALPN([]string{"h3"}, []string{"h2"}); err != ErrNoALPN {
+		t.Errorf("err = %v", err)
+	}
+	// No client offer: protocol-less connection.
+	if p, err := NegotiateALPN(nil, []string{"h2"}); err != nil || p != "" {
+		t.Errorf("empty offer = %q, %v", p, err)
+	}
+}
+
+func TestBuildECHHelloSealsInner(t *testing.T) {
+	km, err := ech.NewKeyManager(rand.New(rand.NewSource(1)), "cover.example",
+		time.Hour, 2*time.Hour, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := km.CurrentConfig(time.Unix(0, 0))
+	hello, err := BuildECHHello(cfg, "secret.example", []string{"h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.SNI != "cover.example" {
+		t.Errorf("outer SNI = %q", hello.SNI)
+	}
+	if hello.ECH == nil || len(hello.ECH.Payload) == 0 {
+		t.Fatal("no ECH payload")
+	}
+	// The server can open it.
+	inner, err := km.Open(time.Unix(0, 0), hello.ECH.ConfigID, hello.ECH.Enc,
+		echAAD(hello.SNI), hello.ECH.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sni, alpn, err := unmarshalInner(inner)
+	if err != nil || sni != "secret.example" || alpn[0] != "h2" {
+		t.Errorf("inner = %q %v %v", sni, alpn, err)
+	}
+}
+
+func TestCertMatches(t *testing.T) {
+	r := &HandshakeResult{CertNames: []string{"a.com", "www.a.com"}}
+	if !r.CertMatches("A.COM.") || !r.CertMatches("www.a.com") {
+		t.Error("CertMatches false negative")
+	}
+	if r.CertMatches("b.com") {
+		t.Error("CertMatches false positive")
+	}
+}
+
+type fakeServer struct{ result *HandshakeResult }
+
+func (f *fakeServer) HandleTLS(ch *ClientHello) (*HandshakeResult, error) {
+	return f.result, nil
+}
+
+func TestDial(t *testing.T) {
+	n := simnet.New(simnet.NewClock(time.Unix(0, 0)))
+	ap := netip.MustParseAddrPort("10.0.0.1:443")
+	want := &HandshakeResult{CertNames: []string{"x.com"}}
+	n.RegisterService(ap, &fakeServer{result: want})
+	got, err := Dial(n, ap, &ClientHello{SNI: "x.com"})
+	if err != nil || got != want {
+		t.Fatalf("Dial = %v, %v", got, err)
+	}
+	// Non-TLS service.
+	ap2 := netip.MustParseAddrPort("10.0.0.1:80")
+	n.RegisterService(ap2, "not a tls server")
+	if _, err := Dial(n, ap2, &ClientHello{}); err != ErrNotTLSServer {
+		t.Errorf("err = %v", err)
+	}
+	// Unreachable.
+	if _, err := Dial(n, netip.MustParseAddrPort("10.0.0.9:443"), &ClientHello{}); err == nil {
+		t.Error("dial to nowhere succeeded")
+	}
+}
+
+// Property: inner hello marshalling round-trips arbitrary SNI/ALPN.
+func TestQuickInnerRoundTrip(t *testing.T) {
+	f := func(sniBytes []byte, protoCount uint8) bool {
+		if len(sniBytes) > 200 {
+			sniBytes = sniBytes[:200]
+		}
+		sni := string(sniBytes)
+		var alpn []string
+		for i := 0; i < int(protoCount%5); i++ {
+			alpn = append(alpn, "proto")
+		}
+		gotSNI, gotALPN, err := unmarshalInner(marshalInner(sni, alpn))
+		if err != nil {
+			return false
+		}
+		if gotSNI != sni || len(gotALPN) != len(alpn) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package tranco simulates the Tranco top-sites list the paper scans daily:
+// a ranked domain population with a stable popular core, a churning tail,
+// and the 2023-08-01 source-change event that reshuffled the list
+// composition. Absolute size is configurable; ratios (core fraction, churn
+// rate) default to values that reproduce the paper's overlapping-domain
+// counts (63.5% overlap before the change, 68.4% after).
+package tranco
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SourceChangeDate is the day Tranco swapped Alexa for CrUX+Radar feeds.
+var SourceChangeDate = time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// Config parameterises the simulated list.
+type Config struct {
+	// Size is the daily list length (the paper's is 1M; simulations
+	// default to a scale-free 20k).
+	Size int
+	// CoreFraction1 is the fraction of the list that is stable before the
+	// source change (paper: 634,810 / 1M ≈ 0.635).
+	CoreFraction1 float64
+	// CoreFraction2 is the stable fraction after the source change
+	// (paper: 684,292 / 1M ≈ 0.684).
+	CoreFraction2 float64
+	// TailPoolFactor sizes the churning candidate pool relative to the
+	// tail slots (>1 so daily membership varies).
+	TailPoolFactor float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper-calibrated configuration at the given
+// scale.
+func DefaultConfig(size int, seed int64) Config {
+	return Config{
+		Size:           size,
+		CoreFraction1:  0.635,
+		CoreFraction2:  0.684,
+		TailPoolFactor: 2.5,
+		Seed:           seed,
+	}
+}
+
+// Simulator produces the daily ranked list.
+type Simulator struct {
+	cfg Config
+	// core1/core2 are the stable cores before/after the source change.
+	core1, core2 []string
+	// tailPool is the shared churn pool.
+	tailPool []string
+	// universe is every domain name that can ever appear.
+	universe []string
+}
+
+// tlds weights the synthetic TLD mix.
+var tlds = []string{"com", "com", "com", "com", "net", "org", "io", "de", "co", "ru", "cn", "jp", "uk", "fr"}
+
+// NewSimulator builds the population. Domain names are synthetic but unique
+// and stable across runs for a given seed.
+func NewSimulator(cfg Config) *Simulator {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	core1N := int(float64(cfg.Size) * cfg.CoreFraction1)
+	core2N := int(float64(cfg.Size) * cfg.CoreFraction2)
+	tailSlots := cfg.Size - core1N
+	if s2 := cfg.Size - core2N; s2 > tailSlots {
+		tailSlots = s2
+	}
+	poolN := int(float64(tailSlots) * cfg.TailPoolFactor)
+
+	// The second core keeps most of the first (the source change replaced
+	// a minority of stable domains) plus some promoted tail names.
+	keep := int(float64(core1N) * 0.9)
+	if keep > core2N {
+		keep = core2N
+	}
+	total := core1N + (core2N - keep) + poolN
+	names := make([]string, total)
+	for i := range names {
+		names[i] = fmt.Sprintf("site%06d.%s", i, tlds[rng.Intn(len(tlds))])
+	}
+	s := &Simulator{cfg: cfg, universe: names}
+	s.core1 = names[:core1N]
+	s.core2 = append(append([]string(nil), s.core1[:keep]...), names[core1N:core1N+(core2N-keep)]...)
+	s.tailPool = names[core1N+(core2N-keep):]
+	return s
+}
+
+// Universe returns every domain that can ever appear in the list.
+func (s *Simulator) Universe() []string {
+	return append([]string(nil), s.universe...)
+}
+
+// IsCore reports whether the domain belongs to either stable core (it is
+// present every day of at least one study phase).
+func (s *Simulator) IsCore(domain string) bool {
+	for _, d := range s.core1 {
+		if d == domain {
+			return true
+		}
+	}
+	for _, d := range s.core2 {
+		if d == domain {
+			return true
+		}
+	}
+	return false
+}
+
+// CoreSet returns the union of both cores as a set, for bulk membership
+// checks.
+func (s *Simulator) CoreSet() map[string]bool {
+	out := make(map[string]bool, len(s.core1)+len(s.core2))
+	for _, d := range s.core1 {
+		out[d] = true
+	}
+	for _, d := range s.core2 {
+		out[d] = true
+	}
+	return out
+}
+
+// dayNumber gives a stable integer per calendar day.
+func dayNumber(date time.Time) int64 {
+	return date.UTC().Truncate(24*time.Hour).Unix() / 86400
+}
+
+// ListFor returns the ranked list for the given date: core domains occupy
+// the top ranks (with mild daily shuffling), the remainder is a daily
+// sample of the tail pool.
+func (s *Simulator) ListFor(date time.Time) []string {
+	core := s.core1
+	if !date.Before(SourceChangeDate) {
+		core = s.core2
+	}
+	tailSlots := s.cfg.Size - len(core)
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ dayNumber(date)*0x9e3779b9))
+
+	// Daily tail sample: choose tailSlots names from the pool.
+	perm := rng.Perm(len(s.tailPool))
+	tail := make([]string, 0, tailSlots)
+	for _, idx := range perm[:tailSlots] {
+		tail = append(tail, s.tailPool[idx])
+	}
+
+	list := make([]string, 0, s.cfg.Size)
+	list = append(list, core...)
+	list = append(list, tail...)
+	// Mild rank jitter: swap adjacent windows so ranks are not frozen, but
+	// core stays broadly above tail (Fig 8's distribution shape).
+	for i := 0; i+1 < len(list); i += 2 {
+		if rng.Intn(4) == 0 {
+			list[i], list[i+1] = list[i+1], list[i]
+		}
+	}
+	return list
+}
+
+// Overlapping returns the set of domains present on every sampled day.
+func Overlapping(lists [][]string) []string {
+	if len(lists) == 0 {
+		return nil
+	}
+	count := map[string]int{}
+	for _, l := range lists {
+		seen := map[string]bool{}
+		for _, d := range l {
+			if !seen[d] {
+				seen[d] = true
+				count[d]++
+			}
+		}
+	}
+	var out []string
+	for d, c := range count {
+		if c == len(lists) {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RankOf returns the 1-based rank of domain in list, or 0 if absent.
+func RankOf(list []string, domain string) int {
+	for i, d := range list {
+		if d == domain {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+// Package webserver implements the simulated HTTPS endpoints of the §5
+// testbed: TLS servers with configurable certificate names, ALPN support
+// sets, and ECH roles (shared-mode server holding its own keys, split-mode
+// client-facing server forwarding decrypted inner hellos to back-end
+// servers, and plain servers for unilateral-ECH scenarios) — the Nginx
+// counterpart of the paper's setup.
+package webserver
+
+import (
+	"net/netip"
+	"strings"
+	"time"
+
+	"repro/internal/ech"
+	"repro/internal/simnet"
+	"repro/internal/tlssim"
+)
+
+// Endpoint is one TLS server instance.
+type Endpoint struct {
+	// CertNames are the DNS names the server's certificate covers.
+	CertNames []string
+	// ALPN lists supported application protocols.
+	ALPN []string
+	// Clock supplies virtual time for ECH key validity.
+	Clock *simnet.Clock
+	// ECHKeys, when set, lets the endpoint decrypt ECH payloads.
+	ECHKeys *ech.KeyManager
+	// DisableRetry suppresses retry configs on ECH decryption failure
+	// (discouraged by the spec; modelled for completeness).
+	DisableRetry bool
+	// Backends routes decrypted inner SNIs to other endpoints (split
+	// mode); an inner SNI matching CertNames is served locally (shared
+	// mode).
+	Backends map[string]*Endpoint
+	// HTTPOnly marks a plaintext port-80 endpoint (no TLS).
+	HTTPOnly bool
+}
+
+// clockNow tolerates a nil clock for static setups.
+func (e *Endpoint) clockNow() time.Time {
+	if e.Clock == nil {
+		return time.Unix(0, 0)
+	}
+	return e.Clock.Now()
+}
+
+func canonical(name string) string {
+	return strings.TrimSuffix(strings.ToLower(name), ".")
+}
+
+// HandleTLS implements tlssim.Server.
+func (e *Endpoint) HandleTLS(ch *tlssim.ClientHello) (*tlssim.HandshakeResult, error) {
+	if e.HTTPOnly {
+		return nil, simnet.ErrRefused
+	}
+	// ECH processing first.
+	if ch.ECH != nil && e.ECHKeys != nil {
+		inner, err := e.ECHKeys.Open(e.clockNow(), ch.ECH.ConfigID, ch.ECH.Enc,
+			[]byte("ech-aad:"+canonical(ch.SNI)), ch.ECH.Payload)
+		if err == nil {
+			return e.serveInner(inner, ch)
+		}
+		// Decryption failure: complete the handshake for the public
+		// (outer) name and attach retry configs (unless disabled).
+		res := e.plainResult(ch)
+		if !e.DisableRetry {
+			res.RetryConfigs = e.ECHKeys.RetryConfigs(e.clockNow())
+		}
+		return res, nil
+	}
+	// No ECH support: the extension (if any) is ignored, as unrecognised
+	// extensions are.
+	return e.plainResult(ch), nil
+}
+
+// serveInner completes the handshake for a decrypted inner hello, either
+// locally (shared mode) or via a configured backend (split mode).
+func (e *Endpoint) serveInner(inner []byte, outer *tlssim.ClientHello) (*tlssim.HandshakeResult, error) {
+	sni, alpn, err := tlssim.UnmarshalInnerForServer(inner)
+	if err != nil {
+		// Structurally invalid inner hello: treat as decryption failure.
+		res := e.plainResult(outer)
+		if !e.DisableRetry {
+			res.RetryConfigs = e.ECHKeys.RetryConfigs(e.clockNow())
+		}
+		return res, nil
+	}
+	target := e
+	if !e.servesName(sni) {
+		if b, ok := e.Backends[canonical(sni)]; ok {
+			target = b
+		}
+	}
+	proto, err := tlssim.NegotiateALPN(alpn, target.ALPN)
+	if err != nil {
+		proto = "" // no shared protocol: connection continues protocol-less
+	}
+	return &tlssim.HandshakeResult{
+		CertNames:   target.CertNames,
+		ALPN:        proto,
+		ECHAccepted: true,
+		ServedSNI:   canonical(sni),
+	}, nil
+}
+
+func (e *Endpoint) servesName(name string) bool {
+	name = canonical(name)
+	for _, cn := range e.CertNames {
+		if canonical(cn) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// plainResult completes a non-ECH handshake on the outer hello.
+func (e *Endpoint) plainResult(ch *tlssim.ClientHello) *tlssim.HandshakeResult {
+	proto, err := tlssim.NegotiateALPN(ch.ALPN, e.ALPN)
+	if err != nil {
+		proto = ""
+	}
+	return &tlssim.HandshakeResult{
+		CertNames: e.CertNames,
+		ALPN:      proto,
+		ServedSNI: canonical(ch.SNI),
+	}
+}
+
+// Register attaches the endpoint to the network at addr:port.
+func (e *Endpoint) Register(n *simnet.Network, addr netip.Addr, port uint16) {
+	n.RegisterService(netip.AddrPortFrom(addr, port), e)
+}

@@ -1,0 +1,185 @@
+package webserver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ech"
+	"repro/internal/simnet"
+	"repro/internal/tlssim"
+)
+
+func km(t *testing.T, publicName string, seed int64) *ech.KeyManager {
+	t.Helper()
+	m, err := ech.NewKeyManager(rand.New(rand.NewSource(seed)), publicName,
+		time.Hour, 2*time.Hour, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlainHandshake(t *testing.T) {
+	ep := &Endpoint{CertNames: []string{"a.com"}, ALPN: []string{"h2", "h3"}}
+	res, err := ep.HandleTLS(&tlssim.ClientHello{SNI: "a.com", ALPN: []string{"h3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ALPN != "h3" || res.ECHAccepted || !res.CertMatches("a.com") {
+		t.Errorf("res = %+v", res)
+	}
+	// SNI mismatch: handshake completes, certificate does not match —
+	// the client decides.
+	res, err = ep.HandleTLS(&tlssim.ClientHello{SNI: "other.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CertMatches("other.com") {
+		t.Error("cert should not cover other.com")
+	}
+}
+
+func TestALPNMismatchIsProtocolless(t *testing.T) {
+	ep := &Endpoint{CertNames: []string{"a.com"}, ALPN: []string{"h2"}}
+	res, err := ep.HandleTLS(&tlssim.ClientHello{SNI: "a.com", ALPN: []string{"h3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ALPN != "" {
+		t.Errorf("ALPN = %q", res.ALPN)
+	}
+}
+
+func TestECHSharedMode(t *testing.T) {
+	keys := km(t, "cover.a.com", 1)
+	clock := simnet.NewClock(time.Unix(0, 0))
+	ep := &Endpoint{CertNames: []string{"a.com", "cover.a.com"}, ALPN: []string{"h2"},
+		ECHKeys: keys, Clock: clock}
+	cfg := keys.CurrentConfig(clock.Now())
+	hello, err := tlssim.BuildECHHello(cfg, "a.com", []string{"h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ep.HandleTLS(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ECHAccepted || res.ServedSNI != "a.com" || !res.CertMatches("a.com") {
+		t.Errorf("shared mode res = %+v", res)
+	}
+}
+
+func TestECHSplitModeForwarding(t *testing.T) {
+	keys := km(t, "b.com", 2)
+	clock := simnet.NewClock(time.Unix(0, 0))
+	backend := &Endpoint{CertNames: []string{"a.com"}, ALPN: []string{"h2"}, Clock: clock}
+	front := &Endpoint{CertNames: []string{"b.com"}, ALPN: []string{"h2"},
+		ECHKeys: keys, Clock: clock,
+		Backends: map[string]*Endpoint{"a.com": backend}}
+	cfg := keys.CurrentConfig(clock.Now())
+	hello, err := tlssim.BuildECHHello(cfg, "a.com", []string{"h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := front.HandleTLS(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ECHAccepted || !res.CertMatches("a.com") {
+		t.Errorf("split forwarding res = %+v", res)
+	}
+}
+
+func TestECHMismatchedKeyRetry(t *testing.T) {
+	current := km(t, "cover.a.com", 3)
+	stale := km(t, "cover.a.com", 4)
+	clock := simnet.NewClock(time.Unix(0, 0))
+	ep := &Endpoint{CertNames: []string{"a.com", "cover.a.com"}, ALPN: []string{"h2"},
+		ECHKeys: current, Clock: clock}
+	// Client uses a stale config the server never had.
+	cfg := stale.CurrentConfig(clock.Now())
+	hello, err := tlssim.BuildECHHello(cfg, "a.com", []string{"h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ep.HandleTLS(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ECHAccepted {
+		t.Fatal("stale key accepted")
+	}
+	if len(res.RetryConfigs) == 0 {
+		t.Fatal("no retry configs offered")
+	}
+	// Retry with the provided configs succeeds.
+	configs, err := ech.UnmarshalList(res.RetryConfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := ech.SelectConfig(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello2, err := tlssim.BuildECHHello(fresh, "a.com", []string{"h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := ep.HandleTLS(hello2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.ECHAccepted {
+		t.Error("retry config rejected")
+	}
+}
+
+func TestECHRetryDisabled(t *testing.T) {
+	current := km(t, "cover.a.com", 5)
+	stale := km(t, "cover.a.com", 6)
+	clock := simnet.NewClock(time.Unix(0, 0))
+	ep := &Endpoint{CertNames: []string{"a.com"}, ECHKeys: current, Clock: clock,
+		DisableRetry: true}
+	cfg := stale.CurrentConfig(clock.Now())
+	hello, err := tlssim.BuildECHHello(cfg, "a.com", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ep.HandleTLS(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RetryConfigs) != 0 {
+		t.Error("retry configs offered despite DisableRetry")
+	}
+}
+
+func TestUnilateralECHIgnored(t *testing.T) {
+	// Server without ECH keys: the extension is ignored; the handshake
+	// completes on the outer SNI.
+	keys := km(t, "cover.a.com", 7)
+	ep := &Endpoint{CertNames: []string{"a.com", "cover.a.com"}, ALPN: []string{"h2"}}
+	cfg := keys.CurrentConfig(time.Unix(0, 0))
+	hello, err := tlssim.BuildECHHello(cfg, "a.com", []string{"h2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ep.HandleTLS(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ECHAccepted || len(res.RetryConfigs) != 0 {
+		t.Errorf("unilateral res = %+v", res)
+	}
+	if res.ServedSNI != "cover.a.com" {
+		t.Errorf("served SNI = %q, want outer name", res.ServedSNI)
+	}
+}
+
+func TestHTTPOnlyRefusesTLS(t *testing.T) {
+	ep := &Endpoint{HTTPOnly: true}
+	if _, err := ep.HandleTLS(&tlssim.ClientHello{SNI: "a.com"}); err == nil {
+		t.Error("HTTP-only endpoint completed a TLS handshake")
+	}
+}

@@ -1,0 +1,94 @@
+// Package whois models the WHOIS IP-attribution database the paper uses to
+// map name-server addresses to operating organisations (§4.2.2), including
+// the BYOIP caveat where WHOIS shows the original block owner rather than
+// the provider actually operating the address.
+package whois
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// ErrNotFound indicates the address has no WHOIS allocation.
+var ErrNotFound = errors.New("whois: no allocation for address")
+
+// Record is the result of a WHOIS lookup for an IP address.
+type Record struct {
+	// Org is the registered owner organisation of the address block.
+	Org string
+	// ASNDescription mimics the free-text network description field that
+	// needs manual review in the paper's methodology.
+	ASNDescription string
+}
+
+// OrgInfo captures what the paper's manual review established per
+// organisation.
+type OrgInfo struct {
+	Name string
+	// IsDNSProvider marks organisations operating managed DNS (vs. pure
+	// cloud hosting where customers run their own name servers).
+	IsDNSProvider bool
+	// IsCloudHost marks hosting providers whose address space may carry
+	// customer-operated name servers (the AWS case in §4.2.2).
+	IsCloudHost bool
+}
+
+// DB is a WHOIS database over the simnet allocator.
+type DB struct {
+	alloc *simnet.Allocator
+
+	mu   sync.RWMutex
+	orgs map[string]OrgInfo
+}
+
+// New creates a WHOIS database reading allocations from alloc.
+func New(alloc *simnet.Allocator) *DB {
+	return &DB{alloc: alloc, orgs: map[string]OrgInfo{}}
+}
+
+// RegisterOrg records organisation metadata used by attribution.
+func (db *DB) RegisterOrg(info OrgInfo) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.orgs[info.Name] = info
+}
+
+// Lookup returns the WHOIS record for an address.
+func (db *DB) Lookup(addr netip.Addr) (Record, error) {
+	org, ok := db.alloc.Owner(addr)
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	return Record{Org: org, ASNDescription: org + " network"}, nil
+}
+
+// Org returns the metadata for an organisation, if registered.
+func (db *DB) Org(name string) (OrgInfo, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	info, ok := db.orgs[name]
+	return info, ok
+}
+
+// AttributeNameServer applies the paper's attribution methodology to a name
+// server address: WHOIS lookup plus the manual-review rule that cloud-host
+// space does not imply the cloud provider operates the server. It returns
+// the provider organisation name, or "" when attribution is inconclusive.
+func (db *DB) AttributeNameServer(addr netip.Addr) string {
+	rec, err := db.Lookup(addr)
+	if err != nil {
+		return ""
+	}
+	db.mu.RLock()
+	info, known := db.orgs[rec.Org]
+	db.mu.RUnlock()
+	if known && info.IsCloudHost && !info.IsDNSProvider {
+		// Customer-operated name server hosted in cloud space: the WHOIS
+		// org is not the DNS provider.
+		return ""
+	}
+	return rec.Org
+}

@@ -1,0 +1,235 @@
+package zone
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/internal/dnswire"
+	"repro/internal/svcb"
+)
+
+// This file implements a BIND-style zone-file parser covering the record
+// types the framework uses, so testbed zones (the paper's §5 BIND9
+// configurations) can be written as text:
+//
+//	$ORIGIN a.com.
+//	$TTL 60
+//	@        IN SOA   ns1.a.com. hostmaster.a.com. 1 7200 3600 1209600 300
+//	@        IN NS    ns1.a.com.
+//	@        IN A     192.0.2.1
+//	@        IN HTTPS 1 . alpn=h2,h3 ipv4hint=192.0.2.1
+//	www      IN CNAME a.com.
+
+// Parse builds a zone from zone-file text rooted at origin. Lines may use
+// $ORIGIN and $TTL directives; "@" denotes the current origin; names
+// without a trailing dot are relative to it. Class defaults to IN; TTLs
+// default to the $TTL value (or 300).
+func Parse(origin, text string) (*Zone, error) {
+	origin = dnswire.CanonicalName(origin)
+	z := New(origin)
+	current := origin
+	defaultTTL := uint32(300)
+	lastOwner := origin
+
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "$ORIGIN":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("zone: line %d: $ORIGIN needs one argument", lineNo+1)
+			}
+			current = dnswire.CanonicalName(fields[1])
+			continue
+		case "$TTL":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("zone: line %d: $TTL needs one argument", lineNo+1)
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("zone: line %d: bad $TTL: %v", lineNo+1, err)
+			}
+			defaultTTL = uint32(n)
+			continue
+		}
+		// Lines starting with whitespace inherit the previous owner.
+		owner := lastOwner
+		if !strings.HasPrefix(raw, " ") && !strings.HasPrefix(raw, "\t") {
+			owner = qualify(fields[0], current)
+			fields = fields[1:]
+		}
+		lastOwner = owner
+
+		rr, err := parseRecordFields(owner, fields, current, defaultTTL)
+		if err != nil {
+			return nil, fmt.Errorf("zone: line %d: %w", lineNo+1, err)
+		}
+		z.Add(rr)
+	}
+	return z, nil
+}
+
+// qualify resolves a possibly relative name against origin.
+func qualify(name, origin string) string {
+	if name == "@" {
+		return origin
+	}
+	if strings.HasSuffix(name, ".") {
+		return dnswire.CanonicalName(name)
+	}
+	return dnswire.CanonicalName(name + "." + origin)
+}
+
+// parseRecordFields parses "[TTL] [IN] TYPE rdata..." for one owner.
+func parseRecordFields(owner string, fields []string, origin string, defaultTTL uint32) (dnswire.RR, error) {
+	rr := dnswire.RR{Name: owner, Class: dnswire.ClassINET, TTL: defaultTTL}
+	// Optional TTL.
+	if len(fields) > 0 {
+		if n, err := strconv.ParseUint(fields[0], 10, 32); err == nil {
+			rr.TTL = uint32(n)
+			fields = fields[1:]
+		}
+	}
+	// Optional class.
+	if len(fields) > 0 && (fields[0] == "IN" || fields[0] == "in") {
+		fields = fields[1:]
+	}
+	if len(fields) == 0 {
+		return rr, fmt.Errorf("missing record type")
+	}
+	typeName := strings.ToUpper(fields[0])
+	args := fields[1:]
+
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d fields, got %d", typeName, n, len(args))
+		}
+		return nil
+	}
+	switch typeName {
+	case "A":
+		if err := need(1); err != nil {
+			return rr, err
+		}
+		addr, err := netip.ParseAddr(args[0])
+		if err != nil || !addr.Is4() {
+			return rr, fmt.Errorf("bad A address %q", args[0])
+		}
+		rr.Type, rr.Data = dnswire.TypeA, &dnswire.AData{Addr: addr}
+	case "AAAA":
+		if err := need(1); err != nil {
+			return rr, err
+		}
+		addr, err := netip.ParseAddr(args[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return rr, fmt.Errorf("bad AAAA address %q", args[0])
+		}
+		rr.Type, rr.Data = dnswire.TypeAAAA, &dnswire.AAAAData{Addr: addr}
+	case "CNAME":
+		if err := need(1); err != nil {
+			return rr, err
+		}
+		rr.Type, rr.Data = dnswire.TypeCNAME, &dnswire.CNAMEData{Target: qualify(args[0], origin)}
+	case "DNAME":
+		if err := need(1); err != nil {
+			return rr, err
+		}
+		rr.Type, rr.Data = dnswire.TypeDNAME, &dnswire.DNAMEData{Target: qualify(args[0], origin)}
+	case "NS":
+		if err := need(1); err != nil {
+			return rr, err
+		}
+		rr.Type, rr.Data = dnswire.TypeNS, &dnswire.NSData{Host: qualify(args[0], origin)}
+	case "PTR":
+		if err := need(1); err != nil {
+			return rr, err
+		}
+		rr.Type, rr.Data = dnswire.TypePTR, &dnswire.PTRData{Target: qualify(args[0], origin)}
+	case "MX":
+		if err := need(2); err != nil {
+			return rr, err
+		}
+		pref, err := strconv.ParseUint(args[0], 10, 16)
+		if err != nil {
+			return rr, fmt.Errorf("bad MX preference %q", args[0])
+		}
+		rr.Type = dnswire.TypeMX
+		rr.Data = &dnswire.MXData{Preference: uint16(pref), Host: qualify(args[1], origin)}
+	case "TXT":
+		if err := need(1); err != nil {
+			return rr, err
+		}
+		var strs []string
+		for _, a := range args {
+			strs = append(strs, strings.Trim(a, `"`))
+		}
+		rr.Type, rr.Data = dnswire.TypeTXT, &dnswire.TXTData{Strings: strs}
+	case "SOA":
+		if err := need(7); err != nil {
+			return rr, err
+		}
+		nums := make([]uint32, 5)
+		for i := 0; i < 5; i++ {
+			n, err := strconv.ParseUint(args[2+i], 10, 32)
+			if err != nil {
+				return rr, fmt.Errorf("bad SOA field %q", args[2+i])
+			}
+			nums[i] = uint32(n)
+		}
+		rr.Type = dnswire.TypeSOA
+		rr.Data = &dnswire.SOAData{
+			MName: qualify(args[0], origin), RName: qualify(args[1], origin),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4],
+		}
+	case "SRV":
+		if err := need(4); err != nil {
+			return rr, err
+		}
+		var vals [3]uint16
+		for i := 0; i < 3; i++ {
+			n, err := strconv.ParseUint(args[i], 10, 16)
+			if err != nil {
+				return rr, fmt.Errorf("bad SRV field %q", args[i])
+			}
+			vals[i] = uint16(n)
+		}
+		rr.Type = dnswire.TypeSRV
+		rr.Data = &dnswire.SRVData{Priority: vals[0], Weight: vals[1], Port: vals[2],
+			Target: qualify(args[3], origin)}
+	case "HTTPS", "SVCB":
+		if err := need(2); err != nil {
+			return rr, err
+		}
+		prio, err := strconv.ParseUint(args[0], 10, 16)
+		if err != nil {
+			return rr, fmt.Errorf("bad SvcPriority %q", args[0])
+		}
+		target := args[1]
+		if target != "." {
+			target = qualify(target, origin)
+		}
+		params, err := svcb.ParseParams(args[2:])
+		if err != nil {
+			return rr, err
+		}
+		if prio == 0 && len(params) > 0 {
+			return rr, fmt.Errorf("AliasMode record must not carry SvcParams")
+		}
+		rr.Type = dnswire.TypeHTTPS
+		if typeName == "SVCB" {
+			rr.Type = dnswire.TypeSVCB
+		}
+		rr.Data = &dnswire.SVCBData{Priority: uint16(prio), Target: target, Params: params}
+	default:
+		return rr, fmt.Errorf("unsupported record type %q", typeName)
+	}
+	return rr, nil
+}

@@ -1,0 +1,154 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+const sampleZone = `
+$ORIGIN a.com.
+$TTL 60
+@        IN SOA   ns1.a.com. hostmaster.a.com. 1 7200 3600 1209600 300
+@        IN NS    ns1
+ns1      IN A     192.0.2.53
+@        IN A     192.0.2.1
+@        IN AAAA  2001:db8::1
+@        300 IN HTTPS 1 . alpn=h2,h3 ipv4hint=192.0.2.1 port=8443
+alias    IN CNAME @
+www      IN CNAME a.com.
+mail     IN MX    10 mx.a.com.
+_svc._tcp IN SRV  1 5 443 a.com.
+txt      IN TXT   "hello world"
+redirect IN HTTPS 0 b.example.net.
+; full-line comment
+deep     IN A 192.0.2.7 ; trailing comment
+`
+
+func TestParseSampleZone(t *testing.T) {
+	z, err := Parse("a.com.", sampleZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SOA present with parsed timers.
+	soaRRs, _, ok := z.Lookup("a.com.", dnswire.TypeSOA)
+	if !ok {
+		t.Fatal("SOA missing")
+	}
+	soa := soaRRs[0].Data.(*dnswire.SOAData)
+	if soa.Serial != 1 || soa.Minimum != 300 || soa.MName != "ns1.a.com." {
+		t.Errorf("SOA = %+v", soa)
+	}
+	// Relative name qualification.
+	if _, _, ok := z.Lookup("ns1.a.com.", dnswire.TypeA); !ok {
+		t.Error("relative ns1 not qualified")
+	}
+	// HTTPS record with explicit TTL and params.
+	httpsRRs, _, ok := z.Lookup("a.com.", dnswire.TypeHTTPS)
+	if !ok || httpsRRs[0].TTL != 300 {
+		t.Fatalf("HTTPS = %+v ok=%v", httpsRRs, ok)
+	}
+	data := httpsRRs[0].Data.(*dnswire.SVCBData)
+	if data.Priority != 1 || data.Target != "." {
+		t.Errorf("HTTPS fields = %+v", data)
+	}
+	if port, ok := data.Params.Port(); !ok || port != 8443 {
+		t.Errorf("port = %d, %v", port, ok)
+	}
+	if alpn, _ := data.Params.ALPN(); len(alpn) != 2 {
+		t.Errorf("alpn = %v", alpn)
+	}
+	// "@" in RDATA.
+	cnameRRs, _, _ := z.Lookup("alias.a.com.", dnswire.TypeCNAME)
+	if cnameRRs[0].Data.(*dnswire.CNAMEData).Target != "a.com." {
+		t.Errorf("alias target = %v", cnameRRs[0].Data)
+	}
+	// AliasMode HTTPS.
+	aliasRRs, _, _ := z.Lookup("redirect.a.com.", dnswire.TypeHTTPS)
+	if !aliasRRs[0].Data.(*dnswire.SVCBData).AliasMode() {
+		t.Error("redirect not AliasMode")
+	}
+	// Default TTL applied.
+	aRRs, _, _ := z.Lookup("a.com.", dnswire.TypeA)
+	if aRRs[0].TTL != 60 {
+		t.Errorf("default TTL = %d", aRRs[0].TTL)
+	}
+	// Comments stripped.
+	if _, _, ok := z.Lookup("deep.a.com.", dnswire.TypeA); !ok {
+		t.Error("trailing-comment line lost")
+	}
+	// SRV parsed.
+	srvRRs, _, ok := z.Lookup("_svc._tcp.a.com.", dnswire.TypeSRV)
+	if !ok || srvRRs[0].Data.(*dnswire.SRVData).Port != 443 {
+		t.Error("SRV broken")
+	}
+	// MX parsed.
+	mxRRs, _, ok := z.Lookup("mail.a.com.", dnswire.TypeMX)
+	if !ok || mxRRs[0].Data.(*dnswire.MXData).Preference != 10 {
+		t.Error("MX broken")
+	}
+}
+
+func TestParsedZoneServes(t *testing.T) {
+	z, err := Parse("a.com.", sampleZone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Query("alias.a.com.", dnswire.TypeA, false)
+	if len(res.Answer) != 2 {
+		t.Errorf("CNAME chase through parsed zone = %+v", res.Answer)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"@ IN A not-an-ip",
+		"@ IN AAAA 1.2.3.4",
+		"@ IN HTTPS x .",
+		"@ IN HTTPS 0 b.com. alpn=h2", // AliasMode with params
+		"@ IN HTTPS 1",                // missing target
+		"@ IN MX ten mx.a.com.",
+		"@ IN SOA ns1 h 1 2 3 4",  // short SOA
+		"@ IN WKS 1.2.3.4",        // unsupported type
+		"@ IN",                    // missing type
+		"$ORIGIN",                 // bad directive
+		"$TTL abc",
+		"@ IN SRV 1 2 x a.com.",
+	}
+	for _, line := range bad {
+		if _, err := Parse("a.com.", line); err == nil {
+			t.Errorf("Parse accepted %q", line)
+		}
+	}
+}
+
+func TestParseOriginSwitch(t *testing.T) {
+	text := strings.Join([]string{
+		"$ORIGIN a.com.",
+		"@ IN A 192.0.2.1",
+		"$ORIGIN sub.a.com.",
+		"@ IN A 192.0.2.2",
+		"host IN A 192.0.2.3",
+	}, "\n")
+	z, err := Parse("a.com.", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a.com.", "sub.a.com.", "host.sub.a.com."} {
+		if _, _, ok := z.Lookup(name, dnswire.TypeA); !ok {
+			t.Errorf("%s missing", name)
+		}
+	}
+}
+
+func TestParseContinuationOwner(t *testing.T) {
+	text := "www IN A 192.0.2.1\n IN AAAA 2001:db8::5\n"
+	z, err := Parse("a.com.", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := z.Lookup("www.a.com.", dnswire.TypeAAAA); !ok {
+		t.Error("continuation line owner not inherited")
+	}
+}

@@ -1,0 +1,388 @@
+// Package zone implements an authoritative DNS zone: an RRset store with
+// the lookup semantics an authoritative server needs (exact match, CNAME,
+// delegation referrals, NXDOMAIN/NODATA) plus whole-zone DNSSEC signing.
+package zone
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+)
+
+// rrsetKey identifies an RRset within a zone.
+type rrsetKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+// Zone is a single authoritative zone rooted at Origin.
+type Zone struct {
+	Origin string
+
+	mu     sync.RWMutex
+	rrsets map[rrsetKey][]dnswire.RR
+	sigs   map[rrsetKey][]dnswire.RR
+	// delegations lists child zone cuts (names with NS RRsets below the
+	// apex) for referral processing.
+	delegations map[string]bool
+
+	ksk, zsk *dnssec.KeyPair
+	signedAt time.Time
+}
+
+// New creates an empty zone for origin.
+func New(origin string) *Zone {
+	return &Zone{
+		Origin:      dnswire.CanonicalName(origin),
+		rrsets:      map[rrsetKey][]dnswire.RR{},
+		sigs:        map[rrsetKey][]dnswire.RR{},
+		delegations: map[string]bool{},
+	}
+}
+
+// SetSOA installs the apex SOA record with conventional timers.
+func (z *Zone) SetSOA(primaryNS, mbox string, serial uint32, minTTL uint32) {
+	z.Add(dnswire.RR{
+		Name: z.Origin, Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: 3600,
+		Data: &dnswire.SOAData{
+			MName: dnswire.CanonicalName(primaryNS), RName: dnswire.CanonicalName(mbox),
+			Serial: serial, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: minTTL,
+		},
+	})
+}
+
+// Add inserts a record, replacing any identical record in its RRset. Adding
+// invalidates existing signatures for that RRset.
+func (z *Zone) Add(rr dnswire.RR) {
+	rr.Name = dnswire.CanonicalName(rr.Name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	k := rrsetKey{name: rr.Name, typ: rr.Type}
+	set := z.rrsets[k]
+	newWire, err := dnswire.PackRR(rr)
+	if err == nil {
+		for i, existing := range set {
+			if w, err2 := dnswire.PackRR(existing); err2 == nil && string(w) == string(newWire) {
+				set[i] = rr
+				z.rrsets[k] = set
+				delete(z.sigs, k)
+				return
+			}
+		}
+	}
+	z.rrsets[k] = append(set, rr)
+	delete(z.sigs, k)
+	if rr.Type == dnswire.TypeNS && rr.Name != z.Origin && dnswire.IsSubdomain(rr.Name, z.Origin) {
+		z.delegations[rr.Name] = true
+	}
+}
+
+// RemoveRRset deletes the whole RRset at (name, type).
+func (z *Zone) RemoveRRset(name string, t dnswire.Type) {
+	name = dnswire.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	k := rrsetKey{name: name, typ: t}
+	delete(z.rrsets, k)
+	delete(z.sigs, k)
+	if t == dnswire.TypeNS {
+		delete(z.delegations, name)
+	}
+}
+
+// RemoveName deletes every RRset at name.
+func (z *Zone) RemoveName(name string) {
+	name = dnswire.CanonicalName(name)
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	for k := range z.rrsets {
+		if k.name == name {
+			delete(z.rrsets, k)
+			delete(z.sigs, k)
+		}
+	}
+	delete(z.delegations, name)
+}
+
+// Lookup returns the RRset and its signatures for (name, type).
+func (z *Zone) Lookup(name string, t dnswire.Type) (rrs, sigs []dnswire.RR, ok bool) {
+	name = dnswire.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	k := rrsetKey{name: name, typ: t}
+	rrs, ok = z.rrsets[k]
+	if !ok {
+		return nil, nil, false
+	}
+	return cloneRRs(rrs), cloneRRs(z.sigs[k]), true
+}
+
+// NameExists reports whether any RRset exists at name.
+func (z *Zone) NameExists(name string) bool {
+	name = dnswire.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for k := range z.rrsets {
+		if k.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns every owner name in the zone, sorted.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	seen := map[string]bool{}
+	for k := range z.rrsets {
+		seen[k.name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RRsets returns all RRsets in the zone (deep-copied), keyed for iteration.
+func (z *Zone) RRsets() map[string][]dnswire.RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make(map[string][]dnswire.RR, len(z.rrsets))
+	for k, rrs := range z.rrsets {
+		out[k.name+"|"+k.typ.String()] = cloneRRs(rrs)
+	}
+	return out
+}
+
+func cloneRRs(rrs []dnswire.RR) []dnswire.RR {
+	if rrs == nil {
+		return nil
+	}
+	out := make([]dnswire.RR, len(rrs))
+	for i, rr := range rrs {
+		out[i] = rr.Clone()
+	}
+	return out
+}
+
+// Keys returns the zone's signing keys, if the zone is signed.
+func (z *Zone) Keys() (ksk, zsk *dnssec.KeyPair) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.ksk, z.zsk
+}
+
+// Signed reports whether Sign has been called.
+func (z *Zone) Signed() bool {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.ksk != nil
+}
+
+// Sign generates KSK/ZSK keys (if not provided), publishes the DNSKEY RRset,
+// and signs every RRset in the zone: the DNSKEY RRset with the KSK,
+// everything else with the ZSK. Delegation NS RRsets (and glue) are not
+// signed, matching authoritative behaviour.
+func (z *Zone) Sign(rng io.Reader, inception, expiration time.Time) error {
+	ksk, err := dnssec.GenerateKey(rng, z.Origin, true)
+	if err != nil {
+		return err
+	}
+	zsk, err := dnssec.GenerateKey(rng, z.Origin, false)
+	if err != nil {
+		return err
+	}
+	return z.SignWith(rng, ksk, zsk, inception, expiration)
+}
+
+// SignWith signs the zone with caller-provided keys.
+func (z *Zone) SignWith(rng io.Reader, ksk, zsk *dnssec.KeyPair, inception, expiration time.Time) error {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.ksk, z.zsk = ksk, zsk
+	z.signedAt = inception
+
+	// Publish the DNSKEY RRset at the apex.
+	dnskeyRRs := []dnswire.RR{ksk.DNSKEY(3600), zsk.DNSKEY(3600)}
+	z.rrsets[rrsetKey{name: z.Origin, typ: dnswire.TypeDNSKEY}] = dnskeyRRs
+
+	for k, rrs := range z.rrsets {
+		if k.typ == dnswire.TypeRRSIG {
+			continue
+		}
+		// Delegation point: NS (and DS is signed, but glue A/AAAA is not).
+		if z.delegations[k.name] {
+			if k.typ != dnswire.TypeDS {
+				delete(z.sigs, k)
+				continue
+			}
+		}
+		signer := zsk
+		if k.typ == dnswire.TypeDNSKEY {
+			signer = ksk
+		}
+		sig, err := dnssec.SignRRset(rng, signer, rrs, inception, expiration)
+		if err != nil {
+			return fmt.Errorf("zone %s: signing %s/%s: %w", z.Origin, k.name, k.typ, err)
+		}
+		z.sigs[k] = []dnswire.RR{sig}
+	}
+	return nil
+}
+
+// Unsign removes all signatures and keys from the zone.
+func (z *Zone) Unsign() {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.ksk, z.zsk = nil, nil
+	z.sigs = map[rrsetKey][]dnswire.RR{}
+	delete(z.rrsets, rrsetKey{name: z.Origin, typ: dnswire.TypeDNSKEY})
+}
+
+// DS returns the delegation-signer record for this zone's KSK, for upload
+// to the parent zone. It fails if the zone is unsigned.
+func (z *Zone) DS() (dnswire.RR, error) {
+	z.mu.RLock()
+	ksk := z.ksk
+	z.mu.RUnlock()
+	if ksk == nil {
+		return dnswire.RR{}, fmt.Errorf("zone %s: not signed", z.Origin)
+	}
+	return ksk.DS(3600)
+}
+
+// QueryResult is the authoritative answer for a question against one zone.
+type QueryResult struct {
+	RCode      dnswire.RCode
+	Answer     []dnswire.RR
+	Authority  []dnswire.RR
+	Additional []dnswire.RR
+	// Referral indicates the response is a delegation, not an
+	// authoritative answer.
+	Referral bool
+}
+
+// Query resolves a question against the zone's data with authoritative
+// semantics. dnssecOK controls whether RRSIGs are included.
+func (z *Zone) Query(name string, t dnswire.Type, dnssecOK bool) QueryResult {
+	name = dnswire.CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	if !dnswire.IsSubdomain(name, z.Origin) {
+		return QueryResult{RCode: dnswire.RCodeRefused}
+	}
+
+	// Delegation: if name is at or below a child zone cut, return a
+	// referral with the child NS set (plus glue if present). Exception:
+	// DS queries at the cut itself are answered authoritatively by the
+	// parent (RFC 4035 §3.1.4.1).
+	for cut := range z.delegations {
+		if name == cut && t == dnswire.TypeDS {
+			continue
+		}
+		if dnswire.IsSubdomain(name, cut) && name != z.Origin {
+			res := QueryResult{Referral: true}
+			nsKey := rrsetKey{name: cut, typ: dnswire.TypeNS}
+			res.Authority = cloneRRs(z.rrsets[nsKey])
+			if dnssecOK {
+				if ds, ok := z.rrsets[rrsetKey{name: cut, typ: dnswire.TypeDS}]; ok {
+					res.Authority = append(res.Authority, cloneRRs(ds)...)
+					res.Authority = append(res.Authority, cloneRRs(z.sigs[rrsetKey{name: cut, typ: dnswire.TypeDS}])...)
+				}
+			}
+			for _, ns := range z.rrsets[nsKey] {
+				host := ns.Data.(*dnswire.NSData).Host
+				for _, gt := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+					if glue, ok := z.rrsets[rrsetKey{name: host, typ: gt}]; ok {
+						res.Additional = append(res.Additional, cloneRRs(glue)...)
+					}
+				}
+			}
+			return res
+		}
+	}
+
+	k := rrsetKey{name: name, typ: t}
+	if rrs, ok := z.rrsets[k]; ok {
+		res := QueryResult{Answer: cloneRRs(rrs)}
+		if dnssecOK {
+			res.Answer = append(res.Answer, cloneRRs(z.sigs[k])...)
+		}
+		return res
+	}
+
+	// CNAME processing: if a CNAME exists at the name (and the query was
+	// not for CNAME), return it; resolution continues at the target.
+	ck := rrsetKey{name: name, typ: dnswire.TypeCNAME}
+	if cname, ok := z.rrsets[ck]; ok && t != dnswire.TypeCNAME {
+		res := QueryResult{Answer: cloneRRs(cname)}
+		if dnssecOK {
+			res.Answer = append(res.Answer, cloneRRs(z.sigs[ck])...)
+		}
+		// Chase within this zone if the target is local.
+		target := dnswire.CanonicalName(cname[0].Data.(*dnswire.CNAMEData).Target)
+		if dnswire.IsSubdomain(target, z.Origin) && target != name {
+			sub := z.queryLocked(target, t, dnssecOK, 8)
+			res.Answer = append(res.Answer, sub...)
+		}
+		return res
+	}
+
+	// NODATA vs NXDOMAIN.
+	soaKey := rrsetKey{name: z.Origin, typ: dnswire.TypeSOA}
+	authority := cloneRRs(z.rrsets[soaKey])
+	if dnssecOK {
+		authority = append(authority, cloneRRs(z.sigs[soaKey])...)
+	}
+	if z.nameExistsLocked(name) {
+		return QueryResult{Authority: authority} // NODATA
+	}
+	return QueryResult{RCode: dnswire.RCodeNXDomain, Authority: authority}
+}
+
+func (z *Zone) nameExistsLocked(name string) bool {
+	for k := range z.rrsets {
+		if k.name == name || strings.HasSuffix(k.name, "."+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// queryLocked performs internal CNAME chasing with a depth limit.
+func (z *Zone) queryLocked(name string, t dnswire.Type, dnssecOK bool, depth int) []dnswire.RR {
+	if depth == 0 {
+		return nil
+	}
+	k := rrsetKey{name: name, typ: t}
+	if rrs, ok := z.rrsets[k]; ok {
+		out := cloneRRs(rrs)
+		if dnssecOK {
+			out = append(out, cloneRRs(z.sigs[k])...)
+		}
+		return out
+	}
+	ck := rrsetKey{name: name, typ: dnswire.TypeCNAME}
+	if cname, ok := z.rrsets[ck]; ok && t != dnswire.TypeCNAME {
+		out := cloneRRs(cname)
+		if dnssecOK {
+			out = append(out, cloneRRs(z.sigs[ck])...)
+		}
+		target := dnswire.CanonicalName(cname[0].Data.(*dnswire.CNAMEData).Target)
+		if dnswire.IsSubdomain(target, z.Origin) && target != name {
+			out = append(out, z.queryLocked(target, t, dnssecOK, depth-1)...)
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package zone
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+)
+
+func aRR(name, ip string, ttl uint32) dnswire.RR {
+	return dnswire.RR{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassINET, TTL: ttl,
+		Data: &dnswire.AData{Addr: netip.MustParseAddr(ip)}}
+}
+
+func buildTestZone() *Zone {
+	z := New("example.com")
+	z.SetSOA("ns1.example.com.", "hostmaster.example.com.", 1, 300)
+	z.Add(dnswire.RR{Name: "example.com.", Type: dnswire.TypeNS, Class: dnswire.ClassINET,
+		TTL: 3600, Data: &dnswire.NSData{Host: "ns1.example.com."}})
+	z.Add(aRR("ns1.example.com.", "10.0.0.53", 3600))
+	z.Add(aRR("www.example.com.", "10.0.0.80", 300))
+	z.Add(dnswire.RR{Name: "alias.example.com.", Type: dnswire.TypeCNAME, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.CNAMEData{Target: "www.example.com."}})
+	z.Add(dnswire.RR{Name: "example.com.", Type: dnswire.TypeHTTPS, Class: dnswire.ClassINET,
+		TTL: 300, Data: &dnswire.SVCBData{Priority: 1, Target: "."}})
+	return z
+}
+
+func TestZoneExactMatch(t *testing.T) {
+	z := buildTestZone()
+	res := z.Query("www.example.com.", dnswire.TypeA, false)
+	if res.RCode != dnswire.RCodeNoError || len(res.Answer) != 1 {
+		t.Fatalf("Query = %+v", res)
+	}
+	if res.Answer[0].Data.(*dnswire.AData).Addr.String() != "10.0.0.80" {
+		t.Errorf("wrong address: %v", res.Answer[0])
+	}
+}
+
+func TestZoneCaseInsensitive(t *testing.T) {
+	z := buildTestZone()
+	res := z.Query("WWW.Example.COM", dnswire.TypeA, false)
+	if len(res.Answer) != 1 {
+		t.Errorf("case-insensitive lookup failed: %+v", res)
+	}
+}
+
+func TestZoneNXDomainAndNODATA(t *testing.T) {
+	z := buildTestZone()
+	res := z.Query("nonexistent.example.com.", dnswire.TypeA, false)
+	if res.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("want NXDOMAIN, got %v", res.RCode)
+	}
+	if len(res.Authority) == 0 || res.Authority[0].Type != dnswire.TypeSOA {
+		t.Error("NXDOMAIN missing SOA in authority")
+	}
+	// Name exists, type does not: NODATA.
+	res = z.Query("www.example.com.", dnswire.TypeHTTPS, false)
+	if res.RCode != dnswire.RCodeNoError || len(res.Answer) != 0 {
+		t.Errorf("NODATA wrong: %+v", res)
+	}
+	if len(res.Authority) == 0 {
+		t.Error("NODATA missing SOA")
+	}
+}
+
+func TestZoneCNAME(t *testing.T) {
+	z := buildTestZone()
+	res := z.Query("alias.example.com.", dnswire.TypeA, false)
+	if len(res.Answer) != 2 {
+		t.Fatalf("CNAME chase answer = %+v", res.Answer)
+	}
+	if res.Answer[0].Type != dnswire.TypeCNAME || res.Answer[1].Type != dnswire.TypeA {
+		t.Errorf("CNAME chase order wrong: %+v", res.Answer)
+	}
+}
+
+func TestZoneRefusesOutOfZone(t *testing.T) {
+	z := buildTestZone()
+	res := z.Query("other.net.", dnswire.TypeA, false)
+	if res.RCode != dnswire.RCodeRefused {
+		t.Errorf("out-of-zone rcode = %v", res.RCode)
+	}
+}
+
+func TestZoneDelegation(t *testing.T) {
+	z := buildTestZone()
+	z.Add(dnswire.RR{Name: "sub.example.com.", Type: dnswire.TypeNS, Class: dnswire.ClassINET,
+		TTL: 3600, Data: &dnswire.NSData{Host: "ns1.sub.example.com."}})
+	z.Add(aRR("ns1.sub.example.com.", "10.0.1.53", 3600))
+	res := z.Query("deep.sub.example.com.", dnswire.TypeA, false)
+	if !res.Referral {
+		t.Fatalf("expected referral: %+v", res)
+	}
+	if len(res.Authority) == 0 || res.Authority[0].Type != dnswire.TypeNS {
+		t.Error("referral missing NS")
+	}
+	if len(res.Additional) == 0 {
+		t.Error("referral missing glue")
+	}
+}
+
+func TestZoneAddReplacesDuplicate(t *testing.T) {
+	z := New("a.com")
+	z.Add(aRR("a.com.", "1.1.1.1", 300))
+	z.Add(aRR("a.com.", "1.1.1.1", 300)) // identical
+	rrs, _, _ := z.Lookup("a.com.", dnswire.TypeA)
+	if len(rrs) != 1 {
+		t.Errorf("duplicate add produced %d records", len(rrs))
+	}
+	z.Add(aRR("a.com.", "2.2.2.2", 300))
+	rrs, _, _ = z.Lookup("a.com.", dnswire.TypeA)
+	if len(rrs) != 2 {
+		t.Errorf("distinct add produced %d records", len(rrs))
+	}
+}
+
+func TestZoneRemove(t *testing.T) {
+	z := buildTestZone()
+	z.RemoveRRset("www.example.com.", dnswire.TypeA)
+	if _, _, ok := z.Lookup("www.example.com.", dnswire.TypeA); ok {
+		t.Error("RemoveRRset did not remove")
+	}
+	z.RemoveName("example.com.")
+	if z.NameExists("example.com.") {
+		t.Error("RemoveName did not remove")
+	}
+}
+
+func TestZoneSigning(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := buildTestZone()
+	inception := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := z.Sign(rng, inception, inception.Add(30*24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Signed() {
+		t.Error("Signed() false after Sign")
+	}
+	// DNSKEY RRset exists and is signed.
+	keys, sigs, ok := z.Lookup("example.com.", dnswire.TypeDNSKEY)
+	if !ok || len(keys) != 2 || len(sigs) != 1 {
+		t.Fatalf("DNSKEY lookup: %d keys, %d sigs, ok=%v", len(keys), len(sigs), ok)
+	}
+	// The HTTPS RRset has a verifiable signature by the ZSK.
+	rrs, hsigs, ok := z.Lookup("example.com.", dnswire.TypeHTTPS)
+	if !ok || len(hsigs) != 1 {
+		t.Fatalf("HTTPS lookup: ok=%v sigs=%d", ok, len(hsigs))
+	}
+	_, zsk := z.Keys()
+	now := inception.Add(time.Hour)
+	if err := dnssec.VerifyRRSIG(hsigs[0], rrs, zsk.DNSKEY(3600), now); err != nil {
+		t.Errorf("HTTPS RRSIG invalid: %v", err)
+	}
+	// Query with DO returns signatures; without DO it does not.
+	res := z.Query("example.com.", dnswire.TypeHTTPS, true)
+	if !hasType(res.Answer, dnswire.TypeRRSIG) {
+		t.Error("DO query missing RRSIG")
+	}
+	res = z.Query("example.com.", dnswire.TypeHTTPS, false)
+	if hasType(res.Answer, dnswire.TypeRRSIG) {
+		t.Error("non-DO query contains RRSIG")
+	}
+	// DS generation works.
+	if _, err := z.DS(); err != nil {
+		t.Errorf("DS: %v", err)
+	}
+	// Unsign removes everything.
+	z.Unsign()
+	if z.Signed() {
+		t.Error("Signed() true after Unsign")
+	}
+	if _, _, ok := z.Lookup("example.com.", dnswire.TypeDNSKEY); ok {
+		t.Error("DNSKEY remains after Unsign")
+	}
+}
+
+func TestZoneSignInvalidatedByAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := buildTestZone()
+	inception := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := z.Sign(rng, inception, inception.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	z.Add(aRR("www.example.com.", "10.0.0.81", 300))
+	_, sigs, _ := z.Lookup("www.example.com.", dnswire.TypeA)
+	if len(sigs) != 0 {
+		t.Error("stale signature survived RRset change")
+	}
+}
+
+func hasType(rrs []dnswire.RR, t dnswire.Type) bool {
+	for _, rr := range rrs {
+		if rr.Type == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet fmt bench verify
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verify as the roadmap defines it.
+verify: build test
+
+vet:
+	$(GO) vet ./...
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+# Fast benchmark subset: substrate + serving-layer hot paths (skips the
+# campaign-backed table/figure benchmarks, which rebuild a world).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkDoH|BenchmarkDNSWire|BenchmarkResolveHTTPS|BenchmarkECHSealOpen|BenchmarkRRSIGSignVerify' -benchtime 100x .

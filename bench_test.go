@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
+	"repro/internal/doh"
 	"repro/internal/ech"
 	"repro/internal/providers"
 	"repro/internal/scanner"
@@ -418,6 +419,82 @@ func BenchmarkBrowserNavigate(b *testing.B) {
 func BenchmarkWorldBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := providers.BuildWorld(providers.WorldConfig{Size: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- encrypted-DNS serving layer ---
+
+// dohBench builds a small world fronted by a DoH fleet. withCache selects
+// whether the frontends share the sharded answer cache.
+func dohBench(b *testing.B, withCache bool) (*doh.Client, []string, *providers.World) {
+	b.Helper()
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: 500, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
+	var cache *doh.Cache
+	if withCache {
+		cache = doh.NewCache(w.Clock, 0, 0)
+	}
+	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 11)
+	for i := 0; i < 3; i++ {
+		srv := &doh.Server{
+			Name: "fe", Handler: w.GoogleResolver, Cache: cache,
+		}
+		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
+		srv.Register(w.Net, ap)
+		pool.Add(srv.Name, ap)
+	}
+	return doh.NewClient(w.Net, pool), w.Tranco.ListFor(w.Clock.Now()), w
+}
+
+// BenchmarkDoHCachedPath measures the fleet's hot path: every query after
+// the warm-up is answered from the shared sharded cache.
+func BenchmarkDoHCachedPath(b *testing.B) {
+	client, list, _ := dohBench(b, true)
+	for _, name := range list {
+		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Query(list[i%len(list)], dnswire.TypeHTTPS, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoHUncachedPath measures the same exchanges with the answer
+// cache disabled: every query pays envelope decode + recursor traversal.
+func BenchmarkDoHUncachedPath(b *testing.B) {
+	client, list, _ := dohBench(b, false)
+	for _, name := range list {
+		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Query(list[i%len(list)], dnswire.TypeHTTPS, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoHEnvelopeRoundTrip isolates the RFC 8484 envelope codec.
+func BenchmarkDoHEnvelopeRoundTrip(b *testing.B) {
+	q := dnswire.NewQuery(7, "example.com", dnswire.TypeHTTPS, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := doh.NewGETRequest(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := doh.DecodeRequest(req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,134 @@
+// Command dohserve stands up an encrypted-DNS serving fleet over a
+// simulated world and drives a concurrent query load through it: N DoH
+// frontends wrapping the public recursors, a shared sharded answer cache,
+// and a load-balanced upstream pool with failover. It reports per-frontend
+// traffic, pool health, cache efficiency, and end-to-end throughput —
+// the fleet-scale workload view of the serving layer.
+//
+// Usage:
+//
+//	dohserve [-size N] [-seed S] [-frontends N] [-strategy p2|ewma|roundrobin|hash]
+//	         [-queries N] [-workers N] [-shards N] [-shardcap N] [-hot N]
+//	         [-kill N] [-post]
+//
+// -kill marks that many frontend addresses unreachable halfway through
+// the load, exercising failover under fire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnswire"
+	"repro/internal/doh"
+)
+
+func main() {
+	size := flag.Int("size", 3000, "Tranco list size of the generated world")
+	seed := flag.Int64("seed", 1, "generation seed")
+	frontends := flag.Int("frontends", 4, "number of DoH frontends")
+	strategyName := flag.String("strategy", "p2", "load-balancing strategy (p2, ewma, roundrobin, hash)")
+	queries := flag.Int("queries", 2000, "total queries to drive")
+	workers := flag.Int("workers", 8, "concurrent stub workers")
+	shards := flag.Int("shards", doh.DefaultShards, "answer-cache shard count")
+	shardCap := flag.Int("shardcap", doh.DefaultShardCapacity, "answer-cache entries per shard")
+	hot := flag.Int("hot", 500, "working-set size (distinct names cycled through)")
+	kill := flag.Int("kill", 1, "frontends to mark unreachable halfway through")
+	post := flag.Bool("post", false, "use POST envelopes instead of GET")
+	flag.Parse()
+
+	strategy, err := doh.ParseStrategy(*strategyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *frontends < 1 {
+		fmt.Fprintln(os.Stderr, "dohserve: -frontends must be at least 1")
+		os.Exit(2)
+	}
+
+	// The campaign builds the world and the fleet with the same wiring
+	// the measurement runs use; here only the fleet is driven.
+	camp, err := core.NewCampaign(core.CampaignConfig{
+		Size: *size, Seed: *seed,
+		DoHFrontends: *frontends, DoHStrategy: strategy,
+		DoHShards: *shards, DoHShardCap: *shardCap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	world, client, pool, cache := camp.World, camp.DoHClient, camp.DoHPool, camp.DoHCache
+	client.UsePOST = *post
+	day := time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC)
+	world.Clock.Set(day)
+
+	list := world.Tranco.ListFor(day)
+	if *hot > 0 && *hot < len(list) {
+		list = list[:*hot]
+	}
+	fmt.Printf("world: %d domains (working set %d); fleet: %d frontends, strategy %s, cache %d×%d\n",
+		*size, len(list), *frontends, strategy, *shards, *shardCap)
+
+	var ok, failed atomic.Uint64
+	var killOnce sync.Once
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range jobs {
+				if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+					failed.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < *queries; i++ {
+		if i == *queries/2 && *kill > 0 {
+			killOnce.Do(func() {
+				stats := pool.Stats()
+				for k := 0; k < *kill && k < len(stats); k++ {
+					world.Net.SetAddrDown(stats[k].Addr.Addr(), true)
+					fmt.Printf("halfway: frontend %s (%v) marked unreachable\n",
+						stats[k].Name, stats[k].Addr)
+				}
+			})
+		}
+		jobs <- list[i%len(list)]
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%d queries in %s (%.0f q/s): %d answered, %d failed\n",
+		*queries, elapsed.Round(time.Millisecond),
+		float64(*queries)/elapsed.Seconds(), ok.Load(), failed.Load())
+
+	fmt.Println("\nfrontends:")
+	for _, s := range camp.DoHServers {
+		st := s.Stats()
+		fmt.Printf("  %-20s served %6d  cache hits %6d\n", st.Name, st.Served, st.CacheHits)
+	}
+	fmt.Println("\npool:")
+	for _, st := range pool.Stats() {
+		fmt.Printf("  %-20s queries %6d  failures %3d  down=%-5v rtt=%s\n",
+			st.Name, st.Queries, st.Failures, st.Down, st.RTT.Round(time.Microsecond))
+	}
+	cs := cache.Stats()
+	fmt.Printf("\nshared cache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+		cs.Entries, cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions)
+	fmt.Printf("recursor-side queries (incl. iterative lookups): %d\n", world.Net.QueryCount())
+}

@@ -10,11 +10,11 @@ import (
 
 // HintUsageResult is Fig 11: hint usage and A/AAAA consistency over time.
 type HintUsageResult struct {
-	Kind      string
-	V4Usage   Series // % of adopters publishing ipv4hint
-	V6Usage   Series
-	V4Match   Series // % of hint publishers whose hints equal the A set
-	V6Match   Series
+	Kind    string
+	V4Usage Series // % of adopters publishing ipv4hint
+	V6Usage Series
+	V4Match Series // % of hint publishers whose hints equal the A set
+	V6Match Series
 }
 
 // HintUsage reproduces Fig 11 for a kind.

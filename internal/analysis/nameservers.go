@@ -261,52 +261,50 @@ func Intermittency(store *dataset.Store) *IntermittencyResult {
 	if len(days) == 0 {
 		return &IntermittencyResult{}
 	}
+	// History is compressed to the days the domain was actually in the
+	// list: on a day it fell out of the list, absence of an observation
+	// is a churn artifact, not evidence of record deactivation.
 	type history struct {
-		present  []bool
-		nsSets   []string // canonical NS org set per active day
-		errDays  int      // days the domain failed to resolve at all
-		inList   int
+		present []bool
+		nsSets  []string // canonical NS org set per observed day
+		errDays int      // days the domain failed to resolve at all
 	}
 	hist := map[string]*history{}
-	for di, day := range days {
+	for _, day := range days {
 		apexSnap, ok := store.SnapshotFor("apex", day)
 		if !ok {
 			continue
 		}
 		list, _ := store.TrancoListFor(day)
-		listed := map[string]bool{}
-		for _, d := range list {
-			listed[dnswire.CanonicalName(d)] = true
-		}
 		nsSnap, _ := store.NSSnapshotFor(day)
-		for name := range listed {
+		for _, d := range list {
+			name := dnswire.CanonicalName(d)
 			h := hist[name]
 			if h == nil {
-				h = &history{present: make([]bool, len(days)), nsSets: make([]string, len(days))}
+				h = &history{}
 				hist[name] = h
 			}
-			h.inList++
-			obs, ok := apexSnap.Obs[name]
-			if !ok {
-				continue
+			present, nsSet := false, ""
+			if obs, ok := apexSnap.Obs[name]; ok {
+				if obs.HasHTTPS() {
+					present = true
+					orgs := nsOrgs(obs, nsSnap)
+					sort.Strings(orgs)
+					nsSet = strings.Join(orgs, ",")
+				} else if obs.Err != "" {
+					// The domain became unresolvable (e.g. lost its
+					// NS records entirely).
+					h.errDays++
+				}
 			}
-			if obs.HasHTTPS() {
-				h.present[di] = true
-				orgs := nsOrgs(obs, nsSnap)
-				sort.Strings(orgs)
-				h.nsSets[di] = strings.Join(orgs, ",")
-			} else if obs.Err != "" {
-				// The domain became unresolvable (e.g. lost its NS
-				// records entirely).
-				h.errDays++
-			}
+			h.present = append(h.present, present)
+			h.nsSets = append(h.nsSets, nsSet)
 		}
 	}
 	res := &IntermittencyResult{}
 	for _, h := range hist {
-		// Only consider domains consistently in the list (avoids churn
-		// artifacts).
-		if h.inList < len(days) {
+		// Require at least two observed days to call anything a trend.
+		if len(h.present) < 2 {
 			continue
 		}
 		// Intermittency = at least one deactivation (on → off) of

@@ -15,11 +15,11 @@ import (
 
 // Error codes surfaced to the user, matching the paper's observations.
 const (
-	ErrNameNotResolved          = "ERR_NAME_NOT_RESOLVED"
-	ErrConnectionRefused        = "ERR_CONNECTION_REFUSED"
-	ErrConnectionClosed         = "ERR_CONNECTION_CLOSED"
-	ErrCertCommonNameInvalid    = "ERR_CERT_COMMON_NAME_INVALID"
-	ErrECHFallbackCertInvalid   = "ERR_ECH_FALLBACK_CERTIFICATE_INVALID"
+	ErrNameNotResolved        = "ERR_NAME_NOT_RESOLVED"
+	ErrConnectionRefused      = "ERR_CONNECTION_REFUSED"
+	ErrConnectionClosed       = "ERR_CONNECTION_CLOSED"
+	ErrCertCommonNameInvalid  = "ERR_CERT_COMMON_NAME_INVALID"
+	ErrECHFallbackCertInvalid = "ERR_ECH_FALLBACK_CERTIFICATE_INVALID"
 )
 
 // Browser drives navigations with one behaviour profile over a simnet.
@@ -49,10 +49,10 @@ type Attempt struct {
 
 // VisitResult is the outcome of one navigation.
 type VisitResult struct {
-	URL           string
-	QueriedHTTPS  bool
-	QueriedA      bool
-	HTTPSRecords  int
+	URL          string
+	QueriedHTTPS bool
+	QueriedA     bool
+	HTTPSRecords int
 	// UsedHTTPSRR: the fetched records influenced the connection.
 	UsedHTTPSRR bool
 	// Scheme finally used ("http" or "https").

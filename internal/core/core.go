@@ -8,11 +8,13 @@ package core
 import (
 	"fmt"
 	"io"
+	"net/netip"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
+	"repro/internal/doh"
 	"repro/internal/providers"
 	"repro/internal/scanner"
 )
@@ -29,6 +31,19 @@ type CampaignConfig struct {
 	// StepDays samples every Nth day (1 = daily like the paper; larger
 	// steps trade trend resolution for speed).
 	StepDays int
+	// DoHFrontends, when positive, interposes the encrypted-DNS serving
+	// layer: that many DoH frontends are registered over the public
+	// recursors (alternating Google/Cloudflare), all sharing one sharded
+	// answer cache, and the scanner queries through a load-balanced
+	// upstream pool instead of bare stub queries.
+	DoHFrontends int
+	// DoHStrategy selects the pool's load-balancing strategy (the zero
+	// value is power-of-two-choices).
+	DoHStrategy doh.Strategy
+	// DoHShards and DoHShardCap set the shared answer cache geometry;
+	// zero values select the doh package defaults.
+	DoHShards   int
+	DoHShardCap int
 	// Progress, when non-nil, receives one line per scanned day.
 	Progress io.Writer
 }
@@ -40,6 +55,13 @@ type Campaign struct {
 	World   *providers.World
 	Scanner *scanner.Scanner
 	Store   *dataset.Store
+
+	// The encrypted-DNS serving layer, populated when Cfg.DoHFrontends
+	// is positive.
+	DoHServers []*doh.Server
+	DoHCache   *doh.Cache
+	DoHPool    *doh.Pool
+	DoHClient  *doh.Client
 }
 
 // NewCampaign builds the world and wires the scanner.
@@ -61,7 +83,36 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		return nil, fmt.Errorf("building world: %w", err)
 	}
 	sc := scanner.New(w.Net, w.GoogleAddr, w.CFResolverAddr, w.Whois)
-	return &Campaign{Cfg: cfg, World: w, Scanner: sc, Store: dataset.NewStore()}, nil
+	c := &Campaign{Cfg: cfg, World: w, Scanner: sc, Store: dataset.NewStore()}
+	if cfg.DoHFrontends > 0 {
+		c.buildDoHFleet(cfg.DoHFrontends, cfg.DoHStrategy)
+	}
+	return c, nil
+}
+
+// buildDoHFleet stands up n DoH frontends over the two public recursors
+// with a shared answer cache and routes the scanner through the pool.
+func (c *Campaign) buildDoHFleet(n int, strategy doh.Strategy) {
+	w := c.World
+	c.DoHCache = doh.NewCache(w.Clock, c.Cfg.DoHShards, c.Cfg.DoHShardCap)
+	c.DoHPool = doh.NewPool(w.Clock, strategy, c.Cfg.Seed)
+	for i := 0; i < n; i++ {
+		recursor, org := w.GoogleResolver, "google"
+		if i%2 == 1 {
+			recursor, org = w.CFResolver, "cloudflare"
+		}
+		name := fmt.Sprintf("doh-%s-%d", org, i)
+		srv := &doh.Server{Name: name, Handler: recursor, Cache: c.DoHCache}
+		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
+		srv.Register(w.Net, ap)
+		c.DoHPool.Add(name, ap)
+		c.DoHServers = append(c.DoHServers, srv)
+	}
+	c.DoHClient = doh.NewClient(w.Net, c.DoHPool)
+	// Deterministic per-member latency keeps EWMA/P2 routing replayable
+	// for a seed (wall-clock timing of in-process calls is pure noise).
+	c.DoHClient.Latency = doh.SyntheticLatency(2*time.Millisecond, 18*time.Millisecond)
+	c.Scanner.Transport = c.DoHClient
 }
 
 // connectivityProbeStart is when the §4.3.5 TLS probing experiment began.
@@ -126,8 +177,13 @@ func (c *Campaign) RunHourlyECH(start time.Time, days int) {
 		now := start.Add(time.Duration(h) * time.Hour)
 		c.World.Clock.Set(now)
 		// Fresh caches each hour, as the paper's scanner saw records
-		// refreshed by the 300s TTL.
+		// refreshed by the 300s TTL. Both recursors flush: with a DoH
+		// fleet the pool spreads queries over frontends backed by either.
 		c.World.GoogleResolver.FlushCache()
+		c.World.CFResolver.FlushCache()
+		if c.DoHCache != nil {
+			c.DoHCache.Flush()
+		}
 		c.Store.AddECH(c.Scanner.ECHScan(now, echDomains)...)
 	}
 }

@@ -68,6 +68,58 @@ func TestRunDailyCollectsAllDatasets(t *testing.T) {
 	}
 }
 
+// TestCampaignThroughDoHFleet runs a scan day end-to-end through the
+// encrypted serving layer and checks it observes the same adopters as the
+// bare-stub path, with the fleet demonstrably in the loop.
+func TestCampaignThroughDoHFleet(t *testing.T) {
+	day := time.Date(2023, 9, 6, 0, 0, 0, 0, time.UTC)
+	bare, err := NewCampaign(CampaignConfig{Size: 800, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.ScanDay(day); err != nil {
+		t.Fatal(err)
+	}
+
+	fleet, err := NewCampaign(CampaignConfig{Size: 800, Seed: 17, DoHFrontends: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.DoHServers) != 3 || fleet.DoHPool.Len() != 3 {
+		t.Fatalf("fleet not built: %d servers, %d pool members",
+			len(fleet.DoHServers), fleet.DoHPool.Len())
+	}
+	if err := fleet.ScanDay(day); err != nil {
+		t.Fatal(err)
+	}
+
+	bareSnap, _ := bare.Store.SnapshotFor("apex", day)
+	fleetSnap, _ := fleet.Store.SnapshotFor("apex", day)
+	if bareSnap == nil || fleetSnap == nil {
+		t.Fatal("missing snapshots")
+	}
+	// Same world, same day: the serving layer must be transparent to
+	// the measurement results.
+	if len(fleetSnap.Obs) != len(bareSnap.Obs) {
+		t.Errorf("adopters differ: DoH %d vs stub %d", len(fleetSnap.Obs), len(bareSnap.Obs))
+	}
+	for name := range bareSnap.Obs {
+		if _, ok := fleetSnap.Obs[name]; !ok {
+			t.Errorf("adopter %s lost through the DoH layer", name)
+		}
+	}
+	var served uint64
+	for _, s := range fleet.DoHServers {
+		served += s.Stats().Served
+	}
+	if served == 0 {
+		t.Error("DoH frontends saw no traffic during the scan")
+	}
+	if fleet.DoHCache.Stats().Hits == 0 {
+		t.Error("shared cache absorbed nothing (www scan re-queries apex NS/SOA)")
+	}
+}
+
 func TestHourlyECHCadence(t *testing.T) {
 	c := augCampaign(t)
 	start := time.Date(2023, 8, 20, 0, 0, 0, 0, time.UTC)

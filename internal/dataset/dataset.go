@@ -17,19 +17,19 @@ import (
 
 // HTTPSRecord is the compact summary of one observed HTTPS resource record.
 type HTTPSRecord struct {
-	Priority uint16       `json:"priority"`
-	Target   string       `json:"target"`
-	ALPN     []string     `json:"alpn,omitempty"`
-	NoDefALPN bool        `json:"no_default_alpn,omitempty"`
-	Port     uint16       `json:"port,omitempty"`
-	HasPort  bool         `json:"has_port,omitempty"`
-	V4Hints  []netip.Addr `json:"ipv4hint,omitempty"`
-	V6Hints  []netip.Addr `json:"ipv6hint,omitempty"`
-	HasECH   bool         `json:"ech,omitempty"`
+	Priority  uint16       `json:"priority"`
+	Target    string       `json:"target"`
+	ALPN      []string     `json:"alpn,omitempty"`
+	NoDefALPN bool         `json:"no_default_alpn,omitempty"`
+	Port      uint16       `json:"port,omitempty"`
+	HasPort   bool         `json:"has_port,omitempty"`
+	V4Hints   []netip.Addr `json:"ipv4hint,omitempty"`
+	V6Hints   []netip.Addr `json:"ipv6hint,omitempty"`
+	HasECH    bool         `json:"ech,omitempty"`
 	// ECHConfigID and ECHKeyHash identify the ECH key for rotation
 	// tracking without storing the full config.
-	ECHConfigID uint8  `json:"ech_config_id,omitempty"`
-	ECHKeyHash  uint64 `json:"ech_key_hash,omitempty"`
+	ECHConfigID   uint8  `json:"ech_config_id,omitempty"`
+	ECHKeyHash    uint64 `json:"ech_key_hash,omitempty"`
 	ECHPublicName string `json:"ech_public_name,omitempty"`
 }
 
@@ -52,10 +52,10 @@ type Observation struct {
 	// CNAMEChain lists CNAME targets chased during the HTTPS query.
 	CNAMEChain []string `json:"cname_chain,omitempty"`
 
-	A    []netip.Addr `json:"a,omitempty"`
-	AAAA []netip.Addr `json:"aaaa,omitempty"`
-	NS   []string     `json:"ns,omitempty"`
-	HasSOA bool       `json:"has_soa,omitempty"`
+	A      []netip.Addr `json:"a,omitempty"`
+	AAAA   []netip.Addr `json:"aaaa,omitempty"`
+	NS     []string     `json:"ns,omitempty"`
+	HasSOA bool         `json:"has_soa,omitempty"`
 }
 
 // HasHTTPS reports whether any HTTPS record was observed.
@@ -101,7 +101,7 @@ type ProbeResult struct {
 	Date   time.Time `json:"date"`
 	Domain string    `json:"domain"`
 	// Mismatch: the hint and A addresses differed at probe time.
-	Mismatch bool `json:"mismatch"`
+	Mismatch bool       `json:"mismatch"`
 	HintAddr netip.Addr `json:"hint_addr"`
 	AAddr    netip.Addr `json:"a_addr"`
 	HintOK   bool       `json:"hint_ok"`

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	mathrand "math/rand"
 	"sort"
 	"time"
 
@@ -40,9 +41,28 @@ type KeyPair struct {
 	Flags   uint16 // DNSKEYFlagZone, optionally DNSKEYFlagSEP for a KSK
 }
 
+// detachedReader draws a fixed-width seed from r and returns a fresh
+// stream seeded by it. The stdlib ECDSA routines consume a variable number
+// of reader bytes per call (randutil.MaybeReadByte, nonce rejection
+// sampling), so feeding them a shared seeded rng directly would leave it in
+// a run-dependent state and destroy whole-world seed determinism. The
+// detached stream absorbs that variability; the caller's rng always
+// advances by exactly eight bytes.
+func detachedReader(r io.Reader) io.Reader {
+	var seed [8]byte
+	if _, err := io.ReadFull(r, seed[:]); err != nil {
+		return r
+	}
+	var s int64
+	for _, b := range seed {
+		s = s<<8 | int64(b)
+	}
+	return mathrand.New(mathrand.NewSource(s))
+}
+
 // GenerateKey creates a new ECDSA-P256 zone key. ksk selects the SEP flag.
 func GenerateKey(rng io.Reader, zone string, ksk bool) (*KeyPair, error) {
-	priv, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), detachedReader(rng))
 	if err != nil {
 		return nil, fmt.Errorf("dnssec: generating key for %s: %w", zone, err)
 	}
@@ -225,7 +245,7 @@ func SignRRset(rng io.Reader, key *KeyPair, rrs []dnswire.RR, inception, expirat
 		return dnswire.RR{}, err
 	}
 	digest := sha256.Sum256(signed)
-	r, s, err := ecdsa.Sign(rng, key.Private, digest[:])
+	r, s, err := ecdsa.Sign(detachedReader(rng), key.Private, digest[:])
 	if err != nil {
 		return dnswire.RR{}, fmt.Errorf("dnssec: signing: %w", err)
 	}

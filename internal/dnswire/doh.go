@@ -1,0 +1,35 @@
+package dnswire
+
+import (
+	"encoding/base64"
+	"fmt"
+)
+
+// MediaTypeDNSMessage is the RFC 8484 media type for DNS wire format
+// carried in DoH request and response bodies.
+const MediaTypeDNSMessage = "application/dns-message"
+
+// EncodeDoHParam packs the message and encodes it with unpadded
+// base64url, the form carried in the RFC 8484 GET "dns" query parameter.
+func EncodeDoHParam(m *Message) (string, error) {
+	wire, err := m.Pack()
+	if err != nil {
+		return "", fmt.Errorf("dnswire: encoding DoH param: %w", err)
+	}
+	return base64.RawURLEncoding.EncodeToString(wire), nil
+}
+
+// DecodeDoHParam reverses EncodeDoHParam: it decodes an unpadded (padded
+// forms are tolerated, as servers must accept both) base64url string and
+// unpacks the wire-format message.
+func DecodeDoHParam(s string) (*Message, error) {
+	wire, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		// Tolerate padded input from sloppy clients.
+		wire, err = base64.URLEncoding.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("dnswire: decoding DoH param: %w", err)
+		}
+	}
+	return Unpack(wire)
+}

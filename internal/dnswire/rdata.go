@@ -53,8 +53,8 @@ func (d *AData) pack(dst []byte, _ compressionMap) ([]byte, error) {
 	b := d.Addr.As4()
 	return append(dst, b[:]...), nil
 }
-func (d *AData) clone() RData    { c := *d; return &c }
-func (d *AData) String() string  { return d.Addr.String() }
+func (d *AData) clone() RData   { c := *d; return &c }
+func (d *AData) String() string { return d.Addr.String() }
 
 // AAAA (IPv6 address) record data.
 type AAAAData struct{ Addr netip.Addr }

@@ -1,0 +1,371 @@
+package doh
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// Cache is a sharded TTL+LRU answer cache keyed by (qname, qtype, DO bit).
+// Shard selection is fnv-based, each shard is independently bounded and
+// LRU-evicted, and expiry runs on the virtual clock, so a fleet of DoH
+// frontends sharing one Cache behaves like an anycast pod with a common
+// answer store: whichever frontend a stub lands on, a fresh answer from a
+// sibling is served without touching the recursor.
+type Cache struct {
+	clock  *simnet.Clock
+	shards []*cacheShard
+}
+
+// Default cache geometry.
+const (
+	DefaultShards        = 16
+	DefaultShardCapacity = 1024
+)
+
+// negativeTTL bounds how long answers without records are retained when
+// the authority section carries no SOA to derive a TTL from.
+const negativeTTL = 30 * time.Second
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	// head is most recently used, tail least; entries form a doubly
+	// linked list so Get/Put/evict are all O(1).
+	head, tail *cacheEntry
+	capacity   int
+
+	hits, misses, evictions, expirations uint64
+}
+
+// cacheEntry holds the response as a packed wire image plus the byte
+// offsets of every RR TTL field, precomputed at store time. A hit is then
+// one copy, an ID patch, and in-place TTL rewrites — no message encode on
+// the hot path.
+type cacheEntry struct {
+	key        string
+	wire       []byte
+	ttlOffs    []int
+	ttls       []uint32 // original TTLs, parallel to ttlOffs
+	minTTL     uint32   // minimum answer TTL at store time (RFC 8484 max-age)
+	storedAt   time.Time
+	expires    time.Time
+	prev, next *cacheEntry
+}
+
+// CacheStats aggregates counters across shards.
+type CacheStats struct {
+	Entries     int
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Expirations uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewCache creates a cache with the given shard count and per-shard entry
+// bound; zero values select the defaults.
+func NewCache(clock *simnet.Clock, shards, shardCapacity int) *Cache {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shardCapacity <= 0 {
+		shardCapacity = DefaultShardCapacity
+	}
+	c := &Cache{clock: clock, shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{entries: map[string]*cacheEntry{}, capacity: shardCapacity}
+	}
+	return c
+}
+
+// CacheKey builds the lookup key for a question. The DO bit participates
+// because responses differ (RRSIGs present or not).
+func CacheKey(q dnswire.Question, dnssecOK bool) string {
+	key := dnswire.CanonicalName(q.Name) + "|" + strconv.Itoa(int(q.Type))
+	if dnssecOK {
+		key += "|do"
+	}
+	return key
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// GetWire returns the cached response as a fresh wire image with the
+// given query ID patched in and every TTL aged by the virtual time
+// elapsed since storing, plus the remaining max-age. Misses and expired
+// entries return ok=false.
+func (c *Cache) GetWire(key string, id uint16) (body []byte, maxAge uint32, ok bool) {
+	now := c.clock.Now()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.entries[key]
+	if !found {
+		s.misses++
+		return nil, 0, false
+	}
+	if !e.expires.After(now) {
+		s.remove(e)
+		delete(s.entries, key)
+		s.expirations++
+		s.misses++
+		return nil, 0, false
+	}
+	s.moveToFront(e)
+	s.hits++
+	elapsed := uint32(now.Sub(e.storedAt) / time.Second)
+	out := make([]byte, len(e.wire))
+	copy(out, e.wire)
+	binary.BigEndian.PutUint16(out, id)
+	for i, off := range e.ttlOffs {
+		ttl := e.ttls[i]
+		if ttl > elapsed {
+			ttl -= elapsed
+		} else {
+			ttl = 0
+		}
+		binary.BigEndian.PutUint32(out[off:], ttl)
+	}
+	if e.minTTL > elapsed {
+		maxAge = e.minTTL - elapsed
+	}
+	return out, maxAge, true
+}
+
+// Get returns a copy of the cached response with TTLs aged by the virtual
+// time elapsed since it was stored, or nil on miss/expiry. It is the
+// message-level convenience over GetWire (the hot path frontends use).
+func (c *Cache) Get(key string) *dnswire.Message {
+	wire, _, ok := c.GetWire(key, 0)
+	if !ok {
+		return nil
+	}
+	m, err := dnswire.Unpack(wire)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// Put stores a response. Uncacheable responses (SERVFAIL and friends) are
+// ignored; the retention window is the answer's minimum TTL, or the
+// negative-TTL bound for empty answers.
+func (c *Cache) Put(key string, m *dnswire.Message) {
+	ttl, ok := cacheTTL(m)
+	if !ok || ttl <= 0 {
+		return
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		return
+	}
+	offs, ttls, err := ttlOffsets(wire)
+	if err != nil {
+		return
+	}
+	minTTL, _ := minAnswerTTL(m)
+	now := c.clock.Now()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		e.wire, e.ttlOffs, e.ttls, e.minTTL = wire, offs, ttls, minTTL
+		e.storedAt, e.expires = now, now.Add(ttl)
+		s.moveToFront(e)
+		return
+	}
+	e := &cacheEntry{key: key, wire: wire, ttlOffs: offs, ttls: ttls,
+		minTTL: minTTL, storedAt: now, expires: now.Add(ttl)}
+	s.entries[key] = e
+	s.pushFront(e)
+	if len(s.entries) > s.capacity {
+		victim := s.tail
+		s.remove(victim)
+		delete(s.entries, victim.key)
+		s.evictions++
+	}
+}
+
+// ttlOffsets walks a packed message once and records the byte offset and
+// original value of every resource record's TTL field, excluding the OPT
+// pseudo-record (its TTL field holds EDNS flags, not a TTL).
+func ttlOffsets(wire []byte) (offs []int, ttls []uint32, err error) {
+	if len(wire) < 12 {
+		return nil, nil, dnswire.ErrShortMessage
+	}
+	qd := int(binary.BigEndian.Uint16(wire[4:]))
+	rrs := int(binary.BigEndian.Uint16(wire[6:])) +
+		int(binary.BigEndian.Uint16(wire[8:])) +
+		int(binary.BigEndian.Uint16(wire[10:]))
+	pos := 12
+	for i := 0; i < qd; i++ {
+		if pos, err = skipName(wire, pos); err != nil {
+			return nil, nil, err
+		}
+		pos += 4 // qtype + qclass
+	}
+	for i := 0; i < rrs; i++ {
+		if pos, err = skipName(wire, pos); err != nil {
+			return nil, nil, err
+		}
+		if pos+10 > len(wire) {
+			return nil, nil, errTruncatedRR
+		}
+		typ := dnswire.Type(binary.BigEndian.Uint16(wire[pos:]))
+		if typ != dnswire.TypeOPT {
+			offs = append(offs, pos+4)
+			ttls = append(ttls, binary.BigEndian.Uint32(wire[pos+4:]))
+		}
+		rdlen := int(binary.BigEndian.Uint16(wire[pos+8:]))
+		pos += 10 + rdlen
+		if pos > len(wire) {
+			return nil, nil, errTruncatedRR
+		}
+	}
+	return offs, ttls, nil
+}
+
+var errTruncatedRR = errors.New("doh: truncated record in wire image")
+
+// skipName advances past a (possibly compressed) domain name.
+func skipName(wire []byte, pos int) (int, error) {
+	for {
+		if pos >= len(wire) {
+			return 0, errTruncatedRR
+		}
+		b := wire[pos]
+		switch {
+		case b == 0:
+			return pos + 1, nil
+		case b&0xc0 == 0xc0: // compression pointer ends the name
+			return pos + 2, nil
+		default:
+			pos += 1 + int(b)
+		}
+	}
+}
+
+// Len returns the number of resident entries (including not-yet-swept
+// expired ones).
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Flush drops every entry.
+func (c *Cache) Flush() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.entries = map[string]*cacheEntry{}
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// Stats aggregates hit/miss/eviction counters across shards.
+func (c *Cache) Stats() CacheStats {
+	var out CacheStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Entries += len(s.entries)
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evictions
+		out.Expirations += s.expirations
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) remove(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.remove(e)
+	s.pushFront(e)
+}
+
+// minAnswerTTL returns the smallest TTL among answer records, excluding
+// the OPT pseudo-record (whose TTL field holds EDNS flags).
+func minAnswerTTL(m *dnswire.Message) (uint32, bool) {
+	ttl, have := uint32(0), false
+	for _, rr := range m.Answer {
+		if rr.Type == dnswire.TypeOPT {
+			continue
+		}
+		if !have || rr.TTL < ttl {
+			ttl, have = rr.TTL, true
+		}
+	}
+	return ttl, have
+}
+
+// cacheTTL derives the retention window: the minimum answer TTL, the SOA
+// minimum for negative answers, or nothing for uncacheable RCodes.
+func cacheTTL(m *dnswire.Message) (time.Duration, bool) {
+	if m.RCode != dnswire.RCodeNoError && m.RCode != dnswire.RCodeNXDomain {
+		return 0, false
+	}
+	if ttl, have := minAnswerTTL(m); have {
+		return time.Duration(ttl) * time.Second, true
+	}
+	for _, rr := range m.Authority {
+		if soa, ok := rr.Data.(*dnswire.SOAData); ok {
+			min := soa.Minimum
+			if rr.TTL < min {
+				min = rr.TTL
+			}
+			return time.Duration(min) * time.Second, true
+		}
+	}
+	return negativeTTL, true
+}

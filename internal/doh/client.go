@@ -1,0 +1,124 @@
+package doh
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// Client is a DoH stub: it encodes queries into RFC 8484-style envelopes
+// and exchanges them with pool members over simnet, failing over to the
+// next candidate when simnet failure injection marks a frontend down or
+// the frontend returns a non-success status. It satisfies the scanner's
+// Transport interface, so the measurement framework can run its campaigns
+// through an encrypted-DNS fleet instead of bare stub queries.
+type Client struct {
+	Net  *simnet.Network
+	Pool *Pool
+	// UsePOST selects POST envelopes; the default is RFC 8484 GET, whose
+	// base64url form is the cache-friendly one.
+	UsePOST bool
+	// Latency, when non-nil, supplies the per-exchange RTT sample fed to
+	// the pool instead of a wall-clock measurement. Exchanges are
+	// synchronous in-process calls, so wall time is host scheduling
+	// noise; a deterministic Latency function makes the EWMA/P2 routing
+	// decisions replayable along with the rest of the simulation.
+	Latency func(u *Upstream) time.Duration
+
+	mu  sync.Mutex
+	qid uint16
+}
+
+// NewClient creates a stub over the given network and pool.
+func NewClient(net *simnet.Network, pool *Pool) *Client {
+	return &Client{Net: net, Pool: pool}
+}
+
+// nextID allocates a query ID (DoH recommends ID 0 for cacheability; the
+// simulated stack keeps real IDs to exercise the ID-rewrite path).
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.qid++
+	return c.qid
+}
+
+// Exchange sends the query to the pool, trying candidates in failover
+// order. RTT is measured per attempt and folded into the pool's EWMA.
+func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
+	if len(q.Question) == 0 {
+		return nil, fmt.Errorf("%w: query without question", ErrBadEnvelope)
+	}
+	req, err := c.encode(q)
+	if err != nil {
+		return nil, err
+	}
+	candidates := c.Pool.Candidates(dnswire.CanonicalName(q.Question[0].Name))
+	if len(candidates) == 0 {
+		return nil, ErrNoUpstreams
+	}
+	var lastErr error
+	var servFail *dnswire.Message
+	for _, up := range candidates {
+		svc, err := c.Net.Service(up.Addr)
+		if err != nil {
+			// Failure injection: the address or port is down.
+			c.Pool.MarkFailed(up)
+			lastErr = err
+			continue
+		}
+		ex, ok := svc.(Exchanger)
+		if !ok {
+			c.Pool.MarkFailed(up)
+			lastErr = fmt.Errorf("%w: %v", ErrNotDoH, up.Addr)
+			continue
+		}
+		start := time.Now()
+		resp := ex.ExchangeDoH(req)
+		if c.Latency != nil {
+			c.Pool.ObserveRTT(up, c.Latency(up))
+		} else {
+			c.Pool.ObserveRTT(up, time.Since(start))
+		}
+		m, err := resp.Message()
+		if err != nil {
+			// A 502 is the frontend reporting recursor trouble over a
+			// healthy transport — move on without benching, like the
+			// SERVFAIL case below. Anything else (4xx, bad media type)
+			// is a protocol mismatch worth a cooldown.
+			if resp.Status != StatusServFailUpstream {
+				c.Pool.MarkFailed(up)
+			}
+			lastErr = fmt.Errorf("upstream %s: %w", up.Name, err)
+			continue
+		}
+		// A SERVFAIL is a healthy transport over a struggling recursor:
+		// try the next pool member (the paper's Google→Cloudflare
+		// fallback), without benching this one. Returned as-is only if
+		// every member agrees.
+		if m.RCode == dnswire.RCodeServFail {
+			servFail = m
+			continue
+		}
+		return m, nil
+	}
+	if servFail != nil {
+		return servFail, nil
+	}
+	return nil, fmt.Errorf("doh: all %d upstreams failed: %w", len(candidates), lastErr)
+}
+
+// Query builds and exchanges a recursion-desired query for (name, type).
+func (c *Client) Query(name string, t dnswire.Type, dnssecOK bool) (*dnswire.Message, error) {
+	return c.Exchange(dnswire.NewQuery(c.nextID(), name, t, dnssecOK))
+}
+
+func (c *Client) encode(q *dnswire.Message) (*Request, error) {
+	if c.UsePOST {
+		return NewPOSTRequest(q)
+	}
+	return NewGETRequest(q)
+}

@@ -1,0 +1,144 @@
+// Package doh implements the encrypted-DNS serving layer between stub and
+// recursor that the paper's measurements traverse in the real Internet:
+// Google (8.8.8.8) and Cloudflare (1.1.1.1) expose their recursive fleets
+// behind anycast DoH frontends, and every §4.3.5/§4.4.2 staleness and
+// failover effect the paper reports happens inside that layer.
+//
+// The package provides three pieces:
+//
+//   - Server: an RFC 8484-style DoH frontend registered as a simnet
+//     service at addr:port, wrapping any simnet.DNSHandler (normally a
+//     caching recursive resolver) and answering wire-format envelopes.
+//   - Client: a DoH stub with an upstream Pool supporting pluggable
+//     load-balancing strategies (power-of-two-choices, EWMA-RTT,
+//     round-robin, hash-affinity) and automatic failover when simnet
+//     failure injection marks an upstream down.
+//   - Cache: a sharded TTL+LRU answer cache shared across frontends, so
+//     several Servers in front of one recursor behave like a real anycast
+//     fleet with a common answer store.
+//
+// Envelopes follow RFC 8484 shape without a real HTTP stack: GET carries
+// the query as an unpadded base64url "dns" parameter, POST carries raw
+// wire format, and responses report status, media type, and a Cache-Control
+// max-age derived from the answer's minimum TTL.
+package doh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dnswire"
+)
+
+// Path is the conventional DoH endpoint path.
+const Path = "/dns-query"
+
+// HTTP-ish status codes used by the envelope layer.
+const (
+	StatusOK                   = 200
+	StatusBadRequest           = 400
+	StatusNotFound             = 404
+	StatusMethodNotAllowed     = 405
+	StatusUnsupportedMediaType = 415
+	StatusServFailUpstream     = 502
+)
+
+// Errors returned by envelope handling and exchanges.
+var (
+	ErrNoUpstreams = errors.New("doh: no healthy upstreams")
+	ErrNotDoH      = errors.New("doh: service at address is not a DoH server")
+	ErrBadEnvelope = errors.New("doh: malformed envelope")
+	ErrStatus      = errors.New("doh: non-success status")
+)
+
+// Request is an RFC 8484-style DoH request envelope.
+type Request struct {
+	// Method is "GET" or "POST".
+	Method string
+	// Path is the endpoint path, normally Path.
+	Path string
+	// DNSParam carries the base64url-encoded query for GET requests.
+	DNSParam string
+	// ContentType and Body carry the wire-format query for POST requests.
+	ContentType string
+	Body        []byte
+}
+
+// Response is a DoH response envelope.
+type Response struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	// MaxAge is the Cache-Control max-age the frontend derived from the
+	// answer's minimum TTL (RFC 8484 §5.1).
+	MaxAge uint32
+}
+
+// NewGETRequest builds a GET envelope for the query.
+func NewGETRequest(m *dnswire.Message) (*Request, error) {
+	param, err := dnswire.EncodeDoHParam(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: "GET", Path: Path, DNSParam: param}, nil
+}
+
+// NewPOSTRequest builds a POST envelope for the query.
+func NewPOSTRequest(m *dnswire.Message) (*Request, error) {
+	wire, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	return &Request{
+		Method: "POST", Path: Path,
+		ContentType: dnswire.MediaTypeDNSMessage, Body: wire,
+	}, nil
+}
+
+// DecodeRequest extracts the DNS query from an envelope, reporting an
+// HTTP-style status on failure.
+func DecodeRequest(req *Request) (*dnswire.Message, int, error) {
+	if req.Path != Path {
+		return nil, StatusNotFound, fmt.Errorf("%w: path %q", ErrBadEnvelope, req.Path)
+	}
+	switch req.Method {
+	case "GET":
+		if req.DNSParam == "" {
+			return nil, StatusBadRequest, fmt.Errorf("%w: missing dns parameter", ErrBadEnvelope)
+		}
+		m, err := dnswire.DecodeDoHParam(req.DNSParam)
+		if err != nil {
+			return nil, StatusBadRequest, err
+		}
+		return m, StatusOK, nil
+	case "POST":
+		if req.ContentType != dnswire.MediaTypeDNSMessage {
+			return nil, StatusUnsupportedMediaType,
+				fmt.Errorf("%w: content type %q", ErrBadEnvelope, req.ContentType)
+		}
+		m, err := dnswire.Unpack(req.Body)
+		if err != nil {
+			return nil, StatusBadRequest, err
+		}
+		return m, StatusOK, nil
+	default:
+		return nil, StatusMethodNotAllowed, fmt.Errorf("%w: method %q", ErrBadEnvelope, req.Method)
+	}
+}
+
+// Message unpacks the response body into a DNS message.
+func (r *Response) Message() (*dnswire.Message, error) {
+	if r.Status != StatusOK {
+		return nil, fmt.Errorf("%w: %d", ErrStatus, r.Status)
+	}
+	if r.ContentType != dnswire.MediaTypeDNSMessage {
+		return nil, fmt.Errorf("%w: content type %q", ErrBadEnvelope, r.ContentType)
+	}
+	return dnswire.Unpack(r.Body)
+}
+
+// Exchanger is the service interface a DoH frontend registers in simnet;
+// the Client type-asserts it after the addr:port service lookup.
+type Exchanger interface {
+	ExchangeDoH(req *Request) *Response
+}

@@ -1,0 +1,278 @@
+package doh
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Strategy selects how the pool orders upstreams for a query. The shapes
+// mirror the dnscrypt-proxy server-selection strategies the related work
+// ships: random pairs weighted by measured RTT, pure lowest-RTT, strict
+// rotation, and query-name affinity.
+type Strategy int
+
+const (
+	// StrategyP2 is power-of-two-choices: draw two random healthy
+	// upstreams, use the one with the lower smoothed RTT. The fleet
+	// default — near-optimal load spread with minimal coordination.
+	StrategyP2 Strategy = iota
+	// StrategyEWMA always picks the lowest smoothed RTT.
+	StrategyEWMA
+	// StrategyRoundRobin rotates through healthy upstreams.
+	StrategyRoundRobin
+	// StrategyHashAffinity pins a query name to an upstream, maximising
+	// per-frontend cache locality when frontends do not share a cache.
+	StrategyHashAffinity
+)
+
+// String names the strategy for flags and stats output.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyP2:
+		return "p2"
+	case StrategyEWMA:
+		return "ewma"
+	case StrategyRoundRobin:
+		return "roundrobin"
+	case StrategyHashAffinity:
+		return "hash"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy resolves a flag value to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range []Strategy{StrategyP2, StrategyEWMA, StrategyRoundRobin, StrategyHashAffinity} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("doh: unknown strategy %q (want p2, ewma, roundrobin, or hash)", name)
+}
+
+// ewmaWeight is the smoothing factor for RTT averaging, matching an
+// N≈10-sample moving window (the decay dnscrypt-proxy uses).
+const ewmaWeight = 2.0 / 11.0
+
+// DefaultCooldown is how long (virtual time) a failed upstream is benched
+// before the pool offers it again.
+const DefaultCooldown = 60 * time.Second
+
+// Upstream is one pool member: a DoH frontend address plus its measured
+// state. All mutable fields are guarded by the owning pool's lock.
+type Upstream struct {
+	Name string
+	Addr netip.AddrPort
+
+	rttSeconds float64 // EWMA; 0 until the first sample
+	sampled    bool
+	queries    uint64
+	failures   uint64
+	downUntil  time.Time
+}
+
+// UpstreamStats is a read-only snapshot of one member.
+type UpstreamStats struct {
+	Name     string
+	Addr     netip.AddrPort
+	Queries  uint64
+	Failures uint64
+	RTT      time.Duration
+	Down     bool
+}
+
+// Pool is a load-balanced set of DoH upstreams with failover bookkeeping.
+type Pool struct {
+	// Cooldown is how long a failed upstream is benched in virtual time;
+	// zero selects DefaultCooldown.
+	Cooldown time.Duration
+
+	clock    *simnet.Clock
+	strategy Strategy
+
+	mu     sync.Mutex
+	ups    []*Upstream
+	rng    *rand.Rand
+	rrNext int
+}
+
+// NewPool creates an empty pool using the given selection strategy. The
+// seed drives the strategy's random draws, keeping simulations replayable.
+func NewPool(clock *simnet.Clock, strategy Strategy, seed int64) *Pool {
+	return &Pool{clock: clock, strategy: strategy, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends a member and returns it.
+func (p *Pool) Add(name string, addr netip.AddrPort) *Upstream {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u := &Upstream{Name: name, Addr: addr}
+	p.ups = append(p.ups, u)
+	return u
+}
+
+// Len returns the member count.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ups)
+}
+
+// Strategy returns the pool's selection strategy.
+func (p *Pool) Strategy() Strategy { return p.strategy }
+
+// Candidates returns the failover order for a query: the strategy's pick
+// first, the remaining healthy members next, and benched members last so
+// a fully-down fleet still gets retried rather than erroring instantly.
+func (p *Pool) Candidates(qname string) []*Upstream {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock.Now()
+	var healthy, benched []*Upstream
+	for _, u := range p.ups {
+		if u.downUntil.After(now) {
+			benched = append(benched, u)
+		} else {
+			healthy = append(healthy, u)
+		}
+	}
+	if len(healthy) > 0 {
+		pick := p.pick(healthy, qname)
+		ordered := make([]*Upstream, 0, len(p.ups))
+		ordered = append(ordered, healthy[pick])
+		ordered = append(ordered, healthy[:pick]...)
+		ordered = append(ordered, healthy[pick+1:]...)
+		healthy = ordered
+	}
+	// Benched members that fail soonest-to-recover first.
+	sort.Slice(benched, func(i, j int) bool { return benched[i].downUntil.Before(benched[j].downUntil) })
+	return append(healthy, benched...)
+}
+
+// explorationN makes the RTT-driven strategies pick a uniformly random
+// member one draw in every explorationN: a member whose EWMA was seeded
+// by one slow (e.g. cold-cache) sample only refreshes its estimate when
+// traffic reaches it, so without exploration it could be starved forever.
+const explorationN = 16
+
+// pick selects an index into healthy per the strategy. Caller holds p.mu.
+func (p *Pool) pick(healthy []*Upstream, qname string) int {
+	n := len(healthy)
+	if n == 1 {
+		return 0
+	}
+	switch p.strategy {
+	case StrategyP2, StrategyEWMA:
+		if p.rng.Intn(explorationN) == 0 {
+			return p.rng.Intn(n)
+		}
+	}
+	switch p.strategy {
+	case StrategyP2:
+		a := p.rng.Intn(n)
+		b := p.rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		if healthy[b].effectiveRTT() < healthy[a].effectiveRTT() {
+			return b
+		}
+		return a
+	case StrategyEWMA:
+		best := 0
+		for i := 1; i < n; i++ {
+			if healthy[i].effectiveRTT() < healthy[best].effectiveRTT() {
+				best = i
+			}
+		}
+		return best
+	case StrategyRoundRobin:
+		p.rrNext++
+		return (p.rrNext - 1) % n
+	case StrategyHashAffinity:
+		h := fnv.New64a()
+		h.Write([]byte(qname))
+		return int(h.Sum64() % uint64(n))
+	default:
+		return 0
+	}
+}
+
+// effectiveRTT orders members for RTT-sensitive strategies; unsampled
+// members sort first so new frontends get probed promptly.
+func (u *Upstream) effectiveRTT() float64 {
+	if !u.sampled {
+		return -1
+	}
+	return u.rttSeconds
+}
+
+// ObserveRTT folds a latency sample into the member's moving average. A
+// sample means the member just completed an exchange, so any bench state
+// is cleared: a demonstrably-serving upstream is healthy.
+func (p *Pool) ObserveRTT(u *Upstream, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sample := d.Seconds()
+	if !u.sampled {
+		u.rttSeconds, u.sampled = sample, true
+	} else {
+		u.rttSeconds = u.rttSeconds*(1-ewmaWeight) + sample*ewmaWeight
+	}
+	u.queries++
+	u.downUntil = time.Time{}
+}
+
+// MarkFailed benches the member for the cooldown window.
+func (p *Pool) MarkFailed(u *Upstream) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u.failures++
+	cd := p.Cooldown
+	if cd == 0 {
+		cd = DefaultCooldown
+	}
+	u.downUntil = p.clock.Now().Add(cd)
+}
+
+// SyntheticLatency returns a deterministic per-member latency source for
+// Client.Latency: each upstream gets a stable pseudo-random RTT in
+// [base, base+spread), derived from its address. It stands in for network
+// distance in simulations that need replayable EWMA/P2 routing.
+func SyntheticLatency(base, spread time.Duration) func(*Upstream) time.Duration {
+	return func(u *Upstream) time.Duration {
+		if spread <= 0 {
+			return base
+		}
+		h := fnv.New64a()
+		h.Write([]byte(u.Addr.String()))
+		return base + time.Duration(h.Sum64()%uint64(spread))
+	}
+}
+
+// Stats snapshots every member.
+func (p *Pool) Stats() []UpstreamStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock.Now()
+	out := make([]UpstreamStats, len(p.ups))
+	for i, u := range p.ups {
+		out[i] = UpstreamStats{
+			Name:     u.Name,
+			Addr:     u.Addr,
+			Queries:  u.queries,
+			Failures: u.failures,
+			RTT:      time.Duration(u.rttSeconds * float64(time.Second)),
+			Down:     u.downUntil.After(now),
+		}
+	}
+	return out
+}

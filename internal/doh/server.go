@@ -1,0 +1,103 @@
+package doh
+
+import (
+	"net/netip"
+	"sync/atomic"
+
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// Server is one DoH frontend: it terminates RFC 8484-style envelopes at a
+// simnet addr:port, consults the (optionally shared) answer cache, and
+// forwards misses to the wrapped DNS handler — normally a caching
+// recursive resolver, mirroring how public DoH endpoints sit in front of
+// the same recursive fleet the paper queried over UDP.
+type Server struct {
+	// Name labels the frontend in stats output.
+	Name string
+	// Handler answers cache misses (a resolver.Resolver in practice).
+	Handler simnet.DNSHandler
+	// Cache, when non-nil, is consulted before the handler; share one
+	// Cache value across Servers to model an anycast fleet. Expiry runs
+	// on the Cache's own virtual clock.
+	Cache *Cache
+
+	served    atomic.Uint64
+	cacheHits atomic.Uint64
+}
+
+// ServerStats reports one frontend's traffic counters.
+type ServerStats struct {
+	Name      string
+	Served    uint64
+	CacheHits uint64
+}
+
+// Stats returns the frontend's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Name: s.Name, Served: s.served.Load(), CacheHits: s.cacheHits.Load()}
+}
+
+// Register attaches the frontend to the network at ap.
+func (s *Server) Register(n *simnet.Network, ap netip.AddrPort) {
+	n.RegisterService(ap, s)
+}
+
+// ExchangeDoH implements Exchanger: decode the envelope, serve from cache
+// or the wrapped handler, and re-encode.
+func (s *Server) ExchangeDoH(req *Request) *Response {
+	q, status, err := DecodeRequest(req)
+	if err != nil {
+		return &Response{Status: status}
+	}
+	s.served.Add(1)
+
+	if len(q.Question) != 1 {
+		resp := q.Reply()
+		resp.RCode = dnswire.RCodeFormErr
+		return encodeResponse(resp)
+	}
+	question := q.Question[0]
+	dnssecOK := q.DNSSECOK()
+	key := CacheKey(question, dnssecOK)
+
+	if s.Cache != nil {
+		// Wire fast path: a hit is one copy + ID/TTL patches, no encode.
+		if body, maxAge, ok := s.Cache.GetWire(key, q.ID); ok {
+			s.cacheHits.Add(1)
+			return &Response{
+				Status:      StatusOK,
+				ContentType: dnswire.MediaTypeDNSMessage,
+				Body:        body,
+				MaxAge:      maxAge,
+			}
+		}
+	}
+
+	resp := s.Handler.HandleDNS(q)
+	if resp == nil {
+		return &Response{Status: StatusServFailUpstream}
+	}
+	if s.Cache != nil {
+		s.Cache.Put(key, resp)
+	}
+	return encodeResponse(resp)
+}
+
+// encodeResponse packs a DNS message into a 200 envelope with max-age
+// derived from the answer's minimum TTL (RFC 8484 §5.1); packing failures
+// surface as a 502 so the stub fails over rather than mis-parsing.
+func encodeResponse(m *dnswire.Message) *Response {
+	wire, err := m.Pack()
+	if err != nil {
+		return &Response{Status: StatusServFailUpstream}
+	}
+	maxAge, _ := minAnswerTTL(m)
+	return &Response{
+		Status:      StatusOK,
+		ContentType: dnswire.MediaTypeDNSMessage,
+		Body:        wire,
+		MaxAge:      maxAge,
+	}
+}

@@ -48,8 +48,8 @@ func TestUnmarshalRejectsGarbage(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{0},
-		{0, 0},          // empty list
-		{0, 5, 1, 2},    // length overruns
+		{0, 0},                   // empty list
+		{0, 5, 1, 2},             // length overruns
 		{0, 4, 0xfe, 0x0d, 0, 9}, // inner length overruns
 	}
 	for _, b := range bad {

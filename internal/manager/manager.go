@@ -45,18 +45,18 @@ func (s Severity) String() string {
 
 // Finding codes.
 const (
-	CodeHintMismatchV4   = "hint-mismatch-v4"
-	CodeHintMismatchV6   = "hint-mismatch-v6"
-	CodeAliasSelfTarget  = "alias-self-target"
-	CodeAliasWithParams  = "alias-with-params"
-	CodeServiceNoParams  = "service-no-params"
-	CodeMandatoryBroken  = "mandatory-violation"
-	CodeECHUnparseable   = "ech-unparseable"
-	CodeECHNoRetention   = "ech-rotation-unsafe"
-	CodeECHStaleKey      = "ech-stale-key"
-	CodeNoHTTPSRecord    = "no-https-record"
-	CodeMixedAliasSvc    = "mixed-alias-service"
-	CodeDraftALPN        = "draft-alpn"
+	CodeHintMismatchV4  = "hint-mismatch-v4"
+	CodeHintMismatchV6  = "hint-mismatch-v6"
+	CodeAliasSelfTarget = "alias-self-target"
+	CodeAliasWithParams = "alias-with-params"
+	CodeServiceNoParams = "service-no-params"
+	CodeMandatoryBroken = "mandatory-violation"
+	CodeECHUnparseable  = "ech-unparseable"
+	CodeECHNoRetention  = "ech-rotation-unsafe"
+	CodeECHStaleKey     = "ech-stale-key"
+	CodeNoHTTPSRecord   = "no-https-record"
+	CodeMixedAliasSvc   = "mixed-alias-service"
+	CodeDraftALPN       = "draft-alpn"
 )
 
 // Finding is one audit result.

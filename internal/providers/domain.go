@@ -120,12 +120,12 @@ type DomainState struct {
 	ApexCNAME bool
 
 	// Parameters.
-	ECH       bool // participates in the provider ECH programme
-	HintV4    bool
-	HintV6    bool
-	ALPN      []string // nil means no alpn parameter
-	Proxied   bool     // Cloudflare proxied toggle state (when on, A serves anycast)
-	TTL       uint32
+	ECH     bool // participates in the provider ECH programme
+	HintV4  bool
+	HintV6  bool
+	ALPN    []string // nil means no alpn parameter
+	Proxied bool     // Cloudflare proxied toggle state (when on, A serves anycast)
+	TTL     uint32
 
 	// IP-hint mismatch schedule (§4.3.5): during an episode the A record
 	// serves AltV4 while ipv4hint still carries the pre-move address.

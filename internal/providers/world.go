@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"net/netip"
+	"sort"
 	"time"
 
 	"repro/internal/dnswire"
@@ -183,8 +184,15 @@ func (w *World) buildTLDsAndRoot(rng *rand.Rand) error {
 	}
 	// Provider infra domains live under com.
 	tldSet["com."] = true
-
+	// Iterate in sorted order: NewTLDServer consumes rng, so map-order
+	// iteration would make the whole world nondeterministic per seed.
+	tlds := make([]string, 0, len(tldSet))
 	for tld := range tldSet {
+		tlds = append(tlds, tld)
+	}
+	sort.Strings(tlds)
+
+	for _, tld := range tlds {
 		addr := w.Alloc.AllocV4("TLDRegistry")
 		srv, err := NewTLDServer(tld, addr, w.Clock, rng)
 		if err != nil {

@@ -198,6 +198,46 @@ func TestResolveCacheServesStale(t *testing.T) {
 	}
 }
 
+// TestCacheExpiryOnVirtualClock pins the cache lifecycle to virtual time:
+// within the TTL no upstream traffic happens, live-entry accounting drops
+// as entries pass their expiry, and the first post-expiry query goes back
+// to the authoritative servers.
+func TestCacheExpiryOnVirtualClock(t *testing.T) {
+	w := buildWorld(t, false, false)
+	if _, err := w.resolver.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if w.resolver.CacheLen() == 0 {
+		t.Fatal("nothing cached after a resolution")
+	}
+	baseline := w.net.QueryCount()
+
+	// Within the 60s record TTL: answered purely from cache.
+	w.clock.Advance(30 * time.Second)
+	if _, err := w.resolver.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.net.QueryCount(); got != baseline {
+		t.Errorf("cached resolution sent %d upstream queries", got-baseline)
+	}
+
+	// Advance beyond every TTL in the hierarchy (NS records carry 3600s):
+	// the live-entry count must fall to zero without any eviction pass —
+	// expiry is purely a virtual-clock comparison.
+	w.clock.Advance(2 * time.Hour)
+	if got := w.resolver.CacheLen(); got != 0 {
+		t.Errorf("%d entries still live after all TTLs expired", got)
+	}
+
+	// The next query must hit the authoritative path again.
+	if _, err := w.resolver.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.net.QueryCount(); got == baseline {
+		t.Error("post-expiry resolution sent no upstream queries")
+	}
+}
+
 func TestResolveADBitSecure(t *testing.T) {
 	w := buildWorld(t, true, true)
 	res, err := w.resolver.Resolve("example.com.", dnswire.TypeHTTPS)

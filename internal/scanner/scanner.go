@@ -27,6 +27,13 @@ type Prober interface {
 	ProbeTLS(apex string, addr netip.Addr) error
 }
 
+// Transport sends one stub query through an alternative serving layer
+// (e.g. a DoH upstream pool) instead of bare simnet resolver queries.
+// Implementations handle their own failover across upstreams.
+type Transport interface {
+	Exchange(q *dnswire.Message) (*dnswire.Message, error)
+}
+
 // Scanner drives the measurement queries.
 type Scanner struct {
 	Net *simnet.Network
@@ -34,6 +41,10 @@ type Scanner struct {
 	// in the paper).
 	Primary netip.Addr
 	Backup  netip.Addr
+	// Transport, when non-nil, replaces the Primary/Backup stub queries:
+	// every scan query goes through it (the encrypted-DNS path, with the
+	// public resolvers as members of the transport's upstream pool).
+	Transport Transport
 	// Whois resolves name-server operators.
 	Whois *whois.DB
 	// Concurrency bounds parallel domain scans (the paper paces its
@@ -57,9 +68,21 @@ func (s *Scanner) nextID() uint16 {
 }
 
 // query sends one stub query, falling back to the backup resolver on error
-// or SERVFAIL (the paper's Google→Cloudflare fallback).
+// or SERVFAIL (the paper's Google→Cloudflare fallback). With a Transport
+// configured, the query rides the encrypted serving layer instead and
+// failover happens inside the transport's upstream pool.
 func (s *Scanner) query(name string, t dnswire.Type) (*dnswire.Message, error) {
 	q := dnswire.NewQuery(s.nextID(), name, t, true)
+	if s.Transport != nil {
+		resp, err := s.Transport.Exchange(q)
+		if err != nil {
+			return nil, err
+		}
+		if resp.RCode == dnswire.RCodeServFail {
+			return nil, fmt.Errorf("scanner: SERVFAIL via transport for %s/%s", name, t)
+		}
+		return resp, nil
+	}
 	resp, err := s.Net.QueryDNS(s.Primary, q)
 	if err == nil && resp.RCode != dnswire.RCodeServFail {
 		return resp, nil

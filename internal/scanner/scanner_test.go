@@ -1,11 +1,14 @@
 package scanner
 
 import (
+	"net/netip"
 	"testing"
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/doh"
 	"repro/internal/providers"
+	"repro/internal/simnet"
 )
 
 // scanWorld builds a small world + scanner fixture.
@@ -176,6 +179,64 @@ func TestResolverFallback(t *testing.T) {
 	obs = sc.ScanDomain(apex)
 	if obs.Err == "" {
 		t.Error("error not recorded with both resolvers down")
+	}
+}
+
+// TestScanViaDoHTransport routes the scanner through an encrypted-DNS
+// fleet (two frontends over the public recursors, shared cache) and
+// checks the full scan sequence still works — including when simnet
+// failure injection takes one frontend down mid-campaign.
+func TestScanViaDoHTransport(t *testing.T) {
+	w, sc := scanWorld(t)
+	cache := doh.NewCache(w.Clock, 0, 0)
+	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 5)
+	addrs := make([]netip.AddrPort, 2)
+	for i, handler := range []simnet.DNSHandler{w.GoogleResolver, w.CFResolver} {
+		srv := &doh.Server{Name: "fe", Handler: handler, Cache: cache}
+		addrs[i] = netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
+		srv.Register(w.Net, addrs[i])
+		pool.Add(srv.Name, addrs[i])
+	}
+	sc.Transport = doh.NewClient(w.Net, pool)
+
+	apex := findApex(w, func(d *providers.DomainState) bool {
+		return d.Profile == providers.ProfileCFDefault && !d.ApexCNAME &&
+			d.Intermittent == providers.IntermitNone && !d.AdoptDay.After(w.Clock.Now())
+	})
+	obs := sc.ScanDomain(apex)
+	if obs.Err != "" || !obs.HasHTTPS() {
+		t.Fatalf("DoH-transport scan failed: %+v", obs)
+	}
+	if len(obs.A) == 0 || len(obs.NS) == 0 || !obs.HasSOA {
+		t.Errorf("follow-up data missing over DoH: %+v", obs)
+	}
+
+	// Re-scanning the same domain must be absorbed by the shared cache.
+	before := cache.Stats().Hits
+	if obs := sc.ScanDomain(apex); obs.Err != "" {
+		t.Fatalf("second scan failed: %s", obs.Err)
+	}
+	if cache.Stats().Hits == before {
+		t.Error("second scan produced no shared-cache hits")
+	}
+
+	// One frontend down: scans keep working through the survivor.
+	w.Net.SetAddrDown(addrs[0].Addr(), true)
+	apex2 := findApex(w, func(d *providers.DomainState) bool {
+		return d.Profile == providers.ProfileCFCustom && !d.ApexCNAME &&
+			d.Intermittent == providers.IntermitNone && !d.AdoptDay.After(w.Clock.Now())
+	})
+	if apex2 == "" {
+		apex2 = apex
+	}
+	if obs := sc.ScanDomain(apex2); obs.Err != "" || !obs.HasHTTPS() {
+		t.Errorf("scan with one frontend down failed: %+v", obs)
+	}
+
+	// Whole fleet dark: the scan records an error rather than panicking.
+	w.Net.SetAddrDown(addrs[1].Addr(), true)
+	if obs := sc.ScanDomain(apex2); obs.Err == "" {
+		t.Error("no error recorded with the whole DoH fleet down")
 	}
 }
 

@@ -73,13 +73,13 @@ type DNSHandler interface {
 type Network struct {
 	Clock *Clock
 
-	mu           sync.RWMutex
-	dns          map[netip.Addr]DNSHandler
-	services     map[netip.AddrPort]any
-	downAddrs    map[netip.Addr]bool
-	downPorts    map[netip.AddrPort]bool
-	queryCount   uint64
-	rootServers  []netip.Addr
+	mu          sync.RWMutex
+	dns         map[netip.Addr]DNSHandler
+	services    map[netip.AddrPort]any
+	downAddrs   map[netip.Addr]bool
+	downPorts   map[netip.AddrPort]bool
+	queryCount  uint64
+	rootServers []netip.Addr
 }
 
 // New creates an empty network with the given clock.

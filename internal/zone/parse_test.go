@@ -109,10 +109,10 @@ func TestParseErrors(t *testing.T) {
 		"@ IN HTTPS 0 b.com. alpn=h2", // AliasMode with params
 		"@ IN HTTPS 1",                // missing target
 		"@ IN MX ten mx.a.com.",
-		"@ IN SOA ns1 h 1 2 3 4",  // short SOA
-		"@ IN WKS 1.2.3.4",        // unsupported type
-		"@ IN",                    // missing type
-		"$ORIGIN",                 // bad directive
+		"@ IN SOA ns1 h 1 2 3 4", // short SOA
+		"@ IN WKS 1.2.3.4",       // unsupported type
+		"@ IN",                   // missing type
+		"$ORIGIN",                // bad directive
 		"$TTL abc",
 		"@ IN SRV 1 2 x a.com.",
 	}

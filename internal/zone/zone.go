@@ -215,7 +215,21 @@ func (z *Zone) SignWith(rng io.Reader, ksk, zsk *dnssec.KeyPair, inception, expi
 	dnskeyRRs := []dnswire.RR{ksk.DNSKEY(3600), zsk.DNSKEY(3600)}
 	z.rrsets[rrsetKey{name: z.Origin, typ: dnswire.TypeDNSKEY}] = dnskeyRRs
 
-	for k, rrs := range z.rrsets {
+	// Sign in sorted order: ECDSA signing consumes a variable number of
+	// rng bytes, so map-order iteration would leave the shared rng in a
+	// different state on every run, breaking seed determinism world-wide.
+	keys := make([]rrsetKey, 0, len(z.rrsets))
+	for k := range z.rrsets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].typ < keys[j].typ
+	})
+	for _, k := range keys {
+		rrs := z.rrsets[k]
 		if k.typ == dnswire.TypeRRSIG {
 			continue
 		}

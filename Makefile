@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt bench verify
+.PHONY: all build test race vet fmt bench bench-micro bench-smoke verify
 
 all: build test
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages (the pipelined
+# campaign scheduler and the substrate it fans out over).
+race:
+	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core
 
 # Tier-1 verify as the roadmap defines it.
 verify: build test
@@ -23,7 +28,18 @@ vet:
 fmt:
 	gofmt -w .
 
+# Campaign pipelining benchmark: times the same multi-week campaign serial
+# vs pipelined, checks the stores match, and records the speedup in
+# BENCH_campaign.json so the perf trajectory is tracked from PR 2 on.
+bench:
+	$(GO) run ./cmd/benchcampaign -out BENCH_campaign.json
+
+# CI-sized single-iteration bench smoke (no timing claims, still verifies
+# serial/pipelined store equality).
+bench-smoke:
+	$(GO) run ./cmd/benchcampaign -smoke -out BENCH_campaign.json
+
 # Fast benchmark subset: substrate + serving-layer hot paths (skips the
 # campaign-backed table/figure benchmarks, which rebuild a world).
-bench:
+bench-micro:
 	$(GO) test -run xxx -bench 'BenchmarkDoH|BenchmarkDNSWire|BenchmarkResolveHTTPS|BenchmarkECHSealOpen|BenchmarkRRSIGSignVerify' -benchtime 100x .

@@ -304,6 +304,45 @@ func BenchmarkFig8Rankings(b *testing.B) {
 	}
 }
 
+// --- campaign pipelining ---
+
+// benchmarkCampaignDays times a multi-week daily campaign (NS scans and
+// connectivity probes included) at the given day-worker count. World
+// construction runs off the clock; only RunDaily is measured.
+func benchmarkCampaignDays(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := core.NewCampaign(core.CampaignConfig{
+			Size: 300, Seed: 7,
+			Start:      time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
+			End:        time.Date(2024, 2, 14, 0, 0, 0, 0, time.UTC),
+			StepDays:   1,
+			DayWorkers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := c.RunDaily(); err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Store.Days("apex")) != 21 {
+			b.Fatal("incomplete campaign")
+		}
+	}
+}
+
+// BenchmarkCampaignSerialVsPipelined compares the serial day walk against
+// the pipelined scheduler (8 concurrent per-day scan contexts). The two
+// variants produce byte-identical stores (see core.TestPipelinedMatchesSerial);
+// the wall-clock ratio is the pipelining speedup on this host and scales
+// with available cores. `make bench` records it in BENCH_campaign.json.
+func BenchmarkCampaignSerialVsPipelined(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkCampaignDays(b, 1) })
+	b.Run("dayworkers8", func(b *testing.B) { benchmarkCampaignDays(b, 8) })
+}
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkScanDay(b *testing.B) {

@@ -1,0 +1,135 @@
+// Command benchcampaign measures the campaign pipelining speedup: it runs
+// the same multi-week daily campaign twice — serially (DayWorkers: 1) and
+// pipelined (DayWorkers: N) — verifies the two runs collected identical
+// datasets, and writes the timings to a JSON report (BENCH_campaign.json by
+// default) so the perf trajectory is tracked commit over commit.
+//
+// Usage:
+//
+//	benchcampaign [-size N] [-days D] [-dayworkers W] [-seed S]
+//	              [-out FILE] [-smoke]
+//
+// -smoke shrinks the campaign to a CI-friendly single-iteration size.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// report is the BENCH_campaign.json layout.
+type report struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	NumCPU      int     `json:"num_cpu"`
+	GoMaxProcs  int     `json:"go_max_procs"`
+	Size        int     `json:"size"`
+	Seed        int64   `json:"seed"`
+	Days        int     `json:"days"`
+	DayWorkers  int     `json:"day_workers"`
+	SerialMS    float64 `json:"serial_ms"`
+	PipelinedMS float64 `json:"pipelined_ms"`
+	Speedup     float64 `json:"speedup"`
+	Queries     uint64  `json:"dns_queries_per_run"`
+	StoresEqual bool    `json:"stores_equal"`
+	// Note flags reports whose speedup is not meaningful (single-core
+	// hosts: the workload is CPU-bound simulation, so pipelining cannot
+	// beat serial there).
+	Note string `json:"note,omitempty"`
+}
+
+func main() {
+	size := flag.Int("size", 400, "Tranco list size of the generated world")
+	days := flag.Int("days", 21, "campaign length in days (daily step)")
+	workers := flag.Int("dayworkers", 8, "day workers for the pipelined run")
+	seed := flag.Int64("seed", 7, "generation seed")
+	out := flag.String("out", "BENCH_campaign.json", "report path ('-' for stdout)")
+	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny campaign, no timing claims")
+	flag.Parse()
+
+	if *smoke {
+		*size, *days = 150, 5
+	}
+	// The window deliberately covers the NS-scan and connectivity-probe
+	// phases so every per-day stage is exercised.
+	start := time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, *days-1)
+
+	run := func(dayWorkers int) (time.Duration, uint64, []byte) {
+		c, err := core.NewCampaign(core.CampaignConfig{
+			Size: *size, Seed: *seed, Start: start, End: end, StepDays: 1,
+			DayWorkers: dayWorkers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		if err := c.RunDaily(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(t0)
+		var buf bytes.Buffer
+		if err := c.Store.WriteJSON(&buf); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return elapsed, c.World.Net.QueryCount(), buf.Bytes()
+	}
+
+	fmt.Fprintf(os.Stderr, "benchcampaign: size=%d days=%d (serial vs %d day workers)\n",
+		*size, *days, *workers)
+	serialDur, serialQ, serialStore := run(1)
+	fmt.Fprintf(os.Stderr, "  serial:    %v (%d DNS queries)\n", serialDur.Round(time.Millisecond), serialQ)
+	pipeDur, _, pipeStore := run(*workers)
+	fmt.Fprintf(os.Stderr, "  pipelined: %v\n", pipeDur.Round(time.Millisecond))
+
+	r := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Size:        *size,
+		Seed:        *seed,
+		Days:        *days,
+		DayWorkers:  *workers,
+		SerialMS:    float64(serialDur.Microseconds()) / 1000,
+		PipelinedMS: float64(pipeDur.Microseconds()) / 1000,
+		Speedup:     float64(serialDur) / float64(pipeDur),
+		Queries:     serialQ,
+		StoresEqual: bytes.Equal(serialStore, pipeStore),
+	}
+	if r.GoMaxProcs <= 1 {
+		r.Note = "single-core host: speedup is meaningful only with go_max_procs > 1; stores_equal is the signal here"
+	}
+	if !r.StoresEqual {
+		fmt.Fprintln(os.Stderr, "error: pipelined store diverged from serial store")
+		defer os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "  speedup:   %.2fx on %d CPUs (stores equal: %v)\n",
+		r.Speedup, r.NumCPU, r.StoresEqual)
+
+	enc, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

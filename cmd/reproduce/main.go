@@ -3,19 +3,22 @@
 //
 // Usage:
 //
-//	reproduce [-size N] [-seed S] [-step D] [-exp all|fig2|tab2|tab3|fig3|
+//	reproduce [-size N] [-seed S] [-step D] [-dayworkers W]
+//	          [-exp all|fig2|tab2|tab3|fig3|
 //	          intermittency|tab4|tab5|params|tab8|fig11|fig12|connectivity|
 //	          fig13|fig4|fig5|tab9|fig14|fig8|tab6|tab7|failover]
 //
 // Larger -size values converge the percentages to the paper's (the
 // non-Cloudflare population floor dominates below ~90k domains); -step
-// trades trend resolution for runtime.
+// trades trend resolution for runtime; -dayworkers pipelines that many
+// scan days concurrently (results are identical for any value).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +32,8 @@ func main() {
 	size := flag.Int("size", 10_000, "Tranco list size of the generated world")
 	seed := flag.Int64("seed", 2024, "generation seed")
 	step := flag.Int("step", 7, "scan every Nth day")
+	dayWorkers := flag.Int("dayworkers", runtime.GOMAXPROCS(0),
+		"scan days resolved concurrently (1 = serial; results are identical)")
 	exp := flag.String("exp", "all", "experiment selector (comma-separated ids or 'all')")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
@@ -49,19 +54,20 @@ func main() {
 	}
 
 	if serverSide {
-		runServerSide(*size, *seed, *step, *quiet, sel)
+		runServerSide(*size, *seed, *step, *dayWorkers, *quiet, sel)
 	}
 	if sel("tab6") || sel("tab7") || sel("failover") {
 		runClientSide(sel)
 	}
 }
 
-func runServerSide(size int, seed int64, step int, quiet bool, sel func(string) bool) {
-	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step}
+func runServerSide(size int, seed int64, step, dayWorkers int, quiet bool, sel func(string) bool) {
+	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step, DayWorkers: dayWorkers}
 	if !quiet {
 		cfg.Progress = os.Stderr
 	}
-	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd\n", size, seed, step)
+	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd dayworkers=%d\n",
+		size, seed, step, dayWorkers)
 	c, err := core.NewCampaign(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

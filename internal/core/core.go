@@ -3,12 +3,23 @@
 // scans, name-server scans, hourly ECH scans, connectivity probes, the
 // DNSSEC validation census), and hands the collected dataset to the
 // analysis package.
+//
+// The daily schedule is pipelined: each scan day runs inside its own scan
+// context — a per-day virtual clock, a network view over the shared world,
+// forked recursors with fresh caches, a forked scanner with its own
+// query-ID stream, and (when configured) a per-day DoH fleet — so up to
+// CampaignConfig.DayWorkers days resolve concurrently while snapshots
+// commit to the Store in strict day order. Because record TTLs are far
+// below a day and all authoritative content is a pure function of (domain
+// state, virtual time), a per-day context produces byte-identical results
+// to the old serial walk.
 package core
 
 import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 	"time"
 
 	"repro/internal/dataset"
@@ -17,6 +28,7 @@ import (
 	"repro/internal/doh"
 	"repro/internal/providers"
 	"repro/internal/scanner"
+	"repro/internal/simnet"
 )
 
 // CampaignConfig controls a measurement campaign.
@@ -31,6 +43,10 @@ type CampaignConfig struct {
 	// StepDays samples every Nth day (1 = daily like the paper; larger
 	// steps trade trend resolution for speed).
 	StepDays int
+	// DayWorkers bounds how many scan days run concurrently (each in its
+	// own scan context); 0 or 1 runs days one at a time. Results are
+	// identical for any value — snapshots always commit in day order.
+	DayWorkers int
 	// DoHFrontends, when positive, interposes the encrypted-DNS serving
 	// layer: that many DoH frontends are registered over the public
 	// recursors (alternating Google/Cloudflare), all sharing one sharded
@@ -57,12 +73,24 @@ type Campaign struct {
 	Store   *dataset.Store
 
 	// The encrypted-DNS serving layer, populated when Cfg.DoHFrontends
-	// is positive.
+	// is positive. These are the campaign-level fleet objects used by
+	// single-day ScanDay calls and RunHourlyECH; pipelined days build
+	// per-day replicas at the same addresses (DoHAddrs).
 	DoHServers []*doh.Server
+	DoHAddrs   []netip.AddrPort
 	DoHCache   *doh.Cache
 	DoHPool    *doh.Pool
 	DoHClient  *doh.Client
 }
+
+// Synthetic per-frontend latency band: deterministic per member so the
+// EWMA/P2 routing decisions are replayable for a seed (wall-clock timing of
+// in-process calls is pure noise), charged to the virtual clock so the
+// serving layer's queueing delay is observable in campaign timings.
+const (
+	dohLatencyBase   = 2 * time.Millisecond
+	dohLatencySpread = 18 * time.Millisecond
+)
 
 // NewCampaign builds the world and wires the scanner.
 func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
@@ -107,52 +135,178 @@ func (c *Campaign) buildDoHFleet(n int, strategy doh.Strategy) {
 		srv.Register(w.Net, ap)
 		c.DoHPool.Add(name, ap)
 		c.DoHServers = append(c.DoHServers, srv)
+		c.DoHAddrs = append(c.DoHAddrs, ap)
 	}
 	c.DoHClient = doh.NewClient(w.Net, c.DoHPool)
-	// Deterministic per-member latency keeps EWMA/P2 routing replayable
-	// for a seed (wall-clock timing of in-process calls is pure noise).
-	c.DoHClient.Latency = doh.SyntheticLatency(2*time.Millisecond, 18*time.Millisecond)
+	c.DoHClient.Latency = doh.SyntheticLatency(dohLatencyBase, dohLatencySpread)
 	c.Scanner.Transport = c.DoHClient
 }
 
 // connectivityProbeStart is when the §4.3.5 TLS probing experiment began.
 var connectivityProbeStart = time.Date(2024, 1, 24, 0, 0, 0, 0, time.UTC)
 
-// RunDaily executes the daily scan schedule over the campaign window.
-func (c *Campaign) RunDaily() error {
-	for day := c.Cfg.Start; !day.After(c.Cfg.End); day = day.AddDate(0, 0, c.Cfg.StepDays) {
-		if err := c.ScanDay(day); err != nil {
-			return err
-		}
-	}
-	return nil
+// dayContext is one scan day's isolated execution state: a scanner over a
+// per-day network view (own clock, own recursors, optionally an own DoH
+// fleet) and a prober pinned to the day's clock.
+type dayContext struct {
+	scanner *scanner.Scanner
+	prober  scanner.Prober
 }
 
-// ScanDay performs one day's full scan sequence.
-func (c *Campaign) ScanDay(day time.Time) error {
-	// Scans run mid-day so date-boundary schedules behave sharply.
-	c.World.Clock.Set(day.Add(12 * time.Hour))
+// dayProber evaluates the world's TLS reachability schedule at the day
+// context's clock rather than the shared world clock.
+type dayProber struct {
+	w     *providers.World
+	clock *simnet.Clock
+}
+
+func (p dayProber) ProbeTLS(apex string, addr netip.Addr) error {
+	return p.w.ProbeTLSAt(apex, addr, p.clock.Now())
+}
+
+// newDayContext builds an isolated scan context for one day: a fresh clock
+// at the day's scan time, a network view carrying it, forked recursors with
+// empty caches registered at the public resolver addresses, and — when the
+// campaign runs an encrypted serving layer — a per-day DoH fleet replica
+// (fresh sharded cache, fresh pool state seeded per day) at the same
+// frontend addresses.
+func (c *Campaign) newDayContext(day time.Time) *dayContext {
+	clock := simnet.NewClock(day.Add(12 * time.Hour))
+	net := c.World.Net.WithClock(clock)
+	g := c.World.GoogleResolver.Fork(net)
+	cf := c.World.CFResolver.Fork(net)
+	net.OverrideDNS(c.World.GoogleAddr, g)
+	net.OverrideDNS(c.World.CFResolverAddr, cf)
+
+	var transport scanner.Transport
+	if len(c.DoHAddrs) > 0 {
+		cache := doh.NewCache(clock, c.Cfg.DoHShards, c.Cfg.DoHShardCap)
+		pool := doh.NewPool(clock, c.Cfg.DoHStrategy, c.Cfg.Seed^day.Unix())
+		for i, ap := range c.DoHAddrs {
+			recursor := simnet.DNSHandler(g)
+			if i%2 == 1 {
+				recursor = cf
+			}
+			srv := &doh.Server{Name: c.DoHServers[i].Name, Handler: recursor, Cache: cache}
+			net.OverrideService(ap, srv)
+			pool.Add(srv.Name, ap)
+		}
+		client := doh.NewClient(net, pool)
+		client.Latency = doh.SyntheticLatency(dohLatencyBase, dohLatencySpread)
+		transport = client
+	}
+	return &dayContext{
+		scanner: c.Scanner.Fork(net, transport),
+		prober:  dayProber{w: c.World, clock: clock},
+	}
+}
+
+// dayResult is one day's collected data, buffered until its in-order
+// commit.
+type dayResult struct {
+	day      time.Time
+	list     []string
+	apexSnap *dataset.Snapshot
+	wwwSnap  *dataset.Snapshot
+	nsSnap   *dataset.NSSnapshot
+	probes   []dataset.ProbeResult
+}
+
+// runDay performs one day's full scan sequence inside the given context.
+func (c *Campaign) runDay(dc *dayContext, day time.Time) *dayResult {
 	list := c.World.Tranco.ListFor(day)
-	c.Store.AddTrancoList(day, list)
-
-	apexSnap := c.Scanner.ScanList(day, "apex", list)
-	c.Store.AddSnapshot(apexSnap)
-	wwwSnap := c.Scanner.ScanList(day, "www", list)
-	c.Store.AddSnapshot(wwwSnap)
-
+	res := &dayResult{day: day, list: list}
+	res.apexSnap = dc.scanner.ScanList(day, "apex", list)
+	res.wwwSnap = dc.scanner.ScanList(day, "www", list)
 	if !day.Before(providers.NSScanStart) {
-		nsSnap := c.Scanner.ScanNameServers(day, apexSnap, wwwSnap)
-		c.Store.AddNSSnapshot(nsSnap)
+		res.nsSnap = dc.scanner.ScanNameServers(day, res.apexSnap, res.wwwSnap)
 	}
 	if !day.Before(connectivityProbeStart) {
-		probes := c.Scanner.ProbeMismatches(day, apexSnap, c.World)
-		c.Store.AddProbes(probes...)
+		res.probes = dc.scanner.ProbeMismatches(day, res.apexSnap, dc.prober)
+	}
+	return res
+}
+
+// commitDay writes one day's results to the store and emits progress.
+func (c *Campaign) commitDay(res *dayResult) {
+	c.Store.AddTrancoList(res.day, res.list)
+	c.Store.AddSnapshot(res.apexSnap)
+	c.Store.AddSnapshot(res.wwwSnap)
+	if res.nsSnap != nil {
+		c.Store.AddNSSnapshot(res.nsSnap)
+	}
+	if len(res.probes) > 0 {
+		c.Store.AddProbes(res.probes...)
 	}
 	if c.Cfg.Progress != nil {
 		fmt.Fprintf(c.Cfg.Progress, "%s scanned: apex adopters %d/%d, www adopters %d/%d\n",
-			day.Format("2006-01-02"), len(apexSnap.Obs), apexSnap.Total,
-			len(wwwSnap.Obs), wwwSnap.Total)
+			res.day.Format("2006-01-02"), len(res.apexSnap.Obs), res.apexSnap.Total,
+			len(res.wwwSnap.Obs), res.wwwSnap.Total)
 	}
+}
+
+// RunDaily executes the daily scan schedule over the campaign window.
+// Days are scanned by a bounded pool of Cfg.DayWorkers workers, each day in
+// its own scan context; snapshots commit to the Store in day order, so the
+// collected dataset is identical for any worker count.
+func (c *Campaign) RunDaily() error {
+	var days []time.Time
+	for day := c.Cfg.Start; !day.After(c.Cfg.End); day = day.AddDate(0, 0, c.Cfg.StepDays) {
+		days = append(days, day)
+	}
+	if len(days) == 0 {
+		return nil
+	}
+	workers := c.Cfg.DayWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(days) {
+		workers = len(days)
+	}
+	if workers == 1 {
+		for _, day := range days {
+			c.commitDay(c.runDay(c.newDayContext(day), day))
+		}
+	} else {
+		type slot struct {
+			res   *dayResult
+			ready chan struct{}
+		}
+		slots := make([]slot, len(days))
+		for i := range slots {
+			slots[i].ready = make(chan struct{})
+		}
+		// The committer drains slots in day order as they fill, so
+		// progress streams and the store never sees out-of-order writes.
+		committed := make(chan struct{})
+		go func() {
+			defer close(committed)
+			for i := range slots {
+				<-slots[i].ready
+				c.commitDay(slots[i].res)
+			}
+		}()
+		scanner.ForEach(len(days), workers, func(i int) {
+			slots[i].res = c.runDay(c.newDayContext(days[i]), days[i])
+			close(slots[i].ready)
+		})
+		<-committed
+	}
+	// Leave the world clock where the serial walk used to: at the final
+	// scan day, so follow-on one-shot experiments see the same time.
+	c.World.Clock.Set(days[len(days)-1].Add(12 * time.Hour))
+	return nil
+}
+
+// ScanDay performs one day's full scan sequence on the shared world clock
+// (the campaign-level scanner, recursors, and DoH fleet), for callers
+// driving single days by hand.
+func (c *Campaign) ScanDay(day time.Time) error {
+	// Scans run mid-day so date-boundary schedules behave sharply.
+	c.World.Clock.Set(day.Add(12 * time.Hour))
+	dc := &dayContext{scanner: c.Scanner, prober: c.World}
+	c.commitDay(c.runDay(dc, day))
 	return nil
 }
 
@@ -173,6 +327,9 @@ func (c *Campaign) RunHourlyECH(start time.Time, days int) {
 			}
 		}
 	}
+	// snap.Obs is a map; sort so the hourly scan order (and with it the
+	// stored observation order) is deterministic for a seed.
+	sort.Strings(echDomains)
 	for h := 0; h < days*24; h++ {
 		now := start.Add(time.Duration(h) * time.Hour)
 		c.World.Clock.Set(now)
@@ -191,37 +348,47 @@ func (c *Campaign) RunHourlyECH(start time.Time, days int) {
 // RunValidationCensus reproduces the Table 9 one-shot census (the paper ran
 // it on January 2nd, 2024): for every domain in that day's list, determine
 // HTTPS presence, signing, Cloudflare NS use, and full-chain validation.
+// Domains are censused concurrently on the scanner's worker bound; rows are
+// stored in list order.
 func (c *Campaign) RunValidationCensus(day time.Time) {
 	c.World.Clock.Set(day.Add(12 * time.Hour))
 	list := c.World.Tranco.ListFor(day)
 	r := c.World.GoogleResolver
-	for _, name := range list {
-		apex := dnswire.CanonicalName(name)
-		row := dataset.ValidationResult{Domain: apex}
+	now := c.World.Clock.Now()
+	rows := make([]dataset.ValidationResult, len(list))
+	scanner.ForEach(len(list), c.Scanner.Concurrency, func(i int) {
+		rows[i] = c.censusRow(r, list[i], now)
+	})
+	c.Store.AddValidation(rows...)
+}
 
-		httpsRRs, _, httpsOK := r.FetchRRset(apex, dnswire.TypeHTTPS)
-		row.HasHTTPS = httpsOK && len(httpsRRs) > 0
+// censusRow classifies one domain for the validation census.
+func (c *Campaign) censusRow(r dnssec.ChainSource, name string, now time.Time) dataset.ValidationResult {
+	apex := dnswire.CanonicalName(name)
+	row := dataset.ValidationResult{Domain: apex}
 
-		_, keySigs, keyOK := r.FetchRRset(apex, dnswire.TypeDNSKEY)
-		row.Signed = keyOK && len(keySigs) > 0
+	httpsRRs, _, httpsOK := r.FetchRRset(apex, dnswire.TypeHTTPS)
+	row.HasHTTPS = httpsOK && len(httpsRRs) > 0
 
-		if nsRRs, _, ok := r.FetchRRset(apex, dnswire.TypeNS); ok {
-			for _, rr := range nsRRs {
-				if ns, ok := rr.Data.(*dnswire.NSData); ok &&
-					dnswire.IsSubdomain(ns.Host, c.World.Cloudflare.InfraDomain) {
-					row.CFNS = true
-				}
+	_, keySigs, keyOK := r.FetchRRset(apex, dnswire.TypeDNSKEY)
+	row.Signed = keyOK && len(keySigs) > 0
+
+	if nsRRs, _, ok := r.FetchRRset(apex, dnswire.TypeNS); ok {
+		for _, rr := range nsRRs {
+			if ns, ok := rr.Data.(*dnswire.NSData); ok &&
+				dnswire.IsSubdomain(ns.Host, c.World.Cloudflare.InfraDomain) {
+				row.CFNS = true
 			}
 		}
-		if row.Signed {
-			v := dnssec.NewValidator(r, c.World.Anchor, c.World.Clock.Now())
-			target := dnswire.TypeDNSKEY
-			if row.HasHTTPS {
-				target = dnswire.TypeHTTPS
-			}
-			res, _ := v.Validate(apex, target)
-			row.Result = res.String()
-		}
-		c.Store.AddValidation(row)
 	}
+	if row.Signed {
+		v := dnssec.NewValidator(r, c.World.Anchor, now)
+		target := dnswire.TypeDNSKEY
+		if row.HasHTTPS {
+			target = dnswire.TypeHTTPS
+		}
+		res, _ := v.Validate(apex, target)
+		row.Result = res.String()
+	}
+	return row
 }

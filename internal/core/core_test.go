@@ -120,6 +120,130 @@ func TestCampaignThroughDoHFleet(t *testing.T) {
 	}
 }
 
+// storeJSON serialises a campaign's store for byte-level comparison (the
+// export sorts snapshot days, and JSON encodes maps with sorted keys, so
+// equal stores produce equal bytes).
+func storeJSON(t *testing.T, c *Campaign) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Store.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPipelinedMatchesSerial is the pipelining equivalence guarantee: for
+// the same seed, running the campaign with one day worker and with eight
+// must produce byte-identical stores (snapshots, NS snapshots, Tranco
+// lists, and probe results — the window covers both the NS-scan and
+// connectivity-probe phases).
+func TestPipelinedMatchesSerial(t *testing.T) {
+	cfg := CampaignConfig{
+		Size: 700, Seed: 23,
+		Start:    time.Date(2024, 1, 10, 0, 0, 0, 0, time.UTC),
+		End:      time.Date(2024, 2, 21, 0, 0, 0, 0, time.UTC),
+		StepDays: 7,
+	}
+	run := func(workers int) []byte {
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cfg.DayWorkers = workers
+		if err := c.RunDaily(); err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Store.Days("apex")) != 7 {
+			t.Fatalf("workers=%d: apex days = %d, want 7", workers, len(c.Store.Days("apex")))
+		}
+		if len(c.Store.Probes()) == 0 {
+			t.Fatalf("workers=%d: no probe results in a window past the probe start", workers)
+		}
+		return storeJSON(t, c)
+	}
+	serial := run(1)
+	pipelined := run(8)
+	if !bytes.Equal(serial, pipelined) {
+		t.Fatalf("pipelined store diverges from serial: %d vs %d bytes", len(serial), len(pipelined))
+	}
+}
+
+// TestPipelinedDoHFleetMatchesSerial runs the same equivalence through the
+// encrypted serving layer. With synthetic latency charged to the per-day
+// clocks, exact clock values depend on scheduling, but the observed records
+// are day/hour-granular, so the adopter sets must match exactly.
+func TestPipelinedDoHFleetMatchesSerial(t *testing.T) {
+	// The window sits past connectivityProbeStart so the NS-scan and
+	// probe phases both run through the fleet.
+	cfg := CampaignConfig{
+		Size: 500, Seed: 29,
+		Start:        time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
+		End:          time.Date(2024, 2, 15, 0, 0, 0, 0, time.UTC),
+		StepDays:     7,
+		DoHFrontends: 4,
+	}
+	run := func(workers int) *Campaign {
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cfg.DayWorkers = workers
+		if err := c.RunDaily(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := run(1)
+	pipelined := run(4)
+	for _, kind := range []string{"apex", "www"} {
+		for _, day := range serial.Store.Days(kind) {
+			want, _ := serial.Store.SnapshotFor(kind, day)
+			got, ok := pipelined.Store.SnapshotFor(kind, day)
+			if !ok {
+				t.Fatalf("%s %s: pipelined run lost the day", kind, day.Format("2006-01-02"))
+			}
+			if len(got.Obs) != len(want.Obs) {
+				t.Fatalf("%s %s: adopters differ: pipelined %d vs serial %d",
+					kind, day.Format("2006-01-02"), len(got.Obs), len(want.Obs))
+			}
+			for name := range want.Obs {
+				if _, ok := got.Obs[name]; !ok {
+					t.Errorf("%s %s: adopter %s lost in pipelined run",
+						kind, day.Format("2006-01-02"), name)
+				}
+			}
+		}
+	}
+	// NS attribution and probe results are scheduling-independent (static
+	// WHOIS data, day-granular reachability episodes): compare in full.
+	for _, day := range serial.Store.NSDays() {
+		want, _ := serial.Store.NSSnapshotFor(day)
+		got, ok := pipelined.Store.NSSnapshotFor(day)
+		if !ok || len(got.Servers) != len(want.Servers) {
+			t.Fatalf("%s: NS snapshots differ", day.Format("2006-01-02"))
+		}
+		for host, nso := range want.Servers {
+			b, ok := got.Servers[host]
+			if !ok || b.Org != nso.Org || len(b.Addrs) != len(nso.Addrs) {
+				t.Errorf("%s: NS host %s differs: %+v vs %+v",
+					day.Format("2006-01-02"), host, nso, b)
+			}
+		}
+	}
+	wantProbes, gotProbes := serial.Store.Probes(), pipelined.Store.Probes()
+	if len(wantProbes) == 0 {
+		t.Error("no probe results in a window past the probe start")
+	}
+	if len(wantProbes) != len(gotProbes) {
+		t.Fatalf("probe counts differ: pipelined %d vs serial %d", len(gotProbes), len(wantProbes))
+	}
+	for i := range wantProbes {
+		if wantProbes[i] != gotProbes[i] {
+			t.Errorf("probe %d differs: %+v vs %+v", i, wantProbes[i], gotProbes[i])
+		}
+	}
+}
+
 func TestHourlyECHCadence(t *testing.T) {
 	c := augCampaign(t)
 	start := time.Date(2023, 8, 20, 0, 0, 0, 0, time.UTC)

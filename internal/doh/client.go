@@ -26,6 +26,11 @@ type Client struct {
 	// synchronous in-process calls, so wall time is host scheduling
 	// noise; a deterministic Latency function makes the EWMA/P2 routing
 	// decisions replayable along with the rest of the simulation.
+	//
+	// Each sampled exchange is also charged to the network's virtual
+	// clock, so queueing delay through the encrypted serving layer is
+	// observable in campaign timings (cache expiry, cooldown windows),
+	// not merely an input to EWMA/P2 routing.
 	Latency func(u *Upstream) time.Duration
 
 	mu  sync.Mutex
@@ -79,7 +84,9 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 		start := time.Now()
 		resp := ex.ExchangeDoH(req)
 		if c.Latency != nil {
-			c.Pool.ObserveRTT(up, c.Latency(up))
+			d := c.Latency(up)
+			c.Pool.ObserveRTT(up, d)
+			c.Net.Clock.Advance(d)
 		} else {
 			c.Pool.ObserveRTT(up, time.Since(start))
 		}

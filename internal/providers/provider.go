@@ -101,8 +101,15 @@ func (p *Provider) echListFor(d *DomainState, t time.Time) []byte {
 }
 
 // HandleDNS implements simnet.DNSHandler: authoritative answers synthesized
-// from the hosted domain states.
+// from the hosted domain states at the provider's own clock reading.
 func (p *Provider) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	return p.HandleDNSAt(q, p.Clock.Now())
+}
+
+// HandleDNSAt implements simnet.DNSHandlerAt: the zone content served is a
+// pure function of the hosted domain states and the supplied time, so one
+// provider instance can answer for several concurrently-scanned days.
+func (p *Provider) HandleDNSAt(q *dnswire.Message, now time.Time) *dnswire.Message {
 	resp := q.Reply()
 	if len(q.Question) != 1 {
 		resp.RCode = dnswire.RCodeFormErr
@@ -110,7 +117,6 @@ func (p *Provider) HandleDNS(q *dnswire.Message) *dnswire.Message {
 	}
 	question := q.Question[0]
 	name := dnswire.CanonicalName(question.Name)
-	now := p.Clock.Now()
 	dnssecOK := q.DNSSECOK()
 
 	// The provider's own infrastructure names (ns1.<infra> etc.).

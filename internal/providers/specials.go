@@ -268,11 +268,16 @@ func (w *World) assignPathologies(rng *rand.Rand, cf, nonCF []*DomainState) {
 // consults the domain's reachability schedule (during a mismatch episode one
 // side may be down) and returns nil on success.
 func (w *World) ProbeTLS(apex string, addr netip.Addr) error {
+	return w.ProbeTLSAt(apex, addr, w.Clock.Now())
+}
+
+// ProbeTLSAt is ProbeTLS evaluated at an explicit virtual time, for per-day
+// scan contexts that probe several days concurrently against one world.
+func (w *World) ProbeTLSAt(apex string, addr netip.Addr, now time.Time) error {
 	d, ok := w.Domain(apex)
 	if !ok {
 		return simnet.ErrNoService
 	}
-	now := w.Clock.Now()
 	if d.InMismatch(now) {
 		hintAddr := d.HintV4Addr(now)
 		aAddr := d.CurrentV4(now)

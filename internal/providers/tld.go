@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"time"
 
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
@@ -110,8 +111,15 @@ func (s *TLDServer) dnskeys() []dnswire.RR {
 	return []dnswire.RR{s.ksk.DNSKEY(3600), s.zsk.DNSKEY(3600)}
 }
 
-// HandleDNS implements simnet.DNSHandler.
+// HandleDNS implements simnet.DNSHandler at the server's own clock reading.
 func (s *TLDServer) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	return s.HandleDNSAt(q, s.Clock.Now())
+}
+
+// HandleDNSAt implements simnet.DNSHandlerAt: referrals are a pure function
+// of the delegation index and the supplied time (NS churn schedules), so
+// concurrent per-day network views share one TLD server instance.
+func (s *TLDServer) HandleDNSAt(q *dnswire.Message, now time.Time) *dnswire.Message {
 	resp := q.Reply()
 	if len(q.Question) != 1 {
 		resp.RCode = dnswire.RCodeFormErr
@@ -120,7 +128,6 @@ func (s *TLDServer) HandleDNS(q *dnswire.Message) *dnswire.Message {
 	question := q.Question[0]
 	name := dnswire.CanonicalName(question.Name)
 	dnssecOK := q.DNSSECOK()
-	now := s.Clock.Now()
 
 	if !dnswire.IsSubdomain(name, s.TLD) {
 		resp.RCode = dnswire.RCodeRefused
@@ -246,6 +253,8 @@ func (s *TLDServer) referToProvider(resp *dnswire.Message, child string, ps []*P
 
 // Ensure interface satisfaction.
 var (
-	_ simnet.DNSHandler = (*TLDServer)(nil)
-	_ simnet.DNSHandler = (*Provider)(nil)
+	_ simnet.DNSHandler   = (*TLDServer)(nil)
+	_ simnet.DNSHandler   = (*Provider)(nil)
+	_ simnet.DNSHandlerAt = (*TLDServer)(nil)
+	_ simnet.DNSHandlerAt = (*Provider)(nil)
 )

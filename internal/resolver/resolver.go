@@ -91,6 +91,20 @@ func New(net *simnet.Network) *Resolver {
 	return &Resolver{Net: net, cache: map[string]*cacheEntry{}, zoneKeys: map[string]zoneKeyEntry{}}
 }
 
+// Fork returns a fresh resolver on the given network (normally a per-day
+// view of the parent's) with the same validation configuration but empty
+// caches. Per-day scan contexts use it to give each simulated day an
+// isolated recursor state: with record TTLs far below a day, a fresh cache
+// answers identically to the serial run's carried-over cache, without any
+// cross-day locking or time skew.
+func (r *Resolver) Fork(net *simnet.Network) *Resolver {
+	f := New(net)
+	f.Validate = r.Validate
+	f.ValidateTypes = r.ValidateTypes
+	f.Anchor = r.Anchor
+	return f
+}
+
 // Get implements dnssec.ZoneKeyCache.
 func (r *Resolver) Get(zone string) ([]dnswire.RR, bool) {
 	r.mu.Lock()

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/netip"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -51,8 +53,10 @@ type Scanner struct {
 	// scans for ethics; here it bounds simulation goroutines).
 	Concurrency int
 
-	mu  sync.Mutex
-	qid uint16
+	// qid is the query-ID stream. Atomic, not mutex-guarded: every query
+	// of every worker draws from it, so a mutex here serializes the whole
+	// scan fan-out.
+	qid atomic.Uint32
 }
 
 // New creates a scanner using the given resolvers.
@@ -60,11 +64,62 @@ func New(net *simnet.Network, primary, backup netip.Addr, db *whois.DB) *Scanner
 	return &Scanner{Net: net, Primary: primary, Backup: backup, Whois: db, Concurrency: 8}
 }
 
+// Fork returns a scanner with the same resolvers, WHOIS database, and
+// concurrency bound, but running over the given network view, with the
+// given transport (nil for bare stub queries) and its own query-ID stream.
+// Per-day scan contexts fork the campaign scanner so concurrent days never
+// share mutable scanner state.
+func (s *Scanner) Fork(net *simnet.Network, transport Transport) *Scanner {
+	return &Scanner{
+		Net: net, Primary: s.Primary, Backup: s.Backup,
+		Transport: transport, Whois: s.Whois, Concurrency: s.Concurrency,
+	}
+}
+
 func (s *Scanner) nextID() uint16 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.qid++
-	return s.qid
+	return uint16(s.qid.Add(1))
+}
+
+// ForEach runs fn for every index in [0, n) on a bounded pool of workers
+// goroutines (1 runs inline). Callers write results into per-index slots,
+// so output order is deterministic regardless of scheduling. It is the one
+// fan-out primitive every parallel measurement loop shares — the
+// per-domain list scan, NS/ECH/probe passes, the validation census, and
+// the campaign's day pipeline.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forEach runs fn over [0, n) on the scanner's own concurrency bound.
+func (s *Scanner) forEach(n int, fn func(i int)) {
+	ForEach(n, s.Concurrency, fn)
 }
 
 // query sends one stub query, falling back to the backup resolver on error
@@ -215,63 +270,53 @@ func (s *Scanner) extractHTTPS(resp *dnswire.Message, obs *dataset.Observation) 
 	}
 }
 
-// ScanList scans a ranked domain list concurrently, producing a snapshot.
-// kind is "apex" or "www"; for "www" the names are prefixed.
+// ScanList scans a ranked domain list concurrently over the bounded worker
+// pool, producing a snapshot. kind is "apex" or "www"; for "www" the names
+// are prefixed.
 func (s *Scanner) ScanList(date time.Time, kind string, list []string) *dataset.Snapshot {
-	snap := &dataset.Snapshot{Date: date, Kind: kind, Total: len(list), Obs: map[string]*dataset.Observation{}}
-	type job struct {
-		name string
-		rank int
-	}
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	workers := s.Concurrency
-	if workers < 1 {
-		workers = 1
-	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				obs := s.ScanDomain(j.name)
-				obs.Rank = j.rank
-				if obs.HasHTTPS() || obs.Err != "" {
-					mu.Lock()
-					snap.Obs[obs.Name] = obs
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i, apex := range list {
-		name := apex
+	slots := make([]*dataset.Observation, len(list))
+	s.forEach(len(list), func(i int) {
+		name := list[i]
 		if kind == "www" {
-			name = "www." + apex
+			name = "www." + name
 		}
-		jobs <- job{name: name, rank: i + 1}
+		obs := s.ScanDomain(name)
+		obs.Rank = i + 1
+		if obs.HasHTTPS() || obs.Err != "" {
+			slots[i] = obs
+		}
+	})
+	snap := &dataset.Snapshot{Date: date, Kind: kind, Total: len(list), Obs: map[string]*dataset.Observation{}}
+	for _, obs := range slots {
+		if obs != nil {
+			snap.Obs[obs.Name] = obs
+		}
 	}
-	close(jobs)
-	wg.Wait()
 	return snap
 }
 
 // ScanNameServers resolves the addresses of every name-server host seen in
-// the snapshot and attributes them via WHOIS (§4.2.2 methodology).
+// the snapshot and attributes them via WHOIS (§4.2.2 methodology). Hosts
+// are scanned in sorted order over the scanner's bounded worker pool.
 func (s *Scanner) ScanNameServers(date time.Time, snaps ...*dataset.Snapshot) *dataset.NSSnapshot {
-	hosts := map[string]bool{}
+	hostSet := map[string]bool{}
 	for _, snap := range snaps {
 		for _, obs := range snap.Obs {
 			for _, h := range obs.NS {
-				hosts[dnswire.CanonicalName(h)] = true
+				hostSet[dnswire.CanonicalName(h)] = true
 			}
 		}
 	}
-	out := &dataset.NSSnapshot{Date: date, Servers: map[string]*dataset.NSObservation{}}
-	for host := range hosts {
-		nso := &dataset.NSObservation{Host: host}
-		if resp, err := s.query(host, dnswire.TypeA); err == nil {
+	hosts := make([]string, 0, len(hostSet))
+	for h := range hostSet {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	results := make([]*dataset.NSObservation, len(hosts))
+	s.forEach(len(hosts), func(i int) {
+		nso := &dataset.NSObservation{Host: hosts[i]}
+		if resp, err := s.query(hosts[i], dnswire.TypeA); err == nil {
 			for _, rr := range resp.Answer {
 				if a, ok := rr.Data.(*dnswire.AData); ok {
 					nso.Addrs = append(nso.Addrs, a.Addr)
@@ -281,19 +326,25 @@ func (s *Scanner) ScanNameServers(date time.Time, snaps ...*dataset.Snapshot) *d
 		if s.Whois != nil && len(nso.Addrs) > 0 {
 			nso.Org = s.Whois.AttributeNameServer(nso.Addrs[0])
 		}
-		out.Servers[host] = nso
+		results[i] = nso
+	})
+	out := &dataset.NSSnapshot{Date: date, Servers: make(map[string]*dataset.NSObservation, len(hosts))}
+	for _, nso := range results {
+		out.Servers[nso.Host] = nso
 	}
 	return out
 }
 
 // ECHScan performs one hourly ECH observation pass over the given domains
-// (the §4.4.2 experiment).
+// (the §4.4.2 experiment). Domains are scanned over the bounded worker
+// pool; observations come back in input-domain order.
 func (s *Scanner) ECHScan(now time.Time, domains []string) []dataset.ECHObservation {
-	var out []dataset.ECHObservation
-	for _, name := range domains {
+	slots := make([][]dataset.ECHObservation, len(domains))
+	s.forEach(len(domains), func(i int) {
+		name := domains[i]
 		resp, err := s.query(name, dnswire.TypeHTTPS)
 		if err != nil {
-			continue
+			return
 		}
 		for _, rr := range resp.Answer {
 			if rr.Type != dnswire.TypeHTTPS {
@@ -303,7 +354,7 @@ func (s *Scanner) ECHScan(now time.Time, domains []string) []dataset.ECHObservat
 			if !ok || !sum.HasECH {
 				continue
 			}
-			out = append(out, dataset.ECHObservation{
+			slots[i] = append(slots[i], dataset.ECHObservation{
 				Time:       now,
 				Domain:     dnswire.CanonicalName(name),
 				ConfigID:   sum.ECHConfigID,
@@ -311,16 +362,28 @@ func (s *Scanner) ECHScan(now time.Time, domains []string) []dataset.ECHObservat
 				PublicName: sum.ECHPublicName,
 			})
 		}
+	})
+	var out []dataset.ECHObservation
+	for _, obs := range slots {
+		out = append(out, obs...)
 	}
 	return out
 }
 
 // ProbeMismatches runs the §4.3.5 connectivity experiment: for every
 // observation whose IP hints disagree with its A records, TLS-probe both
-// addresses.
+// addresses. Candidates are probed in sorted domain order over the bounded
+// worker pool, so the result slice is deterministic for a snapshot.
 func (s *Scanner) ProbeMismatches(date time.Time, snap *dataset.Snapshot, prober Prober) []dataset.ProbeResult {
-	var out []dataset.ProbeResult
-	for _, obs := range snap.Obs {
+	names := make([]string, 0, len(snap.Obs))
+	for name := range snap.Obs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]dataset.ProbeResult, 0, len(names))
+	for _, name := range names {
+		obs := snap.Obs[name]
 		if !obs.HasHTTPS() || len(obs.A) == 0 {
 			continue
 		}
@@ -328,22 +391,19 @@ func (s *Scanner) ProbeMismatches(date time.Time, snap *dataset.Snapshot, prober
 		for _, rec := range obs.HTTPS {
 			hints = append(hints, rec.V4Hints...)
 		}
-		if len(hints) == 0 {
+		if len(hints) == 0 || sameAddrSet(hints, obs.A) {
 			continue
 		}
-		mismatch := !sameAddrSet(hints, obs.A)
-		if !mismatch {
-			continue
-		}
-		apex := dnswire.ApexOf(obs.Name)
-		res := dataset.ProbeResult{
+		out = append(out, dataset.ProbeResult{
 			Date: date, Domain: obs.Name, Mismatch: true,
 			HintAddr: hints[0], AAddr: obs.A[0],
-		}
-		res.HintOK = prober.ProbeTLS(apex, hints[0]) == nil
-		res.AOK = prober.ProbeTLS(apex, obs.A[0]) == nil
-		out = append(out, res)
+		})
 	}
+	s.forEach(len(out), func(i int) {
+		apex := dnswire.ApexOf(out[i].Domain)
+		out[i].HintOK = prober.ProbeTLS(apex, out[i].HintAddr) == nil
+		out[i].AOK = prober.ProbeTLS(apex, out[i].AAddr) == nil
+	})
 	return out
 }
 

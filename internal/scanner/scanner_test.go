@@ -2,6 +2,7 @@ package scanner
 
 import (
 	"net/netip"
+	"sort"
 	"testing"
 	"time"
 
@@ -311,5 +312,81 @@ func TestSummarizeHTTPSNonSVCB(t *testing.T) {
 		Data: &dnswire.AData{}}
 	if _, ok := SummarizeHTTPS(rr); ok {
 		t.Error("non-SVCB record summarised")
+	}
+}
+
+// TestScannerForkIsolation checks a forked scanner shares configuration but
+// not mutable state: separate query-ID streams, separate transports.
+func TestScannerForkIsolation(t *testing.T) {
+	w, sc := scanWorld(t)
+	sc.Concurrency = 3
+	dayClock := simnet.NewClock(w.Clock.Now().Add(24 * time.Hour))
+	view := w.Net.WithClock(dayClock)
+	f := sc.Fork(view, nil)
+	if f.Net != view || f.Primary != sc.Primary || f.Backup != sc.Backup ||
+		f.Whois != sc.Whois || f.Concurrency != 3 {
+		t.Error("fork did not copy configuration")
+	}
+	if f.Transport != nil {
+		t.Error("fork inherited a transport it was not given")
+	}
+	// Independent ID streams: both start at 1.
+	if id := sc.nextID(); id != 1 {
+		t.Errorf("parent first id = %d", id)
+	}
+	if id := f.nextID(); id != 1 {
+		t.Errorf("fork first id = %d", id)
+	}
+}
+
+// TestECHScanDeterministicOrder verifies the parallel ECH scan emits
+// observations in input-domain order regardless of worker scheduling.
+func TestECHScanDeterministicOrder(t *testing.T) {
+	w, sc := scanWorld(t)
+	w.Clock.Set(time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC))
+	var echDomains []string
+	for apex, d := range w.Domains {
+		if d.ECH && !d.ApexCNAME && d.Intermittent == providers.IntermitNone &&
+			!d.AdoptDay.After(w.Clock.Now()) {
+			echDomains = append(echDomains, apex)
+		}
+	}
+	if len(echDomains) < 4 {
+		t.Skip("not enough ECH domains at this size/seed")
+	}
+	sort.Strings(echDomains)
+	first := sc.ECHScan(w.Clock.Now(), echDomains)
+	for run := 0; run < 3; run++ {
+		again := sc.ECHScan(w.Clock.Now(), echDomains)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d observations, want %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: observation %d differs: %+v vs %+v", run, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// TestScanNameServersDeterministic verifies repeated parallel NS scans of
+// the same snapshot produce identical snapshots.
+func TestScanNameServersDeterministic(t *testing.T) {
+	w, sc := scanWorld(t)
+	list := w.Tranco.ListFor(w.Clock.Now())[:200]
+	snap := sc.ScanList(w.Clock.Now(), "apex", list)
+	first := sc.ScanNameServers(w.Clock.Now(), snap)
+	if len(first.Servers) == 0 {
+		t.Fatal("no NS observations")
+	}
+	again := sc.ScanNameServers(w.Clock.Now(), snap)
+	if len(again.Servers) != len(first.Servers) {
+		t.Fatalf("server counts differ: %d vs %d", len(again.Servers), len(first.Servers))
+	}
+	for host, nso := range first.Servers {
+		b, ok := again.Servers[host]
+		if !ok || b.Org != nso.Org || len(b.Addrs) != len(nso.Addrs) {
+			t.Errorf("host %s differs across runs: %+v vs %+v", host, nso, b)
+		}
 	}
 }

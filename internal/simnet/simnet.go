@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dnswire"
@@ -67,114 +68,181 @@ type DNSHandler interface {
 	HandleDNS(q *dnswire.Message) *dnswire.Message
 }
 
-// Network is the simulated Internet: a registry of DNS servers by address
-// and of arbitrary services (e.g. TLS endpoints) by address:port, plus
-// reachability failure injection.
-type Network struct {
-	Clock *Clock
+// DNSHandlerAt is implemented by handlers whose answers depend on the
+// virtual time of the querying network view (authoritative servers whose
+// zone content follows day/hour schedules). When a handler implements it,
+// QueryDNS passes the view's clock reading so one shared server instance
+// can answer for several concurrently-scanned days at once.
+type DNSHandlerAt interface {
+	HandleDNSAt(q *dnswire.Message, now time.Time) *dnswire.Message
+}
 
+// netState is the registry shared by a base network and all of its views:
+// handlers, services, failure injection, and the global query counter.
+type netState struct {
 	mu          sync.RWMutex
 	dns         map[netip.Addr]DNSHandler
 	services    map[netip.AddrPort]any
 	downAddrs   map[netip.Addr]bool
 	downPorts   map[netip.AddrPort]bool
-	queryCount  uint64
 	rootServers []netip.Addr
+
+	// queryCount is atomic, not mutex-guarded: it is bumped on every
+	// routed query, and taking the write lock just for the bump was the
+	// dominant cross-day contention point in pipelined campaigns.
+	queryCount atomic.Uint64
+}
+
+// Network is the simulated Internet: a registry of DNS servers by address
+// and of arbitrary services (e.g. TLS endpoints) by address:port, plus
+// reachability failure injection. A Network is either a base network or a
+// view of one (see WithClock): views share the registry and counters but
+// carry their own Clock and per-view handler overrides, which is what lets
+// one world serve many simulated days concurrently.
+type Network struct {
+	Clock *Clock
+
+	state *netState
+
+	// Per-view overrides, consulted before the shared registry. They are
+	// populated while a view is being wired (single-goroutine) and only
+	// read afterwards, so they are deliberately lock-free.
+	dnsOverrides map[netip.Addr]DNSHandler
+	svcOverrides map[netip.AddrPort]any
 }
 
 // New creates an empty network with the given clock.
 func New(clock *Clock) *Network {
 	return &Network{
-		Clock:     clock,
-		dns:       map[netip.Addr]DNSHandler{},
-		services:  map[netip.AddrPort]any{},
-		downAddrs: map[netip.Addr]bool{},
-		downPorts: map[netip.AddrPort]bool{},
+		Clock: clock,
+		state: &netState{
+			dns:       map[netip.Addr]DNSHandler{},
+			services:  map[netip.AddrPort]any{},
+			downAddrs: map[netip.Addr]bool{},
+			downPorts: map[netip.AddrPort]bool{},
+		},
 	}
+}
+
+// WithClock returns a view of the network that shares the registry,
+// failure-injection state, and query counter, but reads time from the given
+// clock and starts with no overrides. Mutating registrations through a view
+// (RegisterDNS etc.) writes the shared registry; use OverrideDNS /
+// OverrideService for view-local wiring.
+func (n *Network) WithClock(clock *Clock) *Network {
+	return &Network{Clock: clock, state: n.state}
+}
+
+// OverrideDNS installs a view-local DNS handler at addr, shadowing any
+// shared registration. It must be called while the view is being wired,
+// before the view serves queries concurrently.
+func (n *Network) OverrideDNS(addr netip.Addr, h DNSHandler) {
+	if n.dnsOverrides == nil {
+		n.dnsOverrides = map[netip.Addr]DNSHandler{}
+	}
+	n.dnsOverrides[addr] = h
+}
+
+// OverrideService installs a view-local service at ap, shadowing any shared
+// registration. Same wiring-time constraint as OverrideDNS.
+func (n *Network) OverrideService(ap netip.AddrPort, svc any) {
+	if n.svcOverrides == nil {
+		n.svcOverrides = map[netip.AddrPort]any{}
+	}
+	n.svcOverrides[ap] = svc
 }
 
 // RegisterDNS attaches a DNS handler at addr.
 func (n *Network) RegisterDNS(addr netip.Addr, h DNSHandler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.dns[addr] = h
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	n.state.dns[addr] = h
 }
 
 // UnregisterDNS removes the handler at addr.
 func (n *Network) UnregisterDNS(addr netip.Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.dns, addr)
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	delete(n.state.dns, addr)
 }
 
 // SetRootServers records the root name server addresses for resolvers.
 func (n *Network) SetRootServers(addrs []netip.Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.rootServers = append([]netip.Addr(nil), addrs...)
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	n.state.rootServers = append([]netip.Addr(nil), addrs...)
 }
 
 // RootServers returns the configured root server addresses.
 func (n *Network) RootServers() []netip.Addr {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return append([]netip.Addr(nil), n.rootServers...)
+	n.state.mu.RLock()
+	defer n.state.mu.RUnlock()
+	return append([]netip.Addr(nil), n.state.rootServers...)
 }
 
 // QueryDNS sends a DNS query to the server at addr and returns its response.
 func (n *Network) QueryDNS(addr netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
-	n.mu.RLock()
-	h, ok := n.dns[addr]
-	down := n.downAddrs[addr]
-	n.mu.RUnlock()
+	n.state.mu.RLock()
+	h, ok := n.state.dns[addr]
+	down := n.state.downAddrs[addr]
+	n.state.mu.RUnlock()
 	if down {
 		return nil, fmt.Errorf("querying %v: %w", addr, ErrUnreachable)
+	}
+	if over, hit := n.dnsOverrides[addr]; hit {
+		h, ok = over, true
 	}
 	if !ok {
 		return nil, fmt.Errorf("querying %v: %w", addr, ErrNoService)
 	}
-	n.mu.Lock()
-	n.queryCount++
-	n.mu.Unlock()
-	resp := h.HandleDNS(q)
+	n.state.queryCount.Add(1)
+	var resp *dnswire.Message
+	if ha, timed := h.(DNSHandlerAt); timed {
+		resp = ha.HandleDNSAt(q, n.Clock.Now())
+	} else {
+		resp = h.HandleDNS(q)
+	}
 	if resp == nil {
 		return nil, fmt.Errorf("querying %v: %w", addr, ErrRefused)
 	}
 	return resp, nil
 }
 
-// QueryCount returns the total number of DNS queries routed so far; the
-// ethics-minded rate accounting in the scanner uses it.
+// QueryCount returns the total number of DNS queries routed so far (shared
+// across all views); the ethics-minded rate accounting in the scanner uses
+// it.
 func (n *Network) QueryCount() uint64 {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.queryCount
+	return n.state.queryCount.Load()
 }
 
 // RegisterService attaches an arbitrary service object (e.g. a TLS endpoint)
 // at addr:port.
 func (n *Network) RegisterService(ap netip.AddrPort, svc any) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.services[ap] = svc
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	n.state.services[ap] = svc
 }
 
 // UnregisterService removes the service at addr:port.
 func (n *Network) UnregisterService(ap netip.AddrPort) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.services, ap)
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
+	delete(n.state.services, ap)
 }
 
 // Service returns the service registered at addr:port. It honours failure
 // injection: a down address or port returns ErrUnreachable.
 func (n *Network) Service(ap netip.AddrPort) (any, error) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if n.downAddrs[ap.Addr()] || n.downPorts[ap] {
+	n.state.mu.RLock()
+	down := n.state.downAddrs[ap.Addr()] || n.state.downPorts[ap]
+	svc, ok := n.state.services[ap]
+	n.state.mu.RUnlock()
+	if down {
 		return nil, fmt.Errorf("connecting to %v: %w", ap, ErrUnreachable)
 	}
-	svc, ok := n.services[ap]
+	if over, hit := n.svcOverrides[ap]; hit {
+		return over, nil
+	}
 	if !ok {
 		return nil, fmt.Errorf("connecting to %v: %w", ap, ErrRefused)
 	}
@@ -183,23 +251,23 @@ func (n *Network) Service(ap netip.AddrPort) (any, error) {
 
 // SetAddrDown marks an entire address (un)reachable.
 func (n *Network) SetAddrDown(addr netip.Addr, down bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
 	if down {
-		n.downAddrs[addr] = true
+		n.state.downAddrs[addr] = true
 	} else {
-		delete(n.downAddrs, addr)
+		delete(n.state.downAddrs, addr)
 	}
 }
 
 // SetPortDown marks one address:port (un)reachable.
 func (n *Network) SetPortDown(ap netip.AddrPort, down bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.state.mu.Lock()
+	defer n.state.mu.Unlock()
 	if down {
-		n.downPorts[ap] = true
+		n.state.downPorts[ap] = true
 	} else {
-		delete(n.downPorts, ap)
+		delete(n.state.downPorts, ap)
 	}
 }
 

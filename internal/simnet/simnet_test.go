@@ -166,3 +166,119 @@ func TestAllocatorUniqueness(t *testing.T) {
 		seen[addr] = true
 	}
 }
+
+// timedHandler records the time it was queried at, to verify per-view clock
+// dispatch through DNSHandlerAt.
+type timedHandler struct{ seen time.Time }
+
+func (h *timedHandler) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	return h.HandleDNSAt(q, time.Time{})
+}
+
+func (h *timedHandler) HandleDNSAt(q *dnswire.Message, now time.Time) *dnswire.Message {
+	h.seen = now
+	return q.Reply()
+}
+
+func TestNetworkViewClockAndOverrides(t *testing.T) {
+	base := New(NewClock(time.Date(2023, 5, 8, 12, 0, 0, 0, time.UTC)))
+	addr := netip.MustParseAddr("10.0.0.1")
+	h := &timedHandler{}
+	base.RegisterDNS(addr, h)
+
+	dayTime := time.Date(2023, 6, 1, 12, 0, 0, 0, time.UTC)
+	view := base.WithClock(NewClock(dayTime))
+
+	// A DNSHandlerAt registered in the shared registry answers at the
+	// view's clock, not the base clock.
+	q := dnswire.NewQuery(1, "x.com", dnswire.TypeA, false)
+	if _, err := view.QueryDNS(addr, q); err != nil {
+		t.Fatal(err)
+	}
+	if !h.seen.Equal(dayTime) {
+		t.Errorf("handler saw %v, want view time %v", h.seen, dayTime)
+	}
+	if _, err := base.QueryDNS(addr, q); err != nil {
+		t.Fatal(err)
+	}
+	if !h.seen.Equal(base.Clock.Now()) {
+		t.Errorf("handler saw %v, want base time %v", h.seen, base.Clock.Now())
+	}
+
+	// Query counts are shared between base and views.
+	if base.QueryCount() != 2 || view.QueryCount() != 2 {
+		t.Errorf("query counts: base=%d view=%d, want 2", base.QueryCount(), view.QueryCount())
+	}
+
+	// A view-local DNS override shadows the shared handler without
+	// leaking into the base network or sibling views.
+	override := &timedHandler{}
+	view.OverrideDNS(addr, override)
+	if _, err := view.QueryDNS(addr, q); err != nil {
+		t.Fatal(err)
+	}
+	if !override.seen.Equal(dayTime) {
+		t.Error("override not consulted on view")
+	}
+	sibling := base.WithClock(NewClock(dayTime.Add(24 * time.Hour)))
+	if _, err := sibling.QueryDNS(addr, q); err != nil {
+		t.Fatal(err)
+	}
+	if !h.seen.Equal(dayTime.Add(24 * time.Hour)) {
+		t.Error("sibling view leaked the other view's override")
+	}
+
+	// Failure injection is shared state: a down address fails through
+	// views too, even with an override installed.
+	base.SetAddrDown(addr, true)
+	if _, err := view.QueryDNS(addr, q); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("down addr via view err = %v", err)
+	}
+	base.SetAddrDown(addr, false)
+}
+
+func TestNetworkViewServiceOverride(t *testing.T) {
+	base := New(NewClock(time.Unix(0, 0)))
+	ap := netip.AddrPortFrom(netip.MustParseAddr("10.0.0.9"), 443)
+	base.RegisterService(ap, "shared")
+	view := base.WithClock(NewClock(time.Unix(86400, 0)))
+	view.OverrideService(ap, "view-local")
+
+	if svc, err := view.Service(ap); err != nil || svc != "view-local" {
+		t.Errorf("view service = %v, %v", svc, err)
+	}
+	if svc, err := base.Service(ap); err != nil || svc != "shared" {
+		t.Errorf("base service = %v, %v", svc, err)
+	}
+	// Injection still applies to overridden services.
+	base.SetPortDown(ap, true)
+	if _, err := view.Service(ap); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("down port via view err = %v", err)
+	}
+}
+
+func TestQueryCountConcurrent(t *testing.T) {
+	n := New(NewClock(time.Unix(0, 0)))
+	addr := netip.MustParseAddr("10.0.0.1")
+	n.RegisterDNS(addr, echoHandler{})
+	q := dnswire.NewQuery(1, "x.com", dnswire.TypeA, false)
+	done := make(chan bool)
+	const workers, each = 8, 200
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < each; i++ {
+				if _, err := n.QueryDNS(addr, q); err != nil {
+					t.Error(err)
+					break
+				}
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if n.QueryCount() != workers*each {
+		t.Errorf("QueryCount = %d, want %d", n.QueryCount(), workers*each)
+	}
+}

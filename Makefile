@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-heavy packages (the pipelined
-# campaign scheduler and the substrate it fans out over).
+# campaign scheduler, the substrate it fans out over, and the serving
+# layer's shared cache/pool/cooldown state).
 race:
-	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core
+	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/doh
 
 # Tier-1 verify as the roadmap defines it.
 verify: build test
@@ -29,15 +30,20 @@ fmt:
 	gofmt -w .
 
 # Campaign pipelining benchmark: times the same multi-week campaign serial
-# vs pipelined, checks the stores match, and records the speedup in
-# BENCH_campaign.json so the perf trajectory is tracked from PR 2 on.
+# vs pipelined, checks the stores match, gates the speedup against the
+# committed baseline (>20% regression fails on a comparable host), and
+# records the new speedup in BENCH_campaign.json so the perf trajectory is
+# tracked from PR 2 on.
 bench:
-	$(GO) run ./cmd/benchcampaign -out BENCH_campaign.json
+	$(GO) run ./cmd/benchcampaign -baseline BENCH_campaign.json -maxregress 20 -out BENCH_campaign.json
 
-# CI-sized single-iteration bench smoke (no timing claims, still verifies
-# serial/pipelined store equality).
+# CI-sized single-iteration bench smoke: verifies serial/pipelined store
+# equality and runs the speedup regression gate informationally without
+# overwriting the committed baseline (the tool downgrades speedup
+# comparisons to warnings whenever GOMAXPROCS or the campaign shape
+# differs from the baseline's — which smoke's shrunken campaign does).
 bench-smoke:
-	$(GO) run ./cmd/benchcampaign -smoke -out BENCH_campaign.json
+	$(GO) run ./cmd/benchcampaign -smoke -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
 
 # Fast benchmark subset: substrate + serving-layer hot paths (skips the
 # campaign-backed table/figure benchmarks, which rebuild a world).

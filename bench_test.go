@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -519,6 +520,88 @@ func BenchmarkDoHUncachedPath(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := client.Query(list[i%len(list)], dnswire.TypeHTTPS, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// deadHandler models a dead recursive fleet: every query hard-fails, the
+// way simnet reports an unreachable upstream.
+type deadHandler struct{}
+
+func (deadHandler) HandleDNS(*dnswire.Message) *dnswire.Message { return nil }
+
+// BenchmarkDoHStalePath measures the RFC 8767 serve-stale hot path: every
+// entry is past TTL, the recursor is dead, and each query is answered by
+// the stale-body copy + TTL-cap rewrite.
+func BenchmarkDoHStalePath(b *testing.B) {
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: 500, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
+	cache := doh.NewCacheWith(w.Clock, doh.CacheConfig{StaleWindow: 24 * time.Hour})
+	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 11)
+	var servers []*doh.Server
+	for i := 0; i < 3; i++ {
+		srv := &doh.Server{Name: "fe", Handler: w.GoogleResolver, Cache: cache}
+		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
+		srv.Register(w.Net, ap)
+		pool.Add(srv.Name, ap)
+		servers = append(servers, srv)
+	}
+	client := doh.NewClient(w.Net, pool)
+	list := w.Tranco.ListFor(w.Clock.Now())
+	for _, name := range list {
+		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Expire everything, kill the recursor: all answers are now stale.
+	w.Clock.Advance(301 * time.Second)
+	for _, srv := range servers {
+		srv.Handler = deadHandler{}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Query(list[i%len(list)], dnswire.TypeHTTPS, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoHNegativePath measures RFC 2308 negative-cache absorption:
+// a miss storm on NXDOMAIN names served from fresh negative entries.
+func BenchmarkDoHNegativePath(b *testing.B) {
+	clock := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: 300, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Clock.Set(clock)
+	cache := doh.NewCacheWith(w.Clock, doh.CacheConfig{})
+	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 11)
+	srv := &doh.Server{Name: "fe", Handler: w.GoogleResolver, Cache: cache}
+	ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
+	srv.Register(w.Net, ap)
+	pool.Add(srv.Name, ap)
+	client := doh.NewClient(w.Net, pool)
+	// Names under a real TLD that resolve to NXDOMAIN with an SOA.
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-nx-%d.com", i)
+	}
+	for _, name := range names {
+		if _, err := client.Query(name, dnswire.TypeA, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.NegativeEntries == 0 {
+		b.Fatalf("no negative entries cached (stats %+v)", st)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Query(names[i%len(names)], dnswire.TypeA, false); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,9 +7,15 @@
 // Usage:
 //
 //	benchcampaign [-size N] [-days D] [-dayworkers W] [-seed S]
-//	              [-out FILE] [-smoke]
+//	              [-out FILE] [-smoke] [-baseline FILE] [-maxregress PCT]
 //
 // -smoke shrinks the campaign to a CI-friendly single-iteration size.
+//
+// -baseline points at a committed BENCH_campaign.json; the run's speedup
+// is compared against it and the command fails when it regressed by more
+// than -maxregress percent. Speedups are only comparable between hosts
+// with the same GOMAXPROCS (the workload is CPU-bound simulation), so a
+// core-count mismatch downgrades the gate to a warning.
 package main
 
 import (
@@ -52,6 +58,8 @@ func main() {
 	seed := flag.Int64("seed", 7, "generation seed")
 	out := flag.String("out", "BENCH_campaign.json", "report path ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny campaign, no timing claims")
+	baseline := flag.String("baseline", "", "committed report to gate the speedup against (empty disables)")
+	maxRegress := flag.Float64("maxregress", 20, "fail when speedup regressed more than this percent vs -baseline")
 	flag.Parse()
 
 	if *smoke {
@@ -117,19 +125,81 @@ func main() {
 	fmt.Fprintf(os.Stderr, "  speedup:   %.2fx on %d CPUs (stores equal: %v)\n",
 		r.Speedup, r.NumCPU, r.StoresEqual)
 
-	enc, err := json.MarshalIndent(&r, "", "  ")
+	// Regression gate: the baseline must be read before -out overwrites
+	// it — and on failure it must NOT be overwritten, or rerunning the
+	// bench would launder the regression into the new baseline.
+	if *baseline != "" && !gateSpeedup(*baseline, &r, *maxRegress) {
+		defer os.Exit(1)
+		if *out == *baseline {
+			fmt.Fprintf(os.Stderr, "  gate: keeping baseline %s (regressed report not written)\n", *out)
+			return
+		}
+	}
+
+	writeReport(&r, *out)
+}
+
+// gateSpeedup compares the run against a committed baseline report and
+// reports whether the gate passed. A missing/unreadable baseline only
+// warns, as does any configuration mismatch — a different GOMAXPROCS
+// (speedups are host-shape-bound) or a different campaign shape
+// (size/days/workers/seed — a 5-day smoke pipeline is structurally
+// slower than the 21-day baseline and must not be held to its number).
+func gateSpeedup(path string, r *report, maxRegress float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "  gate: no baseline (%v), skipping regression check\n", err)
+		return true
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil || base.Speedup <= 0 {
+		fmt.Fprintf(os.Stderr, "  gate: unreadable baseline %s (%v), skipping\n", path, err)
+		return true
+	}
+	regress := (base.Speedup - r.Speedup) / base.Speedup * 100
+	if base.GoMaxProcs != r.GoMaxProcs ||
+		base.Size != r.Size || base.Days != r.Days ||
+		base.DayWorkers != r.DayWorkers || base.Seed != r.Seed {
+		fmt.Fprintf(os.Stderr,
+			"  gate: baseline (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d) vs this run (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d) — speedups not comparable (baseline %.2fx, now %.2fx), warning only\n",
+			base.GoMaxProcs, base.Size, base.Days, base.DayWorkers, base.Seed,
+			r.GoMaxProcs, r.Size, r.Days, r.DayWorkers, r.Seed, base.Speedup, r.Speedup)
+		return true
+	}
+	if r.GoMaxProcs <= 1 {
+		// The report's own Note field says it: on a single core the
+		// speedup is scheduler noise around 1.0x, not a metric.
+		fmt.Fprintf(os.Stderr,
+			"  gate: single-core host — speedup is noise (baseline %.2fx, now %.2fx), warning only\n",
+			base.Speedup, r.Speedup)
+		return true
+	}
+	if regress > maxRegress {
+		fmt.Fprintf(os.Stderr,
+			"  gate: FAIL — speedup %.2fx regressed %.1f%% from baseline %.2fx (limit %.0f%%)\n",
+			r.Speedup, regress, base.Speedup, maxRegress)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "  gate: OK — speedup %.2fx vs baseline %.2fx (%+.1f%%, limit -%.0f%%)\n",
+		r.Speedup, base.Speedup, -regress, maxRegress)
+	return true
+}
+
+// writeReport emits the JSON report to path ('-' for stdout).
+func writeReport(r *report, out string) {
+	enc, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 }

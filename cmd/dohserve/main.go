@@ -10,14 +10,27 @@
 //	dohserve [-size N] [-seed S] [-frontends N] [-strategy p2|ewma|roundrobin|hash]
 //	         [-queries N] [-workers N] [-shards N] [-shardcap N] [-hot N]
 //	         [-kill N] [-post]
+//	         [-stalewindow D] [-refreshahead F] [-cooldown D]
+//	         [-chaos] [-epochs N] [-epochlen D] [-flap P]
 //
 // -kill marks that many frontend addresses unreachable halfway through
 // the load, exercising failover under fire.
+//
+// -chaos switches to the RFC 8767 resilience drill: instead of killing
+// frontend addresses, the *recursors behind* the frontends flap up and
+// down at random on the virtual clock. Each epoch advances virtual time,
+// re-rolls every recursor's availability with probability -flap, and
+// drives a slice of the query load; the report shows stale answers served
+// during outages, SERVFAILs that leaked despite the stale window, and
+// per-recursor recovery times (virtual time from a recursor coming back
+// to its first successful exchange). The run is deterministic for a seed:
+// one driver goroutine, all flap draws from -seed, all time virtual.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -26,20 +39,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnswire"
 	"repro/internal/doh"
+	"repro/internal/simnet"
 )
 
 func main() {
 	size := flag.Int("size", 3000, "Tranco list size of the generated world")
-	seed := flag.Int64("seed", 1, "generation seed")
+	seed := flag.Int64("seed", 1, "generation seed (also drives chaos flaps)")
 	frontends := flag.Int("frontends", 4, "number of DoH frontends")
 	strategyName := flag.String("strategy", "p2", "load-balancing strategy (p2, ewma, roundrobin, hash)")
 	queries := flag.Int("queries", 2000, "total queries to drive")
-	workers := flag.Int("workers", 8, "concurrent stub workers")
+	workers := flag.Int("workers", 8, "concurrent stub workers (chaos mode always uses 1)")
 	shards := flag.Int("shards", doh.DefaultShards, "answer-cache shard count")
 	shardCap := flag.Int("shardcap", doh.DefaultShardCapacity, "answer-cache entries per shard")
 	hot := flag.Int("hot", 500, "working-set size (distinct names cycled through)")
-	kill := flag.Int("kill", 1, "frontends to mark unreachable halfway through")
+	kill := flag.Int("kill", 1, "frontends to mark unreachable halfway through (ignored with -chaos)")
 	post := flag.Bool("post", false, "use POST envelopes instead of GET")
+	staleWindow := flag.Duration("stalewindow", time.Hour, "RFC 8767 serve-stale window (0 disables)")
+	refreshAhead := flag.Float64("refreshahead", 0.8, "prefetch at this fraction of TTL elapsed (0 disables)")
+	cooldown := flag.Duration("cooldown", 15*time.Second, "frontend benches its recursor this long after a hard failure")
+	chaos := flag.Bool("chaos", false, "flap the recursors behind the frontends instead of killing frontends")
+	epochs := flag.Int("epochs", 30, "chaos epochs")
+	epochLen := flag.Duration("epochlen", 90*time.Second, "virtual time advanced per chaos epoch")
+	flap := flag.Float64("flap", 0.35, "per-epoch probability that a recursor is down")
 	flag.Parse()
 
 	strategy, err := doh.ParseStrategy(*strategyName)
@@ -54,6 +75,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dohserve: -frontends must be at least 1")
 		os.Exit(2)
 	}
+	if *chaos && (*epochs < 1 || *epochLen <= 0 || *flap < 0 || *flap > 1) {
+		fmt.Fprintln(os.Stderr, "dohserve: -chaos needs -epochs ≥ 1, -epochlen > 0, and -flap in [0,1]")
+		os.Exit(2)
+	}
 
 	// The campaign builds the world and the fleet with the same wiring
 	// the measurement runs use; here only the fleet is driven.
@@ -61,12 +86,14 @@ func main() {
 		Size: *size, Seed: *seed,
 		DoHFrontends: *frontends, DoHStrategy: strategy,
 		DoHShards: *shards, DoHShardCap: *shardCap,
+		DoHStaleWindow: *staleWindow, DoHRefreshAhead: *refreshAhead,
+		DoHFailureCooldown: *cooldown,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	world, client, pool, cache := camp.World, camp.DoHClient, camp.DoHPool, camp.DoHCache
+	world, client := camp.World, camp.DoHClient
 	client.UsePOST = *post
 	day := time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC)
 	world.Clock.Set(day)
@@ -77,6 +104,12 @@ func main() {
 	}
 	fmt.Printf("world: %d domains (working set %d); fleet: %d frontends, strategy %s, cache %d×%d\n",
 		*size, len(list), *frontends, strategy, *shards, *shardCap)
+
+	if *chaos {
+		runChaos(camp, list, *queries, *epochs, *epochLen, *flap, *seed)
+		report(camp)
+		return
+	}
 
 	var ok, failed atomic.Uint64
 	var killOnce sync.Once
@@ -99,7 +132,7 @@ func main() {
 	for i := 0; i < *queries; i++ {
 		if i == *queries/2 && *kill > 0 {
 			killOnce.Do(func() {
-				stats := pool.Stats()
+				stats := camp.DoHPool.Stats()
 				for k := 0; k < *kill && k < len(stats); k++ {
 					world.Net.SetAddrDown(stats[k].Addr.Addr(), true)
 					fmt.Printf("halfway: frontend %s (%v) marked unreachable\n",
@@ -116,19 +149,167 @@ func main() {
 	fmt.Printf("\n%d queries in %s (%.0f q/s): %d answered, %d failed\n",
 		*queries, elapsed.Round(time.Millisecond),
 		float64(*queries)/elapsed.Seconds(), ok.Load(), failed.Load())
+	report(camp)
+}
 
-	fmt.Println("\nfrontends:")
+// flakyUpstream wraps a recursor so chaos mode can take it down: while
+// down, HandleDNS returns nil — the same hard failure a frontend sees
+// from a dead recursive fleet. It also measures recovery: the virtual
+// time from an up-transition to the first exchange that actually reaches
+// the recursor again (cache freshness and frontend cooldowns both delay
+// that moment — exactly the staleness window §4.4.2 measures).
+//
+// Chaos mode drives queries from a single goroutine, so the fields are
+// deliberately unsynchronised.
+type flakyUpstream struct {
+	name  string
+	inner simnet.DNSHandler
+	clock *simnet.Clock
+
+	down       bool
+	flaps      int
+	upAt       time.Time
+	waiting    bool
+	recoveries []time.Duration
+}
+
+func (f *flakyUpstream) HandleDNS(q *dnswire.Message) *dnswire.Message {
+	if f.down {
+		return nil
+	}
+	resp := f.inner.HandleDNS(q)
+	if resp != nil && f.waiting {
+		f.waiting = false
+		f.recoveries = append(f.recoveries, f.clock.Now().Sub(f.upAt))
+	}
+	return resp
+}
+
+// setDown flips availability, recording flap and recovery bookkeeping.
+func (f *flakyUpstream) setDown(down bool) {
+	if down == f.down {
+		return
+	}
+	f.down = down
+	if down {
+		f.flaps++
+		f.waiting = false
+	} else {
+		f.upAt = f.clock.Now()
+		f.waiting = true
+	}
+}
+
+// runChaos executes the flapping drill: warm the cache with every
+// recursor up, then per epoch advance the virtual clock, re-roll each
+// recursor's availability, and drive a slice of the load.
+func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen time.Duration, flapP float64, seed int64) {
+	world, client := camp.World, camp.DoHClient
+	// One flaky wrapper per recursor org, shared by the frontends that
+	// org backs (buildDoHFleet alternates google/cloudflare by index).
+	ups := []*flakyUpstream{
+		{name: "google-recursor", inner: world.GoogleResolver, clock: world.Clock},
+		{name: "cloudflare-recursor", inner: world.CFResolver, clock: world.Clock},
+	}
+	for i, srv := range camp.DoHServers {
+		srv.Handler = ups[i%2]
+	}
+
+	fmt.Printf("chaos: %d epochs × %v, flap p=%.2f, stale window %v, cooldown %v\n",
+		epochs, epochLen, flapP, camp.DoHCache.Config().StaleWindow, camp.DoHServers[0].FailureCooldown)
+
+	// Warmup: populate the shared cache while everything is healthy.
+	for _, name := range list {
+		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+			fmt.Fprintf(os.Stderr, "warmup query %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	warmStale := client.StaleAnswers()
+
+	rng := rand.New(rand.NewSource(seed))
+	perEpoch := queries / epochs
+	if perEpoch < 1 {
+		perEpoch = 1
+	}
+	var answered, errored, servfails int
+	next := 0
+	chaosStart := world.Clock.Now()
+	for e := 0; e < epochs; e++ {
+		world.Clock.Advance(epochLen)
+		downs := 0
+		for _, u := range ups {
+			u.setDown(rng.Float64() < flapP)
+			if u.down {
+				downs++
+			}
+		}
+		staleBefore := client.StaleAnswers()
+		for i := 0; i < perEpoch; i++ {
+			m, err := client.Query(list[next%len(list)], dnswire.TypeHTTPS, true)
+			next++
+			switch {
+			case err != nil:
+				errored++
+			case m.RCode == dnswire.RCodeServFail:
+				servfails++
+			default:
+				answered++
+			}
+		}
+		fmt.Printf("  epoch %2d: %d/%d recursors down, %3d queries, %3d stale-served\n",
+			e, downs, len(ups), perEpoch, client.StaleAnswers()-staleBefore)
+	}
+	for _, u := range ups {
+		u.setDown(false)
+	}
+	virtual := world.Clock.Now().Sub(chaosStart)
+
+	fmt.Printf("\nchaos drill: %d queries over %v virtual time: %d answered, %d SERVFAIL, %d hard failures\n",
+		perEpoch*epochs, virtual.Round(time.Second), answered, servfails, errored)
+	fmt.Printf("stale answers served: %d (must be > 0: outages rode the stale window)\n",
+		client.StaleAnswers()-warmStale)
+	if servfails == 0 && errored == 0 {
+		fmt.Println("zero SERVFAILs / hard failures: every outage was covered by serve-stale")
+	}
+	fmt.Println("\nrecovery times (virtual time from recursor up-flap to first successful exchange):")
+	for _, u := range ups {
+		if len(u.recoveries) == 0 {
+			fmt.Printf("  %-20s %d flaps, no completed recoveries observed\n", u.name, u.flaps)
+			continue
+		}
+		var sum, max time.Duration
+		for _, r := range u.recoveries {
+			sum += r
+			if r > max {
+				max = r
+			}
+		}
+		mean := sum / time.Duration(len(u.recoveries))
+		fmt.Printf("  %-20s %d flaps, %d recoveries: mean %v, max %v\n",
+			u.name, u.flaps, len(u.recoveries), mean.Round(time.Millisecond), max.Round(time.Millisecond))
+	}
+}
+
+// report prints the per-frontend lifecycle counters, pool health, and
+// shared-cache statistics common to both modes.
+func report(camp *core.Campaign) {
+	fmt.Println("\nfrontends (cache lifecycle):")
 	for _, s := range camp.DoHServers {
 		st := s.Stats()
-		fmt.Printf("  %-20s served %6d  cache hits %6d\n", st.Name, st.Served, st.CacheHits)
+		fmt.Printf("  %-20s served %6d  hits %6d  stale %5d  neg %4d  prefetch %4d  upstream-fail %4d\n",
+			st.Name, st.Served, st.CacheHits, st.StaleServed, st.NegativeHits,
+			st.Prefetches, st.UpstreamFailures)
 	}
-	fmt.Println("\npool:")
-	for _, st := range pool.Stats() {
+	fmt.Printf("\npool (%d/%d members healthy):\n", camp.DoHPool.Healthy(), camp.DoHPool.Len())
+	for _, st := range camp.DoHPool.Stats() {
 		fmt.Printf("  %-20s queries %6d  failures %3d  down=%-5v rtt=%s\n",
 			st.Name, st.Queries, st.Failures, st.Down, st.RTT.Round(time.Microsecond))
 	}
-	cs := cache.Stats()
-	fmt.Printf("\nshared cache: %d entries, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
-		cs.Entries, cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions)
-	fmt.Printf("recursor-side queries (incl. iterative lookups): %d\n", world.Net.QueryCount())
+	cs := camp.DoHCache.Stats()
+	fmt.Printf("\nshared cache: %d entries (%d negative), %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+		cs.Entries, cs.NegativeEntries, cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions)
+	fmt.Printf("lifecycle: %d stale serves, %d negative hits, %d prefetches armed\n",
+		cs.StaleServes, cs.NegativeHits, cs.Refreshes)
+	fmt.Printf("recursor-side queries (incl. iterative lookups): %d\n", camp.World.Net.QueryCount())
 }

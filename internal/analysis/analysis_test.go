@@ -128,6 +128,20 @@ func TestIntermittency(t *testing.T) {
 	if res.NSChanged == 0 {
 		t.Error("no NS-change intermittents (paper: multi-provider mixes)")
 	}
+	// Coverage weighting: each domain contributes (observed days /
+	// window days) ∈ (0, 1], so weighted totals are positive, never
+	// exceed the raw counts, and the buckets still sum to the total.
+	if res.WeightedIntermittent <= 0 || res.WeightedIntermittent > float64(res.Intermittent) {
+		t.Errorf("weighted intermittent = %.2f, raw %d", res.WeightedIntermittent, res.Intermittent)
+	}
+	if res.WeightedSameNS > float64(res.SameNS) || res.WeightedNSChanged > float64(res.NSChanged) ||
+		res.WeightedLostNS > float64(res.LostNS) {
+		t.Errorf("a weighted bucket exceeds its raw count: %+v", res)
+	}
+	sum := res.WeightedSameNS + res.WeightedNSChanged + res.WeightedLostNS
+	if diff := sum - res.WeightedIntermittent; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("weighted buckets sum to %.4f, want %.4f", sum, res.WeightedIntermittent)
+	}
 	_ = res.Table()
 }
 

@@ -1,0 +1,6 @@
+// Package analysis computes every table and figure of the paper's
+// evaluation from a collected dataset.Store: adoption trends (Fig 2),
+// name-server breakdowns (Tables 2–3, Fig 3), configuration analyses
+// (Tables 4–5, §4.3), IP-hint consistency (Figs 11–12), ECH deployment and
+// rotation (Figs 4, 13), and DNSSEC (Fig 5, Table 9, Fig 14).
+package analysis

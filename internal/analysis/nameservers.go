@@ -253,6 +253,17 @@ type IntermittencyResult struct {
 	NSChanged int
 	// LostNS became entirely unresolvable (no NS) while deactivated.
 	LostNS int
+
+	// The Weighted* counterparts scale each domain's contribution by its
+	// in-list coverage (observed days / NS-window days): a Tranco-churny
+	// domain seen on 3 of 30 days supplies 3/30 of a count rather than a
+	// full one, so sparse histories — whose classification rests on a
+	// handful of samples — no longer weigh as much as dense ones.
+	WeightedIntermittent float64
+	WeightedSameNS       float64
+	WeightedSameNSAllCF  float64
+	WeightedNSChanged    float64
+	WeightedLostNS       float64
 }
 
 // Intermittency reproduces the §4.2.3 analysis over the NS window.
@@ -318,7 +329,12 @@ func Intermittency(store *dataset.Store) *IntermittencyResult {
 		if deactivations == 0 {
 			continue
 		}
+		// A domain in the list every scanned day contributes a full
+		// count; one that churned in for a fraction of the window
+		// contributes that fraction.
+		weight := float64(len(h.present)) / float64(len(days))
 		res.Intermittent++
+		res.WeightedIntermittent += weight
 		// Compare NS org sets across active days.
 		sets := map[string]bool{}
 		for i, p := range h.present {
@@ -329,31 +345,36 @@ func Intermittency(store *dataset.Store) *IntermittencyResult {
 		switch {
 		case h.errDays > 0:
 			res.LostNS++
+			res.WeightedLostNS += weight
 		case len(sets) <= 1:
 			res.SameNS++
+			res.WeightedSameNS += weight
 			for s := range sets {
 				if isCloudflareOrg(s) {
 					res.SameNSAllCF++
+					res.WeightedSameNSAllCF += weight
 				}
 			}
 		default:
 			res.NSChanged++
+			res.WeightedNSChanged += weight
 		}
 	}
 	return res
 }
 
-// Table renders the intermittency summary.
+// Table renders the intermittency summary; the weighted column scales
+// each domain by its in-list coverage of the NS window.
 func (r *IntermittencyResult) Table() *Table {
 	return &Table{
 		Title:   "§4.2.3: intermittent HTTPS record activation",
-		Columns: []string{"metric", "count"},
+		Columns: []string{"metric", "count", "weighted"},
 		Rows: [][]string{
-			{"intermittent apex domains", itoa(r.Intermittent)},
-			{"  same NS set throughout", itoa(r.SameNS)},
-			{"    of which exclusively Cloudflare", itoa(r.SameNSAllCF)},
-			{"  NS set changed", itoa(r.NSChanged)},
-			{"  transient NS loss", itoa(r.LostNS)},
+			{"intermittent apex domains", itoa(r.Intermittent), fmtFloat(r.WeightedIntermittent)},
+			{"  same NS set throughout", itoa(r.SameNS), fmtFloat(r.WeightedSameNS)},
+			{"    of which exclusively Cloudflare", itoa(r.SameNSAllCF), fmtFloat(r.WeightedSameNSAllCF)},
+			{"  NS set changed", itoa(r.NSChanged), fmtFloat(r.WeightedNSChanged)},
+			{"  transient NS loss", itoa(r.LostNS), fmtFloat(r.WeightedLostNS)},
 		},
 	}
 }

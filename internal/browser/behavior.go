@@ -1,10 +1,3 @@
-// Package browser models how the four major web browsers handle DNS HTTPS
-// records and ECH, as measured in the paper's §5 experiments (Tables 6 and
-// 7). Each model implements the same navigation machinery — HTTPS-RR
-// lookup, parameter resolution, address/port selection, ECH offering, and
-// failover — parameterised by a Behavior profile transcribed from the
-// paper's observations. The lab harness then *measures* the support
-// matrices from these mechanisms rather than hard-coding them.
 package browser
 
 // Behavior captures one browser's HTTPS-RR and ECH handling policy.

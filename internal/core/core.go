@@ -60,6 +60,17 @@ type CampaignConfig struct {
 	// zero values select the doh package defaults.
 	DoHShards   int
 	DoHShardCap int
+	// DoHStaleWindow enables RFC 8767 serve-stale on the fleet's answer
+	// caches: answers past TTL but within the window are served (with
+	// TTLs capped) when a frontend's recursor fails. Zero disables it.
+	DoHStaleWindow time.Duration
+	// DoHRefreshAhead arms cache prefetch once a fresh entry has consumed
+	// this fraction of its TTL (e.g. 0.8); zero disables prefetch.
+	DoHRefreshAhead float64
+	// DoHFailureCooldown benches a frontend's recursor after a hard
+	// failure, serving stale without re-trying it for the window; zero
+	// disables benching.
+	DoHFailureCooldown time.Duration
 	// Progress, when non-nil, receives one line per scanned day.
 	Progress io.Writer
 }
@@ -118,11 +129,22 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	return c, nil
 }
 
+// dohCacheConfig assembles the answer-cache lifecycle configuration from
+// the campaign knobs (shared by the campaign fleet and per-day replicas).
+func (c *Campaign) dohCacheConfig() doh.CacheConfig {
+	return doh.CacheConfig{
+		Shards:        c.Cfg.DoHShards,
+		ShardCapacity: c.Cfg.DoHShardCap,
+		StaleWindow:   c.Cfg.DoHStaleWindow,
+		RefreshAhead:  c.Cfg.DoHRefreshAhead,
+	}
+}
+
 // buildDoHFleet stands up n DoH frontends over the two public recursors
 // with a shared answer cache and routes the scanner through the pool.
 func (c *Campaign) buildDoHFleet(n int, strategy doh.Strategy) {
 	w := c.World
-	c.DoHCache = doh.NewCache(w.Clock, c.Cfg.DoHShards, c.Cfg.DoHShardCap)
+	c.DoHCache = doh.NewCacheWith(w.Clock, c.dohCacheConfig())
 	c.DoHPool = doh.NewPool(w.Clock, strategy, c.Cfg.Seed)
 	for i := 0; i < n; i++ {
 		recursor, org := w.GoogleResolver, "google"
@@ -130,7 +152,8 @@ func (c *Campaign) buildDoHFleet(n int, strategy doh.Strategy) {
 			recursor, org = w.CFResolver, "cloudflare"
 		}
 		name := fmt.Sprintf("doh-%s-%d", org, i)
-		srv := &doh.Server{Name: name, Handler: recursor, Cache: c.DoHCache}
+		srv := &doh.Server{Name: name, Handler: recursor, Cache: c.DoHCache,
+			FailureCooldown: c.Cfg.DoHFailureCooldown}
 		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
 		srv.Register(w.Net, ap)
 		c.DoHPool.Add(name, ap)
@@ -180,14 +203,15 @@ func (c *Campaign) newDayContext(day time.Time) *dayContext {
 
 	var transport scanner.Transport
 	if len(c.DoHAddrs) > 0 {
-		cache := doh.NewCache(clock, c.Cfg.DoHShards, c.Cfg.DoHShardCap)
+		cache := doh.NewCacheWith(clock, c.dohCacheConfig())
 		pool := doh.NewPool(clock, c.Cfg.DoHStrategy, c.Cfg.Seed^day.Unix())
 		for i, ap := range c.DoHAddrs {
 			recursor := simnet.DNSHandler(g)
 			if i%2 == 1 {
 				recursor = cf
 			}
-			srv := &doh.Server{Name: c.DoHServers[i].Name, Handler: recursor, Cache: cache}
+			srv := &doh.Server{Name: c.DoHServers[i].Name, Handler: recursor, Cache: cache,
+				FailureCooldown: c.Cfg.DoHFailureCooldown}
 			net.OverrideService(ap, srv)
 			pool.Add(srv.Name, ap)
 		}

@@ -1,0 +1,5 @@
+// Package dnswire implements the DNS message wire format (RFC 1035 and
+// friends): header, questions, resource records, name compression, EDNS(0),
+// and the record types needed by the HTTPS-RR measurement framework,
+// including SVCB/HTTPS (RFC 9460) and the DNSSEC record types (RFC 4034).
+package dnswire

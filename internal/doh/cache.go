@@ -18,20 +18,104 @@ import (
 // frontends sharing one Cache behaves like an anycast pod with a common
 // answer store: whichever frontend a stub lands on, a fresh answer from a
 // sibling is served without touching the recursor.
+//
+// Entries move through the lifecycle documented in doc.go: fresh until
+// their TTL expires, then (with a non-zero StaleWindow) stale and
+// servable under RFC 8767 when the upstream cannot answer, then evicted.
+// Negative answers (NXDOMAIN/NODATA) are first-class entries retained for
+// their RFC 2308 SOA-minimum TTL, capped by MaxNegativeTTL.
 type Cache struct {
-	clock  *simnet.Clock
+	clock *simnet.Clock
+	cfg   CacheConfig
+
 	shards []*cacheShard
 }
 
-// Default cache geometry.
+// CacheConfig sets the cache geometry and lifecycle policy. The zero
+// value selects the default geometry with serve-stale and refresh-ahead
+// disabled — the pre-RFC 8767 behavior.
+type CacheConfig struct {
+	// Shards and ShardCapacity set the geometry; zero selects the
+	// defaults.
+	Shards        int
+	ShardCapacity int
+	// StaleWindow is how long past TTL expiry an entry stays resident and
+	// servable under RFC 8767 serve-stale. Zero disables serve-stale:
+	// entries are dropped at TTL expiry.
+	StaleWindow time.Duration
+	// StaleTTL caps the TTL stamped on records of a stale answer; zero
+	// selects DefaultStaleTTL (the 30 s RFC 8767 §4 recommends).
+	StaleTTL uint32
+	// RefreshAhead arms a prefetch once a fresh entry has consumed this
+	// fraction of its TTL: the next hit past the threshold is still served
+	// from cache but reports NeedsRefresh so the frontend can refresh the
+	// entry before it ever goes stale. Zero disables prefetch.
+	RefreshAhead float64
+	// MaxNegativeTTL caps how long negative answers are retained, however
+	// large their SOA minimum (RFC 2308 §5 advises bounding negative
+	// retention); zero selects DefaultMaxNegativeTTL.
+	MaxNegativeTTL time.Duration
+}
+
+// Default cache geometry and lifecycle bounds.
 const (
 	DefaultShards        = 16
 	DefaultShardCapacity = 1024
+	// DefaultStaleTTL is the TTL stamped on stale answers (RFC 8767 §4
+	// recommends 30 seconds).
+	DefaultStaleTTL = 30
+	// DefaultMaxNegativeTTL bounds negative retention (RFC 2308 §5).
+	DefaultMaxNegativeTTL = 3 * time.Hour
 )
 
 // negativeTTL bounds how long answers without records are retained when
 // the authority section carries no SOA to derive a TTL from.
 const negativeTTL = 30 * time.Second
+
+// EntryState is where a cache lookup landed in the entry lifecycle.
+type EntryState int
+
+const (
+	// StateMiss: no entry, or the entry aged past TTL + StaleWindow and
+	// was evicted by the lookup.
+	StateMiss EntryState = iota
+	// StateFresh: within TTL; the answer is served directly.
+	StateFresh
+	// StateStale: past TTL but within StaleWindow; the answer may be
+	// served under RFC 8767 if the upstream cannot produce a fresh one.
+	StateStale
+)
+
+// String names the state for stats output.
+func (s EntryState) String() string {
+	switch s {
+	case StateFresh:
+		return "fresh"
+	case StateStale:
+		return "stale"
+	default:
+		return "miss"
+	}
+}
+
+// Lookup is the result of a lifecycle-aware cache probe.
+type Lookup struct {
+	// State classifies the probe; Body is non-nil only for Fresh. A
+	// stale probe carries no body — the caller is expected to consult
+	// the upstream first and materialize the stale answer with StaleWire
+	// only if that fails, so the common refresh path never pays the copy.
+	State EntryState
+	// Body is the response wire image with the query ID patched in and
+	// TTLs aged by elapsed virtual time (Fresh only).
+	Body []byte
+	// MaxAge is the Cache-Control max-age: the remaining freshness.
+	MaxAge uint32
+	// Negative marks RFC 2308 negative entries (NXDOMAIN or NODATA).
+	Negative bool
+	// NeedsRefresh is set on the first fresh hit past the refresh-ahead
+	// threshold; the caller should refresh the entry from upstream.
+	NeedsRefresh bool
+}
 
 type cacheShard struct {
 	mu      sync.Mutex
@@ -40,8 +124,12 @@ type cacheShard struct {
 	// linked list so Get/Put/evict are all O(1).
 	head, tail *cacheEntry
 	capacity   int
+	// negEntries tracks resident negative entries so Stats is O(shards),
+	// not a walk of every LRU list.
+	negEntries int
 
 	hits, misses, evictions, expirations uint64
+	staleServes, negativeHits, refreshes uint64
 }
 
 // cacheEntry holds the response as a packed wire image plus the byte
@@ -49,13 +137,20 @@ type cacheShard struct {
 // one copy, an ID patch, and in-place TTL rewrites — no message encode on
 // the hot path.
 type cacheEntry struct {
-	key        string
-	wire       []byte
-	ttlOffs    []int
-	ttls       []uint32 // original TTLs, parallel to ttlOffs
-	minTTL     uint32   // minimum answer TTL at store time (RFC 8484 max-age)
-	storedAt   time.Time
-	expires    time.Time
+	key      string
+	wire     []byte
+	ttlOffs  []int
+	ttls     []uint32 // original TTLs, parallel to ttlOffs
+	minTTL   uint32   // minimum answer TTL at store time (RFC 8484 max-age)
+	storedAt time.Time
+	expires  time.Time
+	// negative marks RFC 2308 entries (NXDOMAIN or empty answers).
+	negative bool
+	// refreshAt is when a fresh hit starts reporting NeedsRefresh;
+	// refreshing latches after the first such hit so one entry generation
+	// arms at most one prefetch.
+	refreshAt  time.Time
+	refreshing bool
 	prev, next *cacheEntry
 }
 
@@ -66,6 +161,16 @@ type CacheStats struct {
 	Misses      uint64
 	Evictions   uint64
 	Expirations uint64
+	// NegativeEntries is the resident RFC 2308 entry count; NegativeHits
+	// counts fresh hits on them (misses a negative entry absorbed).
+	NegativeEntries int
+	NegativeHits    uint64
+	// StaleServes counts answers actually served past TTL under RFC 8767
+	// (stale lookups also count as misses — the upstream was consulted or
+	// at least wanted).
+	StaleServes uint64
+	// Refreshes counts prefetches armed by the refresh-ahead threshold.
+	Refreshes uint64
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookups.
@@ -78,20 +183,35 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // NewCache creates a cache with the given shard count and per-shard entry
-// bound; zero values select the defaults.
+// bound and the lifecycle defaults (serve-stale and prefetch disabled);
+// zero values select the default geometry.
 func NewCache(clock *simnet.Clock, shards, shardCapacity int) *Cache {
-	if shards <= 0 {
-		shards = DefaultShards
+	return NewCacheWith(clock, CacheConfig{Shards: shards, ShardCapacity: shardCapacity})
+}
+
+// NewCacheWith creates a cache with an explicit lifecycle configuration.
+func NewCacheWith(clock *simnet.Clock, cfg CacheConfig) *Cache {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
 	}
-	if shardCapacity <= 0 {
-		shardCapacity = DefaultShardCapacity
+	if cfg.ShardCapacity <= 0 {
+		cfg.ShardCapacity = DefaultShardCapacity
 	}
-	c := &Cache{clock: clock, shards: make([]*cacheShard, shards)}
+	if cfg.StaleTTL == 0 {
+		cfg.StaleTTL = DefaultStaleTTL
+	}
+	if cfg.MaxNegativeTTL <= 0 {
+		cfg.MaxNegativeTTL = DefaultMaxNegativeTTL
+	}
+	c := &Cache{clock: clock, cfg: cfg, shards: make([]*cacheShard, cfg.Shards)}
 	for i := range c.shards {
-		c.shards[i] = &cacheShard{entries: map[string]*cacheEntry{}, capacity: shardCapacity}
+		c.shards[i] = &cacheShard{entries: map[string]*cacheEntry{}, capacity: cfg.ShardCapacity}
 	}
 	return c
 }
+
+// Config returns the cache's resolved lifecycle configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
 
 // CacheKey builds the lookup key for a question. The DO bit participates
 // because responses differ (RRSIGs present or not).
@@ -111,9 +231,23 @@ func (c *Cache) shardFor(key string) *cacheShard {
 
 // GetWire returns the cached response as a fresh wire image with the
 // given query ID patched in and every TTL aged by the virtual time
-// elapsed since storing, plus the remaining max-age. Misses and expired
-// entries return ok=false.
+// elapsed since storing, plus the remaining max-age. Misses, stale
+// entries, and expired entries return ok=false.
 func (c *Cache) GetWire(key string, id uint16) (body []byte, maxAge uint32, ok bool) {
+	l := c.Probe(key, id)
+	if l.State != StateFresh {
+		return nil, 0, false
+	}
+	return l.Body, l.MaxAge, true
+}
+
+// Probe is the lifecycle-aware lookup: it classifies the entry as fresh,
+// stale, or missing, and returns a servable wire image for the first two.
+// A fresh hit counts toward Hits; stale and missing probes count toward
+// Misses, because the caller is expected to consult the upstream (a stale
+// body is only served — via NoteStaleServed — when that fails). Entries
+// past TTL + StaleWindow are evicted by the probe.
+func (c *Cache) Probe(key string, id uint16) Lookup {
 	now := c.clock.Now()
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -121,17 +255,36 @@ func (c *Cache) GetWire(key string, id uint16) (body []byte, maxAge uint32, ok b
 	e, found := s.entries[key]
 	if !found {
 		s.misses++
-		return nil, 0, false
+		return Lookup{State: StateMiss}
 	}
-	if !e.expires.After(now) {
+	if !e.expires.Add(c.cfg.StaleWindow).After(now) {
 		s.remove(e)
 		delete(s.entries, key)
+		if e.negative {
+			s.negEntries--
+		}
 		s.expirations++
 		s.misses++
-		return nil, 0, false
+		return Lookup{State: StateMiss}
 	}
 	s.moveToFront(e)
+	if !e.expires.After(now) {
+		// Past TTL but within the stale window: report stale so the
+		// caller consults the upstream; StaleWire materializes the body
+		// only if that fails.
+		s.misses++
+		return Lookup{State: StateStale, Negative: e.negative}
+	}
 	s.hits++
+	if e.negative {
+		s.negativeHits++
+	}
+	l := Lookup{State: StateFresh, Negative: e.negative}
+	if c.cfg.RefreshAhead > 0 && !e.refreshing && !e.refreshAt.After(now) {
+		e.refreshing = true
+		s.refreshes++
+		l.NeedsRefresh = true
+	}
 	elapsed := uint32(now.Sub(e.storedAt) / time.Second)
 	out := make([]byte, len(e.wire))
 	copy(out, e.wire)
@@ -146,9 +299,39 @@ func (c *Cache) GetWire(key string, id uint16) (body []byte, maxAge uint32, ok b
 		binary.BigEndian.PutUint32(out[off:], ttl)
 	}
 	if e.minTTL > elapsed {
-		maxAge = e.minTTL - elapsed
+		l.MaxAge = e.minTTL - elapsed
 	}
-	return out, maxAge, true
+	l.Body = out
+	return l
+}
+
+// StaleWire materializes the stale answer a prior Probe reported, with
+// the query ID patched in and every TTL capped at StaleTTL per RFC 8767,
+// and counts the stale serve. The entry is re-evaluated under the shard
+// lock: if a sibling refreshed it meanwhile the (now fresh) body is still
+// served with capped TTLs — conservative but correct — and if it vanished
+// (LRU pressure) ok is false and the caller has nothing to serve.
+func (c *Cache) StaleWire(key string, id uint16) (body []byte, maxAge uint32, ok bool) {
+	now := c.clock.Now()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.entries[key]
+	if !found || !e.expires.Add(c.cfg.StaleWindow).After(now) {
+		return nil, 0, false
+	}
+	out := make([]byte, len(e.wire))
+	copy(out, e.wire)
+	binary.BigEndian.PutUint16(out, id)
+	for i, off := range e.ttlOffs {
+		ttl := e.ttls[i]
+		if ttl > c.cfg.StaleTTL {
+			ttl = c.cfg.StaleTTL
+		}
+		binary.BigEndian.PutUint32(out[off:], ttl)
+	}
+	s.staleServes++
+	return out, c.cfg.StaleTTL, true
 }
 
 // Get returns a copy of the cached response with TTLs aged by the virtual
@@ -167,12 +350,15 @@ func (c *Cache) Get(key string) *dnswire.Message {
 }
 
 // Put stores a response. Uncacheable responses (SERVFAIL and friends) are
-// ignored; the retention window is the answer's minimum TTL, or the
-// negative-TTL bound for empty answers.
+// ignored; the retention window is the answer's minimum TTL, or the RFC
+// 2308 SOA-minimum (capped by MaxNegativeTTL) for negative answers.
 func (c *Cache) Put(key string, m *dnswire.Message) {
-	ttl, ok := cacheTTL(m)
+	ttl, negative, ok := cacheTTL(m)
 	if !ok || ttl <= 0 {
 		return
+	}
+	if negative && ttl > c.cfg.MaxNegativeTTL {
+		ttl = c.cfg.MaxNegativeTTL
 	}
 	wire, err := m.Pack()
 	if err != nil {
@@ -184,23 +370,42 @@ func (c *Cache) Put(key string, m *dnswire.Message) {
 	}
 	minTTL, _ := minAnswerTTL(m)
 	now := c.clock.Now()
+	refreshAt := time.Time{}
+	if c.cfg.RefreshAhead > 0 {
+		refreshAt = now.Add(time.Duration(c.cfg.RefreshAhead * float64(ttl)))
+	}
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.entries[key]; ok {
+		if negative != e.negative {
+			if negative {
+				s.negEntries++
+			} else {
+				s.negEntries--
+			}
+		}
 		e.wire, e.ttlOffs, e.ttls, e.minTTL = wire, offs, ttls, minTTL
-		e.storedAt, e.expires = now, now.Add(ttl)
+		e.storedAt, e.expires, e.negative = now, now.Add(ttl), negative
+		e.refreshAt, e.refreshing = refreshAt, false
 		s.moveToFront(e)
 		return
 	}
 	e := &cacheEntry{key: key, wire: wire, ttlOffs: offs, ttls: ttls,
-		minTTL: minTTL, storedAt: now, expires: now.Add(ttl)}
+		minTTL: minTTL, storedAt: now, expires: now.Add(ttl),
+		negative: negative, refreshAt: refreshAt}
 	s.entries[key] = e
 	s.pushFront(e)
+	if negative {
+		s.negEntries++
+	}
 	if len(s.entries) > s.capacity {
 		victim := s.tail
 		s.remove(victim)
 		delete(s.entries, victim.key)
+		if victim.negative {
+			s.negEntries--
+		}
 		s.evictions++
 	}
 }
@@ -282,20 +487,25 @@ func (c *Cache) Flush() {
 		s.mu.Lock()
 		s.entries = map[string]*cacheEntry{}
 		s.head, s.tail = nil, nil
+		s.negEntries = 0
 		s.mu.Unlock()
 	}
 }
 
-// Stats aggregates hit/miss/eviction counters across shards.
+// Stats aggregates hit/miss/eviction and lifecycle counters across shards.
 func (c *Cache) Stats() CacheStats {
 	var out CacheStats
 	for _, s := range c.shards {
 		s.mu.Lock()
 		out.Entries += len(s.entries)
+		out.NegativeEntries += s.negEntries
 		out.Hits += s.hits
 		out.Misses += s.misses
 		out.Evictions += s.evictions
 		out.Expirations += s.expirations
+		out.NegativeHits += s.negativeHits
+		out.StaleServes += s.staleServes
+		out.Refreshes += s.refreshes
 		s.mu.Unlock()
 	}
 	return out
@@ -349,14 +559,17 @@ func minAnswerTTL(m *dnswire.Message) (uint32, bool) {
 	return ttl, have
 }
 
-// cacheTTL derives the retention window: the minimum answer TTL, the SOA
-// minimum for negative answers, or nothing for uncacheable RCodes.
-func cacheTTL(m *dnswire.Message) (time.Duration, bool) {
+// cacheTTL derives the retention window and negativity class: the minimum
+// answer TTL for positive answers; for negative answers (NXDOMAIN, or
+// NOERROR with no answer records — NODATA) the RFC 2308 negative TTL,
+// min(SOA TTL, SOA minimum), falling back to a fixed bound when the
+// authority section carries no SOA; nothing for uncacheable RCodes.
+func cacheTTL(m *dnswire.Message) (ttl time.Duration, negative, ok bool) {
 	if m.RCode != dnswire.RCodeNoError && m.RCode != dnswire.RCodeNXDomain {
-		return 0, false
+		return 0, false, false
 	}
-	if ttl, have := minAnswerTTL(m); have {
-		return time.Duration(ttl) * time.Second, true
+	if ttl, have := minAnswerTTL(m); have && m.RCode == dnswire.RCodeNoError {
+		return time.Duration(ttl) * time.Second, false, true
 	}
 	for _, rr := range m.Authority {
 		if soa, ok := rr.Data.(*dnswire.SOAData); ok {
@@ -364,8 +577,8 @@ func cacheTTL(m *dnswire.Message) (time.Duration, bool) {
 			if rr.TTL < min {
 				min = rr.TTL
 			}
-			return time.Duration(min) * time.Second, true
+			return time.Duration(min) * time.Second, true, true
 		}
 	}
-	return negativeTTL, true
+	return negativeTTL, true, true
 }

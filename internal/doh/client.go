@@ -3,6 +3,7 @@ package doh
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dnswire"
@@ -35,7 +36,14 @@ type Client struct {
 
 	mu  sync.Mutex
 	qid uint16
+
+	staleAnswers atomic.Uint64
 }
+
+// StaleAnswers counts exchanges answered with an RFC 8767 stale response
+// (a frontend served past-TTL data because its recursor was unavailable) —
+// the stub-side measure of the staleness windows §4.4.2 quantifies.
+func (c *Client) StaleAnswers() uint64 { return c.staleAnswers.Load() }
 
 // NewClient creates a stub over the given network and pool.
 func NewClient(net *simnet.Network, pool *Pool) *Client {
@@ -109,6 +117,9 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 		if m.RCode == dnswire.RCodeServFail {
 			servFail = m
 			continue
+		}
+		if resp.Stale {
+			c.staleAnswers.Add(1)
 		}
 		return m, nil
 	}

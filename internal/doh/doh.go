@@ -1,26 +1,3 @@
-// Package doh implements the encrypted-DNS serving layer between stub and
-// recursor that the paper's measurements traverse in the real Internet:
-// Google (8.8.8.8) and Cloudflare (1.1.1.1) expose their recursive fleets
-// behind anycast DoH frontends, and every §4.3.5/§4.4.2 staleness and
-// failover effect the paper reports happens inside that layer.
-//
-// The package provides three pieces:
-//
-//   - Server: an RFC 8484-style DoH frontend registered as a simnet
-//     service at addr:port, wrapping any simnet.DNSHandler (normally a
-//     caching recursive resolver) and answering wire-format envelopes.
-//   - Client: a DoH stub with an upstream Pool supporting pluggable
-//     load-balancing strategies (power-of-two-choices, EWMA-RTT,
-//     round-robin, hash-affinity) and automatic failover when simnet
-//     failure injection marks an upstream down.
-//   - Cache: a sharded TTL+LRU answer cache shared across frontends, so
-//     several Servers in front of one recursor behave like a real anycast
-//     fleet with a common answer store.
-//
-// Envelopes follow RFC 8484 shape without a real HTTP stack: GET carries
-// the query as an unpadded base64url "dns" parameter, POST carries raw
-// wire format, and responses report status, media type, and a Cache-Control
-// max-age derived from the answer's minimum TTL.
 package doh
 
 import (
@@ -72,6 +49,11 @@ type Response struct {
 	// MaxAge is the Cache-Control max-age the frontend derived from the
 	// answer's minimum TTL (RFC 8484 §5.1).
 	MaxAge uint32
+	// Stale marks an RFC 8767 serve-stale answer: the frontend's upstream
+	// could not produce a fresh one, so a past-TTL cache entry was served
+	// with capped TTLs (the envelope analogue of an HTTP "Warning: 110"
+	// header).
+	Stale bool
 }
 
 // NewGETRequest builds a GET envelope for the query.

@@ -12,21 +12,47 @@ import (
 
 // stubRecursor answers HTTPS/A queries for any name with fixed records,
 // counting how many queries reach it — a stand-in for a recursive
-// resolver that lets the tests observe cache offload.
+// resolver that lets the tests observe cache offload. The failure knobs
+// model a dead recursor (fail: nil responses, the hard failure simnet
+// reports for unreachable fleets) and a struggling one (servfail); the
+// negative knobs switch it to RFC 2308 NXDOMAIN answers carrying an SOA.
 type stubRecursor struct {
 	ttl     uint32
 	queries int
+
+	fail     bool // return nil: hard upstream failure
+	servfail bool // answer SERVFAIL over a healthy transport
+
+	negative   bool   // answer NXDOMAIN with an SOA authority record
+	soaTTL     uint32 // SOA record TTL
+	soaMinimum uint32 // SOA minimum field (RFC 2308 negative TTL input)
 }
 
 func (s *stubRecursor) HandleDNS(q *dnswire.Message) *dnswire.Message {
 	s.queries++
+	if s.fail {
+		return nil
+	}
 	resp := q.Reply()
 	resp.RecursionAvailable = true
+	if s.servfail {
+		resp.RCode = dnswire.RCodeServFail
+		return resp
+	}
 	if len(q.Question) != 1 {
 		resp.RCode = dnswire.RCodeFormErr
 		return resp
 	}
 	question := q.Question[0]
+	if s.negative {
+		resp.RCode = dnswire.RCodeNXDomain
+		resp.Authority = append(resp.Authority, dnswire.RR{
+			Name: "test.", Type: dnswire.TypeSOA, Class: dnswire.ClassINET, TTL: s.soaTTL,
+			Data: &dnswire.SOAData{MName: "ns1.test.", RName: "hostmaster.test.",
+				Serial: 1, Minimum: s.soaMinimum},
+		})
+		return resp
+	}
 	switch question.Type {
 	case dnswire.TypeHTTPS:
 		resp.Answer = append(resp.Answer, dnswire.RR{
@@ -468,6 +494,311 @@ func TestSERVFAILFailsOverToNextUpstream(t *testing.T) {
 	}
 	if resp.RCode != dnswire.RCodeServFail {
 		t.Errorf("unanimous SERVFAIL not surfaced: %v", resp.RCode)
+	}
+}
+
+// newStaleFleet is newFleet with a lifecycle-configured cache: one
+// frontend, serve-stale armed, optional prefetch and failure cooldown.
+func newStaleFleet(t *testing.T, cfg CacheConfig, cooldown time.Duration) (*Client, *Server, *stubRecursor, *simnet.Clock) {
+	t.Helper()
+	net, clock := testNet()
+	recursor := &stubRecursor{ttl: 300}
+	cache := NewCacheWith(clock, cfg)
+	pool := NewPool(clock, StrategyRoundRobin, 1)
+	srv := &Server{Name: "fe0", Handler: recursor, Cache: cache, FailureCooldown: cooldown}
+	srv.Register(net, frontendAddr(0))
+	pool.Add(srv.Name, frontendAddr(0))
+	return NewClient(net, pool), srv, recursor, clock
+}
+
+// TestStaleServedExactlyAtTTLExpiry pins the TTL boundary: at the exact
+// expiry instant the entry is no longer fresh — a healthy upstream is
+// consulted, a dead one triggers RFC 8767 serve-stale with capped TTLs.
+func TestStaleServedExactlyAtTTLExpiry(t *testing.T) {
+	client, srv, recursor, clock := newStaleFleet(t, CacheConfig{StaleWindow: 10 * time.Minute}, 0)
+	if _, err := client.Query("edge.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// One second before expiry: still fresh, recursor idle.
+	clock.Advance(299 * time.Second)
+	resp, err := client.Query("edge.test", dnswire.TypeHTTPS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 1 {
+		t.Fatalf("entry leaked to recursor before expiry (%d queries)", recursor.queries)
+	}
+	if resp.Answer[0].TTL != 1 {
+		t.Errorf("TTL one second before expiry = %d, want 1", resp.Answer[0].TTL)
+	}
+
+	// Exactly at expiry: not fresh anymore. Upstream healthy → refreshed.
+	clock.Advance(1 * time.Second)
+	if _, err := client.Query("edge.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 2 {
+		t.Fatalf("entry at exact expiry not refreshed: recursor saw %d queries, want 2", recursor.queries)
+	}
+
+	// Again at the new entry's exact expiry, but with the recursor dead:
+	// the stale body must be served, TTLs capped at DefaultStaleTTL.
+	clock.Advance(300 * time.Second)
+	recursor.fail = true
+	resp, err = client.Query("edge.test", dnswire.TypeHTTPS, false)
+	if err != nil {
+		t.Fatalf("stale-capable query failed: %v", err)
+	}
+	if resp.Answer[0].TTL != DefaultStaleTTL {
+		t.Errorf("stale TTL = %d, want capped at %d", resp.Answer[0].TTL, DefaultStaleTTL)
+	}
+	if st := srv.Stats(); st.StaleServed != 1 || st.UpstreamFailures != 1 {
+		t.Errorf("stats after stale serve: %+v", st)
+	}
+	if got := client.StaleAnswers(); got != 1 {
+		t.Errorf("client counted %d stale answers, want 1", got)
+	}
+}
+
+// TestStaleWindowEdge pins the other end of the lifecycle: one second
+// inside TTL+StaleWindow the answer is servable, at the exact edge the
+// entry is evicted and a dead upstream means a hard error.
+func TestStaleWindowEdge(t *testing.T) {
+	const window = 10 * time.Minute
+	client, srv, recursor, clock := newStaleFleet(t, CacheConfig{StaleWindow: window}, 0)
+	if _, err := client.Query("win.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	recursor.fail = true
+
+	// One second inside the window: stale served.
+	clock.Advance(300*time.Second + window - time.Second)
+	if _, err := client.Query("win.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatalf("query one second inside the stale window failed: %v", err)
+	}
+	if srv.Stats().StaleServed != 1 {
+		t.Fatalf("stale not served inside the window: %+v", srv.Stats())
+	}
+
+	// Exactly at TTL + StaleWindow: evicted; nothing to serve, upstream
+	// dead → the whole exchange fails.
+	clock.Advance(time.Second)
+	if _, err := client.Query("win.test", dnswire.TypeHTTPS, false); err == nil {
+		t.Error("query at the exact stale-window edge succeeded; entry should be gone")
+	}
+	if st := srv.Stats(); st.StaleServed != 1 {
+		t.Errorf("stale served past the window: %+v", st)
+	}
+	if cs := srv.Cache.Stats(); cs.Entries != 0 || cs.Expirations != 1 {
+		t.Errorf("entry not evicted at window edge: %+v", cs)
+	}
+}
+
+// TestStaleDuringCooldownVsHardFailure distinguishes the two serve-stale
+// triggers: a hard handler failure arms the cooldown (and serves stale),
+// and during the cooldown stale is served *without* re-trying the
+// handler; past the cooldown the handler is probed again.
+func TestStaleDuringCooldownVsHardFailure(t *testing.T) {
+	const cooldown = 60 * time.Second
+	client, srv, recursor, clock := newStaleFleet(t, CacheConfig{StaleWindow: time.Hour}, cooldown)
+	if _, err := client.Query("cd.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expire the entry, kill the recursor: hard failure → stale + cooldown.
+	clock.Advance(301 * time.Second)
+	recursor.fail = true
+	if _, err := client.Query("cd.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 2 {
+		t.Fatalf("hard failure path did not try the handler: %d queries", recursor.queries)
+	}
+	if st := srv.Stats(); st.StaleServed != 1 || st.UpstreamFailures != 1 {
+		t.Fatalf("after hard failure: %+v", st)
+	}
+
+	// Within the cooldown: stale served with NO handler attempt.
+	clock.Advance(10 * time.Second)
+	if _, err := client.Query("cd.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 2 {
+		t.Errorf("benched handler was re-tried during cooldown (%d queries)", recursor.queries)
+	}
+	if st := srv.Stats(); st.StaleServed != 2 || st.UpstreamFailures != 1 {
+		t.Errorf("during cooldown: %+v", st)
+	}
+
+	// Past the cooldown, recursor still dead: probed again, stale again.
+	clock.Advance(cooldown)
+	if _, err := client.Query("cd.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 3 {
+		t.Errorf("handler not re-probed after cooldown (%d queries)", recursor.queries)
+	}
+
+	// Recursor back: fresh answer, cooldown cleared, full TTL again.
+	recursor.fail = false
+	clock.Advance(cooldown)
+	resp, err := client.Query("cd.test", dnswire.TypeHTTPS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer[0].TTL != 300 {
+		t.Errorf("recovered answer TTL = %d, want fresh 300", resp.Answer[0].TTL)
+	}
+}
+
+// TestServFailServesStaleWhenAvailable: a SERVFAIL from a struggling
+// recursor is replaced by a stale answer (RFC 8767 prefers stale data
+// over errors), and the member is not benched (healthy transport).
+func TestServFailServesStaleWhenAvailable(t *testing.T) {
+	client, srv, recursor, clock := newStaleFleet(t, CacheConfig{StaleWindow: time.Hour}, 0)
+	if _, err := client.Query("sf.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(301 * time.Second)
+	recursor.servfail = true
+	resp, err := client.Query("sf.test", dnswire.TypeHTTPS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answer) == 0 {
+		t.Fatalf("SERVFAIL leaked despite stale data: rcode=%v answers=%d", resp.RCode, len(resp.Answer))
+	}
+	if srv.Stats().StaleServed != 1 {
+		t.Errorf("stale not served over SERVFAIL: %+v", srv.Stats())
+	}
+	for _, st := range client.Pool.Stats() {
+		if st.Down {
+			t.Errorf("member %s benched for SERVFAIL", st.Name)
+		}
+	}
+}
+
+// TestNegativeCacheHonoursSOAMinimum: NXDOMAIN answers are cached for
+// min(SOA TTL, SOA minimum) per RFC 2308, absorb repeat misses, and
+// expire on the virtual clock.
+func TestNegativeCacheHonoursSOAMinimum(t *testing.T) {
+	client, srv, recursor, clock := newStaleFleet(t, CacheConfig{}, 0)
+	recursor.negative = true
+	recursor.soaTTL, recursor.soaMinimum = 900, 120 // minimum wins
+
+	resp, err := client.Query("nx.test", dnswire.TypeHTTPS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("rcode = %v, want NXDOMAIN", resp.RCode)
+	}
+	// Repeat misses inside the negative TTL never reach the recursor.
+	for i := 0; i < 3; i++ {
+		clock.Advance(30 * time.Second)
+		if _, err := client.Query("nx.test", dnswire.TypeHTTPS, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recursor.queries != 1 {
+		t.Errorf("negative cache leaked %d queries to the recursor, want 1", recursor.queries)
+	}
+	if st := srv.Stats(); st.NegativeHits != 3 {
+		t.Errorf("negative hits = %d, want 3", st.NegativeHits)
+	}
+	if cs := srv.Cache.Stats(); cs.NegativeEntries != 1 || cs.NegativeHits != 3 {
+		t.Errorf("cache negative stats: %+v", cs)
+	}
+	// Past min(TTL, minimum)=120s (30+30+30 already elapsed, add 31):
+	// the recursor is consulted again.
+	clock.Advance(31 * time.Second)
+	if _, err := client.Query("nx.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 2 {
+		t.Errorf("expired negative entry not refreshed: %d recursor queries, want 2", recursor.queries)
+	}
+}
+
+// TestNegativeTTLCappedByMaxNegativeTTL: an absurd SOA minimum cannot pin
+// a negative answer beyond MaxNegativeTTL (RFC 2308 §5).
+func TestNegativeTTLCappedByMaxNegativeTTL(t *testing.T) {
+	const cap = 2 * time.Minute
+	client, _, recursor, clock := newStaleFleet(t, CacheConfig{MaxNegativeTTL: cap}, 0)
+	recursor.negative = true
+	recursor.soaTTL, recursor.soaMinimum = 604800, 604800 // a week
+
+	if _, err := client.Query("bignx.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(cap - time.Second)
+	if _, err := client.Query("bignx.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 1 {
+		t.Fatalf("negative entry expired before the cap: %d queries", recursor.queries)
+	}
+	clock.Advance(2 * time.Second)
+	if _, err := client.Query("bignx.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 2 {
+		t.Errorf("week-long SOA minimum not capped at %v: %d recursor queries, want 2", cap, recursor.queries)
+	}
+}
+
+// TestRefreshAheadPrefetch: a hit past the refresh-ahead threshold is
+// served from cache but renews the entry upstream on the same exchange,
+// so the entry never goes stale under steady traffic.
+func TestRefreshAheadPrefetch(t *testing.T) {
+	client, srv, recursor, clock := newStaleFleet(t,
+		CacheConfig{StaleWindow: time.Hour, RefreshAhead: 0.8}, 0)
+	if _, err := client.Query("pf.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the threshold (0.8×300 = 240 s): no prefetch.
+	clock.Advance(200 * time.Second)
+	if _, err := client.Query("pf.test", dnswire.TypeHTTPS, false); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 1 {
+		t.Fatalf("prefetch fired before the threshold: %d queries", recursor.queries)
+	}
+
+	// Past the threshold: served from cache AND refreshed upstream.
+	clock.Advance(50 * time.Second) // 250 s elapsed
+	resp, err := client.Query("pf.test", dnswire.TypeHTTPS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer[0].TTL != 50 {
+		t.Errorf("prefetch-armed hit TTL = %d, want aged 50 (still the old entry)", resp.Answer[0].TTL)
+	}
+	if recursor.queries != 2 {
+		t.Fatalf("prefetch did not refresh upstream: %d queries", recursor.queries)
+	}
+	if st := srv.Stats(); st.Prefetches != 1 || st.CacheHits != 2 {
+		t.Errorf("after prefetch: %+v", st)
+	}
+
+	// The renewed entry carries a full TTL from the prefetch moment:
+	// 299 s later it is still fresh and served from cache.
+	clock.Advance(299 * time.Second)
+	resp, err = client.Query("pf.test", dnswire.TypeHTTPS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer[0].TTL != 1 {
+		t.Errorf("renewed entry TTL = %d, want 1", resp.Answer[0].TTL)
+	}
+	// That hit is itself past the threshold again → second prefetch.
+	if srv.Stats().Prefetches != 2 {
+		t.Errorf("steady traffic did not keep prefetching: %+v", srv.Stats())
+	}
+	if recursor.queries != 3 {
+		t.Errorf("recursor saw %d queries, want 3 (initial + 2 prefetches)", recursor.queries)
 	}
 }
 

@@ -129,6 +129,21 @@ func (p *Pool) Len() int {
 // Strategy returns the pool's selection strategy.
 func (p *Pool) Strategy() Strategy { return p.strategy }
 
+// Healthy returns how many members are currently un-benched — the fleet
+// capacity a chaos run watches recover after flaps.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock.Now()
+	n := 0
+	for _, u := range p.ups {
+		if !u.downUntil.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
 // Candidates returns the failover order for a query: the strategy's pick
 // first, the remaining healthy members next, and benched members last so
 // a fully-down fleet still gets retried rather than erroring instantly.

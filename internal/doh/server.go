@@ -2,7 +2,9 @@ package doh
 
 import (
 	"net/netip"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dnswire"
 	"repro/internal/simnet"
@@ -13,6 +15,16 @@ import (
 // forwards misses to the wrapped DNS handler — normally a caching
 // recursive resolver, mirroring how public DoH endpoints sit in front of
 // the same recursive fleet the paper queried over UDP.
+//
+// With a lifecycle-configured Cache the frontend implements the RFC 8767
+// serve-stale flow: a fresh hit is served directly (arming a refresh-ahead
+// prefetch when the entry nears expiry); on a miss or stale probe the
+// handler is consulted, and if it hard-fails (nil) or SERVFAILs while a
+// stale body is available, the stale answer is served instead of an error.
+// A hard handler failure also arms FailureCooldown, during which stale
+// answers are served without re-trying the handler at all — the fleet
+// stops hammering a dead recursor, exactly the behavior behind the
+// paper's §4.3.5/§4.4.2 staleness windows.
 type Server struct {
 	// Name labels the frontend in stats output.
 	Name string
@@ -22,21 +34,53 @@ type Server struct {
 	// Cache value across Servers to model an anycast fleet. Expiry runs
 	// on the Cache's own virtual clock.
 	Cache *Cache
+	// FailureCooldown benches the handler after a hard failure (nil
+	// response): while it runs, stale-capable queries are answered from
+	// the cache without consulting the handler. Queries with nothing
+	// stale to serve still try the handler (there is no better option),
+	// and a success clears the cooldown early. Zero disables benching.
+	// Requires Cache (the cooldown runs on its virtual clock).
+	FailureCooldown time.Duration
 
-	served    atomic.Uint64
-	cacheHits atomic.Uint64
+	mu            sync.Mutex
+	cooldownUntil time.Time
+
+	served       atomic.Uint64
+	cacheHits    atomic.Uint64
+	staleServed  atomic.Uint64
+	negativeHits atomic.Uint64
+	prefetches   atomic.Uint64
+	upstreamFail atomic.Uint64
 }
 
-// ServerStats reports one frontend's traffic counters.
+// ServerStats reports one frontend's traffic and cache-lifecycle counters.
 type ServerStats struct {
 	Name      string
 	Served    uint64
 	CacheHits uint64
+	// StaleServed counts RFC 8767 stale answers served because the
+	// handler failed or was in cooldown.
+	StaleServed uint64
+	// NegativeHits counts fresh cache hits on RFC 2308 negative entries.
+	NegativeHits uint64
+	// Prefetches counts refresh-ahead upstream refreshes performed.
+	Prefetches uint64
+	// UpstreamFailures counts hard handler failures and SERVFAILs that
+	// triggered (or would have triggered) stale serving.
+	UpstreamFailures uint64
 }
 
 // Stats returns the frontend's counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{Name: s.Name, Served: s.served.Load(), CacheHits: s.cacheHits.Load()}
+	return ServerStats{
+		Name:             s.Name,
+		Served:           s.served.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		StaleServed:      s.staleServed.Load(),
+		NegativeHits:     s.negativeHits.Load(),
+		Prefetches:       s.prefetches.Load(),
+		UpstreamFailures: s.upstreamFail.Load(),
+	}
 }
 
 // Register attaches the frontend to the network at ap.
@@ -44,8 +88,40 @@ func (s *Server) Register(n *simnet.Network, ap netip.AddrPort) {
 	n.RegisterService(ap, s)
 }
 
-// ExchangeDoH implements Exchanger: decode the envelope, serve from cache
-// or the wrapped handler, and re-encode.
+// inCooldown reports whether the handler is benched after a hard failure.
+func (s *Server) inCooldown() bool {
+	if s.FailureCooldown <= 0 || s.Cache == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cooldownUntil.After(s.Cache.clock.Now())
+}
+
+// noteHandlerFailure arms the failure cooldown.
+func (s *Server) noteHandlerFailure() {
+	s.upstreamFail.Add(1)
+	if s.FailureCooldown <= 0 || s.Cache == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cooldownUntil = s.Cache.clock.Now().Add(s.FailureCooldown)
+	s.mu.Unlock()
+}
+
+// noteHandlerSuccess clears any cooldown: a demonstrably-answering
+// handler is healthy.
+func (s *Server) noteHandlerSuccess() {
+	if s.FailureCooldown <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.cooldownUntil = time.Time{}
+	s.mu.Unlock()
+}
+
+// ExchangeDoH implements Exchanger: decode the envelope, walk the cache
+// lifecycle (fresh → prefetch → stale → upstream), and re-encode.
 func (s *Server) ExchangeDoH(req *Request) *Response {
 	q, status, err := DecodeRequest(req)
 	if err != nil {
@@ -62,27 +138,103 @@ func (s *Server) ExchangeDoH(req *Request) *Response {
 	dnssecOK := q.DNSSECOK()
 	key := CacheKey(question, dnssecOK)
 
+	stale := false
 	if s.Cache != nil {
 		// Wire fast path: a hit is one copy + ID/TTL patches, no encode.
-		if body, maxAge, ok := s.Cache.GetWire(key, q.ID); ok {
+		probe := s.Cache.Probe(key, q.ID)
+		switch probe.State {
+		case StateFresh:
 			s.cacheHits.Add(1)
+			if probe.Negative {
+				s.negativeHits.Add(1)
+			}
+			// A benched handler is not probed even for prefetch — the
+			// refresh opportunity for this entry generation is forfeited
+			// and serve-stale covers the eventual expiry instead.
+			if probe.NeedsRefresh && !s.inCooldown() {
+				s.prefetch(key, q)
+			}
 			return &Response{
 				Status:      StatusOK,
 				ContentType: dnswire.MediaTypeDNSMessage,
-				Body:        body,
-				MaxAge:      maxAge,
+				Body:        probe.Body,
+				MaxAge:      probe.MaxAge,
+			}
+		case StateStale:
+			stale = true
+			if s.inCooldown() {
+				// The handler is benched; ride the stale answer out
+				// rather than hammering a dead recursor.
+				if resp := s.serveStale(key, q.ID); resp != nil {
+					return resp
+				}
 			}
 		}
 	}
 
 	resp := s.Handler.HandleDNS(q)
 	if resp == nil {
+		s.noteHandlerFailure()
+		if stale {
+			if out := s.serveStale(key, q.ID); out != nil {
+				return out
+			}
+		}
 		return &Response{Status: StatusServFailUpstream}
 	}
+	if resp.RCode == dnswire.RCodeServFail {
+		// A struggling recursor over a healthy transport: RFC 8767
+		// prefers a stale answer over a fresh SERVFAIL. Either way a
+		// SERVFAIL is not evidence of health, so any armed cooldown
+		// stays armed (it neither clears nor extends).
+		if stale {
+			if out := s.serveStale(key, q.ID); out != nil {
+				s.upstreamFail.Add(1)
+				return out
+			}
+		}
+		return encodeResponse(resp)
+	}
+	s.noteHandlerSuccess()
 	if s.Cache != nil {
 		s.Cache.Put(key, resp)
 	}
 	return encodeResponse(resp)
+}
+
+// serveStale materializes and emits the stale body, marked so stubs can
+// count it; nil when the entry vanished since the probe (LRU pressure).
+func (s *Server) serveStale(key string, id uint16) *Response {
+	body, maxAge, ok := s.Cache.StaleWire(key, id)
+	if !ok {
+		return nil
+	}
+	s.staleServed.Add(1)
+	return &Response{
+		Status:      StatusOK,
+		ContentType: dnswire.MediaTypeDNSMessage,
+		Body:        body,
+		MaxAge:      maxAge,
+		Stale:       true,
+	}
+}
+
+// prefetch refreshes an entry nearing expiry: the hit that armed it was
+// already served from cache, so the refresh rides the same exchange
+// (synchronous on the virtual clock — deterministic, no goroutine races)
+// and renews the entry before it ever goes stale.
+func (s *Server) prefetch(key string, q *dnswire.Message) {
+	resp := s.Handler.HandleDNS(q)
+	if resp == nil {
+		s.noteHandlerFailure()
+		return
+	}
+	if resp.RCode == dnswire.RCodeServFail {
+		return
+	}
+	s.noteHandlerSuccess()
+	s.prefetches.Add(1)
+	s.Cache.Put(key, resp)
 }
 
 // encodeResponse packs a DNS message into a 200 envelope with max-age

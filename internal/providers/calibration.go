@@ -1,15 +1,3 @@
-// Package providers builds and serves the simulated server-side HTTPS-RR
-// ecosystem: DNS provider behaviour models (Cloudflare's proxied default
-// configuration, GoDaddy's AliasMode records, Google's empty-SvcParams
-// ServiceMode, and a long tail of others), the per-domain configuration
-// schedules (adoption, intermittency, provider switches, IP-hint drift,
-// DNSSEC, ECH), and lightweight synthesized authoritative servers that
-// answer the scanner's queries over the simnet.
-//
-// Every rate below is calibrated to a number reported in the paper
-// (section references inline); absolute counts from the paper's 1M-domain
-// population are scaled by Size/1M with a floor of 1 so the qualitative
-// populations survive at small simulation scales.
 package providers
 
 import "time"

@@ -14,7 +14,7 @@ test:
 # campaign scheduler, the substrate it fans out over, and the serving
 # layer's shared cache/pool/cooldown state).
 race:
-	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/doh
+	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport
 
 # Tier-1 verify as the roadmap defines it.
 verify: build test
@@ -48,4 +48,4 @@ bench-smoke:
 # Fast benchmark subset: substrate + serving-layer hot paths (skips the
 # campaign-backed table/figure benchmarks, which rebuild a world).
 bench-micro:
-	$(GO) test -run xxx -bench 'BenchmarkDoH|BenchmarkDNSWire|BenchmarkResolveHTTPS|BenchmarkECHSealOpen|BenchmarkRRSIGSignVerify' -benchtime 100x .
+	$(GO) test -run xxx -bench 'BenchmarkDoH|BenchmarkTransport|BenchmarkDNSWire|BenchmarkResolveHTTPS|BenchmarkECHSealOpen|BenchmarkRRSIGSignVerify' -benchtime 100x .

@@ -26,6 +26,7 @@ import (
 	"repro/internal/providers"
 	"repro/internal/scanner"
 	"repro/internal/svcb"
+	"repro/internal/transport"
 )
 
 var (
@@ -466,35 +467,43 @@ func BenchmarkWorldBuild(b *testing.B) {
 
 // --- encrypted-DNS serving layer ---
 
-// dohBench builds a small world fronted by a DoH fleet. withCache selects
-// whether the frontends share the sharded answer cache.
-func dohBench(b *testing.B, withCache bool) (*doh.Client, []string, *providers.World) {
+// transportBench builds a small world fronted by an encrypted-DNS fleet
+// of three frontends speaking the given protocols (cycled). withCache
+// selects whether the frontends share the sharded answer cache.
+func transportBench(b *testing.B, withCache bool, protos ...transport.Protocol) (*transport.Client, []string, *providers.World) {
 	b.Helper()
 	w, err := providers.BuildWorld(providers.WorldConfig{Size: 500, Seed: 11})
 	if err != nil {
 		b.Fatal(err)
 	}
 	w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
-	var cache *doh.Cache
-	if withCache {
-		cache = doh.NewCache(w.Clock, 0, 0)
+	cacheCfg := transport.CacheConfig{}
+	if !withCache {
+		// A one-entry geometry with zero shards is still a cache; disable
+		// by omitting the cache from the frontends instead.
+		cacheCfg = transport.CacheConfig{Shards: 1, ShardCapacity: 1}
 	}
-	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 11)
+	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
+		Strategy: transport.StrategyRoundRobin, Seed: 11, Cache: cacheCfg,
+	})
+	if len(protos) == 0 {
+		protos = []transport.Protocol{transport.ProtoDoH}
+	}
 	for i := 0; i < 3; i++ {
-		srv := &doh.Server{
-			Name: "fe", Handler: w.GoogleResolver, Cache: cache,
+		p := protos[i%len(protos)]
+		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), p.Port())
+		fe := fl.Add(p, "fe", w.GoogleResolver, ap)
+		if !withCache {
+			fe.Cache = nil
 		}
-		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
-		srv.Register(w.Net, ap)
-		pool.Add(srv.Name, ap)
 	}
-	return doh.NewClient(w.Net, pool), w.Tranco.ListFor(w.Clock.Now()), w
+	return fl.Client, w.Tranco.ListFor(w.Clock.Now()), w
 }
 
 // BenchmarkDoHCachedPath measures the fleet's hot path: every query after
 // the warm-up is answered from the shared sharded cache.
 func BenchmarkDoHCachedPath(b *testing.B) {
-	client, list, _ := dohBench(b, true)
+	client, list, _ := transportBench(b, true)
 	for _, name := range list {
 		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
 			b.Fatal(err)
@@ -508,10 +517,34 @@ func BenchmarkDoHCachedPath(b *testing.B) {
 	}
 }
 
+// BenchmarkTransportPath measures the cached hot path per envelope: the
+// same fleet shape and warm shared cache, exchanged over each protocol —
+// the per-protocol performance comparison the transport subsystem was
+// built to enable. DoH pays envelope base64/pack, DoT frame assembly and
+// ID demux on a persistent connection, DoQ a fresh stream per query.
+func BenchmarkTransportPath(b *testing.B) {
+	for _, proto := range []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ} {
+		b.Run(proto.String(), func(b *testing.B) {
+			client, list, _ := transportBench(b, true, proto)
+			for _, name := range list {
+				if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Query(list[i%len(list)], dnswire.TypeHTTPS, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDoHUncachedPath measures the same exchanges with the answer
 // cache disabled: every query pays envelope decode + recursor traversal.
 func BenchmarkDoHUncachedPath(b *testing.B) {
-	client, list, _ := dohBench(b, false)
+	client, list, _ := transportBench(b, false)
 	for _, name := range list {
 		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
 			b.Fatal(err)
@@ -540,17 +573,15 @@ func BenchmarkDoHStalePath(b *testing.B) {
 		b.Fatal(err)
 	}
 	w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
-	cache := doh.NewCacheWith(w.Clock, doh.CacheConfig{StaleWindow: 24 * time.Hour})
-	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 11)
-	var servers []*doh.Server
+	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
+		Strategy: transport.StrategyRoundRobin, Seed: 11,
+		Cache: transport.CacheConfig{StaleWindow: 24 * time.Hour},
+	})
 	for i := 0; i < 3; i++ {
-		srv := &doh.Server{Name: "fe", Handler: w.GoogleResolver, Cache: cache}
 		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
-		srv.Register(w.Net, ap)
-		pool.Add(srv.Name, ap)
-		servers = append(servers, srv)
+		fl.Add(transport.ProtoDoH, "fe", w.GoogleResolver, ap)
 	}
-	client := doh.NewClient(w.Net, pool)
+	client := fl.Client
 	list := w.Tranco.ListFor(w.Clock.Now())
 	for _, name := range list {
 		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
@@ -559,8 +590,8 @@ func BenchmarkDoHStalePath(b *testing.B) {
 	}
 	// Expire everything, kill the recursor: all answers are now stale.
 	w.Clock.Advance(301 * time.Second)
-	for _, srv := range servers {
-		srv.Handler = deadHandler{}
+	for _, fe := range fl.Frontends {
+		fe.Handler = deadHandler{}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -579,13 +610,13 @@ func BenchmarkDoHNegativePath(b *testing.B) {
 		b.Fatal(err)
 	}
 	w.Clock.Set(clock)
-	cache := doh.NewCacheWith(w.Clock, doh.CacheConfig{})
-	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 11)
-	srv := &doh.Server{Name: "fe", Handler: w.GoogleResolver, Cache: cache}
+	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
+		Strategy: transport.StrategyRoundRobin, Seed: 11,
+	})
+	cache := fl.Cache
 	ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
-	srv.Register(w.Net, ap)
-	pool.Add(srv.Name, ap)
-	client := doh.NewClient(w.Net, pool)
+	fl.Add(transport.ProtoDoH, "fe", w.GoogleResolver, ap)
+	client := fl.Client
 	// Names under a real TLD that resolve to NXDOMAIN with an SOA.
 	names := make([]string, 64)
 	for i := range names {

@@ -7,7 +7,15 @@
 // Usage:
 //
 //	benchcampaign [-size N] [-days D] [-dayworkers W] [-seed S]
+//	              [-frontends N] [-mix doh|dot|doq|mixed|doh=..,dot=..]
 //	              [-out FILE] [-smoke] [-baseline FILE] [-maxregress PCT]
+//
+// -frontends runs the campaign through an encrypted-DNS serving fleet of
+// that many frontends, with -mix selecting the protocol split — the
+// per-protocol dimension of the campaign benchmark. Reports are tagged
+// with the frontend count and mix, and the -baseline gate only compares
+// runs with identical tags, so an all-DoH baseline is never held to a
+// mixed-fleet number (or vice versa).
 //
 // -smoke shrinks the campaign to a CI-friendly single-iteration size.
 //
@@ -28,23 +36,28 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/transport"
 )
 
 // report is the BENCH_campaign.json layout.
 type report struct {
-	GeneratedAt string  `json:"generated_at"`
-	GoVersion   string  `json:"go_version"`
-	NumCPU      int     `json:"num_cpu"`
-	GoMaxProcs  int     `json:"go_max_procs"`
-	Size        int     `json:"size"`
-	Seed        int64   `json:"seed"`
-	Days        int     `json:"days"`
-	DayWorkers  int     `json:"day_workers"`
-	SerialMS    float64 `json:"serial_ms"`
-	PipelinedMS float64 `json:"pipelined_ms"`
-	Speedup     float64 `json:"speedup"`
-	Queries     uint64  `json:"dns_queries_per_run"`
-	StoresEqual bool    `json:"stores_equal"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	Size        int    `json:"size"`
+	Seed        int64  `json:"seed"`
+	Days        int    `json:"days"`
+	DayWorkers  int    `json:"day_workers"`
+	// Frontends and TransportMix tag the serving-layer shape of the run
+	// (0 / "" when the campaign queried the recursors directly).
+	Frontends    int     `json:"frontends,omitempty"`
+	TransportMix string  `json:"transport_mix,omitempty"`
+	SerialMS     float64 `json:"serial_ms"`
+	PipelinedMS  float64 `json:"pipelined_ms"`
+	Speedup      float64 `json:"speedup"`
+	Queries      uint64  `json:"dns_queries_per_run"`
+	StoresEqual  bool    `json:"stores_equal"`
 	// Note flags reports whose speedup is not meaningful (single-core
 	// hosts: the workload is CPU-bound simulation, so pipelining cannot
 	// beat serial there).
@@ -56,12 +69,19 @@ func main() {
 	days := flag.Int("days", 21, "campaign length in days (daily step)")
 	workers := flag.Int("dayworkers", 8, "day workers for the pipelined run")
 	seed := flag.Int64("seed", 7, "generation seed")
+	frontends := flag.Int("frontends", 0, "encrypted-DNS frontends to route the campaign through (0: direct stub queries)")
+	mixFlag := flag.String("mix", "doh", "frontend protocol mix (with -frontends): doh, dot, doq, mixed, or weights")
 	out := flag.String("out", "BENCH_campaign.json", "report path ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny campaign, no timing claims")
 	baseline := flag.String("baseline", "", "committed report to gate the speedup against (empty disables)")
 	maxRegress := flag.Float64("maxregress", 20, "fail when speedup regressed more than this percent vs -baseline")
 	flag.Parse()
 
+	mix, err := transport.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if *smoke {
 		*size, *days = 150, 5
 	}
@@ -73,7 +93,8 @@ func main() {
 	run := func(dayWorkers int) (time.Duration, uint64, []byte) {
 		c, err := core.NewCampaign(core.CampaignConfig{
 			Size: *size, Seed: *seed, Start: start, End: end, StepDays: 1,
-			DayWorkers: dayWorkers,
+			DayWorkers:   dayWorkers,
+			DoHFrontends: *frontends, TransportMix: mix,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -93,8 +114,12 @@ func main() {
 		return elapsed, c.World.Net.QueryCount(), buf.Bytes()
 	}
 
-	fmt.Fprintf(os.Stderr, "benchcampaign: size=%d days=%d (serial vs %d day workers)\n",
-		*size, *days, *workers)
+	fleetTag := ""
+	if *frontends > 0 {
+		fleetTag = fmt.Sprintf(", %d frontends mix=%s", *frontends, mix)
+	}
+	fmt.Fprintf(os.Stderr, "benchcampaign: size=%d days=%d (serial vs %d day workers)%s\n",
+		*size, *days, *workers, fleetTag)
 	serialDur, serialQ, serialStore := run(1)
 	fmt.Fprintf(os.Stderr, "  serial:    %v (%d DNS queries)\n", serialDur.Round(time.Millisecond), serialQ)
 	pipeDur, _, pipeStore := run(*workers)
@@ -109,11 +134,18 @@ func main() {
 		Seed:        *seed,
 		Days:        *days,
 		DayWorkers:  *workers,
+		Frontends:   *frontends,
 		SerialMS:    float64(serialDur.Microseconds()) / 1000,
 		PipelinedMS: float64(pipeDur.Microseconds()) / 1000,
 		Speedup:     float64(serialDur) / float64(pipeDur),
 		Queries:     serialQ,
 		StoresEqual: bytes.Equal(serialStore, pipeStore),
+	}
+	if *frontends > 0 {
+		// The mix only shapes the run when a fleet is in the loop; tag
+		// direct-query runs with the empty string so their baselines stay
+		// comparable regardless of the -mix flag's default.
+		r.TransportMix = mix.String()
 	}
 	if r.GoMaxProcs <= 1 {
 		r.Note = "single-core host: speedup is meaningful only with go_max_procs > 1; stores_equal is the signal here"
@@ -143,8 +175,10 @@ func main() {
 // reports whether the gate passed. A missing/unreadable baseline only
 // warns, as does any configuration mismatch — a different GOMAXPROCS
 // (speedups are host-shape-bound) or a different campaign shape
-// (size/days/workers/seed — a 5-day smoke pipeline is structurally
-// slower than the 21-day baseline and must not be held to its number).
+// (size/days/workers/seed, and the serving-layer shape: frontend count
+// and protocol mix — a 5-day smoke pipeline is structurally slower than
+// the 21-day baseline, and a DoT-heavy fleet pays different envelope
+// costs than an all-DoH one, so neither is held to the other's number).
 func gateSpeedup(path string, r *report, maxRegress float64) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -159,11 +193,14 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 	regress := (base.Speedup - r.Speedup) / base.Speedup * 100
 	if base.GoMaxProcs != r.GoMaxProcs ||
 		base.Size != r.Size || base.Days != r.Days ||
-		base.DayWorkers != r.DayWorkers || base.Seed != r.Seed {
+		base.DayWorkers != r.DayWorkers || base.Seed != r.Seed ||
+		base.Frontends != r.Frontends || base.TransportMix != r.TransportMix {
 		fmt.Fprintf(os.Stderr,
-			"  gate: baseline (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d) vs this run (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d) — speedups not comparable (baseline %.2fx, now %.2fx), warning only\n",
+			"  gate: baseline (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d frontends=%d mix=%q) vs this run (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d frontends=%d mix=%q) — speedups not comparable (baseline %.2fx, now %.2fx), warning only\n",
 			base.GoMaxProcs, base.Size, base.Days, base.DayWorkers, base.Seed,
-			r.GoMaxProcs, r.Size, r.Days, r.DayWorkers, r.Seed, base.Speedup, r.Speedup)
+			base.Frontends, base.TransportMix,
+			r.GoMaxProcs, r.Size, r.Days, r.DayWorkers, r.Seed,
+			r.Frontends, r.TransportMix, base.Speedup, r.Speedup)
 		return true
 	}
 	if r.GoMaxProcs <= 1 {

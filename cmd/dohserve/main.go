@@ -1,17 +1,24 @@
 // Command dohserve stands up an encrypted-DNS serving fleet over a
-// simulated world and drives a concurrent query load through it: N DoH
-// frontends wrapping the public recursors, a shared sharded answer cache,
-// and a load-balanced upstream pool with failover. It reports per-frontend
+// simulated world and drives a concurrent query load through it: N
+// frontends — any mix of DoH, DoT, and DoQ envelopes — wrapping the
+// public recursors, a shared sharded answer cache, and a load-balanced
+// upstream pool with failover. It reports per-frontend and per-protocol
 // traffic, pool health, cache efficiency, and end-to-end throughput —
 // the fleet-scale workload view of the serving layer.
 //
 // Usage:
 //
-//	dohserve [-size N] [-seed S] [-frontends N] [-strategy p2|ewma|roundrobin|hash]
+//	dohserve [-size N] [-seed S] [-frontends N] [-proto doh|dot|doq|mixed]
+//	         [-strategy p2|ewma|roundrobin|hash]
 //	         [-queries N] [-workers N] [-shards N] [-shardcap N] [-hot N]
 //	         [-kill N] [-post]
 //	         [-stalewindow D] [-refreshahead F] [-cooldown D]
 //	         [-chaos] [-epochs N] [-epochlen D] [-flap P]
+//
+// -proto selects the fleet's envelope mix: a single protocol, the
+// shorthand "mixed" (2:1:1 DoH:DoT:DoQ), or explicit weights like
+// doh=60,dot=30,doq=10. All protocols share the same cache, pool, and
+// recursors, so the report compares them on equal footing.
 //
 // -kill marks that many frontend addresses unreachable halfway through
 // the load, exercising failover under fire.
@@ -21,9 +28,11 @@
 // down at random on the virtual clock. Each epoch advances virtual time,
 // re-rolls every recursor's availability with probability -flap, and
 // drives a slice of the query load; the report shows stale answers served
-// during outages, SERVFAILs that leaked despite the stale window, and
-// per-recursor recovery times (virtual time from a recursor coming back
-// to its first successful exchange). The run is deterministic for a seed:
+// during outages, SERVFAILs that leaked despite the stale window, the
+// per-protocol exposure (stale serves and upstream failures per envelope
+// — run with -proto mixed to compare), and per-recursor recovery times
+// (virtual time from a recursor coming back to its first successful
+// exchange). The run is deterministic for a seed:
 // one driver goroutine, all flap draws from -seed, all time virtual.
 package main
 
@@ -38,19 +47,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnswire"
-	"repro/internal/doh"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 func main() {
 	size := flag.Int("size", 3000, "Tranco list size of the generated world")
 	seed := flag.Int64("seed", 1, "generation seed (also drives chaos flaps)")
 	frontends := flag.Int("frontends", 4, "number of DoH frontends")
+	protoMix := flag.String("proto", "doh", "protocol mix: doh, dot, doq, mixed, or weights like doh=60,dot=30,doq=10")
 	strategyName := flag.String("strategy", "p2", "load-balancing strategy (p2, ewma, roundrobin, hash)")
 	queries := flag.Int("queries", 2000, "total queries to drive")
 	workers := flag.Int("workers", 8, "concurrent stub workers (chaos mode always uses 1)")
-	shards := flag.Int("shards", doh.DefaultShards, "answer-cache shard count")
-	shardCap := flag.Int("shardcap", doh.DefaultShardCapacity, "answer-cache entries per shard")
+	shards := flag.Int("shards", transport.DefaultShards, "answer-cache shard count")
+	shardCap := flag.Int("shardcap", transport.DefaultShardCapacity, "answer-cache entries per shard")
 	hot := flag.Int("hot", 500, "working-set size (distinct names cycled through)")
 	kill := flag.Int("kill", 1, "frontends to mark unreachable halfway through (ignored with -chaos)")
 	post := flag.Bool("post", false, "use POST envelopes instead of GET")
@@ -63,7 +73,12 @@ func main() {
 	flap := flag.Float64("flap", 0.35, "per-epoch probability that a recursor is down")
 	flag.Parse()
 
-	strategy, err := doh.ParseStrategy(*strategyName)
+	strategy, err := transport.ParseStrategy(*strategyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mix, err := transport.ParseMix(*protoMix)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -84,7 +99,7 @@ func main() {
 	// the measurement runs use; here only the fleet is driven.
 	camp, err := core.NewCampaign(core.CampaignConfig{
 		Size: *size, Seed: *seed,
-		DoHFrontends: *frontends, DoHStrategy: strategy,
+		DoHFrontends: *frontends, DoHStrategy: strategy, TransportMix: mix,
 		DoHShards: *shards, DoHShardCap: *shardCap,
 		DoHStaleWindow: *staleWindow, DoHRefreshAhead: *refreshAhead,
 		DoHFailureCooldown: *cooldown,
@@ -93,7 +108,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	world, client := camp.World, camp.DoHClient
+	world, client := camp.World, camp.Fleet.Client
 	client.UsePOST = *post
 	day := time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC)
 	world.Clock.Set(day)
@@ -102,8 +117,8 @@ func main() {
 	if *hot > 0 && *hot < len(list) {
 		list = list[:*hot]
 	}
-	fmt.Printf("world: %d domains (working set %d); fleet: %d frontends, strategy %s, cache %d×%d\n",
-		*size, len(list), *frontends, strategy, *shards, *shardCap)
+	fmt.Printf("world: %d domains (working set %d); fleet: %d frontends (mix %s), strategy %s, cache %d×%d\n",
+		*size, len(list), *frontends, mix, strategy, *shards, *shardCap)
 
 	if *chaos {
 		runChaos(camp, list, *queries, *epochs, *epochLen, *flap, *seed)
@@ -132,7 +147,7 @@ func main() {
 	for i := 0; i < *queries; i++ {
 		if i == *queries/2 && *kill > 0 {
 			killOnce.Do(func() {
-				stats := camp.DoHPool.Stats()
+				stats := camp.Fleet.Pool.Stats()
 				for k := 0; k < *kill && k < len(stats); k++ {
 					world.Net.SetAddrDown(stats[k].Addr.Addr(), true)
 					fmt.Printf("halfway: frontend %s (%v) marked unreachable\n",
@@ -204,19 +219,20 @@ func (f *flakyUpstream) setDown(down bool) {
 // recursor up, then per epoch advance the virtual clock, re-roll each
 // recursor's availability, and drive a slice of the load.
 func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen time.Duration, flapP float64, seed int64) {
-	world, client := camp.World, camp.DoHClient
+	world, client := camp.World, camp.Fleet.Client
 	// One flaky wrapper per recursor org, shared by the frontends that
-	// org backs (buildDoHFleet alternates google/cloudflare by index).
+	// org backs (buildFleet alternates google/cloudflare by index).
 	ups := []*flakyUpstream{
 		{name: "google-recursor", inner: world.GoogleResolver, clock: world.Clock},
 		{name: "cloudflare-recursor", inner: world.CFResolver, clock: world.Clock},
 	}
-	for i, srv := range camp.DoHServers {
-		srv.Handler = ups[i%2]
+	for i, fe := range camp.Fleet.Frontends {
+		fe.Handler = ups[i%2]
 	}
 
 	fmt.Printf("chaos: %d epochs × %v, flap p=%.2f, stale window %v, cooldown %v\n",
-		epochs, epochLen, flapP, camp.DoHCache.Config().StaleWindow, camp.DoHServers[0].FailureCooldown)
+		epochs, epochLen, flapP, camp.Fleet.Cache.Config().StaleWindow,
+		camp.Fleet.Frontends[0].FailureCooldown)
 
 	// Warmup: populate the shared cache while everything is healthy.
 	for _, name := range list {
@@ -225,7 +241,9 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 			os.Exit(1)
 		}
 	}
+	// Baselines taken after warmup so every reported delta is drill-only.
 	warmStale := client.StaleAnswers()
+	protoBase := camp.Fleet.ProtocolStats()
 
 	rng := rand.New(rand.NewSource(seed))
 	perEpoch := queries / epochs
@@ -272,6 +290,17 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 	if servfails == 0 && errored == 0 {
 		fmt.Println("zero SERVFAILs / hard failures: every outage was covered by serve-stale")
 	}
+	// Per-protocol staleness exposure: with a mixed fleet, each envelope's
+	// share of the drill's stale serves and upstream failures — the
+	// transport-sensitive view of the same outages.
+	fmt.Println("\nper-protocol chaos exposure (drill deltas):")
+	for _, p := range protocolsOf(camp) {
+		now, base := camp.Fleet.ProtocolStats()[p], protoBase[p]
+		fmt.Printf("  %-5s served %6d  stale-served %5d  upstream-fail %4d\n",
+			p, now.Served-base.Served, now.StaleServed-base.StaleServed,
+			now.UpstreamFailures-base.UpstreamFailures)
+	}
+
 	fmt.Println("\nrecovery times (virtual time from recursor up-flap to first successful exchange):")
 	for _, u := range ups {
 		if len(u.recoveries) == 0 {
@@ -291,22 +320,43 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 	}
 }
 
-// report prints the per-frontend lifecycle counters, pool health, and
-// shared-cache statistics common to both modes.
+// protocolsOf lists the fleet's protocols in doh/dot/doq order, skipping
+// absent ones.
+func protocolsOf(camp *core.Campaign) []transport.Protocol {
+	present := camp.Fleet.ProtocolStats()
+	var out []transport.Protocol
+	for _, p := range []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ} {
+		if _, ok := present[p]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// report prints the per-frontend and per-protocol lifecycle counters,
+// pool health, and shared-cache statistics common to both modes.
 func report(camp *core.Campaign) {
 	fmt.Println("\nfrontends (cache lifecycle):")
-	for _, s := range camp.DoHServers {
-		st := s.Stats()
-		fmt.Printf("  %-20s served %6d  hits %6d  stale %5d  neg %4d  prefetch %4d  upstream-fail %4d\n",
+	for _, st := range camp.Fleet.Stats() {
+		fmt.Printf("  %-22s served %6d  hits %6d  stale %5d  neg %4d  prefetch %4d  upstream-fail %4d\n",
 			st.Name, st.Served, st.CacheHits, st.StaleServed, st.NegativeHits,
 			st.Prefetches, st.UpstreamFailures)
 	}
-	fmt.Printf("\npool (%d/%d members healthy):\n", camp.DoHPool.Healthy(), camp.DoHPool.Len())
-	for _, st := range camp.DoHPool.Stats() {
-		fmt.Printf("  %-20s queries %6d  failures %3d  down=%-5v rtt=%s\n",
+	if protos := protocolsOf(camp); len(protos) > 1 {
+		fmt.Println("\nper-protocol totals:")
+		for _, p := range protos {
+			st := camp.Fleet.ProtocolStats()[p]
+			fmt.Printf("  %-5s served %6d  hits %6d  stale %5d  neg %4d  prefetch %4d  upstream-fail %4d\n",
+				p, st.Served, st.CacheHits, st.StaleServed, st.NegativeHits,
+				st.Prefetches, st.UpstreamFailures)
+		}
+	}
+	fmt.Printf("\npool (%d/%d members healthy):\n", camp.Fleet.Pool.Healthy(), camp.Fleet.Pool.Len())
+	for _, st := range camp.Fleet.Pool.Stats() {
+		fmt.Printf("  %-22s queries %6d  failures %3d  down=%-5v rtt=%s\n",
 			st.Name, st.Queries, st.Failures, st.Down, st.RTT.Round(time.Microsecond))
 	}
-	cs := camp.DoHCache.Stats()
+	cs := camp.Fleet.Cache.Stats()
 	fmt.Printf("\nshared cache: %d entries (%d negative), %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
 		cs.Entries, cs.NegativeEntries, cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions)
 	fmt.Printf("lifecycle: %d stale serves, %d negative hits, %d prefetches armed\n",

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	reproduce [-size N] [-seed S] [-step D] [-dayworkers W]
+//	          [-frontends N] [-mix doh|dot|doq|mixed]
 //	          [-exp all|fig2|tab2|tab3|fig3|
 //	          intermittency|tab4|tab5|params|tab8|fig11|fig12|connectivity|
 //	          fig13|fig4|fig5|tab9|fig14|fig8|tab6|tab7|failover]
@@ -11,7 +12,10 @@
 // Larger -size values converge the percentages to the paper's (the
 // non-Cloudflare population floor dominates below ~90k domains); -step
 // trades trend resolution for runtime; -dayworkers pipelines that many
-// scan days concurrently (results are identical for any value).
+// scan days concurrently (results are identical for any value);
+// -frontends routes every scan through an encrypted-DNS serving fleet
+// with the -mix protocol split (results are again identical — the
+// serving layer is transparent to the measurements).
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/core"
 	"repro/internal/providers"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -34,6 +39,8 @@ func main() {
 	step := flag.Int("step", 7, "scan every Nth day")
 	dayWorkers := flag.Int("dayworkers", runtime.GOMAXPROCS(0),
 		"scan days resolved concurrently (1 = serial; results are identical)")
+	frontends := flag.Int("frontends", 0, "encrypted-DNS frontends to scan through (0: direct stub queries)")
+	mixFlag := flag.String("mix", "doh", "frontend protocol mix (with -frontends): doh, dot, doq, mixed, or weights")
 	exp := flag.String("exp", "all", "experiment selector (comma-separated ids or 'all')")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
@@ -53,21 +60,31 @@ func main() {
 		}
 	}
 
+	mix, err := transport.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if serverSide {
-		runServerSide(*size, *seed, *step, *dayWorkers, *quiet, sel)
+		runServerSide(*size, *seed, *step, *dayWorkers, *frontends, mix, *quiet, sel)
 	}
 	if sel("tab6") || sel("tab7") || sel("failover") {
 		runClientSide(sel)
 	}
 }
 
-func runServerSide(size int, seed int64, step, dayWorkers int, quiet bool, sel func(string) bool) {
-	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step, DayWorkers: dayWorkers}
+func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix transport.Mix, quiet bool, sel func(string) bool) {
+	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step, DayWorkers: dayWorkers,
+		DoHFrontends: frontends, TransportMix: mix}
 	if !quiet {
 		cfg.Progress = os.Stderr
 	}
-	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd dayworkers=%d\n",
-		size, seed, step, dayWorkers)
+	fleet := ""
+	if frontends > 0 {
+		fleet = fmt.Sprintf(" frontends=%d mix=%s", frontends, mix)
+	}
+	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd dayworkers=%d%s\n",
+		size, seed, step, dayWorkers, fleet)
 	c, err := core.NewCampaign(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -17,7 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnswire"
-	"repro/internal/doh"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -41,27 +41,26 @@ func main() {
 		}
 	}
 	fmt.Printf("fleet: %d DoH frontends, strategy %s, shared %d-shard cache\n",
-		len(camp.DoHServers), camp.DoHPool.Strategy(), doh.DefaultShards)
+		len(camp.Fleet.Frontends), camp.Fleet.Pool.Strategy(), transport.DefaultShards)
 	fmt.Printf("target domain: %s\n\n", target)
 
 	// 1. Warm the fleet with a spread of queries.
 	list := world.Tranco.ListFor(day)
 	for _, name := range list[:200] {
-		camp.DoHClient.Query(name, dnswire.TypeHTTPS, true)
+		camp.Fleet.Client.Query(name, dnswire.TypeHTTPS, true)
 	}
 	fmt.Println("after 200 HTTPS queries:")
-	for _, s := range camp.DoHServers {
-		st := s.Stats()
+	for _, st := range camp.Fleet.Stats() {
 		fmt.Printf("  %-18s served %3d  cache hits %3d\n", st.Name, st.Served, st.CacheHits)
 	}
-	cs := camp.DoHCache.Stats()
+	cs := camp.Fleet.Cache.Stats()
 	fmt.Printf("  shared cache: %d entries, hit rate %.0f%%\n\n", cs.Entries, 100*cs.HitRate())
 
 	// 2. Shared cache: the same name through different frontends reaches
 	// the recursor once.
 	before := world.Net.QueryCount()
 	for i := 0; i < 3; i++ {
-		if _, err := camp.DoHClient.Query(target, dnswire.TypeHTTPS, true); err != nil {
+		if _, err := camp.Fleet.Client.Query(target, dnswire.TypeHTTPS, true); err != nil {
 			panic(err)
 		}
 	}
@@ -70,20 +69,20 @@ func main() {
 
 	// 3. Failover: kill one frontend's address and resolve again with a
 	// cold cache so the answer must travel the full path.
-	downAddr := camp.DoHPool.Stats()[0].Addr
+	downAddr := camp.Fleet.Pool.Stats()[0].Addr
 	world.Net.SetAddrDown(downAddr.Addr(), true)
-	camp.DoHCache.Flush()
+	camp.Fleet.Cache.Flush()
 	fmt.Printf("frontend %s (%v) marked unreachable, cache flushed\n",
-		camp.DoHServers[0].Name, downAddr)
+		camp.Fleet.Frontends[0].Name, downAddr)
 
 	// Drive fresh traffic until the pool notices: the first query routed
 	// at the dead frontend records a failure and benches it.
 	for _, name := range list[200:260] {
-		if _, err := camp.DoHClient.Query(name, dnswire.TypeHTTPS, true); err != nil {
+		if _, err := camp.Fleet.Client.Query(name, dnswire.TypeHTTPS, true); err != nil {
 			panic(fmt.Sprintf("query for %s failed despite two healthy frontends: %v", name, err))
 		}
 	}
-	resp, err := camp.DoHClient.Query(target, dnswire.TypeHTTPS, true)
+	resp, err := camp.Fleet.Client.Query(target, dnswire.TypeHTTPS, true)
 	if err != nil {
 		panic(fmt.Sprintf("failover resolution failed: %v", err))
 	}
@@ -98,7 +97,7 @@ func main() {
 			rr.Name, data.Priority, alpn, hasECH, resp.AuthenticatedData)
 	}
 	fmt.Println("\npool state after failover:")
-	for _, st := range camp.DoHPool.Stats() {
+	for _, st := range camp.Fleet.Pool.Stats() {
 		fmt.Printf("  %-18s queries %3d  failures %d  down=%v  rtt=%s\n",
 			st.Name, st.Queries, st.Failures, st.Down, st.RTT.Round(time.Microsecond))
 	}

@@ -1,0 +1,130 @@
+// Mixedfleet: stand up one encrypted-DNS serving fleet speaking all three
+// transport protocols — DoH (RFC 8484), DoT (RFC 7858), DoQ (RFC 9250) —
+// in front of the public recursors, and demonstrate what makes it one
+// fleet rather than three:
+//
+//  1. protocol mix: the campaign's TransportMix deals envelopes across
+//     the frontends (2:1:1 here) and the pool routes over all of them;
+//  2. a shared answer cache below the envelopes: a record fetched over
+//     DoT is served from cache to a DoH stub without touching a recursor;
+//  3. per-protocol transport behavior: DoT pipelines queries over a
+//     persistent connection with out-of-order responses, DoQ pays a
+//     handshake for its first session and rides 0-RTT resumption after;
+//  4. cross-protocol failover: with the DoH and DoT frontends dark, the
+//     stub transparently rides the DoQ survivor.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dnswire"
+	"repro/internal/transport"
+)
+
+func main() {
+	camp, err := core.NewCampaign(core.CampaignConfig{
+		Size: 3000, Seed: 1,
+		DoHFrontends: 4, // doh-google-0, dot-cloudflare-1, doq-google-2, doh-cloudflare-3
+		TransportMix: transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	world, fleet := camp.World, camp.Fleet
+	day := time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC)
+	world.Clock.Set(day)
+	list := world.Tranco.ListFor(day)
+
+	fmt.Printf("fleet mix %s over %d frontends:\n", camp.Cfg.TransportMix, len(fleet.Frontends))
+	for i, st := range fleet.Stats() {
+		fmt.Printf("  %-18s %s at %v\n", st.Name, st.Proto, fleet.Addrs[i])
+	}
+
+	// 1. Spread traffic over the mix.
+	for _, name := range list[:200] {
+		if _, err := fleet.Client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("\nafter 200 HTTPS queries, per protocol:")
+	for _, p := range []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ} {
+		st := fleet.ProtocolStats()[p]
+		fmt.Printf("  %-4s served %3d  cache hits %3d\n", p, st.Served, st.CacheHits)
+	}
+
+	// 2. The cache sits below the envelopes: fetch a name until it lands
+	// on every protocol, and count recursor-side queries — one, total.
+	target := list[0]
+	before := world.Net.QueryCount()
+	for i := 0; i < 6; i++ {
+		if _, err := fleet.Client.Query(target, dnswire.TypeHTTPS, true); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("\n6 repeat queries for %s over the mix cost %d recursor-side queries (shared cache)\n",
+		target, world.Net.QueryCount()-before)
+
+	// 3a. DoT pipelining: write three queries in one segment over a raw
+	// connection; responses come back out of order, matched by ID.
+	var dotIdx int
+	for i, st := range fleet.Stats() {
+		if st.Proto == transport.ProtoDoT {
+			dotIdx = i
+		}
+	}
+	dot := fleet.Servers[dotIdx].(*transport.DoTServer)
+	conn := dot.DialDoT(world.Net, fleet.Addrs[dotIdx])
+	var burst []byte
+	for i := uint16(1); i <= 3; i++ {
+		wire, _ := dnswire.NewQuery(i, list[int(i)], dnswire.TypeHTTPS, true).Pack()
+		burst = append(burst, transport.Frame(wire)...)
+	}
+	if err := conn.Write(burst); err != nil {
+		panic(err)
+	}
+	fmt.Print("\nDoT pipelining: 3 queries in one segment, responses arrive as IDs [")
+	for i := 0; i < 3; i++ {
+		wire, _, err := conn.ReadResponse()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf(" %d", uint16(wire[0])<<8|uint16(wire[1]))
+	}
+	fmt.Println(" ] — out of order, matched by query ID")
+
+	// 3b. DoQ sessions: the client's first session paid a handshake; a
+	// dropped session resumes with 0-RTT on the retained ticket.
+	var doqIdx int
+	for i, st := range fleet.Stats() {
+		if st.Proto == transport.ProtoDoQ {
+			doqIdx = i
+		}
+	}
+	doq := fleet.Servers[doqIdx].(*transport.DoQServer)
+	ss := doq.SessionStats()
+	fmt.Printf("\nDoQ sessions: %d established (%d resumed 0-RTT), %d streams (one per query), %d resets\n",
+		ss.Sessions, ss.Resumed, ss.Streams, ss.Resets)
+
+	// 4. Cross-protocol failover: kill every non-DoQ frontend and keep
+	// resolving fresh names through the survivor.
+	for i, st := range fleet.Stats() {
+		if st.Proto != transport.ProtoDoQ {
+			world.Net.SetAddrDown(fleet.Addrs[i].Addr(), true)
+		}
+	}
+	fmt.Println("\nDoH and DoT frontends marked unreachable; driving fresh traffic:")
+	for _, name := range list[200:260] {
+		if _, err := fleet.Client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+			panic(fmt.Sprintf("query for %s failed despite a healthy DoQ frontend: %v", name, err))
+		}
+	}
+	st := fleet.ProtocolStats()[transport.ProtoDoQ]
+	fmt.Printf("  DoQ survivor now served %d queries; pool health %d/%d\n",
+		st.Served, fleet.Pool.Healthy(), fleet.Pool.Len())
+	for _, ps := range fleet.Pool.Stats() {
+		fmt.Printf("  %-18s %-4s queries %3d  failures %d  down=%v\n",
+			ps.Name, ps.Proto, ps.Queries, ps.Failures, ps.Down)
+	}
+}

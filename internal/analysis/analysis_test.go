@@ -369,3 +369,67 @@ func TestFig8Rankings(t *testing.T) {
 	_ = RankTable("Fig 8", stats...)
 	_ = NonCFRankings(store(t))
 }
+
+// TestIntermittencyMinObsGate pins the sparse-history edge: a domain that
+// deactivated but was only observed on two in-list days is classified at
+// the structural floor (min 2) yet skipped — and counted as skipped —
+// under a higher observation gate, while a dense history survives any
+// reasonable gate.
+func TestIntermittencyMinObsGate(t *testing.T) {
+	st := dataset.NewStore()
+	day0 := time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+	obsFor := func(name string) *dataset.Observation {
+		return &dataset.Observation{
+			Name:  name,
+			HTTPS: []dataset.HTTPSRecord{{Priority: 1, Target: "."}},
+			NS:    []string{"ns1.prov.test."},
+		}
+	}
+	// dense.test: in the list on all 4 days, published on days 0-2, off on
+	// day 3. sparse.test: churned into the list on days 0-1 only,
+	// published on day 0, off on day 1 — one deactivation on a two-day
+	// history.
+	for i := 0; i < 4; i++ {
+		day := day0.AddDate(0, 0, i)
+		list := []string{"dense.test."}
+		if i < 2 {
+			list = append(list, "sparse.test.")
+		}
+		obs := map[string]*dataset.Observation{}
+		if i < 3 {
+			obs["dense.test."] = obsFor("dense.test.")
+		}
+		if i == 0 {
+			obs["sparse.test."] = obsFor("sparse.test.")
+		}
+		st.AddTrancoList(day, list)
+		st.AddSnapshot(&dataset.Snapshot{Date: day, Kind: "apex", Total: len(list), Obs: obs})
+		st.AddNSSnapshot(&dataset.NSSnapshot{Date: day, Servers: map[string]*dataset.NSObservation{
+			"ns1.prov.test.": {Host: "ns1.prov.test.", Org: "ProvTest"},
+		}})
+	}
+
+	floor := Intermittency(st)
+	if floor.Intermittent != 2 || floor.SparseSkipped != 0 {
+		t.Fatalf("floor gate: intermittent=%d skipped=%d, want 2/0", floor.Intermittent, floor.SparseSkipped)
+	}
+	gated := IntermittencyMinObs(st, 3)
+	if gated.Intermittent != 1 || gated.SparseSkipped != 1 {
+		t.Fatalf("minObs=3: intermittent=%d skipped=%d, want 1/1", gated.Intermittent, gated.SparseSkipped)
+	}
+	if gated.MinObservations != 3 {
+		t.Errorf("MinObservations = %d", gated.MinObservations)
+	}
+	// The skipped row appears only when the gate exceeds the floor.
+	if rows := len(gated.Table().Rows); rows != len(floor.Table().Rows)+1 {
+		t.Errorf("gated table rows = %d, floor = %d (want +1 skipped row)", rows, len(floor.Table().Rows))
+	}
+	// A gate at the dense history's length still admits it.
+	if all := IntermittencyMinObs(st, 4); all.Intermittent != 1 || all.SparseSkipped != 1 {
+		t.Errorf("minObs=4: %+v", all)
+	}
+	// Below-floor values clamp to the structural minimum.
+	if clamped := IntermittencyMinObs(st, 0); clamped.Intermittent != 2 || clamped.MinObservations != 2 {
+		t.Errorf("minObs=0 not clamped: %+v", clamped)
+	}
+}

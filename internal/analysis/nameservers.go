@@ -264,13 +264,40 @@ type IntermittencyResult struct {
 	WeightedSameNSAllCF  float64
 	WeightedNSChanged    float64
 	WeightedLostNS       float64
+
+	// MinObservations is the classification gate the result was computed
+	// with: domains observed on fewer in-list days are not classified at
+	// all. SparseSkipped counts domains that showed a deactivation but
+	// fell under the gate — the histories too thin to call a trend.
+	MinObservations int
+	SparseSkipped   int
 }
 
-// Intermittency reproduces the §4.2.3 analysis over the NS window.
+// DefaultIntermittencyMinObs is the observation floor Intermittency
+// applies: two observed days is the bare minimum for an on→off
+// transition to exist at all.
+const DefaultIntermittencyMinObs = 2
+
+// Intermittency reproduces the §4.2.3 analysis over the NS window with
+// the default observation floor.
 func Intermittency(store *dataset.Store) *IntermittencyResult {
+	return IntermittencyMinObs(store, DefaultIntermittencyMinObs)
+}
+
+// IntermittencyMinObs is Intermittency with an explicit classification
+// gate: a domain must have been observed on at least minObs in-list days
+// before its deactivations count. Coverage weighting (the Weighted*
+// fields) softens sparse histories; the gate removes them — a domain seen
+// on 2 of 30 days with one on→off flip is indistinguishable from Tranco
+// churn noise, and a higher floor keeps it out of the §4.2.3 counts
+// entirely (reported in SparseSkipped instead).
+func IntermittencyMinObs(store *dataset.Store, minObs int) *IntermittencyResult {
+	if minObs < DefaultIntermittencyMinObs {
+		minObs = DefaultIntermittencyMinObs
+	}
 	days := store.NSDays()
 	if len(days) == 0 {
-		return &IntermittencyResult{}
+		return &IntermittencyResult{MinObservations: minObs}
 	}
 	// History is compressed to the days the domain was actually in the
 	// list: on a day it fell out of the list, absence of an observation
@@ -312,9 +339,10 @@ func Intermittency(store *dataset.Store) *IntermittencyResult {
 			h.nsSets = append(h.nsSets, nsSet)
 		}
 	}
-	res := &IntermittencyResult{}
+	res := &IntermittencyResult{MinObservations: minObs}
 	for _, h := range hist {
-		// Require at least two observed days to call anything a trend.
+		// Two observed days is the structural floor: fewer cannot hold an
+		// on → off transition.
 		if len(h.present) < 2 {
 			continue
 		}
@@ -327,6 +355,12 @@ func Intermittency(store *dataset.Store) *IntermittencyResult {
 			}
 		}
 		if deactivations == 0 {
+			continue
+		}
+		// The gate: a deactivation observed on a too-sparse history is
+		// noise, not a classified trend.
+		if len(h.present) < minObs {
+			res.SparseSkipped++
 			continue
 		}
 		// A domain in the list every scanned day contributes a full
@@ -364,9 +398,11 @@ func Intermittency(store *dataset.Store) *IntermittencyResult {
 }
 
 // Table renders the intermittency summary; the weighted column scales
-// each domain by its in-list coverage of the NS window.
+// each domain by its in-list coverage of the NS window. With a gate
+// above the structural floor, the skipped sparse histories get a row of
+// their own so the excluded population is visible.
 func (r *IntermittencyResult) Table() *Table {
-	return &Table{
+	t := &Table{
 		Title:   "§4.2.3: intermittent HTTPS record activation",
 		Columns: []string{"metric", "count", "weighted"},
 		Rows: [][]string{
@@ -377,4 +413,10 @@ func (r *IntermittencyResult) Table() *Table {
 			{"  transient NS loss", itoa(r.LostNS), fmtFloat(r.WeightedLostNS)},
 		},
 	}
+	if r.MinObservations > DefaultIntermittencyMinObs {
+		t.Rows = append(t.Rows, []string{
+			"  skipped (observed days < " + itoa(r.MinObservations) + ")",
+			itoa(r.SparseSkipped), "-"})
+	}
+	return t
 }

@@ -5,8 +5,9 @@ type Behavior struct {
 	Name    string
 	Version string
 	// RequiresDoH: the browser only issues HTTPS-RR queries over DoH
-	// (Firefox; informational — the testbed's resolver stands in for
-	// dns.google either way).
+	// (Firefox). With a lab DoH stub configured (Lab.EnableDoH) those
+	// queries ride a real transport frontend; without one the testbed's
+	// resolver stands in for dns.google, as the paper's testbed did.
 	RequiresDoH bool
 
 	// UpgradesScheme: a fetched HTTPS record upgrades bare/http:// URLs

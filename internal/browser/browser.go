@@ -22,11 +22,24 @@ const (
 	ErrECHFallbackCertInvalid = "ERR_ECH_FALLBACK_CERTIFICATE_INVALID"
 )
 
+// DoHTransport is the encrypted-DNS stub a browser routes HTTPS-RR
+// queries through when its behaviour requires DoH (transport.Client in
+// practice; the interface matches scanner.Transport).
+type DoHTransport interface {
+	Exchange(q *dnswire.Message) (*dnswire.Message, error)
+}
+
 // Browser drives navigations with one behaviour profile over a simnet.
 type Browser struct {
 	B        Behavior
 	Net      *simnet.Network
 	Resolver netip.Addr
+	// DoH, when non-nil and the behaviour sets RequiresDoH, carries the
+	// browser's HTTPS-RR queries through an encrypted transport instead
+	// of the bare resolver — Firefox's TRR wiring, where HTTPS records
+	// are only fetched when DoH is configured. A/AAAA lookups keep using
+	// the OS resolver path, as Firefox does outside TRR-only mode.
+	DoH DoHTransport
 
 	qid uint16
 }
@@ -78,6 +91,9 @@ type VisitResult struct {
 func (br *Browser) query(name string, t dnswire.Type) (*dnswire.Message, error) {
 	br.qid++
 	q := dnswire.NewQuery(br.qid, name, t, false)
+	if br.DoH != nil && br.B.RequiresDoH && t == dnswire.TypeHTTPS {
+		return br.DoH.Exchange(q)
+	}
 	return br.Net.QueryDNS(br.Resolver, q)
 }
 

@@ -204,3 +204,57 @@ func TestFirefoxDualALPNAnnotation(t *testing.T) {
 		t.Error("Chromium profile wrongly supports hints/port")
 	}
 }
+
+// TestFirefoxRoutesHTTPSOverDoHStub checks the lab's encrypted-transport
+// config: with EnableDoH, a RequiresDoH browser (Firefox) sends its
+// HTTPS-RR queries through the transport frontend — and still lands the
+// same navigation outcome — while Chrome (no DoH requirement) keeps
+// talking to the resolver directly.
+func TestFirefoxRoutesHTTPSOverDoHStub(t *testing.T) {
+	l := NewLab()
+	Table6Scenarios()[2].Build(l) // https://a.com basic setup
+	fl := l.EnableDoH()
+
+	v := l.Visit(Firefox(), "https://a.com")
+	if !v.OK || v.Scheme != "https" {
+		t.Fatalf("Firefox visit over DoH failed: %+v", v)
+	}
+	served := fl.TotalStats().Served
+	if served == 0 {
+		t.Fatal("DoH frontend saw no HTTPS-RR traffic from Firefox")
+	}
+
+	// Chrome does not require DoH: the stub stays idle.
+	v = l.Visit(Chrome(), "https://a.com")
+	if !v.OK {
+		t.Fatalf("Chrome visit failed: %+v", v)
+	}
+	if fl.TotalStats().Served != served {
+		t.Error("non-DoH browser leaked queries into the DoH stub")
+	}
+
+	// A second Firefox visit is absorbed by the stub's answer cache.
+	if _, err := fl.Client.Query("a.com", 65, false); err != nil {
+		t.Fatalf("direct stub query failed: %v", err)
+	}
+	if fl.Cache.Stats().Hits == 0 {
+		t.Error("lab DoH cache absorbed nothing across visits")
+	}
+}
+
+// TestTable6MatrixUnchangedOverDoH re-runs the Table 6 scenarios with the
+// DoH stub enabled for every lab: the encrypted transport must be
+// invisible to the support matrix (the paper's Firefox column was
+// measured with DoH configured).
+func TestTable6MatrixUnchangedOverDoH(t *testing.T) {
+	for _, sc := range Table6Scenarios() {
+		l := NewLab()
+		sc.Build(l)
+		l.EnableDoH()
+		v := l.Visit(Firefox(), sc.URL)
+		got := sc.Classify(l, v)
+		if want := expectedTable6[sc.Row]["Firefox"]; got != want {
+			t.Errorf("%s: Firefox over DoH = %v, want %v", sc.Row, got, want)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ech"
 	"repro/internal/simnet"
 	"repro/internal/svcb"
+	"repro/internal/transport"
 	"repro/internal/webserver"
 	"repro/internal/zone"
 )
@@ -55,6 +56,13 @@ type Lab struct {
 	// KM is the current ECH key manager; StaleKM generates configs the
 	// web server no longer accepts (key-mismatch scenario).
 	KM, StaleKM *ech.KeyManager
+
+	// DoH, when set by EnableDoH, is the lab's encrypted-DNS stub config:
+	// Visit hands its client to browsers whose behaviour requires DoH
+	// (Firefox), so their HTTPS-RR queries ride a real transport frontend
+	// instead of talking to the resolver directly — the Table 6 scenarios
+	// over encrypted transport.
+	DoH *transport.Fleet
 }
 
 // NewLab builds a fresh testbed.
@@ -120,10 +128,32 @@ func (l *Lab) HTTPPort80(addr netip.Addr) {
 	l.Net.RegisterService(netip.AddrPortFrom(addr, 80), &webserver.Endpoint{HTTPOnly: true})
 }
 
+// DoHAddr is the fixed address the lab's DoH stub frontend serves on.
+var DoHAddr = netip.AddrPortFrom(netip.MustParseAddr("10.99.0.53"), 443)
+
+// EnableDoH stands up the lab's encrypted-DNS stub config: one DoH
+// frontend (the testbed's dns.google stand-in) wrapping the lab's
+// authoritative resolver, with a small answer cache. Browsers with
+// RequiresDoH route their HTTPS-RR queries through it on every
+// subsequent Visit.
+func (l *Lab) EnableDoH() *transport.Fleet {
+	fl := transport.NewFleet(l.Net, l.Clock, transport.FleetConfig{
+		Strategy: transport.StrategyRoundRobin, Seed: 99,
+		Cache: transport.CacheConfig{Shards: 2, ShardCapacity: 64},
+	})
+	fl.Add(transport.ProtoDoH, "lab-doh", l.Auth, DoHAddr)
+	l.DoH = fl
+	return fl
+}
+
 // Visit runs one browser against the lab (fresh browser per call — the
 // paper clears caches between rounds).
 func (l *Lab) Visit(b Behavior, url string) *VisitResult {
-	return New(b, l.Net, l.Resolver).Navigate(url)
+	br := New(b, l.Net, l.Resolver)
+	if l.DoH != nil {
+		br.DoH = l.DoH.Client
+	}
+	return br.Navigate(url)
 }
 
 // params is a tiny helper building svcb.Params.

@@ -7,12 +7,14 @@
 // The daily schedule is pipelined: each scan day runs inside its own scan
 // context — a per-day virtual clock, a network view over the shared world,
 // forked recursors with fresh caches, a forked scanner with its own
-// query-ID stream, and (when configured) a per-day DoH fleet — so up to
-// CampaignConfig.DayWorkers days resolve concurrently while snapshots
-// commit to the Store in strict day order. Because record TTLs are far
-// below a day and all authoritative content is a pure function of (domain
-// state, virtual time), a per-day context produces byte-identical results
-// to the old serial walk.
+// query-ID stream, and (when configured) a per-day encrypted-DNS fleet
+// replica — so up to CampaignConfig.DayWorkers days resolve concurrently
+// while snapshots commit to the Store in strict day order. Because record
+// TTLs are far below a day and all authoritative content is a pure
+// function of (domain state, virtual time), a per-day context produces
+// byte-identical results to the old serial walk — including with a mixed
+// DoH/DoT/DoQ fleet, whose per-day replicas keep their clocks frozen (see
+// newDayContext).
 package core
 
 import (
@@ -25,10 +27,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
-	"repro/internal/doh"
 	"repro/internal/providers"
 	"repro/internal/scanner"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // CampaignConfig controls a measurement campaign.
@@ -48,14 +50,22 @@ type CampaignConfig struct {
 	// identical for any value — snapshots always commit in day order.
 	DayWorkers int
 	// DoHFrontends, when positive, interposes the encrypted-DNS serving
-	// layer: that many DoH frontends are registered over the public
-	// recursors (alternating Google/Cloudflare), all sharing one sharded
-	// answer cache, and the scanner queries through a load-balanced
-	// upstream pool instead of bare stub queries.
+	// layer: that many frontends are registered over the public recursors
+	// (alternating Google/Cloudflare), all sharing one sharded answer
+	// cache, and the scanner queries through a load-balanced upstream
+	// pool instead of bare stub queries. The name predates the transport
+	// subsystem; with a TransportMix the frontends split across DoH, DoT,
+	// and DoQ envelopes.
 	DoHFrontends int
+	// TransportMix sets the per-campaign protocol mix across the
+	// frontends (e.g. transport.Mix{DoH: 6, DoT: 3, DoQ: 1} for
+	// 60%/30%/10%). The zero value keeps the all-DoH fleet of PR 1–3.
+	// Frontend i's protocol is a pure function of (mix, i), so per-day
+	// fleet replicas recompute the identical assignment.
+	TransportMix transport.Mix
 	// DoHStrategy selects the pool's load-balancing strategy (the zero
 	// value is power-of-two-choices).
-	DoHStrategy doh.Strategy
+	DoHStrategy transport.Strategy
 	// DoHShards and DoHShardCap set the shared answer cache geometry;
 	// zero values select the doh package defaults.
 	DoHShards   int
@@ -83,15 +93,12 @@ type Campaign struct {
 	Scanner *scanner.Scanner
 	Store   *dataset.Store
 
-	// The encrypted-DNS serving layer, populated when Cfg.DoHFrontends
-	// is positive. These are the campaign-level fleet objects used by
-	// single-day ScanDay calls and RunHourlyECH; pipelined days build
-	// per-day replicas at the same addresses (DoHAddrs).
-	DoHServers []*doh.Server
-	DoHAddrs   []netip.AddrPort
-	DoHCache   *doh.Cache
-	DoHPool    *doh.Pool
-	DoHClient  *doh.Client
+	// Fleet is the encrypted-DNS serving layer, populated when
+	// Cfg.DoHFrontends is positive: the campaign-level fleet used by
+	// single-day ScanDay calls and RunHourlyECH. Pipelined days build
+	// per-day replicas at the same addresses (Fleet.Addrs) with the same
+	// protocol assignment.
+	Fleet *transport.Fleet
 }
 
 // Synthetic per-frontend latency band: deterministic per member so the
@@ -124,15 +131,15 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	sc := scanner.New(w.Net, w.GoogleAddr, w.CFResolverAddr, w.Whois)
 	c := &Campaign{Cfg: cfg, World: w, Scanner: sc, Store: dataset.NewStore()}
 	if cfg.DoHFrontends > 0 {
-		c.buildDoHFleet(cfg.DoHFrontends, cfg.DoHStrategy)
+		c.buildFleet(cfg.DoHFrontends, cfg.TransportMix)
 	}
 	return c, nil
 }
 
-// dohCacheConfig assembles the answer-cache lifecycle configuration from
+// cacheConfig assembles the answer-cache lifecycle configuration from
 // the campaign knobs (shared by the campaign fleet and per-day replicas).
-func (c *Campaign) dohCacheConfig() doh.CacheConfig {
-	return doh.CacheConfig{
+func (c *Campaign) cacheConfig() transport.CacheConfig {
+	return transport.CacheConfig{
 		Shards:        c.Cfg.DoHShards,
 		ShardCapacity: c.Cfg.DoHShardCap,
 		StaleWindow:   c.Cfg.DoHStaleWindow,
@@ -140,40 +147,55 @@ func (c *Campaign) dohCacheConfig() doh.CacheConfig {
 	}
 }
 
-// buildDoHFleet stands up n DoH frontends over the two public recursors
-// with a shared answer cache and routes the scanner through the pool.
-func (c *Campaign) buildDoHFleet(n int, strategy doh.Strategy) {
-	w := c.World
-	c.DoHCache = doh.NewCacheWith(w.Clock, c.dohCacheConfig())
-	c.DoHPool = doh.NewPool(w.Clock, strategy, c.Cfg.Seed)
-	for i := 0; i < n; i++ {
-		recursor, org := w.GoogleResolver, "google"
-		if i%2 == 1 {
-			recursor, org = w.CFResolver, "cloudflare"
-		}
-		name := fmt.Sprintf("doh-%s-%d", org, i)
-		srv := &doh.Server{Name: name, Handler: recursor, Cache: c.DoHCache,
-			FailureCooldown: c.Cfg.DoHFailureCooldown}
-		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
-		srv.Register(w.Net, ap)
-		c.DoHPool.Add(name, ap)
-		c.DoHServers = append(c.DoHServers, srv)
-		c.DoHAddrs = append(c.DoHAddrs, ap)
+// frontendRecursor returns frontend i's wrapped recursor and its org
+// label — the fleet alternates Google/Cloudflare by index, like the
+// paper's primary/backup split.
+func frontendRecursor(g, cf simnet.DNSHandler, i int) (simnet.DNSHandler, string) {
+	if i%2 == 1 {
+		return cf, "cloudflare"
 	}
-	c.DoHClient = doh.NewClient(w.Net, c.DoHPool)
-	c.DoHClient.Latency = doh.SyntheticLatency(dohLatencyBase, dohLatencySpread)
-	c.Scanner.Transport = c.DoHClient
+	return g, "google"
+}
+
+// buildFleet stands up n encrypted-DNS frontends — protocols dealt by the
+// campaign mix — over the two public recursors with a shared answer cache
+// and routes the scanner through the pool. The campaign-level client
+// charges its synthetic latency to the world clock, so serving-layer
+// queueing delay is observable in single-day and hourly experiments.
+func (c *Campaign) buildFleet(n int, mix transport.Mix) {
+	w := c.World
+	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
+		Strategy: c.Cfg.DoHStrategy, Seed: c.Cfg.Seed,
+		Cache:           c.cacheConfig(),
+		FailureCooldown: c.Cfg.DoHFailureCooldown,
+		Latency:         transport.SyntheticLatency(dohLatencyBase, dohLatencySpread),
+		ChargeLatency:   true,
+	})
+	protos := mix.Assign(n)
+	for i := 0; i < n; i++ {
+		recursor, org := frontendRecursor(w.GoogleResolver, w.CFResolver, i)
+		name := fmt.Sprintf("%s-%s-%d", protos[i], org, i)
+		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), protos[i].Port())
+		fl.Add(protos[i], name, recursor, ap)
+	}
+	c.Fleet = fl
+	c.Scanner.Transport = fl.Client
 }
 
 // connectivityProbeStart is when the §4.3.5 TLS probing experiment began.
 var connectivityProbeStart = time.Date(2024, 1, 24, 0, 0, 0, 0, time.UTC)
 
 // dayContext is one scan day's isolated execution state: a scanner over a
-// per-day network view (own clock, own recursors, optionally an own DoH
-// fleet) and a prober pinned to the day's clock.
+// per-day network view (own clock, own recursors, optionally an own
+// transport fleet replica) and a prober pinned to the day's clock.
 type dayContext struct {
 	scanner *scanner.Scanner
 	prober  scanner.Prober
+	// fleet is the serving layer the day's queries ride (a per-day
+	// replica, or the campaign fleet for ScanDay); servingBase holds its
+	// counters at context creation so the day records deltas.
+	fleet       *transport.Fleet
+	servingBase transport.FrontendStats
 }
 
 // dayProber evaluates the world's TLS reachability schedule at the day
@@ -190,9 +212,16 @@ func (p dayProber) ProbeTLS(apex string, addr netip.Addr) error {
 // newDayContext builds an isolated scan context for one day: a fresh clock
 // at the day's scan time, a network view carrying it, forked recursors with
 // empty caches registered at the public resolver addresses, and — when the
-// campaign runs an encrypted serving layer — a per-day DoH fleet replica
-// (fresh sharded cache, fresh pool state seeded per day) at the same
-// frontend addresses.
+// campaign runs an encrypted serving layer — a per-day fleet replica
+// (fresh sharded cache, fresh pool state seeded per day, identical
+// protocol assignment) at the same frontend addresses.
+//
+// Replica clients keep the synthetic latency for pool routing but do NOT
+// charge it to the per-day clock: concurrent scan workers would interleave
+// their clock charges nondeterministically, and a drifting clock can move
+// time-sensitive answers (ECH configs rotate on a 76-minute period) —
+// freezing the day's clock is what makes a mixed-protocol pipelined
+// campaign byte-identical to the serial run.
 func (c *Campaign) newDayContext(day time.Time) *dayContext {
 	clock := simnet.NewClock(day.Add(12 * time.Hour))
 	net := c.World.Net.WithClock(clock)
@@ -201,27 +230,44 @@ func (c *Campaign) newDayContext(day time.Time) *dayContext {
 	net.OverrideDNS(c.World.GoogleAddr, g)
 	net.OverrideDNS(c.World.CFResolverAddr, cf)
 
-	var transport scanner.Transport
-	if len(c.DoHAddrs) > 0 {
-		cache := doh.NewCacheWith(clock, c.dohCacheConfig())
-		pool := doh.NewPool(clock, c.Cfg.DoHStrategy, c.Cfg.Seed^day.Unix())
-		for i, ap := range c.DoHAddrs {
-			recursor := simnet.DNSHandler(g)
-			if i%2 == 1 {
-				recursor = cf
-			}
-			srv := &doh.Server{Name: c.DoHServers[i].Name, Handler: recursor, Cache: cache,
-				FailureCooldown: c.Cfg.DoHFailureCooldown}
-			net.OverrideService(ap, srv)
-			pool.Add(srv.Name, ap)
+	dc := &dayContext{prober: dayProber{w: c.World, clock: clock}}
+	var t scanner.Transport
+	if c.Fleet != nil {
+		fl := transport.NewFleet(net, clock, transport.FleetConfig{
+			Strategy: c.Cfg.DoHStrategy, Seed: c.Cfg.Seed ^ day.Unix(),
+			Cache:           c.cacheConfig(),
+			FailureCooldown: c.Cfg.DoHFailureCooldown,
+			Latency:         transport.SyntheticLatency(dohLatencyBase, dohLatencySpread),
+			Override:        true,
+		})
+		protos := c.Cfg.TransportMix.Assign(len(c.Fleet.Addrs))
+		for i, ap := range c.Fleet.Addrs {
+			recursor, _ := frontendRecursor(g, cf, i)
+			fl.Add(protos[i], c.Fleet.Frontends[i].Name, recursor, ap)
 		}
-		client := doh.NewClient(net, pool)
-		client.Latency = doh.SyntheticLatency(dohLatencyBase, dohLatencySpread)
-		transport = client
+		dc.fleet = fl
+		t = fl.Client
 	}
-	return &dayContext{
-		scanner: c.Scanner.Fork(net, transport),
-		prober:  dayProber{w: c.World, clock: clock},
+	dc.scanner = c.Scanner.Fork(net, t)
+	return dc
+}
+
+// servingSnapshot derives the day's serving-layer record from the
+// context's fleet counters (as a delta against the context's base, so
+// ScanDay's reuse of the cumulative campaign fleet records per-day
+// numbers too).
+func (c *Campaign) servingSnapshot(dc *dayContext, day time.Time) *dataset.ServingSnapshot {
+	if dc.fleet == nil {
+		return nil
+	}
+	now := dc.fleet.TotalStats()
+	return &dataset.ServingSnapshot{
+		Date:             day,
+		StaleWindowSec:   int64(dc.fleet.Cache.Config().StaleWindow / time.Second),
+		StaleServed:      now.StaleServed - dc.servingBase.StaleServed,
+		NegativeHits:     now.NegativeHits - dc.servingBase.NegativeHits,
+		Prefetches:       now.Prefetches - dc.servingBase.Prefetches,
+		UpstreamFailures: now.UpstreamFailures - dc.servingBase.UpstreamFailures,
 	}
 }
 
@@ -233,6 +279,7 @@ type dayResult struct {
 	apexSnap *dataset.Snapshot
 	wwwSnap  *dataset.Snapshot
 	nsSnap   *dataset.NSSnapshot
+	serving  *dataset.ServingSnapshot
 	probes   []dataset.ProbeResult
 }
 
@@ -248,6 +295,7 @@ func (c *Campaign) runDay(dc *dayContext, day time.Time) *dayResult {
 	if !day.Before(connectivityProbeStart) {
 		res.probes = dc.scanner.ProbeMismatches(day, res.apexSnap, dc.prober)
 	}
+	res.serving = c.servingSnapshot(dc, day)
 	return res
 }
 
@@ -258,6 +306,9 @@ func (c *Campaign) commitDay(res *dayResult) {
 	c.Store.AddSnapshot(res.wwwSnap)
 	if res.nsSnap != nil {
 		c.Store.AddNSSnapshot(res.nsSnap)
+	}
+	if res.serving != nil {
+		c.Store.AddServing(res.serving)
 	}
 	if len(res.probes) > 0 {
 		c.Store.AddProbes(res.probes...)
@@ -324,12 +375,26 @@ func (c *Campaign) RunDaily() error {
 }
 
 // ScanDay performs one day's full scan sequence on the shared world clock
-// (the campaign-level scanner, recursors, and DoH fleet), for callers
-// driving single days by hand.
+// (the campaign-level scanner, recursors, and fleet), for callers driving
+// single days by hand.
+//
+// Clock semantics differ deliberately from RunDaily when a fleet is
+// configured: the campaign-level client charges its synthetic serving
+// latency to the world clock (queueing delay is observable, cooldowns
+// expire under load — the live-drive behavior cmd/dohserve relies on),
+// while RunDaily's per-day replicas freeze their clocks for bitwise
+// reproducibility. A day scanned here is therefore not byte-comparable
+// to the same day collected by RunDaily; within either entry point,
+// results are deterministic.
 func (c *Campaign) ScanDay(day time.Time) error {
 	// Scans run mid-day so date-boundary schedules behave sharply.
 	c.World.Clock.Set(day.Add(12 * time.Hour))
-	dc := &dayContext{scanner: c.Scanner, prober: c.World}
+	dc := &dayContext{scanner: c.Scanner, prober: c.World, fleet: c.Fleet}
+	if c.Fleet != nil {
+		// The campaign fleet's counters are cumulative across calls;
+		// record this day as a delta.
+		dc.servingBase = c.Fleet.TotalStats()
+	}
 	c.commitDay(c.runDay(dc, day))
 	return nil
 }
@@ -358,12 +423,12 @@ func (c *Campaign) RunHourlyECH(start time.Time, days int) {
 		now := start.Add(time.Duration(h) * time.Hour)
 		c.World.Clock.Set(now)
 		// Fresh caches each hour, as the paper's scanner saw records
-		// refreshed by the 300s TTL. Both recursors flush: with a DoH
-		// fleet the pool spreads queries over frontends backed by either.
+		// refreshed by the 300s TTL. Both recursors flush: with a fleet
+		// the pool spreads queries over frontends backed by either.
 		c.World.GoogleResolver.FlushCache()
 		c.World.CFResolver.FlushCache()
-		if c.DoHCache != nil {
-			c.DoHCache.Flush()
+		if c.Fleet != nil {
+			c.Fleet.Cache.Flush()
 		}
 		c.Store.AddECH(c.Scanner.ECHScan(now, echDomains)...)
 	}

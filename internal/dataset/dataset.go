@@ -108,6 +108,32 @@ type ProbeResult struct {
 	AOK      bool       `json:"a_ok"`
 }
 
+// ServingSnapshot records one scan day's encrypted-DNS serving-layer
+// lifecycle counters — the RFC 8767/RFC 2308 events the fleet absorbed
+// while collecting that day's observations. Campaigns with a transport
+// fleet record one per day, so analysis can correlate staleness windows
+// with the §4.4.2 ECH inconsistencies directly instead of re-deriving
+// them from logs. Only the lifecycle counters are recorded (not raw
+// hit/miss totals): they are a deterministic function of the day's scan
+// in a healthy world, which keeps pipelined and serial campaign stores
+// byte-identical.
+type ServingSnapshot struct {
+	Date time.Time `json:"date"`
+	// StaleWindowSec is the fleet's configured RFC 8767 stale window in
+	// seconds (0: serve-stale disabled), stored so the staleness exposure
+	// of the day's data is interpretable without the campaign config.
+	StaleWindowSec int64 `json:"stale_window_sec,omitempty"`
+	// StaleServed counts RFC 8767 stale answers served that day.
+	StaleServed uint64 `json:"stale_served"`
+	// NegativeHits counts fresh hits on RFC 2308 negative entries.
+	NegativeHits uint64 `json:"negative_hits"`
+	// Prefetches counts refresh-ahead upstream refreshes.
+	Prefetches uint64 `json:"prefetches"`
+	// UpstreamFailures counts hard recursor failures and SERVFAILs seen
+	// behind the fleet.
+	UpstreamFailures uint64 `json:"upstream_failures"`
+}
+
 // ValidationResult is one row of the one-shot DNSSEC census (Table 9).
 type ValidationResult struct {
 	Domain   string `json:"domain"`
@@ -122,9 +148,10 @@ type ValidationResult struct {
 type Store struct {
 	mu sync.RWMutex
 
-	apex map[int64]*Snapshot // keyed by unix day
-	www  map[int64]*Snapshot
-	ns   map[int64]*NSSnapshot
+	apex    map[int64]*Snapshot // keyed by unix day
+	www     map[int64]*Snapshot
+	ns      map[int64]*NSSnapshot
+	serving map[int64]*ServingSnapshot
 
 	ech        []ECHObservation
 	probes     []ProbeResult
@@ -140,6 +167,7 @@ func NewStore() *Store {
 		apex:        map[int64]*Snapshot{},
 		www:         map[int64]*Snapshot{},
 		ns:          map[int64]*NSSnapshot{},
+		serving:     map[int64]*ServingSnapshot{},
 		trancoLists: map[int64][]string{},
 	}
 }
@@ -163,6 +191,33 @@ func (s *Store) AddNSSnapshot(snap *NSSnapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ns[dayKey(snap.Date)] = snap
+}
+
+// AddServing stores a daily serving-layer lifecycle snapshot.
+func (s *Store) AddServing(snap *ServingSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serving[dayKey(snap.Date)] = snap
+}
+
+// ServingDays returns the sorted dates with serving snapshots.
+func (s *Store) ServingDays() []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := sortedKeys(s.serving)
+	out := make([]time.Time, len(keys))
+	for i, k := range keys {
+		out[i] = time.Unix(k, 0).UTC()
+	}
+	return out
+}
+
+// ServingFor returns the serving snapshot for a date.
+func (s *Store) ServingFor(date time.Time) (*ServingSnapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap, ok := s.serving[dayKey(date)]
+	return snap, ok
 }
 
 // AddTrancoList stores the day's ranked list.
@@ -283,6 +338,7 @@ type export struct {
 	Apex       []*Snapshot        `json:"apex"`
 	WWW        []*Snapshot        `json:"www"`
 	NS         []*NSSnapshot      `json:"ns"`
+	Serving    []*ServingSnapshot `json:"serving,omitempty"`
 	ECH        []ECHObservation   `json:"ech"`
 	Probes     []ProbeResult      `json:"probes"`
 	Validation []ValidationResult `json:"validation"`
@@ -301,6 +357,9 @@ func (s *Store) WriteJSON(w io.Writer) error {
 	}
 	for _, day := range sortedKeys(s.ns) {
 		e.NS = append(e.NS, s.ns[day])
+	}
+	for _, day := range sortedKeys(s.serving) {
+		e.Serving = append(e.Serving, s.serving[day])
 	}
 	e.ECH = s.ech
 	e.Probes = s.probes

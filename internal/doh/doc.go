@@ -1,61 +1,16 @@
-// Package doh implements the encrypted-DNS serving layer between stub and
-// recursor that the paper's measurements traverse in the real Internet:
-// Google (8.8.8.8) and Cloudflare (1.1.1.1) expose their recursive fleets
-// behind anycast DoH frontends, and every §4.3.5/§4.4.2 staleness and
-// failover effect the paper reports happens inside that layer.
+// Package doh is the RFC 8484 DNS-over-HTTPS envelope codec: the wire
+// shape of one encrypted-DNS protocol, without an HTTP stack and without
+// any serving machinery. GET requests carry the query as an unpadded
+// base64url "dns" parameter, POST requests carry raw wire format, and
+// responses report an HTTP-style status, media type, a Cache-Control
+// max-age derived from the answer's minimum TTL, and the RFC 8767
+// serve-stale marker.
 //
-// The package provides three pieces:
-//
-//   - Server: an RFC 8484-style DoH frontend registered as a simnet
-//     service at addr:port, wrapping any simnet.DNSHandler (normally a
-//     caching recursive resolver) and answering wire-format envelopes.
-//   - Client: a DoH stub with an upstream Pool supporting pluggable
-//     load-balancing strategies (power-of-two-choices, EWMA-RTT,
-//     round-robin, hash-affinity) and automatic failover when simnet
-//     failure injection marks an upstream down.
-//   - Cache: a sharded TTL+LRU answer cache shared across frontends, so
-//     several Servers in front of one recursor behave like a real anycast
-//     fleet with a common answer store.
-//
-// Envelopes follow RFC 8484 shape without a real HTTP stack: GET carries
-// the query as an unpadded base64url "dns" parameter, POST carries raw
-// wire format, and responses report status, media type, and a Cache-Control
-// max-age derived from the answer's minimum TTL.
-//
-// # Cache lifecycle
-//
-// Every cache entry — positive or negative — walks one state machine,
-// evaluated lazily on the virtual clock at probe time:
-//
-//	          Put                      TTL expires              TTL + StaleWindow
-//	(answer) ─────▶ FRESH ────────────────▶ STALE ────────────────────▶ evicted
-//	                  │                       │                     (or LRU victim
-//	                  │ RefreshAhead·TTL      │ upstream fails           any time)
-//	                  ▼ elapsed               ▼ or in cooldown
-//	            prefetch armed:         served with TTLs
-//	            next hit refreshes      capped at StaleTTL
-//	            the entry upstream      (RFC 8767, Stale=true)
-//
-// FRESH (within TTL): served directly, TTLs aged by elapsed virtual time.
-// Once RefreshAhead of the TTL has elapsed, the first hit past the
-// threshold additionally arms a prefetch: the frontend refreshes the
-// entry from its handler on the same exchange, so hot names are renewed
-// before they ever go stale (at most one prefetch per entry generation).
-//
-// STALE (past TTL, within StaleWindow): not served on the happy path —
-// the upstream is consulted first. Only when the handler hard-fails
-// (nil), SERVFAILs, or is benched in FailureCooldown does the frontend
-// serve the stale body, with every record TTL capped at StaleTTL and the
-// envelope marked Stale (RFC 8767 serve-stale).
-//
-// Evicted: past TTL + StaleWindow an entry is dropped at probe time; LRU
-// eviction under capacity pressure can remove any entry earlier.
-//
-// Positive and negative entries differ only in how their TTL is derived
-// and in accounting: negative answers (NXDOMAIN, or NOERROR with an empty
-// answer section — NODATA) are retained for the RFC 2308 negative TTL,
-// min(SOA TTL, SOA minimum) capped by MaxNegativeTTL, so repeated misses
-// during census scans stop hammering upstreams; hits on them are reported
-// as NegativeHits. With StaleWindow zero (the default and the pre-RFC 8767
-// behavior) the STALE state vanishes and entries die at TTL expiry.
+// The serving layer that used to live here — frontends, the load-balanced
+// upstream pool, the sharded serve-stale answer cache — was hoisted into
+// package transport, where DoH is one of three envelopes (with DoT and
+// DoQ) over a shared protocol-independent fleet. This package keeps only
+// what is DoH-specific: the Request/Response envelope types, their
+// encode/decode helpers, and the Exchanger interface a DoH frontend
+// registers in simnet (transport.DoHServer implements it).
 package doh

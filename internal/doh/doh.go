@@ -20,10 +20,8 @@ const (
 	StatusServFailUpstream     = 502
 )
 
-// Errors returned by envelope handling and exchanges.
+// Errors returned by envelope handling.
 var (
-	ErrNoUpstreams = errors.New("doh: no healthy upstreams")
-	ErrNotDoH      = errors.New("doh: service at address is not a DoH server")
 	ErrBadEnvelope = errors.New("doh: malformed envelope")
 	ErrStatus      = errors.New("doh: non-success status")
 )
@@ -120,7 +118,8 @@ func (r *Response) Message() (*dnswire.Message, error) {
 }
 
 // Exchanger is the service interface a DoH frontend registers in simnet;
-// the Client type-asserts it after the addr:port service lookup.
+// the transport client type-asserts it after the addr:port service
+// lookup. transport.DoHServer is the canonical implementation.
 type Exchanger interface {
 	ExchangeDoH(req *Request) *Response
 }

@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
-	"repro/internal/doh"
 	"repro/internal/providers"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // scanWorld builds a small world + scanner fixture.
@@ -184,21 +184,22 @@ func TestResolverFallback(t *testing.T) {
 }
 
 // TestScanViaDoHTransport routes the scanner through an encrypted-DNS
-// fleet (two frontends over the public recursors, shared cache) and
-// checks the full scan sequence still works — including when simnet
-// failure injection takes one frontend down mid-campaign.
+// fleet (a DoH and a DoT frontend over the public recursors, shared
+// cache) and checks the full scan sequence still works — including when
+// simnet failure injection takes one frontend down mid-campaign.
 func TestScanViaDoHTransport(t *testing.T) {
 	w, sc := scanWorld(t)
-	cache := doh.NewCache(w.Clock, 0, 0)
-	pool := doh.NewPool(w.Clock, doh.StrategyRoundRobin, 5)
+	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
+		Strategy: transport.StrategyRoundRobin, Seed: 5,
+	})
+	cache := fl.Cache
 	addrs := make([]netip.AddrPort, 2)
+	protos := []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT}
 	for i, handler := range []simnet.DNSHandler{w.GoogleResolver, w.CFResolver} {
-		srv := &doh.Server{Name: "fe", Handler: handler, Cache: cache}
-		addrs[i] = netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
-		srv.Register(w.Net, addrs[i])
-		pool.Add(srv.Name, addrs[i])
+		addrs[i] = netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), protos[i].Port())
+		fl.Add(protos[i], "fe", handler, addrs[i])
 	}
-	sc.Transport = doh.NewClient(w.Net, pool)
+	sc.Transport = fl.Client
 
 	apex := findApex(w, func(d *providers.DomainState) bool {
 		return d.Profile == providers.ProfileCFDefault && !d.ApexCNAME &&

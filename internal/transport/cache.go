@@ -1,4 +1,4 @@
-package doh
+package transport
 
 import (
 	"encoding/binary"
@@ -14,10 +14,10 @@ import (
 
 // Cache is a sharded TTL+LRU answer cache keyed by (qname, qtype, DO bit).
 // Shard selection is fnv-based, each shard is independently bounded and
-// LRU-evicted, and expiry runs on the virtual clock, so a fleet of DoH
+// LRU-evicted, and expiry runs on the virtual clock, so a fleet of
 // frontends sharing one Cache behaves like an anycast pod with a common
-// answer store: whichever frontend a stub lands on, a fresh answer from a
-// sibling is served without touching the recursor.
+// answer store: whichever frontend and protocol a stub lands on, a fresh
+// answer from a sibling is served without touching the recursor.
 //
 // Entries move through the lifecycle documented in doc.go: fresh until
 // their TTL expires, then (with a non-zero StaleWindow) stale and
@@ -141,7 +141,7 @@ type cacheEntry struct {
 	wire     []byte
 	ttlOffs  []int
 	ttls     []uint32 // original TTLs, parallel to ttlOffs
-	minTTL   uint32   // minimum answer TTL at store time (RFC 8484 max-age)
+	minTTL   uint32   // minimum answer TTL at store time (the DoH max-age)
 	storedAt time.Time
 	expires  time.Time
 	// negative marks RFC 2308 entries (NXDOMAIN or empty answers).
@@ -449,7 +449,7 @@ func ttlOffsets(wire []byte) (offs []int, ttls []uint32, err error) {
 	return offs, ttls, nil
 }
 
-var errTruncatedRR = errors.New("doh: truncated record in wire image")
+var errTruncatedRR = errors.New("transport: truncated record in wire image")
 
 // skipName advances past a (possibly compressed) domain name.
 func skipName(wire []byte, pos int) (int, error) {

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/doh"
+	"repro/internal/simnet"
+)
+
+// Errors returned by client exchanges.
+var (
+	ErrNoUpstreams = errors.New("transport: no healthy upstreams")
+	ErrNotProto    = errors.New("transport: service does not speak the member's protocol")
+)
+
+// Client is a protocol-agnostic encrypted-DNS stub: it exchanges queries
+// with pool members over simnet, speaking whatever envelope each member
+// advertises — RFC 8484 DoH request/response envelopes, RFC 7858 DoT
+// frames over a persistent per-member connection, or RFC 9250 DoQ
+// streams over a per-member session — and fails over to the next
+// candidate when simnet failure injection marks a frontend down or the
+// envelope exchange fails. It satisfies the scanner's Transport
+// interface, so the measurement framework can run its campaigns through
+// any protocol mix instead of bare stub queries.
+type Client struct {
+	Net  *simnet.Network
+	Pool *Pool
+	// UsePOST selects POST envelopes for DoH members; the default is
+	// RFC 8484 GET, whose base64url form is the cache-friendly one.
+	UsePOST bool
+	// Latency, when non-nil, supplies the per-exchange RTT sample fed to
+	// the pool instead of a wall-clock measurement. Exchanges are
+	// synchronous in-process calls, so wall time is host scheduling
+	// noise; a deterministic Latency function makes the EWMA/P2 routing
+	// decisions replayable along with the rest of the simulation.
+	Latency func(u *Upstream) time.Duration
+	// ChargeLatency additionally charges each sampled exchange — plus
+	// per-protocol connection-setup costs: two extra RTTs for a fresh DoT
+	// connection (TCP + TLS), one for a fresh DoQ session (QUIC
+	// handshake), none for a 0-RTT DoQ resumption — to the network's
+	// virtual clock, so queueing delay through the serving layer is
+	// observable in campaign timings. Leave it off where bitwise
+	// reproducibility matters more than modeled delay: concurrent
+	// workers interleave their clock charges nondeterministically, which
+	// is why per-day campaign replicas keep their clocks frozen.
+	ChargeLatency bool
+
+	mu          sync.Mutex
+	qid         uint16
+	dotConns    map[netip.AddrPort]*DoTConn
+	doqSessions map[netip.AddrPort]*DoQSession
+	doqTickets  map[netip.AddrPort]bool
+
+	staleAnswers atomic.Uint64
+}
+
+// StaleAnswers counts exchanges answered with an RFC 8767 stale response
+// (a frontend served past-TTL data because its recursor was unavailable) —
+// the stub-side measure of the staleness windows §4.4.2 quantifies. All
+// three envelopes report it: DoH as a response flag, DoT and DoQ as frame
+// metadata standing in for the RFC 8914 "Stale Answer" extended error.
+func (c *Client) StaleAnswers() uint64 { return c.staleAnswers.Load() }
+
+// NewClient creates a stub over the given network and pool.
+func NewClient(net *simnet.Network, pool *Pool) *Client {
+	return &Client{
+		Net: net, Pool: pool,
+		dotConns:    map[netip.AddrPort]*DoTConn{},
+		doqSessions: map[netip.AddrPort]*DoQSession{},
+		doqTickets:  map[netip.AddrPort]bool{},
+	}
+}
+
+// nextID allocates a query ID (DoH recommends ID 0 for cacheability; the
+// simulated stack keeps real IDs to exercise the ID-rewrite path — except
+// on DoQ streams, where the ID is rewritten to the mandatory 0).
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.qid++
+	return c.qid
+}
+
+// attempt is the outcome of one upstream try.
+type attempt struct {
+	msg   *dnswire.Message
+	stale bool
+	// bench marks errors that indicate a broken member (dead address,
+	// protocol mismatch, connection death) rather than a struggling
+	// recursor behind a healthy transport.
+	bench bool
+	err   error
+}
+
+// Exchange sends the query to the pool, trying candidates in failover
+// order. RTT is measured per attempt and folded into the pool's EWMA;
+// protocol dispatch happens per member, so a mixed fleet fails over
+// across protocols transparently.
+func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
+	if len(q.Question) == 0 {
+		return nil, fmt.Errorf("%w: query without question", doh.ErrBadEnvelope)
+	}
+	candidates := c.Pool.Candidates(dnswire.CanonicalName(q.Question[0].Name))
+	if len(candidates) == 0 {
+		return nil, ErrNoUpstreams
+	}
+	var lastErr error
+	var servFail *dnswire.Message
+	for _, up := range candidates {
+		var at attempt
+		switch up.Proto {
+		case ProtoDoT:
+			at = c.tryDoT(up, q)
+		case ProtoDoQ:
+			at = c.tryDoQ(up, q)
+		default:
+			at = c.tryDoH(up, q)
+		}
+		if at.err != nil {
+			if at.bench {
+				c.Pool.MarkFailed(up)
+			}
+			lastErr = fmt.Errorf("upstream %s (%s): %w", up.Name, up.Proto, at.err)
+			continue
+		}
+		// A SERVFAIL is a healthy transport over a struggling recursor:
+		// try the next pool member (the paper's Google→Cloudflare
+		// fallback), without benching this one. Returned as-is only if
+		// every member agrees.
+		if at.msg.RCode == dnswire.RCodeServFail {
+			servFail = at.msg
+			continue
+		}
+		if at.stale {
+			c.staleAnswers.Add(1)
+		}
+		return at.msg, nil
+	}
+	if servFail != nil {
+		return servFail, nil
+	}
+	return nil, fmt.Errorf("transport: all %d upstreams failed: %w", len(candidates), lastErr)
+}
+
+// observe feeds the pool the attempt's RTT sample and charges the
+// exchange (plus any connection-setup cost) to the virtual clock.
+func (c *Client) observe(up *Upstream, wall time.Duration, setupRTTs int) {
+	if c.Latency == nil {
+		c.Pool.ObserveRTT(up, wall)
+		return
+	}
+	d := c.Latency(up)
+	c.Pool.ObserveRTT(up, d)
+	if c.ChargeLatency {
+		c.Net.Clock.Advance(d + time.Duration(setupRTTs)*d)
+	}
+}
+
+// tryDoH performs one RFC 8484 exchange with a DoH member.
+func (c *Client) tryDoH(up *Upstream, q *dnswire.Message) attempt {
+	var req *doh.Request
+	var err error
+	if c.UsePOST {
+		req, err = doh.NewPOSTRequest(q)
+	} else {
+		req, err = doh.NewGETRequest(q)
+	}
+	if err != nil {
+		return attempt{err: err}
+	}
+	svc, err := c.Net.Service(up.Addr)
+	if err != nil {
+		// Failure injection: the address or port is down.
+		return attempt{bench: true, err: err}
+	}
+	ex, ok := svc.(doh.Exchanger)
+	if !ok {
+		return attempt{bench: true, err: fmt.Errorf("%w: %v is not DoH", ErrNotProto, up.Addr)}
+	}
+	start := time.Now()
+	resp := ex.ExchangeDoH(req)
+	c.observe(up, time.Since(start), 0)
+	m, err := resp.Message()
+	if err != nil {
+		// A 502 is the frontend reporting recursor trouble over a
+		// healthy transport — move on without benching, like the
+		// SERVFAIL case. Anything else (4xx, bad media type) is a
+		// protocol mismatch worth a cooldown.
+		return attempt{bench: resp.Status != doh.StatusServFailUpstream, err: err}
+	}
+	return attempt{msg: m, stale: resp.Stale}
+}
+
+// tryDoT performs one exchange over the member's persistent DoT
+// connection, dialing one (and charging its TCP+TLS setup) if none is
+// cached. A connection that died mid-stream is dropped and the member
+// benched, so the query fails over to the next candidate.
+func (c *Client) tryDoT(up *Upstream, q *dnswire.Message) attempt {
+	conn, setup, err := c.dotConn(up)
+	if err != nil {
+		return attempt{bench: true, err: err}
+	}
+	start := time.Now()
+	m, stale, err := conn.Exchange(q)
+	if err != nil {
+		c.dropDoT(up.Addr)
+		return attempt{bench: true, err: err}
+	}
+	c.observe(up, time.Since(start), setup)
+	return attempt{msg: m, stale: stale}
+}
+
+// dotConn returns the cached live connection to the member, dialing a
+// fresh one when needed; setupRTTs reports the handshake round-trips the
+// dial cost (two: TCP then TLS 1.3).
+func (c *Client) dotConn(up *Upstream) (conn *DoTConn, setupRTTs int, err error) {
+	c.mu.Lock()
+	conn = c.dotConns[up.Addr]
+	c.mu.Unlock()
+	if conn != nil {
+		return conn, 0, nil
+	}
+	svc, err := c.Net.Service(up.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, ok := svc.(DoTDialer)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %v is not DoT", ErrNotProto, up.Addr)
+	}
+	conn = d.DialDoT(c.Net, up.Addr)
+	c.mu.Lock()
+	c.dotConns[up.Addr] = conn
+	c.mu.Unlock()
+	return conn, 2, nil
+}
+
+// dropDoT discards a dead connection so the next try redials.
+func (c *Client) dropDoT(ap netip.AddrPort) {
+	c.mu.Lock()
+	delete(c.dotConns, ap)
+	c.mu.Unlock()
+}
+
+// tryDoQ performs one exchange as a fresh stream on the member's DoQ
+// session, dialing a session if none is cached — a full QUIC handshake
+// (one setup RTT) the first time, a 0-RTT resumption (no setup cost) once
+// the client holds the member's ticket. The mandatory zero message ID is
+// rewritten on the way out and the caller's ID restored on the answer.
+func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message) attempt {
+	sess, setup, err := c.doqSession(up)
+	if err != nil {
+		return attempt{bench: true, err: err}
+	}
+	id := q.ID
+	wireQ := *q
+	wireQ.ID = 0
+	start := time.Now()
+	m, stale, err := sess.Exchange(&wireQ)
+	if err != nil {
+		if errors.Is(err, ErrStreamReset) {
+			// Per-stream failure: the session is fine, the query is not.
+			return attempt{err: err}
+		}
+		c.dropDoQ(up.Addr)
+		return attempt{bench: true, err: err}
+	}
+	c.observe(up, time.Since(start), setup)
+	m.ID = id
+	return attempt{msg: m, stale: stale}
+}
+
+// doqSession returns the cached live session to the member, establishing
+// one when needed; setupRTTs is 1 for a full handshake, 0 for a 0-RTT
+// resumption.
+func (c *Client) doqSession(up *Upstream) (sess *DoQSession, setupRTTs int, err error) {
+	c.mu.Lock()
+	sess = c.doqSessions[up.Addr]
+	resumed := c.doqTickets[up.Addr]
+	c.mu.Unlock()
+	if sess != nil {
+		return sess, 0, nil
+	}
+	svc, err := c.Net.Service(up.Addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, ok := svc.(DoQDialer)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %v is not DoQ", ErrNotProto, up.Addr)
+	}
+	sess = d.DialDoQ(c.Net, up.Addr, resumed)
+	setup := 1
+	if resumed {
+		setup = 0
+	}
+	c.mu.Lock()
+	c.doqSessions[up.Addr] = sess
+	c.doqTickets[up.Addr] = true // the handshake issued a resumption ticket
+	c.mu.Unlock()
+	return sess, setup, nil
+}
+
+// dropDoQ discards a dead session; the resumption ticket survives, so the
+// next dial to the same member rides 0-RTT.
+func (c *Client) dropDoQ(ap netip.AddrPort) {
+	c.mu.Lock()
+	delete(c.doqSessions, ap)
+	c.mu.Unlock()
+}
+
+// Query builds and exchanges a recursion-desired query for (name, type).
+func (c *Client) Query(name string, t dnswire.Type, dnssecOK bool) (*dnswire.Message, error) {
+	return c.Exchange(dnswire.NewQuery(c.nextID(), name, t, dnssecOK))
+}

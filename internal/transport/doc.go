@@ -1,0 +1,90 @@
+// Package transport implements the multi-protocol encrypted-DNS serving
+// layer between stub and recursor that the paper's measurements traverse
+// in the real Internet: Google (8.8.8.8) and Cloudflare (1.1.1.1) expose
+// their recursive fleets behind anycast frontends speaking DoH, DoT, and
+// DoQ, and every §4.3.5/§4.4.2 staleness and failover effect the paper
+// reports happens inside that layer. Real-world stubs are multi-protocol
+// (dnscrypt-proxy routes one query path over DoH/DoT/DNSCrypt), so
+// transport-sensitive scenarios — browser DoH settings, fallback races,
+// per-protocol latency — need the envelope split from the serving
+// machinery, not a per-protocol copy of it.
+//
+// The package therefore splits into one protocol-independent core and
+// three thin envelope codecs:
+//
+//   - Frontend: the engine — answer-cache lifecycle (probe → prefetch →
+//     serve-stale), upstream failure cooldown, and lifecycle counters.
+//     Every envelope server embeds one.
+//   - DoHServer: the RFC 8484 envelope (codec in package doh): one
+//     request/response envelope per query, GET or POST, with an
+//     HTTP-style status channel (502 for upstream failure).
+//   - DoTServer: the RFC 7858 envelope: persistent connections carrying
+//     2-byte length-prefixed frames; queries pipeline and responses
+//     return out of order, matched by query ID; framing errors and dead
+//     addresses kill the connection (and the client fails over).
+//   - DoQServer: the RFC 9250 envelope: one stream per query over a
+//     session, message ID pinned to 0 on the wire, stream errors
+//     isolated from the session; fresh sessions pay a handshake RTT,
+//     resumed ones ride 0-RTT.
+//   - Cache: the sharded TTL+LRU answer cache shared across frontends
+//     regardless of protocol (the anycast-pod property).
+//   - Pool and Client: the load-balanced upstream set (P2/EWMA/
+//     round-robin/hash strategies, virtual-clock cooldown failover) and
+//     the protocol-agnostic stub that dispatches each attempt by the
+//     member's envelope — a mixed fleet fails over across protocols.
+//   - Fleet: the bundle — one cache, one pool, one client, any Mix of
+//     frontends — with per-frontend, per-protocol, and fleet-wide stats.
+//
+// # Cache lifecycle
+//
+// Every cache entry — positive or negative — walks one state machine,
+// evaluated lazily on the virtual clock at probe time, identically for
+// all three protocols:
+//
+//	          Put                      TTL expires              TTL + StaleWindow
+//	(answer) ─────▶ FRESH ────────────────▶ STALE ────────────────────▶ evicted
+//	                  │                       │                     (or LRU victim
+//	                  │ RefreshAhead·TTL      │ upstream fails           any time)
+//	                  ▼ elapsed               ▼ or in cooldown
+//	            prefetch armed:         served with TTLs
+//	            next hit refreshes      capped at StaleTTL
+//	            the entry upstream      (RFC 8767, stale-marked)
+//
+// FRESH (within TTL): served directly, TTLs aged by elapsed virtual time.
+// Once RefreshAhead of the TTL has elapsed, the first hit past the
+// threshold additionally arms a prefetch: the frontend refreshes the
+// entry from its handler on the same exchange, so hot names are renewed
+// before they ever go stale (at most one prefetch per entry generation).
+//
+// STALE (past TTL, within StaleWindow): not served on the happy path —
+// the upstream is consulted first. Only when the handler hard-fails
+// (nil), SERVFAILs, or is benched in FailureCooldown does the frontend
+// serve the stale body, with every record TTL capped at StaleTTL and the
+// answer stale-marked (RFC 8767 serve-stale) — a DoH envelope flag, or
+// DoT/DoQ frame metadata standing in for the RFC 8914 "Stale Answer"
+// extended error.
+//
+// Evicted: past TTL + StaleWindow an entry is dropped at probe time; LRU
+// eviction under capacity pressure can remove any entry earlier.
+//
+// Positive and negative entries differ only in how their TTL is derived
+// and in accounting: negative answers (NXDOMAIN, or NOERROR with an empty
+// answer section — NODATA) are retained for the RFC 2308 negative TTL,
+// min(SOA TTL, SOA minimum) capped by MaxNegativeTTL, so repeated misses
+// during census scans stop hammering upstreams; hits on them are reported
+// as NegativeHits. With StaleWindow zero (the default) the STALE state
+// vanishes and entries die at TTL expiry.
+//
+// # What the envelopes do differently
+//
+// Upstream hard failure with nothing stale: DoH answers 502 (the client
+// retries the next member without benching it); DoT and DoQ synthesize a
+// SERVFAIL message — those wire formats have no status channel — which
+// the client likewise treats as try-the-next-member. Connection state:
+// DoH is stateless per exchange; DoT holds one persistent connection per
+// (client, member), killed by failure injection mid-stream; DoQ holds one
+// session per (client, member) whose first establishment costs a
+// handshake RTT and whose re-establishment rides 0-RTT on the retained
+// ticket. All connection-setup costs are charged to the virtual clock
+// when the client's ChargeLatency is on.
+package transport

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/doh"
+	"repro/internal/simnet"
+)
+
+// DoHServer is the RFC 8484 envelope over a Frontend: it terminates DoH
+// request envelopes at a simnet addr:port, decodes them with the doh
+// codec, resolves through the shared engine, and re-encodes. It
+// implements doh.Exchanger, which is how the Client reaches it after the
+// addr:port service lookup.
+type DoHServer struct {
+	Frontend
+}
+
+// NewDoHServer builds a DoH frontend over the handler.
+func NewDoHServer(name string, handler simnet.DNSHandler, cache *Cache, cooldown time.Duration) *DoHServer {
+	return &DoHServer{Frontend: Frontend{
+		Name: name, Proto: ProtoDoH, Handler: handler,
+		Cache: cache, FailureCooldown: cooldown,
+	}}
+}
+
+// Register attaches the frontend to the network at ap.
+func (s *DoHServer) Register(n *simnet.Network, ap netip.AddrPort) {
+	n.RegisterService(ap, s)
+}
+
+// ExchangeDoH implements doh.Exchanger: decode the envelope, resolve, and
+// re-encode. A hard upstream failure with nothing stale becomes a 502 —
+// DoH is the one envelope with a status channel distinct from the DNS
+// RCode.
+func (s *DoHServer) ExchangeDoH(req *doh.Request) *doh.Response {
+	q, status, err := doh.DecodeRequest(req)
+	if err != nil {
+		return &doh.Response{Status: status}
+	}
+	ans, err := s.Resolve(q)
+	if err != nil {
+		return &doh.Response{Status: doh.StatusServFailUpstream}
+	}
+	return &doh.Response{
+		Status:      doh.StatusOK,
+		ContentType: dnswire.MediaTypeDNSMessage,
+		Body:        ans.Wire,
+		MaxAge:      ans.MaxAge,
+		Stale:       ans.Stale,
+	}
+}

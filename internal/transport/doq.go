@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// ErrStreamReset reports an RFC 9250 per-stream error (DOQ_PROTOCOL_ERROR):
+// the offending stream is dead but the session — and every other stream on
+// it — stays usable.
+var ErrStreamReset = errors.New("transport: DoQ stream reset (DOQ_PROTOCOL_ERROR)")
+
+// DoQServer is the RFC 9250 envelope over a Frontend: clients open a
+// session (a QUIC connection in the real world) to its simnet addr:port
+// and carry exactly one query and one response per stream. The DNS
+// message ID on a DoQ stream MUST be zero (RFC 9250 §4.2.1) — streams
+// already demultiplex queries, so the ID field is redundant and a
+// non-zero one resets the stream.
+type DoQServer struct {
+	Frontend
+
+	sessions atomic.Uint64
+	resumed  atomic.Uint64
+	streams  atomic.Uint64
+	resets   atomic.Uint64
+}
+
+// NewDoQServer builds a DoQ frontend over the handler.
+func NewDoQServer(name string, handler simnet.DNSHandler, cache *Cache, cooldown time.Duration) *DoQServer {
+	return &DoQServer{Frontend: Frontend{
+		Name: name, Proto: ProtoDoQ, Handler: handler,
+		Cache: cache, FailureCooldown: cooldown,
+	}}
+}
+
+// Register attaches the frontend to the network at ap.
+func (s *DoQServer) Register(n *simnet.Network, ap netip.AddrPort) {
+	n.RegisterService(ap, s)
+}
+
+// DoQSessionStats reports a frontend's session-layer traffic: how many
+// sessions were established (and how many of those resumed with 0-RTT),
+// how many streams carried queries, and how many streams were reset.
+type DoQSessionStats struct {
+	Sessions uint64
+	Resumed  uint64
+	Streams  uint64
+	Resets   uint64
+}
+
+// SessionStats returns the session-layer counters.
+func (s *DoQServer) SessionStats() DoQSessionStats {
+	return DoQSessionStats{
+		Sessions: s.sessions.Load(),
+		Resumed:  s.resumed.Load(),
+		Streams:  s.streams.Load(),
+		Resets:   s.resets.Load(),
+	}
+}
+
+// DoQDialer is the service interface a DoQ frontend registers in simnet.
+type DoQDialer interface {
+	DialDoQ(n *simnet.Network, ap netip.AddrPort, resumed bool) *DoQSession
+}
+
+// DialDoQ implements DoQDialer: it establishes a session bound to (n, ap).
+// resumed marks a 0-RTT session resumption — the client holds a ticket
+// from an earlier session to this frontend and pays no handshake
+// round-trip; the latency difference is the client's to charge.
+func (s *DoQServer) DialDoQ(n *simnet.Network, ap netip.AddrPort, resumed bool) *DoQSession {
+	s.sessions.Add(1)
+	if resumed {
+		s.resumed.Add(1)
+	}
+	return &DoQSession{srv: s, net: n, ap: ap, Resumed: resumed}
+}
+
+// DoQSession is one client session. Each Exchange call is one stream:
+// the query travels framed on its own stream, the response comes back on
+// the same stream, and the stream is done. Stream failures are isolated —
+// ErrStreamReset from one Exchange leaves concurrent and subsequent
+// streams on the session untouched; only a dead peer address kills the
+// session itself.
+type DoQSession struct {
+	srv *DoQServer
+	net *simnet.Network
+	ap  netip.AddrPort
+
+	// Resumed records whether the session was established with 0-RTT.
+	Resumed bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// check verifies the session's peer is still reachable.
+func (s *DoQSession) check() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrConnClosed
+	}
+	if _, err := s.net.Service(s.ap); err != nil {
+		s.closed = true
+		return fmt.Errorf("%w: %v", ErrConnClosed, err)
+	}
+	return nil
+}
+
+// Exchange opens one stream for the query and returns its response. The
+// query's message ID must be zero (RFC 9250 §4.2.1); a non-zero ID or an
+// unparseable frame resets this stream only. Safe for concurrent use —
+// streams are independent by construction.
+func (s *DoQSession) Exchange(q *dnswire.Message) (*dnswire.Message, bool, error) {
+	if err := s.check(); err != nil {
+		return nil, false, err
+	}
+	s.srv.streams.Add(1)
+	if q.ID != 0 {
+		s.srv.resets.Add(1)
+		return nil, false, fmt.Errorf("%w: message ID %d must be 0", ErrStreamReset, q.ID)
+	}
+	// The frame travels length-prefixed like DoT (RFC 9250 §4.2); pack
+	// and unpack so the wire codec is exercised per stream.
+	wire, err := q.Pack()
+	if err != nil {
+		s.srv.resets.Add(1)
+		return nil, false, fmt.Errorf("%w: %v", ErrStreamReset, err)
+	}
+	framed := Frame(wire)
+	parsed, err := dnswire.Unpack(framed[2:])
+	if err != nil {
+		s.srv.resets.Add(1)
+		return nil, false, fmt.Errorf("%w: %v", ErrStreamReset, err)
+	}
+	ans, rerr := s.srv.Resolve(parsed)
+	if rerr != nil {
+		// Like DoT, DoQ has no status channel: hard upstream failures go
+		// on the stream as a synthesized SERVFAIL.
+		m, err := dnswire.Unpack(servFailWire(parsed))
+		return m, false, err
+	}
+	m, err := dnswire.Unpack(ans.Wire)
+	return m, ans.Stale, err
+}
+
+// Close ends the session; the next dial to the same frontend resumes
+// with 0-RTT if the client kept its ticket.
+func (s *DoQSession) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

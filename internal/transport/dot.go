@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// Errors surfaced by the DoT and DoQ session layers.
+var (
+	// ErrConnClosed reports a dead connection: the peer address went down
+	// mid-stream (failure injection) or a framing violation closed it.
+	ErrConnClosed = errors.New("transport: connection closed")
+	// ErrBadFrame reports a malformed frame; per RFC 7858 the connection
+	// is not usable afterwards.
+	ErrBadFrame = errors.New("transport: malformed frame")
+)
+
+// DoTServer is the RFC 7858 envelope over a Frontend: clients dial a
+// persistent connection to its simnet addr:port (conventionally :853) and
+// exchange 2-byte length-prefixed DNS messages over it. Queries may be
+// pipelined — several frames written before any response is read — and
+// responses come back out of order, so clients match them by query ID.
+type DoTServer struct {
+	Frontend
+}
+
+// NewDoTServer builds a DoT frontend over the handler.
+func NewDoTServer(name string, handler simnet.DNSHandler, cache *Cache, cooldown time.Duration) *DoTServer {
+	return &DoTServer{Frontend: Frontend{
+		Name: name, Proto: ProtoDoT, Handler: handler,
+		Cache: cache, FailureCooldown: cooldown,
+	}}
+}
+
+// Register attaches the frontend to the network at ap.
+func (s *DoTServer) Register(n *simnet.Network, ap netip.AddrPort) {
+	n.RegisterService(ap, s)
+}
+
+// DoTDialer is the service interface a DoT frontend registers in simnet;
+// the Client type-asserts it after the addr:port service lookup and
+// dials a persistent connection.
+type DoTDialer interface {
+	DialDoT(n *simnet.Network, ap netip.AddrPort) *DoTConn
+}
+
+// DialDoT implements DoTDialer: it opens a persistent connection bound to
+// (n, ap) so every subsequent operation re-checks reachability — a mid-
+// stream SetAddrDown kills the connection exactly like a TCP reset.
+func (s *DoTServer) DialDoT(n *simnet.Network, ap netip.AddrPort) *DoTConn {
+	return &DoTConn{srv: s, net: n, ap: ap, pending: map[uint16]dotReply{}}
+}
+
+// dotReply is one server→client response frame plus the out-of-band
+// stale marker (standing in for the RFC 8914 "Stale Answer" EDE).
+type dotReply struct {
+	wire  []byte
+	stale bool
+}
+
+// DoTConn is one persistent DoT connection. The client side writes raw
+// length-prefixed bytes — frames may be split across writes, and one
+// write may carry several pipelined frames — and reads back response
+// frames that the server emits in reverse arrival order per write (the
+// deterministic stand-in for a real resolver answering cheap queries
+// first). Exchange layers ID-matching on top so concurrent callers can
+// pipeline queries over one connection safely.
+type DoTConn struct {
+	srv *DoTServer
+	net *simnet.Network
+	ap  netip.AddrPort
+
+	mu      sync.Mutex
+	rbuf    []byte              // client→server bytes not yet framed
+	replies []dotReply          // response frames not yet read
+	pending map[uint16]dotReply // responses drained by other callers, demuxed by ID
+	closed  bool
+}
+
+// check verifies the connection is still usable: not closed by a framing
+// error and with the server address still reachable.
+func (c *DoTConn) check() error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	if _, err := c.net.Service(c.ap); err != nil {
+		c.closed = true
+		return fmt.Errorf("%w: %v", ErrConnClosed, err)
+	}
+	return nil
+}
+
+// Frame wraps a packed DNS message in the RFC 1035 §4.2.2 2-byte length
+// prefix DoT uses.
+func Frame(wire []byte) []byte {
+	out := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(out, uint16(len(wire)))
+	copy(out[2:], wire)
+	return out
+}
+
+// Write delivers raw bytes to the server side of the connection. Partial
+// frames accumulate — a length prefix split across two writes is
+// reassembled — and every frame completed by this write is resolved, with
+// the batch's responses emitted in reverse arrival order (pipelined
+// queries complete out of order). A malformed frame closes the
+// connection, per RFC 7858's guidance for framing errors.
+func (c *DoTConn) Write(p []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.check(); err != nil {
+		return err
+	}
+	c.rbuf = append(c.rbuf, p...)
+	var batch []*dnswire.Message
+	for {
+		if len(c.rbuf) < 2 {
+			break
+		}
+		n := int(binary.BigEndian.Uint16(c.rbuf))
+		if len(c.rbuf) < 2+n {
+			break
+		}
+		q, err := dnswire.Unpack(c.rbuf[2 : 2+n])
+		if err != nil {
+			c.closed = true
+			return fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		batch = append(batch, q)
+		c.rbuf = c.rbuf[2+n:]
+	}
+	for i := len(batch) - 1; i >= 0; i-- {
+		q := batch[i]
+		ans, err := c.srv.Resolve(q)
+		if err != nil {
+			// DoT has no status channel: a hard upstream failure goes on
+			// the wire as a synthesized SERVFAIL.
+			c.replies = append(c.replies, dotReply{wire: servFailWire(q)})
+			continue
+		}
+		c.replies = append(c.replies, dotReply{wire: ans.Wire, stale: ans.Stale})
+	}
+	return nil
+}
+
+// ReadResponse pops the next response frame in server emission order.
+func (c *DoTConn) ReadResponse() (wire []byte, stale bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.check(); err != nil {
+		return nil, false, err
+	}
+	if len(c.replies) == 0 {
+		return nil, false, fmt.Errorf("%w: no response pending", ErrConnClosed)
+	}
+	r := c.replies[0]
+	c.replies = c.replies[1:]
+	return r.wire, r.stale, nil
+}
+
+// Exchange sends one query over the connection and waits for the
+// response carrying its ID, parking any other pipelined responses it
+// drains along the way for their owners. Safe for concurrent use: many
+// goroutines can pipeline queries over one connection.
+func (c *DoTConn) Exchange(q *dnswire.Message) (*dnswire.Message, bool, error) {
+	wire, err := q.Pack()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := c.Write(Frame(wire)); err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if r, ok := c.pending[q.ID]; ok {
+			delete(c.pending, q.ID)
+			m, err := dnswire.Unpack(r.wire)
+			return m, r.stale, err
+		}
+		if err := c.check(); err != nil {
+			return nil, false, err
+		}
+		if len(c.replies) == 0 {
+			// The server answers synchronously on Write, so a missing
+			// response means it was lost to a connection death.
+			return nil, false, fmt.Errorf("%w: response never arrived", ErrConnClosed)
+		}
+		r := c.replies[0]
+		c.replies = c.replies[1:]
+		if len(r.wire) < 2 {
+			return nil, false, ErrBadFrame
+		}
+		id := binary.BigEndian.Uint16(r.wire)
+		if id == q.ID {
+			m, err := dnswire.Unpack(r.wire)
+			return m, r.stale, err
+		}
+		c.pending[id] = r
+	}
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// dotFixture stands up one DoT frontend and dials it directly.
+func dotFixture(t *testing.T) (*DoTConn, *DoTServer, *stubRecursor) {
+	t.Helper()
+	net, clock := testNet()
+	recursor := &stubRecursor{ttl: 300}
+	srv := NewDoTServer("dot0", recursor, NewCache(clock, 4, 64), 0)
+	srv.Register(net, frontendAddr(0))
+	return srv.DialDoT(net, frontendAddr(0)), srv, recursor
+}
+
+func packQuery(t *testing.T, id uint16, name string) []byte {
+	t.Helper()
+	wire, err := dnswire.NewQuery(id, name, dnswire.TypeA, false).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// TestDoTSplitLengthPrefixAcrossReads drips one frame into the connection
+// byte by byte — the 2-byte length prefix itself split across writes —
+// and expects exactly one well-formed response once the frame completes.
+func TestDoTSplitLengthPrefixAcrossReads(t *testing.T) {
+	conn, _, _ := dotFixture(t)
+	frame := Frame(packQuery(t, 7, "split.test"))
+
+	// First byte of the length prefix alone.
+	if err := conn.Write(frame[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := conn.ReadResponse(); err == nil {
+		t.Fatal("response emitted from half a length prefix")
+	}
+	// Second prefix byte plus half the message.
+	mid := 2 + len(frame[2:])/2
+	if err := conn.Write(frame[1:mid]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := conn.ReadResponse(); err == nil {
+		t.Fatal("response emitted from a truncated message body")
+	}
+	// The rest: the frame completes and is answered.
+	if err := conn.Write(frame[mid:]); err != nil {
+		t.Fatal(err)
+	}
+	wire, stale, err := conn.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale {
+		t.Error("fresh answer marked stale")
+	}
+	m, err := dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 7 || len(m.Answer) != 1 {
+		t.Errorf("reassembled answer mangled: id=%d answers=%d", m.ID, len(m.Answer))
+	}
+}
+
+// TestDoTPipelinedOutOfOrderResponses writes three frames in one segment
+// and expects the responses out of order (reverse arrival), each matched
+// to its query by ID — the RFC 7858 pipelining contract.
+func TestDoTPipelinedOutOfOrderResponses(t *testing.T) {
+	conn, _, recursor := dotFixture(t)
+	var burst []byte
+	for i := uint16(1); i <= 3; i++ {
+		burst = append(burst, Frame(packQuery(t, i, fmt.Sprintf("p%d.test", i)))...)
+	}
+	if err := conn.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	if recursor.queries != 3 {
+		t.Fatalf("pipelined burst reached the recursor %d times, want 3", recursor.queries)
+	}
+	var order []uint16
+	for i := 0; i < 3; i++ {
+		wire, _, err := conn.ReadResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, binary.BigEndian.Uint16(wire))
+	}
+	if order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Errorf("response order = %v, want out-of-order [3 2 1]", order)
+	}
+}
+
+// TestDoTExchangeDemuxesConcurrentPipelines runs many goroutines
+// pipelining distinct queries over one connection; every caller must get
+// the response bearing its own ID even though frames interleave and
+// arrive out of order.
+func TestDoTExchangeDemuxesConcurrentPipelines(t *testing.T) {
+	conn, _, _ := dotFixture(t)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := uint16(i + 1)
+			q := dnswire.NewQuery(id, fmt.Sprintf("c%d.test", i), dnswire.TypeA, false)
+			m, _, err := conn.Exchange(q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if m.ID != id {
+				errs[i] = fmt.Errorf("got response ID %d, want %d", m.ID, id)
+			}
+			if len(m.Answer) != 1 {
+				errs[i] = fmt.Errorf("answer count %d", len(m.Answer))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("exchange %d: %v", i, err)
+		}
+	}
+}
+
+// TestDoTMalformedFrameClosesConnection: an unparseable message inside a
+// well-framed segment kills the connection, per RFC 7858's handling of
+// framing violations.
+func TestDoTMalformedFrameClosesConnection(t *testing.T) {
+	conn, _, _ := dotFixture(t)
+	if err := conn.Write(Frame([]byte{0xde, 0xad})); err == nil {
+		t.Fatal("malformed frame accepted")
+	}
+	if err := conn.Write(Frame(packQuery(t, 1, "after.test"))); err == nil {
+		t.Fatal("connection still usable after a framing violation")
+	}
+}
+
+// TestDoTMidStreamDeathFailsOverToPoolSibling is the satellite edge: a
+// connection dies mid-stream (failure injection takes the frontend's
+// address down between exchanges) and the client transparently redials
+// the next pool member, benching the dead one.
+func TestDoTMidStreamDeathFailsOverToPoolSibling(t *testing.T) {
+	client, fl, _, net, _ := newTestFleet(t, 2, StrategyRoundRobin, ProtoDoT)
+
+	// Prime a persistent connection to whichever member answers first.
+	if _, err := client.Query("pre.test", dnswire.TypeA, false); err != nil {
+		t.Fatal(err)
+	}
+	first := -1
+	for i, st := range fl.Stats() {
+		if st.Served > 0 {
+			first = i
+		}
+	}
+	if first < 0 {
+		t.Fatal("no frontend served the priming query")
+	}
+
+	// Kill that member's address: its persistent connection is now dead
+	// mid-stream. The next queries must ride the surviving sibling.
+	net.SetAddrDown(fl.Addrs[first].Addr(), true)
+	for i := 0; i < 3; i++ {
+		if _, err := client.Query(fmt.Sprintf("fo%d.test", i), dnswire.TypeA, false); err != nil {
+			t.Fatalf("query %d failed despite a healthy DoT sibling: %v", i, err)
+		}
+	}
+	survivor := 1 - first
+	if got := fl.Frontends[survivor].Stats().Served; got < 3 {
+		t.Errorf("survivor served %d, want ≥ 3", got)
+	}
+	downs := 0
+	for _, st := range client.Pool.Stats() {
+		if st.Down {
+			downs++
+		}
+	}
+	if downs != 1 {
+		t.Errorf("%d members benched, want 1 (the dead connection's owner)", downs)
+	}
+
+	// Recovery: the address comes back; after the cooldown the member is
+	// redialed with a fresh connection.
+	net.SetAddrDown(fl.Addrs[first].Addr(), false)
+	fl.Pool.clock.Advance(DefaultCooldown + time.Second)
+	for i := 0; i < 4; i++ {
+		if _, err := client.Query(fmt.Sprintf("back%d.test", i), dnswire.TypeA, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fl.Frontends[first].Stats().Served == 0 {
+		t.Error("recovered member never served after redial")
+	}
+}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"net/netip"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// FleetConfig assembles a Fleet: the shared answer-cache geometry and
+// lifecycle, the pool's load-balancing strategy and seed, the frontends'
+// failure cooldown, and the client's latency model.
+type FleetConfig struct {
+	// Strategy selects the pool's load-balancing strategy (the zero value
+	// is power-of-two-choices).
+	Strategy Strategy
+	// Seed drives the strategy's random draws.
+	Seed int64
+	// Cache is the shared answer cache's geometry and lifecycle policy.
+	Cache CacheConfig
+	// FailureCooldown benches a frontend's recursor after a hard failure.
+	FailureCooldown time.Duration
+	// Latency is the client's deterministic per-member RTT source
+	// (SyntheticLatency in practice); nil falls back to wall-clock
+	// sampling.
+	Latency func(*Upstream) time.Duration
+	// ChargeLatency charges sampled latencies (and protocol setup costs)
+	// to the network's virtual clock. See Client.ChargeLatency for when
+	// to leave it off.
+	ChargeLatency bool
+	// Override registers frontends as view-local service overrides
+	// (simnet.Network.OverrideService) instead of shared registrations —
+	// how per-day campaign replicas stand their fleets up on network
+	// views without touching the shared registry.
+	Override bool
+}
+
+// Fleet is a protocol-agnostic encrypted-DNS serving fleet: any mix of
+// DoH, DoT, and DoQ frontends sharing one sharded answer cache, one
+// load-balanced upstream pool, and one stub client. It is the hoisted,
+// protocol-independent successor of the PR 1–3 DoH-only serving layer:
+// the frontends differ only in envelope codec, so cache lifecycle,
+// failover, and lifecycle counters behave identically across protocols.
+type Fleet struct {
+	Net    *simnet.Network
+	Cache  *Cache
+	Pool   *Pool
+	Client *Client
+
+	// Frontends are the per-frontend engines in Add order; Addrs and
+	// Servers hold the parallel addresses and envelope servers.
+	Frontends []*Frontend
+	Addrs     []netip.AddrPort
+	Servers   []any
+
+	override bool
+	cooldown time.Duration
+}
+
+// NewFleet creates an empty fleet over the network; frontends are wired
+// in with Add.
+func NewFleet(net *simnet.Network, clock *simnet.Clock, cfg FleetConfig) *Fleet {
+	client := NewClient(net, NewPool(clock, cfg.Strategy, cfg.Seed))
+	client.Latency = cfg.Latency
+	client.ChargeLatency = cfg.ChargeLatency
+	return &Fleet{
+		Net: net, Cache: NewCacheWith(clock, cfg.Cache),
+		Pool: client.Pool, Client: client,
+		override: cfg.Override, cooldown: cfg.FailureCooldown,
+	}
+}
+
+// Add stands up one frontend speaking proto over handler at ap, registers
+// it on the network (or as a view-local override), and joins it to the
+// pool. It returns the frontend's engine for stats and chaos wiring.
+func (fl *Fleet) Add(proto Protocol, name string, handler simnet.DNSHandler, ap netip.AddrPort) *Frontend {
+	var engine *Frontend
+	var svc any
+	switch proto {
+	case ProtoDoT:
+		s := NewDoTServer(name, handler, fl.Cache, fl.cooldown)
+		engine, svc = &s.Frontend, s
+	case ProtoDoQ:
+		s := NewDoQServer(name, handler, fl.Cache, fl.cooldown)
+		engine, svc = &s.Frontend, s
+	default:
+		s := NewDoHServer(name, handler, fl.Cache, fl.cooldown)
+		engine, svc = &s.Frontend, s
+	}
+	if fl.override {
+		fl.Net.OverrideService(ap, svc)
+	} else {
+		fl.Net.RegisterService(ap, svc)
+	}
+	fl.Pool.Add(name, ap, proto)
+	fl.Frontends = append(fl.Frontends, engine)
+	fl.Addrs = append(fl.Addrs, ap)
+	fl.Servers = append(fl.Servers, svc)
+	return engine
+}
+
+// Stats snapshots every frontend in Add order.
+func (fl *Fleet) Stats() []FrontendStats {
+	out := make([]FrontendStats, len(fl.Frontends))
+	for i, f := range fl.Frontends {
+		out[i] = f.Stats()
+	}
+	return out
+}
+
+// ProtocolStats aggregates frontend counters per protocol — the
+// per-protocol dimension chaos drills and campaign serving snapshots
+// report.
+func (fl *Fleet) ProtocolStats() map[Protocol]FrontendStats {
+	out := map[Protocol]FrontendStats{}
+	for _, f := range fl.Frontends {
+		st := f.Stats()
+		agg := out[st.Proto]
+		agg.Name, agg.Proto = st.Proto.String(), st.Proto
+		agg.Add(st)
+		out[st.Proto] = agg
+	}
+	return out
+}
+
+// TotalStats aggregates every frontend into one fleet-wide counter set.
+func (fl *Fleet) TotalStats() FrontendStats {
+	var agg FrontendStats
+	agg.Name = "fleet"
+	for _, f := range fl.Frontends {
+		agg.Add(f.Stats())
+	}
+	return agg
+}

@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/simnet"
+)
+
+// ErrUpstreamFailed reports that a frontend's handler hard-failed and no
+// stale answer was available to cover for it. The DoH codec maps it to a
+// 502 envelope; DoT and DoQ synthesize a SERVFAIL message instead, which
+// is all those wire formats can say.
+var ErrUpstreamFailed = errors.New("transport: upstream failed with no stale answer")
+
+// Frontend is the protocol-independent core of one encrypted-DNS
+// frontend: it consults the (optionally shared) answer cache, forwards
+// misses to the wrapped DNS handler — normally a caching recursive
+// resolver, mirroring how public encrypted-DNS endpoints sit in front of
+// the same recursive fleet the paper queried over UDP — and keeps the
+// lifecycle counters. The envelope servers (DoHServer, DoTServer,
+// DoQServer) embed it and add only their wire codec, so all three
+// protocols share one cache/failover/stats implementation.
+//
+// With a lifecycle-configured Cache the frontend implements the RFC 8767
+// serve-stale flow: a fresh hit is served directly (arming a refresh-ahead
+// prefetch when the entry nears expiry); on a miss or stale probe the
+// handler is consulted, and if it hard-fails (nil) or SERVFAILs while a
+// stale body is available, the stale answer is served instead of an error.
+// A hard handler failure also arms FailureCooldown, during which stale
+// answers are served without re-trying the handler at all — the fleet
+// stops hammering a dead recursor, exactly the behavior behind the
+// paper's §4.3.5/§4.4.2 staleness windows.
+type Frontend struct {
+	// Name labels the frontend in stats output.
+	Name string
+	// Proto is the envelope protocol the embedding server speaks; it only
+	// labels stats (the engine is protocol-blind).
+	Proto Protocol
+	// Handler answers cache misses (a resolver.Resolver in practice).
+	Handler simnet.DNSHandler
+	// Cache, when non-nil, is consulted before the handler; share one
+	// Cache value across frontends to model an anycast fleet. Expiry runs
+	// on the Cache's own virtual clock.
+	Cache *Cache
+	// FailureCooldown benches the handler after a hard failure (nil
+	// response): while it runs, stale-capable queries are answered from
+	// the cache without consulting the handler. Queries with nothing
+	// stale to serve still try the handler (there is no better option),
+	// and a success clears the cooldown early. Zero disables benching.
+	// Requires Cache (the cooldown runs on its virtual clock).
+	FailureCooldown time.Duration
+
+	mu            sync.Mutex
+	cooldownUntil time.Time
+
+	served       atomic.Uint64
+	cacheHits    atomic.Uint64
+	staleServed  atomic.Uint64
+	negativeHits atomic.Uint64
+	prefetches   atomic.Uint64
+	upstreamFail atomic.Uint64
+}
+
+// Answer is the protocol-independent outcome of one resolved query,
+// ready for the envelope codec to frame.
+type Answer struct {
+	// Wire is the packed response with the query's ID already in place.
+	Wire []byte
+	// MaxAge is the remaining freshness the DoH codec turns into a
+	// Cache-Control max-age (RFC 8484 §5.1); DoT/DoQ have no use for it.
+	MaxAge uint32
+	// Stale marks an RFC 8767 serve-stale answer: the frontend's upstream
+	// could not produce a fresh one, so a past-TTL cache entry was served
+	// with capped TTLs. The DoH envelope carries it as a header-equivalent
+	// flag; DoT/DoQ carry it as frame metadata standing in for the
+	// RFC 8914 "Stale Answer" extended error.
+	Stale bool
+}
+
+// FrontendStats reports one frontend's traffic and cache-lifecycle
+// counters.
+type FrontendStats struct {
+	Name      string
+	Proto     Protocol
+	Served    uint64
+	CacheHits uint64
+	// StaleServed counts RFC 8767 stale answers served because the
+	// handler failed or was in cooldown.
+	StaleServed uint64
+	// NegativeHits counts fresh cache hits on RFC 2308 negative entries.
+	NegativeHits uint64
+	// Prefetches counts refresh-ahead upstream refreshes performed.
+	Prefetches uint64
+	// UpstreamFailures counts hard handler failures and SERVFAILs that
+	// triggered (or would have triggered) stale serving.
+	UpstreamFailures uint64
+}
+
+// Add folds another frontend's counters in (for per-protocol and
+// fleet-wide aggregation).
+func (s *FrontendStats) Add(o FrontendStats) {
+	s.Served += o.Served
+	s.CacheHits += o.CacheHits
+	s.StaleServed += o.StaleServed
+	s.NegativeHits += o.NegativeHits
+	s.Prefetches += o.Prefetches
+	s.UpstreamFailures += o.UpstreamFailures
+}
+
+// Stats returns the frontend's counters.
+func (f *Frontend) Stats() FrontendStats {
+	return FrontendStats{
+		Name:             f.Name,
+		Proto:            f.Proto,
+		Served:           f.served.Load(),
+		CacheHits:        f.cacheHits.Load(),
+		StaleServed:      f.staleServed.Load(),
+		NegativeHits:     f.negativeHits.Load(),
+		Prefetches:       f.prefetches.Load(),
+		UpstreamFailures: f.upstreamFail.Load(),
+	}
+}
+
+// inCooldown reports whether the handler is benched after a hard failure.
+func (f *Frontend) inCooldown() bool {
+	if f.FailureCooldown <= 0 || f.Cache == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cooldownUntil.After(f.Cache.clock.Now())
+}
+
+// noteHandlerFailure arms the failure cooldown.
+func (f *Frontend) noteHandlerFailure() {
+	f.upstreamFail.Add(1)
+	if f.FailureCooldown <= 0 || f.Cache == nil {
+		return
+	}
+	f.mu.Lock()
+	f.cooldownUntil = f.Cache.clock.Now().Add(f.FailureCooldown)
+	f.mu.Unlock()
+}
+
+// noteHandlerSuccess clears any cooldown: a demonstrably-answering
+// handler is healthy.
+func (f *Frontend) noteHandlerSuccess() {
+	if f.FailureCooldown <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.cooldownUntil = time.Time{}
+	f.mu.Unlock()
+}
+
+// Resolve walks the cache lifecycle (fresh → prefetch → stale → upstream)
+// for one decoded query and returns the wire answer for the envelope
+// codec. It returns ErrUpstreamFailed only when the handler hard-failed
+// and nothing stale could cover for it.
+func (f *Frontend) Resolve(q *dnswire.Message) (Answer, error) {
+	f.served.Add(1)
+
+	if len(q.Question) != 1 {
+		resp := q.Reply()
+		resp.RCode = dnswire.RCodeFormErr
+		return packAnswer(resp)
+	}
+	question := q.Question[0]
+	dnssecOK := q.DNSSECOK()
+	key := CacheKey(question, dnssecOK)
+
+	stale := false
+	if f.Cache != nil {
+		// Wire fast path: a hit is one copy + ID/TTL patches, no encode.
+		probe := f.Cache.Probe(key, q.ID)
+		switch probe.State {
+		case StateFresh:
+			f.cacheHits.Add(1)
+			if probe.Negative {
+				f.negativeHits.Add(1)
+			}
+			// A benched handler is not probed even for prefetch — the
+			// refresh opportunity for this entry generation is forfeited
+			// and serve-stale covers the eventual expiry instead.
+			if probe.NeedsRefresh && !f.inCooldown() {
+				f.prefetch(key, q)
+			}
+			return Answer{Wire: probe.Body, MaxAge: probe.MaxAge}, nil
+		case StateStale:
+			stale = true
+			if f.inCooldown() {
+				// The handler is benched; ride the stale answer out
+				// rather than hammering a dead recursor.
+				if ans, ok := f.serveStale(key, q.ID); ok {
+					return ans, nil
+				}
+			}
+		}
+	}
+
+	resp := f.Handler.HandleDNS(q)
+	if resp == nil {
+		f.noteHandlerFailure()
+		if stale {
+			if ans, ok := f.serveStale(key, q.ID); ok {
+				return ans, nil
+			}
+		}
+		return Answer{}, ErrUpstreamFailed
+	}
+	if resp.RCode == dnswire.RCodeServFail {
+		// A struggling recursor over a healthy transport: RFC 8767
+		// prefers a stale answer over a fresh SERVFAIL. Either way a
+		// SERVFAIL is not evidence of health, so any armed cooldown
+		// stays armed (it neither clears nor extends).
+		if stale {
+			if ans, ok := f.serveStale(key, q.ID); ok {
+				f.upstreamFail.Add(1)
+				return ans, nil
+			}
+		}
+		return packAnswer(resp)
+	}
+	f.noteHandlerSuccess()
+	if f.Cache != nil {
+		f.Cache.Put(key, resp)
+	}
+	return packAnswer(resp)
+}
+
+// serveStale materializes the stale body, marked so stubs can count it;
+// ok is false when the entry vanished since the probe (LRU pressure).
+func (f *Frontend) serveStale(key string, id uint16) (Answer, bool) {
+	body, maxAge, ok := f.Cache.StaleWire(key, id)
+	if !ok {
+		return Answer{}, false
+	}
+	f.staleServed.Add(1)
+	return Answer{Wire: body, MaxAge: maxAge, Stale: true}, true
+}
+
+// prefetch refreshes an entry nearing expiry: the hit that armed it was
+// already served from cache, so the refresh rides the same exchange
+// (synchronous on the virtual clock — deterministic, no goroutine races)
+// and renews the entry before it ever goes stale.
+func (f *Frontend) prefetch(key string, q *dnswire.Message) {
+	resp := f.Handler.HandleDNS(q)
+	if resp == nil {
+		f.noteHandlerFailure()
+		return
+	}
+	if resp.RCode == dnswire.RCodeServFail {
+		return
+	}
+	f.noteHandlerSuccess()
+	f.prefetches.Add(1)
+	f.Cache.Put(key, resp)
+}
+
+// packAnswer packs a DNS message with max-age derived from the answer's
+// minimum TTL; packing failures surface as an upstream failure so the
+// stub fails over rather than mis-parsing.
+func packAnswer(m *dnswire.Message) (Answer, error) {
+	wire, err := m.Pack()
+	if err != nil {
+		return Answer{}, ErrUpstreamFailed
+	}
+	maxAge, _ := minAnswerTTL(m)
+	return Answer{Wire: wire, MaxAge: maxAge}, nil
+}
+
+// servFailWire synthesizes a packed SERVFAIL reply to q — what a DoT or
+// DoQ frontend puts on the wire when its handler hard-fails (those
+// envelopes have no out-of-band status channel like DoH's 502).
+func servFailWire(q *dnswire.Message) []byte {
+	resp := q.Reply()
+	resp.RCode = dnswire.RCodeServFail
+	wire, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	return wire
+}

@@ -1,4 +1,4 @@
-package doh
+package transport
 
 import (
 	"fmt"
@@ -55,7 +55,7 @@ func ParseStrategy(name string) (Strategy, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("doh: unknown strategy %q (want p2, ewma, roundrobin, or hash)", name)
+	return 0, fmt.Errorf("transport: unknown strategy %q (want p2, ewma, roundrobin, or hash)", name)
 }
 
 // ewmaWeight is the smoothing factor for RTT averaging, matching an
@@ -66,11 +66,13 @@ const ewmaWeight = 2.0 / 11.0
 // before the pool offers it again.
 const DefaultCooldown = 60 * time.Second
 
-// Upstream is one pool member: a DoH frontend address plus its measured
-// state. All mutable fields are guarded by the owning pool's lock.
+// Upstream is one pool member: a frontend address, the envelope protocol
+// it speaks, and its measured state. All mutable fields are guarded by
+// the owning pool's lock.
 type Upstream struct {
-	Name string
-	Addr netip.AddrPort
+	Name  string
+	Addr  netip.AddrPort
+	Proto Protocol
 
 	rttSeconds float64 // EWMA; 0 until the first sample
 	sampled    bool
@@ -83,13 +85,16 @@ type Upstream struct {
 type UpstreamStats struct {
 	Name     string
 	Addr     netip.AddrPort
+	Proto    Protocol
 	Queries  uint64
 	Failures uint64
 	RTT      time.Duration
 	Down     bool
 }
 
-// Pool is a load-balanced set of DoH upstreams with failover bookkeeping.
+// Pool is a load-balanced, protocol-agnostic set of encrypted-DNS
+// upstreams with failover bookkeeping: DoH, DoT, and DoQ members mix
+// freely, and the selection strategies see only addresses and RTTs.
 type Pool struct {
 	// Cooldown is how long a failed upstream is benched in virtual time;
 	// zero selects DefaultCooldown.
@@ -110,11 +115,12 @@ func NewPool(clock *simnet.Clock, strategy Strategy, seed int64) *Pool {
 	return &Pool{clock: clock, strategy: strategy, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Add appends a member and returns it.
-func (p *Pool) Add(name string, addr netip.AddrPort) *Upstream {
+// Add appends a member speaking the given envelope protocol and returns
+// it.
+func (p *Pool) Add(name string, addr netip.AddrPort, proto Protocol) *Upstream {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	u := &Upstream{Name: name, Addr: addr}
+	u := &Upstream{Name: name, Addr: addr, Proto: proto}
 	p.ups = append(p.ups, u)
 	return u
 }
@@ -283,6 +289,7 @@ func (p *Pool) Stats() []UpstreamStats {
 		out[i] = UpstreamStats{
 			Name:     u.Name,
 			Addr:     u.Addr,
+			Proto:    u.Proto,
 			Queries:  u.queries,
 			Failures: u.failures,
 			RTT:      time.Duration(u.rttSeconds * float64(time.Second)),

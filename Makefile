@@ -33,17 +33,23 @@ fmt:
 # vs pipelined, checks the stores match, gates the speedup against the
 # committed baseline (>20% regression fails on a comparable host), and
 # records the new speedup in BENCH_campaign.json so the perf trajectory is
-# tracked from PR 2 on.
+# tracked from PR 2 on. The campaign runs through a mixed-protocol fleet
+# under the happy-eyeballs race strategy, so the report is tagged with
+# the serving-layer shape (frontends/mix/strategy) and the gate only
+# compares equally-tagged runs.
+BENCH_FLEET = -frontends 4 -mix mixed -strategy race
 bench:
-	$(GO) run ./cmd/benchcampaign -baseline BENCH_campaign.json -maxregress 20 -out BENCH_campaign.json
+	$(GO) run ./cmd/benchcampaign $(BENCH_FLEET) -baseline BENCH_campaign.json -maxregress 20 -out BENCH_campaign.json
 
 # CI-sized single-iteration bench smoke: verifies serial/pipelined store
-# equality and runs the speedup regression gate informationally without
+# equality (through the same mixed fleet + race strategy as the full
+# bench, so the strategy determinism contract is re-proven on every CI
+# run) and runs the speedup regression gate informationally without
 # overwriting the committed baseline (the tool downgrades speedup
 # comparisons to warnings whenever GOMAXPROCS or the campaign shape
 # differs from the baseline's — which smoke's shrunken campaign does).
 bench-smoke:
-	$(GO) run ./cmd/benchcampaign -smoke -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
+	$(GO) run ./cmd/benchcampaign -smoke $(BENCH_FLEET) -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
 
 # Fast benchmark subset: substrate + serving-layer hot paths (skips the
 # campaign-backed table/figure benchmarks, which rebuild a world).

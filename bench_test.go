@@ -484,7 +484,7 @@ func transportBench(b *testing.B, withCache bool, protos ...transport.Protocol) 
 		cacheCfg = transport.CacheConfig{Shards: 1, ShardCapacity: 1}
 	}
 	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
-		Strategy: transport.StrategyRoundRobin, Seed: 11, Cache: cacheCfg,
+		Balance: transport.BalanceRoundRobin, Seed: 11, Cache: cacheCfg,
 	})
 	if len(protos) == 0 {
 		protos = []transport.Protocol{transport.ProtoDoH}
@@ -541,6 +541,38 @@ func BenchmarkTransportPath(b *testing.B) {
 	}
 }
 
+// BenchmarkTransportStrategy measures the resolution-strategy dispatch
+// cost on the cached hot path over a mixed DoH/DoT/DoQ fleet: serial
+// failover (one dial per exchange), happy-eyeballs racing (a second
+// cross-protocol dial whenever the primary misses the stagger), and
+// hedged queries (a quantile check per exchange, duplicate dials only on
+// tail latencies). The latency model is synthetic so strategy decisions
+// are deterministic and the numbers compare strategy overhead, not host
+// scheduling.
+func BenchmarkTransportStrategy(b *testing.B) {
+	for _, kind := range []transport.StrategyKind{
+		transport.StrategySerial, transport.StrategyRace, transport.StrategyHedge,
+	} {
+		b.Run(kind.String(), func(b *testing.B) {
+			client, list, _ := transportBench(b, true,
+				transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ)
+			client.Strategy = transport.StrategyConfig{Kind: kind}.New()
+			client.Latency = transport.SyntheticLatency(2*time.Millisecond, 18*time.Millisecond)
+			for _, name := range list {
+				if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Query(list[i%len(list)], dnswire.TypeHTTPS, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDoHUncachedPath measures the same exchanges with the answer
 // cache disabled: every query pays envelope decode + recursor traversal.
 func BenchmarkDoHUncachedPath(b *testing.B) {
@@ -574,7 +606,7 @@ func BenchmarkDoHStalePath(b *testing.B) {
 	}
 	w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
 	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
-		Strategy: transport.StrategyRoundRobin, Seed: 11,
+		Balance: transport.BalanceRoundRobin, Seed: 11,
 		Cache: transport.CacheConfig{StaleWindow: 24 * time.Hour},
 	})
 	for i := 0; i < 3; i++ {
@@ -611,7 +643,7 @@ func BenchmarkDoHNegativePath(b *testing.B) {
 	}
 	w.Clock.Set(clock)
 	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
-		Strategy: transport.StrategyRoundRobin, Seed: 11,
+		Balance: transport.BalanceRoundRobin, Seed: 11,
 	})
 	cache := fl.Cache
 	ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)

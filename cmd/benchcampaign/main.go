@@ -8,14 +8,17 @@
 //
 //	benchcampaign [-size N] [-days D] [-dayworkers W] [-seed S]
 //	              [-frontends N] [-mix doh|dot|doq|mixed|doh=..,dot=..]
+//	              [-strategy serial|race|hedge]
 //	              [-out FILE] [-smoke] [-baseline FILE] [-maxregress PCT]
 //
 // -frontends runs the campaign through an encrypted-DNS serving fleet of
-// that many frontends, with -mix selecting the protocol split — the
-// per-protocol dimension of the campaign benchmark. Reports are tagged
-// with the frontend count and mix, and the -baseline gate only compares
-// runs with identical tags, so an all-DoH baseline is never held to a
-// mixed-fleet number (or vice versa).
+// that many frontends, with -mix selecting the protocol split and
+// -strategy the client's resolution strategy (serial failover,
+// happy-eyeballs racing, or hedged queries) — the per-protocol and
+// per-strategy dimensions of the campaign benchmark. Reports are tagged
+// with the frontend count, mix, and strategy, and the -baseline gate
+// only compares runs with identical tags, so an all-DoH serial baseline
+// is never held to a mixed-fleet racing number (or vice versa).
 //
 // -smoke shrinks the campaign to a CI-friendly single-iteration size.
 //
@@ -49,10 +52,12 @@ type report struct {
 	Seed        int64  `json:"seed"`
 	Days        int    `json:"days"`
 	DayWorkers  int    `json:"day_workers"`
-	// Frontends and TransportMix tag the serving-layer shape of the run
-	// (0 / "" when the campaign queried the recursors directly).
+	// Frontends, TransportMix, and Strategy tag the serving-layer shape
+	// of the run (0 / "" when the campaign queried the recursors
+	// directly).
 	Frontends    int     `json:"frontends,omitempty"`
 	TransportMix string  `json:"transport_mix,omitempty"`
+	Strategy     string  `json:"strategy,omitempty"`
 	SerialMS     float64 `json:"serial_ms"`
 	PipelinedMS  float64 `json:"pipelined_ms"`
 	Speedup      float64 `json:"speedup"`
@@ -71,6 +76,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "generation seed")
 	frontends := flag.Int("frontends", 0, "encrypted-DNS frontends to route the campaign through (0: direct stub queries)")
 	mixFlag := flag.String("mix", "doh", "frontend protocol mix (with -frontends): doh, dot, doq, mixed, or weights")
+	strategyFlag := flag.String("strategy", "serial", "resolution strategy (with -frontends): serial, race, or hedge")
 	out := flag.String("out", "BENCH_campaign.json", "report path ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny campaign, no timing claims")
 	baseline := flag.String("baseline", "", "committed report to gate the speedup against (empty disables)")
@@ -78,6 +84,11 @@ func main() {
 	flag.Parse()
 
 	mix, err := transport.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	strategy, err := transport.ParseStrategy(*strategyFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -95,6 +106,7 @@ func main() {
 			Size: *size, Seed: *seed, Start: start, End: end, StepDays: 1,
 			DayWorkers:   dayWorkers,
 			DoHFrontends: *frontends, TransportMix: mix,
+			TransportStrategy: strategy,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -116,7 +128,7 @@ func main() {
 
 	fleetTag := ""
 	if *frontends > 0 {
-		fleetTag = fmt.Sprintf(", %d frontends mix=%s", *frontends, mix)
+		fleetTag = fmt.Sprintf(", %d frontends mix=%s strategy=%s", *frontends, mix, strategy)
 	}
 	fmt.Fprintf(os.Stderr, "benchcampaign: size=%d days=%d (serial vs %d day workers)%s\n",
 		*size, *days, *workers, fleetTag)
@@ -142,10 +154,11 @@ func main() {
 		StoresEqual: bytes.Equal(serialStore, pipeStore),
 	}
 	if *frontends > 0 {
-		// The mix only shapes the run when a fleet is in the loop; tag
-		// direct-query runs with the empty string so their baselines stay
-		// comparable regardless of the -mix flag's default.
+		// The mix and strategy only shape the run when a fleet is in the
+		// loop; tag direct-query runs with the empty string so their
+		// baselines stay comparable regardless of the flag defaults.
 		r.TransportMix = mix.String()
+		r.Strategy = strategy.String()
 	}
 	if r.GoMaxProcs <= 1 {
 		r.Note = "single-core host: speedup is meaningful only with go_max_procs > 1; stores_equal is the signal here"
@@ -175,10 +188,12 @@ func main() {
 // reports whether the gate passed. A missing/unreadable baseline only
 // warns, as does any configuration mismatch — a different GOMAXPROCS
 // (speedups are host-shape-bound) or a different campaign shape
-// (size/days/workers/seed, and the serving-layer shape: frontend count
-// and protocol mix — a 5-day smoke pipeline is structurally slower than
-// the 21-day baseline, and a DoT-heavy fleet pays different envelope
-// costs than an all-DoH one, so neither is held to the other's number).
+// (size/days/workers/seed, and the serving-layer shape: frontend count,
+// protocol mix, and resolution strategy — a 5-day smoke pipeline is
+// structurally slower than the 21-day baseline, a DoT-heavy fleet pays
+// different envelope costs than an all-DoH one, and a racing client
+// fires duplicate attempts a serial one never pays for, so none is held
+// to another's number).
 func gateSpeedup(path string, r *report, maxRegress float64) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -194,13 +209,14 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 	if base.GoMaxProcs != r.GoMaxProcs ||
 		base.Size != r.Size || base.Days != r.Days ||
 		base.DayWorkers != r.DayWorkers || base.Seed != r.Seed ||
-		base.Frontends != r.Frontends || base.TransportMix != r.TransportMix {
+		base.Frontends != r.Frontends || base.TransportMix != r.TransportMix ||
+		base.Strategy != r.Strategy {
 		fmt.Fprintf(os.Stderr,
-			"  gate: baseline (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d frontends=%d mix=%q) vs this run (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d frontends=%d mix=%q) — speedups not comparable (baseline %.2fx, now %.2fx), warning only\n",
+			"  gate: baseline (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d frontends=%d mix=%q strategy=%q) vs this run (GOMAXPROCS=%d size=%d days=%d workers=%d seed=%d frontends=%d mix=%q strategy=%q) — speedups not comparable (baseline %.2fx, now %.2fx), warning only\n",
 			base.GoMaxProcs, base.Size, base.Days, base.DayWorkers, base.Seed,
-			base.Frontends, base.TransportMix,
+			base.Frontends, base.TransportMix, base.Strategy,
 			r.GoMaxProcs, r.Size, r.Days, r.DayWorkers, r.Seed,
-			r.Frontends, r.TransportMix, base.Speedup, r.Speedup)
+			r.Frontends, r.TransportMix, r.Strategy, base.Speedup, r.Speedup)
 		return true
 	}
 	if r.GoMaxProcs <= 1 {

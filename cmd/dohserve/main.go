@@ -9,7 +9,8 @@
 // Usage:
 //
 //	dohserve [-size N] [-seed S] [-frontends N] [-proto doh|dot|doq|mixed]
-//	         [-strategy p2|ewma|roundrobin|hash]
+//	         [-strategy serial|race|hedge] [-stagger D] [-hedgeq F]
+//	         [-balance p2|ewma|roundrobin|hash]
 //	         [-queries N] [-workers N] [-shards N] [-shardcap N] [-hot N]
 //	         [-kill N] [-post]
 //	         [-stalewindow D] [-refreshahead F] [-cooldown D]
@@ -19,6 +20,17 @@
 // shorthand "mixed" (2:1:1 DoH:DoT:DoQ), or explicit weights like
 // doh=60,dot=30,doq=10. All protocols share the same cache, pool, and
 // recursors, so the report compares them on equal footing.
+//
+// -strategy selects the stub's resolution strategy: serial failover,
+// happy-eyeballs protocol racing (-stagger sets the head start), or
+// quantile-armed hedged queries (-hedgeq sets the arming quantile);
+// -balance independently selects the pool's load-balancing policy. The
+// report shows the strategy's winner-protocol distribution and its
+// wasted-query overhead (duplicate attempts whose answers were
+// discarded) — run -proto mixed -strategy race to watch the
+// happy-eyeballs split. The drive layers a deterministic 1-in-8 latency
+// tail over the synthetic per-member RTTs so the tail-sensitive
+// strategies have something to react to.
 //
 // -kill marks that many frontend addresses unreachable halfway through
 // the load, exercising failover under fire.
@@ -56,7 +68,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed (also drives chaos flaps)")
 	frontends := flag.Int("frontends", 4, "number of DoH frontends")
 	protoMix := flag.String("proto", "doh", "protocol mix: doh, dot, doq, mixed, or weights like doh=60,dot=30,doq=10")
-	strategyName := flag.String("strategy", "p2", "load-balancing strategy (p2, ewma, roundrobin, hash)")
+	strategyName := flag.String("strategy", "serial", "resolution strategy (serial, race, hedge)")
+	stagger := flag.Duration("stagger", 0, "race head start before the cross-protocol partner launches (0: transport default)")
+	hedgeQ := flag.Float64("hedgeq", 0, "hedge arming quantile in (0,1] (0: transport default)")
+	balanceName := flag.String("balance", "p2", "load-balancing policy (p2, ewma, roundrobin, hash)")
 	queries := flag.Int("queries", 2000, "total queries to drive")
 	workers := flag.Int("workers", 8, "concurrent stub workers (chaos mode always uses 1)")
 	shards := flag.Int("shards", transport.DefaultShards, "answer-cache shard count")
@@ -76,6 +91,19 @@ func main() {
 	strategy, err := transport.ParseStrategy(*strategyName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	balance, err := transport.ParseBalance(*balanceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *hedgeQ < 0 || *hedgeQ > 1 {
+		fmt.Fprintln(os.Stderr, "dohserve: -hedgeq must be in [0,1] (0 selects the transport default)")
+		os.Exit(2)
+	}
+	if *stagger < 0 {
+		fmt.Fprintln(os.Stderr, "dohserve: -stagger must be non-negative (0 selects the transport default)")
 		os.Exit(2)
 	}
 	mix, err := transport.ParseMix(*protoMix)
@@ -99,7 +127,8 @@ func main() {
 	// the measurement runs use; here only the fleet is driven.
 	camp, err := core.NewCampaign(core.CampaignConfig{
 		Size: *size, Seed: *seed,
-		DoHFrontends: *frontends, DoHStrategy: strategy, TransportMix: mix,
+		DoHFrontends: *frontends, DoHBalance: balance, TransportMix: mix,
+		TransportStrategy: strategy, RaceStagger: *stagger, HedgeQuantile: *hedgeQ,
 		DoHShards: *shards, DoHShardCap: *shardCap,
 		DoHStaleWindow: *staleWindow, DoHRefreshAhead: *refreshAhead,
 		DoHFailureCooldown: *cooldown,
@@ -110,6 +139,21 @@ func main() {
 	}
 	world, client := camp.World, camp.Fleet.Client
 	client.UsePOST = *post
+	// Layer a deterministic 1-in-8 latency tail over the campaign's
+	// synthetic per-member band: constant per-member RTTs never exceed
+	// their own quantile, so without a tail the quantile-armed Hedge
+	// strategy would have nothing to react to (and Race would never see
+	// an upset win). Chaos mode drives queries from one goroutine, so
+	// the tail sequence is reproducible for a seed.
+	base := client.Latency
+	var tailTick atomic.Uint64
+	client.Latency = func(u *transport.Upstream) time.Duration {
+		d := base(u)
+		if tailTick.Add(1)%8 == 0 {
+			return 4 * d
+		}
+		return d
+	}
 	day := time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC)
 	world.Clock.Set(day)
 
@@ -117,8 +161,8 @@ func main() {
 	if *hot > 0 && *hot < len(list) {
 		list = list[:*hot]
 	}
-	fmt.Printf("world: %d domains (working set %d); fleet: %d frontends (mix %s), strategy %s, cache %d×%d\n",
-		*size, len(list), *frontends, mix, strategy, *shards, *shardCap)
+	fmt.Printf("world: %d domains (working set %d); fleet: %d frontends (mix %s), strategy %s, balance %s, cache %d×%d\n",
+		*size, len(list), *frontends, mix, strategy, balance, *shards, *shardCap)
 
 	if *chaos {
 		runChaos(camp, list, *queries, *epochs, *epochLen, *flap, *seed)
@@ -244,6 +288,7 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 	// Baselines taken after warmup so every reported delta is drill-only.
 	warmStale := client.StaleAnswers()
 	protoBase := camp.Fleet.ProtocolStats()
+	strategyBase := camp.Fleet.StrategyStats()
 
 	rng := rand.New(rand.NewSource(seed))
 	perEpoch := queries / epochs
@@ -300,6 +345,7 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 			p, now.Served-base.Served, now.StaleServed-base.StaleServed,
 			now.UpstreamFailures-base.UpstreamFailures)
 	}
+	reportStrategy(camp, &strategyBase, "drill deltas")
 
 	fmt.Println("\nrecovery times (virtual time from recursor up-flap to first successful exchange):")
 	for _, u := range ups {
@@ -333,6 +379,41 @@ func protocolsOf(camp *core.Campaign) []transport.Protocol {
 	return out
 }
 
+// reportStrategy prints the resolution strategy's telemetry — races and
+// hedges fired, losers cancelled, and the wasted-query overhead the
+// duplicate attempts cost the upstreams — plus the winner-protocol
+// distribution (which envelope actually answered). base, when non-nil,
+// turns every number into a delta against that snapshot.
+func reportStrategy(camp *core.Campaign, base *transport.StrategyStats, label string) {
+	st := camp.Fleet.StrategyStats()
+	if base != nil {
+		st.Sub(*base)
+	}
+	fmt.Printf("\nresolution strategy %s (%s):\n", st.Strategy, label)
+	fmt.Printf("  %d exchanges, %d attempts: %d races started, %d hedges fired, %d losers cancelled\n",
+		st.Exchanges, st.Attempts, st.Races, st.Hedges, st.LosersCancelled)
+	overhead := 0.0
+	if st.Exchanges > 0 {
+		overhead = 100 * float64(st.Wasted) / float64(st.Exchanges)
+	}
+	fmt.Printf("  wasted upstream queries: %d (%.1f%% duplicate-load overhead)\n", st.Wasted, overhead)
+	var wins uint64
+	for _, n := range st.WinsByProto {
+		wins += n
+	}
+	if wins > 0 {
+		fmt.Print("  winner protocols:")
+		for _, p := range []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ} {
+			n, ok := st.WinsByProto[p]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %s %d (%.1f%%)", p, n, 100*float64(n)/float64(wins))
+		}
+		fmt.Println()
+	}
+}
+
 // report prints the per-frontend and per-protocol lifecycle counters,
 // pool health, and shared-cache statistics common to both modes.
 func report(camp *core.Campaign) {
@@ -351,6 +432,7 @@ func report(camp *core.Campaign) {
 				st.Prefetches, st.UpstreamFailures)
 		}
 	}
+	reportStrategy(camp, nil, "totals incl. warmup")
 	fmt.Printf("\npool (%d/%d members healthy):\n", camp.Fleet.Pool.Healthy(), camp.Fleet.Pool.Len())
 	for _, st := range camp.Fleet.Pool.Stats() {
 		fmt.Printf("  %-22s queries %6d  failures %3d  down=%-5v rtt=%s\n",

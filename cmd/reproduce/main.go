@@ -5,17 +5,25 @@
 //
 //	reproduce [-size N] [-seed S] [-step D] [-dayworkers W]
 //	          [-frontends N] [-mix doh|dot|doq|mixed]
+//	          [-strategy serial|race|hedge] [-minobs N]
 //	          [-exp all|fig2|tab2|tab3|fig3|
 //	          intermittency|tab4|tab5|params|tab8|fig11|fig12|connectivity|
-//	          fig13|fig4|fig5|tab9|fig14|fig8|tab6|tab7|failover]
+//	          fig13|fig4|fig5|tab9|fig14|fig8|stalecorr|tab6|tab7|failover]
 //
 // Larger -size values converge the percentages to the paper's (the
 // non-Cloudflare population floor dominates below ~90k domains); -step
 // trades trend resolution for runtime; -dayworkers pipelines that many
 // scan days concurrently (results are identical for any value);
 // -frontends routes every scan through an encrypted-DNS serving fleet
-// with the -mix protocol split (results are again identical — the
-// serving layer is transparent to the measurements).
+// with the -mix protocol split and the -strategy resolution strategy
+// (results are again identical — the serving layer is transparent to
+// the measurements, whichever frontend wins each exchange).
+//
+// -minobs sweeps the §4.2.3 intermittency classification gate: domains
+// observed on fewer in-list days are skipped (reported as sparse) rather
+// than classified. -exp stalecorr emits the §4.4.2 staleness/ECH
+// correlation table, joining per-day serving snapshots (needs
+// -frontends) against the hourly ECH scans.
 package main
 
 import (
@@ -41,6 +49,9 @@ func main() {
 		"scan days resolved concurrently (1 = serial; results are identical)")
 	frontends := flag.Int("frontends", 0, "encrypted-DNS frontends to scan through (0: direct stub queries)")
 	mixFlag := flag.String("mix", "doh", "frontend protocol mix (with -frontends): doh, dot, doq, mixed, or weights")
+	strategyFlag := flag.String("strategy", "serial", "resolution strategy (with -frontends): serial, race, or hedge")
+	minObs := flag.Int("minobs", analysis.DefaultIntermittencyMinObs,
+		"intermittency classification gate: minimum observed in-list days")
 	exp := flag.String("exp", "all", "experiment selector (comma-separated ids or 'all')")
 	quiet := flag.Bool("q", false, "suppress per-day progress")
 	flag.Parse()
@@ -54,7 +65,7 @@ func main() {
 	serverSide := false
 	for _, id := range []string{"fig2", "tab2", "tab3", "fig3", "intermittency", "tab4",
 		"tab5", "params", "tab8", "fig11", "fig12", "connectivity", "fig13", "fig4",
-		"fig5", "tab9", "fig14", "fig8"} {
+		"fig5", "tab9", "fig14", "fig8", "stalecorr"} {
 		if sel(id) {
 			serverSide = true
 		}
@@ -65,23 +76,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	strategy, err := transport.ParseStrategy(*strategyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if serverSide {
-		runServerSide(*size, *seed, *step, *dayWorkers, *frontends, mix, *quiet, sel)
+		runServerSide(*size, *seed, *step, *dayWorkers, *frontends, mix, strategy, *minObs, *quiet, sel)
 	}
 	if sel("tab6") || sel("tab7") || sel("failover") {
 		runClientSide(sel)
 	}
 }
 
-func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix transport.Mix, quiet bool, sel func(string) bool) {
+func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix transport.Mix, strategy transport.StrategyKind, minObs int, quiet bool, sel func(string) bool) {
 	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step, DayWorkers: dayWorkers,
-		DoHFrontends: frontends, TransportMix: mix}
+		DoHFrontends: frontends, TransportMix: mix, TransportStrategy: strategy}
 	if !quiet {
 		cfg.Progress = os.Stderr
 	}
+	// Reports are strategy-tagged when a fleet is in the loop, so runs
+	// through different resolution strategies are distinguishable.
 	fleet := ""
 	if frontends > 0 {
-		fleet = fmt.Sprintf(" frontends=%d mix=%s", frontends, mix)
+		fleet = fmt.Sprintf(" frontends=%d mix=%s strategy=%s", frontends, mix, strategy)
 	}
 	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd dayworkers=%d%s\n",
 		size, seed, step, dayWorkers, fleet)
@@ -98,7 +116,7 @@ func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix tr
 	fmt.Fprintf(os.Stderr, "daily campaign done in %v (%d DNS queries)\n",
 		time.Since(start).Round(time.Second), c.World.Net.QueryCount())
 
-	if sel("fig4") {
+	if sel("fig4") || sel("stalecorr") {
 		c.RunHourlyECH(time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC), 7)
 	}
 	if sel("tab9") {
@@ -125,7 +143,14 @@ func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix tr
 	nonCF := analysis.NonCFProviders(st, nil)
 	print("tab3", nonCF.Table(10))
 	print("fig3", analysis.SeriesTable("Fig 3: distinct non-Cloudflare providers with HTTPS RR", 20, nonCF.DailyDistinct))
-	print("intermittency", analysis.Intermittency(st).Table())
+	if sel("intermittency") {
+		inter := analysis.IntermittencyMinObs(st, minObs)
+		fmt.Println(inter.Table().Format())
+		if inter.MinObservations > analysis.DefaultIntermittencyMinObs {
+			fmt.Printf("intermittency gate: minobs=%d skipped %d sparse histories\n\n",
+				inter.MinObservations, inter.SparseSkipped)
+		}
+	}
 	print("tab4", analysis.DefaultVsCustom(st, nil).Table("dynamic"),
 		analysis.DefaultVsCustom(st, phase2).Table("overlapping"))
 	if sel("tab5") {
@@ -153,6 +178,7 @@ func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix tr
 		}
 	}
 	print("tab9", analysis.Census(st).Table())
+	print("stalecorr", analysis.StaleECHCorrelation(st).Table())
 	print("fig14", analysis.SignedECH(st, nil).Table())
 	if sel("fig8") {
 		stats := analysis.RankDistributions(st, phase1)

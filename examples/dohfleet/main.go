@@ -41,7 +41,7 @@ func main() {
 		}
 	}
 	fmt.Printf("fleet: %d DoH frontends, strategy %s, shared %d-shard cache\n",
-		len(camp.Fleet.Frontends), camp.Fleet.Pool.Strategy(), transport.DefaultShards)
+		len(camp.Fleet.Frontends), camp.Fleet.Pool.Balance(), transport.DefaultShards)
 	fmt.Printf("target domain: %s\n\n", target)
 
 	// 1. Warm the fleet with a spread of queries.

@@ -433,3 +433,51 @@ func TestIntermittencyMinObsGate(t *testing.T) {
 		t.Errorf("minObs=0 not clamped: %+v", clamped)
 	}
 }
+
+// TestStaleECHCorrelation pins the §4.4.2 join: per-day serving
+// snapshots and hourly ECH observations line up by UTC day, domains
+// serving two or more distinct configs within a day count as
+// inconsistent, and coincident days (stale serves and inconsistency
+// together) are flagged.
+func TestStaleECHCorrelation(t *testing.T) {
+	st := dataset.NewStore()
+	day1 := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+	day2 := day1.AddDate(0, 0, 1)
+	st.AddServing(&dataset.ServingSnapshot{Date: day1, StaleServed: 3, UpstreamFailures: 2, StaleWindowSec: 3600})
+	st.AddServing(&dataset.ServingSnapshot{Date: day2, StaleServed: 0})
+	// Day 1: a.test rotates through three configs (inconsistent), b.test
+	// holds one. Day 2: a.test is stable — no inconsistency despite the
+	// extra observation hours.
+	for h, key := range []uint64{11, 22, 33} {
+		st.AddECH(dataset.ECHObservation{Time: day1.Add(time.Duration(h) * time.Hour), Domain: "a.test.", KeyHash: key})
+	}
+	st.AddECH(dataset.ECHObservation{Time: day1.Add(time.Hour), Domain: "b.test.", KeyHash: 7})
+	st.AddECH(dataset.ECHObservation{Time: day2.Add(time.Hour), Domain: "a.test.", KeyHash: 33})
+	st.AddECH(dataset.ECHObservation{Time: day2.Add(2 * time.Hour), Domain: "a.test.", KeyHash: 33})
+
+	res := StaleECHCorrelation(st)
+	if len(res.Days) != 2 {
+		t.Fatalf("joined %d days, want 2", len(res.Days))
+	}
+	d1, d2 := res.Days[0], res.Days[1]
+	if !d1.HasServing || d1.StaleServed != 3 || d1.UpstreamFailures != 2 || d1.StaleWindowSec != 3600 {
+		t.Errorf("day1 serving side: %+v", d1)
+	}
+	if d1.ECHDomains != 2 || d1.InconsistentDomains != 1 || d1.MaxConfigs != 3 {
+		t.Errorf("day1 ECH side: %+v", d1)
+	}
+	if d2.ECHDomains != 1 || d2.InconsistentDomains != 0 || d2.MaxConfigs != 1 {
+		t.Errorf("day2 ECH side: %+v", d2)
+	}
+	if res.TotalStaleServed != 3 || res.TotalInconsistent != 1 || res.CoincidentDays != 1 {
+		t.Errorf("totals: %+v", res)
+	}
+	// Rows: one per day plus the totals row.
+	if rows := len(res.Table().Rows); rows != 3 {
+		t.Errorf("table rows = %d, want 3", rows)
+	}
+	// Empty store renders the placeholder row rather than panicking.
+	if rows := len(StaleECHCorrelation(dataset.NewStore()).Table().Rows); rows != 1 {
+		t.Errorf("empty-store table rows = %d, want 1", rows)
+	}
+}

@@ -138,7 +138,7 @@ var DoHAddr = netip.AddrPortFrom(netip.MustParseAddr("10.99.0.53"), 443)
 // subsequent Visit.
 func (l *Lab) EnableDoH() *transport.Fleet {
 	fl := transport.NewFleet(l.Net, l.Clock, transport.FleetConfig{
-		Strategy: transport.StrategyRoundRobin, Seed: 99,
+		Balance: transport.BalanceRoundRobin, Seed: 99,
 		Cache: transport.CacheConfig{Shards: 2, ShardCapacity: 64},
 	})
 	fl.Add(transport.ProtoDoH, "lab-doh", l.Auth, DoHAddr)

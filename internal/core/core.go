@@ -63,9 +63,23 @@ type CampaignConfig struct {
 	// Frontend i's protocol is a pure function of (mix, i), so per-day
 	// fleet replicas recompute the identical assignment.
 	TransportMix transport.Mix
-	// DoHStrategy selects the pool's load-balancing strategy (the zero
+	// DoHBalance selects the pool's load-balancing policy (the zero
 	// value is power-of-two-choices).
-	DoHStrategy transport.Strategy
+	DoHBalance transport.Balance
+	// TransportStrategy selects the stub client's resolution strategy:
+	// serial failover (the zero value — today's behavior), happy-eyeballs
+	// protocol racing, or hedged queries. Strategies change which
+	// frontend answers and how many attempts fire, never the answers
+	// themselves, so campaign stores stay byte-identical across worker
+	// counts under every strategy (per-day replicas keep their clocks
+	// frozen; see newDayContext).
+	TransportStrategy transport.StrategyKind
+	// RaceStagger overrides the Race strategy's happy-eyeballs head
+	// start; zero selects transport.DefaultRaceStagger.
+	RaceStagger time.Duration
+	// HedgeQuantile overrides the Hedge strategy's arming quantile;
+	// zero selects transport.DefaultHedgeQuantile.
+	HedgeQuantile float64
 	// DoHShards and DoHShardCap set the shared answer cache geometry;
 	// zero values select the doh package defaults.
 	DoHShards   int
@@ -147,6 +161,17 @@ func (c *Campaign) cacheConfig() transport.CacheConfig {
 	}
 }
 
+// strategyConfig assembles the resolution-strategy selection from the
+// campaign knobs (shared by the campaign fleet and per-day replicas, so
+// both resolve with the identical policy).
+func (c *Campaign) strategyConfig() transport.StrategyConfig {
+	return transport.StrategyConfig{
+		Kind:          c.Cfg.TransportStrategy,
+		RaceStagger:   c.Cfg.RaceStagger,
+		HedgeQuantile: c.Cfg.HedgeQuantile,
+	}
+}
+
 // frontendRecursor returns frontend i's wrapped recursor and its org
 // label — the fleet alternates Google/Cloudflare by index, like the
 // paper's primary/backup split.
@@ -165,7 +190,8 @@ func frontendRecursor(g, cf simnet.DNSHandler, i int) (simnet.DNSHandler, string
 func (c *Campaign) buildFleet(n int, mix transport.Mix) {
 	w := c.World
 	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
-		Strategy: c.Cfg.DoHStrategy, Seed: c.Cfg.Seed,
+		Balance: c.Cfg.DoHBalance, Seed: c.Cfg.Seed,
+		Strategy:        c.strategyConfig(),
 		Cache:           c.cacheConfig(),
 		FailureCooldown: c.Cfg.DoHFailureCooldown,
 		Latency:         transport.SyntheticLatency(dohLatencyBase, dohLatencySpread),
@@ -193,9 +219,12 @@ type dayContext struct {
 	prober  scanner.Prober
 	// fleet is the serving layer the day's queries ride (a per-day
 	// replica, or the campaign fleet for ScanDay); servingBase holds its
-	// counters at context creation so the day records deltas.
-	fleet       *transport.Fleet
-	servingBase transport.FrontendStats
+	// counters at context creation so the day records deltas, and
+	// staleBase/negativeBase do the same for the stub-side counters.
+	fleet        *transport.Fleet
+	servingBase  transport.FrontendStats
+	staleBase    uint64
+	negativeBase uint64
 }
 
 // dayProber evaluates the world's TLS reachability schedule at the day
@@ -234,7 +263,8 @@ func (c *Campaign) newDayContext(day time.Time) *dayContext {
 	var t scanner.Transport
 	if c.Fleet != nil {
 		fl := transport.NewFleet(net, clock, transport.FleetConfig{
-			Strategy: c.Cfg.DoHStrategy, Seed: c.Cfg.Seed ^ day.Unix(),
+			Balance: c.Cfg.DoHBalance, Seed: c.Cfg.Seed ^ day.Unix(),
+			Strategy:        c.strategyConfig(),
 			Cache:           c.cacheConfig(),
 			FailureCooldown: c.Cfg.DoHFailureCooldown,
 			Latency:         transport.SyntheticLatency(dohLatencyBase, dohLatencySpread),
@@ -252,10 +282,17 @@ func (c *Campaign) newDayContext(day time.Time) *dayContext {
 	return dc
 }
 
-// servingSnapshot derives the day's serving-layer record from the
-// context's fleet counters (as a delta against the context's base, so
-// ScanDay's reuse of the cumulative campaign fleet records per-day
-// numbers too).
+// servingSnapshot derives the day's serving-layer record (as a delta
+// against the context's base, so ScanDay's reuse of the cumulative
+// campaign fleet records per-day numbers too). The staleness and
+// negative counters come from the stub client — one count per exchange
+// winner — rather than the frontends: a racing or hedging strategy
+// touches a schedule-dependent number of frontends per exchange, and
+// per-attempt counters would break the serial/pipelined store equality
+// the campaign guarantees. Prefetches stay frontend-side (armed at most
+// once per cache-entry generation, so attempt count cannot inflate
+// them), as do upstream failures (zero in a healthy world; chaos drills
+// do not byte-compare stores).
 func (c *Campaign) servingSnapshot(dc *dayContext, day time.Time) *dataset.ServingSnapshot {
 	if dc.fleet == nil {
 		return nil
@@ -264,8 +301,8 @@ func (c *Campaign) servingSnapshot(dc *dayContext, day time.Time) *dataset.Servi
 	return &dataset.ServingSnapshot{
 		Date:             day,
 		StaleWindowSec:   int64(dc.fleet.Cache.Config().StaleWindow / time.Second),
-		StaleServed:      now.StaleServed - dc.servingBase.StaleServed,
-		NegativeHits:     now.NegativeHits - dc.servingBase.NegativeHits,
+		StaleServed:      dc.fleet.Client.StaleAnswers() - dc.staleBase,
+		NegativeHits:     dc.fleet.Client.NegativeAnswers() - dc.negativeBase,
 		Prefetches:       now.Prefetches - dc.servingBase.Prefetches,
 		UpstreamFailures: now.UpstreamFailures - dc.servingBase.UpstreamFailures,
 	}
@@ -394,6 +431,8 @@ func (c *Campaign) ScanDay(day time.Time) error {
 		// The campaign fleet's counters are cumulative across calls;
 		// record this day as a delta.
 		dc.servingBase = c.Fleet.TotalStats()
+		dc.staleBase = c.Fleet.Client.StaleAnswers()
+		dc.negativeBase = c.Fleet.Client.NegativeAnswers()
 	}
 	c.commitDay(c.runDay(dc, day))
 	return nil

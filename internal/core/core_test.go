@@ -223,6 +223,89 @@ func TestPipelinedMixedFleetMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestPipelinedStrategiesMatchSerial extends the pipelining equivalence
+// to the resolution strategies: a mixed-fleet campaign under
+// happy-eyeballs racing, and a same-protocol campaign under hedged
+// queries, must each produce byte-identical stores for any worker count.
+// Races and hedges change which frontend answers and how many attempts
+// fire — never the answers — and per-day replicas keep their clocks
+// frozen, so the determinism contract holds attempt-for-attempt.
+func TestPipelinedStrategiesMatchSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind transport.StrategyKind
+		mix  transport.Mix
+	}{
+		{"race", transport.StrategyRace, transport.Mix{DoH: 2, DoT: 1, DoQ: 1}},
+		{"hedge", transport.StrategyHedge, transport.Mix{DoH: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := CampaignConfig{
+				Size: 400, Seed: 31,
+				Start:             time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
+				End:               time.Date(2024, 2, 8, 0, 0, 0, 0, time.UTC),
+				StepDays:          7,
+				DoHFrontends:      4,
+				TransportMix:      tc.mix,
+				TransportStrategy: tc.kind,
+			}
+			run := func(workers int) []byte {
+				c, err := NewCampaign(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.Cfg.DayWorkers = workers
+				if err := c.RunDaily(); err != nil {
+					t.Fatal(err)
+				}
+				return storeJSON(t, c)
+			}
+			serial := run(1)
+			pipelined := run(8)
+			if !bytes.Equal(serial, pipelined) {
+				t.Fatalf("%s: pipelined store diverges from serial: %d vs %d bytes",
+					tc.name, len(serial), len(pipelined))
+			}
+		})
+	}
+}
+
+// TestSerialStrategyByteIdenticalToDefault is the refactor's "today's
+// behavior, byte-identical" proof at the campaign level: explicitly
+// selecting StrategySerial collects a store byte-identical to the
+// zero-value config's (whose fleets ran the pre-refactor failover
+// shape). The nil-strategy ≡ SerialFailover equivalence itself is pinned
+// deterministically in the transport package
+// (TestSerialFailoverExplicitMatchesDefault); RunDaily is used here
+// because its per-day replicas freeze their clocks, making the store
+// bytes reproducible.
+func TestSerialStrategyByteIdenticalToDefault(t *testing.T) {
+	run := func(explicit bool) []byte {
+		cfg := CampaignConfig{
+			Size: 400, Seed: 17,
+			Start:        time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
+			End:          time.Date(2024, 2, 8, 0, 0, 0, 0, time.UTC),
+			StepDays:     7,
+			DoHFrontends: 3,
+			TransportMix: transport.Mix{DoH: 1, DoT: 1, DoQ: 1},
+		}
+		if explicit {
+			cfg.TransportStrategy = transport.StrategySerial
+		}
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunDaily(); err != nil {
+			t.Fatal(err)
+		}
+		return storeJSON(t, c)
+	}
+	if !bytes.Equal(run(true), run(false)) {
+		t.Fatal("explicit StrategySerial diverged from the default config")
+	}
+}
+
 func TestHourlyECHCadence(t *testing.T) {
 	c := augCampaign(t)
 	start := time.Date(2023, 8, 20, 0, 0, 0, 0, time.UTC)

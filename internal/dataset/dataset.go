@@ -113,19 +113,23 @@ type ProbeResult struct {
 // while collecting that day's observations. Campaigns with a transport
 // fleet record one per day, so analysis can correlate staleness windows
 // with the §4.4.2 ECH inconsistencies directly instead of re-deriving
-// them from logs. Only the lifecycle counters are recorded (not raw
-// hit/miss totals): they are a deterministic function of the day's scan
-// in a healthy world, which keeps pipelined and serial campaign stores
-// byte-identical.
+// them from logs. Only counters that are a deterministic function of the
+// day's scan are recorded — per-exchange (winner-side) counts rather
+// than per-attempt frontend totals, since racing and hedging resolution
+// strategies touch a schedule-dependent number of frontends per exchange
+// — which keeps pipelined and serial campaign stores byte-identical
+// under every strategy.
 type ServingSnapshot struct {
 	Date time.Time `json:"date"`
 	// StaleWindowSec is the fleet's configured RFC 8767 stale window in
 	// seconds (0: serve-stale disabled), stored so the staleness exposure
 	// of the day's data is interpretable without the campaign config.
 	StaleWindowSec int64 `json:"stale_window_sec,omitempty"`
-	// StaleServed counts RFC 8767 stale answers served that day.
+	// StaleServed counts RFC 8767 stale answers the scanner consumed
+	// that day (exchange winners marked stale).
 	StaleServed uint64 `json:"stale_served"`
-	// NegativeHits counts fresh hits on RFC 2308 negative entries.
+	// NegativeHits counts RFC 2308 negative answers (NXDOMAIN/NODATA)
+	// the scanner consumed that day.
 	NegativeHits uint64 `json:"negative_hits"`
 	// Prefetches counts refresh-ahead upstream refreshes.
 	Prefetches uint64 `json:"prefetches"`

@@ -190,7 +190,7 @@ func TestResolverFallback(t *testing.T) {
 func TestScanViaDoHTransport(t *testing.T) {
 	w, sc := scanWorld(t)
 	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
-		Strategy: transport.StrategyRoundRobin, Seed: 5,
+		Balance: transport.BalanceRoundRobin, Seed: 5,
 	})
 	cache := fl.Cache
 	addrs := make([]netip.AddrPort, 2)

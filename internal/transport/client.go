@@ -23,14 +23,19 @@ var (
 // with pool members over simnet, speaking whatever envelope each member
 // advertises — RFC 8484 DoH request/response envelopes, RFC 7858 DoT
 // frames over a persistent per-member connection, or RFC 9250 DoQ
-// streams over a per-member session — and fails over to the next
-// candidate when simnet failure injection marks a frontend down or the
-// envelope exchange fails. It satisfies the scanner's Transport
+// streams over a per-member session. Which members are attempted, in
+// what simulated overlap, and whose answer wins is the pluggable
+// Strategy's decision; the client supplies the candidate ordering and
+// the per-protocol dialers. It satisfies the scanner's Transport
 // interface, so the measurement framework can run its campaigns through
-// any protocol mix instead of bare stub queries.
+// any protocol mix and any resolution strategy instead of bare stub
+// queries.
 type Client struct {
 	Net  *simnet.Network
 	Pool *Pool
+	// Strategy is the resolution policy driving each exchange; nil means
+	// SerialFailover (the pre-strategy behavior).
+	Strategy Strategy
 	// UsePOST selects POST envelopes for DoH members; the default is
 	// RFC 8484 GET, whose base64url form is the cache-friendly one.
 	UsePOST bool
@@ -38,17 +43,21 @@ type Client struct {
 	// the pool instead of a wall-clock measurement. Exchanges are
 	// synchronous in-process calls, so wall time is host scheduling
 	// noise; a deterministic Latency function makes the EWMA/P2 routing
-	// decisions replayable along with the rest of the simulation.
+	// decisions — and the Race/Hedge completion-time comparisons —
+	// replayable along with the rest of the simulation.
 	Latency func(u *Upstream) time.Duration
-	// ChargeLatency additionally charges each sampled exchange — plus
-	// per-protocol connection-setup costs: two extra RTTs for a fresh DoT
-	// connection (TCP + TLS), one for a fresh DoQ session (QUIC
-	// handshake), none for a 0-RTT DoQ resumption — to the network's
-	// virtual clock, so queueing delay through the serving layer is
-	// observable in campaign timings. Leave it off where bitwise
-	// reproducibility matters more than modeled delay: concurrent
-	// workers interleave their clock charges nondeterministically, which
-	// is why per-day campaign replicas keep their clocks frozen.
+	// ChargeLatency additionally charges each exchange's critical path —
+	// including per-protocol connection-setup costs: two extra RTTs for
+	// a fresh DoT connection (TCP + TLS), one for a fresh DoQ session
+	// (QUIC handshake), none for a 0-RTT DoQ resumption — to the
+	// network's virtual clock, so queueing delay through the serving
+	// layer is observable in campaign timings. Racing and hedging charge
+	// the winner's completion time, not the sum of attempts: overlapped
+	// work costs wall time only along the critical path. Leave it off
+	// where bitwise reproducibility matters more than modeled delay:
+	// concurrent workers interleave their clock charges
+	// nondeterministically, which is why per-day campaign replicas keep
+	// their clocks frozen.
 	ChargeLatency bool
 
 	mu          sync.Mutex
@@ -57,7 +66,17 @@ type Client struct {
 	doqSessions map[netip.AddrPort]*DoQSession
 	doqTickets  map[netip.AddrPort]bool
 
-	staleAnswers atomic.Uint64
+	staleAnswers    atomic.Uint64
+	negativeAnswers atomic.Uint64
+
+	// Strategy telemetry (see StrategyStats).
+	exchanges       atomic.Uint64
+	attempts        atomic.Uint64
+	races           atomic.Uint64
+	losersCancelled atomic.Uint64
+	hedges          atomic.Uint64
+	wasted          atomic.Uint64
+	winsByProto     [3]atomic.Uint64
 }
 
 // StaleAnswers counts exchanges answered with an RFC 8767 stale response
@@ -66,6 +85,16 @@ type Client struct {
 // three envelopes report it: DoH as a response flag, DoT and DoQ as frame
 // metadata standing in for the RFC 8914 "Stale Answer" extended error.
 func (c *Client) StaleAnswers() uint64 { return c.staleAnswers.Load() }
+
+// NegativeAnswers counts exchanges whose winning answer was an RFC 2308
+// negative (NXDOMAIN, or NOERROR with an empty answer section — NODATA),
+// the same classification the answer cache applies. Campaign serving
+// snapshots record this stub-side count rather than the frontends'
+// negative-hit counters: strategies that race or hedge touch a
+// nondeterministic number of frontends per exchange, but each exchange
+// has exactly one winner, so per-exchange counters stay byte-identical
+// between serial and pipelined campaign runs.
+func (c *Client) NegativeAnswers() uint64 { return c.negativeAnswers.Load() }
 
 // NewClient creates a stub over the given network and pool.
 func NewClient(net *simnet.Network, pool *Pool) *Client {
@@ -87,21 +116,21 @@ func (c *Client) nextID() uint16 {
 	return c.qid
 }
 
-// attempt is the outcome of one upstream try.
-type attempt struct {
-	msg   *dnswire.Message
-	stale bool
-	// bench marks errors that indicate a broken member (dead address,
-	// protocol mismatch, connection death) rather than a struggling
-	// recursor behind a healthy transport.
-	bench bool
-	err   error
+// strategy returns the active resolution strategy (serial failover when
+// none is configured).
+func (c *Client) strategy() Strategy {
+	if c.Strategy != nil {
+		return c.Strategy
+	}
+	return SerialFailover{}
 }
 
-// Exchange sends the query to the pool, trying candidates in failover
-// order. RTT is measured per attempt and folded into the pool's EWMA;
-// protocol dispatch happens per member, so a mixed fleet fails over
-// across protocols transparently.
+// Exchange sends the query to the pool: candidate selection (the pool's
+// failover ordering), then strategy dispatch — serial failover, a
+// happy-eyeballs protocol race, or a hedged duplicate, per the
+// configured Strategy. Per-attempt RTTs fold into the pool's EWMA and
+// quantile windows; protocol dispatch happens per member, so a mixed
+// fleet races and fails over across protocols transparently.
 func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 	if len(q.Question) == 0 {
 		return nil, fmt.Errorf("%w: query without question", doh.ErrBadEnvelope)
@@ -110,60 +139,131 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 	if len(candidates) == 0 {
 		return nil, ErrNoUpstreams
 	}
-	var lastErr error
-	var servFail *dnswire.Message
-	for _, up := range candidates {
-		var at attempt
-		switch up.Proto {
-		case ProtoDoT:
-			at = c.tryDoT(up, q)
-		case ProtoDoQ:
-			at = c.tryDoQ(up, q)
-		default:
-			at = c.tryDoH(up, q)
-		}
-		if at.err != nil {
-			if at.bench {
-				c.Pool.MarkFailed(up)
-			}
-			lastErr = fmt.Errorf("upstream %s (%s): %w", up.Name, up.Proto, at.err)
-			continue
-		}
-		// A SERVFAIL is a healthy transport over a struggling recursor:
-		// try the next pool member (the paper's Google→Cloudflare
-		// fallback), without benching this one. Returned as-is only if
-		// every member agrees.
-		if at.msg.RCode == dnswire.RCodeServFail {
-			servFail = at.msg
-			continue
-		}
-		if at.stale {
-			c.staleAnswers.Add(1)
-		}
-		return at.msg, nil
+	out := c.strategy().Resolve(c, q, candidates)
+	c.account(out)
+	if out.Err != nil {
+		return nil, out.Err
 	}
-	if servFail != nil {
-		return servFail, nil
+	if out.Winner.Stale {
+		c.staleAnswers.Add(1)
 	}
-	return nil, fmt.Errorf("transport: all %d upstreams failed: %w", len(candidates), lastErr)
+	if m := out.Winner.Msg; m.RCode == dnswire.RCodeNXDomain ||
+		(m.RCode == dnswire.RCodeNoError && len(m.Answer) == 0) {
+		c.negativeAnswers.Add(1)
+	}
+	return out.Winner.Msg, nil
 }
 
-// observe feeds the pool the attempt's RTT sample and charges the
-// exchange (plus any connection-setup cost) to the virtual clock.
-func (c *Client) observe(up *Upstream, wall time.Duration, setupRTTs int) {
-	if c.Latency == nil {
-		c.Pool.ObserveRTT(up, wall)
-		return
+// account folds one exchange's Outcome into the client's telemetry.
+func (c *Client) account(out Outcome) {
+	c.exchanges.Add(1)
+	c.attempts.Add(uint64(out.Attempts))
+	c.races.Add(uint64(out.Races))
+	c.losersCancelled.Add(uint64(out.LosersCancelled))
+	c.hedges.Add(uint64(out.Hedges))
+	c.wasted.Add(uint64(out.Wasted))
+	if out.Err == nil {
+		if p := out.Winner.Upstream.Proto; p >= 0 && int(p) < len(c.winsByProto) {
+			c.winsByProto[p].Add(1)
+		}
 	}
-	d := c.Latency(up)
+}
+
+// StrategyStats snapshots the client's resolution telemetry: attempt
+// overhead, races/hedges fired, losers cancelled, wasted upstream
+// queries, and the winner-protocol distribution.
+func (c *Client) StrategyStats() StrategyStats {
+	st := StrategyStats{
+		Strategy:        c.strategy().Name(),
+		Exchanges:       c.exchanges.Load(),
+		Attempts:        c.attempts.Load(),
+		Races:           c.races.Load(),
+		LosersCancelled: c.losersCancelled.Load(),
+		Hedges:          c.hedges.Load(),
+		Wasted:          c.wasted.Load(),
+		WinsByProto:     map[Protocol]uint64{},
+	}
+	for p := range c.winsByProto {
+		if n := c.winsByProto[p].Load(); n > 0 {
+			st.WinsByProto[Protocol(p)] = n
+		}
+	}
+	return st
+}
+
+// Dial implements Driver: one synchronous attempt against the member
+// over its envelope protocol.
+func (c *Client) Dial(up *Upstream, q *dnswire.Message) Attempt {
+	var at Attempt
+	switch up.Proto {
+	case ProtoDoT:
+		at = c.tryDoT(up, q)
+	case ProtoDoQ:
+		at = c.tryDoQ(up, q)
+	default:
+		at = c.tryDoH(up, q)
+	}
+	at.Upstream = up
+	return at
+}
+
+// Bench implements Driver: report a transport-level failure to the pool.
+// A member the pool removes outright (Pool.RemoveAfter) has its cached
+// DoT connection and DoQ session dropped too, so long campaigns don't
+// accumulate dead simnet connections for upstreams that will never be
+// offered again.
+func (c *Client) Bench(up *Upstream) {
+	if c.Pool.MarkFailed(up) {
+		c.evict(up.Addr)
+	}
+}
+
+// Charge implements Driver: advance the virtual clock by the exchange's
+// critical-path duration. A no-op without a deterministic latency model
+// (wall-clock costs are host scheduling noise) or with ChargeLatency
+// off.
+func (c *Client) Charge(d time.Duration) {
+	if c.ChargeLatency && c.Latency != nil && d > 0 {
+		c.Net.Clock.Advance(d)
+	}
+}
+
+// Quantile implements Driver: the member's tracked latency quantile.
+func (c *Client) Quantile(up *Upstream, q float64) (time.Duration, bool) {
+	return c.Pool.RTTQuantile(up, q)
+}
+
+// Benched implements Driver: whether the member is cooling down.
+func (c *Client) Benched(up *Upstream) bool {
+	return c.Pool.IsBenched(up)
+}
+
+// evict drops every piece of cached connection state for an upstream
+// removed from the pool (the 0-RTT ticket included — the member is gone,
+// not resting).
+func (c *Client) evict(ap netip.AddrPort) {
+	c.mu.Lock()
+	delete(c.dotConns, ap)
+	delete(c.doqSessions, ap)
+	delete(c.doqTickets, ap)
+	c.mu.Unlock()
+}
+
+// sample feeds the pool the attempt's RTT and returns the (RTT, Cost)
+// pair for the attempt: cost includes setupRTTs extra round-trips of
+// connection establishment. The virtual clock is not touched here — the
+// strategy charges its critical path once the exchange's shape is known.
+func (c *Client) sample(up *Upstream, wall time.Duration, setupRTTs int) (rtt, cost time.Duration) {
+	d := wall
+	if c.Latency != nil {
+		d = c.Latency(up)
+	}
 	c.Pool.ObserveRTT(up, d)
-	if c.ChargeLatency {
-		c.Net.Clock.Advance(d + time.Duration(setupRTTs)*d)
-	}
+	return d, d + time.Duration(setupRTTs)*d
 }
 
 // tryDoH performs one RFC 8484 exchange with a DoH member.
-func (c *Client) tryDoH(up *Upstream, q *dnswire.Message) attempt {
+func (c *Client) tryDoH(up *Upstream, q *dnswire.Message) Attempt {
 	var req *doh.Request
 	var err error
 	if c.UsePOST {
@@ -172,48 +272,48 @@ func (c *Client) tryDoH(up *Upstream, q *dnswire.Message) attempt {
 		req, err = doh.NewGETRequest(q)
 	}
 	if err != nil {
-		return attempt{err: err}
+		return Attempt{Err: err}
 	}
 	svc, err := c.Net.Service(up.Addr)
 	if err != nil {
 		// Failure injection: the address or port is down.
-		return attempt{bench: true, err: err}
+		return Attempt{Bench: true, Err: err}
 	}
 	ex, ok := svc.(doh.Exchanger)
 	if !ok {
-		return attempt{bench: true, err: fmt.Errorf("%w: %v is not DoH", ErrNotProto, up.Addr)}
+		return Attempt{Bench: true, Err: fmt.Errorf("%w: %v is not DoH", ErrNotProto, up.Addr)}
 	}
 	start := time.Now()
 	resp := ex.ExchangeDoH(req)
-	c.observe(up, time.Since(start), 0)
+	rtt, cost := c.sample(up, time.Since(start), 0)
 	m, err := resp.Message()
 	if err != nil {
 		// A 502 is the frontend reporting recursor trouble over a
 		// healthy transport — move on without benching, like the
 		// SERVFAIL case. Anything else (4xx, bad media type) is a
 		// protocol mismatch worth a cooldown.
-		return attempt{bench: resp.Status != doh.StatusServFailUpstream, err: err}
+		return Attempt{Bench: resp.Status != doh.StatusServFailUpstream, Err: err, RTT: rtt, Cost: cost}
 	}
-	return attempt{msg: m, stale: resp.Stale}
+	return Attempt{Msg: m, Stale: resp.Stale, RTT: rtt, Cost: cost}
 }
 
 // tryDoT performs one exchange over the member's persistent DoT
-// connection, dialing one (and charging its TCP+TLS setup) if none is
-// cached. A connection that died mid-stream is dropped and the member
-// benched, so the query fails over to the next candidate.
-func (c *Client) tryDoT(up *Upstream, q *dnswire.Message) attempt {
+// connection, dialing one (and paying its TCP+TLS setup) if none is
+// cached. A connection that died mid-stream is dropped, so the query
+// fails over to the next candidate.
+func (c *Client) tryDoT(up *Upstream, q *dnswire.Message) Attempt {
 	conn, setup, err := c.dotConn(up)
 	if err != nil {
-		return attempt{bench: true, err: err}
+		return Attempt{Bench: true, Err: err}
 	}
 	start := time.Now()
 	m, stale, err := conn.Exchange(q)
 	if err != nil {
 		c.dropDoT(up.Addr)
-		return attempt{bench: true, err: err}
+		return Attempt{Bench: true, Err: err}
 	}
-	c.observe(up, time.Since(start), setup)
-	return attempt{msg: m, stale: stale}
+	rtt, cost := c.sample(up, time.Since(start), setup)
+	return Attempt{Msg: m, Stale: stale, RTT: rtt, Cost: cost}
 }
 
 // dotConn returns the cached live connection to the member, dialing a
@@ -253,10 +353,10 @@ func (c *Client) dropDoT(ap netip.AddrPort) {
 // (one setup RTT) the first time, a 0-RTT resumption (no setup cost) once
 // the client holds the member's ticket. The mandatory zero message ID is
 // rewritten on the way out and the caller's ID restored on the answer.
-func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message) attempt {
+func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message) Attempt {
 	sess, setup, err := c.doqSession(up)
 	if err != nil {
-		return attempt{bench: true, err: err}
+		return Attempt{Bench: true, Err: err}
 	}
 	id := q.ID
 	wireQ := *q
@@ -266,14 +366,14 @@ func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message) attempt {
 	if err != nil {
 		if errors.Is(err, ErrStreamReset) {
 			// Per-stream failure: the session is fine, the query is not.
-			return attempt{err: err}
+			return Attempt{Err: err}
 		}
 		c.dropDoQ(up.Addr)
-		return attempt{bench: true, err: err}
+		return Attempt{Bench: true, Err: err}
 	}
-	c.observe(up, time.Since(start), setup)
+	rtt, cost := c.sample(up, time.Since(start), setup)
 	m.ID = id
-	return attempt{msg: m, stale: stale}
+	return Attempt{Msg: m, Stale: stale, RTT: rtt, Cost: cost}
 }
 
 // doqSession returns the cached live session to the member, establishing

@@ -29,11 +29,18 @@
 //   - Cache: the sharded TTL+LRU answer cache shared across frontends
 //     regardless of protocol (the anycast-pod property).
 //   - Pool and Client: the load-balanced upstream set (P2/EWMA/
-//     round-robin/hash strategies, virtual-clock cooldown failover) and
-//     the protocol-agnostic stub that dispatches each attempt by the
-//     member's envelope — a mixed fleet fails over across protocols.
+//     round-robin/hash Balance policies, virtual-clock cooldown
+//     failover, per-member RTT quantile tracking) and the
+//     protocol-agnostic stub that dispatches each attempt by the
+//     member's envelope — a mixed fleet races and fails over across
+//     protocols.
+//   - Strategy: the pluggable resolution policy layer between the two —
+//     given the pool's candidate ordering and the client's per-protocol
+//     dialers, it decides which candidates are attempted, in what
+//     simulated overlap, and whose answer wins (see below).
 //   - Fleet: the bundle — one cache, one pool, one client, any Mix of
-//     frontends — with per-frontend, per-protocol, and fleet-wide stats.
+//     frontends — with per-frontend, per-protocol, fleet-wide, and
+//     strategy stats.
 //
 // # Cache lifecycle
 //
@@ -74,6 +81,46 @@
 // during census scans stop hammering upstreams; hits on them are reported
 // as NegativeHits. With StaleWindow zero (the default) the STALE state
 // vanishes and entries die at TTL expiry.
+//
+// # Resolution strategies
+//
+// Client.Exchange is candidate selection plus strategy dispatch: the
+// Pool orders the members (its Balance policy picks the head, healthy
+// members follow, benched members last), and the configured Strategy
+// drives the per-protocol dialers over that ordering. Three policies
+// ship, mirroring how real encrypted-DNS clients behave rather than the
+// strictly serial failover a naive stub performs:
+//
+//   - SerialFailover (default): one candidate at a time, first usable
+//     answer wins, SERVFAIL returned only when every member agrees —
+//     byte-identical to the pre-strategy client.
+//   - Race: happy-eyeballs protocol racing (the Firefox/Chrome DoH
+//     fallback shape, RFC 8305's connection-attempt delay). The primary
+//     gets a Stagger head start; if its answer has not arrived when the
+//     timer fires, the first candidate on a *different* protocol
+//     launches too, and the earlier virtual completion wins. The loser
+//     is cancelled and accounted as wasted upstream load; if both fail,
+//     the exchange falls through to the remaining candidates serially.
+//   - Hedge: quantile-armed duplicate queries on a single protocol.
+//     Each member's recent RTTs feed a sliding quantile window
+//     (Pool.RTTQuantile — the per-server latency estimation
+//     dnscrypt-proxy builds its candidate ordering from); when the
+//     primary exceeds its own quantile, a same-protocol understudy
+//     launches at the threshold and the first answer wins.
+//
+// Determinism contract: a Strategy runs on the virtual clock and must
+// be a pure function of (clock, pool state, strategy parameters,
+// latency model). Dials execute synchronously and sequentially;
+// concurrency is *simulated* by comparing virtual completion times
+// (launch offset + attempt cost, where cost is the latency-model RTT
+// plus connection-setup round-trips). No goroutines, no wall-clock
+// reads, no private randomness. Completed attempts feed the pool's
+// EWMA/quantile state whether they win or lose (the sample is real);
+// the virtual clock is charged once per exchange with the critical
+// path, not the attempt sum. This is what keeps pipelined multi-day
+// campaigns byte-identical to serial runs under every strategy — and
+// why campaign serving snapshots count per-exchange winners rather than
+// per-attempt frontend events.
 //
 // # What the envelopes do differently
 //

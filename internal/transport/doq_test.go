@@ -76,7 +76,7 @@ func TestDoQStreamIsolation(t *testing.T) {
 // session re-established after a drop resumes with 0-RTT on the retained
 // ticket, and the setup costs land on the virtual clock.
 func TestDoQClientZeroRTTResumption(t *testing.T) {
-	client, fl, _, net, clock := newTestFleet(t, 1, StrategyRoundRobin, ProtoDoQ)
+	client, fl, _, net, clock := newTestFleet(t, 1, BalanceRoundRobin, ProtoDoQ)
 	const rtt = 10 * time.Millisecond
 	client.Latency = func(*Upstream) time.Duration { return rtt }
 	client.ChargeLatency = true
@@ -128,7 +128,7 @@ func TestDoQClientZeroRTTResumption(t *testing.T) {
 // mandatory zero on the stream and restores the caller's ID on the
 // answer (RFC 9250 §4.2.1).
 func TestDoQWireIDIsZero(t *testing.T) {
-	client, _, recursor, _, _ := newTestFleet(t, 1, StrategyRoundRobin, ProtoDoQ)
+	client, _, recursor, _, _ := newTestFleet(t, 1, BalanceRoundRobin, ProtoDoQ)
 	_ = recursor
 	q := dnswire.NewQuery(12345, "id.test", dnswire.TypeA, false)
 	m, err := client.Exchange(q)

@@ -153,7 +153,7 @@ func TestDoTMalformedFrameClosesConnection(t *testing.T) {
 // address down between exchanges) and the client transparently redials
 // the next pool member, benching the dead one.
 func TestDoTMidStreamDeathFailsOverToPoolSibling(t *testing.T) {
-	client, fl, _, net, _ := newTestFleet(t, 2, StrategyRoundRobin, ProtoDoT)
+	client, fl, _, net, _ := newTestFleet(t, 2, BalanceRoundRobin, ProtoDoT)
 
 	// Prime a persistent connection to whichever member answers first.
 	if _, err := client.Query("pre.test", dnswire.TypeA, false); err != nil {

@@ -8,13 +8,21 @@ import (
 )
 
 // FleetConfig assembles a Fleet: the shared answer-cache geometry and
-// lifecycle, the pool's load-balancing strategy and seed, the frontends'
-// failure cooldown, and the client's latency model.
+// lifecycle, the pool's load-balancing policy and seed, the client's
+// resolution strategy, the frontends' failure cooldown, and the client's
+// latency model.
 type FleetConfig struct {
-	// Strategy selects the pool's load-balancing strategy (the zero value
+	// Balance selects the pool's load-balancing policy (the zero value
 	// is power-of-two-choices).
-	Strategy Strategy
-	// Seed drives the strategy's random draws.
+	Balance Balance
+	// Strategy selects and parameterizes the client's resolution
+	// strategy (the zero value is serial failover).
+	Strategy StrategyConfig
+	// RemoveAfter removes a pool member outright after that many
+	// consecutive failures (0: bench-only, never remove); the client
+	// drops the member's cached connection state on removal.
+	RemoveAfter int
+	// Seed drives the balancer's random draws.
 	Seed int64
 	// Cache is the shared answer cache's geometry and lifecycle policy.
 	Cache CacheConfig
@@ -60,7 +68,10 @@ type Fleet struct {
 // NewFleet creates an empty fleet over the network; frontends are wired
 // in with Add.
 func NewFleet(net *simnet.Network, clock *simnet.Clock, cfg FleetConfig) *Fleet {
-	client := NewClient(net, NewPool(clock, cfg.Strategy, cfg.Seed))
+	pool := NewPool(clock, cfg.Balance, cfg.Seed)
+	pool.RemoveAfter = cfg.RemoveAfter
+	client := NewClient(net, pool)
+	client.Strategy = cfg.Strategy.New()
 	client.Latency = cfg.Latency
 	client.ChargeLatency = cfg.ChargeLatency
 	return &Fleet{
@@ -121,6 +132,13 @@ func (fl *Fleet) ProtocolStats() map[Protocol]FrontendStats {
 		out[st.Proto] = agg
 	}
 	return out
+}
+
+// StrategyStats snapshots the fleet client's resolution-strategy
+// telemetry: races and hedges fired, losers cancelled, wasted upstream
+// queries, and the winner-protocol distribution.
+func (fl *Fleet) StrategyStats() StrategyStats {
+	return fl.Client.StrategyStats()
 }
 
 // TotalStats aggregates every frontend into one fleet-wide counter set.

@@ -91,7 +91,7 @@ func TestProtocolParseAndPorts(t *testing.T) {
 // member, and the shared cache keeps serving whatever any protocol
 // fetched.
 func TestMixedFleetFailsOverAcrossProtocols(t *testing.T) {
-	client, fl, recursor, net, _ := newTestFleet(t, 3, StrategyRoundRobin,
+	client, fl, recursor, net, _ := newTestFleet(t, 3, BalanceRoundRobin,
 		ProtoDoH, ProtoDoT, ProtoDoQ)
 	for i := 0; i < 6; i++ {
 		if _, err := client.Query(fmt.Sprintf("warm%d.test", i), dnswire.TypeA, false); err != nil {

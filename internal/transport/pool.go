@@ -12,50 +12,52 @@ import (
 	"repro/internal/simnet"
 )
 
-// Strategy selects how the pool orders upstreams for a query. The shapes
+// Balance selects how the pool orders upstreams for a query. The shapes
 // mirror the dnscrypt-proxy server-selection strategies the related work
 // ships: random pairs weighted by measured RTT, pure lowest-RTT, strict
-// rotation, and query-name affinity.
-type Strategy int
+// rotation, and query-name affinity. (Resolution policy — how many of
+// the ordered candidates are attempted, raced, or hedged — is the
+// Strategy layer's job; the balancer only produces the ordering.)
+type Balance int
 
 const (
-	// StrategyP2 is power-of-two-choices: draw two random healthy
+	// BalanceP2 is power-of-two-choices: draw two random healthy
 	// upstreams, use the one with the lower smoothed RTT. The fleet
 	// default — near-optimal load spread with minimal coordination.
-	StrategyP2 Strategy = iota
-	// StrategyEWMA always picks the lowest smoothed RTT.
-	StrategyEWMA
-	// StrategyRoundRobin rotates through healthy upstreams.
-	StrategyRoundRobin
-	// StrategyHashAffinity pins a query name to an upstream, maximising
+	BalanceP2 Balance = iota
+	// BalanceEWMA always picks the lowest smoothed RTT.
+	BalanceEWMA
+	// BalanceRoundRobin rotates through healthy upstreams.
+	BalanceRoundRobin
+	// BalanceHashAffinity pins a query name to an upstream, maximising
 	// per-frontend cache locality when frontends do not share a cache.
-	StrategyHashAffinity
+	BalanceHashAffinity
 )
 
-// String names the strategy for flags and stats output.
-func (s Strategy) String() string {
-	switch s {
-	case StrategyP2:
+// String names the balancer for flags and stats output.
+func (b Balance) String() string {
+	switch b {
+	case BalanceP2:
 		return "p2"
-	case StrategyEWMA:
+	case BalanceEWMA:
 		return "ewma"
-	case StrategyRoundRobin:
+	case BalanceRoundRobin:
 		return "roundrobin"
-	case StrategyHashAffinity:
+	case BalanceHashAffinity:
 		return "hash"
 	default:
-		return fmt.Sprintf("strategy(%d)", int(s))
+		return fmt.Sprintf("balance(%d)", int(b))
 	}
 }
 
-// ParseStrategy resolves a flag value to a Strategy.
-func ParseStrategy(name string) (Strategy, error) {
-	for _, s := range []Strategy{StrategyP2, StrategyEWMA, StrategyRoundRobin, StrategyHashAffinity} {
-		if s.String() == name {
-			return s, nil
+// ParseBalance resolves a flag value to a Balance.
+func ParseBalance(name string) (Balance, error) {
+	for _, b := range []Balance{BalanceP2, BalanceEWMA, BalanceRoundRobin, BalanceHashAffinity} {
+		if b.String() == name {
+			return b, nil
 		}
 	}
-	return 0, fmt.Errorf("transport: unknown strategy %q (want p2, ewma, roundrobin, or hash)", name)
+	return 0, fmt.Errorf("transport: unknown balance %q (want p2, ewma, roundrobin, or hash)", name)
 }
 
 // ewmaWeight is the smoothing factor for RTT averaging, matching an
@@ -65,6 +67,15 @@ const ewmaWeight = 2.0 / 11.0
 // DefaultCooldown is how long (virtual time) a failed upstream is benched
 // before the pool offers it again.
 const DefaultCooldown = 60 * time.Second
+
+// quantileWindow is how many recent RTT samples each upstream retains
+// for quantile estimation; quantileMinSamples is how many must exist
+// before RTTQuantile reports an estimate — hedge timers armed off a
+// couple of cold-cache samples would fire on noise.
+const (
+	quantileWindow     = 64
+	quantileMinSamples = 8
+)
 
 // Upstream is one pool member: a frontend address, the envelope protocol
 // it speaks, and its measured state. All mutable fields are guarded by
@@ -79,6 +90,15 @@ type Upstream struct {
 	queries    uint64
 	failures   uint64
 	downUntil  time.Time
+
+	// consecFails counts failures since the last successful exchange;
+	// Pool.RemoveAfter removes the member when it crosses the limit.
+	consecFails int
+
+	// rttRing is the sliding sample window behind RTTQuantile.
+	rttRing [quantileWindow]float64
+	ringLen int
+	ringPos int
 }
 
 // UpstreamStats is a read-only snapshot of one member.
@@ -94,14 +114,22 @@ type UpstreamStats struct {
 
 // Pool is a load-balanced, protocol-agnostic set of encrypted-DNS
 // upstreams with failover bookkeeping: DoH, DoT, and DoQ members mix
-// freely, and the selection strategies see only addresses and RTTs.
+// freely, and the balancers see only addresses and RTTs.
 type Pool struct {
 	// Cooldown is how long a failed upstream is benched in virtual time;
 	// zero selects DefaultCooldown.
 	Cooldown time.Duration
+	// RemoveAfter removes a member from the pool outright once it has
+	// failed this many consecutive times with no successful exchange in
+	// between; 0 (the default) benches but never removes. Long campaigns
+	// use it to shed permanently-dead frontends — MarkFailed reports the
+	// removal so the client can release the member's cached DoT
+	// connection and DoQ session. A removed member no longer appears in
+	// Stats.
+	RemoveAfter int
 
-	clock    *simnet.Clock
-	strategy Strategy
+	clock   *simnet.Clock
+	balance Balance
 
 	mu     sync.Mutex
 	ups    []*Upstream
@@ -109,10 +137,10 @@ type Pool struct {
 	rrNext int
 }
 
-// NewPool creates an empty pool using the given selection strategy. The
-// seed drives the strategy's random draws, keeping simulations replayable.
-func NewPool(clock *simnet.Clock, strategy Strategy, seed int64) *Pool {
-	return &Pool{clock: clock, strategy: strategy, rng: rand.New(rand.NewSource(seed))}
+// NewPool creates an empty pool using the given balancer. The seed
+// drives the balancer's random draws, keeping simulations replayable.
+func NewPool(clock *simnet.Clock, balance Balance, seed int64) *Pool {
+	return &Pool{clock: clock, balance: balance, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Add appends a member speaking the given envelope protocol and returns
@@ -132,8 +160,8 @@ func (p *Pool) Len() int {
 	return len(p.ups)
 }
 
-// Strategy returns the pool's selection strategy.
-func (p *Pool) Strategy() Strategy { return p.strategy }
+// Balance returns the pool's load-balancing policy.
+func (p *Pool) Balance() Balance { return p.balance }
 
 // Healthy returns how many members are currently un-benched — the fleet
 // capacity a chaos run watches recover after flaps.
@@ -150,9 +178,12 @@ func (p *Pool) Healthy() int {
 	return n
 }
 
-// Candidates returns the failover order for a query: the strategy's pick
+// Candidates returns the failover order for a query: the balancer's pick
 // first, the remaining healthy members next, and benched members last so
 // a fully-down fleet still gets retried rather than erroring instantly.
+// Strategies consume this ordering — serial failover walks it, racing
+// takes the top two across protocols, hedging pairs the head with a
+// same-protocol understudy.
 func (p *Pool) Candidates(qname string) []*Upstream {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -178,26 +209,26 @@ func (p *Pool) Candidates(qname string) []*Upstream {
 	return append(healthy, benched...)
 }
 
-// explorationN makes the RTT-driven strategies pick a uniformly random
+// explorationN makes the RTT-driven balancers pick a uniformly random
 // member one draw in every explorationN: a member whose EWMA was seeded
 // by one slow (e.g. cold-cache) sample only refreshes its estimate when
 // traffic reaches it, so without exploration it could be starved forever.
 const explorationN = 16
 
-// pick selects an index into healthy per the strategy. Caller holds p.mu.
+// pick selects an index into healthy per the balancer. Caller holds p.mu.
 func (p *Pool) pick(healthy []*Upstream, qname string) int {
 	n := len(healthy)
 	if n == 1 {
 		return 0
 	}
-	switch p.strategy {
-	case StrategyP2, StrategyEWMA:
+	switch p.balance {
+	case BalanceP2, BalanceEWMA:
 		if p.rng.Intn(explorationN) == 0 {
 			return p.rng.Intn(n)
 		}
 	}
-	switch p.strategy {
-	case StrategyP2:
+	switch p.balance {
+	case BalanceP2:
 		a := p.rng.Intn(n)
 		b := p.rng.Intn(n - 1)
 		if b >= a {
@@ -207,7 +238,7 @@ func (p *Pool) pick(healthy []*Upstream, qname string) int {
 			return b
 		}
 		return a
-	case StrategyEWMA:
+	case BalanceEWMA:
 		best := 0
 		for i := 1; i < n; i++ {
 			if healthy[i].effectiveRTT() < healthy[best].effectiveRTT() {
@@ -215,10 +246,10 @@ func (p *Pool) pick(healthy []*Upstream, qname string) int {
 			}
 		}
 		return best
-	case StrategyRoundRobin:
+	case BalanceRoundRobin:
 		p.rrNext++
 		return (p.rrNext - 1) % n
-	case StrategyHashAffinity:
+	case BalanceHashAffinity:
 		h := fnv.New64a()
 		h.Write([]byte(qname))
 		return int(h.Sum64() % uint64(n))
@@ -227,7 +258,7 @@ func (p *Pool) pick(healthy []*Upstream, qname string) int {
 	}
 }
 
-// effectiveRTT orders members for RTT-sensitive strategies; unsampled
+// effectiveRTT orders members for RTT-sensitive balancers; unsampled
 // members sort first so new frontends get probed promptly.
 func (u *Upstream) effectiveRTT() float64 {
 	if !u.sampled {
@@ -236,9 +267,10 @@ func (u *Upstream) effectiveRTT() float64 {
 	return u.rttSeconds
 }
 
-// ObserveRTT folds a latency sample into the member's moving average. A
-// sample means the member just completed an exchange, so any bench state
-// is cleared: a demonstrably-serving upstream is healthy.
+// ObserveRTT folds a latency sample into the member's moving average and
+// quantile window. A sample means the member just completed an exchange,
+// so any bench state is cleared: a demonstrably-serving upstream is
+// healthy.
 func (p *Pool) ObserveRTT(u *Upstream, d time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -248,20 +280,74 @@ func (p *Pool) ObserveRTT(u *Upstream, d time.Duration) {
 	} else {
 		u.rttSeconds = u.rttSeconds*(1-ewmaWeight) + sample*ewmaWeight
 	}
+	u.rttRing[u.ringPos] = sample
+	u.ringPos = (u.ringPos + 1) % quantileWindow
+	if u.ringLen < quantileWindow {
+		u.ringLen++
+	}
 	u.queries++
+	u.consecFails = 0
 	u.downUntil = time.Time{}
 }
 
-// MarkFailed benches the member for the cooldown window.
-func (p *Pool) MarkFailed(u *Upstream) {
+// RTTQuantile reports the member's q-quantile RTT over its sliding
+// sample window — the per-upstream latency estimate the Hedge strategy
+// arms its timer with (dnscrypt-proxy keeps the same kind of per-server
+// estimator to drive its candidate ordering). ok is false until
+// quantileMinSamples samples exist: a hedge threshold derived from a
+// couple of cold-cache exchanges would fire on noise, not tail latency.
+func (p *Pool) RTTQuantile(u *Upstream, q float64) (d time.Duration, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if u.ringLen < quantileMinSamples {
+		return 0, false
+	}
+	buf := make([]float64, u.ringLen)
+	copy(buf, u.rttRing[:u.ringLen])
+	sort.Float64s(buf)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(q * float64(len(buf)-1))
+	return time.Duration(buf[idx] * float64(time.Second)), true
+}
+
+// IsBenched reports whether the member is currently cooling down after
+// a failure — still offered by Candidates as a last resort, but not a
+// member racing or hedging strategies should duplicate load onto.
+func (p *Pool) IsBenched(u *Upstream) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return u.downUntil.After(p.clock.Now())
+}
+
+// MarkFailed benches the member for the cooldown window. When the
+// member's consecutive-failure count crosses RemoveAfter it is instead
+// removed from the pool outright; removed reports that, so the caller
+// can release any per-member connection state.
+func (p *Pool) MarkFailed(u *Upstream) (removed bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	u.failures++
+	u.consecFails++
 	cd := p.Cooldown
 	if cd == 0 {
 		cd = DefaultCooldown
 	}
 	u.downUntil = p.clock.Now().Add(cd)
+	if p.RemoveAfter > 0 && u.consecFails >= p.RemoveAfter {
+		for i, m := range p.ups {
+			if m == u {
+				p.ups = append(p.ups[:i], p.ups[i+1:]...)
+				break
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // SyntheticLatency returns a deterministic per-member latency source for

@@ -1,0 +1,588 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Attempt is the outcome of one upstream try, as produced by the
+// client's per-protocol dialers and consumed by a Strategy.
+type Attempt struct {
+	// Upstream is the member the attempt was dialed against.
+	Upstream *Upstream
+	// Msg is the decoded answer (nil when Err is set); Stale marks an
+	// RFC 8767 stale answer.
+	Msg   *dnswire.Message
+	Stale bool
+	// Bench marks errors that indicate a broken member (dead address,
+	// protocol mismatch, connection death) rather than a struggling
+	// recursor behind a healthy transport.
+	Bench bool
+	Err   error
+	// RTT is the attempt's latency sample (the latency model's draw, or
+	// wall clock without one), already folded into the pool's EWMA and
+	// quantile window by the dialer.
+	RTT time.Duration
+	// Cost is the attempt's virtual completion cost: RTT plus any
+	// connection-setup round-trips the attempt paid (TCP+TLS for a fresh
+	// DoT connection, the QUIC handshake for a fresh DoQ session). Zero
+	// when the attempt failed before reaching the envelope exchange —
+	// such an attempt never went on the wire, so it occupies no time on
+	// the race timeline and wastes no upstream work.
+	Cost time.Duration
+}
+
+// usable reports whether the attempt can win an exchange: it produced an
+// answer that is not a SERVFAIL (a SERVFAIL is kept as a last resort,
+// never raced to victory — the paper's Google→Cloudflare fallback).
+func (at Attempt) usable() bool {
+	return at.Err == nil && at.Msg.RCode != dnswire.RCodeServFail
+}
+
+// Driver is what a Strategy needs from the transport client: synchronous
+// per-protocol dial attempts plus pool and clock accounting. *Client is
+// the production implementation.
+type Driver interface {
+	// Dial performs one synchronous attempt against the member over its
+	// envelope protocol. The attempt's RTT is fed to the pool as part of
+	// the dial (completed exchanges are valid samples no matter which
+	// attempt wins); the virtual clock is NOT advanced — the strategy
+	// owns the exchange's timeline and charges its critical path once.
+	Dial(up *Upstream, q *dnswire.Message) Attempt
+	// Bench reports a transport-level failure to the pool (cooldown, and
+	// eventually removal — see Pool.RemoveAfter).
+	Bench(up *Upstream)
+	// Charge advances the virtual clock by the exchange's critical-path
+	// duration; a no-op without a latency model or with ChargeLatency
+	// off.
+	Charge(d time.Duration)
+	// Quantile reports the member's q-quantile RTT estimate (ok false
+	// until enough samples exist) — the hedge timer's threshold.
+	Quantile(up *Upstream, q float64) (time.Duration, bool)
+	// Benched reports whether the member is currently cooling down
+	// after a failure. Candidate orderings sort benched members last as
+	// a last resort for serial failover; racing and hedging must not
+	// pick them as partners — a duplicate attempt against a known-bad
+	// member wastes load and, with Pool.RemoveAfter set, can escalate a
+	// transient flap into permanent removal.
+	Benched(up *Upstream) bool
+}
+
+// Outcome is a strategy's result: the winning attempt plus per-attempt
+// telemetry. Exactly one of Winner.Msg and Err is set.
+type Outcome struct {
+	Winner Attempt
+	Err    error
+
+	// Attempts counts dials performed for the exchange (1 on the serial
+	// happy path; 2 when a race or hedge fired).
+	Attempts int
+	// Races counts happy-eyeballs races actually started (the partner
+	// launched because the primary missed the stagger deadline).
+	Races int
+	// LosersCancelled counts raced or hedged attempts cancelled in
+	// flight: their virtual completion lay beyond the winner's, so a
+	// real client would have torn them down before the answer arrived.
+	LosersCancelled int
+	// Hedges counts hedged second attempts fired because the primary
+	// exceeded its latency-quantile threshold.
+	Hedges int
+	// Wasted counts attempts that reached the wire but whose answer was
+	// not used — the duplicated upstream load racing and hedging pay for
+	// their latency win.
+	Wasted int
+}
+
+// Strategy is a pluggable resolution policy: given the pool's
+// failover-ordered candidates and a driver that can dial any of them, it
+// decides which candidates are attempted, in what simulated overlap, and
+// which attempt's answer wins.
+//
+// Determinism contract: strategies run on the virtual clock. Dials
+// execute synchronously and sequentially; concurrency is *simulated* by
+// comparing virtual completion times (launch offset + Attempt.Cost), so
+// an exchange's outcome is a pure function of (clock, pool state,
+// strategy parameters, latency model) — no goroutines, no wall-clock
+// reads, no randomness. That is what lets pipelined campaigns stay
+// byte-identical to serial runs under every strategy.
+type Strategy interface {
+	// Name tags the strategy in flags, stats, and bench reports.
+	Name() string
+	// Resolve drives one exchange over the ordered candidates.
+	Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome
+}
+
+// StrategyKind enumerates the built-in resolution strategies for flags
+// and campaign config.
+type StrategyKind int
+
+const (
+	// StrategySerial is SerialFailover, the pre-strategy behavior and
+	// the zero-value default.
+	StrategySerial StrategyKind = iota
+	// StrategyRace is Race: happy-eyeballs protocol racing.
+	StrategyRace
+	// StrategyHedge is Hedge: quantile-armed duplicate queries.
+	StrategyHedge
+)
+
+// String names the strategy kind.
+func (k StrategyKind) String() string {
+	switch k {
+	case StrategySerial:
+		return "serial"
+	case StrategyRace:
+		return "race"
+	case StrategyHedge:
+		return "hedge"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(k))
+	}
+}
+
+// ParseStrategy resolves a flag value to a StrategyKind.
+func ParseStrategy(name string) (StrategyKind, error) {
+	for _, k := range []StrategyKind{StrategySerial, StrategyRace, StrategyHedge} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("transport: unknown strategy %q (want serial, race, or hedge)", name)
+}
+
+// StrategyConfig selects and parameterizes a resolution strategy; the
+// zero value is serial failover.
+type StrategyConfig struct {
+	Kind StrategyKind
+	// RaceStagger overrides Race's head start (zero: DefaultRaceStagger).
+	RaceStagger time.Duration
+	// HedgeQuantile overrides Hedge's arming quantile (zero:
+	// DefaultHedgeQuantile).
+	HedgeQuantile float64
+}
+
+// New builds the configured Strategy.
+func (c StrategyConfig) New() Strategy {
+	switch c.Kind {
+	case StrategyRace:
+		return Race{Stagger: c.RaceStagger}
+	case StrategyHedge:
+		return Hedge{Quantile: c.HedgeQuantile}
+	default:
+		return SerialFailover{}
+	}
+}
+
+// SerialFailover tries candidates strictly in pool order and keeps the
+// first usable answer — the pre-strategy Client.Exchange behavior,
+// byte-identical results included: one attempt at a time, each attempt's
+// cost charged before the next dial, SERVFAILs remembered and returned
+// only when every member agrees.
+type SerialFailover struct{}
+
+// Name implements Strategy.
+func (SerialFailover) Name() string { return "serial" }
+
+// Resolve implements Strategy.
+func (SerialFailover) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome {
+	return serialResolve(d, q, candidates, Outcome{}, Attempt{}, nil, len(candidates))
+}
+
+// serialResolve walks candidates in order, continuing from the given
+// partial outcome — the shared tail for SerialFailover and for Race and
+// Hedge falling through after their paired attempts lost. total is the
+// exchange's full candidate count, kept for the all-failed error.
+func serialResolve(d Driver, q *dnswire.Message, candidates []*Upstream, out Outcome, servFail Attempt, lastErr error, total int) Outcome {
+	for _, up := range candidates {
+		at := d.Dial(up, q)
+		out.Attempts++
+		d.Charge(at.Cost)
+		if at.Err != nil {
+			if at.Bench {
+				d.Bench(up)
+			}
+			lastErr = fmt.Errorf("upstream %s (%s): %w", up.Name, up.Proto, at.Err)
+			continue
+		}
+		// A SERVFAIL is a healthy transport over a struggling recursor:
+		// try the next pool member without benching this one. Returned
+		// as-is only if every member agrees.
+		if at.Msg.RCode == dnswire.RCodeServFail {
+			servFail = at
+			continue
+		}
+		out.Winner = at
+		return out
+	}
+	if servFail.Msg != nil {
+		out.Winner = servFail
+		return out
+	}
+	out.Err = fmt.Errorf("transport: all %d upstreams failed: %w", total, lastErr)
+	return out
+}
+
+// DefaultRaceStagger is Race's head start for the primary candidate —
+// the RFC 8305 "connection attempt delay", scaled to the simulation's
+// synthetic 2–20ms latency band so races actually fire. (Browsers use
+// 50–250ms against real-world RTTs.)
+const DefaultRaceStagger = 5 * time.Millisecond
+
+// Race is happy-eyeballs protocol racing (the shape Firefox and Chrome
+// use for DoH fallback, and RFC 8305 codifies for address families): the
+// top pool candidate launches immediately, and if its answer has not
+// arrived when the stagger timer fires, the next candidate speaking a
+// *different* protocol launches too. First usable answer wins; the loser
+// is cancelled (and accounted as wasted upstream load). If both racers
+// fail, the exchange falls through to the remaining candidates serially.
+//
+// On the virtual clock the race is simulated, not scheduled: the
+// primary's attempt runs synchronously, its Cost decides whether the
+// partner launches at all (an answer at or before the stagger edge
+// cancels the timer), and completion times are compared as launch offset
+// plus Cost. Ties go to the primary — it started first.
+type Race struct {
+	// Stagger is the primary's head start before the cross-protocol
+	// partner launches; zero selects DefaultRaceStagger.
+	Stagger time.Duration
+}
+
+// Name implements Strategy.
+func (Race) Name() string { return "race" }
+
+// Resolve implements Strategy.
+func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome {
+	if len(candidates) < 2 {
+		return SerialFailover{}.Resolve(d, q, candidates)
+	}
+	stagger := r.Stagger
+	if stagger <= 0 {
+		stagger = DefaultRaceStagger
+	}
+	// The race pairs the balancer's pick with the first *healthy*
+	// candidate speaking a different protocol — the happy-eyeballs
+	// point is protocol diversity. A single-protocol fleet degrades to
+	// racing the plain second healthy candidate (connection racing);
+	// with no healthy partner (or a benched primary) there is nothing
+	// worth racing and the exchange walks the candidates serially.
+	primary := candidates[0]
+	pi, fb := pickPartner(d, candidates, func(c *Upstream) bool { return c.Proto != primary.Proto })
+	if pi < 0 {
+		pi = fb
+	}
+	if pi < 0 || d.Benched(primary) {
+		return SerialFailover{}.Resolve(d, q, candidates)
+	}
+
+	var out Outcome
+	atA := d.Dial(primary, q)
+	out.Attempts++
+	if atA.Err != nil && atA.Bench {
+		d.Bench(primary)
+	}
+	// The primary answered at or before the stagger edge: the timer is
+	// cancelled and the partner never launches (no race, no waste).
+	if atA.usable() && atA.Cost <= stagger {
+		d.Charge(atA.Cost)
+		out.Winner = atA
+		return out
+	}
+	// The primary's outcome was known before the timer fired — a dial
+	// failure detected synchronously (never on wire, zero cost) or an
+	// error/SERVFAIL arriving inside the stagger. RFC 8305 moves to the
+	// next attempt immediately rather than waiting out the timer, so
+	// this is ordinary failover, not a race.
+	if !atA.usable() && attemptCompletion(atA, 0) < stagger {
+		d.Charge(atA.Cost)
+		servFail, lastErr := attemptResidue(atA, primary)
+		return serialResolve(d, q, candidates[1:], out, servFail, lastErr, len(candidates))
+	}
+
+	// Timer fired: the partner launches at the stagger offset.
+	out.Races++
+	atB := d.Dial(candidates[pi], q)
+	out.Attempts++
+	if atB.Err != nil && atB.Bench {
+		d.Bench(candidates[pi])
+	}
+	out, done := raceDecide(d, out, atA, atB, atA.Cost, stagger+atB.Cost)
+	if done {
+		return out
+	}
+
+	// Both racers lost: charge the race window and fail over serially
+	// through the remaining candidates, keeping any SERVFAIL as the
+	// answer of last resort.
+	servFail, lastErr := raceResidue(atA, atB, primary, candidates[pi])
+	d.Charge(maxAttemptCompletion(atA.Cost, attemptCompletion(atB, stagger)))
+	rest := make([]*Upstream, 0, len(candidates)-2)
+	for i, up := range candidates {
+		if i != 0 && i != pi {
+			rest = append(rest, up)
+		}
+	}
+	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates))
+}
+
+// pickPartner scans the candidates after the head for un-benched
+// members: pick is the first satisfying prefer, fallback the first of
+// any kind (-1 when absent). Race accepts the fallback — connection
+// racing beats no racing — while Hedge does not: its contract is
+// same-protocol only.
+func pickPartner(d Driver, candidates []*Upstream, prefer func(*Upstream) bool) (pick, fallback int) {
+	pick, fallback = -1, -1
+	for i := 1; i < len(candidates); i++ {
+		if d.Benched(candidates[i]) {
+			continue
+		}
+		if prefer(candidates[i]) {
+			return i, fallback
+		}
+		if fallback < 0 {
+			fallback = i
+		}
+	}
+	return pick, fallback
+}
+
+// raceDecide picks the winner between two simulated-concurrent attempts
+// completing at aDone and bDone on the exchange timeline. done is false
+// when neither attempt is usable.
+func raceDecide(d Driver, out Outcome, atA, atB Attempt, aDone, bDone time.Duration) (Outcome, bool) {
+	switch {
+	case atA.usable() && (!atB.usable() || aDone <= bDone):
+		d.Charge(aDone)
+		out.Winner = atA
+		out = accountLoser(out, atB, bDone, aDone)
+		return out, true
+	case atB.usable():
+		d.Charge(bDone)
+		out.Winner = atB
+		out = accountLoser(out, atA, aDone, bDone)
+		return out, true
+	}
+	return out, false
+}
+
+// accountLoser books the losing attempt: any attempt that reached the
+// wire is wasted upstream load, and one whose completion lay beyond the
+// winner's was cancelled in flight.
+func accountLoser(out Outcome, loser Attempt, loserDone, winnerDone time.Duration) Outcome {
+	if loser.Cost <= 0 && loser.Err != nil {
+		return out // never reached the wire
+	}
+	out.Wasted++
+	if loserDone > winnerDone {
+		out.LosersCancelled++
+	}
+	return out
+}
+
+// attemptResidue extracts what a losing attempt leaves behind: the
+// last-resort SERVFAIL answer, or the wrapped failure context.
+func attemptResidue(at Attempt, up *Upstream) (servFail Attempt, lastErr error) {
+	if at.Err != nil {
+		return Attempt{}, fmt.Errorf("upstream %s (%s): %w", up.Name, up.Proto, at.Err)
+	}
+	if at.Msg.RCode == dnswire.RCodeServFail {
+		servFail = at
+	}
+	return servFail, nil
+}
+
+// raceResidue merges the residue of two losing attempts.
+func raceResidue(atA, atB Attempt, upA, upB *Upstream) (servFail Attempt, lastErr error) {
+	sfA, errA := attemptResidue(atA, upA)
+	sfB, errB := attemptResidue(atB, upB)
+	if sfB.Msg != nil {
+		sfA = sfB
+	}
+	if errA != nil {
+		lastErr = errA
+	}
+	if errB != nil {
+		lastErr = errB
+	}
+	return sfA, lastErr
+}
+
+// attemptCompletion places an attempt on the exchange timeline: launch
+// offset plus cost for attempts that reached the wire, zero otherwise.
+func attemptCompletion(at Attempt, offset time.Duration) time.Duration {
+	if at.Cost <= 0 {
+		return 0
+	}
+	return offset + at.Cost
+}
+
+func maxAttemptCompletion(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DefaultHedgeQuantile arms the hedge timer at the primary's p90: the
+// tail dnscrypt-proxy's per-server latency estimates are built to avoid.
+const DefaultHedgeQuantile = 0.9
+
+// Hedge is a hedged-query strategy (the "defer request" pattern): the
+// primary candidate is queried alone, but a timer armed at the primary's
+// tracked latency quantile launches a duplicate to an understudy — the
+// next candidate speaking the *same* protocol, this is not a protocol
+// race — and the first usable answer wins. Until the pool has enough
+// samples to trust a quantile, hedging stays serial.
+//
+// Like Race, the overlap is simulated on the virtual clock: the hedge
+// fires exactly when the primary's RTT exceeds the threshold (RTT, not
+// Cost — the quantile window tracks RTTs, and a reconnect's setup
+// round-trips must not read as tail latency), the understudy launches
+// at the primary's send time + threshold, and the earlier usable
+// completion wins (ties to the primary).
+type Hedge struct {
+	// Quantile is the per-upstream latency quantile that arms the hedge
+	// timer; zero selects DefaultHedgeQuantile.
+	Quantile float64
+}
+
+// Name implements Strategy.
+func (Hedge) Name() string { return "hedge" }
+
+// Resolve implements Strategy.
+func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome {
+	quantile := h.Quantile
+	if quantile <= 0 {
+		quantile = DefaultHedgeQuantile
+	}
+	primary := candidates[0]
+	threshold, armed := d.Quantile(primary, quantile)
+
+	var out Outcome
+	atA := d.Dial(primary, q)
+	out.Attempts++
+	if atA.Err != nil {
+		// A transport failure is ordinary failover, not a hedge: the
+		// error is detected synchronously, so the exchange moves on to
+		// the remaining candidates serially.
+		if atA.Bench {
+			d.Bench(primary)
+		}
+		d.Charge(atA.Cost)
+		lastErr := fmt.Errorf("upstream %s (%s): %w", primary.Name, primary.Proto, atA.Err)
+		return serialResolve(d, q, candidates[1:], out, Attempt{}, lastErr, len(candidates))
+	}
+	// No timer armed (cold quantile window, or nobody to hedge to), or
+	// the primary beat its threshold: serial semantics. The trigger
+	// compares the attempt's RTT — the quantity the quantile window
+	// tracks — not its Cost: a reconnect exchange pays setup round-trips
+	// on top of a nominal RTT, and hedging on connection churn would
+	// duplicate load exactly when the fleet is already reconnecting.
+	if !armed || len(candidates) < 2 || atA.RTT <= threshold {
+		d.Charge(atA.Cost)
+		if atA.usable() {
+			out.Winner = atA
+			return out
+		}
+		return serialResolve(d, q, candidates[1:], out, atA, nil, len(candidates))
+	}
+
+	// The primary blew its quantile: the hedge fires at the threshold,
+	// before the primary's answer arrived — to the first healthy
+	// same-protocol understudy, and only same-protocol (a cross-
+	// protocol duplicate would be an undeclared race, armed by a
+	// threshold that says nothing about the other protocol's latency);
+	// never a benched member (duplicating load onto a known-bad
+	// upstream only hastens its removal). With no eligible understudy
+	// the exchange stays serial.
+	ui, _ := pickPartner(d, candidates, func(c *Upstream) bool { return c.Proto == primary.Proto })
+	if ui < 0 {
+		d.Charge(atA.Cost)
+		if atA.usable() {
+			out.Winner = atA
+			return out
+		}
+		return serialResolve(d, q, candidates[1:], out, atA, nil, len(candidates))
+	}
+	out.Hedges++
+	understudy := candidates[ui]
+	atB := d.Dial(understudy, q)
+	out.Attempts++
+	if atB.Err != nil && atB.Bench {
+		d.Bench(understudy)
+	}
+	// The hedge timer starts when the primary's request goes out — after
+	// any connection setup it paid — so the understudy launches at
+	// send-time + threshold on the exchange timeline.
+	hedgeAt := atA.Cost - atA.RTT + threshold
+	out, done := raceDecide(d, out, atA, atB, atA.Cost, hedgeAt+atB.Cost)
+	if done {
+		return out
+	}
+
+	// Primary SERVFAILed and the hedge lost too: serial fallthrough.
+	servFail, lastErr := raceResidue(atA, atB, primary, understudy)
+	d.Charge(maxAttemptCompletion(atA.Cost, attemptCompletion(atB, hedgeAt)))
+	rest := make([]*Upstream, 0, len(candidates)-2)
+	for i, up := range candidates {
+		if i != 0 && i != ui {
+			rest = append(rest, up)
+		}
+	}
+	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates))
+}
+
+// StrategyStats snapshots a client's resolution-strategy telemetry: the
+// racing/hedging overhead counters and the winner-protocol distribution
+// (which envelope actually answered — the happy-eyeballs question).
+type StrategyStats struct {
+	// Strategy is the active strategy's name.
+	Strategy string
+	// Exchanges counts completed Exchange calls; Attempts counts dials,
+	// so Attempts-Exchanges is the duplicated-load overhead ceiling.
+	Exchanges uint64
+	Attempts  uint64
+	// Races, LosersCancelled, Hedges, and Wasted aggregate the per-
+	// exchange Outcome telemetry.
+	Races           uint64
+	LosersCancelled uint64
+	Hedges          uint64
+	Wasted          uint64
+	// WinsByProto counts winning answers per envelope protocol.
+	WinsByProto map[Protocol]uint64
+}
+
+// Add folds another snapshot's counters in (for aggregation across
+// clients).
+func (s *StrategyStats) Add(o StrategyStats) {
+	s.Exchanges += o.Exchanges
+	s.Attempts += o.Attempts
+	s.Races += o.Races
+	s.LosersCancelled += o.LosersCancelled
+	s.Hedges += o.Hedges
+	s.Wasted += o.Wasted
+	if s.WinsByProto == nil {
+		s.WinsByProto = map[Protocol]uint64{}
+	}
+	for p, n := range o.WinsByProto {
+		s.WinsByProto[p] += n
+	}
+}
+
+// Sub removes a baseline snapshot's counters (for drill deltas); the
+// mirror image of Add so the counter list lives in one place.
+func (s *StrategyStats) Sub(o StrategyStats) {
+	s.Exchanges -= o.Exchanges
+	s.Attempts -= o.Attempts
+	s.Races -= o.Races
+	s.LosersCancelled -= o.LosersCancelled
+	s.Hedges -= o.Hedges
+	s.Wasted -= o.Wasted
+	if s.WinsByProto == nil {
+		s.WinsByProto = map[Protocol]uint64{}
+	}
+	for p, n := range o.WinsByProto {
+		s.WinsByProto[p] -= n
+	}
+}

@@ -80,12 +80,12 @@ func frontendAddr(i int) netip.AddrPort {
 // newTestFleet registers n frontends of the given protocols over one stub
 // recursor with a shared cache and returns a client over the pool.
 // protos cycles when shorter than n (nil means all-DoH).
-func newTestFleet(t *testing.T, n int, strategy Strategy, protos ...Protocol) (*Client, *Fleet, *stubRecursor, *simnet.Network, *simnet.Clock) {
+func newTestFleet(t *testing.T, n int, balance Balance, protos ...Protocol) (*Client, *Fleet, *stubRecursor, *simnet.Network, *simnet.Clock) {
 	t.Helper()
 	net, clock := testNet()
 	recursor := &stubRecursor{ttl: 300}
 	fl := NewFleet(net, clock, FleetConfig{
-		Strategy: strategy, Seed: 1,
+		Balance: balance, Seed: 1,
 		Cache: CacheConfig{Shards: 4, ShardCapacity: 64},
 	})
 	if len(protos) == 0 {
@@ -99,7 +99,7 @@ func newTestFleet(t *testing.T, n int, strategy Strategy, protos ...Protocol) (*
 }
 
 func TestServerCacheHitAndVirtualClockExpiry(t *testing.T) {
-	client, fl, recursor, _, clock := newTestFleet(t, 1, StrategyRoundRobin)
+	client, fl, recursor, _, clock := newTestFleet(t, 1, BalanceRoundRobin)
 
 	if _, err := client.Query("cached.test", dnswire.TypeHTTPS, false); err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestServerCacheHitAndVirtualClockExpiry(t *testing.T) {
 }
 
 func TestCacheKeyIncludesTypeAndDOBit(t *testing.T) {
-	client, _, recursor, _, _ := newTestFleet(t, 1, StrategyRoundRobin)
+	client, _, recursor, _, _ := newTestFleet(t, 1, BalanceRoundRobin)
 	if _, err := client.Query("multi.test", dnswire.TypeHTTPS, false); err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestCacheShardingSpreadsKeys(t *testing.T) {
 }
 
 func TestRoundRobinCyclesFrontends(t *testing.T) {
-	client, fl, _, _, _ := newTestFleet(t, 3, StrategyRoundRobin)
+	client, fl, _, _, _ := newTestFleet(t, 3, BalanceRoundRobin)
 	// Distinct names so the shared cache doesn't absorb the later queries.
 	for i := 0; i < 6; i++ {
 		if _, err := client.Query(fmt.Sprintf("rr%d.test", i), dnswire.TypeA, false); err != nil {
@@ -241,7 +241,7 @@ func TestRoundRobinCyclesFrontends(t *testing.T) {
 }
 
 func TestHashAffinityPinsQueryName(t *testing.T) {
-	client, fl, _, _, clock := newTestFleet(t, 4, StrategyHashAffinity)
+	client, fl, _, _, clock := newTestFleet(t, 4, BalanceHashAffinity)
 	for i := 0; i < 8; i++ {
 		// Advance past the TTL each time so the cache cannot serve it and
 		// the same frontend must be chosen repeatedly.
@@ -265,7 +265,7 @@ func TestHashAffinityPinsQueryName(t *testing.T) {
 
 func TestEWMAPrefersFasterUpstream(t *testing.T) {
 	_, clock := testNet()
-	pool := NewPool(clock, StrategyEWMA, 1)
+	pool := NewPool(clock, BalanceEWMA, 1)
 	fast := pool.Add("fast", frontendAddr(0), ProtoDoH)
 	slow := pool.Add("slow", frontendAddr(1), ProtoDoT)
 	for i := 0; i < 20; i++ {
@@ -281,7 +281,7 @@ func TestEWMAPrefersFasterUpstream(t *testing.T) {
 
 func TestP2FavoursLowerRTT(t *testing.T) {
 	_, clock := testNet()
-	pool := NewPool(clock, StrategyP2, 7)
+	pool := NewPool(clock, BalanceP2, 7)
 	fast := pool.Add("fast", frontendAddr(0), ProtoDoH)
 	for i := 1; i < 4; i++ {
 		slow := pool.Add(fmt.Sprintf("slow%d", i), frontendAddr(i), ProtoDoH)
@@ -303,7 +303,7 @@ func TestP2FavoursLowerRTT(t *testing.T) {
 }
 
 func TestFailoverOnSimnetFailureInjection(t *testing.T) {
-	client, fl, _, net, _ := newTestFleet(t, 3, StrategyRoundRobin)
+	client, fl, _, net, _ := newTestFleet(t, 3, BalanceRoundRobin)
 
 	// Take frontend 0 down at the address level and frontend 1 at the
 	// port level; every query must fail over to frontend 2.
@@ -342,7 +342,7 @@ func TestFailoverOnSimnetFailureInjection(t *testing.T) {
 }
 
 func TestBenchedUpstreamRecoversAfterCooldown(t *testing.T) {
-	client, fl, _, net, clock := newTestFleet(t, 2, StrategyRoundRobin)
+	client, fl, _, net, clock := newTestFleet(t, 2, BalanceRoundRobin)
 	net.SetAddrDown(frontendAddr(0).Addr(), true)
 	if _, err := client.Query("a.test", dnswire.TypeA, false); err != nil {
 		t.Fatal(err)
@@ -374,7 +374,7 @@ func TestBenchedUpstreamRecoversAfterCooldown(t *testing.T) {
 // on any frontend warms every sibling — including siblings speaking a
 // different protocol (the cache is keyed below the envelope).
 func TestFleetSharedCacheAcrossFrontends(t *testing.T) {
-	client, fl, recursor, _, _ := newTestFleet(t, 3, StrategyRoundRobin,
+	client, fl, recursor, _, _ := newTestFleet(t, 3, BalanceRoundRobin,
 		ProtoDoH, ProtoDoT, ProtoDoQ)
 	for i := 0; i < 3; i++ {
 		if _, err := client.Query("shared.test", dnswire.TypeHTTPS, true); err != nil {
@@ -409,7 +409,7 @@ func TestSERVFAILFailsOverToNextUpstream(t *testing.T) {
 	for _, proto := range []Protocol{ProtoDoH, ProtoDoT, ProtoDoQ} {
 		t.Run(proto.String(), func(t *testing.T) {
 			net, clock := testNet()
-			fl := NewFleet(net, clock, FleetConfig{Strategy: StrategyRoundRobin, Seed: 1})
+			fl := NewFleet(net, clock, FleetConfig{Balance: BalanceRoundRobin, Seed: 1})
 			fl.Add(proto, "broken", servFailRecursor{}, frontendAddr(0))
 			fl.Add(proto, "good", &stubRecursor{ttl: 300}, frontendAddr(1))
 			client := fl.Client
@@ -435,7 +435,7 @@ func TestSERVFAILFailsOverToNextUpstream(t *testing.T) {
 			// With every member SERVFAILing, the answer is SERVFAIL, not an
 			// error.
 			net.UnregisterService(frontendAddr(1))
-			fl2 := NewFleet(net, clock, FleetConfig{Strategy: StrategyRoundRobin, Seed: 1})
+			fl2 := NewFleet(net, clock, FleetConfig{Balance: BalanceRoundRobin, Seed: 1})
 			fl2.Add(proto, "broken", servFailRecursor{}, frontendAddr(2))
 			resp, err := fl2.Client.Query("allbroken.test", dnswire.TypeHTTPS, false)
 			if err != nil {
@@ -455,7 +455,7 @@ func newStaleFleet(t *testing.T, cfg CacheConfig, cooldown time.Duration, proto 
 	net, clock := testNet()
 	recursor := &stubRecursor{ttl: 300}
 	fl := NewFleet(net, clock, FleetConfig{
-		Strategy: StrategyRoundRobin, Seed: 1,
+		Balance: BalanceRoundRobin, Seed: 1,
 		Cache: cfg, FailureCooldown: cooldown,
 	})
 	fe := fl.Add(proto, "fe0", recursor, frontendAddr(0))
@@ -762,14 +762,14 @@ func TestRefreshAheadPrefetch(t *testing.T) {
 	}
 }
 
-func TestParseStrategy(t *testing.T) {
-	for _, s := range []Strategy{StrategyP2, StrategyEWMA, StrategyRoundRobin, StrategyHashAffinity} {
-		got, err := ParseStrategy(s.String())
+func TestParseBalance(t *testing.T) {
+	for _, s := range []Balance{BalanceP2, BalanceEWMA, BalanceRoundRobin, BalanceHashAffinity} {
+		got, err := ParseBalance(s.String())
 		if err != nil || got != s {
-			t.Errorf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+			t.Errorf("ParseBalance(%q) = %v, %v", s.String(), got, err)
 		}
 	}
-	if _, err := ParseStrategy("nope"); err == nil {
+	if _, err := ParseBalance("nope"); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }

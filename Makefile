@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-micro bench-smoke verify
+.PHONY: all build test race vet fmt bench bench-micro bench-smoke trace-demo verify
 
 all: build test
 
@@ -11,10 +11,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-heavy packages (the pipelined
-# campaign scheduler, the substrate it fans out over, and the serving
-# layer's shared cache/pool/cooldown state).
+# campaign scheduler, the substrate it fans out over, the serving
+# layer's shared cache/pool/cooldown state, and the telemetry registry
+# every worker increments).
 race:
-	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport
+	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport ./internal/obs
 
 # Tier-1 verify as the roadmap defines it.
 verify: build test
@@ -50,6 +51,13 @@ bench:
 # differs from the baseline's — which smoke's shrunken campaign does).
 bench-smoke:
 	$(GO) run ./cmd/benchcampaign -smoke $(BENCH_FLEET) -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
+
+# Traced-exchange demo: a mixed-protocol fleet under the race strategy
+# with every exchange traced, dumping the five slowest span trees —
+# frontend receive, each dial attempt with its race role, the upstream
+# answer, and the commit, all on virtual-time offsets.
+trace-demo:
+	$(GO) run ./cmd/dohserve -size 800 -frontends 4 -proto mixed -strategy race -queries 600 -hot 200 -kill 0 -trace 5
 
 # Fast benchmark subset: substrate + serving-layer hot paths (skips the
 # campaign-backed table/figure benchmarks, which rebuild a world).

@@ -61,8 +61,14 @@ type report struct {
 	SerialMS     float64 `json:"serial_ms"`
 	PipelinedMS  float64 `json:"pipelined_ms"`
 	Speedup      float64 `json:"speedup"`
-	Queries      uint64  `json:"dns_queries_per_run"`
-	StoresEqual  bool    `json:"stores_equal"`
+	// InstrumentedMS times a third pipelined run with telemetry series
+	// enabled (fleet campaigns only); ObsOverheadPct is its cost relative
+	// to the uninstrumented pipelined run. The observability layer is
+	// designed to stay under a few percent — the bench warns past 5%.
+	InstrumentedMS float64 `json:"instrumented_ms,omitempty"`
+	ObsOverheadPct float64 `json:"obs_overhead_pct,omitempty"`
+	Queries        uint64  `json:"dns_queries_per_run"`
+	StoresEqual    bool    `json:"stores_equal"`
 	// Note flags reports whose speedup is not meaningful (single-core
 	// hosts: the workload is CPU-bound simulation, so pipelining cannot
 	// beat serial there).
@@ -101,12 +107,13 @@ func main() {
 	start := time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC)
 	end := start.AddDate(0, 0, *days-1)
 
-	run := func(dayWorkers int) (time.Duration, uint64, []byte) {
+	run := func(dayWorkers int, telemetry time.Duration) (time.Duration, uint64, []byte) {
 		c, err := core.NewCampaign(core.CampaignConfig{
 			Size: *size, Seed: *seed, Start: start, End: end, StepDays: 1,
 			DayWorkers:   dayWorkers,
 			DoHFrontends: *frontends, TransportMix: mix,
 			TransportStrategy: strategy,
+			TelemetryInterval: telemetry,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -132,10 +139,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchcampaign: size=%d days=%d (serial vs %d day workers)%s\n",
 		*size, *days, *workers, fleetTag)
-	serialDur, serialQ, serialStore := run(1)
+	serialDur, serialQ, serialStore := run(1, 0)
 	fmt.Fprintf(os.Stderr, "  serial:    %v (%d DNS queries)\n", serialDur.Round(time.Millisecond), serialQ)
-	pipeDur, _, pipeStore := run(*workers)
+	pipeDur, _, pipeStore := run(*workers, 0)
 	fmt.Fprintf(os.Stderr, "  pipelined: %v\n", pipeDur.Round(time.Millisecond))
+	// Third dimension, fleet campaigns only: the same pipelined run with
+	// telemetry series enabled, timing what the observability layer costs.
+	var instrDur time.Duration
+	if *frontends > 0 {
+		instrDur, _, _ = run(*workers, time.Hour)
+		fmt.Fprintf(os.Stderr, "  instrumented: %v (telemetry series on)\n", instrDur.Round(time.Millisecond))
+	}
 
 	r := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -159,6 +173,17 @@ func main() {
 		// baselines stay comparable regardless of the flag defaults.
 		r.TransportMix = mix.String()
 		r.Strategy = strategy.String()
+	}
+	if instrDur > 0 {
+		r.InstrumentedMS = float64(instrDur.Microseconds()) / 1000
+		r.ObsOverheadPct = (float64(instrDur) - float64(pipeDur)) / float64(pipeDur) * 100
+		if r.ObsOverheadPct > 5 {
+			fmt.Fprintf(os.Stderr,
+				"  warning: telemetry instrumentation overhead %.1f%% exceeds the 5%% budget\n",
+				r.ObsOverheadPct)
+		} else {
+			fmt.Fprintf(os.Stderr, "  instrumentation overhead: %.1f%% (budget 5%%)\n", r.ObsOverheadPct)
+		}
 	}
 	if r.GoMaxProcs <= 1 {
 		r.Note = "single-core host: speedup is meaningful only with go_max_procs > 1; stores_equal is the signal here"

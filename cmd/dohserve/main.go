@@ -12,7 +12,7 @@
 //	         [-strategy serial|race|hedge] [-stagger D] [-hedgeq F]
 //	         [-balance p2|ewma|roundrobin|hash]
 //	         [-queries N] [-workers N] [-shards N] [-shardcap N] [-hot N]
-//	         [-kill N] [-post]
+//	         [-kill N] [-post] [-trace N]
 //	         [-stalewindow D] [-refreshahead F] [-cooldown D]
 //	         [-chaos] [-epochs N] [-epochlen D] [-flap P]
 //
@@ -34,6 +34,16 @@
 //
 // -kill marks that many frontend addresses unreachable halfway through
 // the load, exercising failover under fire.
+//
+// -trace samples every exchange into a span trace and, after the load,
+// dumps the N slowest exchanges as span trees — frontend receive, cache
+// probe, each dial attempt with its protocol and race/hedge role, the
+// upstream answer, and the commit, all on virtual-time offsets. Tracing
+// forces -workers 1 so the sampled ring is deterministic for a seed.
+//
+// All reporting reads one obs registry snapshot (Fleet.Metrics) instead
+// of per-struct counters; chaos mode diffs snapshots against a
+// post-warmup baseline so every number is drill-only.
 //
 // -chaos switches to the RFC 8767 resilience drill: instead of killing
 // frontend addresses, the *recursors behind* the frontends flap up and
@@ -59,6 +69,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/transport"
 )
@@ -79,6 +90,7 @@ func main() {
 	hot := flag.Int("hot", 500, "working-set size (distinct names cycled through)")
 	kill := flag.Int("kill", 1, "frontends to mark unreachable halfway through (ignored with -chaos)")
 	post := flag.Bool("post", false, "use POST envelopes instead of GET")
+	traceN := flag.Int("trace", 0, "trace every exchange and dump the N slowest span trees (forces -workers 1)")
 	staleWindow := flag.Duration("stalewindow", time.Hour, "RFC 8767 serve-stale window (0 disables)")
 	refreshAhead := flag.Float64("refreshahead", 0.8, "prefetch at this fraction of TTL elapsed (0 disables)")
 	cooldown := flag.Duration("cooldown", 15*time.Second, "frontend benches its recursor this long after a hard failure")
@@ -139,6 +151,16 @@ func main() {
 	}
 	world, client := camp.World, camp.Fleet.Client
 	client.UsePOST = *post
+	if *traceN > 0 {
+		if *workers > 1 {
+			fmt.Println("tracing: forcing -workers 1 so the sampled ring is deterministic")
+			*workers = 1
+		}
+		client.Tracer = obs.NewTracer(world.Clock, obs.TraceConfig{
+			SampleEvery: 1,
+			Capacity:    max(obs.DefaultTraceCapacity, 4**traceN),
+		})
+	}
 	// Layer a deterministic 1-in-8 latency tail over the campaign's
 	// synthetic per-member band: constant per-member RTTs never exceed
 	// their own quantile, so without a tail the quantile-armed Hedge
@@ -166,7 +188,7 @@ func main() {
 
 	if *chaos {
 		runChaos(camp, list, *queries, *epochs, *epochLen, *flap, *seed)
-		report(camp)
+		dumpTraces(client, *traceN)
 		return
 	}
 
@@ -208,7 +230,20 @@ func main() {
 	fmt.Printf("\n%d queries in %s (%.0f q/s): %d answered, %d failed\n",
 		*queries, elapsed.Round(time.Millisecond),
 		float64(*queries)/elapsed.Seconds(), ok.Load(), failed.Load())
-	report(camp)
+	report(camp, camp.Fleet.Metrics.Snapshot(), "totals incl. warmup")
+	dumpTraces(client, *traceN)
+}
+
+// dumpTraces prints the n slowest traced exchanges as span trees.
+func dumpTraces(client *transport.Client, n int) {
+	if n <= 0 || client.Tracer == nil {
+		return
+	}
+	traces := client.Tracer.Slowest(n)
+	fmt.Printf("\nslowest %d of %d traced exchanges (virtual-time offsets):\n", len(traces), client.Tracer.Len())
+	for _, tr := range traces {
+		fmt.Print(tr.Tree())
+	}
 }
 
 // flakyUpstream wraps a recursor so chaos mode can take it down: while
@@ -285,10 +320,11 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 			os.Exit(1)
 		}
 	}
-	// Baselines taken after warmup so every reported delta is drill-only.
-	warmStale := client.StaleAnswers()
-	protoBase := camp.Fleet.ProtocolStats()
-	strategyBase := camp.Fleet.StrategyStats()
+	// Baseline snapshot taken after warmup so every reported delta is
+	// drill-only; the sampler records one full snapshot per epoch for the
+	// resilience curve.
+	base := camp.Fleet.Metrics.Snapshot()
+	sampler := obs.NewSampler(camp.Fleet.Metrics, world.Clock, epochLen, false)
 
 	rng := rand.New(rand.NewSource(seed))
 	perEpoch := queries / epochs
@@ -322,6 +358,7 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 		}
 		fmt.Printf("  epoch %2d: %d/%d recursors down, %3d queries, %3d stale-served\n",
 			e, downs, len(ups), perEpoch, client.StaleAnswers()-staleBefore)
+		sampler.Force(fmt.Sprintf("epoch%02d", e))
 	}
 	for _, u := range ups {
 		u.setDown(false)
@@ -330,22 +367,14 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 
 	fmt.Printf("\nchaos drill: %d queries over %v virtual time: %d answered, %d SERVFAIL, %d hard failures\n",
 		perEpoch*epochs, virtual.Round(time.Second), answered, servfails, errored)
-	fmt.Printf("stale answers served: %d (must be > 0: outages rode the stale window)\n",
-		client.StaleAnswers()-warmStale)
+	diff := camp.Fleet.Metrics.Snapshot().Sub(base)
+	fmt.Printf("stale answers served: %.0f (must be > 0: outages rode the stale window)\n",
+		diff.Value("client_stale_answers_total"))
 	if servfails == 0 && errored == 0 {
 		fmt.Println("zero SERVFAILs / hard failures: every outage was covered by serve-stale")
 	}
-	// Per-protocol staleness exposure: with a mixed fleet, each envelope's
-	// share of the drill's stale serves and upstream failures — the
-	// transport-sensitive view of the same outages.
-	fmt.Println("\nper-protocol chaos exposure (drill deltas):")
-	for _, p := range protocolsOf(camp) {
-		now, base := camp.Fleet.ProtocolStats()[p], protoBase[p]
-		fmt.Printf("  %-5s served %6d  stale-served %5d  upstream-fail %4d\n",
-			p, now.Served-base.Served, now.StaleServed-base.StaleServed,
-			now.UpstreamFailures-base.UpstreamFailures)
-	}
-	reportStrategy(camp, &strategyBase, "drill deltas")
+	chaosCurve(camp, base, sampler.Points())
+	report(camp, diff, "drill deltas")
 
 	fmt.Println("\nrecovery times (virtual time from recursor up-flap to first successful exchange):")
 	for _, u := range ups {
@@ -366,82 +395,147 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 	}
 }
 
-// protocolsOf lists the fleet's protocols in doh/dot/doq order, skipping
-// absent ones.
-func protocolsOf(camp *core.Campaign) []transport.Protocol {
-	present := camp.Fleet.ProtocolStats()
+// fleetProtocols lists the fleet's distinct protocols in doh/dot/doq
+// order.
+func fleetProtocols(camp *core.Campaign) []transport.Protocol {
+	present := map[transport.Protocol]bool{}
+	for _, fe := range camp.Fleet.Frontends {
+		present[fe.Proto] = true
+	}
 	var out []transport.Protocol
 	for _, p := range []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ} {
-		if _, ok := present[p]; ok {
+		if present[p] {
 			out = append(out, p)
 		}
 	}
 	return out
 }
 
-// reportStrategy prints the resolution strategy's telemetry — races and
-// hedges fired, losers cancelled, and the wasted-query overhead the
-// duplicate attempts cost the upstreams — plus the winner-protocol
-// distribution (which envelope actually answered). base, when non-nil,
-// turns every number into a delta against that snapshot.
-func reportStrategy(camp *core.Campaign, base *transport.StrategyStats, label string) {
-	st := camp.Fleet.StrategyStats()
-	if base != nil {
-		st.Sub(*base)
+// chaosCurve prints the per-epoch resilience curve from the sampler's
+// full snapshots: stale serves and hedges as per-epoch deltas against the
+// previous sample, pool health and cache hit rate as levels.
+func chaosCurve(camp *core.Campaign, base *obs.Snapshot, points []obs.Point) {
+	if len(points) == 0 {
+		return
 	}
-	fmt.Printf("\nresolution strategy %s (%s):\n", st.Strategy, label)
-	fmt.Printf("  %d exchanges, %d attempts: %d races started, %d hedges fired, %d losers cancelled\n",
-		st.Exchanges, st.Attempts, st.Races, st.Hedges, st.LosersCancelled)
+	fmt.Println("\nresilience curve (per-epoch snapshot deltas):")
+	fmt.Println("  epoch    stale  hedges  pool-healthy  cache-hit%")
+	prev := base
+	for _, p := range points {
+		d := p.Snap.Sub(prev)
+		hitRate := 100 * obs.Ratio(uint64(p.Snap.Value("cache_hits_total")),
+			uint64(p.Snap.Value("cache_hits_total")+p.Snap.Value("cache_misses_total")))
+		fmt.Printf("  %-7s %6.0f  %6.0f  %7.0f/%-4.0f  %9.1f\n",
+			p.Label, d.Value("client_stale_answers_total"), d.Value("strategy_hedges_total"),
+			p.Snap.Value("pool_healthy"), p.Snap.Value("pool_members"), hitRate)
+		prev = p.Snap
+	}
+}
+
+// report renders the fleet's state from one registry snapshot — the
+// per-frontend and per-protocol lifecycle counters, strategy telemetry,
+// exchange-latency histogram, pool health, and shared-cache statistics.
+// Chaos mode passes a Sub-diffed snapshot so counters read as drill
+// deltas while gauges keep their current levels.
+func report(camp *core.Campaign, snap *obs.Snapshot, label string) {
+	type lifecycleRow struct {
+		name   string
+		labels []obs.Label
+	}
+	lifecycle := func(rows []lifecycleRow) {
+		for _, row := range rows {
+			fmt.Printf("  %-22s served %6.0f  hits %6.0f  stale %5.0f  neg %4.0f  prefetch %4.0f  upstream-fail %4.0f\n",
+				row.name,
+				snap.Value("frontend_served_total", row.labels...),
+				snap.Value("frontend_cache_hits_total", row.labels...),
+				snap.Value("frontend_stale_served_total", row.labels...),
+				snap.Value("frontend_negative_hits_total", row.labels...),
+				snap.Value("frontend_prefetches_total", row.labels...),
+				snap.Value("frontend_upstream_failures_total", row.labels...))
+		}
+	}
+	fmt.Printf("\nfrontends (cache lifecycle, %s):\n", label)
+	var rows []lifecycleRow
+	for _, fe := range camp.Fleet.Frontends {
+		rows = append(rows, lifecycleRow{name: fe.Name,
+			labels: []obs.Label{obs.L("frontend", fe.Name), obs.L("proto", fe.Proto.String())}})
+	}
+	lifecycle(rows)
+	if protos := fleetProtocols(camp); len(protos) > 1 {
+		// Per-protocol totals aggregate the labeled frontend families by
+		// their proto label.
+		totals := map[transport.Protocol]map[string]float64{}
+		for _, fe := range camp.Fleet.Frontends {
+			if totals[fe.Proto] == nil {
+				totals[fe.Proto] = map[string]float64{}
+			}
+			labels := []obs.Label{obs.L("frontend", fe.Name), obs.L("proto", fe.Proto.String())}
+			for _, name := range []string{
+				"frontend_served_total", "frontend_cache_hits_total",
+				"frontend_stale_served_total", "frontend_negative_hits_total",
+				"frontend_prefetches_total", "frontend_upstream_failures_total",
+			} {
+				totals[fe.Proto][name] += snap.Value(name, labels...)
+			}
+		}
+		fmt.Println("\nper-protocol totals:")
+		for _, p := range protos {
+			t := totals[p]
+			fmt.Printf("  %-5s served %6.0f  hits %6.0f  stale %5.0f  neg %4.0f  prefetch %4.0f  upstream-fail %4.0f\n",
+				p, t["frontend_served_total"], t["frontend_cache_hits_total"],
+				t["frontend_stale_served_total"], t["frontend_negative_hits_total"],
+				t["frontend_prefetches_total"], t["frontend_upstream_failures_total"])
+		}
+	}
+
+	fmt.Printf("\nresolution strategy %s (%s):\n", camp.Fleet.StrategyStats().Strategy, label)
+	exchanges := snap.Value("client_exchanges_total")
+	wasted := snap.Value("strategy_wasted_total")
+	fmt.Printf("  %.0f exchanges, %.0f attempts: %.0f races started, %.0f hedges fired, %.0f losers cancelled\n",
+		exchanges, snap.Value("strategy_attempts_total"), snap.Value("strategy_races_total"),
+		snap.Value("strategy_hedges_total"), snap.Value("strategy_losers_cancelled_total"))
 	overhead := 0.0
-	if st.Exchanges > 0 {
-		overhead = 100 * float64(st.Wasted) / float64(st.Exchanges)
+	if exchanges > 0 {
+		overhead = 100 * wasted / exchanges
 	}
-	fmt.Printf("  wasted upstream queries: %d (%.1f%% duplicate-load overhead)\n", st.Wasted, overhead)
-	var wins uint64
-	for _, n := range st.WinsByProto {
-		wins += n
+	fmt.Printf("  wasted upstream queries: %.0f (%.1f%% duplicate-load overhead)\n", wasted, overhead)
+	var wins float64
+	for _, p := range []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ} {
+		wins += snap.Value("strategy_wins_total", obs.L("proto", p.String()))
 	}
 	if wins > 0 {
 		fmt.Print("  winner protocols:")
 		for _, p := range []transport.Protocol{transport.ProtoDoH, transport.ProtoDoT, transport.ProtoDoQ} {
-			n, ok := st.WinsByProto[p]
-			if !ok {
-				continue
+			if n := snap.Value("strategy_wins_total", obs.L("proto", p.String())); n > 0 {
+				fmt.Printf("  %s %.0f (%.1f%%)", p, n, 100*n/wins)
 			}
-			fmt.Printf("  %s %d (%.1f%%)", p, n, 100*float64(n)/float64(wins))
 		}
 		fmt.Println()
 	}
-}
+	if lat, ok := snap.Get("exchange_latency_seconds"); ok && lat.Count > 0 {
+		fmt.Printf("  exchange latency: %d observed, mean %s\n",
+			lat.Count, (time.Duration(lat.Sum / float64(lat.Count) * float64(time.Second))).Round(time.Microsecond))
+	}
 
-// report prints the per-frontend and per-protocol lifecycle counters,
-// pool health, and shared-cache statistics common to both modes.
-func report(camp *core.Campaign) {
-	fmt.Println("\nfrontends (cache lifecycle):")
-	for _, st := range camp.Fleet.Stats() {
-		fmt.Printf("  %-22s served %6d  hits %6d  stale %5d  neg %4d  prefetch %4d  upstream-fail %4d\n",
-			st.Name, st.Served, st.CacheHits, st.StaleServed, st.NegativeHits,
-			st.Prefetches, st.UpstreamFailures)
-	}
-	if protos := protocolsOf(camp); len(protos) > 1 {
-		fmt.Println("\nper-protocol totals:")
-		for _, p := range protos {
-			st := camp.Fleet.ProtocolStats()[p]
-			fmt.Printf("  %-5s served %6d  hits %6d  stale %5d  neg %4d  prefetch %4d  upstream-fail %4d\n",
-				p, st.Served, st.CacheHits, st.StaleServed, st.NegativeHits,
-				st.Prefetches, st.UpstreamFailures)
-		}
-	}
-	reportStrategy(camp, nil, "totals incl. warmup")
-	fmt.Printf("\npool (%d/%d members healthy):\n", camp.Fleet.Pool.Healthy(), camp.Fleet.Pool.Len())
+	fmt.Printf("\npool (%.0f/%.0f members healthy):\n", snap.Value("pool_healthy"), snap.Value("pool_members"))
 	for _, st := range camp.Fleet.Pool.Stats() {
-		fmt.Printf("  %-22s queries %6d  failures %3d  down=%-5v rtt=%s\n",
-			st.Name, st.Queries, st.Failures, st.Down, st.RTT.Round(time.Microsecond))
+		labels := []obs.Label{obs.L("member", st.Name), obs.L("proto", st.Proto.String())}
+		fmt.Printf("  %-22s queries %6.0f  failures %3.0f  down=%-5v rtt=%s\n",
+			st.Name, snap.Value("pool_member_queries_total", labels...),
+			snap.Value("pool_member_failures_total", labels...), st.Down,
+			(time.Duration(snap.Value("pool_member_rtt_seconds", labels...) * float64(time.Second))).Round(time.Microsecond))
 	}
-	cs := camp.Fleet.Cache.Stats()
-	fmt.Printf("\nshared cache: %d entries (%d negative), %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
-		cs.Entries, cs.NegativeEntries, cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions)
-	fmt.Printf("lifecycle: %d stale serves, %d negative hits, %d prefetches armed\n",
-		cs.StaleServes, cs.NegativeHits, cs.Refreshes)
+
+	hits, misses := snap.Value("cache_hits_total"), snap.Value("cache_misses_total")
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = 100 * hits / (hits + misses)
+	}
+	fmt.Printf("\nshared cache: %.0f entries (%.0f negative), %.0f hits / %.0f misses (%.1f%% hit rate), %.0f evictions\n",
+		snap.Value("cache_entries"), snap.Value("cache_negative_entries"),
+		hits, misses, hitRate, snap.Value("cache_evictions_total"))
+	fmt.Printf("lifecycle: %.0f stale serves, %.0f negative hits, %.0f prefetches armed\n",
+		snap.Value("cache_stale_serves_total"), snap.Value("cache_negative_hits_total"),
+		snap.Value("cache_refreshes_total"))
 	fmt.Printf("recursor-side queries (incl. iterative lookups): %d\n", camp.World.Net.QueryCount())
 }

@@ -8,7 +8,8 @@
 //	          [-strategy serial|race|hedge] [-minobs N]
 //	          [-exp all|fig2|tab2|tab3|fig3|
 //	          intermittency|tab4|tab5|params|tab8|fig11|fig12|connectivity|
-//	          fig13|fig4|fig5|tab9|fig14|fig8|stalecorr|tab6|tab7|failover]
+//	          fig13|fig4|fig5|tab9|fig14|fig8|stalecorr|timeline|
+//	          tab6|tab7|failover]
 //
 // Larger -size values converge the percentages to the paper's (the
 // non-Cloudflare population floor dominates below ~90k domains); -step
@@ -24,6 +25,13 @@
 // than classified. -exp stalecorr emits the §4.4.2 staleness/ECH
 // correlation table, joining per-day serving snapshots (needs
 // -frontends) against the hourly ECH scans.
+//
+// -exp timeline renders the campaign's telemetry time-series: the fleet
+// registry's stable per-exchange metrics sampled at every scan-stage
+// boundary (plus hourly samples during the ECH rotation experiment when
+// that also runs). It needs a fleet; selecting it explicitly with
+// -frontends 0 auto-enables 4 frontends. The curves are deterministic
+// for a seed and identical for any -dayworkers value.
 package main
 
 import (
@@ -65,10 +73,17 @@ func main() {
 	serverSide := false
 	for _, id := range []string{"fig2", "tab2", "tab3", "fig3", "intermittency", "tab4",
 		"tab5", "params", "tab8", "fig11", "fig12", "connectivity", "fig13", "fig4",
-		"fig5", "tab9", "fig14", "fig8", "stalecorr"} {
+		"fig5", "tab9", "fig14", "fig8", "stalecorr", "timeline"} {
 		if sel(id) {
 			serverSide = true
 		}
+	}
+	// The telemetry timeline needs a fleet for its registry; explicit
+	// selection turns one on rather than rendering an empty table (under
+	// "all" it simply rides whatever -frontends says).
+	if want["timeline"] && *frontends == 0 {
+		fmt.Fprintln(os.Stderr, "timeline: enabling 4 frontends (the telemetry series need a fleet)")
+		*frontends = 4
 	}
 
 	mix, err := transport.ParseMix(*mixFlag)
@@ -92,6 +107,9 @@ func main() {
 func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix transport.Mix, strategy transport.StrategyKind, minObs int, quiet bool, sel func(string) bool) {
 	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step, DayWorkers: dayWorkers,
 		DoHFrontends: frontends, TransportMix: mix, TransportStrategy: strategy}
+	if sel("timeline") && frontends > 0 {
+		cfg.TelemetryInterval = time.Hour
+	}
 	if !quiet {
 		cfg.Progress = os.Stderr
 	}
@@ -179,6 +197,12 @@ func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix tr
 	}
 	print("tab9", analysis.Census(st).Table())
 	print("stalecorr", analysis.StaleECHCorrelation(st).Table())
+	if sel("timeline") && frontends > 0 {
+		fmt.Println(analysis.TelemetryTimeline(st, "daily").Format())
+		if sel("fig4") || sel("stalecorr") {
+			fmt.Println(analysis.TelemetryTimeline(st, "hourly-ech").Format())
+		}
+	}
 	print("fig14", analysis.SignedECH(st, nil).Table())
 	if sel("fig8") {
 		stats := analysis.RankDistributions(st, phase1)

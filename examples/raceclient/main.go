@@ -14,7 +14,11 @@
 //  3. hedged queries: strategies are a Client field, so the same fleet
 //     switches to Hedge mid-run — a per-upstream latency-quantile timer
 //     that fires a same-protocol duplicate when the primary lands in
-//     its own tail.
+//     its own tail;
+//  4. traced exchanges: an obs.Tracer on the client records every hedge
+//     as a span tree — the receive, the primary dial, the understudy
+//     launching at the hedge timer's virtual offset, and the commit —
+//     and the slowest trees are printed.
 //
 // Everything runs on the virtual clock: racing is simulated by
 // comparing completion times, so the whole demo is deterministic for a
@@ -27,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -102,6 +107,10 @@ func main() {
 		}
 		return 4 * time.Millisecond
 	}
+	// 4. Trace the hedged phase: SampleEvery 1 records every exchange;
+	// hedge understudies appear as dial spans launched at the timer's
+	// virtual offset, so the span tree shows the tail being cut off.
+	client.Tracer = obs.NewTracer(world.Clock, obs.TraceConfig{SampleEvery: 1})
 	hedgeBase := fleet.StrategyStats()
 	for _, name := range list[800:1200] {
 		if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
@@ -113,6 +122,11 @@ func main() {
 	fmt.Printf("  400 queries: %d hedges fired, %d losers cancelled, %d wasted upstream queries\n",
 		st.Hedges-hedgeBase.Hedges, st.LosersCancelled-hedgeBase.LosersCancelled,
 		st.Wasted-hedgeBase.Wasted)
+
+	fmt.Printf("\nslowest traced exchanges (of %d sampled):\n", client.Tracer.Len())
+	for _, tr := range client.Tracer.Slowest(3) {
+		fmt.Print(tr.Tree())
+	}
 }
 
 // printStrategy reports the fleet's strategy telemetry.

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// TelemetryTimeline renders the campaign's telemetry series for one
+// scope ("daily" for the per-day stage curves, "hourly-ech" for the
+// rotation experiment) as a table: one row per sample, carrying the
+// stable per-exchange counters the obs subsystem guarantees are
+// byte-identical across worker counts. An empty table (no rows) means
+// the campaign ran without TelemetryInterval or without a fleet.
+func TelemetryTimeline(store *dataset.Store, scope string) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Telemetry timeline (%s): stable fleet metrics per sample", scope),
+		Columns: []string{"date", "sample", "exchanges", "stale", "negative",
+			"prefetch", "upstream-fail", "pool-healthy"},
+	}
+	for _, series := range store.TelemetryAll() {
+		if series.Scope != scope {
+			continue
+		}
+		for _, p := range series.Points {
+			t.Rows = append(t.Rows, []string{
+				series.Date.Format("2006-01-02"),
+				fmt.Sprintf("%s@%s", p.Label, time.Unix(p.AtSec, 0).UTC().Format("15:04")),
+				fmt.Sprintf("%.0f", p.Value("client_exchanges_total")),
+				fmt.Sprintf("%.0f", p.Value("client_stale_answers_total")),
+				fmt.Sprintf("%.0f", p.Value("client_negative_answers_total")),
+				fmt.Sprintf("%.0f", p.Value("fleet_prefetches_total")),
+				fmt.Sprintf("%.0f", p.Value("fleet_upstream_failures_total")),
+				fmt.Sprintf("%.0f/%.0f", p.Value("pool_healthy"), p.Value("pool_members")),
+			})
+		}
+	}
+	return t
+}

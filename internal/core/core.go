@@ -27,6 +27,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnssec"
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/providers"
 	"repro/internal/scanner"
 	"repro/internal/simnet"
@@ -95,6 +96,13 @@ type CampaignConfig struct {
 	// failure, serving stale without re-trying it for the window; zero
 	// disables benching.
 	DoHFailureCooldown time.Duration
+	// TelemetryInterval enables campaign telemetry series when positive
+	// and a fleet is configured: each scan day's fleet registry is
+	// sampled into a dataset.TelemetrySeries (stable metrics only, so
+	// pipelined runs stay byte-identical), and live-clock loops
+	// (RunHourlyECH) poll at this virtual interval. Zero disables series
+	// collection; Fleet.Metrics is populated either way.
+	TelemetryInterval time.Duration
 	// Progress, when non-nil, receives one line per scanned day.
 	Progress io.Writer
 }
@@ -225,6 +233,11 @@ type dayContext struct {
 	servingBase  transport.FrontendStats
 	staleBase    uint64
 	negativeBase uint64
+	// sampler collects the day's telemetry series (stable metrics only)
+	// when Cfg.TelemetryInterval is set; nil-safe when disabled. Per-day
+	// clocks are frozen, so runDay forces a sample at each stage boundary
+	// instead of relying on interval polling.
+	sampler *obs.Sampler
 }
 
 // dayProber evaluates the world's TLS reachability schedule at the day
@@ -277,6 +290,9 @@ func (c *Campaign) newDayContext(day time.Time) *dayContext {
 		}
 		dc.fleet = fl
 		t = fl.Client
+		if c.Cfg.TelemetryInterval > 0 {
+			dc.sampler = obs.NewSampler(fl.Metrics, clock, c.Cfg.TelemetryInterval, true)
+		}
 	}
 	dc.scanner = c.Scanner.Fork(net, t)
 	return dc
@@ -311,29 +327,66 @@ func (c *Campaign) servingSnapshot(dc *dayContext, day time.Time) *dataset.Servi
 // dayResult is one day's collected data, buffered until its in-order
 // commit.
 type dayResult struct {
-	day      time.Time
-	list     []string
-	apexSnap *dataset.Snapshot
-	wwwSnap  *dataset.Snapshot
-	nsSnap   *dataset.NSSnapshot
-	serving  *dataset.ServingSnapshot
-	probes   []dataset.ProbeResult
+	day       time.Time
+	list      []string
+	apexSnap  *dataset.Snapshot
+	wwwSnap   *dataset.Snapshot
+	nsSnap    *dataset.NSSnapshot
+	serving   *dataset.ServingSnapshot
+	telemetry *dataset.TelemetrySeries
+	probes    []dataset.ProbeResult
 }
 
 // runDay performs one day's full scan sequence inside the given context.
+// With telemetry enabled, a stable-metrics sample is forced at each stage
+// boundary — per-day clocks are frozen, so interval ticks could never
+// fire; stage boundaries are the natural deterministic sample points and
+// work identically for ScanDay's live world clock.
 func (c *Campaign) runDay(dc *dayContext, day time.Time) *dayResult {
 	list := c.World.Tranco.ListFor(day)
 	res := &dayResult{day: day, list: list}
 	res.apexSnap = dc.scanner.ScanList(day, "apex", list)
+	dc.sampler.Force("apex")
 	res.wwwSnap = dc.scanner.ScanList(day, "www", list)
+	dc.sampler.Force("www")
 	if !day.Before(providers.NSScanStart) {
 		res.nsSnap = dc.scanner.ScanNameServers(day, res.apexSnap, res.wwwSnap)
+		dc.sampler.Force("ns")
 	}
 	if !day.Before(connectivityProbeStart) {
 		res.probes = dc.scanner.ProbeMismatches(day, res.apexSnap, dc.prober)
+		dc.sampler.Force("probes")
 	}
 	res.serving = c.servingSnapshot(dc, day)
+	res.telemetry = telemetrySeries("daily", day, c.Cfg.TelemetryInterval, dc.sampler.Points())
 	return res
+}
+
+// telemetrySeries flattens sampler points into the dataset's series form;
+// nil when no points were collected.
+func telemetrySeries(scope string, day time.Time, interval time.Duration, points []obs.Point) *dataset.TelemetrySeries {
+	if len(points) == 0 {
+		return nil
+	}
+	series := &dataset.TelemetrySeries{
+		Scope: scope, Date: day,
+		IntervalSec: int64(interval / time.Second),
+		Points:      make([]dataset.TelemetryPoint, 0, len(points)),
+	}
+	for _, p := range points {
+		tp := dataset.TelemetryPoint{Label: p.Label, AtSec: p.At.Unix()}
+		for _, m := range p.Snap.Metrics {
+			if m.Kind == obs.KindHistogram.String() {
+				tp.Values = append(tp.Values,
+					dataset.TelemetryValue{Key: m.Key() + "_count", Value: float64(m.Count)},
+					dataset.TelemetryValue{Key: m.Key() + "_sum", Value: m.Sum})
+				continue
+			}
+			tp.Values = append(tp.Values, dataset.TelemetryValue{Key: m.Key(), Value: m.Value})
+		}
+		series.Points = append(series.Points, tp)
+	}
+	return series
 }
 
 // commitDay writes one day's results to the store and emits progress.
@@ -346,6 +399,9 @@ func (c *Campaign) commitDay(res *dayResult) {
 	}
 	if res.serving != nil {
 		c.Store.AddServing(res.serving)
+	}
+	if res.telemetry != nil {
+		c.Store.AddTelemetry(res.telemetry)
 	}
 	if len(res.probes) > 0 {
 		c.Store.AddProbes(res.probes...)
@@ -433,6 +489,9 @@ func (c *Campaign) ScanDay(day time.Time) error {
 		dc.servingBase = c.Fleet.TotalStats()
 		dc.staleBase = c.Fleet.Client.StaleAnswers()
 		dc.negativeBase = c.Fleet.Client.NegativeAnswers()
+		if c.Cfg.TelemetryInterval > 0 {
+			dc.sampler = obs.NewSampler(c.Fleet.Metrics, c.World.Clock, c.Cfg.TelemetryInterval, true)
+		}
 	}
 	c.commitDay(c.runDay(dc, day))
 	return nil
@@ -458,6 +517,12 @@ func (c *Campaign) RunHourlyECH(start time.Time, days int) {
 	// snap.Obs is a map; sort so the hourly scan order (and with it the
 	// stored observation order) is deterministic for a seed.
 	sort.Strings(echDomains)
+	// The hourly loop advances the world clock for real, so telemetry can
+	// ride the interval sampler here (unlike frozen per-day contexts).
+	var sampler *obs.Sampler
+	if c.Fleet != nil && c.Cfg.TelemetryInterval > 0 {
+		sampler = obs.NewSampler(c.Fleet.Metrics, c.World.Clock, c.Cfg.TelemetryInterval, true)
+	}
 	for h := 0; h < days*24; h++ {
 		now := start.Add(time.Duration(h) * time.Hour)
 		c.World.Clock.Set(now)
@@ -470,7 +535,23 @@ func (c *Campaign) RunHourlyECH(start time.Time, days int) {
 			c.Fleet.Cache.Flush()
 		}
 		c.Store.AddECH(c.Scanner.ECHScan(now, echDomains)...)
+		sampler.Poll()
 	}
+	// Store one series per scan day so the timeline lines up with the rest
+	// of the dataset's per-day records.
+	for day, points := range partitionByDay(sampler.Points()) {
+		c.Store.AddTelemetry(telemetrySeries("hourly-ech", day, c.Cfg.TelemetryInterval, points))
+	}
+}
+
+// partitionByDay splits sampler points by the UTC day they were taken on.
+func partitionByDay(points []obs.Point) map[time.Time][]obs.Point {
+	out := map[time.Time][]obs.Point{}
+	for _, p := range points {
+		day := time.Date(p.At.Year(), p.At.Month(), p.At.Day(), 0, 0, 0, 0, time.UTC)
+		out[day] = append(out[day], p)
+	}
+	return out
 }
 
 // RunValidationCensus reproduces the Table 9 one-shot census (the paper ran

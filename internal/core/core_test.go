@@ -365,3 +365,66 @@ func TestValidationCensusClassification(t *testing.T) {
 		t.Errorf("secure(%d)+insecure(%d) != signed(%d)", secure, insecure, signed)
 	}
 }
+
+// TestPipelinedTelemetryMatchesSerial is the observability subsystem's
+// determinism proof at the campaign level: with telemetry series enabled,
+// a mixed-fleet racing campaign must still produce a byte-identical store
+// for any worker count — the series sample only stable (winner-side)
+// metrics at frozen-clock stage boundaries, so worker interleaving cannot
+// leak into the curves.
+func TestPipelinedTelemetryMatchesSerial(t *testing.T) {
+	cfg := CampaignConfig{
+		Size: 500, Seed: 29,
+		Start:             time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
+		End:               time.Date(2024, 2, 15, 0, 0, 0, 0, time.UTC),
+		StepDays:          7,
+		DoHFrontends:      4,
+		TransportMix:      transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
+		TransportStrategy: transport.StrategyRace,
+		TelemetryInterval: time.Hour,
+	}
+	run := func(workers int) *Campaign {
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cfg.DayWorkers = workers
+		if err := c.RunDaily(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := run(1)
+	pipelined := run(8)
+
+	// One series per scan day, with a sample forced at every stage
+	// boundary (the window sits past the NS-scan and probe starts, so all
+	// four stages run) and real exchange counts on the final point.
+	days := serial.Store.Days("apex")
+	if got, want := len(serial.Store.TelemetryAll()), len(days); got != want {
+		t.Fatalf("telemetry series for %d days, want %d", got, want)
+	}
+	series, ok := serial.Store.TelemetryFor("daily", days[0])
+	if !ok {
+		t.Fatalf("no daily series for %s", days[0].Format("2006-01-02"))
+	}
+	var labels []string
+	for _, p := range series.Points {
+		labels = append(labels, p.Label)
+	}
+	if got, want := strings.Join(labels, ","), "apex,www,ns,probes"; got != want {
+		t.Fatalf("sample labels = %q, want %q", got, want)
+	}
+	last := series.Points[len(series.Points)-1]
+	if last.Value("client_exchanges_total") == 0 {
+		t.Error("final sample records no exchanges")
+	}
+	if last.Value("pool_healthy") == 0 {
+		t.Error("final sample records no healthy pool members")
+	}
+
+	a, b := storeJSON(t, serial), storeJSON(t, pipelined)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("telemetry-enabled pipelined store diverges from serial: %d vs %d bytes", len(a), len(b))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/netip"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -138,6 +139,46 @@ type ServingSnapshot struct {
 	UpstreamFailures uint64 `json:"upstream_failures"`
 }
 
+// TelemetryValue is one flattened metric reading inside a telemetry
+// sample: the obs metric key (name plus sorted labels) and its value.
+type TelemetryValue struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// TelemetryPoint is one sampled telemetry snapshot on a series: a label
+// ("tick" for interval samples, a stage name for forced ones), the
+// virtual-clock sample time, and the flattened stable metric values.
+type TelemetryPoint struct {
+	Label  string           `json:"label"`
+	AtSec  int64            `json:"at_sec"`
+	Values []TelemetryValue `json:"values"`
+}
+
+// Value returns the reading for key (0 when absent).
+func (p TelemetryPoint) Value(key string) float64 {
+	for _, v := range p.Values {
+		if v.Key == key {
+			return v.Value
+		}
+	}
+	return 0
+}
+
+// TelemetrySeries is one scope's sampled metric curve for one day —
+// the campaign time-series the obs subsystem collects. Like
+// ServingSnapshot, only schedule-independent (stable) metrics are
+// recorded, so pipelined and serial campaign runs produce byte-identical
+// series.
+type TelemetrySeries struct {
+	// Scope names the collection loop ("daily", "hourly-ech").
+	Scope string    `json:"scope"`
+	Date  time.Time `json:"date"`
+	// IntervalSec is the sampler's poll interval (0: stage-forced only).
+	IntervalSec int64            `json:"interval_sec,omitempty"`
+	Points      []TelemetryPoint `json:"points"`
+}
+
 // ValidationResult is one row of the one-shot DNSSEC census (Table 9).
 type ValidationResult struct {
 	Domain   string `json:"domain"`
@@ -156,6 +197,9 @@ type Store struct {
 	www     map[int64]*Snapshot
 	ns      map[int64]*NSSnapshot
 	serving map[int64]*ServingSnapshot
+	// telemetry is keyed by scope + "|" + unix day, so daily series and
+	// hourly-ech series over the same dates never collide.
+	telemetry map[string]*TelemetrySeries
 
 	ech        []ECHObservation
 	probes     []ProbeResult
@@ -172,6 +216,7 @@ func NewStore() *Store {
 		www:         map[int64]*Snapshot{},
 		ns:          map[int64]*NSSnapshot{},
 		serving:     map[int64]*ServingSnapshot{},
+		telemetry:   map[string]*TelemetrySeries{},
 		trancoLists: map[int64][]string{},
 	}
 }
@@ -222,6 +267,48 @@ func (s *Store) ServingFor(date time.Time) (*ServingSnapshot, bool) {
 	defer s.mu.RUnlock()
 	snap, ok := s.serving[dayKey(date)]
 	return snap, ok
+}
+
+func telemetryKey(scope string, date time.Time) string {
+	return scope + "|" + strconv.FormatInt(dayKey(date), 10)
+}
+
+// AddTelemetry stores one day's telemetry series for its scope.
+func (s *Store) AddTelemetry(series *TelemetrySeries) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.telemetry[telemetryKey(series.Scope, series.Date)] = series
+}
+
+// TelemetryFor returns the telemetry series for (scope, date).
+func (s *Store) TelemetryFor(scope string, date time.Time) (*TelemetrySeries, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	series, ok := s.telemetry[telemetryKey(scope, date)]
+	return series, ok
+}
+
+// TelemetryAll returns every stored series sorted by (scope, date).
+func (s *Store) TelemetryAll() []*TelemetrySeries {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sortedTelemetry()
+}
+
+// sortedTelemetry returns the series sorted by (scope, date); callers
+// hold s.mu.
+func (s *Store) sortedTelemetry() []*TelemetrySeries {
+	out := make([]*TelemetrySeries, 0, len(s.telemetry))
+	for _, series := range s.telemetry {
+		out = append(out, series)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Date.Before(out[j].Date)
+	})
+	return out
 }
 
 // AddTrancoList stores the day's ranked list.
@@ -343,6 +430,7 @@ type export struct {
 	WWW        []*Snapshot        `json:"www"`
 	NS         []*NSSnapshot      `json:"ns"`
 	Serving    []*ServingSnapshot `json:"serving,omitempty"`
+	Telemetry  []*TelemetrySeries `json:"telemetry,omitempty"`
 	ECH        []ECHObservation   `json:"ech"`
 	Probes     []ProbeResult      `json:"probes"`
 	Validation []ValidationResult `json:"validation"`
@@ -365,6 +453,7 @@ func (s *Store) WriteJSON(w io.Writer) error {
 	for _, day := range sortedKeys(s.serving) {
 		e.Serving = append(e.Serving, s.serving[day])
 	}
+	e.Telemetry = s.sortedTelemetry()
 	e.ECH = s.ech
 	e.Probes = s.probes
 	e.Validation = s.validation

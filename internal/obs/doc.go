@@ -1,0 +1,43 @@
+// Package obs is the deterministic telemetry subsystem: a metrics
+// registry (counters, gauges, fixed-bucket latency histograms keyed by
+// name + label set), per-exchange query tracing, and a time-series
+// sampler — all native to the simulation's virtual clock.
+//
+// # Determinism contract
+//
+// Nothing in this package reads the wall clock. Every timestamp — a
+// snapshot's At, a trace's Start, a sampler's tick schedule — comes from
+// an injected Clock (simnet.Clock in practice), and every duration on a
+// trace span is a virtual-timeline quantity (launch offset + attempt
+// cost) computed by the strategy layer, never measured. Rendering is
+// stable too: snapshots sort metrics by (name, labels), so the JSON and
+// Prometheus expositions of equal registries are byte-identical.
+//
+// Pipelined campaigns stay byte-identical to serial runs because
+// telemetry follows the same two rules the dataset layer already
+// enforces:
+//
+//   - Merge in commit order. Per-day scan contexts carry their own child
+//     registry; its sampled points ride the day's result through the
+//     in-order committer, so the assembled series never observes worker
+//     scheduling. Snapshot merging itself (MergeSnapshots) is
+//     argument-order-independent: each key's contributions are folded in
+//     a sorted order (float addition is not associative) and the output
+//     is sorted, which the shuffled-merge tests pin byte-for-byte.
+//
+//   - Sample only schedule-independent metrics into series. Counters
+//     whose value depends on which attempt ran where (per-frontend
+//     served counts, per-member pool traffic, race/hedge fire counts,
+//     cache probe totals) vary with scanner-worker interleaving even for
+//     a fixed seed; registries mark them volatile (Registry.SetVolatile)
+//     and StableSnapshot excludes them. What remains — per-exchange
+//     winner-side counters, prefetches, upstream failures, pool health —
+//     is a pure function of the day's scan, the same subset
+//     dataset.ServingSnapshot records. Full Snapshots still expose
+//     everything for live tooling (cmd/dohserve), where single-driver
+//     loops make the whole registry deterministic.
+//
+// Trace sampling is head-based and counter-driven (every Nth exchange),
+// never random, so a single-goroutine drive samples the identical
+// exchanges run over run.
+package obs

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets is the fixed bucket ladder for exchange-latency
+// histograms, spanning the simulation's synthetic RTT band (2–20ms base,
+// 4× tails, plus connection-setup multiples) with headroom.
+func DefaultLatencyBuckets() []time.Duration {
+	return []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 250 * time.Millisecond, 1 * time.Second,
+	}
+}
+
+// Histogram is a fixed-bucket duration histogram with lock-free
+// observation and optional per-bucket exemplars (the slowest observation
+// in each bucket, tagged with its trace ID — the slow-query breadcrumb
+// from histogram to span tree). Bucket semantics follow Prometheus: an
+// observation lands in the first bucket whose upper bound is ≥ the
+// value; over-range observations land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []time.Duration // sorted ascending; +Inf implicit at the end
+
+	counts []atomic.Uint64 // per-bucket (non-cumulative), len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+
+	mu        sync.Mutex
+	exemplars []exemplar // len(bounds)+1
+}
+
+type exemplar struct {
+	traceID uint64
+	value   time.Duration
+}
+
+// NewHistogram builds a histogram over the given bucket bounds (sorted
+// and deduplicated; empty bounds select DefaultLatencyBuckets).
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	bs := append([]time.Duration(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	h := &Histogram{bounds: dedup}
+	h.counts = make([]atomic.Uint64, len(dedup)+1)
+	h.exemplars = make([]exemplar, len(dedup)+1)
+	return h
+}
+
+// bucketIndex returns the bucket d lands in: the first bound ≥ d, or the
+// +Inf bucket past the last bound.
+func (h *Histogram) bucketIndex(d time.Duration) int {
+	return sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[h.bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// ObserveExemplar records one duration and attaches the trace as the
+// bucket's exemplar if it is the slowest observation seen there.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	i := h.bucketIndex(d)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	if traceID == 0 {
+		return
+	}
+	h.mu.Lock()
+	if d > h.exemplars[i].value || h.exemplars[i].traceID == 0 {
+		h.exemplars[i] = exemplar{traceID: traceID, value: d}
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// snapshot renders the histogram's cumulative buckets for a Snapshot.
+func (h *Histogram) snapshot() (count uint64, sumSec float64, buckets []Bucket) {
+	h.mu.Lock()
+	ex := append([]exemplar(nil), h.exemplars...)
+	h.mu.Unlock()
+	buckets = make([]Bucket, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i].Seconds())
+		}
+		buckets[i] = Bucket{LE: le, Count: cum}
+		if ex[i].traceID != 0 {
+			buckets[i].ExemplarTrace = ex[i].traceID
+			buckets[i].ExemplarSec = ex[i].value.Seconds()
+		}
+	}
+	return h.count.Load(), h.Sum().Seconds(), buckets
+}

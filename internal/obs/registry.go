@@ -1,0 +1,524 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the time source a registry stamps snapshots with — a
+// *simnet.Clock in practice. Wall-clock time never enters the subsystem.
+type Clock interface {
+	Now() time.Time
+}
+
+// Label is one name=value dimension of a metric or span.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Ratio divides num by den, reporting 0 for an empty denominator — the
+// NaN/Inf guard every freshly-started fleet's hit-rate style helper
+// needs.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use, so hot-path owners (Frontend, Client) embed counters as plain
+// fields and pay one atomic add per event — registration into a Registry
+// is only for exposition.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time float metric. The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Kind enumerates metric kinds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in expositions.
+func (k Kind) String() string {
+	switch k {
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// entry is one registered metric source.
+type entry struct {
+	name   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// ViewAdd is the callback a registered view reports metrics through at
+// snapshot time.
+type ViewAdd func(name string, kind Kind, value float64, labels ...Label)
+
+// Registry is a catalog of metric sources: handles it created, external
+// handles registered onto it, read-functions over mutex-guarded stats,
+// and whole views (one callback adding many metrics from a single
+// consistent stats call). Hot paths never touch the registry — they hold
+// *Counter/*Gauge/*Histogram handles directly; the registry is walked
+// only by Snapshot.
+type Registry struct {
+	clock Clock
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	views    []func(add ViewAdd)
+	volatile map[string]bool
+}
+
+// NewRegistry creates an empty registry stamped by clock (nil clock
+// leaves snapshot timestamps zero).
+func NewRegistry(clock Clock) *Registry {
+	return &Registry{clock: clock, entries: map[string]*entry{}, volatile: map[string]bool{}}
+}
+
+// metricKey renders the stable identity of (name, labels); labels are
+// sorted by key so registration order never matters.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register installs (or replaces) the entry for (name, labels).
+func (r *Registry) register(e *entry) {
+	r.mu.Lock()
+	r.entries[metricKey(e.name, e.labels)] = e
+	r.mu.Unlock()
+}
+
+// Counter returns the registry-owned counter for (name, labels),
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok && e.counter != nil {
+		return e.counter
+	}
+	c := &Counter{}
+	r.entries[key] = &entry{name: name, labels: labels, kind: KindCounter, counter: c}
+	return c
+}
+
+// Gauge returns the registry-owned gauge for (name, labels), creating it
+// on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok && e.gauge != nil {
+		return e.gauge
+	}
+	g := &Gauge{}
+	r.entries[key] = &entry{name: name, labels: labels, kind: KindGauge, gauge: g}
+	return g
+}
+
+// Histogram returns the registry-owned histogram for (name, labels),
+// creating it with the given bucket bounds on first use.
+func (r *Registry) Histogram(name string, bounds []time.Duration, labels ...Label) *Histogram {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok && e.hist != nil {
+		return e.hist
+	}
+	h := NewHistogram(bounds...)
+	r.entries[key] = &entry{name: name, labels: labels, kind: KindHistogram, hist: h}
+	return h
+}
+
+// RegisterCounter exposes an externally-owned counter handle — how the
+// transport layer's embedded hot-path counters join the registry without
+// an extra indirection on the increment path.
+func (r *Registry) RegisterCounter(c *Counter, name string, labels ...Label) {
+	r.register(&entry{name: name, labels: labels, kind: KindCounter, counter: c})
+}
+
+// RegisterHistogram exposes an externally-owned histogram handle.
+func (r *Registry) RegisterHistogram(h *Histogram, name string, labels ...Label) {
+	r.register(&entry{name: name, labels: labels, kind: KindHistogram, hist: h})
+}
+
+// RegisterCounterFunc exposes a counter read at snapshot time — the thin
+// view over mutex-guarded stats that should not be restructured into
+// atomic handles.
+func (r *Registry) RegisterCounterFunc(fn func() float64, name string, labels ...Label) {
+	r.register(&entry{name: name, labels: labels, kind: KindCounter, fn: fn})
+}
+
+// RegisterGaugeFunc exposes a gauge read at snapshot time.
+func (r *Registry) RegisterGaugeFunc(fn func() float64, name string, labels ...Label) {
+	r.register(&entry{name: name, labels: labels, kind: KindGauge, fn: fn})
+}
+
+// RegisterView adds a snapshot-time callback that reports any number of
+// metrics from one consistent stats read (e.g. one sharded-cache Stats()
+// walk feeding eight cache metrics).
+func (r *Registry) RegisterView(view func(add ViewAdd)) {
+	r.mu.Lock()
+	r.views = append(r.views, view)
+	r.mu.Unlock()
+}
+
+// SetVolatile marks metric names (every label set of each) as
+// schedule-dependent: their values vary with worker interleaving even
+// for a fixed seed, so StableSnapshot — the series-sampling view —
+// excludes them. See the package determinism contract.
+func (r *Registry) SetVolatile(names ...string) {
+	r.mu.Lock()
+	for _, n := range names {
+		r.volatile[n] = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot captures every registered metric, sorted by (name, labels).
+func (r *Registry) Snapshot() *Snapshot { return r.snapshot(false) }
+
+// StableSnapshot captures only schedule-independent metrics — the subset
+// campaign series are built from.
+func (r *Registry) StableSnapshot() *Snapshot { return r.snapshot(true) }
+
+func (r *Registry) snapshot(stableOnly bool) *Snapshot {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	views := make([]func(add ViewAdd), len(r.views))
+	copy(views, r.views)
+	isVolatile := func(name string) bool { return r.volatile[name] }
+	var at time.Time
+	if r.clock != nil {
+		at = r.clock.Now()
+	}
+	r.mu.Unlock()
+
+	snap := &Snapshot{At: at}
+	for _, e := range entries {
+		if stableOnly && isVolatile(e.name) {
+			continue
+		}
+		snap.Metrics = append(snap.Metrics, e.read())
+	}
+	for _, view := range views {
+		view(func(name string, kind Kind, value float64, labels ...Label) {
+			if stableOnly && isVolatile(name) {
+				return
+			}
+			snap.Metrics = append(snap.Metrics, Metric{
+				Name: name, Labels: sortedLabels(labels), Kind: kind.String(), Value: value,
+			})
+		})
+	}
+	snap.sort()
+	return snap
+}
+
+// read materializes the entry's current value.
+func (e *entry) read() Metric {
+	m := Metric{Name: e.name, Labels: sortedLabels(e.labels), Kind: e.kind.String()}
+	switch {
+	case e.counter != nil:
+		m.Value = float64(e.counter.Load())
+	case e.gauge != nil:
+		m.Value = e.gauge.Load()
+	case e.hist != nil:
+		m.Count, m.Sum, m.Buckets = e.hist.snapshot()
+	case e.fn != nil:
+		m.Value = e.fn()
+	}
+	return m
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Metric is one snapshotted metric value.
+type Metric struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	// Value carries counter and gauge readings.
+	Value float64 `json:"value"`
+	// Count, Sum (seconds), and Buckets carry histogram readings; bucket
+	// counts are cumulative, Prometheus-style.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Key renders the metric's stable identity (name plus sorted labels).
+func (m Metric) Key() string { return metricKey(m.Name, m.Labels) }
+
+// Bucket is one histogram bucket in a snapshot. LE is the upper bound in
+// seconds rendered as a string ("+Inf" for the overflow bucket — JSON
+// has no infinity). Exemplar fields carry the slowest observation's
+// trace, when one was recorded.
+type Bucket struct {
+	LE            string  `json:"le"`
+	Count         uint64  `json:"count"`
+	ExemplarTrace uint64  `json:"exemplar_trace,omitempty"`
+	ExemplarSec   float64 `json:"exemplar_sec,omitempty"`
+}
+
+// Snapshot is a point-in-time capture of a registry, ordered by metric
+// key so equal registries render byte-identically.
+type Snapshot struct {
+	At      time.Time `json:"at"`
+	Metrics []Metric  `json:"metrics"`
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Key() < s.Metrics[j].Key() })
+}
+
+// Get returns the metric for (name, labels).
+func (s *Snapshot) Get(name string, labels ...Label) (Metric, bool) {
+	key := metricKey(name, labels)
+	for _, m := range s.Metrics {
+		if m.Key() == key {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Value returns the metric's value (0 when absent) — the convenient read
+// for report rendering.
+func (s *Snapshot) Value(name string, labels ...Label) float64 {
+	m, _ := s.Get(name, labels...)
+	return m.Value
+}
+
+// Sub returns this snapshot with a baseline's counters and histogram
+// counts removed — the drill-delta view. Gauges keep their current
+// reading (a gauge is a level, not an accumulation); metrics absent from
+// the baseline pass through unchanged.
+func (s *Snapshot) Sub(base *Snapshot) *Snapshot {
+	prior := map[string]Metric{}
+	for _, m := range base.Metrics {
+		prior[m.Key()] = m
+	}
+	out := &Snapshot{At: s.At, Metrics: make([]Metric, 0, len(s.Metrics))}
+	for _, m := range s.Metrics {
+		b, ok := prior[m.Key()]
+		if ok && m.Kind != KindGauge.String() {
+			m.Value -= b.Value
+			m.Count -= b.Count
+			m.Sum -= b.Sum
+			m.Buckets = subBuckets(m.Buckets, b.Buckets)
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+func subBuckets(cur, base []Bucket) []Bucket {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := append([]Bucket(nil), cur...)
+	byLE := map[string]uint64{}
+	for _, b := range base {
+		byLE[b.LE] = b.Count
+	}
+	for i := range out {
+		out[i].Count -= byLE[out[i].LE]
+	}
+	return out
+}
+
+// MergeSnapshots folds snapshots into one: counters, histogram counts,
+// and gauges sum (an additive merge — the use case is children of one
+// partitioned workload, where levels like pool health add up across
+// replicas); the latest At wins. The result is independent of argument
+// order, which is what lets per-day child registries merge in commit
+// order without caring how workers finished.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	contrib := map[string][]Metric{}
+	var at time.Time
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.At.After(at) {
+			at = s.At
+		}
+		for _, m := range s.Metrics {
+			key := m.Key()
+			contrib[key] = append(contrib[key], m)
+		}
+	}
+	out := &Snapshot{At: at, Metrics: make([]Metric, 0, len(contrib))}
+	for _, ms := range contrib {
+		// Float addition is not associative, so fold each key's
+		// contributions in a sorted order — that, not the map walk, is
+		// what makes the merge independent of argument order.
+		sort.SliceStable(ms, func(i, j int) bool {
+			if ms[i].Value != ms[j].Value {
+				return ms[i].Value < ms[j].Value
+			}
+			return ms[i].Sum < ms[j].Sum
+		})
+		acc := ms[0]
+		acc.Buckets = append([]Bucket(nil), ms[0].Buckets...)
+		for _, m := range ms[1:] {
+			acc.Value += m.Value
+			acc.Count += m.Count
+			acc.Sum += m.Sum
+			acc.Buckets = addBuckets(acc.Buckets, m.Buckets)
+		}
+		out.Metrics = append(out.Metrics, acc)
+	}
+	out.sort()
+	return out
+}
+
+func addBuckets(a, b []Bucket) []Bucket {
+	byLE := map[string]int{}
+	for i := range a {
+		byLE[a[i].LE] = i
+	}
+	for _, bb := range b {
+		if i, ok := byLE[bb.LE]; ok {
+			a[i].Count += bb.Count
+			// Keep the slower exemplar; ties break toward the lower trace
+			// ID so the merge stays order-independent.
+			if bb.ExemplarSec > a[i].ExemplarSec ||
+				(bb.ExemplarSec == a[i].ExemplarSec && bb.ExemplarTrace != 0 &&
+					(a[i].ExemplarTrace == 0 || bb.ExemplarTrace < a[i].ExemplarTrace)) {
+				a[i].ExemplarTrace, a[i].ExemplarSec = bb.ExemplarTrace, bb.ExemplarSec
+			}
+		} else {
+			a = append(a, bb)
+		}
+	}
+	return a
+}
+
+// JSON renders the snapshot as stable, deterministic JSON.
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// Prom renders the snapshot as a Prometheus-style text exposition, with
+// OpenMetrics-style exemplar comments on histogram buckets that carry
+// one.
+func (s *Snapshot) Prom() string {
+	var b strings.Builder
+	lastName := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastName {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Kind)
+			lastName = m.Name
+		}
+		if m.Kind == KindHistogram.String() {
+			for _, bk := range m.Buckets {
+				fmt.Fprintf(&b, "%s_bucket%s %d", m.Name, promLabels(m.Labels, L("le", bk.LE)), bk.Count)
+				if bk.ExemplarTrace != 0 {
+					fmt.Fprintf(&b, " # {trace_id=\"%d\"} %s", bk.ExemplarTrace, formatFloat(bk.ExemplarSec))
+				}
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", m.Name, promLabels(m.Labels), formatFloat(m.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.Name, promLabels(m.Labels), m.Count)
+			continue
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", m.Name, promLabels(m.Labels), formatFloat(m.Value))
+	}
+	return b.String()
+}
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

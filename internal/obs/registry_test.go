@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func testClock() *simnet.Clock {
+	return simnet.NewClock(time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC))
+}
+
+func TestRatioZeroDenominator(t *testing.T) {
+	if got := Ratio(5, 0); got != 0 {
+		t.Fatalf("Ratio(5, 0) = %v, want 0", got)
+	}
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Fatalf("Ratio(1, 4) = %v, want 0.25", got)
+	}
+}
+
+func TestCounterGaugeSnapshot(t *testing.T) {
+	r := NewRegistry(testClock())
+	c := r.Counter("requests_total", L("proto", "doh"))
+	c.Add(3)
+	c.Inc()
+	r.Gauge("pool_healthy").Set(7)
+	var ext Counter
+	ext.Add(2)
+	r.RegisterCounter(&ext, "external_total")
+	r.RegisterGaugeFunc(func() float64 { return 1.5 }, "view_gauge")
+
+	snap := r.Snapshot()
+	if v := snap.Value("requests_total", L("proto", "doh")); v != 4 {
+		t.Fatalf("requests_total = %v, want 4", v)
+	}
+	if v := snap.Value("pool_healthy"); v != 7 {
+		t.Fatalf("pool_healthy = %v, want 7", v)
+	}
+	if v := snap.Value("external_total"); v != 2 {
+		t.Fatalf("external_total = %v, want 2", v)
+	}
+	if v := snap.Value("view_gauge"); v != 1.5 {
+		t.Fatalf("view_gauge = %v, want 1.5", v)
+	}
+	// Counter() must be idempotent: same key, same handle.
+	if r.Counter("requests_total", L("proto", "doh")) != c {
+		t.Fatal("Counter() returned a fresh handle for an existing key")
+	}
+}
+
+func TestRegisterView(t *testing.T) {
+	r := NewRegistry(nil)
+	r.RegisterView(func(add ViewAdd) {
+		add("cache_hits_total", KindCounter, 10)
+		add("cache_entries", KindGauge, 4, L("shard", "0"))
+	})
+	snap := r.Snapshot()
+	if v := snap.Value("cache_hits_total"); v != 10 {
+		t.Fatalf("cache_hits_total = %v, want 10", v)
+	}
+	if v := snap.Value("cache_entries", L("shard", "0")); v != 4 {
+		t.Fatalf("cache_entries = %v, want 4", v)
+	}
+}
+
+func TestStableSnapshotExcludesVolatile(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("stable_total").Add(1)
+	r.Counter("noisy_total", L("member", "a")).Add(9)
+	r.SetVolatile("noisy_total")
+	snap := r.StableSnapshot()
+	if _, ok := snap.Get("noisy_total", L("member", "a")); ok {
+		t.Fatal("StableSnapshot kept a volatile metric")
+	}
+	if v := snap.Value("stable_total"); v != 1 {
+		t.Fatalf("stable_total = %v, want 1", v)
+	}
+	if _, ok := r.Snapshot().Get("noisy_total", L("member", "a")); !ok {
+		t.Fatal("full Snapshot dropped a volatile metric")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation at
+// exactly a bucket's upper bound counts in that bucket, and over-range
+// observations land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond)
+	h.Observe(time.Millisecond)       // exactly the first bound → bucket le=0.001
+	h.Observe(time.Millisecond + 1)   // just past → second bucket
+	h.Observe(10 * time.Millisecond)  // exactly the second bound → second bucket
+	h.Observe(500 * time.Millisecond) // over-range → +Inf
+	h.Observe(time.Hour)              // far over-range → +Inf
+	count, sumSec, buckets := h.snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	want := time.Millisecond + time.Millisecond + 1 + 10*time.Millisecond + 500*time.Millisecond + time.Hour
+	if sumSec != want.Seconds() {
+		t.Fatalf("sum = %v, want %v", sumSec, want.Seconds())
+	}
+	if len(buckets) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(buckets))
+	}
+	// Cumulative counts: 1 at le=0.001, 3 at le=0.01, 5 at +Inf.
+	for i, wantN := range []uint64{1, 3, 5} {
+		if buckets[i].Count != wantN {
+			t.Fatalf("bucket[%d] (le=%s) = %d, want %d", i, buckets[i].LE, buckets[i].Count, wantN)
+		}
+	}
+	if buckets[2].LE != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", buckets[2].LE)
+	}
+}
+
+func TestHistogramExemplarKeepsSlowest(t *testing.T) {
+	h := NewHistogram(time.Second)
+	h.ObserveExemplar(100*time.Millisecond, 7)
+	h.ObserveExemplar(300*time.Millisecond, 9)
+	h.ObserveExemplar(200*time.Millisecond, 11)
+	_, _, buckets := h.snapshot()
+	if buckets[0].ExemplarTrace != 9 {
+		t.Fatalf("exemplar trace = %d, want 9 (the slowest)", buckets[0].ExemplarTrace)
+	}
+	if buckets[0].ExemplarSec != (300 * time.Millisecond).Seconds() {
+		t.Fatalf("exemplar value = %v", buckets[0].ExemplarSec)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("served_total")
+	g := r.Gauge("healthy")
+	c.Add(10)
+	g.Set(4)
+	base := r.Snapshot()
+	c.Add(5)
+	g.Set(3)
+	diff := r.Snapshot().Sub(base)
+	if v := diff.Value("served_total"); v != 5 {
+		t.Fatalf("diff counter = %v, want 5", v)
+	}
+	// Gauges are levels: Sub keeps the current reading.
+	if v := diff.Value("healthy"); v != 3 {
+		t.Fatalf("diff gauge = %v, want 3", v)
+	}
+}
+
+// TestMergeShuffledDeterminism pins the commit-order contract's other
+// half: merging child-registry snapshots is independent of merge order,
+// byte for byte, in both renderings.
+func TestMergeShuffledDeterminism(t *testing.T) {
+	mkChild := func(i int) *Snapshot {
+		r := NewRegistry(nil)
+		r.Counter("exchanges_total").Add(uint64(10 * (i + 1)))
+		r.Counter("stale_total", L("proto", "doh")).Add(uint64(i))
+		h := r.Histogram("latency_seconds", nil)
+		h.ObserveExemplar(time.Duration(i+1)*5*time.Millisecond, uint64(i+1))
+		r.Gauge("healthy").Set(float64(i + 1))
+		return r.Snapshot()
+	}
+	children := []*Snapshot{mkChild(0), mkChild(1), mkChild(2), mkChild(3)}
+
+	ref := MergeSnapshots(children...)
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]*Snapshot(nil), children...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := MergeSnapshots(shuffled...)
+		gotJSON, err := got.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, gotJSON) {
+			t.Fatalf("trial %d: shuffled merge JSON diverged:\n%s\nvs\n%s", trial, refJSON, gotJSON)
+		}
+		if ref.Prom() != got.Prom() {
+			t.Fatalf("trial %d: shuffled merge Prom exposition diverged", trial)
+		}
+	}
+	if v := ref.Value("exchanges_total"); v != 10+20+30+40 {
+		t.Fatalf("merged exchanges_total = %v, want 100", v)
+	}
+	if v := ref.Value("healthy"); v != 1+2+3+4 {
+		t.Fatalf("merged healthy = %v, want 10 (additive gauge merge)", v)
+	}
+	m, ok := ref.Get("latency_seconds")
+	if !ok || m.Count != 4 {
+		t.Fatalf("merged histogram count = %d, want 4", m.Count)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry(testClock())
+	r.Counter("served_total", L("proto", "doh")).Add(2)
+	r.Counter("served_total", L("proto", "dot")).Add(1)
+	h := r.Histogram("latency_seconds", []time.Duration{time.Millisecond})
+	h.ObserveExemplar(2*time.Millisecond, 5)
+	text := r.Snapshot().Prom()
+	for _, want := range []string{
+		"# TYPE served_total counter",
+		`served_total{proto="doh"} 2`,
+		`served_total{proto="dot"} 1`,
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.001"} 0`,
+		`latency_seconds_bucket{le="+Inf"} 1 # {trace_id="5"} 0.002`,
+		"latency_seconds_sum 0.002",
+		"latency_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSamplerPollAndForce(t *testing.T) {
+	clock := testClock()
+	r := NewRegistry(clock)
+	c := r.Counter("ticks_total")
+	s := NewSampler(r, clock, time.Hour, false)
+
+	if s.Poll() {
+		t.Fatal("Poll fired before the interval elapsed")
+	}
+	c.Inc()
+	clock.Advance(time.Hour)
+	if !s.Poll() {
+		t.Fatal("Poll did not fire at the interval")
+	}
+	if s.Poll() {
+		t.Fatal("Poll fired twice in one interval")
+	}
+	s.Force("stage")
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].Label != "tick" || pts[1].Label != "stage" {
+		t.Fatalf("labels = %q, %q", pts[0].Label, pts[1].Label)
+	}
+	if v := pts[0].Snap.Value("ticks_total"); v != 1 {
+		t.Fatalf("sampled value = %v, want 1", v)
+	}
+	// A long gap collapses into one sample, not a burst.
+	clock.Advance(5 * time.Hour)
+	if !s.Poll() {
+		t.Fatal("Poll did not fire after a long gap")
+	}
+	if s.Poll() {
+		t.Fatal("Poll burst-fired after a long gap")
+	}
+}
+
+func TestNilSamplerSafe(t *testing.T) {
+	var s *Sampler
+	if s.Poll() {
+		t.Fatal("nil sampler polled")
+	}
+	s.Force("x")
+	if pts := s.Points(); pts != nil {
+		t.Fatalf("nil sampler points = %v", pts)
+	}
+}

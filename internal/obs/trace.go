@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceConfig parameterizes a Tracer.
+type TraceConfig struct {
+	// SampleEvery traces one exchange in every N (head-based, counter-
+	// driven — never random, so single-driver loops sample the identical
+	// exchanges run over run). 0 selects DefaultSampleEvery; 1 traces
+	// everything.
+	SampleEvery int
+	// Capacity bounds the ring of retained finished traces; 0 selects
+	// DefaultTraceCapacity.
+	Capacity int
+}
+
+// Tracer defaults.
+const (
+	DefaultSampleEvery   = 16
+	DefaultTraceCapacity = 64
+)
+
+// Tracer samples exchanges into traces and retains the most recent ones
+// in a bounded ring. A nil *Tracer is valid everywhere and traces
+// nothing, so the exchange path carries exactly one nil check when
+// tracing is off.
+type Tracer struct {
+	clock Clock
+	every uint64
+	cap   int
+
+	seq    atomic.Uint64
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace // most recent cap finished traces, oldest first
+}
+
+// NewTracer builds a tracer on the given clock.
+func NewTracer(clock Clock, cfg TraceConfig) *Tracer {
+	every := cfg.SampleEvery
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{clock: clock, every: uint64(every), cap: capacity}
+}
+
+// Start begins a trace for the named exchange if head sampling selects
+// it, returning nil otherwise (and always on a nil tracer). The returned
+// Trace is single-goroutine state: one exchange, one owner.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if (t.seq.Add(1)-1)%t.every != 0 {
+		return nil
+	}
+	tr := &Trace{ID: t.nextID.Add(1), Name: name}
+	if t.clock != nil {
+		tr.Start = t.clock.Now()
+	}
+	return tr
+}
+
+// Finish sets the trace's total virtual duration and retains it in the
+// ring. Nil-safe on both receiver and trace.
+func (t *Tracer) Finish(tr *Trace, total time.Duration) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.Duration = total
+	t.mu.Lock()
+	t.ring = append(t.ring, tr)
+	if len(t.ring) > t.cap {
+		t.ring = t.ring[len(t.ring)-t.cap:]
+	}
+	t.mu.Unlock()
+}
+
+// Len reports the number of retained traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Slowest returns up to n retained traces ordered by descending
+// duration (ties to the earlier trace ID).
+func (t *Tracer) Slowest(n int) []*Trace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	all := append([]*Trace(nil), t.ring...)
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Duration != all[j].Duration {
+			return all[i].Duration > all[j].Duration
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Span is one event on a trace's virtual timeline. Offset is the span's
+// launch offset from the exchange start (the strategy layer's simulated-
+// concurrency offsets: stagger edges, hedge thresholds); Dur is its
+// virtual duration (zero for structural server-side events, whose cost
+// is carried by the enclosing dial span).
+type Span struct {
+	Name   string        `json:"name"`
+	Depth  int           `json:"depth"`
+	Offset time.Duration `json:"offset"`
+	Dur    time.Duration `json:"dur"`
+	Attrs  []Label       `json:"attrs,omitempty"`
+}
+
+// Trace is one sampled exchange's span record. It is owned by the
+// exchange's goroutine until Finish; every method is nil-receiver-safe,
+// so unsampled paths pay only the nil checks.
+type Trace struct {
+	ID       uint64        `json:"id"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Spans    []Span        `json:"spans"`
+
+	depth int
+}
+
+// Add records a leaf span at the current nesting depth.
+func (tr *Trace) Add(name string, offset, dur time.Duration, attrs ...Label) {
+	if tr == nil {
+		return
+	}
+	tr.Spans = append(tr.Spans, Span{Name: name, Depth: tr.depth, Offset: offset, Dur: dur, Attrs: attrs})
+}
+
+// Enter opens a span and deepens nesting — spans recorded until the
+// matching Exit become its children. It returns the span's index for
+// Exit (-1 on a nil trace).
+func (tr *Trace) Enter(name string, offset time.Duration, attrs ...Label) int {
+	if tr == nil {
+		return -1
+	}
+	tr.Spans = append(tr.Spans, Span{Name: name, Depth: tr.depth, Offset: offset, Attrs: attrs})
+	tr.depth++
+	return len(tr.Spans) - 1
+}
+
+// Exit closes the span opened at idx, setting its virtual duration and
+// appending any outcome attributes.
+func (tr *Trace) Exit(idx int, dur time.Duration, attrs ...Label) {
+	if tr == nil || idx < 0 || idx >= len(tr.Spans) {
+		return
+	}
+	tr.depth--
+	tr.Spans[idx].Dur = dur
+	tr.Spans[idx].Attrs = append(tr.Spans[idx].Attrs, attrs...)
+}
+
+// Tree renders the trace as an indented span tree on the virtual
+// timeline.
+func (tr *Trace) Tree() string {
+	if tr == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d %s (%v)\n", tr.ID, tr.Name, tr.Duration)
+	for _, sp := range tr.Spans {
+		fmt.Fprintf(&b, "  %s+%-8v %s", strings.Repeat("  ", sp.Depth), sp.Offset, sp.Name)
+		if sp.Dur > 0 {
+			fmt.Fprintf(&b, " (%v)", sp.Dur)
+		}
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerHeadSampling(t *testing.T) {
+	tr := NewTracer(testClock(), TraceConfig{SampleEvery: 4, Capacity: 16})
+	var sampled int
+	for i := 0; i < 16; i++ {
+		if trace := tr.Start("q"); trace != nil {
+			sampled++
+			tr.Finish(trace, time.Duration(i+1)*time.Millisecond)
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 with SampleEvery=4, want 4", sampled)
+	}
+	// The first exchange is always sampled (head-based, not offset).
+	tr2 := NewTracer(nil, TraceConfig{SampleEvery: 100})
+	if tr2.Start("first") == nil {
+		t.Fatal("first exchange was not sampled")
+	}
+}
+
+func TestTracerRingBoundAndSlowest(t *testing.T) {
+	tr := NewTracer(nil, TraceConfig{SampleEvery: 1, Capacity: 4})
+	for i := 1; i <= 10; i++ {
+		trace := tr.Start("q")
+		tr.Finish(trace, time.Duration(i)*time.Millisecond)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", tr.Len())
+	}
+	slow := tr.Slowest(2)
+	if len(slow) != 2 {
+		t.Fatalf("Slowest(2) = %d traces", len(slow))
+	}
+	if slow[0].Duration != 10*time.Millisecond || slow[1].Duration != 9*time.Millisecond {
+		t.Fatalf("slowest durations = %v, %v", slow[0].Duration, slow[1].Duration)
+	}
+}
+
+func TestNilTracerAndTraceSafe(t *testing.T) {
+	var tr *Tracer
+	trace := tr.Start("q")
+	if trace != nil {
+		t.Fatal("nil tracer sampled a trace")
+	}
+	// Every trace method must be a no-op on nil.
+	trace.Add("x", 0, 0)
+	idx := trace.Enter("y", 0)
+	if idx != -1 {
+		t.Fatalf("nil Enter = %d, want -1", idx)
+	}
+	trace.Exit(idx, 0)
+	if trace.Tree() != "" {
+		t.Fatal("nil Tree returned text")
+	}
+	tr.Finish(trace, time.Second)
+	if tr.Len() != 0 || tr.Slowest(1) != nil {
+		t.Fatal("nil tracer retained state")
+	}
+}
+
+func TestTraceTreeNesting(t *testing.T) {
+	tr := NewTracer(testClock(), TraceConfig{SampleEvery: 1})
+	trace := tr.Start("example.com")
+	trace.Add("receive", 0, 0, L("qtype", "HTTPS"))
+	dial := trace.Enter("dial doh-0", 0, L("proto", "doh"))
+	trace.Add("cache.probe", 0, 0, L("state", "miss"))
+	trace.Exit(dial, 7*time.Millisecond, L("rcode", "NOERROR"))
+	trace.Add("commit", 7*time.Millisecond, 0)
+	tr.Finish(trace, 7*time.Millisecond)
+
+	if got := trace.Spans[1].Depth; got != 0 {
+		t.Fatalf("dial depth = %d, want 0", got)
+	}
+	if got := trace.Spans[2].Depth; got != 1 {
+		t.Fatalf("cache.probe depth = %d, want 1 (nested under dial)", got)
+	}
+	if got := trace.Spans[3].Depth; got != 0 {
+		t.Fatalf("commit depth = %d, want 0 (dial exited)", got)
+	}
+	tree := trace.Tree()
+	for _, want := range []string{"example.com", "dial doh-0", "cache.probe", "state=miss", "rcode=NOERROR", "7ms"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}

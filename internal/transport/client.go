@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/dnswire"
 	"repro/internal/doh"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -59,6 +59,14 @@ type Client struct {
 	// nondeterministically, which is why per-day campaign replicas keep
 	// their clocks frozen.
 	ChargeLatency bool
+	// Tracer, when non-nil, head-samples exchanges into span traces on
+	// the virtual clock (see obs.Tracer). Nil traces nothing and costs
+	// one nil check per exchange.
+	Tracer *obs.Tracer
+	// ExchangeLatency, when non-nil, observes each successful exchange's
+	// critical-path virtual duration; sampled exchanges attach their
+	// trace ID as the bucket exemplar.
+	ExchangeLatency *obs.Histogram
 
 	mu          sync.Mutex
 	qid         uint16
@@ -66,17 +74,17 @@ type Client struct {
 	doqSessions map[netip.AddrPort]*DoQSession
 	doqTickets  map[netip.AddrPort]bool
 
-	staleAnswers    atomic.Uint64
-	negativeAnswers atomic.Uint64
+	staleAnswers    obs.Counter
+	negativeAnswers obs.Counter
 
 	// Strategy telemetry (see StrategyStats).
-	exchanges       atomic.Uint64
-	attempts        atomic.Uint64
-	races           atomic.Uint64
-	losersCancelled atomic.Uint64
-	hedges          atomic.Uint64
-	wasted          atomic.Uint64
-	winsByProto     [3]atomic.Uint64
+	exchanges       obs.Counter
+	attempts        obs.Counter
+	races           obs.Counter
+	losersCancelled obs.Counter
+	hedges          obs.Counter
+	wasted          obs.Counter
+	winsByProto     [3]obs.Counter
 }
 
 // StaleAnswers counts exchanges answered with an RFC 8767 stale response
@@ -135,13 +143,20 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 	if len(q.Question) == 0 {
 		return nil, fmt.Errorf("%w: query without question", doh.ErrBadEnvelope)
 	}
-	candidates := c.Pool.Candidates(dnswire.CanonicalName(q.Question[0].Name))
+	name := dnswire.CanonicalName(q.Question[0].Name)
+	candidates := c.Pool.Candidates(name)
 	if len(candidates) == 0 {
 		return nil, ErrNoUpstreams
 	}
-	out := c.strategy().Resolve(c, q, candidates)
+	tr := c.Tracer.Start(name)
+	tr.Add("receive", 0, 0,
+		obs.L("qtype", q.Question[0].Type.String()),
+		obs.L("strategy", c.strategy().Name()))
+	out := c.strategy().Resolve(c, q, candidates, tr)
 	c.account(out)
 	if out.Err != nil {
+		tr.Add("fail", out.Elapsed, 0, obs.L("err", out.Err.Error()))
+		c.Tracer.Finish(tr, out.Elapsed)
 		return nil, out.Err
 	}
 	if out.Winner.Stale {
@@ -150,6 +165,15 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 	if m := out.Winner.Msg; m.RCode == dnswire.RCodeNXDomain ||
 		(m.RCode == dnswire.RCodeNoError && len(m.Answer) == 0) {
 		c.negativeAnswers.Add(1)
+	}
+	tr.Add("commit", out.Elapsed, 0, obs.L("winner", out.Winner.Upstream.Name))
+	c.Tracer.Finish(tr, out.Elapsed)
+	if c.ExchangeLatency != nil {
+		if tr != nil {
+			c.ExchangeLatency.ObserveExemplar(out.Elapsed, tr.ID)
+		} else {
+			c.ExchangeLatency.Observe(out.Elapsed)
+		}
 	}
 	return out.Winner.Msg, nil
 }
@@ -191,17 +215,43 @@ func (c *Client) StrategyStats() StrategyStats {
 	return st
 }
 
+// bindMetrics registers the client's per-exchange counters onto a
+// registry. The existing accessors (StaleAnswers, StrategyStats) keep
+// working as views over the same handles.
+func (c *Client) bindMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(&c.exchanges, "client_exchanges_total")
+	reg.RegisterCounter(&c.staleAnswers, "client_stale_answers_total")
+	reg.RegisterCounter(&c.negativeAnswers, "client_negative_answers_total")
+	reg.RegisterCounter(&c.attempts, "strategy_attempts_total")
+	reg.RegisterCounter(&c.races, "strategy_races_total")
+	reg.RegisterCounter(&c.losersCancelled, "strategy_losers_cancelled_total")
+	reg.RegisterCounter(&c.hedges, "strategy_hedges_total")
+	reg.RegisterCounter(&c.wasted, "strategy_wasted_total")
+	for p := range c.winsByProto {
+		reg.RegisterCounter(&c.winsByProto[p], "strategy_wins_total",
+			obs.L("proto", Protocol(p).String()))
+	}
+	if c.ExchangeLatency == nil {
+		c.ExchangeLatency = obs.NewHistogram(obs.DefaultLatencyBuckets()...)
+	}
+	reg.RegisterHistogram(c.ExchangeLatency, "exchange_latency_seconds")
+}
+
 // Dial implements Driver: one synchronous attempt against the member
-// over its envelope protocol.
-func (c *Client) Dial(up *Upstream, q *dnswire.Message) Attempt {
+// over its envelope protocol. A non-nil tr threads server-side span
+// recording through the envelope into the frontend.
+func (c *Client) Dial(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
 	var at Attempt
 	switch up.Proto {
 	case ProtoDoT:
-		at = c.tryDoT(up, q)
+		at = c.tryDoT(up, q, tr)
 	case ProtoDoQ:
-		at = c.tryDoQ(up, q)
+		at = c.tryDoQ(up, q, tr)
 	default:
-		at = c.tryDoH(up, q)
+		at = c.tryDoH(up, q, tr)
 	}
 	at.Upstream = up
 	return at
@@ -262,8 +312,11 @@ func (c *Client) sample(up *Upstream, wall time.Duration, setupRTTs int) (rtt, c
 	return d, d + time.Duration(setupRTTs)*d
 }
 
-// tryDoH performs one RFC 8484 exchange with a DoH member.
-func (c *Client) tryDoH(up *Upstream, q *dnswire.Message) Attempt {
+// tryDoH performs one RFC 8484 exchange with a DoH member. The doh
+// package stays observability-free, so tracing rides a type assertion:
+// servers that implement ExchangeDoHTraced (DoHServer does) record
+// server-side spans onto tr; others are exchanged untraced.
+func (c *Client) tryDoH(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
 	var req *doh.Request
 	var err error
 	if c.UsePOST {
@@ -284,7 +337,14 @@ func (c *Client) tryDoH(up *Upstream, q *dnswire.Message) Attempt {
 		return Attempt{Bench: true, Err: fmt.Errorf("%w: %v is not DoH", ErrNotProto, up.Addr)}
 	}
 	start := time.Now()
-	resp := ex.ExchangeDoH(req)
+	var resp *doh.Response
+	if tx, ok := ex.(interface {
+		ExchangeDoHTraced(*doh.Request, *obs.Trace) *doh.Response
+	}); ok && tr != nil {
+		resp = tx.ExchangeDoHTraced(req, tr)
+	} else {
+		resp = ex.ExchangeDoH(req)
+	}
 	rtt, cost := c.sample(up, time.Since(start), 0)
 	m, err := resp.Message()
 	if err != nil {
@@ -301,13 +361,13 @@ func (c *Client) tryDoH(up *Upstream, q *dnswire.Message) Attempt {
 // connection, dialing one (and paying its TCP+TLS setup) if none is
 // cached. A connection that died mid-stream is dropped, so the query
 // fails over to the next candidate.
-func (c *Client) tryDoT(up *Upstream, q *dnswire.Message) Attempt {
+func (c *Client) tryDoT(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
 	conn, setup, err := c.dotConn(up)
 	if err != nil {
 		return Attempt{Bench: true, Err: err}
 	}
 	start := time.Now()
-	m, stale, err := conn.Exchange(q)
+	m, stale, err := conn.ExchangeTraced(q, tr)
 	if err != nil {
 		c.dropDoT(up.Addr)
 		return Attempt{Bench: true, Err: err}
@@ -353,7 +413,7 @@ func (c *Client) dropDoT(ap netip.AddrPort) {
 // (one setup RTT) the first time, a 0-RTT resumption (no setup cost) once
 // the client holds the member's ticket. The mandatory zero message ID is
 // rewritten on the way out and the caller's ID restored on the answer.
-func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message) Attempt {
+func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
 	sess, setup, err := c.doqSession(up)
 	if err != nil {
 		return Attempt{Bench: true, Err: err}
@@ -362,7 +422,7 @@ func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message) Attempt {
 	wireQ := *q
 	wireQ.ID = 0
 	start := time.Now()
-	m, stale, err := sess.Exchange(&wireQ)
+	m, stale, err := sess.ExchangeTraced(&wireQ, tr)
 	if err != nil {
 		if errors.Is(err, ErrStreamReset) {
 			// Per-stream failure: the session is fine, the query is not.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dnswire"
 	"repro/internal/doh"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -36,11 +37,18 @@ func (s *DoHServer) Register(n *simnet.Network, ap netip.AddrPort) {
 // DoH is the one envelope with a status channel distinct from the DNS
 // RCode.
 func (s *DoHServer) ExchangeDoH(req *doh.Request) *doh.Response {
+	return s.ExchangeDoHTraced(req, nil)
+}
+
+// ExchangeDoHTraced is ExchangeDoH with server-side span recording onto
+// tr. The doh package itself stays observability-free; traced clients
+// reach this method by type assertion.
+func (s *DoHServer) ExchangeDoHTraced(req *doh.Request, tr *obs.Trace) *doh.Response {
 	q, status, err := doh.DecodeRequest(req)
 	if err != nil {
 		return &doh.Response{Status: status}
 	}
-	ans, err := s.Resolve(q)
+	ans, err := s.ResolveTraced(q, tr)
 	if err != nil {
 		return &doh.Response{Status: doh.StatusServFailUpstream}
 	}

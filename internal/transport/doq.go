@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -119,6 +120,12 @@ func (s *DoQSession) check() error {
 // unparseable frame resets this stream only. Safe for concurrent use —
 // streams are independent by construction.
 func (s *DoQSession) Exchange(q *dnswire.Message) (*dnswire.Message, bool, error) {
+	return s.ExchangeTraced(q, nil)
+}
+
+// ExchangeTraced is Exchange with server-side span recording onto tr (a
+// nil tr traces nothing).
+func (s *DoQSession) ExchangeTraced(q *dnswire.Message, tr *obs.Trace) (*dnswire.Message, bool, error) {
 	if err := s.check(); err != nil {
 		return nil, false, err
 	}
@@ -140,7 +147,7 @@ func (s *DoQSession) Exchange(q *dnswire.Message) (*dnswire.Message, bool, error
 		s.srv.resets.Add(1)
 		return nil, false, fmt.Errorf("%w: %v", ErrStreamReset, err)
 	}
-	ans, rerr := s.srv.Resolve(parsed)
+	ans, rerr := s.srv.ResolveTraced(parsed, tr)
 	if rerr != nil {
 		// Like DoT, DoQ has no status channel: hard upstream failures go
 		// on the stream as a synthesized SERVFAIL.

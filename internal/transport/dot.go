@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -81,6 +82,7 @@ type DoTConn struct {
 	rbuf    []byte              // client→server bytes not yet framed
 	replies []dotReply          // response frames not yet read
 	pending map[uint16]dotReply // responses drained by other callers, demuxed by ID
+	traces  map[uint16]*obs.Trace
 	closed  bool
 }
 
@@ -138,7 +140,14 @@ func (c *DoTConn) Write(p []byte) error {
 	}
 	for i := len(batch) - 1; i >= 0; i-- {
 		q := batch[i]
-		ans, err := c.srv.Resolve(q)
+		// A trace parked for this query ID (ExchangeTraced) rides into
+		// the frontend so its server-side spans join the dial span.
+		var tr *obs.Trace
+		if c.traces != nil {
+			tr = c.traces[q.ID]
+			delete(c.traces, q.ID)
+		}
+		ans, err := c.srv.ResolveTraced(q, tr)
 		if err != nil {
 			// DoT has no status channel: a hard upstream failure goes on
 			// the wire as a synthesized SERVFAIL.
@@ -170,9 +179,25 @@ func (c *DoTConn) ReadResponse() (wire []byte, stale bool, err error) {
 // drains along the way for their owners. Safe for concurrent use: many
 // goroutines can pipeline queries over one connection.
 func (c *DoTConn) Exchange(q *dnswire.Message) (*dnswire.Message, bool, error) {
+	return c.ExchangeTraced(q, nil)
+}
+
+// ExchangeTraced is Exchange with server-side span recording onto tr (a
+// nil tr traces nothing). The trace is parked by query ID before the
+// frame is written, so the server side picks it up when it resolves the
+// frame — pipelined frames from other callers stay untraced.
+func (c *DoTConn) ExchangeTraced(q *dnswire.Message, tr *obs.Trace) (*dnswire.Message, bool, error) {
 	wire, err := q.Pack()
 	if err != nil {
 		return nil, false, err
+	}
+	if tr != nil {
+		c.mu.Lock()
+		if c.traces == nil {
+			c.traces = map[uint16]*obs.Trace{}
+		}
+		c.traces[q.ID] = tr
+		c.mu.Unlock()
 	}
 	if err := c.Write(Frame(wire)); err != nil {
 		return nil, false, err

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -41,6 +42,13 @@ type FleetConfig struct {
 	// how per-day campaign replicas stand their fleets up on network
 	// views without touching the shared registry.
 	Override bool
+	// Metrics, when non-nil, is the obs registry the fleet binds its
+	// counters onto; nil makes the fleet create its own on the fleet
+	// clock, so Fleet.Metrics is always usable.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, head-samples the client's exchanges into
+	// span traces.
+	Tracer *obs.Tracer
 }
 
 // Fleet is a protocol-agnostic encrypted-DNS serving fleet: any mix of
@@ -54,6 +62,11 @@ type Fleet struct {
 	Cache  *Cache
 	Pool   *Pool
 	Client *Client
+
+	// Metrics is the fleet's telemetry registry: every frontend, cache,
+	// pool, and client counter is registered here (the struct accessors
+	// below remain as thin views over the same handles). Always non-nil.
+	Metrics *obs.Registry
 
 	// Frontends are the per-frontend engines in Add order; Addrs and
 	// Servers hold the parallel addresses and envelope servers.
@@ -74,11 +87,81 @@ func NewFleet(net *simnet.Network, clock *simnet.Clock, cfg FleetConfig) *Fleet 
 	client.Strategy = cfg.Strategy.New()
 	client.Latency = cfg.Latency
 	client.ChargeLatency = cfg.ChargeLatency
-	return &Fleet{
+	client.Tracer = cfg.Tracer
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry(clock)
+	}
+	fl := &Fleet{
 		Net: net, Cache: NewCacheWith(clock, cfg.Cache),
-		Pool: client.Pool, Client: client,
+		Pool: client.Pool, Client: client, Metrics: reg,
 		override: cfg.Override, cooldown: cfg.FailureCooldown,
 	}
+	fl.bindMetrics()
+	return fl
+}
+
+// bindMetrics registers the fleet's shared components onto the registry:
+// the client's per-exchange counters, snapshot-time views over the
+// mutex-guarded cache and pool stats, and fleet-wide aggregates. It also
+// declares which metric names are volatile — dependent on within-day
+// worker interleaving — so campaign series built from StableSnapshot
+// stay byte-identical between serial and pipelined runs (the same
+// winner-side-only rationale as dataset.ServingSnapshot).
+func (fl *Fleet) bindMetrics() {
+	reg := fl.Metrics
+	fl.Client.bindMetrics(reg)
+	reg.RegisterView(func(add obs.ViewAdd) {
+		cs := fl.Cache.Stats()
+		add("cache_entries", obs.KindGauge, float64(cs.Entries))
+		add("cache_hits_total", obs.KindCounter, float64(cs.Hits))
+		add("cache_misses_total", obs.KindCounter, float64(cs.Misses))
+		add("cache_evictions_total", obs.KindCounter, float64(cs.Evictions))
+		add("cache_expirations_total", obs.KindCounter, float64(cs.Expirations))
+		add("cache_negative_entries", obs.KindGauge, float64(cs.NegativeEntries))
+		add("cache_negative_hits_total", obs.KindCounter, float64(cs.NegativeHits))
+		add("cache_stale_serves_total", obs.KindCounter, float64(cs.StaleServes))
+		add("cache_refreshes_total", obs.KindCounter, float64(cs.Refreshes))
+	})
+	reg.RegisterView(func(add obs.ViewAdd) {
+		add("pool_members", obs.KindGauge, float64(fl.Pool.Len()))
+		add("pool_healthy", obs.KindGauge, float64(fl.Pool.Healthy()))
+		for _, us := range fl.Pool.Stats() {
+			labels := []obs.Label{obs.L("member", us.Name), obs.L("proto", us.Proto.String())}
+			add("pool_member_queries_total", obs.KindCounter, float64(us.Queries), labels...)
+			add("pool_member_failures_total", obs.KindCounter, float64(us.Failures), labels...)
+			add("pool_member_rtt_seconds", obs.KindGauge, us.RTT.Seconds(), labels...)
+		}
+	})
+	reg.RegisterView(func(add obs.ViewAdd) {
+		total := fl.TotalStats()
+		add("fleet_prefetches_total", obs.KindCounter, float64(total.Prefetches))
+		add("fleet_upstream_failures_total", obs.KindCounter, float64(total.UpstreamFailures))
+		add("fleet_stale_served_total", obs.KindCounter, float64(total.StaleServed))
+	})
+	// Everything tied to which frontend a given attempt hit — or to how
+	// many attempts an exchange made — varies with scanner-worker
+	// interleaving even under a fixed seed. The stable set is the
+	// winner-side per-exchange counters, the fleet-aggregate prefetch and
+	// upstream-failure totals (every arm fires exactly once per triggering
+	// exchange regardless of scheduling), and the pool's membership
+	// gauges.
+	reg.SetVolatile(
+		"frontend_served_total", "frontend_cache_hits_total",
+		"frontend_stale_served_total", "frontend_negative_hits_total",
+		"frontend_prefetches_total", "frontend_upstream_failures_total",
+		"cache_entries", "cache_hits_total", "cache_misses_total",
+		"cache_evictions_total", "cache_expirations_total",
+		"cache_negative_entries", "cache_negative_hits_total",
+		"cache_stale_serves_total", "cache_refreshes_total",
+		"strategy_attempts_total", "strategy_races_total",
+		"strategy_losers_cancelled_total", "strategy_hedges_total",
+		"strategy_wasted_total", "strategy_wins_total",
+		"pool_member_queries_total", "pool_member_failures_total",
+		"pool_member_rtt_seconds",
+		"fleet_stale_served_total",
+		"exchange_latency_seconds",
+	)
 }
 
 // Add stands up one frontend speaking proto over handler at ap, registers
@@ -104,6 +187,7 @@ func (fl *Fleet) Add(proto Protocol, name string, handler simnet.DNSHandler, ap 
 		fl.Net.RegisterService(ap, svc)
 	}
 	fl.Pool.Add(name, ap, proto)
+	engine.bindMetrics(fl.Metrics)
 	fl.Frontends = append(fl.Frontends, engine)
 	fl.Addrs = append(fl.Addrs, ap)
 	fl.Servers = append(fl.Servers, svc)

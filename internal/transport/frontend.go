@@ -3,10 +3,10 @@ package transport
 import (
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -57,12 +57,15 @@ type Frontend struct {
 	mu            sync.Mutex
 	cooldownUntil time.Time
 
-	served       atomic.Uint64
-	cacheHits    atomic.Uint64
-	staleServed  atomic.Uint64
-	negativeHits atomic.Uint64
-	prefetches   atomic.Uint64
-	upstreamFail atomic.Uint64
+	// Lifecycle counters are obs handles so a fleet registry can expose
+	// them without an extra indirection on the increment path; the
+	// zero values work unregistered, so a bare Frontend needs no setup.
+	served       obs.Counter
+	cacheHits    obs.Counter
+	staleServed  obs.Counter
+	negativeHits obs.Counter
+	prefetches   obs.Counter
+	upstreamFail obs.Counter
 }
 
 // Answer is the protocol-independent outcome of one resolved query,
@@ -111,6 +114,11 @@ func (s *FrontendStats) Add(o FrontendStats) {
 	s.UpstreamFailures += o.UpstreamFailures
 }
 
+// HitRate is the fresh-hit fraction of served queries (0 when idle).
+func (s FrontendStats) HitRate() float64 {
+	return obs.Ratio(s.CacheHits, s.Served)
+}
+
 // Stats returns the frontend's counters.
 func (f *Frontend) Stats() FrontendStats {
 	return FrontendStats{
@@ -157,11 +165,39 @@ func (f *Frontend) noteHandlerSuccess() {
 	f.mu.Unlock()
 }
 
+// bindMetrics registers the frontend's counters onto a registry, labeled
+// by frontend name and protocol. The old Stats() accessors keep working
+// as thin views over the same handles.
+func (f *Frontend) bindMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	labels := []obs.Label{obs.L("frontend", f.Name), obs.L("proto", f.Proto.String())}
+	reg.RegisterCounter(&f.served, "frontend_served_total", labels...)
+	reg.RegisterCounter(&f.cacheHits, "frontend_cache_hits_total", labels...)
+	reg.RegisterCounter(&f.staleServed, "frontend_stale_served_total", labels...)
+	reg.RegisterCounter(&f.negativeHits, "frontend_negative_hits_total", labels...)
+	reg.RegisterCounter(&f.prefetches, "frontend_prefetches_total", labels...)
+	reg.RegisterCounter(&f.upstreamFail, "frontend_upstream_failures_total", labels...)
+}
+
 // Resolve walks the cache lifecycle (fresh → prefetch → stale → upstream)
 // for one decoded query and returns the wire answer for the envelope
 // codec. It returns ErrUpstreamFailed only when the handler hard-failed
 // and nothing stale could cover for it.
 func (f *Frontend) Resolve(q *dnswire.Message) (Answer, error) {
+	return f.resolve(q, nil)
+}
+
+// ResolveTraced is Resolve with server-side span recording onto tr (a
+// nil tr traces nothing). The spans are structural — zero offset and
+// duration — because the frontend's work rides inside the enclosing dial
+// span, whose virtual cost the strategy layer charges.
+func (f *Frontend) ResolveTraced(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
+	return f.resolve(q, tr)
+}
+
+func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 	f.served.Add(1)
 
 	if len(q.Question) != 1 {
@@ -177,6 +213,7 @@ func (f *Frontend) Resolve(q *dnswire.Message) (Answer, error) {
 	if f.Cache != nil {
 		// Wire fast path: a hit is one copy + ID/TTL patches, no encode.
 		probe := f.Cache.Probe(key, q.ID)
+		tr.Add("cache.probe", 0, 0, obs.L("state", probe.State.String()))
 		switch probe.State {
 		case StateFresh:
 			f.cacheHits.Add(1)
@@ -187,6 +224,7 @@ func (f *Frontend) Resolve(q *dnswire.Message) (Answer, error) {
 			// refresh opportunity for this entry generation is forfeited
 			// and serve-stale covers the eventual expiry instead.
 			if probe.NeedsRefresh && !f.inCooldown() {
+				tr.Add("prefetch", 0, 0)
 				f.prefetch(key, q)
 			}
 			return Answer{Wire: probe.Body, MaxAge: probe.MaxAge}, nil
@@ -196,6 +234,7 @@ func (f *Frontend) Resolve(q *dnswire.Message) (Answer, error) {
 				// The handler is benched; ride the stale answer out
 				// rather than hammering a dead recursor.
 				if ans, ok := f.serveStale(key, q.ID); ok {
+					tr.Add("stale.serve", 0, 0, obs.L("reason", "cooldown"))
 					return ans, nil
 				}
 			}
@@ -207,9 +246,11 @@ func (f *Frontend) Resolve(q *dnswire.Message) (Answer, error) {
 		f.noteHandlerFailure()
 		if stale {
 			if ans, ok := f.serveStale(key, q.ID); ok {
+				tr.Add("stale.serve", 0, 0, obs.L("reason", "upstream-dead"))
 				return ans, nil
 			}
 		}
+		tr.Add("upstream", 0, 0, obs.L("outcome", "failed"))
 		return Answer{}, ErrUpstreamFailed
 	}
 	if resp.RCode == dnswire.RCodeServFail {
@@ -220,15 +261,19 @@ func (f *Frontend) Resolve(q *dnswire.Message) (Answer, error) {
 		if stale {
 			if ans, ok := f.serveStale(key, q.ID); ok {
 				f.upstreamFail.Add(1)
+				tr.Add("stale.serve", 0, 0, obs.L("reason", "servfail"))
 				return ans, nil
 			}
 		}
+		tr.Add("upstream", 0, 0, obs.L("rcode", "SERVFAIL"))
 		return packAnswer(resp)
 	}
 	f.noteHandlerSuccess()
 	if f.Cache != nil {
 		f.Cache.Put(key, resp)
+		tr.Add("cache.put", 0, 0)
 	}
+	tr.Add("upstream", 0, 0, obs.L("rcode", resp.RCode.String()))
 	return packAnswer(resp)
 }
 

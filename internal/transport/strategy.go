@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 )
 
 // Attempt is the outcome of one upstream try, as produced by the
@@ -50,7 +51,9 @@ type Driver interface {
 	// the dial (completed exchanges are valid samples no matter which
 	// attempt wins); the virtual clock is NOT advanced — the strategy
 	// owns the exchange's timeline and charges its critical path once.
-	Dial(up *Upstream, q *dnswire.Message) Attempt
+	// tr, when non-nil, threads server-side span recording through the
+	// envelope (nil dials untraced).
+	Dial(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt
 	// Bench reports a transport-level failure to the pool (cooldown, and
 	// eventually removal — see Pool.RemoveAfter).
 	Bench(up *Upstream)
@@ -75,6 +78,13 @@ type Driver interface {
 type Outcome struct {
 	Winner Attempt
 	Err    error
+
+	// Elapsed is the exchange's critical-path virtual duration — the sum
+	// of every clock charge the strategy made, i.e. how far the exchange
+	// advanced the virtual timeline. It accumulates even when latency
+	// charging is off, so tracing and latency histograms see the modeled
+	// timeline either way.
+	Elapsed time.Duration
 
 	// Attempts counts dials performed for the exchange (1 on the serial
 	// happy path; 2 when a race or hedge fired).
@@ -110,8 +120,11 @@ type Outcome struct {
 type Strategy interface {
 	// Name tags the strategy in flags, stats, and bench reports.
 	Name() string
-	// Resolve drives one exchange over the ordered candidates.
-	Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome
+	// Resolve drives one exchange over the ordered candidates. tr, when
+	// non-nil, receives a "dial" span per attempt at its simulated launch
+	// offset (stagger edges, hedge thresholds) with the attempt's virtual
+	// cost as its duration.
+	Resolve(d Driver, q *dnswire.Message, candidates []*Upstream, tr *obs.Trace) Outcome
 }
 
 // StrategyKind enumerates the built-in resolution strategies for flags
@@ -186,19 +199,51 @@ type SerialFailover struct{}
 func (SerialFailover) Name() string { return "serial" }
 
 // Resolve implements Strategy.
-func (SerialFailover) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome {
-	return serialResolve(d, q, candidates, Outcome{}, Attempt{}, nil, len(candidates))
+func (SerialFailover) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream, tr *obs.Trace) Outcome {
+	return serialResolve(d, q, candidates, Outcome{}, Attempt{}, nil, len(candidates), tr)
+}
+
+// charge advances the virtual clock by dur and accumulates it into the
+// outcome's critical-path total. Every clock charge a strategy makes
+// goes through here, so Outcome.Elapsed is the exchange's timeline by
+// construction.
+func charge(d Driver, out *Outcome, dur time.Duration) {
+	d.Charge(dur)
+	out.Elapsed += dur
+}
+
+// dialSpan opens a traced dial attempt at the given launch offset; mode
+// tags the attempt's role on the exchange timeline.
+func dialSpan(tr *obs.Trace, up *Upstream, offset time.Duration, mode string) int {
+	return tr.Enter("dial "+up.Name, offset, obs.L("proto", up.Proto.String()), obs.L("mode", mode))
+}
+
+// exitDialSpan closes a dial span with the attempt's virtual cost and
+// outcome.
+func exitDialSpan(tr *obs.Trace, idx int, at Attempt) {
+	outcome := "answer"
+	switch {
+	case at.Err != nil:
+		outcome = "error"
+	case at.Msg.RCode == dnswire.RCodeServFail:
+		outcome = "servfail"
+	}
+	tr.Exit(idx, at.Cost, obs.L("outcome", outcome))
 }
 
 // serialResolve walks candidates in order, continuing from the given
 // partial outcome — the shared tail for SerialFailover and for Race and
 // Hedge falling through after their paired attempts lost. total is the
-// exchange's full candidate count, kept for the all-failed error.
-func serialResolve(d Driver, q *dnswire.Message, candidates []*Upstream, out Outcome, servFail Attempt, lastErr error, total int) Outcome {
+// exchange's full candidate count, kept for the all-failed error. Each
+// dial launches at the timeline charged so far (out.Elapsed), which is
+// exactly serial semantics: one attempt at a time, back to back.
+func serialResolve(d Driver, q *dnswire.Message, candidates []*Upstream, out Outcome, servFail Attempt, lastErr error, total int, tr *obs.Trace) Outcome {
 	for _, up := range candidates {
-		at := d.Dial(up, q)
+		span := dialSpan(tr, up, out.Elapsed, "serial")
+		at := d.Dial(up, q, tr)
+		exitDialSpan(tr, span, at)
 		out.Attempts++
-		d.Charge(at.Cost)
+		charge(d, &out, at.Cost)
 		if at.Err != nil {
 			if at.Bench {
 				d.Bench(up)
@@ -253,9 +298,9 @@ type Race struct {
 func (Race) Name() string { return "race" }
 
 // Resolve implements Strategy.
-func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome {
+func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream, tr *obs.Trace) Outcome {
 	if len(candidates) < 2 {
-		return SerialFailover{}.Resolve(d, q, candidates)
+		return SerialFailover{}.Resolve(d, q, candidates, tr)
 	}
 	stagger := r.Stagger
 	if stagger <= 0 {
@@ -273,11 +318,13 @@ func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outc
 		pi = fb
 	}
 	if pi < 0 || d.Benched(primary) {
-		return SerialFailover{}.Resolve(d, q, candidates)
+		return SerialFailover{}.Resolve(d, q, candidates, tr)
 	}
 
 	var out Outcome
-	atA := d.Dial(primary, q)
+	span := dialSpan(tr, primary, 0, "race-primary")
+	atA := d.Dial(primary, q, tr)
+	exitDialSpan(tr, span, atA)
 	out.Attempts++
 	if atA.Err != nil && atA.Bench {
 		d.Bench(primary)
@@ -285,7 +332,7 @@ func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outc
 	// The primary answered at or before the stagger edge: the timer is
 	// cancelled and the partner never launches (no race, no waste).
 	if atA.usable() && atA.Cost <= stagger {
-		d.Charge(atA.Cost)
+		charge(d, &out, atA.Cost)
 		out.Winner = atA
 		return out
 	}
@@ -295,14 +342,16 @@ func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outc
 	// next attempt immediately rather than waiting out the timer, so
 	// this is ordinary failover, not a race.
 	if !atA.usable() && attemptCompletion(atA, 0) < stagger {
-		d.Charge(atA.Cost)
+		charge(d, &out, atA.Cost)
 		servFail, lastErr := attemptResidue(atA, primary)
-		return serialResolve(d, q, candidates[1:], out, servFail, lastErr, len(candidates))
+		return serialResolve(d, q, candidates[1:], out, servFail, lastErr, len(candidates), tr)
 	}
 
 	// Timer fired: the partner launches at the stagger offset.
 	out.Races++
-	atB := d.Dial(candidates[pi], q)
+	span = dialSpan(tr, candidates[pi], stagger, "race-partner")
+	atB := d.Dial(candidates[pi], q, tr)
+	exitDialSpan(tr, span, atB)
 	out.Attempts++
 	if atB.Err != nil && atB.Bench {
 		d.Bench(candidates[pi])
@@ -316,14 +365,14 @@ func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outc
 	// through the remaining candidates, keeping any SERVFAIL as the
 	// answer of last resort.
 	servFail, lastErr := raceResidue(atA, atB, primary, candidates[pi])
-	d.Charge(maxAttemptCompletion(atA.Cost, attemptCompletion(atB, stagger)))
+	charge(d, &out, maxAttemptCompletion(atA.Cost, attemptCompletion(atB, stagger)))
 	rest := make([]*Upstream, 0, len(candidates)-2)
 	for i, up := range candidates {
 		if i != 0 && i != pi {
 			rest = append(rest, up)
 		}
 	}
-	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates))
+	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates), tr)
 }
 
 // pickPartner scans the candidates after the head for un-benched
@@ -353,12 +402,12 @@ func pickPartner(d Driver, candidates []*Upstream, prefer func(*Upstream) bool) 
 func raceDecide(d Driver, out Outcome, atA, atB Attempt, aDone, bDone time.Duration) (Outcome, bool) {
 	switch {
 	case atA.usable() && (!atB.usable() || aDone <= bDone):
-		d.Charge(aDone)
+		charge(d, &out, aDone)
 		out.Winner = atA
 		out = accountLoser(out, atB, bDone, aDone)
 		return out, true
 	case atB.usable():
-		d.Charge(bDone)
+		charge(d, &out, bDone)
 		out.Winner = atB
 		out = accountLoser(out, atA, aDone, bDone)
 		return out, true
@@ -451,7 +500,7 @@ type Hedge struct {
 func (Hedge) Name() string { return "hedge" }
 
 // Resolve implements Strategy.
-func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Outcome {
+func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream, tr *obs.Trace) Outcome {
 	quantile := h.Quantile
 	if quantile <= 0 {
 		quantile = DefaultHedgeQuantile
@@ -460,7 +509,9 @@ func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Out
 	threshold, armed := d.Quantile(primary, quantile)
 
 	var out Outcome
-	atA := d.Dial(primary, q)
+	span := dialSpan(tr, primary, 0, "hedge-primary")
+	atA := d.Dial(primary, q, tr)
+	exitDialSpan(tr, span, atA)
 	out.Attempts++
 	if atA.Err != nil {
 		// A transport failure is ordinary failover, not a hedge: the
@@ -469,9 +520,9 @@ func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Out
 		if atA.Bench {
 			d.Bench(primary)
 		}
-		d.Charge(atA.Cost)
+		charge(d, &out, atA.Cost)
 		lastErr := fmt.Errorf("upstream %s (%s): %w", primary.Name, primary.Proto, atA.Err)
-		return serialResolve(d, q, candidates[1:], out, Attempt{}, lastErr, len(candidates))
+		return serialResolve(d, q, candidates[1:], out, Attempt{}, lastErr, len(candidates), tr)
 	}
 	// No timer armed (cold quantile window, or nobody to hedge to), or
 	// the primary beat its threshold: serial semantics. The trigger
@@ -480,12 +531,12 @@ func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Out
 	// on top of a nominal RTT, and hedging on connection churn would
 	// duplicate load exactly when the fleet is already reconnecting.
 	if !armed || len(candidates) < 2 || atA.RTT <= threshold {
-		d.Charge(atA.Cost)
+		charge(d, &out, atA.Cost)
 		if atA.usable() {
 			out.Winner = atA
 			return out
 		}
-		return serialResolve(d, q, candidates[1:], out, atA, nil, len(candidates))
+		return serialResolve(d, q, candidates[1:], out, atA, nil, len(candidates), tr)
 	}
 
 	// The primary blew its quantile: the hedge fires at the threshold,
@@ -498,24 +549,26 @@ func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Out
 	// the exchange stays serial.
 	ui, _ := pickPartner(d, candidates, func(c *Upstream) bool { return c.Proto == primary.Proto })
 	if ui < 0 {
-		d.Charge(atA.Cost)
+		charge(d, &out, atA.Cost)
 		if atA.usable() {
 			out.Winner = atA
 			return out
 		}
-		return serialResolve(d, q, candidates[1:], out, atA, nil, len(candidates))
+		return serialResolve(d, q, candidates[1:], out, atA, nil, len(candidates), tr)
 	}
 	out.Hedges++
 	understudy := candidates[ui]
-	atB := d.Dial(understudy, q)
-	out.Attempts++
-	if atB.Err != nil && atB.Bench {
-		d.Bench(understudy)
-	}
 	// The hedge timer starts when the primary's request goes out — after
 	// any connection setup it paid — so the understudy launches at
 	// send-time + threshold on the exchange timeline.
 	hedgeAt := atA.Cost - atA.RTT + threshold
+	span = dialSpan(tr, understudy, hedgeAt, "hedge-understudy")
+	atB := d.Dial(understudy, q, tr)
+	exitDialSpan(tr, span, atB)
+	out.Attempts++
+	if atB.Err != nil && atB.Bench {
+		d.Bench(understudy)
+	}
 	out, done := raceDecide(d, out, atA, atB, atA.Cost, hedgeAt+atB.Cost)
 	if done {
 		return out
@@ -523,14 +576,14 @@ func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream) Out
 
 	// Primary SERVFAILed and the hedge lost too: serial fallthrough.
 	servFail, lastErr := raceResidue(atA, atB, primary, understudy)
-	d.Charge(maxAttemptCompletion(atA.Cost, attemptCompletion(atB, hedgeAt)))
+	charge(d, &out, maxAttemptCompletion(atA.Cost, attemptCompletion(atB, hedgeAt)))
 	rest := make([]*Upstream, 0, len(candidates)-2)
 	for i, up := range candidates {
 		if i != 0 && i != ui {
 			rest = append(rest, up)
 		}
 	}
-	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates))
+	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates), tr)
 }
 
 // StrategyStats snapshots a client's resolution-strategy telemetry: the
@@ -568,6 +621,12 @@ func (s *StrategyStats) Add(o StrategyStats) {
 	for p, n := range o.WinsByProto {
 		s.WinsByProto[p] += n
 	}
+}
+
+// WasteRate is the fraction of dials whose answer went unused — the
+// duplicated-load price of racing and hedging (0 when idle).
+func (s StrategyStats) WasteRate() float64 {
+	return obs.Ratio(s.Wasted, s.Attempts)
 }
 
 // Sub removes a baseline snapshot's counters (for drill deltas); the

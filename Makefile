@@ -12,10 +12,11 @@ test:
 
 # Race-detector pass over the concurrency-heavy packages (the pipelined
 # campaign scheduler, the substrate it fans out over, the serving
-# layer's shared cache/pool/cooldown state, and the telemetry registry
-# every worker increments).
+# layer's shared cache/pool/cooldown state, the telemetry registry
+# every worker increments, and the sharded dataset store the pipeline
+# commits into).
 race:
-	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport ./internal/obs
+	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport ./internal/obs ./internal/dataset
 
 # Tier-1 verify as the roadmap defines it.
 verify: build test
@@ -40,7 +41,7 @@ fmt:
 # compares equally-tagged runs.
 BENCH_FLEET = -frontends 4 -mix mixed -strategy race
 bench:
-	$(GO) run ./cmd/benchcampaign $(BENCH_FLEET) -baseline BENCH_campaign.json -maxregress 20 -out BENCH_campaign.json
+	$(GO) run ./cmd/benchcampaign $(BENCH_FLEET) -hourly -baseline BENCH_campaign.json -maxregress 20 -out BENCH_campaign.json
 
 # CI-sized single-iteration bench smoke: verifies serial/pipelined store
 # equality (through the same mixed fleet + race strategy as the full
@@ -50,7 +51,7 @@ bench:
 # comparisons to warnings whenever GOMAXPROCS or the campaign shape
 # differs from the baseline's — which smoke's shrunken campaign does).
 bench-smoke:
-	$(GO) run ./cmd/benchcampaign -smoke $(BENCH_FLEET) -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
+	$(GO) run ./cmd/benchcampaign -smoke $(BENCH_FLEET) -hourly -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
 
 # Traced-exchange demo: a mixed-protocol fleet under the race strategy
 # with every exchange traced, dumping the five slowest span trees —

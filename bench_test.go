@@ -563,6 +563,7 @@ func BenchmarkTransportStrategy(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := client.Query(list[i%len(list)], dnswire.TypeHTTPS, true); err != nil {

@@ -9,7 +9,13 @@
 //	benchcampaign [-size N] [-days D] [-dayworkers W] [-seed S]
 //	              [-frontends N] [-mix doh|dot|doq|mixed|doh=..,dot=..]
 //	              [-strategy serial|race|hedge]
+//	              [-hourly] [-hourworkers W] [-hourlydays D]
 //	              [-out FILE] [-smoke] [-baseline FILE] [-maxregress PCT]
+//
+// -hourly appends a second section timing the hourly ECH campaign — the
+// same days of hourly scans run with HourWorkers 1 and HourWorkers N —
+// and records hourly_serial_ms / hourly_pipelined_ms / hourly_speedup
+// alongside a serial-vs-pipelined hourly store comparison.
 //
 // -frontends runs the campaign through an encrypted-DNS serving fleet of
 // that many frontends, with -mix selecting the protocol split and
@@ -69,6 +75,15 @@ type report struct {
 	ObsOverheadPct float64 `json:"obs_overhead_pct,omitempty"`
 	Queries        uint64  `json:"dns_queries_per_run"`
 	StoresEqual    bool    `json:"stores_equal"`
+	// Hourly* report the -hourly section: the same hourly ECH campaign
+	// run with HourWorkers 1 vs HourWorkers N, plus the serial/pipelined
+	// store comparison. Zero-valued when -hourly was not requested.
+	HourWorkers       int     `json:"hour_workers,omitempty"`
+	HourlyDays        int     `json:"hourly_days,omitempty"`
+	HourlySerialMS    float64 `json:"hourly_serial_ms,omitempty"`
+	HourlyPipelinedMS float64 `json:"hourly_pipelined_ms,omitempty"`
+	HourlySpeedup     float64 `json:"hourly_speedup,omitempty"`
+	HourlyStoresEqual bool    `json:"hourly_stores_equal,omitempty"`
 	// Note flags reports whose speedup is not meaningful (single-core
 	// hosts: the workload is CPU-bound simulation, so pipelining cannot
 	// beat serial there).
@@ -83,6 +98,9 @@ func main() {
 	frontends := flag.Int("frontends", 0, "encrypted-DNS frontends to route the campaign through (0: direct stub queries)")
 	mixFlag := flag.String("mix", "doh", "frontend protocol mix (with -frontends): doh, dot, doq, mixed, or weights")
 	strategyFlag := flag.String("strategy", "serial", "resolution strategy (with -frontends): serial, race, or hedge")
+	hourly := flag.Bool("hourly", false, "also benchmark the hourly ECH pipeline (HourWorkers 1 vs -hourworkers)")
+	hourWorkers := flag.Int("hourworkers", 8, "hour workers for the pipelined hourly run (with -hourly)")
+	hourlyDays := flag.Int("hourlydays", 3, "hourly ECH campaign length in days (with -hourly)")
 	out := flag.String("out", "BENCH_campaign.json", "report path ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny campaign, no timing claims")
 	baseline := flag.String("baseline", "", "committed report to gate the speedup against (empty disables)")
@@ -100,7 +118,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *smoke {
-		*size, *days = 150, 5
+		*size, *days, *hourlyDays = 150, 5, 1
 	}
 	// The window deliberately covers the NS-scan and connectivity-probe
 	// phases so every per-day stage is exercised.
@@ -151,6 +169,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  instrumented: %v (telemetry series on)\n", instrDur.Round(time.Millisecond))
 	}
 
+	// -hourly section: the hourly ECH campaign with HourWorkers 1 vs N.
+	// The window sits inside the ECH deployment era (key rotation is what
+	// the hourly scans measure), mirroring the fig4 reproduction.
+	var hourlySerial, hourlyPipe time.Duration
+	var hourlyEqual bool
+	if *hourly {
+		runHourly := func(hw int) (time.Duration, []byte) {
+			c, err := core.NewCampaign(core.CampaignConfig{
+				Size: *size, Seed: *seed,
+				HourWorkers:  hw,
+				DoHFrontends: *frontends, TransportMix: mix,
+				TransportStrategy: strategy,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			t0 := time.Now()
+			c.RunHourlyECH(time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC), *hourlyDays)
+			elapsed := time.Since(t0)
+			var buf bytes.Buffer
+			if err := c.Store.WriteJSON(&buf); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			return elapsed, buf.Bytes()
+		}
+		fmt.Fprintf(os.Stderr, "benchcampaign -hourly: %d days of hourly ECH (serial vs %d hour workers)\n",
+			*hourlyDays, *hourWorkers)
+		var sStore, pStore []byte
+		hourlySerial, sStore = runHourly(1)
+		fmt.Fprintf(os.Stderr, "  serial:    %v\n", hourlySerial.Round(time.Millisecond))
+		hourlyPipe, pStore = runHourly(*hourWorkers)
+		fmt.Fprintf(os.Stderr, "  pipelined: %v\n", hourlyPipe.Round(time.Millisecond))
+		hourlyEqual = bytes.Equal(sStore, pStore)
+	}
+
 	r := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -185,6 +240,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  instrumentation overhead: %.1f%% (budget 5%%)\n", r.ObsOverheadPct)
 		}
 	}
+	if *hourly {
+		r.HourWorkers = *hourWorkers
+		r.HourlyDays = *hourlyDays
+		r.HourlySerialMS = float64(hourlySerial.Microseconds()) / 1000
+		r.HourlyPipelinedMS = float64(hourlyPipe.Microseconds()) / 1000
+		r.HourlySpeedup = float64(hourlySerial) / float64(hourlyPipe)
+		r.HourlyStoresEqual = hourlyEqual
+	}
 	if r.GoMaxProcs <= 1 {
 		r.Note = "single-core host: speedup is meaningful only with go_max_procs > 1; stores_equal is the signal here"
 	}
@@ -194,6 +257,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "  speedup:   %.2fx on %d CPUs (stores equal: %v)\n",
 		r.Speedup, r.NumCPU, r.StoresEqual)
+	if *hourly {
+		if !hourlyEqual {
+			fmt.Fprintln(os.Stderr, "error: pipelined hourly store diverged from serial hourly store")
+			defer os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  hourly speedup: %.2fx (stores equal: %v)\n",
+			r.HourlySpeedup, r.HourlyStoresEqual)
+	}
 
 	// Regression gate: the baseline must be read before -out overwrites
 	// it — and on failure it must NOT be overwritten, or rerunning the
@@ -260,6 +331,26 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 	}
 	fmt.Fprintf(os.Stderr, "  gate: OK — speedup %.2fx vs baseline %.2fx (%+.1f%%, limit -%.0f%%)\n",
 		r.Speedup, base.Speedup, -regress, maxRegress)
+	// The hourly section gates the same way when both reports carry one
+	// and their shapes match; anything else is a warning, not a failure.
+	if base.HourlySpeedup > 0 && r.HourlySpeedup > 0 {
+		if base.HourWorkers != r.HourWorkers || base.HourlyDays != r.HourlyDays {
+			fmt.Fprintf(os.Stderr,
+				"  gate: hourly shape differs (baseline workers=%d days=%d vs workers=%d days=%d), hourly speedup warning only (baseline %.2fx, now %.2fx)\n",
+				base.HourWorkers, base.HourlyDays, r.HourWorkers, r.HourlyDays,
+				base.HourlySpeedup, r.HourlySpeedup)
+			return true
+		}
+		hregress := (base.HourlySpeedup - r.HourlySpeedup) / base.HourlySpeedup * 100
+		if hregress > maxRegress {
+			fmt.Fprintf(os.Stderr,
+				"  gate: FAIL — hourly speedup %.2fx regressed %.1f%% from baseline %.2fx (limit %.0f%%)\n",
+				r.HourlySpeedup, hregress, base.HourlySpeedup, maxRegress)
+			return false
+		}
+		fmt.Fprintf(os.Stderr, "  gate: OK — hourly speedup %.2fx vs baseline %.2fx (%+.1f%%, limit -%.0f%%)\n",
+			r.HourlySpeedup, base.HourlySpeedup, -hregress, maxRegress)
+	}
 	return true
 }
 

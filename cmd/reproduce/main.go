@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	reproduce [-size N] [-seed S] [-step D] [-dayworkers W]
+//	reproduce [-size N] [-seed S] [-step D] [-dayworkers W] [-hourworkers W]
 //	          [-frontends N] [-mix doh|dot|doq|mixed]
 //	          [-strategy serial|race|hedge] [-minobs N]
 //	          [-exp all|fig2|tab2|tab3|fig3|
@@ -14,7 +14,8 @@
 // Larger -size values converge the percentages to the paper's (the
 // non-Cloudflare population floor dominates below ~90k domains); -step
 // trades trend resolution for runtime; -dayworkers pipelines that many
-// scan days concurrently (results are identical for any value);
+// scan days concurrently and -hourworkers does the same for the hourly
+// ECH rotation scans (results are identical for any value of either);
 // -frontends routes every scan through an encrypted-DNS serving fleet
 // with the -mix protocol split and the -strategy resolution strategy
 // (results are again identical — the serving layer is transparent to
@@ -55,6 +56,8 @@ func main() {
 	step := flag.Int("step", 7, "scan every Nth day")
 	dayWorkers := flag.Int("dayworkers", runtime.GOMAXPROCS(0),
 		"scan days resolved concurrently (1 = serial; results are identical)")
+	hourWorkers := flag.Int("hourworkers", runtime.GOMAXPROCS(0),
+		"hourly ECH scan hours resolved concurrently (1 = serial; results are identical)")
 	frontends := flag.Int("frontends", 0, "encrypted-DNS frontends to scan through (0: direct stub queries)")
 	mixFlag := flag.String("mix", "doh", "frontend protocol mix (with -frontends): doh, dot, doq, mixed, or weights")
 	strategyFlag := flag.String("strategy", "serial", "resolution strategy (with -frontends): serial, race, or hedge")
@@ -97,15 +100,16 @@ func main() {
 		os.Exit(2)
 	}
 	if serverSide {
-		runServerSide(*size, *seed, *step, *dayWorkers, *frontends, mix, strategy, *minObs, *quiet, sel)
+		runServerSide(*size, *seed, *step, *dayWorkers, *hourWorkers, *frontends, mix, strategy, *minObs, *quiet, sel)
 	}
 	if sel("tab6") || sel("tab7") || sel("failover") {
 		runClientSide(sel)
 	}
 }
 
-func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix transport.Mix, strategy transport.StrategyKind, minObs int, quiet bool, sel func(string) bool) {
+func runServerSide(size int, seed int64, step, dayWorkers, hourWorkers, frontends int, mix transport.Mix, strategy transport.StrategyKind, minObs int, quiet bool, sel func(string) bool) {
 	cfg := core.CampaignConfig{Size: size, Seed: seed, StepDays: step, DayWorkers: dayWorkers,
+		HourWorkers:  hourWorkers,
 		DoHFrontends: frontends, TransportMix: mix, TransportStrategy: strategy}
 	if sel("timeline") && frontends > 0 {
 		cfg.TelemetryInterval = time.Hour
@@ -119,8 +123,8 @@ func runServerSide(size int, seed int64, step, dayWorkers, frontends int, mix tr
 	if frontends > 0 {
 		fleet = fmt.Sprintf(" frontends=%d mix=%s strategy=%s", frontends, mix, strategy)
 	}
-	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd dayworkers=%d%s\n",
-		size, seed, step, dayWorkers, fleet)
+	fmt.Fprintf(os.Stderr, "building world: size=%d seed=%d step=%dd dayworkers=%d hourworkers=%d%s\n",
+		size, seed, step, dayWorkers, hourWorkers, fleet)
 	c, err := core.NewCampaign(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -14,7 +14,16 @@
 // function of (domain state, virtual time), a per-day context produces
 // byte-identical results to the old serial walk — including with a mixed
 // DoH/DoT/DoQ fleet, whose per-day replicas keep their clocks frozen (see
-// newDayContext).
+// newScanContext).
+//
+// The hourly ECH schedule pipelines the same way at hour granularity:
+// each hour gets its own scan context (fresh clock, forked recursors —
+// the per-hour cache flush — and a per-hour fleet replica), up to
+// CampaignConfig.HourWorkers hours run concurrently, and observations
+// commit in strict hour order through the same runOrdered committer the
+// day pipeline uses. Hourly telemetry is built from per-hour stable
+// snapshots merged per day (obs.MergeSnapshots), so the hourly-ech
+// series are byte-identical at any worker count.
 package core
 
 import (
@@ -50,6 +59,11 @@ type CampaignConfig struct {
 	// own scan context); 0 or 1 runs days one at a time. Results are
 	// identical for any value — snapshots always commit in day order.
 	DayWorkers int
+	// HourWorkers bounds how many hourly-ECH scan hours run concurrently
+	// (each in its own scan context); 0 or 1 runs hours one at a time.
+	// Results are identical for any value — observations always commit
+	// in hour order.
+	HourWorkers int
 	// DoHFrontends, when positive, interposes the encrypted-DNS serving
 	// layer: that many frontends are registered over the public recursors
 	// (alternating Google/Cloudflare), all sharing one sharded answer
@@ -99,9 +113,9 @@ type CampaignConfig struct {
 	// TelemetryInterval enables campaign telemetry series when positive
 	// and a fleet is configured: each scan day's fleet registry is
 	// sampled into a dataset.TelemetrySeries (stable metrics only, so
-	// pipelined runs stay byte-identical), and live-clock loops
-	// (RunHourlyECH) poll at this virtual interval. Zero disables series
-	// collection; Fleet.Metrics is populated either way.
+	// pipelined runs stay byte-identical), and RunHourlyECH folds each
+	// hour's replica snapshot into a per-day hourly-ech series. Zero
+	// disables series collection; Fleet.Metrics is populated either way.
 	TelemetryInterval time.Duration
 	// Progress, when non-nil, receives one line per scanned day.
 	Progress io.Writer
@@ -219,10 +233,11 @@ func (c *Campaign) buildFleet(n int, mix transport.Mix) {
 // connectivityProbeStart is when the §4.3.5 TLS probing experiment began.
 var connectivityProbeStart = time.Date(2024, 1, 24, 0, 0, 0, 0, time.UTC)
 
-// dayContext is one scan day's isolated execution state: a scanner over a
-// per-day network view (own clock, own recursors, optionally an own
-// transport fleet replica) and a prober pinned to the day's clock.
-type dayContext struct {
+// scanContext is one pipeline unit's isolated execution state — a scan
+// day's or a scan hour's: a scanner over a private network view (own
+// clock, own recursors, optionally an own transport fleet replica) and a
+// prober pinned to the context's clock.
+type scanContext struct {
 	scanner *scanner.Scanner
 	prober  scanner.Prober
 	// fleet is the serving layer the day's queries ride (a per-day
@@ -234,9 +249,10 @@ type dayContext struct {
 	staleBase    uint64
 	negativeBase uint64
 	// sampler collects the day's telemetry series (stable metrics only)
-	// when Cfg.TelemetryInterval is set; nil-safe when disabled. Per-day
+	// when Cfg.TelemetryInterval is set; nil-safe when disabled. Context
 	// clocks are frozen, so runDay forces a sample at each stage boundary
-	// instead of relying on interval polling.
+	// instead of relying on interval polling. Hour contexts skip the
+	// sampler: RunHourlyECH snapshots each hour's registry directly.
 	sampler *obs.Sampler
 }
 
@@ -251,32 +267,35 @@ func (p dayProber) ProbeTLS(apex string, addr netip.Addr) error {
 	return p.w.ProbeTLSAt(apex, addr, p.clock.Now())
 }
 
-// newDayContext builds an isolated scan context for one day: a fresh clock
-// at the day's scan time, a network view carrying it, forked recursors with
-// empty caches registered at the public resolver addresses, and — when the
-// campaign runs an encrypted serving layer — a per-day fleet replica
-// (fresh sharded cache, fresh pool state seeded per day, identical
-// protocol assignment) at the same frontend addresses.
+// newScanContext builds an isolated scan context pinned at the given
+// time: a fresh clock, a network view carrying it, forked recursors with
+// empty caches registered at the public resolver addresses, and — when
+// the campaign runs an encrypted serving layer — a fleet replica (fresh
+// sharded cache, fresh pool state seeded per context, identical protocol
+// assignment) at the same frontend addresses. seed differentiates the
+// replica's pool/routing randomness per context; withSampler attaches a
+// telemetry sampler (day contexts only — hour contexts snapshot their
+// registry directly).
 //
 // Replica clients keep the synthetic latency for pool routing but do NOT
-// charge it to the per-day clock: concurrent scan workers would interleave
-// their clock charges nondeterministically, and a drifting clock can move
-// time-sensitive answers (ECH configs rotate on a 76-minute period) —
-// freezing the day's clock is what makes a mixed-protocol pipelined
-// campaign byte-identical to the serial run.
-func (c *Campaign) newDayContext(day time.Time) *dayContext {
-	clock := simnet.NewClock(day.Add(12 * time.Hour))
+// charge it to the context's clock: concurrent scan workers would
+// interleave their clock charges nondeterministically, and a drifting
+// clock can move time-sensitive answers (ECH configs rotate on a
+// 76-minute period) — freezing the context's clock is what makes a
+// mixed-protocol pipelined campaign byte-identical to the serial run.
+func (c *Campaign) newScanContext(at time.Time, seed int64, withSampler bool) *scanContext {
+	clock := simnet.NewClock(at)
 	net := c.World.Net.WithClock(clock)
 	g := c.World.GoogleResolver.Fork(net)
 	cf := c.World.CFResolver.Fork(net)
 	net.OverrideDNS(c.World.GoogleAddr, g)
 	net.OverrideDNS(c.World.CFResolverAddr, cf)
 
-	dc := &dayContext{prober: dayProber{w: c.World, clock: clock}}
+	dc := &scanContext{prober: dayProber{w: c.World, clock: clock}}
 	var t scanner.Transport
 	if c.Fleet != nil {
 		fl := transport.NewFleet(net, clock, transport.FleetConfig{
-			Balance: c.Cfg.DoHBalance, Seed: c.Cfg.Seed ^ day.Unix(),
+			Balance: c.Cfg.DoHBalance, Seed: seed,
 			Strategy:        c.strategyConfig(),
 			Cache:           c.cacheConfig(),
 			FailureCooldown: c.Cfg.DoHFailureCooldown,
@@ -290,12 +309,26 @@ func (c *Campaign) newDayContext(day time.Time) *dayContext {
 		}
 		dc.fleet = fl
 		t = fl.Client
-		if c.Cfg.TelemetryInterval > 0 {
+		if withSampler && c.Cfg.TelemetryInterval > 0 {
 			dc.sampler = obs.NewSampler(fl.Metrics, clock, c.Cfg.TelemetryInterval, true)
 		}
 	}
 	dc.scanner = c.Scanner.Fork(net, t)
 	return dc
+}
+
+// newDayContext builds the scan context for one day, clocked at the
+// day's mid-day scan time.
+func (c *Campaign) newDayContext(day time.Time) *scanContext {
+	return c.newScanContext(day.Add(12*time.Hour), c.Cfg.Seed^day.Unix(), true)
+}
+
+// newHourContext builds the scan context for one hourly-ECH scan,
+// clocked at the hour itself. The forked recursors start with empty
+// caches — the per-hour flush the serial loop used to do on the shared
+// resolvers — and the fleet replica starts with a cold answer cache.
+func (c *Campaign) newHourContext(now time.Time) *scanContext {
+	return c.newScanContext(now, c.Cfg.Seed^now.Unix(), false)
 }
 
 // servingSnapshot derives the day's serving-layer record (as a delta
@@ -309,7 +342,7 @@ func (c *Campaign) newDayContext(day time.Time) *dayContext {
 // once per cache-entry generation, so attempt count cannot inflate
 // them), as do upstream failures (zero in a healthy world; chaos drills
 // do not byte-compare stores).
-func (c *Campaign) servingSnapshot(dc *dayContext, day time.Time) *dataset.ServingSnapshot {
+func (c *Campaign) servingSnapshot(dc *scanContext, day time.Time) *dataset.ServingSnapshot {
 	if dc.fleet == nil {
 		return nil
 	}
@@ -342,7 +375,7 @@ type dayResult struct {
 // boundary — per-day clocks are frozen, so interval ticks could never
 // fire; stage boundaries are the natural deterministic sample points and
 // work identically for ScanDay's live world clock.
-func (c *Campaign) runDay(dc *dayContext, day time.Time) *dayResult {
+func (c *Campaign) runDay(dc *scanContext, day time.Time) *dayResult {
 	list := c.World.Tranco.ListFor(day)
 	res := &dayResult{day: day, list: list}
 	res.apexSnap = dc.scanner.ScanList(day, "apex", list)
@@ -425,42 +458,9 @@ func (c *Campaign) RunDaily() error {
 	if len(days) == 0 {
 		return nil
 	}
-	workers := c.Cfg.DayWorkers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(days) {
-		workers = len(days)
-	}
-	if workers == 1 {
-		for _, day := range days {
-			c.commitDay(c.runDay(c.newDayContext(day), day))
-		}
-	} else {
-		type slot struct {
-			res   *dayResult
-			ready chan struct{}
-		}
-		slots := make([]slot, len(days))
-		for i := range slots {
-			slots[i].ready = make(chan struct{})
-		}
-		// The committer drains slots in day order as they fill, so
-		// progress streams and the store never sees out-of-order writes.
-		committed := make(chan struct{})
-		go func() {
-			defer close(committed)
-			for i := range slots {
-				<-slots[i].ready
-				c.commitDay(slots[i].res)
-			}
-		}()
-		scanner.ForEach(len(days), workers, func(i int) {
-			slots[i].res = c.runDay(c.newDayContext(days[i]), days[i])
-			close(slots[i].ready)
-		})
-		<-committed
-	}
+	runOrdered(len(days), c.Cfg.DayWorkers,
+		func(i int) *dayResult { return c.runDay(c.newDayContext(days[i]), days[i]) },
+		func(_ int, res *dayResult) { c.commitDay(res) })
 	// Leave the world clock where the serial walk used to: at the final
 	// scan day, so follow-on one-shot experiments see the same time.
 	c.World.Clock.Set(days[len(days)-1].Add(12 * time.Hour))
@@ -482,7 +482,7 @@ func (c *Campaign) RunDaily() error {
 func (c *Campaign) ScanDay(day time.Time) error {
 	// Scans run mid-day so date-boundary schedules behave sharply.
 	c.World.Clock.Set(day.Add(12 * time.Hour))
-	dc := &dayContext{scanner: c.Scanner, prober: c.World, fleet: c.Fleet}
+	dc := &scanContext{scanner: c.Scanner, prober: c.World, fleet: c.Fleet}
 	if c.Fleet != nil {
 		// The campaign fleet's counters are cumulative across calls;
 		// record this day as a delta.
@@ -500,14 +500,83 @@ func (c *Campaign) ScanDay(day time.Time) error {
 // RunHourlyECH reproduces the §4.4.2 experiment: hourly scans of
 // ECH-publishing apex domains for the given number of days starting at
 // start (the paper used July 21–27, 2023).
+//
+// Hours are pipelined like RunDaily's days: each hour scans inside its
+// own scan context — fresh clock at the hour, forked recursors with
+// empty caches (the per-hour flush the paper's 300s-TTL scanner implied),
+// and a per-hour fleet replica with a cold answer cache — with up to
+// Cfg.HourWorkers hours in flight and observations committed in strict
+// hour order, so the stored dataset is byte-identical for any worker
+// count. With telemetry enabled, each hour contributes its replica's
+// stable snapshot; per day, the hourly snapshots fold cumulatively
+// (obs.MergeSnapshots) into one hourly-ech series, mirroring the
+// cumulative counters the old shared-fleet sampler reported within a day.
 func (c *Campaign) RunHourlyECH(start time.Time, days int) {
-	// Discover the ECH population once.
-	c.World.Clock.Set(start)
-	list := c.World.Tranco.ListFor(start)
-	snap := c.Scanner.ScanList(start, "apex", list)
+	echDomains := c.discoverECHDomains(start)
+	hours := days * 24
+	if hours <= 0 {
+		return
+	}
+	collectTelemetry := c.Fleet != nil && c.Cfg.TelemetryInterval > 0
+	type hourResult struct {
+		echObs []dataset.ECHObservation
+		snap   *obs.Snapshot
+	}
+	var samples []obs.Point
+	runOrdered(hours, c.Cfg.HourWorkers,
+		func(h int) hourResult {
+			now := start.Add(time.Duration(h) * time.Hour)
+			hc := c.newHourContext(now)
+			res := hourResult{echObs: hc.scanner.ECHScan(now, echDomains)}
+			if collectTelemetry {
+				// The hour clock is frozen at now, so the snapshot is
+				// stamped at the hour boundary.
+				res.snap = hc.fleet.Metrics.StableSnapshot()
+			}
+			return res
+		},
+		func(h int, res hourResult) {
+			c.Store.AddECH(res.echObs...)
+			if res.snap != nil {
+				samples = append(samples, obs.Point{At: res.snap.At, Label: "hour", Snap: res.snap})
+			}
+		})
+	// Leave the world clock where the serial walk used to: at the final
+	// scanned hour.
+	c.World.Clock.Set(start.Add(time.Duration(hours-1) * time.Hour))
+	// Store one series per scan day so the timeline lines up with the rest
+	// of the dataset's per-day records. Within a day, point h carries the
+	// merge of hours 0..h — a cumulative curve, like a registry sampled
+	// hourly would show — and the commit loop appended samples in hour
+	// order, so the fold is deterministic.
+	for day, points := range partitionByDay(samples) {
+		cumulative := make([]obs.Point, len(points))
+		var acc []*obs.Snapshot
+		for i, p := range points {
+			acc = append(acc, p.Snap)
+			cumulative[i] = obs.Point{At: p.At, Label: p.Label, Snap: obs.MergeSnapshots(acc...)}
+		}
+		c.Store.AddTelemetry(telemetrySeries("hourly-ech", day, c.Cfg.TelemetryInterval, cumulative))
+	}
+}
+
+// discoverECHDomains finds the ECH-publishing apex population for the
+// hourly experiment, sorted for deterministic scan order. When the store
+// already holds start's apex snapshot (RunDaily scanned that day), it is
+// reused instead of re-scanning the full Tranco list — ECH presence is
+// date-granular, so the stored snapshot names the same population the
+// discovery scan would find.
+func (c *Campaign) discoverECHDomains(start time.Time) []string {
+	snap, ok := c.Store.SnapshotFor("apex", start)
+	if !ok {
+		// Discover the ECH population with a full scan on the world clock.
+		c.World.Clock.Set(start)
+		list := c.World.Tranco.ListFor(start)
+		snap = c.Scanner.ScanList(start, "apex", list)
+	}
 	var echDomains []string
-	for name, obs := range snap.Obs {
-		for _, rec := range obs.HTTPS {
+	for name, o := range snap.Obs {
+		for _, rec := range o.HTTPS {
 			if rec.HasECH {
 				echDomains = append(echDomains, name)
 				break
@@ -517,31 +586,7 @@ func (c *Campaign) RunHourlyECH(start time.Time, days int) {
 	// snap.Obs is a map; sort so the hourly scan order (and with it the
 	// stored observation order) is deterministic for a seed.
 	sort.Strings(echDomains)
-	// The hourly loop advances the world clock for real, so telemetry can
-	// ride the interval sampler here (unlike frozen per-day contexts).
-	var sampler *obs.Sampler
-	if c.Fleet != nil && c.Cfg.TelemetryInterval > 0 {
-		sampler = obs.NewSampler(c.Fleet.Metrics, c.World.Clock, c.Cfg.TelemetryInterval, true)
-	}
-	for h := 0; h < days*24; h++ {
-		now := start.Add(time.Duration(h) * time.Hour)
-		c.World.Clock.Set(now)
-		// Fresh caches each hour, as the paper's scanner saw records
-		// refreshed by the 300s TTL. Both recursors flush: with a fleet
-		// the pool spreads queries over frontends backed by either.
-		c.World.GoogleResolver.FlushCache()
-		c.World.CFResolver.FlushCache()
-		if c.Fleet != nil {
-			c.Fleet.Cache.Flush()
-		}
-		c.Store.AddECH(c.Scanner.ECHScan(now, echDomains)...)
-		sampler.Poll()
-	}
-	// Store one series per scan day so the timeline lines up with the rest
-	// of the dataset's per-day records.
-	for day, points := range partitionByDay(sampler.Points()) {
-		c.Store.AddTelemetry(telemetrySeries("hourly-ech", day, c.Cfg.TelemetryInterval, points))
-	}
+	return echDomains
 }
 
 // partitionByDay splits sampler points by the UTC day they were taken on.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -426,5 +427,151 @@ func TestPipelinedTelemetryMatchesSerial(t *testing.T) {
 	a, b := storeJSON(t, serial), storeJSON(t, pipelined)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("telemetry-enabled pipelined store diverges from serial: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestPipelinedHourlyMatchesSerial is the hour-pipeline equivalence
+// guarantee: with a mixed racing fleet and telemetry series enabled, the
+// §4.4.2 hourly-ECH run must produce byte-identical stores (ECH
+// observations and hourly-ech telemetry series included) for HourWorkers
+// 1 and 8.
+func TestPipelinedHourlyMatchesSerial(t *testing.T) {
+	cfg := CampaignConfig{
+		Size: 500, Seed: 29,
+		DoHFrontends:      4,
+		TransportMix:      transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
+		TransportStrategy: transport.StrategyRace,
+		TelemetryInterval: time.Hour,
+	}
+	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+	run := func(workers int) *Campaign {
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cfg.HourWorkers = workers
+		c.RunHourlyECH(start, 2)
+		return c
+	}
+	serial := run(1)
+	pipelined := run(8)
+
+	obs := serial.Store.ECHObservations()
+	if len(obs) == 0 {
+		t.Fatal("no hourly ECH observations")
+	}
+	hours := map[int64]bool{}
+	for _, o := range obs {
+		hours[o.Time.Unix()/3600] = true
+	}
+	if len(hours) != 48 {
+		t.Fatalf("hourly coverage = %d hours, want 48", len(hours))
+	}
+	// One hourly-ech series per scan day, 24 cumulative points each.
+	for d := 0; d < 2; d++ {
+		day := start.AddDate(0, 0, d)
+		series, ok := serial.Store.TelemetryFor("hourly-ech", day)
+		if !ok {
+			t.Fatalf("no hourly-ech series for %s", day.Format("2006-01-02"))
+		}
+		if len(series.Points) != 24 {
+			t.Fatalf("day %d: %d telemetry points, want 24", d, len(series.Points))
+		}
+		// The cumulative fold must be monotone in exchange count.
+		prev := -1.0
+		for _, p := range series.Points {
+			v := p.Value("client_exchanges_total")
+			if v < prev {
+				t.Fatalf("day %d: cumulative exchanges decreased: %v after %v", d, v, prev)
+			}
+			prev = v
+		}
+		if prev == 0 {
+			t.Fatalf("day %d: final point records no exchanges", d)
+		}
+	}
+
+	a, b := storeJSON(t, serial), storeJSON(t, pipelined)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("pipelined hourly store diverges from serial: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestHourlyDiscoveryFastPath checks RunHourlyECH reuses the day's
+// stored apex snapshot instead of re-scanning the full Tranco list: with
+// the snapshot present the run issues strictly fewer simulated queries,
+// and both paths scan the identical ECH population.
+func TestHourlyDiscoveryFastPath(t *testing.T) {
+	start := time.Date(2023, 8, 20, 0, 0, 0, 0, time.UTC)
+	run := func(preScan bool) (uint64, map[string]bool) {
+		c, err := NewCampaign(CampaignConfig{Size: 1200, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preScan {
+			if err := c.ScanDay(start); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := c.World.Net.QueryCount()
+		c.RunHourlyECH(start, 1)
+		queries := c.World.Net.QueryCount() - before
+		domains := map[string]bool{}
+		for _, o := range c.Store.ECHObservations() {
+			domains[o.Domain] = true
+		}
+		return queries, domains
+	}
+	slowQueries, slowDomains := run(false)
+	fastQueries, fastDomains := run(true)
+	if len(fastDomains) == 0 {
+		t.Fatal("fast path scanned no ECH domains")
+	}
+	if len(fastDomains) != len(slowDomains) {
+		t.Fatalf("ECH populations differ: fast %d vs slow %d", len(fastDomains), len(slowDomains))
+	}
+	for d := range slowDomains {
+		if !fastDomains[d] {
+			t.Fatalf("fast path missed ECH domain %s", d)
+		}
+	}
+	if fastQueries >= slowQueries {
+		t.Fatalf("fast path issued %d queries, not fewer than the %d of the discovery scan",
+			fastQueries, slowQueries)
+	}
+}
+
+// TestPartitionByDayBoundaries pins the UTC day-bucketing: a point
+// exactly at midnight belongs to the day it opens, and multi-day spans
+// split into per-day groups preserving order.
+func TestPartitionByDayBoundaries(t *testing.T) {
+	day0 := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+	points := []obs.Point{
+		{At: day0, Label: "h0"},
+		{At: day0.Add(23 * time.Hour), Label: "h23"},
+		{At: day0.Add(24 * time.Hour), Label: "h24"}, // midnight: next day
+		{At: day0.Add(47 * time.Hour), Label: "h47"},
+		{At: day0.Add(48 * time.Hour), Label: "h48"},                  // third day
+		{At: day0.Add(36*time.Hour + 30*time.Minute), Label: "h36.5"}, // mid-span, out of order on purpose
+	}
+	got := partitionByDay(points)
+	if len(got) != 3 {
+		t.Fatalf("partitioned into %d days, want 3", len(got))
+	}
+	labels := func(day time.Time) []string {
+		var out []string
+		for _, p := range got[day] {
+			out = append(out, p.Label)
+		}
+		return out
+	}
+	if l := labels(day0); len(l) != 2 || l[0] != "h0" || l[1] != "h23" {
+		t.Errorf("day 0 points = %v", l)
+	}
+	if l := labels(day0.AddDate(0, 0, 1)); len(l) != 3 || l[0] != "h24" || l[1] != "h47" || l[2] != "h36.5" {
+		t.Errorf("day 1 points = %v", l)
+	}
+	if l := labels(day0.AddDate(0, 0, 2)); len(l) != 1 || l[0] != "h48" {
+		t.Errorf("day 2 points = %v", l)
 	}
 }

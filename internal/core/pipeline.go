@@ -1,0 +1,53 @@
+package core
+
+import "repro/internal/scanner"
+
+// runOrdered executes n indexed jobs on a bounded worker pool and commits
+// each result in strict index order — the shared slot-committer shape
+// behind both the day pipeline (RunDaily) and the hour pipeline
+// (RunHourlyECH). run must be safe to call concurrently for distinct
+// indices; commit is always called from a single goroutine, in order, as
+// results become available, so committed state (the Store, progress
+// output) never observes out-of-order writes. With workers <= 1 the jobs
+// run strictly serially on the calling goroutine — run(0), commit(0),
+// run(1), ... — which pipelined callers rely on for byte-identical
+// serial baselines.
+func runOrdered[T any](n, workers int, run func(i int) T, commit func(i int, res T)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			commit(i, run(i))
+		}
+		return
+	}
+	type slot struct {
+		res   T
+		ready chan struct{}
+	}
+	slots := make([]slot, n)
+	for i := range slots {
+		slots[i].ready = make(chan struct{})
+	}
+	// The committer drains slots in index order as they fill.
+	committed := make(chan struct{})
+	go func() {
+		defer close(committed)
+		for i := range slots {
+			<-slots[i].ready
+			commit(i, slots[i].res)
+		}
+	}()
+	scanner.ForEach(n, workers, func(i int) {
+		slots[i].res = run(i)
+		close(slots[i].ready)
+	})
+	<-committed
+}

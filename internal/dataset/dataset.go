@@ -1,18 +1,15 @@
-// Package dataset holds the measurement campaign's collected data: daily
-// snapshots of per-domain DNS observations (compact summaries, not raw
-// messages), name-server observations with WHOIS attribution, hourly ECH
-// observations, TLS connectivity probe results, and the one-shot DNSSEC
-// validation census — the in-memory equivalent of the paper's Table 1
-// datasets, with JSON export.
 package dataset
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"hash/fnv"
 	"io"
 	"net/netip"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -189,8 +186,21 @@ type ValidationResult struct {
 	Result string `json:"result"`
 }
 
-// Store accumulates a campaign's data.
-type Store struct {
+// DefaultStoreShards is NewStore's shard count — enough to spread the
+// commit load of a pipelined campaign without measurable read-side cost.
+const DefaultStoreShards = 8
+
+// seqRec is one appended record stamped with its store-wide sequence
+// number, so the shard-local append logs merge back into the global
+// append order on read.
+type seqRec[T any] struct {
+	seq uint64
+	rec T
+}
+
+// storeShard is one lock domain of the Store: a slice of every table,
+// holding the records whose keys hash to it.
+type storeShard struct {
 	mu sync.RWMutex
 
 	apex    map[int64]*Snapshot // keyed by unix day
@@ -201,17 +211,16 @@ type Store struct {
 	// hourly-ech series over the same dates never collide.
 	telemetry map[string]*TelemetrySeries
 
-	ech        []ECHObservation
-	probes     []ProbeResult
-	validation []ValidationResult
+	ech        []seqRec[ECHObservation]
+	probes     []seqRec[ProbeResult]
+	validation []seqRec[ValidationResult]
 
-	// TrancoLists preserves each day's ranked list for overlap analysis.
+	// trancoLists preserves each day's ranked list for overlap analysis.
 	trancoLists map[int64][]string
 }
 
-// NewStore creates an empty store.
-func NewStore() *Store {
-	return &Store{
+func newStoreShard() *storeShard {
+	return &storeShard{
 		apex:        map[int64]*Snapshot{},
 		www:         map[int64]*Snapshot{},
 		ns:          map[int64]*NSSnapshot{},
@@ -221,51 +230,140 @@ func NewStore() *Store {
 	}
 }
 
+// Store accumulates a campaign's data. Writes are domain-sharded — see
+// the package documentation for the shard/merge read path and the
+// determinism contract.
+type Store struct {
+	seq    atomic.Uint64
+	shards []*storeShard
+}
+
+// NewStore creates an empty store with DefaultStoreShards shards.
+func NewStore() *Store { return NewStoreSharded(DefaultStoreShards) }
+
+// NewStoreSharded creates an empty store with n lock shards (n < 1 is
+// treated as 1). Reads are identical for any n; the count only tunes
+// write-side lock contention.
+func NewStoreSharded(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{shards: make([]*storeShard, n)}
+	for i := range s.shards {
+		s.shards[i] = newStoreShard()
+	}
+	return s
+}
+
+// Shards returns the store's shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
 func dayKey(t time.Time) int64 { return t.UTC().Truncate(24 * time.Hour).Unix() }
+
+// shardForString hashes a record's natural string key (domain, telemetry
+// key) to its shard.
+func (s *Store) shardForString(key string) *storeShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return s.shards[h.Sum64()%uint64(len(s.shards))]
+}
+
+// shardForDay hashes a unix-day key to its shard.
+func (s *Store) shardForDay(key int64) *storeShard {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(key))
+	h := fnv.New64a()
+	h.Write(b[:])
+	return s.shards[h.Sum64()%uint64(len(s.shards))]
+}
+
+// stampSeq reserves a contiguous block of n sequence numbers and returns
+// the first. Batch appends draw one block, so a batch's records are
+// always consecutive in the merged order even under concurrent adders.
+func (s *Store) stampSeq(n int) uint64 {
+	return s.seq.Add(uint64(n)) - uint64(n)
+}
+
+// appendSharded distributes one batch across shards by domain, stamping
+// each record with its global sequence number; table selects the shard's
+// target slice.
+func appendSharded[T any](s *Store, batch []T, domain func(T) string, table func(*storeShard) *[]seqRec[T]) {
+	if len(batch) == 0 {
+		return
+	}
+	base := s.stampSeq(len(batch))
+	for i, rec := range batch {
+		sh := s.shardForString(domain(rec))
+		sh.mu.Lock()
+		t := table(sh)
+		*t = append(*t, seqRec[T]{seq: base + uint64(i), rec: rec})
+		sh.mu.Unlock()
+	}
+}
+
+// mergeSeq collects one append table from every shard and restores the
+// global append order by sequence number.
+func mergeSeq[T any](s *Store, table func(*storeShard) []seqRec[T]) []T {
+	var all []seqRec[T]
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		all = append(all, table(sh)...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]T, len(all))
+	for i, r := range all {
+		out[i] = r.rec
+	}
+	return out
+}
 
 // AddSnapshot stores a daily snapshot.
 func (s *Store) AddSnapshot(snap *Snapshot) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	key := dayKey(snap.Date)
+	sh := s.shardForDay(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	switch snap.Kind {
 	case "www":
-		s.www[dayKey(snap.Date)] = snap
+		sh.www[key] = snap
 	default:
-		s.apex[dayKey(snap.Date)] = snap
+		sh.apex[key] = snap
 	}
 }
 
 // AddNSSnapshot stores a daily name-server snapshot.
 func (s *Store) AddNSSnapshot(snap *NSSnapshot) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ns[dayKey(snap.Date)] = snap
+	key := dayKey(snap.Date)
+	sh := s.shardForDay(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.ns[key] = snap
 }
 
 // AddServing stores a daily serving-layer lifecycle snapshot.
 func (s *Store) AddServing(snap *ServingSnapshot) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.serving[dayKey(snap.Date)] = snap
+	key := dayKey(snap.Date)
+	sh := s.shardForDay(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.serving[key] = snap
 }
 
 // ServingDays returns the sorted dates with serving snapshots.
 func (s *Store) ServingDays() []time.Time {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := sortedKeys(s.serving)
-	out := make([]time.Time, len(keys))
-	for i, k := range keys {
-		out[i] = time.Unix(k, 0).UTC()
-	}
-	return out
+	return keysToDays(s.collectKeys(func(sh *storeShard) []int64 {
+		return mapKeys(sh.serving)
+	}))
 }
 
 // ServingFor returns the serving snapshot for a date.
 func (s *Store) ServingFor(date time.Time) (*ServingSnapshot, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap, ok := s.serving[dayKey(date)]
+	key := dayKey(date)
+	sh := s.shardForDay(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	snap, ok := sh.serving[key]
 	return snap, ok
 }
 
@@ -275,32 +373,32 @@ func telemetryKey(scope string, date time.Time) string {
 
 // AddTelemetry stores one day's telemetry series for its scope.
 func (s *Store) AddTelemetry(series *TelemetrySeries) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.telemetry[telemetryKey(series.Scope, series.Date)] = series
+	key := telemetryKey(series.Scope, series.Date)
+	sh := s.shardForString(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.telemetry[key] = series
 }
 
 // TelemetryFor returns the telemetry series for (scope, date).
 func (s *Store) TelemetryFor(scope string, date time.Time) (*TelemetrySeries, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	series, ok := s.telemetry[telemetryKey(scope, date)]
+	key := telemetryKey(scope, date)
+	sh := s.shardForString(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	series, ok := sh.telemetry[key]
 	return series, ok
 }
 
 // TelemetryAll returns every stored series sorted by (scope, date).
 func (s *Store) TelemetryAll() []*TelemetrySeries {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sortedTelemetry()
-}
-
-// sortedTelemetry returns the series sorted by (scope, date); callers
-// hold s.mu.
-func (s *Store) sortedTelemetry() []*TelemetrySeries {
-	out := make([]*TelemetrySeries, 0, len(s.telemetry))
-	for _, series := range s.telemetry {
-		out = append(out, series)
+	var out []*TelemetrySeries
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, series := range sh.telemetry {
+			out = append(out, series)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Scope != out[j].Scope {
@@ -313,115 +411,98 @@ func (s *Store) sortedTelemetry() []*TelemetrySeries {
 
 // AddTrancoList stores the day's ranked list.
 func (s *Store) AddTrancoList(date time.Time, list []string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.trancoLists[dayKey(date)] = list
+	key := dayKey(date)
+	sh := s.shardForDay(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.trancoLists[key] = list
 }
 
 // AddECH appends hourly ECH observations.
 func (s *Store) AddECH(obs ...ECHObservation) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ech = append(s.ech, obs...)
+	appendSharded(s, obs,
+		func(o ECHObservation) string { return o.Domain },
+		func(sh *storeShard) *[]seqRec[ECHObservation] { return &sh.ech })
 }
 
 // AddProbes appends connectivity probe results.
 func (s *Store) AddProbes(res ...ProbeResult) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.probes = append(s.probes, res...)
+	appendSharded(s, res,
+		func(p ProbeResult) string { return p.Domain },
+		func(sh *storeShard) *[]seqRec[ProbeResult] { return &sh.probes })
 }
 
 // AddValidation appends DNSSEC census rows.
 func (s *Store) AddValidation(res ...ValidationResult) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.validation = append(s.validation, res...)
+	appendSharded(s, res,
+		func(v ValidationResult) string { return v.Domain },
+		func(sh *storeShard) *[]seqRec[ValidationResult] { return &sh.validation })
 }
 
 // Days returns the sorted scan dates present for the given kind.
 func (s *Store) Days(kind string) []time.Time {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m := s.apex
-	if kind == "www" {
-		m = s.www
-	}
-	keys := make([]int64, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	out := make([]time.Time, len(keys))
-	for i, k := range keys {
-		out[i] = time.Unix(k, 0).UTC()
-	}
-	return out
+	return keysToDays(s.collectKeys(func(sh *storeShard) []int64 {
+		if kind == "www" {
+			return mapKeys(sh.www)
+		}
+		return mapKeys(sh.apex)
+	}))
 }
 
 // SnapshotFor returns the snapshot for (kind, date).
 func (s *Store) SnapshotFor(kind string, date time.Time) (*Snapshot, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m := s.apex
+	key := dayKey(date)
+	sh := s.shardForDay(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.apex
 	if kind == "www" {
-		m = s.www
+		m = sh.www
 	}
-	snap, ok := m[dayKey(date)]
+	snap, ok := m[key]
 	return snap, ok
 }
 
 // NSDays returns the sorted dates with name-server snapshots.
 func (s *Store) NSDays() []time.Time {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]int64, 0, len(s.ns))
-	for k := range s.ns {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	out := make([]time.Time, len(keys))
-	for i, k := range keys {
-		out[i] = time.Unix(k, 0).UTC()
-	}
-	return out
+	return keysToDays(s.collectKeys(func(sh *storeShard) []int64 {
+		return mapKeys(sh.ns)
+	}))
 }
 
 // NSSnapshotFor returns the name-server snapshot for a date.
 func (s *Store) NSSnapshotFor(date time.Time) (*NSSnapshot, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap, ok := s.ns[dayKey(date)]
+	key := dayKey(date)
+	sh := s.shardForDay(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	snap, ok := sh.ns[key]
 	return snap, ok
 }
 
 // TrancoListFor returns the stored ranked list for a date.
 func (s *Store) TrancoListFor(date time.Time) ([]string, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	l, ok := s.trancoLists[dayKey(date)]
+	key := dayKey(date)
+	sh := s.shardForDay(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	l, ok := sh.trancoLists[key]
 	return l, ok
 }
 
-// ECHObservations returns all hourly ECH data points.
+// ECHObservations returns all hourly ECH data points in append order.
 func (s *Store) ECHObservations() []ECHObservation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]ECHObservation(nil), s.ech...)
+	return mergeSeq(s, func(sh *storeShard) []seqRec[ECHObservation] { return sh.ech })
 }
 
-// Probes returns all connectivity probe results.
+// Probes returns all connectivity probe results in append order.
 func (s *Store) Probes() []ProbeResult {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]ProbeResult(nil), s.probes...)
+	return mergeSeq(s, func(sh *storeShard) []seqRec[ProbeResult] { return sh.probes })
 }
 
-// Validation returns the DNSSEC census.
+// Validation returns the DNSSEC census in append order.
 func (s *Store) Validation() []ValidationResult {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]ValidationResult(nil), s.validation...)
+	return mergeSeq(s, func(sh *storeShard) []seqRec[ValidationResult] { return sh.validation })
 }
 
 // export is the JSON layout for WriteJSON.
@@ -436,36 +517,77 @@ type export struct {
 	Validation []ValidationResult `json:"validation"`
 }
 
-// WriteJSON serialises the whole store.
+// WriteJSON serialises the whole store. The export is rendered in sorted
+// key order (and the append tables in sequence order), so equal stores
+// produce equal bytes regardless of shard count or commit concurrency.
 func (s *Store) WriteJSON(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var e export
-	for _, day := range sortedKeys(s.apex) {
-		e.Apex = append(e.Apex, s.apex[day])
+	for _, day := range s.collectKeys(func(sh *storeShard) []int64 { return mapKeys(sh.apex) }) {
+		snap, _ := s.snapshotForKey("apex", day)
+		e.Apex = append(e.Apex, snap)
 	}
-	for _, day := range sortedKeys(s.www) {
-		e.WWW = append(e.WWW, s.www[day])
+	for _, day := range s.collectKeys(func(sh *storeShard) []int64 { return mapKeys(sh.www) }) {
+		snap, _ := s.snapshotForKey("www", day)
+		e.WWW = append(e.WWW, snap)
 	}
-	for _, day := range sortedKeys(s.ns) {
-		e.NS = append(e.NS, s.ns[day])
+	for _, day := range s.collectKeys(func(sh *storeShard) []int64 { return mapKeys(sh.ns) }) {
+		sh := s.shardForDay(day)
+		sh.mu.RLock()
+		e.NS = append(e.NS, sh.ns[day])
+		sh.mu.RUnlock()
 	}
-	for _, day := range sortedKeys(s.serving) {
-		e.Serving = append(e.Serving, s.serving[day])
+	for _, day := range s.collectKeys(func(sh *storeShard) []int64 { return mapKeys(sh.serving) }) {
+		sh := s.shardForDay(day)
+		sh.mu.RLock()
+		e.Serving = append(e.Serving, sh.serving[day])
+		sh.mu.RUnlock()
 	}
-	e.Telemetry = s.sortedTelemetry()
-	e.ECH = s.ech
-	e.Probes = s.probes
-	e.Validation = s.validation
+	e.Telemetry = s.TelemetryAll()
+	e.ECH = s.ECHObservations()
+	e.Probes = s.Probes()
+	e.Validation = s.Validation()
 	enc := json.NewEncoder(w)
 	return enc.Encode(&e)
 }
 
-func sortedKeys[V any](m map[int64]V) []int64 {
+// snapshotForKey is SnapshotFor on a pre-computed day key.
+func (s *Store) snapshotForKey(kind string, key int64) (*Snapshot, bool) {
+	sh := s.shardForDay(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	m := sh.apex
+	if kind == "www" {
+		m = sh.www
+	}
+	snap, ok := m[key]
+	return snap, ok
+}
+
+// collectKeys gathers per-shard key sets (each read under the shard's
+// lock) into one sorted slice.
+func (s *Store) collectKeys(keys func(*storeShard) []int64) []int64 {
+	var all []int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		all = append(all, keys(sh)...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+func mapKeys[V any](m map[int64]V) []int64 {
 	keys := make([]int64, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	return keys
+}
+
+func keysToDays(keys []int64) []time.Time {
+	out := make([]time.Time, len(keys))
+	for i, k := range keys {
+		out[i] = time.Unix(k, 0).UTC()
+	}
+	return out
 }

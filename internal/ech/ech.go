@@ -220,14 +220,28 @@ type KeyPair struct {
 	Config  Config
 }
 
+// generateX25519 derives an X25519 private key from exactly 32 bytes of
+// rng. ecdh.Curve.GenerateKey is NOT used: since Go 1.24 it draws from
+// the system random source regardless of the reader it is handed, which
+// silently breaks the seeded, replayable key schedules the key manager's
+// determinism contract depends on.
+func generateX25519(rng io.Reader) (*ecdh.PrivateKey, error) {
+	var scalar [32]byte
+	if _, err := io.ReadFull(rng, scalar[:]); err != nil {
+		return nil, err
+	}
+	return ecdh.X25519().NewPrivateKey(scalar[:])
+}
+
 // GenerateKeyPair creates a fresh X25519 key pair and its ECHConfig for the
 // given config ID and public name. rng may be nil, in which case
-// crypto/rand.Reader is used.
+// crypto/rand.Reader is used; a deterministic rng yields a deterministic
+// key pair.
 func GenerateKeyPair(rng io.Reader, configID uint8, publicName string) (*KeyPair, error) {
 	if rng == nil {
 		rng = rand.Reader
 	}
-	priv, err := ecdh.X25519().GenerateKey(rng)
+	priv, err := generateX25519(rng)
 	if err != nil {
 		return nil, fmt.Errorf("ech: generating X25519 key: %w", err)
 	}

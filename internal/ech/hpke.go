@@ -119,7 +119,7 @@ func Seal(rng io.Reader, cfg Config, aad, plaintext []byte) (enc, ciphertext []b
 	if err != nil {
 		return nil, nil, fmt.Errorf("ech: bad recipient key: %w", err)
 	}
-	eph, err := ecdh.X25519().GenerateKey(rng)
+	eph, err := generateX25519(rng)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -74,6 +74,13 @@ type Client struct {
 	doqSessions map[netip.AddrPort]*DoQSession
 	doqTickets  map[netip.AddrPort]bool
 
+	// scratch recycles per-exchange candidate buffers. Exchange is the
+	// hottest path in a campaign (every simulated query lands here), and
+	// the pool ordering is consumed synchronously inside Resolve, so the
+	// backing array can be returned as soon as the strategy is done with
+	// it — only the winning *Upstream escapes via the Outcome.
+	scratch sync.Pool
+
 	staleAnswers    obs.Counter
 	negativeAnswers obs.Counter
 
@@ -114,6 +121,12 @@ func NewClient(net *simnet.Network, pool *Pool) *Client {
 	}
 }
 
+// exchangeScratch is the reusable per-exchange working set pooled by
+// Client.scratch.
+type exchangeScratch struct {
+	cand []*Upstream
+}
+
 // nextID allocates a query ID (DoH recommends ID 0 for cacheability; the
 // simulated stack keeps real IDs to exercise the ID-rewrite path — except
 // on DoQ streams, where the ID is rewritten to the mandatory 0).
@@ -144,18 +157,32 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 		return nil, fmt.Errorf("%w: query without question", doh.ErrBadEnvelope)
 	}
 	name := dnswire.CanonicalName(q.Question[0].Name)
-	candidates := c.Pool.Candidates(name)
+	sc, _ := c.scratch.Get().(*exchangeScratch)
+	if sc == nil {
+		sc = new(exchangeScratch)
+	}
+	candidates := c.Pool.CandidatesAppend(sc.cand[:0], name)
 	if len(candidates) == 0 {
+		sc.cand = candidates
+		c.scratch.Put(sc)
 		return nil, ErrNoUpstreams
 	}
 	tr := c.Tracer.Start(name)
-	tr.Add("receive", 0, 0,
-		obs.L("qtype", q.Question[0].Type.String()),
-		obs.L("strategy", c.strategy().Name()))
+	if tr != nil {
+		tr.Add("receive", 0, 0,
+			obs.L("qtype", q.Question[0].Type.String()),
+			obs.L("strategy", c.strategy().Name()))
+	}
 	out := c.strategy().Resolve(c, q, candidates, tr)
+	// Resolve is synchronous and strategies do not retain the slice, so
+	// the buffer can go back in the pool before the outcome is processed.
+	sc.cand = candidates
+	c.scratch.Put(sc)
 	c.account(out)
 	if out.Err != nil {
-		tr.Add("fail", out.Elapsed, 0, obs.L("err", out.Err.Error()))
+		if tr != nil {
+			tr.Add("fail", out.Elapsed, 0, obs.L("err", out.Err.Error()))
+		}
 		c.Tracer.Finish(tr, out.Elapsed)
 		return nil, out.Err
 	}
@@ -166,7 +193,9 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 		(m.RCode == dnswire.RCodeNoError && len(m.Answer) == 0) {
 		c.negativeAnswers.Add(1)
 	}
-	tr.Add("commit", out.Elapsed, 0, obs.L("winner", out.Winner.Upstream.Name))
+	if tr != nil {
+		tr.Add("commit", out.Elapsed, 0, obs.L("winner", out.Winner.Upstream.Name))
+	}
 	c.Tracer.Finish(tr, out.Elapsed)
 	if c.ExchangeLatency != nil {
 		if tr != nil {

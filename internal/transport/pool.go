@@ -185,28 +185,41 @@ func (p *Pool) Healthy() int {
 // takes the top two across protocols, hedging pairs the head with a
 // same-protocol understudy.
 func (p *Pool) Candidates(qname string) []*Upstream {
+	return p.CandidatesAppend(nil, qname)
+}
+
+// CandidatesAppend is Candidates writing into dst (reused from length
+// zero, grown as needed) so per-exchange callers can recycle one buffer
+// instead of allocating a fresh ordering per query. The returned slice
+// holds exactly the ordering Candidates would have returned.
+func (p *Pool) CandidatesAppend(dst []*Upstream, qname string) []*Upstream {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.clock.Now()
-	var healthy, benched []*Upstream
+	dst = dst[:0]
 	for _, u := range p.ups {
-		if u.downUntil.After(now) {
-			benched = append(benched, u)
-		} else {
-			healthy = append(healthy, u)
+		if !u.downUntil.After(now) {
+			dst = append(dst, u)
 		}
 	}
-	if len(healthy) > 0 {
-		pick := p.pick(healthy, qname)
-		ordered := make([]*Upstream, 0, len(p.ups))
-		ordered = append(ordered, healthy[pick])
-		ordered = append(ordered, healthy[:pick]...)
-		ordered = append(ordered, healthy[pick+1:]...)
-		healthy = ordered
+	healthy := len(dst)
+	for _, u := range p.ups {
+		if u.downUntil.After(now) {
+			dst = append(dst, u)
+		}
+	}
+	if healthy > 0 {
+		// Rotate the balancer's pick to the front in place, keeping the
+		// rest of the healthy ordering intact.
+		pick := p.pick(dst[:healthy], qname)
+		top := dst[pick]
+		copy(dst[1:pick+1], dst[:pick])
+		dst[0] = top
 	}
 	// Benched members that fail soonest-to-recover first.
+	benched := dst[healthy:]
 	sort.Slice(benched, func(i, j int) bool { return benched[i].downUntil.Before(benched[j].downUntil) })
-	return append(healthy, benched...)
+	return dst
 }
 
 // explorationN makes the RTT-driven balancers pick a uniformly random

@@ -213,14 +213,22 @@ func charge(d Driver, out *Outcome, dur time.Duration) {
 }
 
 // dialSpan opens a traced dial attempt at the given launch offset; mode
-// tags the attempt's role on the exchange timeline.
+// tags the attempt's role on the exchange timeline. Unsampled exchanges
+// (tr nil, the overwhelmingly common case) return early before the span
+// name and label slice are built, keeping the hot path allocation-free.
 func dialSpan(tr *obs.Trace, up *Upstream, offset time.Duration, mode string) int {
+	if tr == nil {
+		return -1
+	}
 	return tr.Enter("dial "+up.Name, offset, obs.L("proto", up.Proto.String()), obs.L("mode", mode))
 }
 
 // exitDialSpan closes a dial span with the attempt's virtual cost and
 // outcome.
 func exitDialSpan(tr *obs.Trace, idx int, at Attempt) {
+	if tr == nil {
+		return
+	}
 	outcome := "answer"
 	switch {
 	case at.Err != nil:

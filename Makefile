@@ -1,22 +1,25 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-micro bench-smoke trace-demo verify
+.PHONY: all build test race vet fmt bench bench-micro bench-smoke fuzz-smoke trace-demo verify
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomises test order every run, so inter-test state
+# dependencies can't hide behind source order.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-detector pass over the concurrency-heavy packages (the pipelined
 # campaign scheduler, the substrate it fans out over, the serving
 # layer's shared cache/pool/cooldown state, the telemetry registry
-# every worker increments, and the sharded dataset store the pipeline
-# commits into).
+# every worker increments, the sharded dataset store the pipeline
+# commits into, and the workload engine driving fleets inside the
+# pipelined day replicas).
 race:
-	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport ./internal/obs ./internal/dataset
+	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport ./internal/obs ./internal/dataset ./internal/workload
 
 # Tier-1 verify as the roadmap defines it.
 verify: build test
@@ -41,7 +44,7 @@ fmt:
 # compares equally-tagged runs.
 BENCH_FLEET = -frontends 4 -mix mixed -strategy race
 bench:
-	$(GO) run ./cmd/benchcampaign $(BENCH_FLEET) -hourly -baseline BENCH_campaign.json -maxregress 20 -out BENCH_campaign.json
+	$(GO) run ./cmd/benchcampaign $(BENCH_FLEET) -hourly -loadbench -baseline BENCH_campaign.json -maxregress 20 -out BENCH_campaign.json
 
 # CI-sized single-iteration bench smoke: verifies serial/pipelined store
 # equality (through the same mixed fleet + race strategy as the full
@@ -51,7 +54,16 @@ bench:
 # comparisons to warnings whenever GOMAXPROCS or the campaign shape
 # differs from the baseline's — which smoke's shrunken campaign does).
 bench-smoke:
-	$(GO) run ./cmd/benchcampaign -smoke $(BENCH_FLEET) -hourly -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
+	$(GO) run ./cmd/benchcampaign -smoke $(BENCH_FLEET) -hourly -loadbench -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
+
+# Short fuzz pass over the wire-format decoders, seeded with
+# workload-shaped queries and hand-mangled frames. Ten seconds per
+# target is a smoke test, not a campaign: it proves the targets build,
+# the corpus parses, and no quick-to-find panic has crept into Unpack
+# or the RFC 1035 TCP framing.
+fuzz-smoke:
+	$(GO) test ./internal/dnswire -fuzz FuzzUnpack -fuzztime 10s -run xxx
+	$(GO) test ./internal/dnswire -fuzz FuzzReadTCP -fuzztime 10s -run xxx
 
 # Traced-exchange demo: a mixed-protocol fleet under the race strategy
 # with every exchange traced, dumping the five slowest span trees —

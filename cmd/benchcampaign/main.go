@@ -10,7 +10,17 @@
 //	              [-frontends N] [-mix doh|dot|doq|mixed|doh=..,dot=..]
 //	              [-strategy serial|race|hedge]
 //	              [-hourly] [-hourworkers W] [-hourlydays D]
+//	              [-loadbench] [-loadclients N] [-loadevents N]
 //	              [-out FILE] [-smoke] [-baseline FILE] [-maxregress PCT]
+//
+// -loadbench appends a serving-path queries/sec section: the
+// internal/workload engine drives -loadclients simulated stubs (a
+// million by default, -smoke included — the population size is the
+// point) through a fleet until the -loadevents query budget is spent,
+// and records the wall-clock workload_qps. Unlike the speedup gates,
+// workload_qps is gated warn-only: absolute throughput is host-bound,
+// so a slower machine must not fail CI — the number is tracked, not
+// enforced.
 //
 // -hourly appends a second section timing the hourly ECH campaign — the
 // same days of hourly scans run with HourWorkers 1 and HourWorkers N —
@@ -46,6 +56,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // report is the BENCH_campaign.json layout.
@@ -84,6 +95,14 @@ type report struct {
 	HourlyPipelinedMS float64 `json:"hourly_pipelined_ms,omitempty"`
 	HourlySpeedup     float64 `json:"hourly_speedup,omitempty"`
 	HourlyStoresEqual bool    `json:"hourly_stores_equal,omitempty"`
+	// Workload* report the -loadbench section: the workload engine's
+	// serving-path throughput. WorkloadQPS is wall-clock queries/sec —
+	// host-bound, so its regression gate is warn-only.
+	WorkloadClients  int     `json:"workload_clients,omitempty"`
+	WorkloadQueries  uint64  `json:"workload_queries,omitempty"`
+	WorkloadStubHits uint64  `json:"workload_stub_hits,omitempty"`
+	WorkloadMS       float64 `json:"workload_ms,omitempty"`
+	WorkloadQPS      float64 `json:"workload_qps,omitempty"`
 	// Note flags reports whose speedup is not meaningful (single-core
 	// hosts: the workload is CPU-bound simulation, so pipelining cannot
 	// beat serial there).
@@ -101,6 +120,9 @@ func main() {
 	hourly := flag.Bool("hourly", false, "also benchmark the hourly ECH pipeline (HourWorkers 1 vs -hourworkers)")
 	hourWorkers := flag.Int("hourworkers", 8, "hour workers for the pipelined hourly run (with -hourly)")
 	hourlyDays := flag.Int("hourlydays", 3, "hourly ECH campaign length in days (with -hourly)")
+	loadBench := flag.Bool("loadbench", false, "also benchmark the workload engine's serving-path queries/sec")
+	loadClients := flag.Int("loadclients", 1_000_000, "workload bench: simulated clients (with -loadbench)")
+	loadEvents := flag.Int("loadevents", 2_000_000, "workload bench: query budget (with -loadbench)")
 	out := flag.String("out", "BENCH_campaign.json", "report path ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny campaign, no timing claims")
 	baseline := flag.String("baseline", "", "committed report to gate the speedup against (empty disables)")
@@ -119,6 +141,10 @@ func main() {
 	}
 	if *smoke {
 		*size, *days, *hourlyDays = 150, 5, 1
+		// The smoke budget shrinks the query budget, never the population:
+		// standing up 10^6 clients (RNG streams, stub caches, the initial
+		// arrival heap) is itself the scalability claim under test.
+		*loadEvents = 500_000
 	}
 	// The window deliberately covers the NS-scan and connectivity-probe
 	// phases so every per-day stage is exercised.
@@ -206,6 +232,47 @@ func main() {
 		hourlyEqual = bytes.Equal(sStore, pStore)
 	}
 
+	// -loadbench section: the workload engine's serving-path throughput.
+	// One run (no serial/pipelined pair — the engine is single-goroutine
+	// by design), through a fleet of the benchmark's shape.
+	var loadDur time.Duration
+	var loadSum workload.Summary
+	if *loadBench {
+		fe := *frontends
+		if fe == 0 {
+			fe = 4
+		}
+		c, err := core.NewCampaign(core.CampaignConfig{
+			Size: *size, Seed: *seed,
+			DoHFrontends: fe, TransportMix: mix, TransportStrategy: strategy,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		day := start.Add(12 * time.Hour)
+		c.World.Clock.Set(day)
+		eng, err := workload.New(workload.Config{
+			Clients: *loadClients, Seed: *seed,
+			Domains:  c.World.Tranco.ListFor(start),
+			Duration: 24 * time.Hour, MaxQueries: *loadEvents,
+			Mix: mix,
+		}, c.World.Clock, c.Fleet.Client)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchcampaign -loadbench: %d clients, %d-query budget, %d frontends\n",
+			*loadClients, *loadEvents, fe)
+		t0 := time.Now()
+		loadSum = eng.Run()
+		loadDur = time.Since(t0)
+		fmt.Fprintf(os.Stderr, "  workload:  %v for %d queries (%.0f q/s, %.1f%% stub-cache hits)\n",
+			loadDur.Round(time.Millisecond), loadSum.Queries,
+			float64(loadSum.Queries)/loadDur.Seconds(),
+			100*float64(loadSum.StubHits)/float64(max(loadSum.Queries, 1)))
+	}
+
 	r := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -247,6 +314,13 @@ func main() {
 		r.HourlyPipelinedMS = float64(hourlyPipe.Microseconds()) / 1000
 		r.HourlySpeedup = float64(hourlySerial) / float64(hourlyPipe)
 		r.HourlyStoresEqual = hourlyEqual
+	}
+	if *loadBench {
+		r.WorkloadClients = *loadClients
+		r.WorkloadQueries = loadSum.Queries
+		r.WorkloadStubHits = loadSum.StubHits
+		r.WorkloadMS = float64(loadDur.Microseconds()) / 1000
+		r.WorkloadQPS = float64(loadSum.Queries) / loadDur.Seconds()
 	}
 	if r.GoMaxProcs <= 1 {
 		r.Note = "single-core host: speedup is meaningful only with go_max_procs > 1; stores_equal is the signal here"
@@ -313,6 +387,7 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 			base.Frontends, base.TransportMix, base.Strategy,
 			r.GoMaxProcs, r.Size, r.Days, r.DayWorkers, r.Seed,
 			r.Frontends, r.TransportMix, r.Strategy, base.Speedup, r.Speedup)
+		warnWorkloadQPS(&base, r, maxRegress)
 		return true
 	}
 	if r.GoMaxProcs <= 1 {
@@ -321,6 +396,7 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 		fmt.Fprintf(os.Stderr,
 			"  gate: single-core host — speedup is noise (baseline %.2fx, now %.2fx), warning only\n",
 			base.Speedup, r.Speedup)
+		warnWorkloadQPS(&base, r, maxRegress)
 		return true
 	}
 	if regress > maxRegress {
@@ -351,7 +427,36 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 		fmt.Fprintf(os.Stderr, "  gate: OK — hourly speedup %.2fx vs baseline %.2fx (%+.1f%%, limit -%.0f%%)\n",
 			r.HourlySpeedup, base.HourlySpeedup, -hregress, maxRegress)
 	}
+	warnWorkloadQPS(&base, r, maxRegress)
 	return true
+}
+
+// warnWorkloadQPS compares the workload engine's serving-path qps
+// against the baseline, warn-only by design: wall-clock queries/sec is
+// host-bound (CPU generation, thermal state), so a slower machine must
+// never fail the gate — the trend is tracked in the report, and a
+// same-host regression prints loudly here. It runs on every gated
+// invocation, campaign shape notwithstanding: the population size is
+// the only shape the qps number depends on, and it is checked here.
+func warnWorkloadQPS(base, r *report, maxRegress float64) {
+	if base.WorkloadQPS <= 0 || r.WorkloadQPS <= 0 {
+		return
+	}
+	if base.WorkloadClients != r.WorkloadClients {
+		fmt.Fprintf(os.Stderr,
+			"  gate: workload shape differs (baseline %d clients vs %d), qps not comparable\n",
+			base.WorkloadClients, r.WorkloadClients)
+		return
+	}
+	wregress := (base.WorkloadQPS - r.WorkloadQPS) / base.WorkloadQPS * 100
+	if wregress > maxRegress {
+		fmt.Fprintf(os.Stderr,
+			"  gate: WARN — workload qps %.0f regressed %.1f%% from baseline %.0f (host-bound metric, warning only)\n",
+			r.WorkloadQPS, wregress, base.WorkloadQPS)
+	} else {
+		fmt.Fprintf(os.Stderr, "  gate: OK — workload qps %.0f vs baseline %.0f (%+.1f%%, warn-only)\n",
+			r.WorkloadQPS, base.WorkloadQPS, -wregress)
+	}
 }
 
 // writeReport emits the JSON report to path ('-' for stdout).

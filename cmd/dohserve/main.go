@@ -15,6 +15,10 @@
 //	         [-kill N] [-post] [-trace N]
 //	         [-stalewindow D] [-refreshahead F] [-cooldown D]
 //	         [-chaos] [-epochs N] [-epochlen D] [-flap P]
+//	         [-load] [-clients N] [-loadmodel closed|open] [-rate F] [-think D]
+//	         [-zipf S] [-loaddur D] [-loadqueries N] [-stubttl D]
+//	         [-loadinterval D] [-diurnal A] [-peak D]
+//	         [-crowdmult F] [-crowdat D] [-crowddur D] [-crowddomain NAME] [-crowdfrac F]
 //
 // -proto selects the fleet's envelope mix: a single protocol, the
 // shorthand "mixed" (2:1:1 DoH:DoT:DoQ), or explicit weights like
@@ -45,6 +49,18 @@
 // of per-struct counters; chaos mode diffs snapshots against a
 // post-warmup baseline so every number is drill-only.
 //
+// -load replaces the uniform worker drill with the internal/workload
+// engine: -clients simulated stubs — each with its own RNG stream, stub
+// cache, and protocol preference dealt from -proto — draw Zipf(-zipf)
+// popular domains from the working set and resolve through the fleet on
+// the virtual clock, under a closed-loop think-time or open-loop
+// Poisson arrival model. -diurnal/-peak shape the rate over the day and
+// -crowdmult/-crowdat/-crowddur/-crowddomain/-crowdfrac schedule a
+// flash crowd (optionally pinned to one domain — the thundering-herd
+// case). The run is single-goroutine and deterministic for a seed; the
+// report adds the engine's own counters and per-interval qps/hit-rate
+// curve on virtual time. -kill and -workers are ignored under -load.
+//
 // -chaos switches to the RFC 8767 resilience drill: instead of killing
 // frontend addresses, the *recursors behind* the frontends flap up and
 // down at random on the virtual clock. Each epoch advances virtual time,
@@ -72,6 +88,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -98,6 +115,23 @@ func main() {
 	epochs := flag.Int("epochs", 30, "chaos epochs")
 	epochLen := flag.Duration("epochlen", 90*time.Second, "virtual time advanced per chaos epoch")
 	flap := flag.Float64("flap", 0.35, "per-epoch probability that a recursor is down")
+	load := flag.Bool("load", false, "drive the fleet with the simulated-client workload engine instead of the uniform drill")
+	clients := flag.Int("clients", 100_000, "workload: simulated stub clients")
+	loadModel := flag.String("loadmodel", "closed", "workload: arrival model (closed, open)")
+	openRate := flag.Float64("rate", 0.1, "workload: open-loop per-client arrival rate (queries/sec)")
+	think := flag.Duration("think", 10*time.Second, "workload: closed-loop mean think time")
+	zipfS := flag.Float64("zipf", 1.0, "workload: Zipf popularity exponent")
+	loadDur := flag.Duration("loaddur", 10*time.Minute, "workload: simulated horizon")
+	loadQueries := flag.Int("loadqueries", 0, "workload: stop after N queries (0: run the full -loaddur)")
+	stubTTL := flag.Duration("stubttl", 60*time.Second, "workload: per-client stub-cache TTL")
+	loadInterval := flag.Duration("loadinterval", time.Minute, "workload: telemetry sample interval (virtual time)")
+	diurnal := flag.Float64("diurnal", 0, "workload: diurnal rate amplitude in [0,0.95] (0 disables)")
+	peak := flag.Duration("peak", 20*time.Hour, "workload: diurnal peak time-of-day")
+	crowdMult := flag.Float64("crowdmult", 0, "workload: flash-crowd rate multiplier (0: no crowd)")
+	crowdAt := flag.Duration("crowdat", 2*time.Minute, "workload: flash-crowd start offset")
+	crowdDur := flag.Duration("crowddur", time.Minute, "workload: flash-crowd duration")
+	crowdDomain := flag.String("crowddomain", "", "workload: pin crowd draws to this domain (must be in the working set)")
+	crowdFrac := flag.Float64("crowdfrac", 0.8, "workload: fraction of crowd draws pinned to -crowddomain")
 	flag.Parse()
 
 	strategy, err := transport.ParseStrategy(*strategyName)
@@ -192,6 +226,32 @@ func main() {
 		return
 	}
 
+	if *load {
+		model, err := workload.ParseModel(*loadModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wcfg := workload.Config{
+			Clients: *clients, Model: model, Seed: *seed,
+			Domains: list, ZipfS: *zipfS,
+			OpenRate: *openRate, Think: *think,
+			Duration: *loadDur, MaxQueries: *loadQueries,
+			StubTTL: *stubTTL, Mix: mix,
+			Diurnal:  workload.Diurnal{Amplitude: *diurnal, Peak: *peak},
+			Interval: *loadInterval,
+		}
+		if *crowdMult > 0 {
+			wcfg.Crowds = []workload.FlashCrowd{{
+				At: *crowdAt, Duration: *crowdDur, Multiplier: *crowdMult,
+				Domain: *crowdDomain, Fraction: *crowdFrac,
+			}}
+		}
+		runLoad(camp, wcfg)
+		dumpTraces(client, *traceN)
+		return
+	}
+
 	var ok, failed atomic.Uint64
 	var killOnce sync.Once
 	jobs := make(chan string)
@@ -232,6 +292,52 @@ func main() {
 		float64(*queries)/elapsed.Seconds(), ok.Load(), failed.Load())
 	report(camp, camp.Fleet.Metrics.Snapshot(), "totals incl. warmup")
 	dumpTraces(client, *traceN)
+}
+
+// runLoad drives the workload engine against the campaign fleet on the
+// world clock and reports the population-level view: wall-clock
+// throughput (the serving-path events/sec the benchmark gates), the
+// stub-cache absorption rate, and the per-interval virtual-time curve.
+func runLoad(camp *core.Campaign, wcfg workload.Config) {
+	eng, err := workload.New(wcfg, camp.World.Clock, camp.Fleet.Client)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("\nload: %d clients (%s loop), zipf %.2f over %d domains, stub TTL %v, horizon %v\n",
+		wcfg.Clients, wcfg.Model, wcfg.ZipfS, len(wcfg.Domains), wcfg.StubTTL, wcfg.Duration)
+	for _, fc := range wcfg.Crowds {
+		pin := "no pinned domain"
+		if fc.Domain != "" {
+			pin = fmt.Sprintf("%.0f%% pinned to %s", 100*fc.Fraction, fc.Domain)
+		}
+		fmt.Printf("load: flash crowd ×%.1f at +%v for %v (%s)\n", fc.Multiplier, fc.At, fc.Duration, pin)
+	}
+	start := time.Now()
+	sum := eng.Run()
+	elapsed := time.Since(start)
+
+	qps := float64(sum.Queries) / elapsed.Seconds()
+	fmt.Printf("\n%d queries from %d clients in %s wall (%.0f q/s serving path): %d stub-cache hits (%.1f%%), %d fleet exchanges, %d stale, %d errors\n",
+		sum.Queries, sum.Clients, elapsed.Round(time.Millisecond), qps,
+		sum.StubHits, 100*float64(sum.StubHits)/float64(max(sum.Queries, 1)),
+		sum.FleetExchanges, sum.StaleServed, sum.Errors)
+	fmt.Printf("virtual span %v, event-stream digest %016x\n", sum.Virtual.Round(time.Second), sum.Digest)
+
+	if points := eng.Points(); len(points) > 1 {
+		fmt.Println("\nload curve (per virtual interval):")
+		fmt.Println("  at            qps    stub-hit%  stale%")
+		for _, p := range points {
+			if p.Label != "tick" {
+				continue
+			}
+			fmt.Printf("  %s  %8.1f  %8.1f  %6.2f\n", p.At.Format("15:04:05"),
+				p.Snap.Value("workload_qps"),
+				100*p.Snap.Value("workload_stub_hit_rate"),
+				100*p.Snap.Value("workload_stale_rate"))
+		}
+	}
+	report(camp, camp.Fleet.Metrics.Snapshot(), "totals incl. load")
 }
 
 // dumpTraces prints the n slowest traced exchanges as span trees.

@@ -41,6 +41,7 @@ import (
 	"repro/internal/scanner"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // CampaignConfig controls a measurement campaign.
@@ -110,6 +111,17 @@ type CampaignConfig struct {
 	// failure, serving stale without re-trying it for the window; zero
 	// disables benching.
 	DoHFailureCooldown time.Duration
+	// Workload, when non-nil, runs the simulated-client workload engine
+	// against each scan day's fleet after the day's measurement stages:
+	// Workload.Clients stubs draw Zipf-popular domains from that day's
+	// Tranco list (unless Workload.Domains overrides it) and resolve
+	// through the day's fleet replica on the day clock. The engine is a
+	// pure function of (seed, clock, config), so workload-enabled
+	// pipelined campaigns stay byte-identical at any DayWorkers count.
+	// Requires DoHFrontends > 0. Per day, a dataset.WorkloadSnapshot and
+	// a "workload" telemetry series are committed alongside the scan
+	// data.
+	Workload *workload.Config
 	// TelemetryInterval enables campaign telemetry series when positive
 	// and a fleet is configured: each scan day's fleet registry is
 	// sampled into a dataset.TelemetrySeries (stable metrics only, so
@@ -165,6 +177,9 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		return nil, fmt.Errorf("building world: %w", err)
 	}
 	sc := scanner.New(w.Net, w.GoogleAddr, w.CFResolverAddr, w.Whois)
+	if cfg.Workload != nil && cfg.DoHFrontends <= 0 {
+		return nil, fmt.Errorf("core: Workload requires DoHFrontends > 0 (the population needs a fleet to resolve through)")
+	}
 	c := &Campaign{Cfg: cfg, World: w, Scanner: sc, Store: dataset.NewStore()}
 	if cfg.DoHFrontends > 0 {
 		c.buildFleet(cfg.DoHFrontends, cfg.TransportMix)
@@ -240,6 +255,9 @@ var connectivityProbeStart = time.Date(2024, 1, 24, 0, 0, 0, 0, time.UTC)
 type scanContext struct {
 	scanner *scanner.Scanner
 	prober  scanner.Prober
+	// clock is the context's virtual clock (the world clock for ScanDay's
+	// shared context) — the clock the workload engine advances.
+	clock *simnet.Clock
 	// fleet is the serving layer the day's queries ride (a per-day
 	// replica, or the campaign fleet for ScanDay); servingBase holds its
 	// counters at context creation so the day records deltas, and
@@ -291,7 +309,7 @@ func (c *Campaign) newScanContext(at time.Time, seed int64, withSampler bool) *s
 	net.OverrideDNS(c.World.GoogleAddr, g)
 	net.OverrideDNS(c.World.CFResolverAddr, cf)
 
-	dc := &scanContext{prober: dayProber{w: c.World, clock: clock}}
+	dc := &scanContext{prober: dayProber{w: c.World, clock: clock}, clock: clock}
 	var t scanner.Transport
 	if c.Fleet != nil {
 		fl := transport.NewFleet(net, clock, transport.FleetConfig{
@@ -360,14 +378,16 @@ func (c *Campaign) servingSnapshot(dc *scanContext, day time.Time) *dataset.Serv
 // dayResult is one day's collected data, buffered until its in-order
 // commit.
 type dayResult struct {
-	day       time.Time
-	list      []string
-	apexSnap  *dataset.Snapshot
-	wwwSnap   *dataset.Snapshot
-	nsSnap    *dataset.NSSnapshot
-	serving   *dataset.ServingSnapshot
-	telemetry *dataset.TelemetrySeries
-	probes    []dataset.ProbeResult
+	day            time.Time
+	list           []string
+	apexSnap       *dataset.Snapshot
+	wwwSnap        *dataset.Snapshot
+	nsSnap         *dataset.NSSnapshot
+	serving        *dataset.ServingSnapshot
+	workload       *dataset.WorkloadSnapshot
+	workloadSeries *dataset.TelemetrySeries
+	telemetry      *dataset.TelemetrySeries
+	probes         []dataset.ProbeResult
 }
 
 // runDay performs one day's full scan sequence inside the given context.
@@ -391,8 +411,55 @@ func (c *Campaign) runDay(dc *scanContext, day time.Time) *dayResult {
 		dc.sampler.Force("probes")
 	}
 	res.serving = c.servingSnapshot(dc, day)
+	if c.Cfg.Workload != nil && dc.fleet != nil {
+		res.workload, res.workloadSeries = c.runWorkload(dc, day, list)
+		dc.sampler.Force("workload")
+	}
 	res.telemetry = telemetrySeries("daily", day, c.Cfg.TelemetryInterval, dc.sampler.Points())
 	return res
+}
+
+// runWorkload drives the configured simulated-client population against
+// the day's fleet on the day context's clock. It runs after the scan
+// stages (and after the day's serving snapshot is taken, so scan-drill
+// serving numbers stay comparable across campaigns with and without a
+// workload): advancing a day replica's frozen clock is safe once no
+// more scans will read it, and the engine advances it deterministically
+// — the same Set sequence every run — so byte-identity across worker
+// counts is preserved. The engine seed folds the campaign seed with the
+// day, like the per-day fleet seeds, so each day's population draws a
+// fresh deterministic stream.
+func (c *Campaign) runWorkload(dc *scanContext, day time.Time, list []string) (*dataset.WorkloadSnapshot, *dataset.TelemetrySeries) {
+	wcfg := *c.Cfg.Workload
+	if len(wcfg.Domains) == 0 {
+		wcfg.Domains = list
+	}
+	if wcfg.Seed == 0 {
+		wcfg.Seed = c.Cfg.Seed ^ day.Unix() ^ 0x776f726b6c6f6164 // "workload"
+	}
+	if wcfg.Interval == 0 {
+		wcfg.Interval = c.Cfg.TelemetryInterval
+	}
+	eng, err := workload.New(wcfg, dc.clock, dc.fleet.Client)
+	if err != nil {
+		// Config errors are campaign-config mistakes; surface loudly
+		// rather than silently skipping the stage.
+		panic(fmt.Sprintf("core: workload config: %v", err))
+	}
+	sum := eng.Run()
+	snap := &dataset.WorkloadSnapshot{
+		Date:           day,
+		Clients:        sum.Clients,
+		Model:          sum.Model.String(),
+		Queries:        sum.Queries,
+		StubHits:       sum.StubHits,
+		FleetExchanges: sum.FleetExchanges,
+		StaleServed:    sum.StaleServed,
+		Errors:         sum.Errors,
+		VirtualSec:     int64(sum.Virtual / time.Second),
+		Digest:         fmt.Sprintf("%016x", sum.Digest),
+	}
+	return snap, telemetrySeries("workload", day, wcfg.Interval, eng.Points())
 }
 
 // telemetrySeries flattens sampler points into the dataset's series form;
@@ -432,6 +499,12 @@ func (c *Campaign) commitDay(res *dayResult) {
 	}
 	if res.serving != nil {
 		c.Store.AddServing(res.serving)
+	}
+	if res.workload != nil {
+		c.Store.AddWorkload(res.workload)
+	}
+	if res.workloadSeries != nil {
+		c.Store.AddTelemetry(res.workloadSeries)
 	}
 	if res.telemetry != nil {
 		c.Store.AddTelemetry(res.telemetry)
@@ -482,7 +555,7 @@ func (c *Campaign) RunDaily() error {
 func (c *Campaign) ScanDay(day time.Time) error {
 	// Scans run mid-day so date-boundary schedules behave sharply.
 	c.World.Clock.Set(day.Add(12 * time.Hour))
-	dc := &scanContext{scanner: c.Scanner, prober: c.World, fleet: c.Fleet}
+	dc := &scanContext{scanner: c.Scanner, prober: c.World, fleet: c.Fleet, clock: c.World.Clock}
 	if c.Fleet != nil {
 		// The campaign fleet's counters are cumulative across calls;
 		// record this day as a delta.

@@ -6,8 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 func augCampaign(t *testing.T) *Campaign {
@@ -244,7 +246,7 @@ func TestPipelinedStrategiesMatchSerial(t *testing.T) {
 			cfg := CampaignConfig{
 				Size: 400, Seed: 31,
 				Start:             time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
-				End:               time.Date(2024, 2, 8, 0, 0, 0, 0, time.UTC),
+				End:               time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC),
 				StepDays:          7,
 				DoHFrontends:      4,
 				TransportMix:      tc.mix,
@@ -574,4 +576,88 @@ func TestPartitionByDayBoundaries(t *testing.T) {
 	if l := labels(day0.AddDate(0, 0, 2)); len(l) != 1 || l[0] != "h48" {
 		t.Errorf("day 2 points = %v", l)
 	}
+}
+
+// TestWorkloadPipelinedMatchesSerial extends the pipelining equivalence
+// to the workload engine: a campaign that drives a simulated stub
+// population through each day's fleet must produce byte-identical
+// stores — workload snapshots, digests, and telemetry series included —
+// for any day-worker count. The engine runs single-goroutine inside
+// each day's frozen-clock replica, so its (seed, clock, config) purity
+// carries straight through the day pipeline.
+func TestWorkloadPipelinedMatchesSerial(t *testing.T) {
+	cfg := CampaignConfig{
+		Size: 500, Seed: 29,
+		Start:             time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
+		End:               time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC),
+		StepDays:          7,
+		DoHFrontends:      4,
+		TransportMix:      transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
+		TransportStrategy: transport.StrategyRace,
+		TelemetryInterval: time.Hour,
+		Workload: &workload.Config{
+			Clients: 3_000, Model: workload.ModelOpen,
+			OpenRate: 0.01, Duration: time.Hour,
+			StubTTL: 30 * time.Second,
+			Mix:     transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
+			Crowds: []workload.FlashCrowd{{
+				At: 30 * time.Minute, Duration: 10 * time.Minute, Multiplier: 8,
+			}},
+		},
+	}
+	run := func(workers int) *Campaign {
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cfg.DayWorkers = workers
+		if err := c.RunDaily(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := run(1)
+	pipelined := run(8)
+
+	days := serial.Store.WorkloadDays()
+	if len(days) != 2 {
+		t.Fatalf("workload snapshots for %d days, want 2", len(days))
+	}
+	for _, day := range days {
+		snap, ok := serial.Store.WorkloadFor(day)
+		if !ok {
+			t.Fatalf("no workload snapshot for %s", day.Format("2006-01-02"))
+		}
+		if snap.Queries == 0 || snap.Digest == "" {
+			t.Fatalf("%s: degenerate workload snapshot: %+v", day.Format("2006-01-02"), snap)
+		}
+		if snap.Clients != 3_000 {
+			t.Fatalf("%s: snapshot records %d clients, want 3000", day.Format("2006-01-02"), snap.Clients)
+		}
+		series, ok := serial.Store.TelemetryFor("workload", day)
+		if !ok {
+			t.Fatalf("no workload telemetry series for %s", day.Format("2006-01-02"))
+		}
+		if len(series.Points) == 0 {
+			t.Fatalf("%s: empty workload telemetry series", day.Format("2006-01-02"))
+		}
+	}
+	// Per-day seeds differ, so per-day event streams must too.
+	if a, b := mustWorkload(t, serial, days[0]), mustWorkload(t, serial, days[1]); a.Digest == b.Digest {
+		t.Fatalf("days %s and %s share workload digest %s", days[0].Format("01-02"), days[1].Format("01-02"), a.Digest)
+	}
+
+	a, b := storeJSON(t, serial), storeJSON(t, pipelined)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("workload-enabled pipelined store diverges from serial: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+func mustWorkload(t *testing.T, c *Campaign, day time.Time) *dataset.WorkloadSnapshot {
+	t.Helper()
+	snap, ok := c.Store.WorkloadFor(day)
+	if !ok {
+		t.Fatalf("no workload snapshot for %s", day.Format("2006-01-02"))
+	}
+	return snap
 }

@@ -136,6 +136,35 @@ type ServingSnapshot struct {
 	UpstreamFailures uint64 `json:"upstream_failures"`
 }
 
+// WorkloadSnapshot records one scan day's simulated-client workload
+// totals — the internal/workload engine's Summary in dataset form.
+// Everything here is a deterministic function of (campaign seed, day,
+// workload config): the engine is single-goroutine and its stub caches
+// use configured TTLs, so pipelined and serial campaign stores stay
+// byte-identical (the Digest field is the engine's event-stream
+// fingerprint pinning exactly that).
+type WorkloadSnapshot struct {
+	Date    time.Time `json:"date"`
+	Clients int       `json:"clients"`
+	// Model is "closed" (think-time loop) or "open" (Poisson arrivals).
+	Model string `json:"model"`
+	// Queries counts client arrivals; StubHits the ones answered from
+	// the client's own stub cache; FleetExchanges the remainder that
+	// reached the serving layer; Errors the exchanges that failed.
+	Queries        uint64 `json:"queries"`
+	StubHits       uint64 `json:"stub_hits"`
+	FleetExchanges uint64 `json:"fleet_exchanges"`
+	// StaleServed counts fleet answers served stale (RFC 8767) to the
+	// simulated population.
+	StaleServed uint64 `json:"stale_served"`
+	Errors      uint64 `json:"errors"`
+	// VirtualSec is the simulated span the population covered.
+	VirtualSec int64 `json:"virtual_sec"`
+	// Digest is the engine's event-stream fingerprint in hex (a string:
+	// uint64 does not survive JSON number precision).
+	Digest string `json:"digest"`
+}
+
 // TelemetryValue is one flattened metric reading inside a telemetry
 // sample: the obs metric key (name plus sorted labels) and its value.
 type TelemetryValue struct {
@@ -203,10 +232,11 @@ type seqRec[T any] struct {
 type storeShard struct {
 	mu sync.RWMutex
 
-	apex    map[int64]*Snapshot // keyed by unix day
-	www     map[int64]*Snapshot
-	ns      map[int64]*NSSnapshot
-	serving map[int64]*ServingSnapshot
+	apex     map[int64]*Snapshot // keyed by unix day
+	www      map[int64]*Snapshot
+	ns       map[int64]*NSSnapshot
+	serving  map[int64]*ServingSnapshot
+	workload map[int64]*WorkloadSnapshot
 	// telemetry is keyed by scope + "|" + unix day, so daily series and
 	// hourly-ech series over the same dates never collide.
 	telemetry map[string]*TelemetrySeries
@@ -225,6 +255,7 @@ func newStoreShard() *storeShard {
 		www:         map[int64]*Snapshot{},
 		ns:          map[int64]*NSSnapshot{},
 		serving:     map[int64]*ServingSnapshot{},
+		workload:    map[int64]*WorkloadSnapshot{},
 		telemetry:   map[string]*TelemetrySeries{},
 		trancoLists: map[int64][]string{},
 	}
@@ -364,6 +395,32 @@ func (s *Store) ServingFor(date time.Time) (*ServingSnapshot, bool) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	snap, ok := sh.serving[key]
+	return snap, ok
+}
+
+// AddWorkload stores a daily workload-engine snapshot.
+func (s *Store) AddWorkload(snap *WorkloadSnapshot) {
+	key := dayKey(snap.Date)
+	sh := s.shardForDay(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.workload[key] = snap
+}
+
+// WorkloadDays returns the sorted dates with workload snapshots.
+func (s *Store) WorkloadDays() []time.Time {
+	return keysToDays(s.collectKeys(func(sh *storeShard) []int64 {
+		return mapKeys(sh.workload)
+	}))
+}
+
+// WorkloadFor returns the workload snapshot for a date.
+func (s *Store) WorkloadFor(date time.Time) (*WorkloadSnapshot, bool) {
+	key := dayKey(date)
+	sh := s.shardForDay(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	snap, ok := sh.workload[key]
 	return snap, ok
 }
 
@@ -507,14 +564,15 @@ func (s *Store) Validation() []ValidationResult {
 
 // export is the JSON layout for WriteJSON.
 type export struct {
-	Apex       []*Snapshot        `json:"apex"`
-	WWW        []*Snapshot        `json:"www"`
-	NS         []*NSSnapshot      `json:"ns"`
-	Serving    []*ServingSnapshot `json:"serving,omitempty"`
-	Telemetry  []*TelemetrySeries `json:"telemetry,omitempty"`
-	ECH        []ECHObservation   `json:"ech"`
-	Probes     []ProbeResult      `json:"probes"`
-	Validation []ValidationResult `json:"validation"`
+	Apex       []*Snapshot         `json:"apex"`
+	WWW        []*Snapshot         `json:"www"`
+	NS         []*NSSnapshot       `json:"ns"`
+	Serving    []*ServingSnapshot  `json:"serving,omitempty"`
+	Workload   []*WorkloadSnapshot `json:"workload,omitempty"`
+	Telemetry  []*TelemetrySeries  `json:"telemetry,omitempty"`
+	ECH        []ECHObservation    `json:"ech"`
+	Probes     []ProbeResult       `json:"probes"`
+	Validation []ValidationResult  `json:"validation"`
 }
 
 // WriteJSON serialises the whole store. The export is rendered in sorted
@@ -540,6 +598,12 @@ func (s *Store) WriteJSON(w io.Writer) error {
 		sh := s.shardForDay(day)
 		sh.mu.RLock()
 		e.Serving = append(e.Serving, sh.serving[day])
+		sh.mu.RUnlock()
+	}
+	for _, day := range s.collectKeys(func(sh *storeShard) []int64 { return mapKeys(sh.workload) }) {
+		sh := s.shardForDay(day)
+		sh.mu.RLock()
+		e.Workload = append(e.Workload, sh.workload[day])
 		sh.mu.RUnlock()
 	}
 	e.Telemetry = s.TelemetryAll()

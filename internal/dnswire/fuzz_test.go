@@ -1,0 +1,148 @@
+package dnswire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeeds builds the seed corpus both fuzz targets share: packed
+// workload-shaped queries (the HTTPS questions the simulated stub
+// population issues), their answers, and hand-mangled variants —
+// truncated QNAMEs, label lengths pointing past the buffer, and
+// compression-pointer edge shapes.
+func fuzzSeeds(t testing.TB) [][]byte {
+	t.Helper()
+	var seeds [][]byte
+	add := func(m *Message) {
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatalf("seed pack: %v", err)
+		}
+		seeds = append(seeds, wire)
+	}
+	// Workload-shaped queries: the Zipf head of a Tranco-style universe.
+	for i, name := range []string{"site0000.example", "crowd.test", "a.very.deep.subdomain.of.site0001.example"} {
+		add(NewQuery(uint16(i+1), name, TypeHTTPS, false))
+		add(NewQuery(uint16(i+100), name, TypeA, true))
+	}
+	// An answered message with an HTTPS record, the serving path's shape.
+	resp := NewQuery(7, "site0002.example", TypeHTTPS, false).Reply()
+	resp.RecursionAvailable = true
+	resp.Answer = append(resp.Answer, RR{
+		Name: "site0002.example.", Type: TypeHTTPS, Class: ClassINET, TTL: 300,
+		Data: &SVCBData{Priority: 1, Target: "."},
+	})
+	add(resp)
+
+	base, err := NewQuery(9, "site0003.example", TypeHTTPS, false).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated QNAME: cut mid-label.
+	seeds = append(seeds, base[:len(base)-7])
+	// Label length running past the end of the buffer.
+	overrun := bytes.Clone(base)
+	overrun[12] = 63
+	seeds = append(seeds, overrun)
+	// A bare header, and a header lying about its question count.
+	seeds = append(seeds, base[:12])
+	lying := bytes.Clone(base)
+	binary.BigEndian.PutUint16(lying[4:6], 0xffff)
+	seeds = append(seeds, lying)
+	// Degenerate tiny inputs.
+	seeds = append(seeds, []byte{}, []byte{0}, bytes.Repeat([]byte{0xc0}, 16))
+	return seeds
+}
+
+// FuzzUnpack asserts Unpack never panics and that anything it accepts
+// survives a Pack → Unpack round trip of the header and question
+// section — the invariant the serving path relies on when it patches
+// IDs and question names into reused messages.
+func FuzzUnpack(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			// Unpack may surface messages Pack cannot re-encode (e.g.
+			// unknown RR shapes); that asymmetry is fine as long as
+			// nothing panicked.
+			return
+		}
+		m2, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("repack of accepted message failed to unpack: %v", err)
+		}
+		if m2.ID != m.ID || len(m2.Question) != len(m.Question) {
+			t.Fatalf("round trip drifted: ID %d→%d, questions %d→%d",
+				m.ID, m2.ID, len(m.Question), len(m2.Question))
+		}
+		for i := range m.Question {
+			if m2.Question[i].Name != m.Question[i].Name || m2.Question[i].Type != m.Question[i].Type {
+				t.Fatalf("question %d drifted: %+v → %+v", i, m.Question[i], m2.Question[i])
+			}
+		}
+	})
+}
+
+// FuzzReadTCP drives the RFC 1035 §4.2.2 two-byte length framing with
+// arbitrary streams: malformed prefixes, short bodies, and trailing
+// garbage must come back as errors, never panics or over-reads.
+func FuzzReadTCP(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		framed := make([]byte, 2+len(s))
+		binary.BigEndian.PutUint16(framed, uint16(len(s)))
+		copy(framed[2:], s)
+		f.Add(framed)
+		// Length prefix longer than the body.
+		lying := bytes.Clone(framed)
+		binary.BigEndian.PutUint16(lying, uint16(len(s))+40)
+		f.Add(lying)
+		// Length prefix shorter than the body: trailing garbage.
+		if len(s) > 4 {
+			short := bytes.Clone(framed)
+			binary.BigEndian.PutUint16(short, uint16(len(s))-4)
+			f.Add(short)
+		}
+	}
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		m, err := ReadTCP(r)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("ReadTCP returned nil message with nil error")
+		}
+		// A parsed frame must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteTCP(&buf, m); err != nil {
+			return
+		}
+		if _, err := ReadTCP(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("rewritten frame failed to read back: %v", err)
+		}
+	})
+}
+
+// TestFuzzSeedsParse keeps the well-formed half of the corpus honest:
+// the packed query seeds must stay parseable as the wire format
+// evolves, so the fuzzers always start from live coverage.
+func TestFuzzSeedsParse(t *testing.T) {
+	parsed := 0
+	for _, s := range fuzzSeeds(t) {
+		if m, err := Unpack(s); err == nil && len(m.Question) == 1 {
+			parsed++
+		}
+	}
+	if parsed < 7 {
+		t.Fatalf("only %d seeds parse cleanly, want ≥ 7 (queries + answer)", parsed)
+	}
+}

@@ -153,6 +153,19 @@ func (c *Client) strategy() Strategy {
 // quantile windows; protocol dispatch happens per member, so a mixed
 // fleet races and fails over across protocols transparently.
 func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
+	return c.ExchangePreferring(q, ProtoAny)
+}
+
+// ExchangePreferring is Exchange with a per-call protocol preference:
+// pool members speaking pref are stable-partitioned to the front of the
+// candidate ordering (healthy before benched as always), so the
+// strategy attempts — and a race's head start — favor the caller's
+// protocol. ProtoAny is plain Exchange. This is the per-client
+// preference hook the workload engine's simulated stubs resolve
+// through; one client's preference is a per-call argument, not client
+// state, so a single Client serves a million differently-preferenced
+// stubs.
+func (c *Client) ExchangePreferring(q *dnswire.Message, pref Protocol) (*dnswire.Message, error) {
 	if len(q.Question) == 0 {
 		return nil, fmt.Errorf("%w: query without question", doh.ErrBadEnvelope)
 	}
@@ -161,7 +174,7 @@ func (c *Client) Exchange(q *dnswire.Message) (*dnswire.Message, error) {
 	if sc == nil {
 		sc = new(exchangeScratch)
 	}
-	candidates := c.Pool.CandidatesAppend(sc.cand[:0], name)
+	candidates := c.Pool.CandidatesPreferringAppend(sc.cand[:0], name, pref)
 	if len(candidates) == 0 {
 		sc.cand = candidates
 		c.scratch.Put(sc)

@@ -193,6 +193,18 @@ func (p *Pool) Candidates(qname string) []*Upstream {
 // instead of allocating a fresh ordering per query. The returned slice
 // holds exactly the ordering Candidates would have returned.
 func (p *Pool) CandidatesAppend(dst []*Upstream, qname string) []*Upstream {
+	return p.CandidatesPreferringAppend(dst, qname, ProtoAny)
+}
+
+// CandidatesPreferringAppend is CandidatesAppend with a per-caller
+// protocol preference: members speaking pref are stable-partitioned to
+// the front of the healthy segment (and of the benched tail), so a
+// client that prefers, say, DoQ fails over within its protocol before
+// crossing to another — the per-stub preference the workload engine
+// deals across its simulated population. ProtoAny keeps the pool's
+// ordering untouched; the preference never promotes a benched member
+// over a healthy one.
+func (p *Pool) CandidatesPreferringAppend(dst []*Upstream, qname string, pref Protocol) []*Upstream {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.clock.Now()
@@ -219,7 +231,28 @@ func (p *Pool) CandidatesAppend(dst []*Upstream, qname string) []*Upstream {
 	// Benched members that fail soonest-to-recover first.
 	benched := dst[healthy:]
 	sort.Slice(benched, func(i, j int) bool { return benched[i].downUntil.Before(benched[j].downUntil) })
+	if pref != ProtoAny {
+		preferProto(dst[:healthy], pref)
+		preferProto(benched, pref)
+	}
 	return dst
+}
+
+// preferProto stable-partitions seg so members speaking pref come
+// first, preserving relative order on both sides. Fleets are small, so
+// the shift-based partition beats allocating a scratch slice.
+func preferProto(seg []*Upstream, pref Protocol) {
+	k := 0
+	for i, u := range seg {
+		if u.Proto != pref {
+			continue
+		}
+		if i != k {
+			copy(seg[k+1:i+1], seg[k:i])
+			seg[k] = u
+		}
+		k++
+	}
 }
 
 // explorationN makes the RTT-driven balancers pick a uniformly random

@@ -25,6 +25,11 @@ const (
 	ProtoDoQ
 )
 
+// ProtoAny is the no-preference sentinel for preference-aware candidate
+// orderings (Pool.CandidatesPreferringAppend, Client.ExchangePreferring):
+// the pool's failover order is used as-is.
+const ProtoAny Protocol = -1
+
 // String names the protocol for flags, frontend names, and stats output.
 func (p Protocol) String() string {
 	switch p {

@@ -1,0 +1,43 @@
+// Package workload simulates a stub-resolver population — up to
+// millions of clients — driving an encrypted-DNS serving layer on the
+// virtual clock.
+//
+// # Client model
+//
+// Each client is ~40 bytes of flat-array state: a splitmix64 RNG stream
+// (8 bytes, a pure function of engine seed and client ID), a protocol
+// preference dealt by transport.Mix.Assign (the dnscrypt-proxy-style
+// per-stub preference), and a direct-mapped stub cache of StubSlots
+// (rank, expiry) pairs. Query domains are drawn from a Zipf(s)
+// popularity law over the ranked domain list via a Walker alias table —
+// O(1) per draw. Arrivals follow either a closed loop (exponential
+// think time after each answer) or an open loop (per-client Poisson
+// arrivals), with the instantaneous rate shaped by a diurnal cosine
+// curve and scheduled flash crowds.
+//
+// # Event heap
+//
+// Pending arrivals — exactly one per client — live in a sharded binary
+// min-heap keyed by (due time, client ID): shard = client & mask, pop =
+// scan of the ≤64 shard heads. Sharding keeps each heap small enough to
+// stay cache-resident and cuts sift depth, which is where the per-event
+// time goes at 10^6 clients. The hot loop reuses one query message
+// (QNAME and ID patched in place; the serving stack never retains the
+// caller's message) and charges the virtual clock in chargeQuantum
+// steps instead of per event.
+//
+// # Determinism contract
+//
+// The engine is a pure function of (Config, clock start time, target):
+// single-goroutine by construction, total event order fixed by the
+// (due, client) tie-break, per-client RNG streams independent of firing
+// order, and stub-cache TTLs taken from Config.StubTTL rather than
+// answer TTLs (answer TTLs depend on fleet-cache LRU residency, which
+// is schedule-dependent under the concurrent scanner stages that may
+// precede a workload run in the same scan context). Two runs with the
+// same inputs replay byte-identically; Summary.Digest — an FNV-1a fold
+// of every processed (client, due, rank, outcome) tuple — pins this in
+// tests, and campaign integration inherits it: a workload-enabled
+// pipelined campaign stores byte-identical datasets at any worker
+// count.
+package workload

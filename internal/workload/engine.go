@@ -1,0 +1,578 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Model selects the arrival law driving each simulated client.
+type Model uint8
+
+const (
+	// ModelClosed is a closed-loop client: it issues a query, consumes
+	// the answer, thinks for an exponential pause, and repeats. Load
+	// self-limits — a slow serving layer slows its own offered load.
+	ModelClosed Model = iota
+	// ModelOpen is an open-loop client: arrivals follow a Poisson
+	// process regardless of completions, the law that models a large
+	// independent population and can overload the serving layer.
+	ModelOpen
+)
+
+// String renders the model in ParseModel form.
+func (m Model) String() string {
+	if m == ModelOpen {
+		return "open"
+	}
+	return "closed"
+}
+
+// ParseModel parses "closed" or "open" (the -loadmodel flag values).
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "closed", "":
+		return ModelClosed, nil
+	case "open":
+		return ModelOpen, nil
+	}
+	return ModelClosed, fmt.Errorf("workload: unknown model %q (want closed or open)", s)
+}
+
+// Diurnal shapes the arrival rate over the day: the instantaneous rate
+// is scaled by 1 + Amplitude·cos(2π·(tod−Peak)/24h), so load peaks at
+// Peak (a time-of-day offset) and bottoms out twelve hours away.
+type Diurnal struct {
+	// Amplitude in [0, 0.95]; 0 disables the curve.
+	Amplitude float64
+	// Peak is the time-of-day of maximum load (e.g. 20h for an evening
+	// peak).
+	Peak time.Duration
+}
+
+// FlashCrowd is a scheduled load spike: for Duration starting At (an
+// offset from engine start) every client's arrival rate is multiplied
+// by Multiplier, and — when Domain is set — Fraction of the spike's
+// domain draws are pinned to that one name, the thundering-herd shape
+// that hammers a single cache entry.
+type FlashCrowd struct {
+	At         time.Duration
+	Duration   time.Duration
+	Multiplier float64
+	// Domain must be a member of Config.Domains when set.
+	Domain   string
+	Fraction float64
+}
+
+// Config parameterises a workload engine run. The engine is a pure
+// function of (Config, clock start, target): every knob feeds the
+// deterministic event computation, none reads ambient state.
+type Config struct {
+	// Clients is the simulated stub population size.
+	Clients int
+	// Model selects closed-loop think-time or open-loop Poisson arrivals.
+	Model Model
+	// Seed drives every client's RNG stream.
+	Seed int64
+	// Domains is the popularity-ranked query universe (rank 0 the most
+	// popular — a Tranco list slice in campaign use).
+	Domains []string
+	// ZipfS is the popularity exponent; 0 selects 1.0, the classic
+	// DNS-trace value.
+	ZipfS float64
+	// OpenRate is the open-loop per-client mean arrival rate in
+	// queries/second; 0 selects 0.1.
+	OpenRate float64
+	// Think is the closed-loop mean think time; 0 selects 10s.
+	Think time.Duration
+	// Duration bounds the simulated horizon. Zero is allowed only with
+	// MaxQueries set.
+	Duration time.Duration
+	// MaxQueries, when positive, stops the run after that many queries —
+	// the budget knob benchmark smoke runs use.
+	MaxQueries int
+	// StubTTL is each client's stub-cache entry lifetime. It is a fixed
+	// configured value rather than the answer's TTL: answer TTLs depend
+	// on fleet-cache aging, whose LRU residency is schedule-dependent
+	// under concurrent scanner stages, and the engine's event stream
+	// must stay a pure function of (seed, clock, config). 0 selects 60s.
+	StubTTL time.Duration
+	// StubSlots is the per-client direct-mapped stub-cache size; 0
+	// selects 4.
+	StubSlots int
+	// Mix deals per-client protocol preferences across the population
+	// (the dnscrypt-proxy-style per-stub preference). The zero Mix
+	// leaves every client protocol-agnostic.
+	Mix transport.Mix
+	// Diurnal shapes the rate over the day; Crowds schedules spikes.
+	Diurnal Diurnal
+	Crowds  []FlashCrowd
+	// Interval enables per-interval telemetry sampling (qps, stub
+	// hit-rate, stale-serve) on the virtual clock; 0 disables.
+	Interval time.Duration
+	// QType is the query type clients issue; 0 selects TypeHTTPS, the
+	// paper's record of interest.
+	QType dnswire.Type
+}
+
+// withDefaults fills the zero-value knobs.
+func (cfg Config) withDefaults() Config {
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.0
+	}
+	if cfg.OpenRate == 0 {
+		cfg.OpenRate = 0.1
+	}
+	if cfg.Think == 0 {
+		cfg.Think = 10 * time.Second
+	}
+	if cfg.StubTTL == 0 {
+		cfg.StubTTL = 60 * time.Second
+	}
+	if cfg.StubSlots == 0 {
+		cfg.StubSlots = 4
+	}
+	if cfg.QType == 0 {
+		cfg.QType = dnswire.TypeHTTPS
+	}
+	return cfg
+}
+
+// Exchanger is the serving-layer hook the engine drives — satisfied by
+// *transport.Client and by any test double.
+type Exchanger interface {
+	Exchange(q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// preferring is the optional protocol-preference fast path
+// (*transport.Client implements it); targets without it serve
+// protocol-agnostic clients only.
+type preferring interface {
+	ExchangePreferring(q *dnswire.Message, pref transport.Protocol) (*dnswire.Message, error)
+}
+
+// staleCounter is the optional stale-answer counter the engine deltas
+// for its stale-serve telemetry.
+type staleCounter interface{ StaleAnswers() uint64 }
+
+// chargeQuantum is the amortised clock-charging granularity: the
+// engine's virtual clock moves in these steps instead of per event, so
+// a million clients share O(horizon/quantum) clock mutations rather
+// than paying one mutex-guarded Set each per query.
+const chargeQuantum = 100 * time.Millisecond
+
+// Summary is one engine run's totals.
+type Summary struct {
+	Clients        int
+	Model          Model
+	Queries        uint64
+	StubHits       uint64
+	FleetExchanges uint64
+	StaleServed    uint64
+	Errors         uint64
+	// Virtual is the simulated span actually covered (shorter than
+	// Config.Duration when MaxQueries capped the run).
+	Virtual time.Duration
+	// Digest fingerprints the full event stream — every (client, due,
+	// rank, outcome) tuple in pop order — so tests can assert two runs
+	// replayed identically without storing millions of events.
+	Digest uint64
+}
+
+// Engine drives Config.Clients simulated stubs against a serving-layer
+// target on the virtual clock. See the package documentation for the
+// client model and the determinism contract.
+type Engine struct {
+	cfg    Config
+	clock  *simnet.Clock
+	target Exchanger
+	prefTx preferring
+	stale  staleCounter
+
+	zipf  *zipfSampler
+	names []string // canonical FQDN per rank, built once
+	rngs  []rng
+	prefs []transport.Protocol // nil: no preferences
+
+	// Per-client direct-mapped stub caches in two flat arrays
+	// (client*StubSlots + rank%StubSlots): the domain rank cached in the
+	// slot and its expiry in unix nanoseconds.
+	cacheDom []uint32
+	cacheExp []int64
+
+	heap *eventHeap
+	q    *dnswire.Message // reused query message (ID/QNAME patched per event)
+
+	start     int64 // unix nanos at Run start
+	end       int64
+	charged   int64 // clock high-water mark already Set
+	lastDue   int64
+	nextPoll  int64
+	crowdRank []int32 // resolved Domains rank per crowd (-1: none)
+
+	queries   obs.Counter
+	stubHits  obs.Counter
+	exchanges obs.Counter
+	errors    obs.Counter
+	qps       *obs.Gauge
+	hitRate   *obs.Gauge
+	staleRate *obs.Gauge
+
+	reg       *obs.Registry
+	sampler   *obs.Sampler
+	staleBase uint64
+	// Interval deltas backing the per-interval gauges.
+	intQueries, intHits, intStale uint64
+
+	digest uint64
+}
+
+// fnvOffset/fnvPrime are the FNV-1a 64 parameters for the event digest.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// New validates cfg and builds an engine over clock and target. The
+// alias table, client RNG streams, protocol preferences, and initial
+// arrival schedule are all computed here, so Run is allocation-light.
+func New(cfg Config, clock *simnet.Clock, target Exchanger) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("workload: Clients must be positive")
+	}
+	if len(cfg.Domains) == 0 {
+		return nil, fmt.Errorf("workload: Domains must be non-empty")
+	}
+	if cfg.Duration <= 0 && cfg.MaxQueries <= 0 {
+		return nil, fmt.Errorf("workload: need Duration or MaxQueries")
+	}
+	if cfg.Diurnal.Amplitude < 0 || cfg.Diurnal.Amplitude > 0.95 {
+		return nil, fmt.Errorf("workload: Diurnal.Amplitude %v outside [0, 0.95]", cfg.Diurnal.Amplitude)
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("workload: nil clock")
+	}
+	if target == nil {
+		return nil, fmt.Errorf("workload: nil target")
+	}
+
+	e := &Engine{
+		cfg: cfg, clock: clock, target: target,
+		zipf:     newZipfSampler(len(cfg.Domains), cfg.ZipfS),
+		names:    make([]string, len(cfg.Domains)),
+		rngs:     make([]rng, cfg.Clients),
+		cacheDom: make([]uint32, cfg.Clients*cfg.StubSlots),
+		cacheExp: make([]int64, cfg.Clients*cfg.StubSlots),
+		heap:     newEventHeap(cfg.Clients),
+		digest:   fnvOffset,
+	}
+	rankOf := make(map[string]uint32, len(cfg.Domains))
+	for i, d := range cfg.Domains {
+		e.names[i] = dnswire.CanonicalName(d)
+		rankOf[e.names[i]] = uint32(i)
+	}
+	e.crowdRank = make([]int32, len(cfg.Crowds))
+	for i, fc := range cfg.Crowds {
+		e.crowdRank[i] = -1
+		if fc.Multiplier <= 0 {
+			return nil, fmt.Errorf("workload: crowd %d Multiplier must be positive", i)
+		}
+		if fc.Fraction < 0 || fc.Fraction > 1 {
+			return nil, fmt.Errorf("workload: crowd %d Fraction %v outside [0, 1]", i, fc.Fraction)
+		}
+		if fc.Domain != "" {
+			rank, ok := rankOf[dnswire.CanonicalName(fc.Domain)]
+			if !ok {
+				return nil, fmt.Errorf("workload: crowd %d domain %q not in Domains", i, fc.Domain)
+			}
+			e.crowdRank[i] = int32(rank)
+		}
+	}
+	for i := range e.cacheDom {
+		e.cacheDom[i] = emptySlot
+	}
+	for i := range e.rngs {
+		e.rngs[i] = newRNG(cfg.Seed, uint32(i))
+	}
+	if cfg.Mix != (transport.Mix{}) {
+		if pt, ok := target.(preferring); ok {
+			e.prefTx = pt
+			e.prefs = cfg.Mix.Assign(cfg.Clients)
+		} else {
+			return nil, fmt.Errorf("workload: Mix set but target has no ExchangePreferring")
+		}
+	}
+	e.stale, _ = target.(staleCounter)
+	e.q = dnswire.NewQuery(0, e.names[0], cfg.QType, false)
+	e.bindMetrics()
+	return e, nil
+}
+
+// emptySlot marks an unused stub-cache slot (no rank reaches 2^32−1).
+const emptySlot = ^uint32(0)
+
+// bindMetrics stands up the engine-owned registry: cumulative counters
+// plus per-interval gauges the poll loop refreshes at each boundary.
+// Everything here is a deterministic function of the event stream, so
+// none of it is marked volatile and workload series survive the stable
+// snapshot filter campaign samplers apply.
+func (e *Engine) bindMetrics() {
+	e.reg = obs.NewRegistry(e.clock)
+	e.reg.RegisterCounter(&e.queries, "workload_queries_total")
+	e.reg.RegisterCounter(&e.stubHits, "workload_stub_hits_total")
+	e.reg.RegisterCounter(&e.exchanges, "workload_fleet_exchanges_total")
+	e.reg.RegisterCounter(&e.errors, "workload_errors_total")
+	if e.stale != nil {
+		e.reg.RegisterCounterFunc(func() float64 {
+			return float64(e.stale.StaleAnswers() - e.staleBase)
+		}, "workload_stale_answers_total")
+	}
+	e.qps = e.reg.Gauge("workload_qps")
+	e.hitRate = e.reg.Gauge("workload_stub_hit_rate")
+	e.staleRate = e.reg.Gauge("workload_stale_rate")
+}
+
+// Registry exposes the engine's metrics registry (for drill reports).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Points returns the per-interval telemetry samples collected by Run
+// (nil when Config.Interval is 0).
+func (e *Engine) Points() []obs.Point { return e.sampler.Points() }
+
+// rateFactor is the instantaneous arrival-rate multiplier at t (unix
+// nanos): the diurnal curve times any active flash crowd.
+func (e *Engine) rateFactor(t int64) float64 {
+	f := 1.0
+	if a := e.cfg.Diurnal.Amplitude; a > 0 {
+		tod := time.Unix(0, t).UTC()
+		day := float64(tod.Sub(tod.Truncate(24*time.Hour))) - float64(e.cfg.Diurnal.Peak)
+		f = 1 + a*math.Cos(2*math.Pi*day/float64(24*time.Hour))
+	}
+	for _, fc := range e.cfg.Crowds {
+		at := e.start + int64(fc.At)
+		if t >= at && t < at+int64(fc.Duration) {
+			f *= fc.Multiplier
+		}
+	}
+	return f
+}
+
+// crowdPin returns the pinned domain rank when t falls inside a crowd
+// that hammers one domain and the client's draw lands in its Fraction.
+func (e *Engine) crowdPin(r *rng, t int64) (uint32, bool) {
+	for i, fc := range e.cfg.Crowds {
+		if e.crowdRank[i] < 0 {
+			continue
+		}
+		at := e.start + int64(fc.At)
+		if t >= at && t < at+int64(fc.Duration) && r.float64() <= fc.Fraction {
+			return uint32(e.crowdRank[i]), true
+		}
+	}
+	return 0, false
+}
+
+// gap draws the client's next inter-arrival span from due, scaled by
+// the rate factor at due (a piecewise-thinning approximation of the
+// non-homogeneous Poisson process — exact when the factor is constant
+// over the gap, which the statistical tests verify at the configured
+// tolerances).
+func (e *Engine) gap(r *rng, due int64) int64 {
+	var mean float64 // seconds
+	if e.cfg.Model == ModelOpen {
+		mean = 1 / e.cfg.OpenRate
+	} else {
+		mean = float64(e.cfg.Think) / float64(time.Second)
+	}
+	d := r.exp(mean / e.rateFactor(due))
+	if d > 1e9 { // degenerate draw; cap far past any horizon
+		d = 1e9
+	}
+	ns := int64(d * float64(time.Second))
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}
+
+// setClock advances the shared virtual clock to t, monotonically: a
+// live-clock target charging exchange latency may already have pushed
+// the clock past t, and the clock must never step backwards under a
+// cache that orders entries by time.
+func (e *Engine) setClock(t int64) {
+	if t <= e.charged {
+		return
+	}
+	e.charged = t
+	at := time.Unix(0, t).UTC()
+	if at.After(e.clock.Now()) {
+		e.clock.Set(at)
+	}
+}
+
+// pollInterval closes out one telemetry interval ending at boundary:
+// the clock moves to the boundary, the per-interval gauges are
+// refreshed from the counter deltas, and the sampler takes its tick.
+func (e *Engine) pollInterval(boundary int64) {
+	e.setClock(boundary)
+	sec := float64(e.cfg.Interval) / float64(time.Second)
+	q := e.queries.Load()
+	h := e.stubHits.Load()
+	var st uint64
+	if e.stale != nil {
+		st = e.stale.StaleAnswers() - e.staleBase
+	}
+	dq := q - e.intQueries
+	e.qps.Set(float64(dq) / sec)
+	if dq > 0 {
+		e.hitRate.Set(float64(h-e.intHits) / float64(dq))
+		e.staleRate.Set(float64(st-e.intStale) / float64(dq))
+	} else {
+		e.hitRate.Set(0)
+		e.staleRate.Set(0)
+	}
+	e.intQueries, e.intHits, e.intStale = q, h, st
+	e.sampler.Poll()
+}
+
+// digestEvent folds one processed event into the stream fingerprint.
+func (e *Engine) digestEvent(client uint32, due int64, rank uint32, outcome byte) {
+	h := e.digest
+	for i := 0; i < 32; i += 8 {
+		h = (h ^ uint64(byte(client>>i))) * fnvPrime
+	}
+	for i := 0; i < 64; i += 8 {
+		h = (h ^ uint64(byte(uint64(due)>>i))) * fnvPrime
+	}
+	for i := 0; i < 32; i += 8 {
+		h = (h ^ uint64(byte(rank>>i))) * fnvPrime
+	}
+	e.digest = (h ^ uint64(outcome)) * fnvPrime
+}
+
+// Event outcomes folded into the digest.
+const (
+	outcomeStubHit byte = iota
+	outcomeAnswered
+	outcomeError
+)
+
+// process serves one arrival: draw the domain, probe the client's stub
+// cache, and on a miss exchange through the serving layer and fill the
+// slot. Returns the outcome for the digest.
+func (e *Engine) process(ev event) byte {
+	r := &e.rngs[ev.client]
+	rank, pinned := e.crowdPin(r, ev.due)
+	if !pinned {
+		rank = e.zipf.draw(r)
+	}
+	e.queries.Add(1)
+	slot := int(ev.client)*e.cfg.StubSlots + int(rank)%e.cfg.StubSlots
+	if e.cacheDom[slot] == rank && e.cacheExp[slot] >= ev.due {
+		e.stubHits.Add(1)
+		e.digestEvent(ev.client, ev.due, rank, outcomeStubHit)
+		return outcomeStubHit
+	}
+	// Amortised clock charge: the fleet sees time in chargeQuantum steps.
+	e.setClock(ev.due - ev.due%int64(chargeQuantum))
+	e.q.ID = uint16(e.queries.Load())
+	e.q.Question[0].Name = e.names[rank]
+	var err error
+	if e.prefs != nil {
+		_, err = e.prefTx.ExchangePreferring(e.q, e.prefs[ev.client])
+	} else {
+		_, err = e.target.Exchange(e.q)
+	}
+	e.exchanges.Add(1)
+	outcome := outcomeAnswered
+	if err != nil {
+		e.errors.Add(1)
+		outcome = outcomeError
+	} else {
+		e.cacheDom[slot] = rank
+		e.cacheExp[slot] = ev.due + int64(e.cfg.StubTTL)
+	}
+	e.digestEvent(ev.client, ev.due, rank, outcome)
+	return outcome
+}
+
+// Run drives the population from the clock's current time until the
+// configured horizon (or query budget) and returns the totals. It is
+// single-goroutine by construction: determinism comes from the total
+// event order, not from locking. Safe to call once per engine.
+func (e *Engine) Run() Summary {
+	e.start = e.clock.Now().UnixNano()
+	e.charged = e.start
+	e.lastDue = e.start
+	if e.cfg.Duration > 0 {
+		e.end = e.start + int64(e.cfg.Duration)
+	} else {
+		e.end = math.MaxInt64
+	}
+	if e.stale != nil {
+		e.staleBase = e.stale.StaleAnswers()
+	}
+	e.sampler = obs.NewSampler(e.reg, e.clock, e.cfg.Interval, true)
+	if e.cfg.Interval > 0 {
+		e.nextPoll = e.start + int64(e.cfg.Interval)
+	}
+
+	// Seed every client's first arrival.
+	for i := 0; i < e.cfg.Clients; i++ {
+		e.heap.Push(event{due: e.start + e.gap(&e.rngs[i], e.start), client: uint32(i)})
+	}
+
+	for {
+		if e.cfg.MaxQueries > 0 && e.queries.Load() >= uint64(e.cfg.MaxQueries) {
+			break
+		}
+		ev, ok := e.heap.Pop()
+		if !ok || ev.due >= e.end {
+			break
+		}
+		for e.nextPoll > 0 && ev.due >= e.nextPoll {
+			e.pollInterval(e.nextPoll)
+			e.nextPoll += int64(e.cfg.Interval)
+		}
+		e.process(ev)
+		e.lastDue = ev.due
+		e.heap.Push(event{due: ev.due + e.gap(&e.rngs[ev.client], ev.due), client: ev.client})
+	}
+
+	if e.cfg.Duration > 0 {
+		// Close out the horizon: remaining interval ticks, then the end.
+		for e.nextPoll > 0 && e.nextPoll <= e.end {
+			e.pollInterval(e.nextPoll)
+			e.nextPoll += int64(e.cfg.Interval)
+		}
+		e.setClock(e.end)
+		e.lastDue = e.end
+	}
+	e.sampler.Force("end")
+	return e.summary()
+}
+
+// summary assembles the run totals.
+func (e *Engine) summary() Summary {
+	var stale uint64
+	if e.stale != nil {
+		stale = e.stale.StaleAnswers() - e.staleBase
+	}
+	return Summary{
+		Clients:        e.cfg.Clients,
+		Model:          e.cfg.Model,
+		Queries:        e.queries.Load(),
+		StubHits:       e.stubHits.Load(),
+		FleetExchanges: e.exchanges.Load(),
+		StaleServed:    stale,
+		Errors:         e.errors.Load(),
+		Virtual:        time.Duration(e.lastDue - e.start),
+		Digest:         e.digest,
+	}
+}

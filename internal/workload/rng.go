@@ -1,0 +1,56 @@
+package workload
+
+import "math"
+
+// rng is a splitmix64 stream: one uint64 of state per simulated client,
+// so a million clients carry a million independent, seekable random
+// streams in 8 MB. splitmix64 passes BigCrush, never needs warmup, and —
+// unlike a shared math/rand source — keeps every client's draw sequence
+// a pure function of (engine seed, client ID), independent of the order
+// clients happen to fire in.
+type rng struct{ state uint64 }
+
+// golden is the splitmix64 increment (2^64 / phi).
+const golden = 0x9e3779b97f4a7c15
+
+// newRNG derives client id's stream from the engine seed. The double
+// mix keeps adjacent client IDs uncorrelated.
+func newRNG(seed int64, id uint32) rng {
+	r := rng{state: uint64(seed) ^ mix64(uint64(id)*golden+golden)}
+	return r
+}
+
+// mix64 is the splitmix64 output function.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// next returns the stream's next 64 uniform bits.
+func (r *rng) next() uint64 {
+	r.state += golden
+	return mix64(r.state)
+}
+
+// float64 returns a uniform draw in (0, 1] — the open-at-zero side
+// matters because exp() takes its logarithm.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11+1) / (1 << 53)
+}
+
+// exp returns an exponential draw with the given mean, the inter-arrival
+// law of a Poisson process.
+func (r *rng) exp(mean float64) float64 {
+	return -mean * math.Log(r.float64())
+}
+
+// intn returns a uniform draw in [0, n) for n > 0.
+func (r *rng) intn(n int) int {
+	// Lemire's multiply-shift reduction; the tiny modulo bias is far
+	// below anything the statistical tests can resolve.
+	return int((uint64(uint32(r.next())) * uint64(n)) >> 32)
+}

@@ -1,0 +1,82 @@
+package workload
+
+import "math"
+
+// zipfSampler draws ranks from a Zipf(s) popularity law over n ranks
+// (rank 0 the most popular) in O(1) per draw via Walker's alias method.
+// Building the table is O(n) once per engine; after that a draw costs
+// one uniform index, one uniform threshold, and one table probe — no
+// binary search over a CDF, which is what keeps a million clients'
+// domain draws off the engine's critical path.
+type zipfSampler struct {
+	prob  []float64 // acceptance threshold per column
+	alias []uint32  // fallback rank per column
+}
+
+// newZipfSampler builds the alias table for rank weights 1/(i+1)^s.
+func newZipfSampler(n int, s float64) *zipfSampler {
+	if n < 1 {
+		n = 1
+	}
+	weights := make([]float64, n)
+	var total float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -s)
+		total += weights[i]
+	}
+	z := &zipfSampler{prob: make([]float64, n), alias: make([]uint32, n)}
+	// Walker/Vose construction: scale weights to mean 1, then pair each
+	// under-full column with an over-full donor.
+	scaled := weights // reuse; weights is not needed past this point
+	for i := range scaled {
+		scaled[i] = scaled[i] * float64(n) / total
+	}
+	small := make([]uint32, 0, n)
+	large := make([]uint32, 0, n)
+	for i, w := range scaled {
+		if w < 1 {
+			small = append(small, uint32(i))
+		} else {
+			large = append(large, uint32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		z.prob[s] = scaled[s]
+		z.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Float rounding leaves stragglers in one list; they are full columns.
+	for _, i := range large {
+		z.prob[i] = 1
+		z.alias[i] = i
+	}
+	for _, i := range small {
+		z.prob[i] = 1
+		z.alias[i] = i
+	}
+	return z
+}
+
+// draw returns a rank in [0, n) distributed Zipf(s), consuming exactly
+// one 64-bit value from the client's stream (index from the high bits,
+// threshold from the full mantissa of a second mix) so draw sequences
+// stay aligned across engine versions.
+func (z *zipfSampler) draw(r *rng) uint32 {
+	v := r.next()
+	n := uint64(len(z.prob))
+	col := uint32((uint64(uint32(v)) * n) >> 32)
+	u := float64(mix64(v)>>11+1) / (1 << 53)
+	if u <= z.prob[col] {
+		return col
+	}
+	return z.alias[col]
+}

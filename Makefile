@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-micro bench-smoke fuzz-smoke trace-demo verify
+.PHONY: all build test race vet fmt bench bench-micro bench-smoke fuzz-smoke trace-demo slo-demo verify
 
 all: build test
 
@@ -71,6 +71,13 @@ fuzz-smoke:
 # answer, and the commit, all on virtual-time offsets.
 trace-demo:
 	$(GO) run ./cmd/dohserve -size 800 -frontends 4 -proto mixed -strategy race -queries 600 -hot 200 -kill 0 -trace 5
+
+# Anomaly-capture demo: a CI-sized campaign with the anomaly tier on
+# (flight recorder, tail-sampled traces, per-day SLO verdicts), printing
+# the per-day capture table. The captures are identical for any
+# -dayworkers value — the determinism contract the tier is built on.
+slo-demo:
+	$(GO) run ./cmd/reproduce -size 2000 -exp slo -q
 
 # Fast benchmark subset: substrate + serving-layer hot paths (skips the
 # campaign-backed table/figure benchmarks, which rebuild a world).

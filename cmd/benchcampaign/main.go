@@ -36,6 +36,13 @@
 // only compares runs with identical tags, so an all-DoH serial baseline
 // is never held to a mixed-fleet racing number (or vice versa).
 //
+// Fleet campaigns time two further pipelined dimensions: a run with
+// telemetry series enabled (instrumented_ms / obs_overhead_pct) and a
+// run with the anomaly tier on — flight recorder, tail-sampled traces,
+// and per-day SLO captures (recorder_ms / recorder_overhead_pct /
+// slo_violations). Both overheads are designed to stay under a few
+// percent of the uninstrumented pipelined run; the bench warns past 5%.
+//
 // -smoke shrinks the campaign to a CI-friendly single-iteration size.
 //
 // -baseline points at a committed BENCH_campaign.json; the run's speedup
@@ -84,8 +91,18 @@ type report struct {
 	// designed to stay under a few percent — the bench warns past 5%.
 	InstrumentedMS float64 `json:"instrumented_ms,omitempty"`
 	ObsOverheadPct float64 `json:"obs_overhead_pct,omitempty"`
-	Queries        uint64  `json:"dns_queries_per_run"`
-	StoresEqual    bool    `json:"stores_equal"`
+	// RecorderMS times a fourth pipelined run with the anomaly tier on —
+	// flight recorder, tail-sampled traces, and per-day SLO captures
+	// (fleet campaigns only); RecorderOverheadPct is its cost relative
+	// to the uninstrumented pipelined run, held to the same 5% warn
+	// budget. SLOViolations sums that run's per-day capture verdicts;
+	// it is a pointer so a healthy campaign records an explicit zero
+	// while recorder-less runs omit the field entirely.
+	RecorderMS          float64 `json:"recorder_ms,omitempty"`
+	RecorderOverheadPct float64 `json:"recorder_overhead_pct,omitempty"`
+	SLOViolations       *int    `json:"slo_violations,omitempty"`
+	Queries             uint64  `json:"dns_queries_per_run"`
+	StoresEqual         bool    `json:"stores_equal"`
 	// Hourly* report the -hourly section: the same hourly ECH campaign
 	// run with HourWorkers 1 vs HourWorkers N, plus the serial/pipelined
 	// store comparison. Zero-valued when -hourly was not requested.
@@ -151,13 +168,14 @@ func main() {
 	start := time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC)
 	end := start.AddDate(0, 0, *days-1)
 
-	run := func(dayWorkers int, telemetry time.Duration) (time.Duration, uint64, []byte) {
+	run := func(dayWorkers int, telemetry time.Duration, anomaly bool) (time.Duration, uint64, []byte, int) {
 		c, err := core.NewCampaign(core.CampaignConfig{
 			Size: *size, Seed: *seed, Start: start, End: end, StepDays: 1,
 			DayWorkers:   dayWorkers,
 			DoHFrontends: *frontends, TransportMix: mix,
 			TransportStrategy: strategy,
 			TelemetryInterval: telemetry,
+			AnomalyCapture:    anomaly,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -174,7 +192,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		return elapsed, c.World.Net.QueryCount(), buf.Bytes()
+		viol := 0
+		if anomaly {
+			for _, day := range c.Store.AnomalyDays() {
+				if capt, ok := c.Store.AnomalyFor(day); ok {
+					viol += capt.Violations
+				}
+			}
+		}
+		return elapsed, c.World.Net.QueryCount(), buf.Bytes(), viol
 	}
 
 	fleetTag := ""
@@ -183,16 +209,26 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchcampaign: size=%d days=%d (serial vs %d day workers)%s\n",
 		*size, *days, *workers, fleetTag)
-	serialDur, serialQ, serialStore := run(1, 0)
+	serialDur, serialQ, serialStore, _ := run(1, 0, false)
 	fmt.Fprintf(os.Stderr, "  serial:    %v (%d DNS queries)\n", serialDur.Round(time.Millisecond), serialQ)
-	pipeDur, _, pipeStore := run(*workers, 0)
+	pipeDur, _, pipeStore, _ := run(*workers, 0, false)
 	fmt.Fprintf(os.Stderr, "  pipelined: %v\n", pipeDur.Round(time.Millisecond))
 	// Third dimension, fleet campaigns only: the same pipelined run with
 	// telemetry series enabled, timing what the observability layer costs.
 	var instrDur time.Duration
 	if *frontends > 0 {
-		instrDur, _, _ = run(*workers, time.Hour)
+		instrDur, _, _, _ = run(*workers, time.Hour, false)
 		fmt.Fprintf(os.Stderr, "  instrumented: %v (telemetry series on)\n", instrDur.Round(time.Millisecond))
+	}
+	// Fourth dimension, fleet campaigns only: the anomaly tier — flight
+	// recorder, tail-sampled traces, and per-day SLO captures on every
+	// day replica — timing what anomaly detection costs end to end.
+	var recDur time.Duration
+	var sloViol int
+	if *frontends > 0 {
+		recDur, _, _, sloViol = run(*workers, 0, true)
+		fmt.Fprintf(os.Stderr, "  anomaly-tier: %v (recorder + tail sampling on, %d SLO violations)\n",
+			recDur.Round(time.Millisecond), sloViol)
 	}
 
 	// -hourly section: the hourly ECH campaign with HourWorkers 1 vs N.
@@ -305,6 +341,18 @@ func main() {
 				r.ObsOverheadPct)
 		} else {
 			fmt.Fprintf(os.Stderr, "  instrumentation overhead: %.1f%% (budget 5%%)\n", r.ObsOverheadPct)
+		}
+	}
+	if recDur > 0 {
+		r.RecorderMS = float64(recDur.Microseconds()) / 1000
+		r.RecorderOverheadPct = (float64(recDur) - float64(pipeDur)) / float64(pipeDur) * 100
+		r.SLOViolations = &sloViol
+		if r.RecorderOverheadPct > 5 {
+			fmt.Fprintf(os.Stderr,
+				"  warning: anomaly-tier overhead %.1f%% exceeds the 5%% budget\n",
+				r.RecorderOverheadPct)
+		} else {
+			fmt.Fprintf(os.Stderr, "  anomaly-tier overhead: %.1f%% (budget 5%%)\n", r.RecorderOverheadPct)
 		}
 	}
 	if *hourly {

@@ -12,7 +12,7 @@
 //	         [-strategy serial|race|hedge] [-stagger D] [-hedgeq F]
 //	         [-balance p2|ewma|roundrobin|hash]
 //	         [-queries N] [-workers N] [-shards N] [-shardcap N] [-hot N]
-//	         [-kill N] [-post] [-trace N]
+//	         [-kill N] [-post] [-trace N] [-tail K] [-taillat D]
 //	         [-stalewindow D] [-refreshahead F] [-cooldown D]
 //	         [-chaos] [-epochs N] [-epochlen D] [-flap P]
 //	         [-load] [-clients N] [-loadmodel closed|open] [-rate F] [-think D]
@@ -42,12 +42,31 @@
 // -trace samples every exchange into a span trace and, after the load,
 // dumps the N slowest exchanges as span trees — frontend receive, cache
 // probe, each dial attempt with its protocol and race/hedge role, the
-// upstream answer, and the commit, all on virtual-time offsets. Tracing
-// forces -workers 1 so the sampled ring is deterministic for a seed.
+// upstream answer, and the commit, all on virtual-time offsets. Head
+// sampling indexes arrivals, so a head-only -trace run forces
+// -workers 1: under concurrency the ring's membership would depend on
+// goroutine scheduling (the span trees stay valid; which exchanges they
+// cover would not be reproducible for a seed).
+//
+// -tail K adds tail-based retention: every exchange is traced into a
+// scratch buffer and kept only if anomalous — an error, SERVFAIL,
+// stale-served answer, failover, race, or hedge, or (with -taillat) a
+// virtual cost at or over the threshold — ranked in a top-K ring by
+// cost and dumped after the load. Tail retention keys on per-exchange
+// properties rather than arrival index, so -tail lifts the single-
+// worker forcing: a concurrent drill still catches every anomalous
+// exchange the ring has room for, which is the point of tail sampling.
 //
 // All reporting reads one obs registry snapshot (Fleet.Metrics) instead
 // of per-struct counters; chaos mode diffs snapshots against a
-// post-warmup baseline so every number is drill-only.
+// post-warmup baseline so every number is drill-only. The fleet also
+// carries a flight recorder: chaos reports aggregate its typed event
+// window (pool cooldowns, stale serves, frontend deaths) and show the
+// timeline's tail, and every pool row carries its health scorecard —
+// consecutive-failure streak and cooldown occupancy. Chaos mode
+// additionally records one registry snapshot per epoch into an SLO burn
+// engine (obs.DefaultSLO) and prints the multi-window burn-rate table
+// after the drill.
 //
 // -load replaces the uniform worker drill with the internal/workload
 // engine: -clients simulated stubs — each with its own RNG stream, stub
@@ -107,7 +126,9 @@ func main() {
 	hot := flag.Int("hot", 500, "working-set size (distinct names cycled through)")
 	kill := flag.Int("kill", 1, "frontends to mark unreachable halfway through (ignored with -chaos)")
 	post := flag.Bool("post", false, "use POST envelopes instead of GET")
-	traceN := flag.Int("trace", 0, "trace every exchange and dump the N slowest span trees (forces -workers 1)")
+	traceN := flag.Int("trace", 0, "trace every exchange and dump the N slowest span trees (forces -workers 1 unless -tail is on)")
+	tailK := flag.Int("tail", 0, "tail-sample anomalous exchanges into a top-K ring and dump them after the load (0 disables)")
+	tailLat := flag.Duration("taillat", 0, "with -tail: also retain exchanges at or over this virtual cost")
 	staleWindow := flag.Duration("stalewindow", time.Hour, "RFC 8767 serve-stale window (0 disables)")
 	refreshAhead := flag.Float64("refreshahead", 0.8, "prefetch at this fraction of TTL elapsed (0 disables)")
 	cooldown := flag.Duration("cooldown", 15*time.Second, "frontend benches its recursor this long after a hard failure")
@@ -185,15 +206,32 @@ func main() {
 	}
 	world, client := camp.World, camp.Fleet.Client
 	client.UsePOST = *post
-	if *traceN > 0 {
-		if *workers > 1 {
-			fmt.Println("tracing: forcing -workers 1 so the sampled ring is deterministic")
+	if *traceN > 0 || *tailK > 0 {
+		// Head sampling indexes arrivals, so a head-only dump forces one
+		// worker (see the package comment); the tail ring keys on exchange
+		// properties instead, so -tail runs keep their concurrency.
+		if *traceN > 0 && *tailK == 0 && *workers > 1 {
+			fmt.Println("tracing: forcing -workers 1 so the head-sampled ring is deterministic")
 			*workers = 1
 		}
-		client.Tracer = obs.NewTracer(world.Clock, obs.TraceConfig{
-			SampleEvery: 1,
-			Capacity:    max(obs.DefaultTraceCapacity, 4**traceN),
-		})
+		tcfg := obs.TraceConfig{SampleEvery: obs.DefaultSampleEvery}
+		if *traceN > 0 {
+			tcfg.SampleEvery = 1
+			tcfg.Capacity = max(obs.DefaultTraceCapacity, 4**traceN)
+		}
+		if *tailK > 0 {
+			tcfg.Tail = &obs.TailConfig{TopK: *tailK, Latency: *tailLat}
+		}
+		client.Tracer = obs.NewTracer(world.Clock, tcfg)
+	}
+	// The drill fleet carries a flight recorder. Live tooling reads the
+	// raw event window — volatile kinds included — unlike campaign
+	// captures, which stick to the stable multiset.
+	recorder := obs.NewRecorder(world.Clock, 0)
+	camp.Fleet.Recorder = recorder
+	client.Recorder = recorder
+	for _, fe := range camp.Fleet.Frontends {
+		fe.Recorder = recorder
 	}
 	// Layer a deterministic 1-in-8 latency tail over the campaign's
 	// synthetic per-member band: constant per-member RTTs never exceed
@@ -223,6 +261,7 @@ func main() {
 	if *chaos {
 		runChaos(camp, list, *queries, *epochs, *epochLen, *flap, *seed)
 		dumpTraces(client, *traceN)
+		dumpTail(client)
 		return
 	}
 
@@ -249,6 +288,7 @@ func main() {
 		}
 		runLoad(camp, wcfg)
 		dumpTraces(client, *traceN)
+		dumpTail(client)
 		return
 	}
 
@@ -292,6 +332,7 @@ func main() {
 		float64(*queries)/elapsed.Seconds(), ok.Load(), failed.Load())
 	report(camp, camp.Fleet.Metrics.Snapshot(), "totals incl. warmup")
 	dumpTraces(client, *traceN)
+	dumpTail(client)
 }
 
 // runLoad drives the workload engine against the campaign fleet on the
@@ -349,6 +390,59 @@ func dumpTraces(client *transport.Client, n int) {
 	fmt.Printf("\nslowest %d of %d traced exchanges (virtual-time offsets):\n", len(traces), client.Tracer.Len())
 	for _, tr := range traces {
 		fmt.Print(tr.Tree())
+	}
+}
+
+// dumpTail prints the tail-retained anomalous exchanges in rank order
+// (highest virtual cost first), with the flags that got each kept.
+func dumpTail(client *transport.Client) {
+	if !client.Tracer.TailEnabled() {
+		return
+	}
+	tail := client.Tracer.Tail()
+	fmt.Printf("\ntail-sampled anomalies (%d retained, cost-ranked):\n", len(tail))
+	for _, tr := range tail {
+		fmt.Printf("  %-32s %10v  [%s]\n", tr.Name, tr.Duration.Round(time.Microsecond), tr.Flags)
+	}
+}
+
+// burnTable renders the drill's multi-window SLO burn rates.
+func burnTable(burn *obs.BurnEngine) {
+	burns := burn.Burn()
+	if len(burns) == 0 {
+		return
+	}
+	slo := burn.SLO()
+	fmt.Printf("\nSLO burn rates (avail ≥ %.3f, p99 ≤ %v, stale ≤ %.0f%%; trailing windows):\n",
+		slo.Availability, slo.LatencyP99, 100*slo.StaleRatio)
+	fmt.Println("  window    avail     burn    p99          stale%    burn  viol")
+	for _, wb := range burns {
+		r := wb.Report
+		fmt.Printf("  %-8s %.4f  %6.2f   %-10v  %6.2f  %6.2f  %4d\n",
+			wb.Window, r.Availability, r.AvailabilityBurn,
+			r.P99.Round(time.Microsecond), 100*r.StaleRatio, r.StaleBurn, r.Violations)
+	}
+}
+
+// recorderSummary aggregates the drill window's flight-recorder events
+// and shows the tail of the raw timeline.
+func recorderSummary(rec *obs.Recorder, from, to time.Time) {
+	events := rec.Window(from, to)
+	if len(events) == 0 {
+		return
+	}
+	fmt.Printf("\nflight recorder: %d events in the drill window (%d evicted from the ring):\n",
+		len(events), rec.Dropped())
+	for _, ec := range obs.CountEvents(events) {
+		fmt.Printf("  %-44s ×%d\n", ec.Key(), ec.Count)
+	}
+	last := events
+	if len(last) > 8 {
+		last = last[len(last)-8:]
+	}
+	fmt.Println("last events:")
+	for _, e := range last {
+		fmt.Printf("  %s  %s\n", e.At.Format("15:04:05"), e.Key())
 	}
 }
 
@@ -431,6 +525,11 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 	// resilience curve.
 	base := camp.Fleet.Metrics.Snapshot()
 	sampler := obs.NewSampler(camp.Fleet.Metrics, world.Clock, epochLen, false)
+	// One full snapshot per epoch feeds the multi-window burn engine —
+	// full, not stable: a live drill wants the latency histogram so the
+	// p99 objective is evaluated.
+	burn := obs.NewBurnEngine(world.Clock, obs.DefaultSLO())
+	burn.Record(base)
 
 	rng := rand.New(rand.NewSource(seed))
 	perEpoch := queries / epochs
@@ -465,6 +564,7 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 		fmt.Printf("  epoch %2d: %d/%d recursors down, %3d queries, %3d stale-served\n",
 			e, downs, len(ups), perEpoch, client.StaleAnswers()-staleBefore)
 		sampler.Force(fmt.Sprintf("epoch%02d", e))
+		burn.Record(camp.Fleet.Metrics.Snapshot())
 	}
 	for _, u := range ups {
 		u.setDown(false)
@@ -480,6 +580,8 @@ func runChaos(camp *core.Campaign, list []string, queries, epochs int, epochLen 
 		fmt.Println("zero SERVFAILs / hard failures: every outage was covered by serve-stale")
 	}
 	chaosCurve(camp, base, sampler.Points())
+	burnTable(burn)
+	recorderSummary(camp.Fleet.Recorder, chaosStart, world.Clock.Now())
 	report(camp, diff, "drill deltas")
 
 	fmt.Println("\nrecovery times (virtual time from recursor up-flap to first successful exchange):")
@@ -623,12 +725,14 @@ func report(camp *core.Campaign, snap *obs.Snapshot, label string) {
 			lat.Count, (time.Duration(lat.Sum / float64(lat.Count) * float64(time.Second))).Round(time.Microsecond))
 	}
 
-	fmt.Printf("\npool (%.0f/%.0f members healthy):\n", snap.Value("pool_healthy"), snap.Value("pool_members"))
+	fmt.Printf("\npool (%.0f/%.0f members healthy; scorecard: failure streak and cooldown occupancy):\n",
+		snap.Value("pool_healthy"), snap.Value("pool_members"))
 	for _, st := range camp.Fleet.Pool.Stats() {
 		labels := []obs.Label{obs.L("member", st.Name), obs.L("proto", st.Proto.String())}
-		fmt.Printf("  %-22s queries %6.0f  failures %3.0f  down=%-5v rtt=%s\n",
+		fmt.Printf("  %-22s queries %6.0f  failures %3.0f  streak %2d  benched %-8v down=%-5v rtt=%s\n",
 			st.Name, snap.Value("pool_member_queries_total", labels...),
-			snap.Value("pool_member_failures_total", labels...), st.Down,
+			snap.Value("pool_member_failures_total", labels...),
+			st.ConsecFails, st.CooldownTotal.Round(time.Second), st.Down,
 			(time.Duration(snap.Value("pool_member_rtt_seconds", labels...) * float64(time.Second))).Round(time.Microsecond))
 	}
 

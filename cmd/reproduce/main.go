@@ -8,7 +8,7 @@
 //	          [-strategy serial|race|hedge] [-minobs N]
 //	          [-exp all|fig2|tab2|tab3|fig3|
 //	          intermittency|tab4|tab5|params|tab8|fig11|fig12|connectivity|
-//	          fig13|fig4|fig5|tab9|fig14|fig8|stalecorr|timeline|
+//	          fig13|fig4|fig5|tab9|fig14|fig8|stalecorr|timeline|slo|
 //	          tab6|tab7|failover]
 //
 // Larger -size values converge the percentages to the paper's (the
@@ -33,6 +33,13 @@
 // that also runs). It needs a fleet; selecting it explicitly with
 // -frontends 0 auto-enables 4 frontends. The curves are deterministic
 // for a seed and identical for any -dayworkers value.
+//
+// -exp slo turns on the campaign's anomaly tier (flight recorder,
+// tail-sampled traces, and obs.DefaultSLO objectives on every per-day
+// fleet replica) and renders the per-day anomaly-capture table: the
+// stable SLO verdict plus the day's flight-recorder evidence. Like
+// timeline it needs a fleet and auto-enables 4 frontends when selected
+// explicitly; the captures are identical for any -dayworkers value.
 package main
 
 import (
@@ -76,7 +83,7 @@ func main() {
 	serverSide := false
 	for _, id := range []string{"fig2", "tab2", "tab3", "fig3", "intermittency", "tab4",
 		"tab5", "params", "tab8", "fig11", "fig12", "connectivity", "fig13", "fig4",
-		"fig5", "tab9", "fig14", "fig8", "stalecorr", "timeline"} {
+		"fig5", "tab9", "fig14", "fig8", "stalecorr", "timeline", "slo"} {
 		if sel(id) {
 			serverSide = true
 		}
@@ -86,6 +93,10 @@ func main() {
 	// "all" it simply rides whatever -frontends says).
 	if want["timeline"] && *frontends == 0 {
 		fmt.Fprintln(os.Stderr, "timeline: enabling 4 frontends (the telemetry series need a fleet)")
+		*frontends = 4
+	}
+	if want["slo"] && *frontends == 0 {
+		fmt.Fprintln(os.Stderr, "slo: enabling 4 frontends (anomaly captures need a fleet)")
 		*frontends = 4
 	}
 
@@ -113,6 +124,9 @@ func runServerSide(size int, seed int64, step, dayWorkers, hourWorkers, frontend
 		DoHFrontends: frontends, TransportMix: mix, TransportStrategy: strategy}
 	if sel("timeline") && frontends > 0 {
 		cfg.TelemetryInterval = time.Hour
+	}
+	if sel("slo") && frontends > 0 {
+		cfg.AnomalyCapture = true
 	}
 	if !quiet {
 		cfg.Progress = os.Stderr
@@ -206,6 +220,9 @@ func runServerSide(size int, seed int64, step, dayWorkers, hourWorkers, frontend
 		if sel("fig4") || sel("stalecorr") {
 			fmt.Println(analysis.TelemetryTimeline(st, "hourly-ech").Format())
 		}
+	}
+	if sel("slo") && frontends > 0 {
+		fmt.Println(analysis.AnomalyReport(st).Format())
 	}
 	print("fig14", analysis.SignedECH(st, nil).Table())
 	if sel("fig8") {

@@ -481,3 +481,37 @@ func TestStaleECHCorrelation(t *testing.T) {
 		t.Errorf("empty-store table rows = %d, want 1", rows)
 	}
 }
+
+// TestAnomalyReport renders captures straight from a hand-built store:
+// verdict columns, event totals, and the most frequent event group.
+func TestAnomalyReport(t *testing.T) {
+	s := dataset.NewStore()
+	day := time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC)
+	s.AddAnomaly(&dataset.AnomalyCapture{
+		Date: day, Exchanges: 100, Errors: 2, ServFails: 1, StaleServed: 5,
+		Availability: 0.97, StaleRatio: 0.05, Violations: 2,
+		Events: []dataset.AnomalyEvent{
+			{Key: "client.error", Count: 2},
+			{Key: "client.stale", Count: 5},
+		},
+		Traces: []dataset.AnomalyTrace{{Name: "a.example.", Flags: []string{"stale"}}},
+	})
+	s.AddAnomaly(&dataset.AnomalyCapture{
+		Date: day.AddDate(0, 0, 7), Exchanges: 50, Availability: 1,
+	})
+	tab := AnomalyReport(s)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	r := tab.Rows[0]
+	if r[0] != "2024-01-25" || r[1] != "100" || r[7] != "2" {
+		t.Fatalf("verdict row = %v", r)
+	}
+	if r[8] != "7" || r[9] != "1" || r[10] != "client.stale ×5" {
+		t.Fatalf("evidence columns = %v", r[8:])
+	}
+	// A capture with no events renders the placeholder top event.
+	if tab.Rows[1][10] != "-" {
+		t.Fatalf("empty-events top = %q", tab.Rows[1][10])
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"io"
 	"net/netip"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -122,6 +123,31 @@ type CampaignConfig struct {
 	// a "workload" telemetry series are committed alongside the scan
 	// data.
 	Workload *workload.Config
+	// AnomalyCapture enables the campaign's anomaly tier on the daily
+	// pipeline: each per-day fleet replica carries a flight recorder
+	// (obs.Recorder) and a tail-sampling tracer, and every scan day whose
+	// anomaly trigger holds — any stable event fired, or an SLO objective
+	// was violated — commits a dataset.AnomalyCapture bundle: the stable
+	// SLO verdict, the recorder's exact stable event counts, and the tail
+	// ring's stable trace projections. Captures are built exclusively
+	// from schedule-independent inputs, so pipelined campaigns stay
+	// byte-identical with the tier on. Requires DoHFrontends > 0; ScanDay
+	// (the live-clock entry point) does not capture.
+	AnomalyCapture bool
+	// RecorderCapacity bounds each replica's flight-recorder event ring;
+	// zero selects obs.DefaultRecorderCapacity. Overflow never perturbs
+	// captures (stable counts are eviction-immune) — it only truncates
+	// the live event window.
+	RecorderCapacity int
+	// TailTopK bounds each replica tracer's tail ring; zero selects
+	// obs.DefaultTailTopK.
+	TailTopK int
+	// TailLatency additionally tail-retains any exchange whose virtual
+	// cost reaches the threshold; zero keeps flagged anomalies only.
+	TailLatency time.Duration
+	// SLO sets the objectives scan days are judged against when
+	// AnomalyCapture is on; the zero value selects obs.DefaultSLO().
+	SLO obs.SLO
 	// TelemetryInterval enables campaign telemetry series when positive
 	// and a fleet is configured: each scan day's fleet registry is
 	// sampled into a dataset.TelemetrySeries (stable metrics only, so
@@ -312,6 +338,19 @@ func (c *Campaign) newScanContext(at time.Time, seed int64, withSampler bool) *s
 	dc := &scanContext{prober: dayProber{w: c.World, clock: clock}, clock: clock}
 	var t scanner.Transport
 	if c.Fleet != nil {
+		// The anomaly tier rides each replica: the tail tracer keeps
+		// default-rate head sampling (the baseline ring is in-memory only —
+		// nothing schedule-dependent is stored from it) and adds the
+		// flagged-anomaly tail ring; the recorder collects typed events the
+		// capture bundle counts.
+		var tracer *obs.Tracer
+		var recorder *obs.Recorder
+		if c.Cfg.AnomalyCapture {
+			tracer = obs.NewTracer(clock, obs.TraceConfig{
+				Tail: &obs.TailConfig{Latency: c.Cfg.TailLatency, TopK: c.Cfg.TailTopK},
+			})
+			recorder = obs.NewRecorder(clock, c.Cfg.RecorderCapacity)
+		}
 		fl := transport.NewFleet(net, clock, transport.FleetConfig{
 			Balance: c.Cfg.DoHBalance, Seed: seed,
 			Strategy:        c.strategyConfig(),
@@ -319,6 +358,8 @@ func (c *Campaign) newScanContext(at time.Time, seed int64, withSampler bool) *s
 			FailureCooldown: c.Cfg.DoHFailureCooldown,
 			Latency:         transport.SyntheticLatency(dohLatencyBase, dohLatencySpread),
 			Override:        true,
+			Tracer:          tracer,
+			Recorder:        recorder,
 		})
 		protos := c.Cfg.TransportMix.Assign(len(c.Fleet.Addrs))
 		for i, ap := range c.Fleet.Addrs {
@@ -387,7 +428,89 @@ type dayResult struct {
 	workload       *dataset.WorkloadSnapshot
 	workloadSeries *dataset.TelemetrySeries
 	telemetry      *dataset.TelemetrySeries
+	anomaly        *dataset.AnomalyCapture
 	probes         []dataset.ProbeResult
+}
+
+// slo resolves the campaign's objective set (the zero config selects
+// the obs defaults).
+func (c *Campaign) slo() obs.SLO {
+	if c.Cfg.SLO.Enabled() {
+		return c.Cfg.SLO
+	}
+	return obs.DefaultSLO()
+}
+
+// stableTailFlags are the winner-side trace flags a stored anomaly
+// projection may carry. Dial-shape flags (failover, race, hedge) depend
+// on how scanner workers interleaved their pool updates, so they are
+// masked out of the store — they remain visible on the in-memory ring.
+const stableTailFlags = obs.FlagError | obs.FlagServFail | obs.FlagStale
+
+// stableTailTraces projects the tail ring onto its stored form:
+// winner-side flags only, deduplicated and sorted by (name, flags).
+// Exact whenever the ring held every stable-flagged exchange; once the
+// top-K bound evicts (cost-ranked, and virtual cost is
+// schedule-dependent), the projection is a best-effort sample — which
+// is why chaos drills, not byte-identity proofs, are where overflow
+// occurs.
+func stableTailTraces(t *obs.Tracer) []dataset.AnomalyTrace {
+	seen := map[string]bool{}
+	var out []dataset.AnomalyTrace
+	for _, tr := range t.Tail() {
+		fl := tr.Flags & stableTailFlags
+		if fl == 0 {
+			continue
+		}
+		key := tr.Name + "|" + fl.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, dataset.AnomalyTrace{Name: tr.Name, Flags: fl.Strings()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return strings.Join(out[i].Flags, ",") < strings.Join(out[j].Flags, ",")
+	})
+	return out
+}
+
+// anomalyCapture assembles the day's capture bundle when the anomaly
+// trigger holds: any stable flight-recorder event fired, or an SLO
+// objective was violated. The SLO verdict reads the replica's stable
+// snapshot — no latency histogram there, so the p99 objective goes
+// unevaluated (see obs.SLOStatsFrom) and Violations counts only the
+// availability and staleness objectives; event counts come from the
+// recorder's eviction-immune stable multiset.
+func (c *Campaign) anomalyCapture(dc *scanContext, day time.Time) *dataset.AnomalyCapture {
+	if dc.fleet == nil || dc.fleet.Recorder == nil {
+		return nil
+	}
+	stats := obs.SLOStatsFrom(dc.fleet.Metrics.StableSnapshot())
+	rep := c.slo().Eval(stats)
+	events := dc.fleet.Recorder.StableCounts()
+	traces := stableTailTraces(dc.fleet.Client.Tracer)
+	if rep.Violations == 0 && len(events) == 0 && len(traces) == 0 {
+		return nil
+	}
+	capt := &dataset.AnomalyCapture{
+		Date:         day,
+		Exchanges:    stats.Exchanges,
+		Errors:       stats.Errors,
+		ServFails:    stats.ServFails,
+		StaleServed:  stats.Stale,
+		Availability: rep.Availability,
+		StaleRatio:   rep.StaleRatio,
+		Violations:   rep.Violations,
+		Traces:       traces,
+	}
+	for _, ec := range events {
+		capt.Events = append(capt.Events, dataset.AnomalyEvent{Key: ec.Key(), Count: ec.Count})
+	}
+	return capt
 }
 
 // runDay performs one day's full scan sequence inside the given context.
@@ -416,6 +539,8 @@ func (c *Campaign) runDay(dc *scanContext, day time.Time) *dayResult {
 		dc.sampler.Force("workload")
 	}
 	res.telemetry = telemetrySeries("daily", day, c.Cfg.TelemetryInterval, dc.sampler.Points())
+	// The capture comes last so it sees the workload stage's events too.
+	res.anomaly = c.anomalyCapture(dc, day)
 	return res
 }
 
@@ -434,6 +559,9 @@ func (c *Campaign) runWorkload(dc *scanContext, day time.Time, list []string) (*
 	if len(wcfg.Domains) == 0 {
 		wcfg.Domains = list
 	}
+	// Crowd markers land in the day's flight recorder (nil when the
+	// anomaly tier is off — the engine's emission is nil-safe).
+	wcfg.Recorder = dc.fleet.Recorder
 	if wcfg.Seed == 0 {
 		wcfg.Seed = c.Cfg.Seed ^ day.Unix() ^ 0x776f726b6c6f6164 // "workload"
 	}
@@ -508,6 +636,9 @@ func (c *Campaign) commitDay(res *dayResult) {
 	}
 	if res.telemetry != nil {
 		c.Store.AddTelemetry(res.telemetry)
+	}
+	if res.anomaly != nil {
+		c.Store.AddAnomaly(res.anomaly)
 	}
 	if len(res.probes) > 0 {
 		c.Store.AddProbes(res.probes...)

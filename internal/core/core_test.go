@@ -444,6 +444,10 @@ func TestPipelinedHourlyMatchesSerial(t *testing.T) {
 		TransportMix:      transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
 		TransportStrategy: transport.StrategyRace,
 		TelemetryInterval: time.Hour,
+		// The anomaly tier rides the hour replicas too (recorder plus tail
+		// tracer); hourly runs commit no captures, but the tier being on
+		// must not perturb a single stored byte.
+		AnomalyCapture: true,
 	}
 	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
 	run := func(workers int) *Campaign {
@@ -650,6 +654,107 @@ func TestWorkloadPipelinedMatchesSerial(t *testing.T) {
 	a, b := storeJSON(t, serial), storeJSON(t, pipelined)
 	if !bytes.Equal(a, b) {
 		t.Fatalf("workload-enabled pipelined store diverges from serial: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestPipelinedAnomalyCaptureMatchesSerial is the anomaly tier's
+// determinism proof: with the flight recorder, tail-sampled tracing, and
+// SLO evaluation all enabled on every per-day replica, a mixed racing
+// fleet driving both the scan stages and a flash-crowd workload must
+// still produce byte-identical stores — AnomalyCapture records included
+// — for any day-worker count. The captures are assembled exclusively
+// from schedule-independent inputs (eviction-immune stable event
+// counts, winner-side SLO stats, winner-side trace flags), which is
+// exactly what this test pins.
+func TestPipelinedAnomalyCaptureMatchesSerial(t *testing.T) {
+	cfg := CampaignConfig{
+		Size: 500, Seed: 29,
+		Start:             time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC),
+		End:               time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC),
+		StepDays:          7,
+		DoHFrontends:      4,
+		TransportMix:      transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
+		TransportStrategy: transport.StrategyRace,
+		TelemetryInterval: time.Hour,
+		AnomalyCapture:    true,
+		TailTopK:          16,
+		Workload: &workload.Config{
+			Clients: 2_000, Model: workload.ModelOpen,
+			OpenRate: 0.01, Duration: time.Hour,
+			StubTTL: 30 * time.Second,
+			Mix:     transport.Mix{DoH: 2, DoT: 1, DoQ: 1},
+			Crowds: []workload.FlashCrowd{{
+				At: 20 * time.Minute, Duration: 10 * time.Minute, Multiplier: 8,
+			}},
+		},
+	}
+	run := func(workers int) *Campaign {
+		c, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Cfg.DayWorkers = workers
+		if err := c.RunDaily(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serial := run(1)
+	pipelined := run(8)
+
+	// Every scan day triggers a capture: negative answers and crowd
+	// markers are stable events, and both fire in this configuration.
+	days := serial.Store.Days("apex")
+	if got := serial.Store.AnomalyDays(); len(got) != len(days) {
+		t.Fatalf("anomaly captures for %d days, want %d", len(got), len(days))
+	}
+	capt, ok := serial.Store.AnomalyFor(days[0])
+	if !ok {
+		t.Fatalf("no anomaly capture for %s", days[0].Format("2006-01-02"))
+	}
+	if capt.Exchanges == 0 {
+		t.Fatal("capture records no exchanges")
+	}
+	// A healthy world violates no objective and tail-retains no
+	// winner-side anomalies; the racing fleet's race-flagged traces must
+	// be masked out of the stored projection.
+	if capt.Violations != 0 || capt.Errors != 0 || capt.StaleServed != 0 {
+		t.Fatalf("healthy campaign reports anomalies: %+v", capt)
+	}
+	if len(capt.Traces) != 0 {
+		t.Fatalf("dial-shape traces leaked into the store: %+v", capt.Traces)
+	}
+	if capt.Availability != 1 {
+		t.Fatalf("availability = %v, want 1", capt.Availability)
+	}
+	keys := map[string]uint64{}
+	for _, ev := range capt.Events {
+		keys[ev.Key] = ev.Count
+	}
+	if keys["client.negative"] == 0 {
+		t.Fatalf("capture misses the negative-answer events: %v", keys)
+	}
+	var crowdStart, crowdEnd bool
+	for k := range keys {
+		if strings.HasPrefix(k, "workload.crowd.start") {
+			crowdStart = true
+		}
+		if strings.HasPrefix(k, "workload.crowd.end") {
+			crowdEnd = true
+		}
+	}
+	if !crowdStart || !crowdEnd {
+		t.Fatalf("capture misses the flash-crowd markers: %v", keys)
+	}
+	for k := range keys {
+		if strings.HasPrefix(k, "strategy.") || strings.HasPrefix(k, "pool.") || strings.HasPrefix(k, "frontend.") {
+			t.Fatalf("volatile event kind %q leaked into the capture", k)
+		}
+	}
+
+	a, b := storeJSON(t, serial), storeJSON(t, pipelined)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("anomaly-enabled pipelined store diverges from serial: %d vs %d bytes", len(a), len(b))
 	}
 }
 

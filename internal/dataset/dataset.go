@@ -165,6 +165,53 @@ type WorkloadSnapshot struct {
 	Digest string `json:"digest"`
 }
 
+// AnomalyEvent is one aggregated flight-recorder event group inside an
+// anomaly capture: the event key (kind plus sorted labels) and how many
+// times it fired.
+type AnomalyEvent struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+}
+
+// AnomalyTrace is one tail-sampled trace's stable projection inside an
+// anomaly capture: the traced query name and the anomaly flags that got
+// it retained. Virtual cost and trace IDs are deliberately absent —
+// per-exchange Elapsed depends on how scanner workers interleaved their
+// pool updates, so storing it would break the serial/pipelined
+// byte-identity contract the rest of the store honors.
+type AnomalyTrace struct {
+	Name  string   `json:"name"`
+	Flags []string `json:"flags,omitempty"`
+}
+
+// AnomalyCapture is one scan day's anomaly bundle: the stable SLO
+// verdict, the flight recorder's stable event counts, and the stable
+// projections of the tail-sampled traces. Campaigns commit one per day
+// on which the anomaly trigger held (stable anomaly events present or an
+// SLO objective violated). Like ServingSnapshot, every field is a
+// deterministic function of the day's scan, so pipelined and serial
+// campaign stores stay byte-identical with captures on.
+type AnomalyCapture struct {
+	Date time.Time `json:"date"`
+	// Exchanges/Errors/ServFails/StaleServed are the day's winner-side
+	// SLO inputs; Availability and StaleRatio the derived objectives.
+	Exchanges    uint64  `json:"exchanges"`
+	Errors       uint64  `json:"errors"`
+	ServFails    uint64  `json:"servfails"`
+	StaleServed  uint64  `json:"stale_served"`
+	Availability float64 `json:"availability"`
+	StaleRatio   float64 `json:"stale_ratio"`
+	// Violations counts SLO objectives the day breached (the latency
+	// objective is excluded: p99 is volatile under pipelining).
+	Violations int `json:"violations"`
+	// Events are the day's stable flight-recorder event counts in
+	// canonical key order.
+	Events []AnomalyEvent `json:"events,omitempty"`
+	// Traces are the tail ring's stable projections, deduplicated and
+	// sorted by (name, flags).
+	Traces []AnomalyTrace `json:"traces,omitempty"`
+}
+
 // TelemetryValue is one flattened metric reading inside a telemetry
 // sample: the obs metric key (name plus sorted labels) and its value.
 type TelemetryValue struct {
@@ -237,6 +284,7 @@ type storeShard struct {
 	ns       map[int64]*NSSnapshot
 	serving  map[int64]*ServingSnapshot
 	workload map[int64]*WorkloadSnapshot
+	anomaly  map[int64]*AnomalyCapture
 	// telemetry is keyed by scope + "|" + unix day, so daily series and
 	// hourly-ech series over the same dates never collide.
 	telemetry map[string]*TelemetrySeries
@@ -256,6 +304,7 @@ func newStoreShard() *storeShard {
 		ns:          map[int64]*NSSnapshot{},
 		serving:     map[int64]*ServingSnapshot{},
 		workload:    map[int64]*WorkloadSnapshot{},
+		anomaly:     map[int64]*AnomalyCapture{},
 		telemetry:   map[string]*TelemetrySeries{},
 		trancoLists: map[int64][]string{},
 	}
@@ -428,6 +477,32 @@ func telemetryKey(scope string, date time.Time) string {
 	return scope + "|" + strconv.FormatInt(dayKey(date), 10)
 }
 
+// AddAnomaly stores a daily anomaly-capture bundle.
+func (s *Store) AddAnomaly(cap *AnomalyCapture) {
+	key := dayKey(cap.Date)
+	sh := s.shardForDay(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.anomaly[key] = cap
+}
+
+// AnomalyDays returns the sorted dates with anomaly captures.
+func (s *Store) AnomalyDays() []time.Time {
+	return keysToDays(s.collectKeys(func(sh *storeShard) []int64 {
+		return mapKeys(sh.anomaly)
+	}))
+}
+
+// AnomalyFor returns the anomaly capture for a date.
+func (s *Store) AnomalyFor(date time.Time) (*AnomalyCapture, bool) {
+	key := dayKey(date)
+	sh := s.shardForDay(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	cap, ok := sh.anomaly[key]
+	return cap, ok
+}
+
 // AddTelemetry stores one day's telemetry series for its scope.
 func (s *Store) AddTelemetry(series *TelemetrySeries) {
 	key := telemetryKey(series.Scope, series.Date)
@@ -569,6 +644,7 @@ type export struct {
 	NS         []*NSSnapshot       `json:"ns"`
 	Serving    []*ServingSnapshot  `json:"serving,omitempty"`
 	Workload   []*WorkloadSnapshot `json:"workload,omitempty"`
+	Anomalies  []*AnomalyCapture   `json:"anomalies,omitempty"`
 	Telemetry  []*TelemetrySeries  `json:"telemetry,omitempty"`
 	ECH        []ECHObservation    `json:"ech"`
 	Probes     []ProbeResult       `json:"probes"`
@@ -604,6 +680,12 @@ func (s *Store) WriteJSON(w io.Writer) error {
 		sh := s.shardForDay(day)
 		sh.mu.RLock()
 		e.Workload = append(e.Workload, sh.workload[day])
+		sh.mu.RUnlock()
+	}
+	for _, day := range s.collectKeys(func(sh *storeShard) []int64 { return mapKeys(sh.anomaly) }) {
+		sh := s.shardForDay(day)
+		sh.mu.RLock()
+		e.Anomalies = append(e.Anomalies, sh.anomaly[day])
 		sh.mu.RUnlock()
 	}
 	e.Telemetry = s.TelemetryAll()

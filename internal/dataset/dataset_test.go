@@ -297,3 +297,48 @@ func TestConcurrentReadDuringAppend(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestAnomalyCaptureStorage pins the anomaly-capture table: per-day
+// upsert semantics, sorted AnomalyDays, and a WriteJSON export that
+// carries the bundle in date order.
+func TestAnomalyCaptureStorage(t *testing.T) {
+	s := NewStore()
+	d1 := time.Date(2024, 1, 25, 0, 0, 0, 0, time.UTC)
+	d2 := d1.AddDate(0, 0, 7)
+	s.AddAnomaly(&AnomalyCapture{
+		Date: d2, Exchanges: 100, Errors: 3, StaleServed: 8,
+		Availability: 0.97, StaleRatio: 0.08, Violations: 1,
+		Events: []AnomalyEvent{{Key: "client.stale", Count: 8}},
+		Traces: []AnomalyTrace{{Name: "flap.test.", Flags: []string{"stale"}}},
+	})
+	s.AddAnomaly(&AnomalyCapture{Date: d1, Exchanges: 50, Availability: 1})
+
+	days := s.AnomalyDays()
+	if len(days) != 2 || !days[0].Equal(d1) || !days[1].Equal(d2) {
+		t.Fatalf("anomaly days = %v", days)
+	}
+	cap2, ok := s.AnomalyFor(d2)
+	if !ok || cap2.Violations != 1 || len(cap2.Traces) != 1 {
+		t.Fatalf("AnomalyFor(d2) = %+v, %v", cap2, ok)
+	}
+	if _, ok := s.AnomalyFor(d1.AddDate(0, 0, 1)); ok {
+		t.Fatal("capture reported for a day without one")
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Anomalies []*AnomalyCapture `json:"anomalies"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Anomalies) != 2 || !e.Anomalies[0].Date.Equal(d1) {
+		t.Fatalf("exported anomalies = %+v", e.Anomalies)
+	}
+	if e.Anomalies[1].Events[0].Key != "client.stale" {
+		t.Fatalf("exported events = %+v", e.Anomalies[1].Events)
+	}
+}

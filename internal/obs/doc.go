@@ -37,7 +37,37 @@
 //     everything for live tooling (cmd/dohserve), where single-driver
 //     loops make the whole registry deterministic.
 //
-// Trace sampling is head-based and counter-driven (every Nth exchange),
-// never random, so a single-goroutine drive samples the identical
-// exchanges run over run.
+// Trace sampling comes in two retention policies. Head sampling is
+// counter-driven (every Nth exchange), never random, so a
+// single-goroutine drive samples the identical exchanges run over run —
+// but WHICH exchanges land on the every-Nth grid depends on arrival
+// order, so under concurrent drivers the head ring's contents are
+// schedule-dependent (cmd/dohserve documents this caveat on -trace).
+// Tail sampling (TraceConfig.Tail) traces every exchange into a scratch
+// buffer and keeps only those matching a deterministic anomaly
+// predicate — a TraceFlag set by the exchange owner (error, SERVFAIL,
+// stale-served, failover, race, hedge) or virtual cost over a threshold
+// — ranked into a bounded top-K ring by (cost, name, flags): properties
+// of the exchange itself, not of scheduling, so the retained set is
+// stable under concurrent drivers wherever per-exchange outcomes are.
+//
+// The flight recorder (Recorder) extends the same stable/volatile
+// discipline to event ORDER. Emission sites mark schedule-dependent
+// kinds volatile (attempt-side transport events: pool cooldowns and
+// removals, race/hedge fires, per-frontend stale serves); StableEvents
+// filters to the stable kinds and sorts canonically by (At, kind,
+// labels) — under frozen per-day clocks every At is equal, so the
+// canonical key, never arrival order, defines the committed sequence.
+// Anomaly captures additionally store events as aggregated counts
+// (CountEvents), an order-insensitive multiset. Both guarantees assume
+// the bounded ring never dropped (Recorder.Dropped() == 0); eviction is
+// arrival-ordered, so an overflowing ring forfeits byte-identity and
+// campaigns size the ring to the day.
+//
+// SLO evaluation (SLO, BurnEngine) is snapshot arithmetic on these same
+// quantities — winner-side counters and the latency histogram's
+// quantiles — so it inherits the contract: burn rates over stable
+// snapshots are schedule-independent; the latency objective reads the
+// (volatile) histogram and is therefore only evaluated on live
+// single-driver registries, never in committed campaign records.
 package obs

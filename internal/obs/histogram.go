@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +94,67 @@ func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of
+// the bucket holding the target cumulative rank — the resolution a
+// fixed-bucket histogram can honestly offer. Observations past the last
+// finite bound clamp to that bound (the +Inf bucket has no upper edge),
+// and an empty histogram reports 0. The rank is ceil(q·count), so an
+// observation exactly at a bucket boundary resolves to that bucket's
+// bound, matching Observe's le-inclusive placement.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 || q <= 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Quantile is the snapshot-side counterpart of Histogram.Quantile: it
+// estimates the q-quantile from a snapshotted histogram metric's
+// cumulative buckets, which is the only form drill deltas (Snapshot.Sub)
+// exist in. Non-histogram or empty metrics report 0; ranks landing in
+// the +Inf bucket clamp to the last finite bound.
+func (m Metric) Quantile(q float64) time.Duration {
+	if m.Count == 0 || len(m.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(m.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var lastFinite time.Duration
+	for _, b := range m.Buckets {
+		// ParseFloat accepts "+Inf"; only finite bounds are candidates.
+		if sec, err := strconv.ParseFloat(b.LE, 64); err == nil && !math.IsInf(sec, 0) {
+			lastFinite = time.Duration(sec * float64(time.Second))
+		}
+		if b.Count >= rank {
+			break
+		}
+	}
+	return lastFinite
+}
 
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecorderEmitAndWindow(t *testing.T) {
+	clock := testClock()
+	r := NewRecorder(clock, 16)
+	start := clock.Now()
+	r.Emit("pool.cooldown", L("member", "doh-0"))
+	clock.Advance(time.Minute)
+	r.Emit("cache.stale", L("reason", "cooldown"))
+	clock.Advance(time.Minute)
+	r.Emit("frontend.dead", L("frontend", "doh-1"))
+
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	// The middle minute only.
+	win := r.Window(start.Add(30*time.Second), start.Add(90*time.Second))
+	if len(win) != 1 || win[0].Kind != "cache.stale" {
+		t.Fatalf("window = %+v, want the cache.stale event", win)
+	}
+	// Inclusive edges.
+	win = r.Window(start, start.Add(2*time.Minute))
+	if len(win) != 3 {
+		t.Fatalf("full window = %d events, want 3", len(win))
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRecorderRingBoundAndDropped(t *testing.T) {
+	r := NewRecorder(nil, 4)
+	for i := 0; i < 10; i++ {
+		r.Emit("e", L("i", string(rune('a'+i))))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	// Oldest-first eviction: the survivors are the last four emissions.
+	win := r.Window(time.Time{}, time.Unix(1<<40, 0))
+	if win[0].Labels[0].Value != "g" {
+		t.Fatalf("oldest survivor = %+v, want the 7th emission", win[0])
+	}
+}
+
+// TestRecorderStableEventsCanonicalOrder pins the capture view: volatile
+// kinds are excluded and the survivors sort by (At, kind, labels)
+// regardless of arrival order — the frozen-clock case where every At is
+// equal is exactly where arrival order would otherwise leak through.
+func TestRecorderStableEventsCanonicalOrder(t *testing.T) {
+	r := NewRecorder(nil, 16) // nil clock: every At equal (zero)
+	r.SetVolatile("pool.cooldown", "strategy.race")
+	r.Emit("workload.crowd.start", L("crowd", "0"))
+	r.Emit("pool.cooldown", L("member", "doh-0"))
+	r.Emit("client.stale")
+	r.Emit("strategy.race")
+	r.Emit("client.negative")
+
+	stable := r.StableEvents()
+	if len(stable) != 3 {
+		t.Fatalf("stable events = %d, want 3: %+v", len(stable), stable)
+	}
+	want := []string{"client.negative", "client.stale", "workload.crowd.start"}
+	for i, e := range stable {
+		if e.Kind != want[i] {
+			t.Fatalf("stable[%d] = %s, want %s", i, e.Kind, want[i])
+		}
+	}
+}
+
+// TestRecorderStableCountsSurviveEviction pins the eviction immunity
+// anomaly captures rely on: volatile-event pressure overflows the ring
+// (voiding the windowed views) without perturbing the exact stable-kind
+// multiset.
+func TestRecorderStableCountsSurviveEviction(t *testing.T) {
+	r := NewRecorder(nil, 4)
+	r.SetVolatile("strategy.race")
+	r.Emit("client.stale", L("proto", "doh"))
+	r.Emit("client.stale", L("proto", "doh"))
+	r.Emit("client.negative")
+	for i := 0; i < 10; i++ {
+		r.Emit("strategy.race") // evicts the stable events from the ring
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("expected ring overflow")
+	}
+	if len(r.StableEvents()) != 0 {
+		t.Fatalf("stable events survived eviction: %+v", r.StableEvents())
+	}
+	counts := r.StableCounts()
+	if len(counts) != 2 {
+		t.Fatalf("stable counts = %+v, want negative=1 and stale=2", counts)
+	}
+	if counts[0].Kind != "client.negative" || counts[0].Count != 1 {
+		t.Fatalf("counts[0] = %+v", counts[0])
+	}
+	if counts[1].Kind != "client.stale" || counts[1].Count != 2 || counts[1].Labels[0].Value != "doh" {
+		t.Fatalf("counts[1] = %+v", counts[1])
+	}
+	// Late volatility declaration purges accumulated counts.
+	r.SetVolatile("client.stale")
+	if got := r.StableCounts(); len(got) != 1 || got[0].Kind != "client.negative" {
+		t.Fatalf("post-purge counts = %+v", got)
+	}
+}
+
+func TestCountEvents(t *testing.T) {
+	events := []Event{
+		{Kind: "client.stale"},
+		{Kind: "client.stale"},
+		{Kind: "client.stale", Labels: []Label{L("proto", "doh")}},
+		{Kind: "client.negative"},
+	}
+	counts := CountEvents(events)
+	if len(counts) != 3 {
+		t.Fatalf("count groups = %d, want 3: %+v", len(counts), counts)
+	}
+	if counts[0].Kind != "client.negative" || counts[0].Count != 1 {
+		t.Fatalf("counts[0] = %+v", counts[0])
+	}
+	if counts[1].Kind != "client.stale" || counts[1].Count != 2 || counts[1].Labels != nil {
+		t.Fatalf("counts[1] = %+v", counts[1])
+	}
+	if counts[2].Count != 1 || len(counts[2].Labels) != 1 {
+		t.Fatalf("counts[2] = %+v", counts[2])
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit("x")
+	r.SetVolatile("x")
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder retained state")
+	}
+	if r.Window(time.Time{}, time.Time{}) != nil || r.StableEvents() != nil || r.StableCounts() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+}

@@ -345,13 +345,16 @@ func (s *Snapshot) sort() {
 	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Key() < s.Metrics[j].Key() })
 }
 
-// Get returns the metric for (name, labels).
+// Get returns the metric for (name, labels). Metrics is always sorted by
+// key (every snapshot constructor — snapshot, Sub, MergeSnapshots — ends
+// sorted), so the lookup is a binary search: Get is called per-assertion
+// in campaign tests and per-tick in drill reporting, where a linear scan
+// over a fleet-sized registry added up.
 func (s *Snapshot) Get(name string, labels ...Label) (Metric, bool) {
 	key := metricKey(name, labels)
-	for _, m := range s.Metrics {
-		if m.Key() == key {
-			return m, true
-		}
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Key() >= key })
+	if i < len(s.Metrics) && s.Metrics[i].Key() == key {
+		return s.Metrics[i], true
 	}
 	return Metric{}, false
 }

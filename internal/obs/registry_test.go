@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -128,6 +129,141 @@ func TestHistogramExemplarKeepsSlowest(t *testing.T) {
 	}
 	if buckets[0].ExemplarSec != (300 * time.Millisecond).Seconds() {
 		t.Fatalf("exemplar value = %v", buckets[0].ExemplarSec)
+	}
+}
+
+// TestSnapshotGetBinarySearch exercises Get's binary search over a
+// registry large enough that every probe position matters: first, last,
+// every middle key, a labeled sibling, and misses on both ends.
+func TestSnapshotGetBinarySearch(t *testing.T) {
+	r := NewRegistry(nil)
+	for i := 0; i < 50; i++ {
+		r.Counter(fmt.Sprintf("m%02d_total", i)).Add(uint64(i + 1))
+	}
+	r.Counter("m25_total", L("proto", "doh")).Add(7)
+	snap := r.Snapshot()
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("m%02d_total", i)
+		if v := snap.Value(name); v != float64(i+1) {
+			t.Fatalf("%s = %v, want %d", name, v, i+1)
+		}
+	}
+	if v := snap.Value("m25_total", L("proto", "doh")); v != 7 {
+		t.Fatalf("labeled sibling = %v, want 7", v)
+	}
+	for _, miss := range []string{"", "a_total", "m25_totalx", "zzz_total"} {
+		if _, ok := snap.Get(miss); ok {
+			t.Fatalf("Get(%q) reported a hit", miss)
+		}
+	}
+}
+
+// TestSnapshotSubNewMetricMidDrill pins Sub's behavior for a metric that
+// first appears after the baseline snapshot: it passes through
+// unchanged (absent from base means nothing to subtract).
+func TestSnapshotSubNewMetricMidDrill(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("old_total").Add(3)
+	base := r.Snapshot()
+	r.Counter("old_total").Add(2)
+	r.Counter("new_total").Add(9)
+	h := r.Histogram("new_latency_seconds", []time.Duration{time.Millisecond})
+	h.Observe(2 * time.Millisecond)
+	diff := r.Snapshot().Sub(base)
+	if v := diff.Value("old_total"); v != 2 {
+		t.Fatalf("old_total delta = %v, want 2", v)
+	}
+	if v := diff.Value("new_total"); v != 9 {
+		t.Fatalf("mid-drill counter delta = %v, want 9 (pass through)", v)
+	}
+	m, ok := diff.Get("new_latency_seconds")
+	if !ok || m.Count != 1 {
+		t.Fatalf("mid-drill histogram = %+v, want count 1", m)
+	}
+	// Cumulative shape intact: the +Inf bucket still counts everything.
+	if last := m.Buckets[len(m.Buckets)-1]; last.LE != "+Inf" || last.Count != 1 {
+		t.Fatalf("mid-drill histogram +Inf bucket = %+v", last)
+	}
+}
+
+// TestSnapshotSubBucketAbsentFromBase pins Sub for a histogram bucket
+// present in cur but absent from base (snapshots merged from different
+// bucket ladders): the unmatched bucket subtracts zero.
+func TestSnapshotSubBucketAbsentFromBase(t *testing.T) {
+	base := &Snapshot{Metrics: []Metric{{
+		Name: "lat_seconds", Kind: "histogram", Count: 2, Sum: 0.002,
+		Buckets: []Bucket{{LE: "0.001", Count: 2}, {LE: "+Inf", Count: 2}},
+	}}}
+	cur := &Snapshot{Metrics: []Metric{{
+		Name: "lat_seconds", Kind: "histogram", Count: 5, Sum: 0.025,
+		Buckets: []Bucket{{LE: "0.001", Count: 3}, {LE: "0.01", Count: 5}, {LE: "+Inf", Count: 5}},
+	}}}
+	diff := cur.Sub(base)
+	m, ok := diff.Get("lat_seconds")
+	if !ok {
+		t.Fatal("histogram missing from diff")
+	}
+	if m.Count != 3 {
+		t.Fatalf("count delta = %d, want 3", m.Count)
+	}
+	want := []Bucket{{LE: "0.001", Count: 1}, {LE: "0.01", Count: 5}, {LE: "+Inf", Count: 3}}
+	for i, b := range m.Buckets {
+		if b.LE != want[i].LE || b.Count != want[i].Count {
+			t.Fatalf("bucket[%d] = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+// TestHistogramQuantileBoundaries pins Quantile against exact
+// bucket-boundary ranks, on the live histogram and its snapshot form.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// Two observations per bucket: cum = 2 at 1ms, 4 at 10ms.
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(10 * time.Millisecond)
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.25, time.Millisecond},      // rank 1
+		{0.5, time.Millisecond},       // rank 2 — exactly the first bucket's cumulative edge
+		{0.51, 10 * time.Millisecond}, // rank 3 — one past the edge
+		{1, 10 * time.Millisecond},
+		{1.5, 10 * time.Millisecond}, // clamped to q=1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Over-range mass: ranks landing in +Inf clamp to the last finite
+	// bound.
+	h.Observe(5 * time.Second)
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 100ms", got)
+	}
+
+	// The snapshot-side Metric.Quantile agrees on every case.
+	r := NewRegistry(nil)
+	r.RegisterHistogram(h, "lat_seconds")
+	m, ok := r.Snapshot().Get("lat_seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if got := m.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("Metric.Quantile(1) = %v, want 100ms", got)
+	}
+	if got := m.Quantile(0.4); got != time.Millisecond {
+		t.Fatalf("Metric.Quantile(0.4) = %v, want 1ms", got)
+	}
+	var zero Metric
+	if got := zero.Quantile(0.99); got != 0 {
+		t.Fatalf("zero Metric.Quantile = %v, want 0", got)
 	}
 }
 

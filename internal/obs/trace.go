@@ -19,13 +19,84 @@ type TraceConfig struct {
 	// Capacity bounds the ring of retained finished traces; 0 selects
 	// DefaultTraceCapacity.
 	Capacity int
+	// Tail, when non-nil, enables tail-based retention alongside head
+	// sampling: every exchange is traced into a scratch buffer, and the
+	// finished trace is kept only if it matches the anomaly predicate —
+	// any TraceFlag set (error, SERVFAIL, stale-served, failover, race,
+	// hedge fired) or virtual cost at or over Tail.Latency — ranked in a
+	// bounded top-K ring by virtual cost. Head sampling keeps recording
+	// the baseline population into the head ring unchanged.
+	Tail *TailConfig
+}
+
+// TailConfig parameterizes tail-based trace retention.
+type TailConfig struct {
+	// Latency keeps any finished trace whose virtual cost reaches the
+	// threshold; 0 disables the latency predicate (anomaly flags still
+	// keep traces).
+	Latency time.Duration
+	// TopK bounds the tail ring; 0 selects DefaultTailTopK.
+	TopK int
 }
 
 // Tracer defaults.
 const (
 	DefaultSampleEvery   = 16
 	DefaultTraceCapacity = 64
+	DefaultTailTopK      = 32
 )
+
+// TraceFlag marks an exchange-level anomaly on a finished trace — the
+// tail sampler's keep predicate. Flags are set by the exchange owner
+// (the transport client) from the winning outcome before Finish.
+type TraceFlag uint8
+
+const (
+	// FlagError marks an exchange that failed outright (every upstream
+	// errored).
+	FlagError TraceFlag = 1 << iota
+	// FlagServFail marks an exchange whose final answer was a SERVFAIL.
+	FlagServFail
+	// FlagStale marks an RFC 8767 stale-served answer.
+	FlagStale
+	// FlagFailover marks an exchange that needed more than one attempt
+	// without racing or hedging — serial failover past a dead or failing
+	// member.
+	FlagFailover
+	// FlagRace marks an exchange whose happy-eyeballs race actually
+	// fired.
+	FlagRace
+	// FlagHedge marks an exchange whose hedge timer fired.
+	FlagHedge
+)
+
+// traceFlagNames orders flag names for stable rendering.
+var traceFlagNames = []struct {
+	flag TraceFlag
+	name string
+}{
+	{FlagError, "error"},
+	{FlagServFail, "servfail"},
+	{FlagStale, "stale"},
+	{FlagFailover, "failover"},
+	{FlagRace, "race"},
+	{FlagHedge, "hedge"},
+}
+
+// Strings renders the set flags as a stable, declaration-ordered name
+// list (nil when no flag is set).
+func (f TraceFlag) Strings() []string {
+	var out []string
+	for _, fn := range traceFlagNames {
+		if f&fn.flag != 0 {
+			out = append(out, fn.name)
+		}
+	}
+	return out
+}
+
+// String renders the flag set as a comma-joined list ("" when empty).
+func (f TraceFlag) String() string { return strings.Join(f.Strings(), ",") }
 
 // Tracer samples exchanges into traces and retains the most recent ones
 // in a bounded ring. A nil *Tracer is valid everywhere and traces
@@ -35,12 +106,15 @@ type Tracer struct {
 	clock Clock
 	every uint64
 	cap   int
+	tail  *TailConfig
+	topK  int
 
 	seq    atomic.Uint64
 	nextID atomic.Uint64
 
-	mu   sync.Mutex
-	ring []*Trace // most recent cap finished traces, oldest first
+	mu       sync.Mutex
+	ring     []*Trace // most recent cap head-sampled traces, oldest first
+	tailRing []*Trace // top-K tail-kept traces, rank order (tailRank)
 }
 
 // NewTracer builds a tracer on the given clock.
@@ -53,39 +127,124 @@ func NewTracer(clock Clock, cfg TraceConfig) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{clock: clock, every: uint64(every), cap: capacity}
+	t := &Tracer{clock: clock, every: uint64(every), cap: capacity}
+	if cfg.Tail != nil {
+		tail := *cfg.Tail
+		t.tail = &tail
+		t.topK = tail.TopK
+		if t.topK <= 0 {
+			t.topK = DefaultTailTopK
+		}
+	}
+	return t
 }
 
+// TailEnabled reports whether tail-based retention is on (false on nil).
+func (t *Tracer) TailEnabled() bool { return t != nil && t.tail != nil }
+
 // Start begins a trace for the named exchange if head sampling selects
-// it, returning nil otherwise (and always on a nil tracer). The returned
+// it — or, with tail retention enabled, always: the scratch trace is
+// discarded at Finish unless the anomaly predicate keeps it. Returns nil
+// on an unsampled exchange (and always on a nil tracer). The returned
 // Trace is single-goroutine state: one exchange, one owner.
 func (t *Tracer) Start(name string) *Trace {
 	if t == nil {
 		return nil
 	}
-	if (t.seq.Add(1)-1)%t.every != 0 {
+	head := (t.seq.Add(1)-1)%t.every == 0
+	if !head && t.tail == nil {
 		return nil
 	}
-	tr := &Trace{ID: t.nextID.Add(1), Name: name}
+	tr := &Trace{ID: t.nextID.Add(1), Name: name, head: head}
 	if t.clock != nil {
 		tr.Start = t.clock.Now()
 	}
 	return tr
 }
 
-// Finish sets the trace's total virtual duration and retains it in the
-// ring. Nil-safe on both receiver and trace.
+// Finish sets the trace's total virtual duration and retains it: a
+// head-sampled trace joins the baseline ring, and — with tail retention
+// on — a trace matching the anomaly predicate is ranked into the top-K
+// tail ring. A scratch trace matching neither is dropped. Nil-safe on
+// both receiver and trace.
 func (t *Tracer) Finish(tr *Trace, total time.Duration) {
 	if t == nil || tr == nil {
 		return
 	}
 	tr.Duration = total
 	t.mu.Lock()
-	t.ring = append(t.ring, tr)
-	if len(t.ring) > t.cap {
-		t.ring = t.ring[len(t.ring)-t.cap:]
+	if tr.head {
+		t.ring = append(t.ring, tr)
+		if len(t.ring) > t.cap {
+			t.ring = t.ring[len(t.ring)-t.cap:]
+		}
+	}
+	if t.tail != nil && t.tailKeep(tr) {
+		t.tailInsert(tr)
 	}
 	t.mu.Unlock()
+}
+
+// tailKeep is the deterministic anomaly predicate: any flag set, or
+// virtual cost at or over the latency threshold.
+func (t *Tracer) tailKeep(tr *Trace) bool {
+	if tr.Flags != 0 {
+		return true
+	}
+	return t.tail.Latency > 0 && tr.Duration >= t.tail.Latency
+}
+
+// tailRank orders a before b in the tail ring: higher virtual cost
+// first, then name, then flags, then trace ID. The leading keys are
+// schedule-independent properties of the exchange, so the retained set
+// is stable under concurrent drivers; the ID only breaks ties between
+// traces whose recorded content is otherwise identical.
+func tailRank(a, b *Trace) bool {
+	if a.Duration != b.Duration {
+		return a.Duration > b.Duration
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.Flags != b.Flags {
+		return a.Flags < b.Flags
+	}
+	return a.ID < b.ID
+}
+
+// tailInsert ranks tr into the bounded tail ring (caller holds mu).
+func (t *Tracer) tailInsert(tr *Trace) {
+	i := sort.Search(len(t.tailRing), func(i int) bool { return !tailRank(t.tailRing[i], tr) })
+	if i >= t.topK {
+		return // ranks below the ring's floor
+	}
+	t.tailRing = append(t.tailRing, nil)
+	copy(t.tailRing[i+1:], t.tailRing[i:])
+	t.tailRing[i] = tr
+	if len(t.tailRing) > t.topK {
+		t.tailRing = t.tailRing[:t.topK]
+	}
+}
+
+// TailLen reports the number of tail-retained traces.
+func (t *Tracer) TailLen() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tailRing)
+}
+
+// Tail returns the tail-retained traces in rank order (highest virtual
+// cost first). The slice is a copy; the traces are shared.
+func (t *Tracer) Tail() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Trace(nil), t.tailRing...)
 }
 
 // Len reports the number of retained traces.
@@ -141,8 +300,20 @@ type Trace struct {
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration"`
 	Spans    []Span        `json:"spans"`
+	// Flags carries the exchange-level anomaly markers the tail sampler
+	// keys on, set by the exchange owner before Finish.
+	Flags TraceFlag `json:"flags,omitempty"`
 
 	depth int
+	head  bool // head sampling selected this trace for the baseline ring
+}
+
+// Flag sets an anomaly flag (nil-safe).
+func (tr *Trace) Flag(f TraceFlag) {
+	if tr == nil {
+		return
+	}
+	tr.Flags |= f
 }
 
 // Add records a leaf span at the current nesting depth.
@@ -183,7 +354,11 @@ func (tr *Trace) Tree() string {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace %d %s (%v)\n", tr.ID, tr.Name, tr.Duration)
+	fmt.Fprintf(&b, "trace %d %s (%v)", tr.ID, tr.Name, tr.Duration)
+	if tr.Flags != 0 {
+		fmt.Fprintf(&b, " [%s]", tr.Flags)
+	}
+	b.WriteByte('\n')
 	for _, sp := range tr.Spans {
 		fmt.Fprintf(&b, "  %s+%-8v %s", strings.Repeat("  ", sp.Depth), sp.Offset, sp.Name)
 		if sp.Dur > 0 {

@@ -65,6 +65,100 @@ func TestNilTracerAndTraceSafe(t *testing.T) {
 	}
 }
 
+// TestTailSamplingKeepsAnomalies drives exchanges the head sampler
+// would skip and asserts the tail ring retains exactly the anomalous
+// ones: the flagged stale serve and the over-threshold slow exchange,
+// ranked by virtual cost.
+func TestTailSamplingKeepsAnomalies(t *testing.T) {
+	tr := NewTracer(testClock(), TraceConfig{
+		SampleEvery: 100,
+		Tail:        &TailConfig{Latency: 50 * time.Millisecond, TopK: 4},
+	})
+	for i := 0; i < 10; i++ {
+		trace := tr.Start("q")
+		if trace == nil {
+			t.Fatalf("exchange %d untraced with tail sampling on", i)
+		}
+		dur := 10 * time.Millisecond
+		if i == 3 {
+			trace.Flag(FlagStale)
+		}
+		if i == 7 {
+			dur = 60 * time.Millisecond
+		}
+		tr.Finish(trace, dur)
+	}
+	// Head sampling unchanged: only the first exchange (every=100).
+	if tr.Len() != 1 {
+		t.Fatalf("head ring len = %d, want 1", tr.Len())
+	}
+	tail := tr.Tail()
+	if len(tail) != 2 {
+		t.Fatalf("tail ring len = %d, want 2 (stale + slow): %v", len(tail), tail)
+	}
+	if tail[0].Duration != 60*time.Millisecond {
+		t.Fatalf("tail[0] duration = %v, want the 60ms exchange first", tail[0].Duration)
+	}
+	if tail[1].Flags != FlagStale {
+		t.Fatalf("tail[1] flags = %v, want stale", tail[1].Flags)
+	}
+	if got := tail[1].Flags.String(); got != "stale" {
+		t.Fatalf("flag rendering = %q, want \"stale\"", got)
+	}
+}
+
+// TestTailRingBoundedAndRanked pins the top-K bound and the cost
+// ranking: feeding more anomalies than the ring holds keeps the K most
+// expensive, in rank order, with ties broken by name.
+func TestTailRingBoundedAndRanked(t *testing.T) {
+	tr := NewTracer(nil, TraceConfig{Tail: &TailConfig{TopK: 3}})
+	for i := 1; i <= 8; i++ {
+		trace := tr.Start("q")
+		trace.Flag(FlagError)
+		tr.Finish(trace, time.Duration(i)*time.Millisecond)
+	}
+	if tr.TailLen() != 3 {
+		t.Fatalf("tail ring len = %d, want 3", tr.TailLen())
+	}
+	tail := tr.Tail()
+	for i, want := range []time.Duration{8 * time.Millisecond, 7 * time.Millisecond, 6 * time.Millisecond} {
+		if tail[i].Duration != want {
+			t.Fatalf("tail[%d] duration = %v, want %v", i, tail[i].Duration, want)
+		}
+	}
+	// Equal-cost anomalies rank by name: the same cost under two names
+	// retains the lexically earlier one at the ring floor.
+	tr2 := NewTracer(nil, TraceConfig{Tail: &TailConfig{TopK: 2}})
+	for _, name := range []string{"bbb.test", "aaa.test", "ccc.test"} {
+		trace := tr2.Start(name)
+		trace.Flag(FlagServFail)
+		tr2.Finish(trace, 5*time.Millisecond)
+	}
+	names := []string{tr2.Tail()[0].Name, tr2.Tail()[1].Name}
+	if names[0] != "aaa.test" || names[1] != "bbb.test" {
+		t.Fatalf("tie-break kept %v, want [aaa.test bbb.test]", names)
+	}
+}
+
+// TestTailNilSafe pins the nil and tail-off paths: a nil tracer and a
+// head-only tracer report no tail state.
+func TestTailNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.TailEnabled() || tr.TailLen() != 0 || tr.Tail() != nil {
+		t.Fatal("nil tracer reported tail state")
+	}
+	head := NewTracer(nil, TraceConfig{SampleEvery: 1})
+	if head.TailEnabled() {
+		t.Fatal("head-only tracer reported tail enabled")
+	}
+	trace := head.Start("q")
+	trace.Flag(FlagStale)
+	head.Finish(trace, time.Second)
+	if head.TailLen() != 0 {
+		t.Fatal("head-only tracer retained a tail trace")
+	}
+}
+
 func TestTraceTreeNesting(t *testing.T) {
 	tr := NewTracer(testClock(), TraceConfig{SampleEvery: 1})
 	trace := tr.Start("example.com")

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// newAnomalyFleet stands up a serve-stale-capable fleet with the anomaly
+// tier on: default-rate head sampling plus tail retention, and a flight
+// recorder wired through client and frontends.
+func newAnomalyFleet(t *testing.T, n int) (*Fleet, *stubRecursor, *simnet.Network, *simnet.Clock, *obs.Tracer, *obs.Recorder) {
+	t.Helper()
+	net, clock := testNet()
+	tracer := obs.NewTracer(clock, obs.TraceConfig{
+		SampleEvery: obs.DefaultSampleEvery,
+		Tail:        &obs.TailConfig{TopK: 8},
+	})
+	recorder := obs.NewRecorder(clock, 256)
+	recursor := &stubRecursor{ttl: 60}
+	fl := NewFleet(net, clock, FleetConfig{
+		Seed:            1,
+		Cache:           CacheConfig{Shards: 4, ShardCapacity: 64, StaleWindow: time.Hour},
+		FailureCooldown: 5 * time.Minute,
+		Tracer:          tracer,
+		Recorder:        recorder,
+	})
+	for i := 0; i < n; i++ {
+		fl.Add(ProtoDoH, fmt.Sprintf("fe%d", i), recursor, frontendAddr(i))
+	}
+	return fl, recursor, net, clock, tracer, recorder
+}
+
+// TestChaosFlapTailCatchesWhatHeadMisses is the anomaly-tier chaos
+// drill: a recursor flap forces stale serves at arrival indexes the
+// default-rate head sampler skips, and the tail ring retains exactly
+// those exchanges. This is the retention gap tail sampling exists to
+// close — head sampling at 1-in-16 sees only the healthy warm-up
+// exchange.
+func TestChaosFlapTailCatchesWhatHeadMisses(t *testing.T) {
+	fl, recursor, _, clock, tracer, recorder := newAnomalyFleet(t, 1)
+	client := fl.Client
+
+	// Arrival 1 (head-sampled): a healthy exchange populates the cache.
+	if _, err := client.Query("flap.test", dnswire.TypeA, false); err != nil {
+		t.Fatal(err)
+	}
+	// Cross TTL expiry into the stale window, then kill the recursor.
+	clock.Advance(90 * time.Second)
+	recursor.fail = true
+
+	// Arrivals 2..5: every exchange is a flap-window stale serve — none
+	// lands on a head-sampling index (1, 17, 33, ...).
+	for i := 0; i < 4; i++ {
+		resp, err := client.Query("flap.test", dnswire.TypeA, false)
+		if err != nil {
+			t.Fatalf("stale exchange %d: %v", i, err)
+		}
+		if resp == nil {
+			t.Fatalf("stale exchange %d: no answer", i)
+		}
+	}
+	if got := client.StaleAnswers(); got != 4 {
+		t.Fatalf("stale answers = %d, want 4", got)
+	}
+
+	// Head ring: only the warm-up exchange, with no stale flag.
+	if tracer.Len() != 1 {
+		t.Fatalf("head ring len = %d, want 1 (warm-up only)", tracer.Len())
+	}
+	for _, tr := range tracer.Slowest(tracer.Len()) {
+		if tr.Flags&obs.FlagStale != 0 {
+			t.Fatalf("head ring caught a stale exchange: %+v", tr)
+		}
+	}
+	// Tail ring: all four flap-window stale serves.
+	tail := tracer.Tail()
+	if len(tail) != 4 {
+		t.Fatalf("tail ring len = %d, want the 4 stale exchanges", len(tail))
+	}
+	for i, tr := range tail {
+		if tr.Flags&obs.FlagStale == 0 {
+			t.Fatalf("tail[%d] not stale-flagged: %+v", i, tr)
+		}
+		if tr.Name != "flap.test." {
+			t.Fatalf("tail[%d] name = %q", i, tr.Name)
+		}
+	}
+
+	// Flight recorder: stable winner-side events survive StableEvents;
+	// the volatile frontend-side kinds are filtered out of the capture
+	// view but present in the raw window.
+	stable := recorder.StableEvents()
+	counts := obs.CountEvents(stable)
+	var stale uint64
+	for _, ec := range counts {
+		if ec.Kind == "client.stale" {
+			stale = ec.Count
+		}
+		if ec.Kind == "frontend.stale" || ec.Kind == "frontend.dead" {
+			t.Fatalf("volatile kind %q leaked into stable events", ec.Kind)
+		}
+	}
+	if stale != 4 {
+		t.Fatalf("stable client.stale count = %d, want 4", stale)
+	}
+	raw := recorder.Window(time.Time{}, clock.Now())
+	var dead bool
+	for _, e := range raw {
+		if e.Kind == "frontend.dead" {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Fatal("raw event window missing the frontend.dead flap marker")
+	}
+}
+
+// TestRecorderPoolChurnEvents pins the transport-side volatile kinds: a
+// downed frontend address produces pool.cooldown on bench and
+// pool.remove + conn.evict when the failure streak crosses RemoveAfter.
+func TestRecorderPoolChurnEvents(t *testing.T) {
+	net, clock := testNet()
+	recorder := obs.NewRecorder(clock, 64)
+	recursor := &stubRecursor{ttl: 60}
+	fl := NewFleet(net, clock, FleetConfig{
+		Balance:     BalanceRoundRobin,
+		Seed:        1,
+		RemoveAfter: 2,
+		Cache:       CacheConfig{Shards: 2, ShardCapacity: 16},
+		Recorder:    recorder,
+	})
+	fl.Add(ProtoDoH, "fe0", recursor, frontendAddr(0))
+	fl.Add(ProtoDoH, "fe1", recursor, frontendAddr(1))
+
+	net.SetAddrDown(frontendAddr(0).Addr(), true)
+	// Each exchange that attempts fe0 benches it once; the cooldown
+	// expires between rounds so the second failure triggers removal.
+	for i := 0; i < 4; i++ {
+		if _, err := fl.Client.Query(fmt.Sprintf("q%d.test", i), dnswire.TypeA, false); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(2 * DefaultCooldown)
+	}
+
+	kinds := map[string]int{}
+	for _, e := range recorder.Window(time.Time{}, clock.Now()) {
+		kinds[e.Kind]++
+	}
+	if kinds["pool.cooldown"] == 0 {
+		t.Fatalf("no pool.cooldown event recorded: %v", kinds)
+	}
+	if kinds["pool.remove"] != 1 || kinds["conn.evict"] != 1 {
+		t.Fatalf("removal events = %v, want one pool.remove and one conn.evict", kinds)
+	}
+	if fl.Pool.Len() != 1 {
+		t.Fatalf("pool len = %d, want 1 after removal", fl.Pool.Len())
+	}
+}
+
+// TestPoolScorecard pins the health-scorecard columns: the
+// consecutive-failure streak and the cooldown occupancy, including the
+// extension (not double-billing) rule for mid-bench re-failures and the
+// forgiveness rule when a benched member serves successfully.
+func TestPoolScorecard(t *testing.T) {
+	_, clock := testNet()
+	p := NewPool(clock, BalanceRoundRobin, 1)
+	p.Cooldown = time.Minute
+	u := p.Add("fe0", frontendAddr(0), ProtoDoH)
+
+	p.MarkFailed(u)
+	st := p.Stats()[0]
+	if st.ConsecFails != 1 || st.CooldownTotal != time.Minute {
+		t.Fatalf("after one failure: streak=%d occupancy=%v", st.ConsecFails, st.CooldownTotal)
+	}
+
+	// Re-failure 30s into the bench extends the window by 30s — the
+	// occupancy charges the extension, not a second full cooldown.
+	clock.Advance(30 * time.Second)
+	p.MarkFailed(u)
+	st = p.Stats()[0]
+	if st.ConsecFails != 2 || st.CooldownTotal != 90*time.Second {
+		t.Fatalf("after mid-bench re-failure: streak=%d occupancy=%v, want 2 and 1m30s", st.ConsecFails, st.CooldownTotal)
+	}
+
+	// A successful exchange 30s later forgives the remaining 30s and
+	// resets the streak.
+	clock.Advance(30 * time.Second)
+	p.ObserveRTT(u, 5*time.Millisecond)
+	st = p.Stats()[0]
+	if st.ConsecFails != 0 || st.CooldownTotal != time.Minute {
+		t.Fatalf("after recovery: streak=%d occupancy=%v, want 0 and 1m", st.ConsecFails, st.CooldownTotal)
+	}
+	if st.Down {
+		t.Fatal("recovered member still reported down")
+	}
+}

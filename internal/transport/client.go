@@ -60,9 +60,17 @@ type Client struct {
 	// their clocks frozen.
 	ChargeLatency bool
 	// Tracer, when non-nil, head-samples exchanges into span traces on
-	// the virtual clock (see obs.Tracer). Nil traces nothing and costs
-	// one nil check per exchange.
+	// the virtual clock (see obs.Tracer). When the tracer also carries a
+	// tail-retention policy, every exchange is traced into a scratch
+	// buffer and the client marks anomalies (error, SERVFAIL, stale,
+	// failover, race, hedge) with trace flags so the tail predicate can
+	// keep them. Nil traces nothing and costs one nil check per exchange.
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, receives flight-recorder events for the
+	// anomaly tier: stable winner-side kinds (client.error, client.stale,
+	// client.negative) plus volatile strategy and pool-churn kinds. Nil
+	// records nothing.
+	Recorder *obs.Recorder
 	// ExchangeLatency, when non-nil, observes each successful exchange's
 	// critical-path virtual duration; sampled exchanges attach their
 	// trace ID as the bucket exemplar.
@@ -83,6 +91,8 @@ type Client struct {
 
 	staleAnswers    obs.Counter
 	negativeAnswers obs.Counter
+	errAnswers      obs.Counter
+	servfailAnswers obs.Counter
 
 	// Strategy telemetry (see StrategyStats).
 	exchanges       obs.Counter
@@ -110,6 +120,16 @@ func (c *Client) StaleAnswers() uint64 { return c.staleAnswers.Load() }
 // has exactly one winner, so per-exchange counters stay byte-identical
 // between serial and pipelined campaign runs.
 func (c *Client) NegativeAnswers() uint64 { return c.negativeAnswers.Load() }
+
+// Errors counts exchanges that failed outright — every candidate errored
+// and nothing (fresh, stale, or SERVFAIL) could be served. Together with
+// ServFails it is the badness numerator of the SLO engine's availability
+// objective.
+func (c *Client) Errors() uint64 { return c.errAnswers.Load() }
+
+// ServFails counts exchanges whose winning answer was a SERVFAIL — the
+// recursor struggled over a healthy transport and no stale cover existed.
+func (c *Client) ServFails() uint64 { return c.servfailAnswers.Load() }
 
 // NewClient creates a stub over the given network and pool.
 func NewClient(net *simnet.Network, pool *Pool) *Client {
@@ -191,8 +211,24 @@ func (c *Client) ExchangePreferring(q *dnswire.Message, pref Protocol) (*dnswire
 	// the buffer can go back in the pool before the outcome is processed.
 	sc.cand = candidates
 	c.scratch.Put(sc)
+	if tr != nil {
+		// Shape flags feed the tracer's tail predicate: an exchange that
+		// raced, hedged, or failed over is anomalous enough to retain.
+		if out.Races > 0 {
+			tr.Flag(obs.FlagRace)
+		}
+		if out.Hedges > 0 {
+			tr.Flag(obs.FlagHedge)
+		}
+		if out.Attempts > 1 && out.Races == 0 && out.Hedges == 0 {
+			tr.Flag(obs.FlagFailover)
+		}
+	}
 	c.account(out)
 	if out.Err != nil {
+		c.errAnswers.Add(1)
+		c.Recorder.Emit("client.error")
+		tr.Flag(obs.FlagError)
 		if tr != nil {
 			tr.Add("fail", out.Elapsed, 0, obs.L("err", out.Err.Error()))
 		}
@@ -201,10 +237,17 @@ func (c *Client) ExchangePreferring(q *dnswire.Message, pref Protocol) (*dnswire
 	}
 	if out.Winner.Stale {
 		c.staleAnswers.Add(1)
+		c.Recorder.Emit("client.stale")
+		tr.Flag(obs.FlagStale)
 	}
 	if m := out.Winner.Msg; m.RCode == dnswire.RCodeNXDomain ||
 		(m.RCode == dnswire.RCodeNoError && len(m.Answer) == 0) {
 		c.negativeAnswers.Add(1)
+		c.Recorder.Emit("client.negative")
+	}
+	if out.Winner.Msg.RCode == dnswire.RCodeServFail {
+		c.servfailAnswers.Add(1)
+		tr.Flag(obs.FlagServFail)
 	}
 	if tr != nil {
 		tr.Add("commit", out.Elapsed, 0, obs.L("winner", out.Winner.Upstream.Name))
@@ -220,7 +263,11 @@ func (c *Client) ExchangePreferring(q *dnswire.Message, pref Protocol) (*dnswire
 	return out.Winner.Msg, nil
 }
 
-// account folds one exchange's Outcome into the client's telemetry.
+// account folds one exchange's Outcome into the client's telemetry and
+// emits the flight-recorder events describing the exchange's shape. The
+// shape events are volatile: which members an exchange dials — and hence
+// whether it raced, hedged, or failed over — depends on pool state other
+// workers mutated concurrently.
 func (c *Client) account(out Outcome) {
 	c.exchanges.Add(1)
 	c.attempts.Add(uint64(out.Attempts))
@@ -228,6 +275,20 @@ func (c *Client) account(out Outcome) {
 	c.losersCancelled.Add(uint64(out.LosersCancelled))
 	c.hedges.Add(uint64(out.Hedges))
 	c.wasted.Add(uint64(out.Wasted))
+	if c.Recorder != nil {
+		if out.Races > 0 {
+			c.Recorder.Emit("strategy.race")
+		}
+		if out.Hedges > 0 {
+			c.Recorder.Emit("strategy.hedge")
+		}
+		if out.LosersCancelled > 0 {
+			c.Recorder.Emit("strategy.cancel")
+		}
+		if out.Attempts > 1 && out.Races == 0 && out.Hedges == 0 {
+			c.Recorder.Emit("strategy.failover")
+		}
+	}
 	if out.Err == nil {
 		if p := out.Winner.Upstream.Proto; p >= 0 && int(p) < len(c.winsByProto) {
 			c.winsByProto[p].Add(1)
@@ -267,6 +328,8 @@ func (c *Client) bindMetrics(reg *obs.Registry) {
 	reg.RegisterCounter(&c.exchanges, "client_exchanges_total")
 	reg.RegisterCounter(&c.staleAnswers, "client_stale_answers_total")
 	reg.RegisterCounter(&c.negativeAnswers, "client_negative_answers_total")
+	reg.RegisterCounter(&c.errAnswers, "client_errors_total")
+	reg.RegisterCounter(&c.servfailAnswers, "client_servfail_total")
 	reg.RegisterCounter(&c.attempts, "strategy_attempts_total")
 	reg.RegisterCounter(&c.races, "strategy_races_total")
 	reg.RegisterCounter(&c.losersCancelled, "strategy_losers_cancelled_total")
@@ -306,7 +369,11 @@ func (c *Client) Dial(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
 // offered again.
 func (c *Client) Bench(up *Upstream) {
 	if c.Pool.MarkFailed(up) {
+		c.Recorder.Emit("pool.remove", obs.L("member", up.Name))
+		c.Recorder.Emit("conn.evict", obs.L("member", up.Name))
 		c.evict(up.Addr)
+	} else {
+		c.Recorder.Emit("pool.cooldown", obs.L("member", up.Name))
 	}
 }
 

@@ -47,8 +47,15 @@ type FleetConfig struct {
 	// clock, so Fleet.Metrics is always usable.
 	Metrics *obs.Registry
 	// Tracer, when non-nil, head-samples the client's exchanges into
-	// span traces.
+	// span traces (and tail-samples anomalies when it carries a
+	// TailConfig).
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, is the fleet's flight recorder: the client
+	// and every frontend emit typed anomaly events into it, and the fleet
+	// declares which event kinds are volatile (worker-interleaving
+	// dependent) so capture bundles built from StableEvents stay
+	// byte-identical between serial and pipelined campaign runs.
+	Recorder *obs.Recorder
 }
 
 // Fleet is a protocol-agnostic encrypted-DNS serving fleet: any mix of
@@ -67,6 +74,10 @@ type Fleet struct {
 	// pool, and client counter is registered here (the struct accessors
 	// below remain as thin views over the same handles). Always non-nil.
 	Metrics *obs.Registry
+
+	// Recorder is the fleet's flight recorder (nil when the config left
+	// it off: event emission costs one nil check).
+	Recorder *obs.Recorder
 
 	// Frontends are the per-frontend engines in Add order; Addrs and
 	// Servers hold the parallel addresses and envelope servers.
@@ -88,6 +99,7 @@ func NewFleet(net *simnet.Network, clock *simnet.Clock, cfg FleetConfig) *Fleet 
 	client.Latency = cfg.Latency
 	client.ChargeLatency = cfg.ChargeLatency
 	client.Tracer = cfg.Tracer
+	client.Recorder = cfg.Recorder
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry(clock)
@@ -95,6 +107,7 @@ func NewFleet(net *simnet.Network, clock *simnet.Clock, cfg FleetConfig) *Fleet 
 	fl := &Fleet{
 		Net: net, Cache: NewCacheWith(clock, cfg.Cache),
 		Pool: client.Pool, Client: client, Metrics: reg,
+		Recorder: cfg.Recorder,
 		override: cfg.Override, cooldown: cfg.FailureCooldown,
 	}
 	fl.bindMetrics()
@@ -131,6 +144,8 @@ func (fl *Fleet) bindMetrics() {
 			add("pool_member_queries_total", obs.KindCounter, float64(us.Queries), labels...)
 			add("pool_member_failures_total", obs.KindCounter, float64(us.Failures), labels...)
 			add("pool_member_rtt_seconds", obs.KindGauge, us.RTT.Seconds(), labels...)
+			add("pool_member_consec_fails", obs.KindGauge, float64(us.ConsecFails), labels...)
+			add("pool_member_cooldown_seconds", obs.KindGauge, us.CooldownTotal.Seconds(), labels...)
 		}
 	})
 	reg.RegisterView(func(add obs.ViewAdd) {
@@ -158,9 +173,21 @@ func (fl *Fleet) bindMetrics() {
 		"strategy_losers_cancelled_total", "strategy_hedges_total",
 		"strategy_wasted_total", "strategy_wins_total",
 		"pool_member_queries_total", "pool_member_failures_total",
-		"pool_member_rtt_seconds",
+		"pool_member_rtt_seconds", "pool_member_consec_fails",
+		"pool_member_cooldown_seconds",
 		"fleet_stale_served_total",
 		"exchange_latency_seconds",
+	)
+	// The flight recorder gets the same stable/volatile discipline: only
+	// winner-side per-exchange kinds (client.*) and the workload engine's
+	// single-driver crowd markers are schedule-independent. Everything
+	// tied to which frontend or member an attempt touched, or to an
+	// exchange's dial shape, varies with worker interleaving.
+	fl.Recorder.SetVolatile(
+		"pool.cooldown", "pool.remove", "conn.evict",
+		"strategy.race", "strategy.hedge", "strategy.cancel",
+		"strategy.failover",
+		"cache.prefetch", "frontend.stale", "frontend.dead",
 	)
 }
 
@@ -187,6 +214,7 @@ func (fl *Fleet) Add(proto Protocol, name string, handler simnet.DNSHandler, ap 
 		fl.Net.RegisterService(ap, svc)
 	}
 	fl.Pool.Add(name, ap, proto)
+	engine.Recorder = fl.Recorder
 	engine.bindMetrics(fl.Metrics)
 	fl.Frontends = append(fl.Frontends, engine)
 	fl.Addrs = append(fl.Addrs, ap)

@@ -53,6 +53,12 @@ type Frontend struct {
 	// and a success clears the cooldown early. Zero disables benching.
 	// Requires Cache (the cooldown runs on its virtual clock).
 	FailureCooldown time.Duration
+	// Recorder, when non-nil, receives flight-recorder events for the
+	// frontend's anomaly-relevant transitions: stale serves (with the
+	// reason), refresh-ahead prefetches, and hard handler failures. All
+	// frontend-side kinds are volatile — which frontend a given attempt
+	// hits depends on worker interleaving.
+	Recorder *obs.Recorder
 
 	mu            sync.Mutex
 	cooldownUntil time.Time
@@ -146,6 +152,7 @@ func (f *Frontend) inCooldown() bool {
 // noteHandlerFailure arms the failure cooldown.
 func (f *Frontend) noteHandlerFailure() {
 	f.upstreamFail.Add(1)
+	f.Recorder.Emit("frontend.dead", obs.L("frontend", f.Name))
 	if f.FailureCooldown <= 0 || f.Cache == nil {
 		return
 	}
@@ -235,6 +242,7 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 				// rather than hammering a dead recursor.
 				if ans, ok := f.serveStale(key, q.ID); ok {
 					tr.Add("stale.serve", 0, 0, obs.L("reason", "cooldown"))
+					f.Recorder.Emit("frontend.stale", obs.L("reason", "cooldown"))
 					return ans, nil
 				}
 			}
@@ -247,6 +255,7 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 		if stale {
 			if ans, ok := f.serveStale(key, q.ID); ok {
 				tr.Add("stale.serve", 0, 0, obs.L("reason", "upstream-dead"))
+				f.Recorder.Emit("frontend.stale", obs.L("reason", "upstream-dead"))
 				return ans, nil
 			}
 		}
@@ -262,6 +271,7 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 			if ans, ok := f.serveStale(key, q.ID); ok {
 				f.upstreamFail.Add(1)
 				tr.Add("stale.serve", 0, 0, obs.L("reason", "servfail"))
+				f.Recorder.Emit("frontend.stale", obs.L("reason", "servfail"))
 				return ans, nil
 			}
 		}
@@ -303,6 +313,7 @@ func (f *Frontend) prefetch(key string, q *dnswire.Message) {
 	}
 	f.noteHandlerSuccess()
 	f.prefetches.Add(1)
+	f.Recorder.Emit("cache.prefetch", obs.L("frontend", f.Name))
 	f.Cache.Put(key, resp)
 }
 

@@ -95,13 +95,22 @@ type Upstream struct {
 	// Pool.RemoveAfter removes the member when it crosses the limit.
 	consecFails int
 
+	// cooldownTotal accumulates the virtual time the member has actually
+	// spent benched — scheduled cooldown minus any remainder forgiven by
+	// a successful exchange. It is the occupancy column of the member's
+	// health scorecard.
+	cooldownTotal time.Duration
+
 	// rttRing is the sliding sample window behind RTTQuantile.
 	rttRing [quantileWindow]float64
 	ringLen int
 	ringPos int
 }
 
-// UpstreamStats is a read-only snapshot of one member.
+// UpstreamStats is a read-only snapshot of one member — including its
+// health scorecard: the smoothed RTT estimate, the current
+// consecutive-failure streak, and the cumulative virtual time spent in
+// cooldown.
 type UpstreamStats struct {
 	Name     string
 	Addr     netip.AddrPort
@@ -110,6 +119,12 @@ type UpstreamStats struct {
 	Failures uint64
 	RTT      time.Duration
 	Down     bool
+	// ConsecFails is the member's current failure streak (reset by any
+	// successful exchange) — how close it is to RemoveAfter eviction.
+	ConsecFails int
+	// CooldownTotal is the virtual time the member has spent benched,
+	// net of cooldown remainders forgiven by successful exchanges.
+	CooldownTotal time.Duration
 }
 
 // Pool is a load-balanced, protocol-agnostic set of encrypted-DNS
@@ -333,6 +348,11 @@ func (p *Pool) ObserveRTT(u *Upstream, d time.Duration) {
 	}
 	u.queries++
 	u.consecFails = 0
+	// A successful exchange forgives the rest of any running cooldown;
+	// the occupancy scorecard only charges time actually served.
+	if now := p.clock.Now(); u.downUntil.After(now) {
+		u.cooldownTotal -= u.downUntil.Sub(now)
+	}
 	u.downUntil = time.Time{}
 }
 
@@ -383,7 +403,18 @@ func (p *Pool) MarkFailed(u *Upstream) (removed bool) {
 	if cd == 0 {
 		cd = DefaultCooldown
 	}
-	u.downUntil = p.clock.Now().Add(cd)
+	now := p.clock.Now()
+	until := now.Add(cd)
+	// Charge only the cooldown extension to the occupancy scorecard: a
+	// re-failure mid-bench extends the window, it does not double-bill it.
+	start := now
+	if u.downUntil.After(start) {
+		start = u.downUntil
+	}
+	if until.After(start) {
+		u.cooldownTotal += until.Sub(start)
+	}
+	u.downUntil = until
 	if p.RemoveAfter > 0 && u.consecFails >= p.RemoveAfter {
 		for i, m := range p.ups {
 			if m == u {
@@ -419,13 +450,15 @@ func (p *Pool) Stats() []UpstreamStats {
 	out := make([]UpstreamStats, len(p.ups))
 	for i, u := range p.ups {
 		out[i] = UpstreamStats{
-			Name:     u.Name,
-			Addr:     u.Addr,
-			Proto:    u.Proto,
-			Queries:  u.queries,
-			Failures: u.failures,
-			RTT:      time.Duration(u.rttSeconds * float64(time.Second)),
-			Down:     u.downUntil.After(now),
+			Name:          u.Name,
+			Addr:          u.Addr,
+			Proto:         u.Proto,
+			Queries:       u.queries,
+			Failures:      u.failures,
+			RTT:           time.Duration(u.rttSeconds * float64(time.Second)),
+			Down:          u.downUntil.After(now),
+			ConsecFails:   u.consecFails,
+			CooldownTotal: u.cooldownTotal,
 		}
 	}
 	return out

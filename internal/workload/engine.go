@@ -3,6 +3,8 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/dnswire"
@@ -118,6 +120,12 @@ type Config struct {
 	// QType is the query type clients issue; 0 selects TypeHTTPS, the
 	// paper's record of interest.
 	QType dnswire.Type
+	// Recorder, when non-nil, receives flight-recorder markers for
+	// scheduled load anomalies: workload.crowd.start / workload.crowd.end
+	// at each flash crowd's boundaries. The markers are emitted from the
+	// single-driver event loop at config-derived virtual times, so they
+	// are stable (schedule-independent) events.
+	Recorder *obs.Recorder
 }
 
 // withDefaults fills the zero-value knobs.
@@ -213,7 +221,8 @@ type Engine struct {
 	charged   int64 // clock high-water mark already Set
 	lastDue   int64
 	nextPoll  int64
-	crowdRank []int32 // resolved Domains rank per crowd (-1: none)
+	crowdRank []int32     // resolved Domains rank per crowd (-1: none)
+	marks     []crowdMark // pending flash-crowd recorder markers, time-ordered
 
 	queries   obs.Counter
 	stubHits  obs.Counter
@@ -441,6 +450,51 @@ func (e *Engine) pollInterval(boundary int64) {
 	e.sampler.Poll()
 }
 
+// crowdMark is one pending flash-crowd boundary marker for the flight
+// recorder.
+type crowdMark struct {
+	at    int64
+	kind  string
+	crowd int
+}
+
+// seedCrowdMarks computes the run's crowd boundary markers (start and
+// end per configured crowd, time-ordered) once e.start is known.
+func (e *Engine) seedCrowdMarks() {
+	e.marks = e.marks[:0]
+	if e.cfg.Recorder == nil {
+		return
+	}
+	for i, fc := range e.cfg.Crowds {
+		at := e.start + int64(fc.At)
+		e.marks = append(e.marks,
+			crowdMark{at: at, kind: "workload.crowd.start", crowd: i},
+			crowdMark{at: at + int64(fc.Duration), kind: "workload.crowd.end", crowd: i})
+	}
+	sort.Slice(e.marks, func(i, j int) bool {
+		if e.marks[i].at != e.marks[j].at {
+			return e.marks[i].at < e.marks[j].at
+		}
+		return e.marks[i].kind < e.marks[j].kind
+	})
+}
+
+// emitCrowdMarks flushes every pending marker due at or before t. The
+// clock is advanced to each marker's boundary first so the recorded At
+// is the crowd boundary itself, not the arrival that revealed it.
+func (e *Engine) emitCrowdMarks(t int64) {
+	for len(e.marks) > 0 && e.marks[0].at <= t {
+		m := e.marks[0]
+		e.marks = e.marks[1:]
+		e.setClock(m.at)
+		labels := []obs.Label{obs.L("crowd", strconv.Itoa(m.crowd))}
+		if d := e.cfg.Crowds[m.crowd].Domain; d != "" {
+			labels = append(labels, obs.L("domain", dnswire.CanonicalName(d)))
+		}
+		e.cfg.Recorder.Emit(m.kind, labels...)
+	}
+}
+
 // digestEvent folds one processed event into the stream fingerprint.
 func (e *Engine) digestEvent(client uint32, due int64, rank uint32, outcome byte) {
 	h := e.digest
@@ -523,6 +577,8 @@ func (e *Engine) Run() Summary {
 		e.nextPoll = e.start + int64(e.cfg.Interval)
 	}
 
+	e.seedCrowdMarks()
+
 	// Seed every client's first arrival.
 	for i := 0; i < e.cfg.Clients; i++ {
 		e.heap.Push(event{due: e.start + e.gap(&e.rngs[i], e.start), client: uint32(i)})
@@ -540,6 +596,7 @@ func (e *Engine) Run() Summary {
 			e.pollInterval(e.nextPoll)
 			e.nextPoll += int64(e.cfg.Interval)
 		}
+		e.emitCrowdMarks(ev.due)
 		e.process(ev)
 		e.lastDue = ev.due
 		e.heap.Push(event{due: ev.due + e.gap(&e.rngs[ev.client], ev.due), client: ev.client})
@@ -551,6 +608,7 @@ func (e *Engine) Run() Summary {
 			e.pollInterval(e.nextPoll)
 			e.nextPoll += int64(e.cfg.Interval)
 		}
+		e.emitCrowdMarks(e.end)
 		e.setClock(e.end)
 		e.lastDue = e.end
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-micro bench-smoke fuzz-smoke trace-demo slo-demo verify
+.PHONY: all build test race vet fmt bench bench-micro bench-smoke alloc-gate profile fuzz-smoke trace-demo slo-demo verify
 
 all: build test
 
@@ -14,12 +14,12 @@ test:
 
 # Race-detector pass over the concurrency-heavy packages (the pipelined
 # campaign scheduler, the substrate it fans out over, the serving
-# layer's shared cache/pool/cooldown state, the telemetry registry
-# every worker increments, the sharded dataset store the pipeline
-# commits into, and the workload engine driving fleets inside the
-# pipelined day replicas).
+# layer's shared cache/pool/cooldown state, the pooled wire codec and
+# its decode-scratch intern table, the telemetry registry every worker
+# increments, the sharded dataset store the pipeline commits into, and
+# the workload engine driving fleets inside the pipelined day replicas).
 race:
-	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport ./internal/obs ./internal/dataset ./internal/workload
+	$(GO) test -race ./internal/scanner ./internal/simnet ./internal/core ./internal/transport ./internal/dnswire ./internal/obs ./internal/dataset ./internal/workload
 
 # Tier-1 verify as the roadmap defines it.
 verify: build test
@@ -56,13 +56,35 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchcampaign -smoke $(BENCH_FLEET) -hourly -loadbench -baseline BENCH_campaign.json -maxregress 20 -out -  > /dev/null
 
+# Allocation-budget gate, warn-only by design: runs the exchange-path
+# allocation benchmark and compares allocs/op against the committed
+# budgets (cached ≤ 2, uncached ≤ 10 — keep in sync with the
+# allocBudget* constants in cmd/benchcampaign). A budget miss prints a
+# WARNING into the CI log but never fails the build: allocation counts
+# are deterministic, but a perf regression should not block an
+# unrelated change — it should be loud and tracked.
+alloc-gate:
+	@$(GO) test -run xxx -bench 'BenchmarkExchangeAllocs' -benchtime 2000x . | \
+	awk '/^BenchmarkExchangeAllocs\/cached/   { print; if ($$7+0 > 2)  print "WARNING: cached-path " $$7 " allocs/op exceeds the committed budget of 2" } \
+	     /^BenchmarkExchangeAllocs\/stale/    { print; if ($$7+0 > 2)  print "WARNING: stale-path " $$7 " allocs/op exceeds the committed budget of 2" } \
+	     /^BenchmarkExchangeAllocs\/uncached/ { print; if ($$7+0 > 10) print "WARNING: uncached-path " $$7 " allocs/op exceeds the committed budget of 10" }'
+
+# CPU + heap profiles of the campaign benchmark (pipelined runs, the
+# workload engine, and the alloc section) for `go tool pprof`:
+#
+#	go tool pprof cpu.pprof
+#	go tool pprof -alloc_objects mem.pprof
+profile:
+	$(GO) run ./cmd/benchcampaign $(BENCH_FLEET) -loadbench -cpuprofile cpu.pprof -memprofile mem.pprof -out - > /dev/null
+
 # Short fuzz pass over the wire-format decoders, seeded with
 # workload-shaped queries and hand-mangled frames. Ten seconds per
 # target is a smoke test, not a campaign: it proves the targets build,
 # the corpus parses, and no quick-to-find panic has crept into Unpack
 # or the RFC 1035 TCP framing.
 fuzz-smoke:
-	$(GO) test ./internal/dnswire -fuzz FuzzUnpack -fuzztime 10s -run xxx
+	$(GO) test ./internal/dnswire -fuzz 'FuzzUnpack$$' -fuzztime 10s -run xxx
+	$(GO) test ./internal/dnswire -fuzz FuzzUnpackInto -fuzztime 10s -run xxx
 	$(GO) test ./internal/dnswire -fuzz FuzzReadTCP -fuzztime 10s -run xxx
 
 # Traced-exchange demo: a mixed-protocol fleet under the race strategy

@@ -574,6 +574,85 @@ func BenchmarkTransportStrategy(b *testing.B) {
 	}
 }
 
+// exchangeAllocsLoop drives the alloc-budget benchmark body: answer
+// recycling on, one query message reused with ID/QNAME patched per
+// exchange — the same discipline the workload engine applies — so the
+// numbers isolate the serving path's own allocations.
+func exchangeAllocsLoop(b *testing.B, client *transport.Client, list []string) {
+	b.Helper()
+	client.SetReuseAnswers(true)
+	// Patch canonical FQDNs into the reused query — NewQuery canonicalises
+	// its name argument, so patching Question[0].Name directly must keep
+	// that invariant (and a non-canonical name would charge the loop a
+	// normalisation allocation that real steady-state callers never pay).
+	names := make([]string, len(list))
+	for i, n := range list {
+		names[i] = dnswire.CanonicalName(n)
+	}
+	q := dnswire.NewQuery(1, names[0], dnswire.TypeHTTPS, true)
+	for _, name := range names {
+		q.ID++
+		q.Question[0].Name = name
+		if _, err := client.Exchange(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ID++
+		q.Question[0].Name = names[i%len(names)]
+		if _, err := client.Exchange(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExchangeAllocs pins the exchange hot path's allocation budget
+// under the reuse APIs: cached (shared-cache hit, the steady state),
+// stale (RFC 8767 serve-stale with a dead recursor), and uncached (full
+// envelope decode + recursor traversal per query). CI runs it as a
+// warn-only gate against the committed budget; benchcampaign records the
+// same three numbers into BENCH_campaign.json.
+func BenchmarkExchangeAllocs(b *testing.B) {
+	b.Run("cached", func(b *testing.B) {
+		client, list, _ := transportBench(b, true)
+		exchangeAllocsLoop(b, client, list)
+	})
+	b.Run("stale", func(b *testing.B) {
+		w, err := providers.BuildWorld(providers.WorldConfig{Size: 500, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
+		fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
+			Balance: transport.BalanceRoundRobin, Seed: 11,
+			Cache: transport.CacheConfig{StaleWindow: 24 * time.Hour},
+		})
+		for i := 0; i < 3; i++ {
+			ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), 443)
+			fl.Add(transport.ProtoDoH, "fe", w.GoogleResolver, ap)
+		}
+		client := fl.Client
+		list := w.Tranco.ListFor(w.Clock.Now())
+		for _, name := range list {
+			if _, err := client.Query(name, dnswire.TypeHTTPS, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Expire everything, kill the recursor: all answers are now stale.
+		w.Clock.Advance(301 * time.Second)
+		for _, fe := range fl.Frontends {
+			fe.Handler = deadHandler{}
+		}
+		exchangeAllocsLoop(b, client, list)
+	})
+	b.Run("uncached", func(b *testing.B) {
+		client, list, _ := transportBench(b, false)
+		exchangeAllocsLoop(b, client, list)
+	})
+}
+
 // BenchmarkDoHUncachedPath measures the same exchanges with the answer
 // cache disabled: every query pays envelope decode + recursor traversal.
 func BenchmarkDoHUncachedPath(b *testing.B) {

@@ -11,6 +11,7 @@
 //	              [-strategy serial|race|hedge]
 //	              [-hourly] [-hourworkers W] [-hourlydays D]
 //	              [-loadbench] [-loadclients N] [-loadevents N]
+//	              [-allocbench] [-cpuprofile FILE] [-memprofile FILE]
 //	              [-out FILE] [-smoke] [-baseline FILE] [-maxregress PCT]
 //
 // -loadbench appends a serving-path queries/sec section: the
@@ -43,6 +44,19 @@
 // slo_violations). Both overheads are designed to stay under a few
 // percent of the uninstrumented pipelined run; the bench warns past 5%.
 //
+// -allocbench (on by default) appends the serving path's allocation
+// budget: a single goroutine drives warmed cached and uncached exchange
+// loops under the reuse APIs and reads the runtime.MemStats deltas,
+// recording allocs_per_query_cached / allocs_per_query_uncached /
+// bytes_per_query. The numbers mirror BenchmarkExchangeAllocs and are
+// gated warn-only against both the committed per-query budgets and the
+// -baseline report — allocation counts are deterministic, but a budget
+// miss should show up loudly in CI logs, not block an unrelated change.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the measured
+// runs (the heap profile is taken after a final GC), for feeding
+// `go tool pprof` — `make profile` wraps the common invocation.
+//
 // -smoke shrinks the campaign to a CI-friendly single-iteration size.
 //
 // -baseline points at a committed BENCH_campaign.json; the run's speedup
@@ -57,11 +71,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dnswire"
+	"repro/internal/providers"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -120,6 +138,15 @@ type report struct {
 	WorkloadStubHits uint64  `json:"workload_stub_hits,omitempty"`
 	WorkloadMS       float64 `json:"workload_ms,omitempty"`
 	WorkloadQPS      float64 `json:"workload_qps,omitempty"`
+	// AllocsPerQuery* report the -allocbench section: MemStats-delta
+	// allocation counts per exchange on the warmed cached and uncached
+	// serving paths, with BytesPerQuery the cached path's per-query heap
+	// bytes. Deterministic (single goroutine, fixed world), so drift
+	// against the committed budget or the baseline means a code change
+	// put allocations back on the hot path — warned, never failed.
+	AllocsPerQueryCached   float64 `json:"allocs_per_query_cached,omitempty"`
+	AllocsPerQueryUncached float64 `json:"allocs_per_query_uncached,omitempty"`
+	BytesPerQuery          float64 `json:"bytes_per_query,omitempty"`
 	// Note flags reports whose speedup is not meaningful (single-core
 	// hosts: the workload is CPU-bound simulation, so pipelining cannot
 	// beat serial there).
@@ -140,6 +167,9 @@ func main() {
 	loadBench := flag.Bool("loadbench", false, "also benchmark the workload engine's serving-path queries/sec")
 	loadClients := flag.Int("loadclients", 1_000_000, "workload bench: simulated clients (with -loadbench)")
 	loadEvents := flag.Int("loadevents", 2_000_000, "workload bench: query budget (with -loadbench)")
+	allocBench := flag.Bool("allocbench", true, "measure the serving path's per-query allocation budget")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the measured runs to this file")
+	memProfile := flag.String("memprofile", "", "write a post-GC heap profile to this file")
 	out := flag.String("out", "BENCH_campaign.json", "report path ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: tiny campaign, no timing claims")
 	baseline := flag.String("baseline", "", "committed report to gate the speedup against (empty disables)")
@@ -162,6 +192,17 @@ func main() {
 		// standing up 10^6 clients (RNG streams, stub caches, the initial
 		// arrival heap) is itself the scalability claim under test.
 		*loadEvents = 500_000
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 	// The window deliberately covers the NS-scan and connectivity-probe
 	// phases so every per-day stage is exercised.
@@ -309,6 +350,51 @@ func main() {
 			100*float64(loadSum.StubHits)/float64(max(loadSum.Queries, 1)))
 	}
 
+	// -allocbench section: per-query allocation counts on the warmed
+	// cached and uncached serving paths, mirroring BenchmarkExchangeAllocs.
+	var allocCached, allocUncached, bytesCached float64
+	if *allocBench {
+		allocCached, bytesCached = measureExchangeAllocs(true)
+		allocUncached, _ = measureExchangeAllocs(false)
+		fmt.Fprintf(os.Stderr,
+			"benchcampaign -allocbench: cached %.1f allocs/query (%.0f B), uncached %.1f allocs/query\n",
+			allocCached, bytesCached, allocUncached)
+		// The same half-alloc slack the baseline gate applies: the budget
+		// counts whole allocations per query; amortised bookkeeping (map
+		// growth, pool refills) shows up as a fraction.
+		if allocCached > allocBudgetCached+0.5 {
+			fmt.Fprintf(os.Stderr,
+				"  warning: cached-path allocs/query %.1f exceeds the committed budget of %d\n",
+				allocCached, allocBudgetCached)
+		}
+		if allocUncached > allocBudgetUncached+0.5 {
+			fmt.Fprintf(os.Stderr,
+				"  warning: uncached-path allocs/query %.1f exceeds the committed budget of %d\n",
+				allocUncached, allocBudgetUncached)
+		}
+	}
+
+	// Profiles cover everything measured above; finalise them before the
+	// gates run so a failing gate's deferred exit cannot drop them.
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
+	}
+
 	r := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -369,6 +455,11 @@ func main() {
 		r.WorkloadStubHits = loadSum.StubHits
 		r.WorkloadMS = float64(loadDur.Microseconds()) / 1000
 		r.WorkloadQPS = float64(loadSum.Queries) / loadDur.Seconds()
+	}
+	if *allocBench {
+		r.AllocsPerQueryCached = allocCached
+		r.AllocsPerQueryUncached = allocUncached
+		r.BytesPerQuery = bytesCached
 	}
 	if r.GoMaxProcs <= 1 {
 		r.Note = "single-core host: speedup is meaningful only with go_max_procs > 1; stores_equal is the signal here"
@@ -436,6 +527,7 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 			r.GoMaxProcs, r.Size, r.Days, r.DayWorkers, r.Seed,
 			r.Frontends, r.TransportMix, r.Strategy, base.Speedup, r.Speedup)
 		warnWorkloadQPS(&base, r, maxRegress)
+		warnAllocBudget(&base, r)
 		return true
 	}
 	if r.GoMaxProcs <= 1 {
@@ -445,6 +537,7 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 			"  gate: single-core host — speedup is noise (baseline %.2fx, now %.2fx), warning only\n",
 			base.Speedup, r.Speedup)
 		warnWorkloadQPS(&base, r, maxRegress)
+		warnAllocBudget(&base, r)
 		return true
 	}
 	if regress > maxRegress {
@@ -476,7 +569,101 @@ func gateSpeedup(path string, r *report, maxRegress float64) bool {
 			r.HourlySpeedup, base.HourlySpeedup, -hregress, maxRegress)
 	}
 	warnWorkloadQPS(&base, r, maxRegress)
+	warnAllocBudget(&base, r)
 	return true
+}
+
+// allocBudgetCached and allocBudgetUncached are the committed per-query
+// allocation budgets for the warmed serving paths: a cached hit costs
+// the DoH GET parameter string plus envelope bookkeeping, an uncached
+// query adds the recursor traversal. Exceeding either warns — in the
+// -allocbench output and in CI logs — but never fails the run.
+const (
+	allocBudgetCached   = 2
+	allocBudgetUncached = 10
+)
+
+// measureExchangeAllocs stands up a 3-frontend DoH fleet over a fixed
+// 500-domain world and measures per-exchange allocations on a warmed
+// single-goroutine loop, the same discipline BenchmarkExchangeAllocs
+// applies: answer reuse on, one canonical-named query message patched
+// per exchange. MemStats deltas are exact for a single goroutine, so
+// the result is a count, not an estimate.
+func measureExchangeAllocs(withCache bool) (allocsPerQuery, bytesPerQuery float64) {
+	w, err := providers.BuildWorld(providers.WorldConfig{Size: 500, Seed: 11})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	w.Clock.Set(time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC))
+	cacheCfg := transport.CacheConfig{}
+	if !withCache {
+		// A one-entry geometry with zero shards is still a cache; disable
+		// by omitting the cache from the frontends instead.
+		cacheCfg = transport.CacheConfig{Shards: 1, ShardCapacity: 1}
+	}
+	fl := transport.NewFleet(w.Net, w.Clock, transport.FleetConfig{
+		Balance: transport.BalanceRoundRobin, Seed: 11, Cache: cacheCfg,
+	})
+	for i := 0; i < 3; i++ {
+		ap := netip.AddrPortFrom(w.Alloc.AllocV4("DoHFrontend"), transport.ProtoDoH.Port())
+		fe := fl.Add(transport.ProtoDoH, "fe", w.GoogleResolver, ap)
+		if !withCache {
+			fe.Cache = nil
+		}
+	}
+	client := fl.Client
+	client.SetReuseAnswers(true)
+	list := w.Tranco.ListFor(w.Clock.Now())
+	names := make([]string, len(list))
+	for i, n := range list {
+		names[i] = dnswire.CanonicalName(n)
+	}
+	q := dnswire.NewQuery(1, names[0], dnswire.TypeHTTPS, true)
+	exchange := func(i int) {
+		q.ID++
+		q.Question[0].Name = names[i%len(names)]
+		if _, err := client.Exchange(q); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	for i := range names {
+		exchange(i)
+	}
+	const iters = 20000
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < iters; i++ {
+		exchange(i)
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / iters, float64(m1.TotalAlloc-m0.TotalAlloc) / iters
+}
+
+// warnAllocBudget compares the per-query allocation counts against the
+// baseline report, warn-only like warnWorkloadQPS — the counts are
+// deterministic, but an allocation regression should not block an
+// unrelated change; it should be loud in the log and tracked in the
+// report. Half an allocation of slack absorbs MemStats measurement
+// noise at the section boundaries.
+func warnAllocBudget(base, r *report) {
+	if base.AllocsPerQueryCached <= 0 || r.AllocsPerQueryCached <= 0 {
+		return
+	}
+	if r.AllocsPerQueryCached > base.AllocsPerQueryCached+0.5 ||
+		r.AllocsPerQueryUncached > base.AllocsPerQueryUncached+0.5 {
+		fmt.Fprintf(os.Stderr,
+			"  gate: WARN — allocs/query regressed vs baseline (cached %.1f→%.1f, uncached %.1f→%.1f, warning only)\n",
+			base.AllocsPerQueryCached, r.AllocsPerQueryCached,
+			base.AllocsPerQueryUncached, r.AllocsPerQueryUncached)
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"  gate: OK — allocs/query cached %.1f uncached %.1f (baseline %.1f/%.1f, warn-only)\n",
+		r.AllocsPerQueryCached, r.AllocsPerQueryUncached,
+		base.AllocsPerQueryCached, base.AllocsPerQueryUncached)
 }
 
 // warnWorkloadQPS compares the workload engine's serving-path qps

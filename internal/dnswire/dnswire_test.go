@@ -82,7 +82,8 @@ func TestNameWireRoundTrip(t *testing.T) {
 }
 
 func TestNameCompression(t *testing.T) {
-	cmap := compressionMap{}
+	cmap := getCmap(0)
+	defer putCmap(cmap)
 	buf, err := packName(nil, "www.example.com.", cmap)
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +159,9 @@ func TestRRWireRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("PackRR(%s): %v", rr.Type, err)
 		}
-		got, off, err := unpackRR(wire, 0)
+		sc := decScratchPool.Get().(*decodeScratch)
+		got, off, err := unpackRRInto(wire, 0, RR{}, sc)
+		putDecScratch(sc)
 		if err != nil {
 			t.Fatalf("unpackRR(%s): %v", rr.Type, err)
 		}
@@ -384,7 +387,8 @@ func TestQuickCompressionCorrectness(t *testing.T) {
 			}
 			names = append(names, strings.Join(parts, ".")+".")
 		}
-		cmap := compressionMap{}
+		cmap := getCmap(0)
+		defer putCmap(cmap)
 		var buf []byte
 		var offsets []int
 		for _, name := range names {

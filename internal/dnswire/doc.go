@@ -2,4 +2,36 @@
 // friends): header, questions, resource records, name compression, EDNS(0),
 // and the record types needed by the HTTPS-RR measurement framework,
 // including SVCB/HTTPS (RFC 9460) and the DNSSEC record types (RFC 4034).
+//
+// # Reuse APIs
+//
+// Every codec entry point comes in two forms: a convenience form that
+// allocates its result (Pack, Unpack, EncodeDoHParam, DecodeDoHParam)
+// and a reuse form that appends into or decodes into caller-owned
+// storage (AppendPack, UnpackInto, AppendEncodeDoHParam,
+// DecodeDoHParamInto). The serving layer's hot path uses only the reuse
+// forms; the convenience forms are thin wrappers kept for tests, tools,
+// and one-shot callers.
+//
+// AppendPack(dst) appends the encoded message to dst and returns the
+// extended slice, amortising to zero allocations when the caller
+// recycles the buffer. Name compression runs on a pooled offset map, so
+// packing itself allocates nothing either.
+//
+// UnpackInto(m, wire) decodes into an existing Message, truncating its
+// question and section slices cap-preservingly and reusing RDATA values
+// whose types line up slot-for-slot with the prior decode: byte slices
+// are overwritten in place, and name strings are reused when the bytes
+// match. Names that do change are deduplicated twice — within the
+// message (compression-pointer reuse yields one shared string) and
+// across messages, via a bounded intern table that rides the pooled
+// decode scratch, so a steady-state decode whose names have all been
+// seen before mints zero strings. The aliasing consequence: callers
+// must not hold references into a Message across UnpackInto calls on
+// it.
+//
+// Pooled scratch follows one hygiene rule at every put-site: buffers
+// over the recycling ceiling (trimRecycled) are dropped for the GC
+// rather than returned, so one jumbo message can never pin its backing
+// array in a pool for the rest of a campaign.
 package dnswire

@@ -132,6 +132,94 @@ func FuzzReadTCP(f *testing.F) {
 	})
 }
 
+// FuzzUnpackInto drives the pooled decode path with dirty reuse: every
+// input is decoded twice, once into a fresh Message and once into a
+// Message still holding a fully-populated prior answer (the recycled
+// state every pooled decode on the serving path starts from). The two
+// results must agree on acceptance and on content — any divergence means
+// prior-message state leaked through the reuse machinery.
+func FuzzUnpackInto(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	// The dirty template: an answered message with populated answer,
+	// authority-adjacent EDNS state, and SVCB params, so every reuse slot
+	// (questions, RR sections, RDATA values, the OPT record) holds stale
+	// content a leaky decode could surface.
+	dirtyTmpl := NewQuery(7, "dirty.example", TypeHTTPS, true).Reply()
+	dirtyTmpl.Answer = append(dirtyTmpl.Answer,
+		RR{Name: "dirty.example.", Type: TypeHTTPS, Class: ClassINET, TTL: 300,
+			Data: &SVCBData{Priority: 1, Target: "svc.dirty.example."}},
+		RR{Name: "dirty.example.", Type: TypeTXT, Class: ClassINET, TTL: 60,
+			Data: &TXTData{Strings: []string{"stale-state", "leak-canary"}}},
+	)
+	dirtyWire, err := dirtyTmpl.Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh, freshErr := Unpack(data)
+		dirty := new(Message)
+		if err := UnpackInto(dirty, dirtyWire); err != nil {
+			t.Fatalf("dirty template failed to decode: %v", err)
+		}
+		dirtyErr := UnpackInto(dirty, data)
+		if (freshErr == nil) != (dirtyErr == nil) {
+			t.Fatalf("fresh/dirty acceptance diverged: fresh=%v dirty=%v", freshErr, dirtyErr)
+		}
+		if freshErr != nil {
+			return
+		}
+		assertSameDecode(t, fresh, dirty)
+	})
+}
+
+// assertSameDecode fails when the two decodes of the same wire input
+// differ — header, questions, section shapes, or record content (compared
+// via the RData presentation form, which formats values rather than
+// backing-array identity).
+func assertSameDecode(t *testing.T, fresh, dirty *Message) {
+	t.Helper()
+	if fresh.ID != dirty.ID || fresh.Response != dirty.Response ||
+		fresh.Opcode != dirty.Opcode || fresh.RCode != dirty.RCode ||
+		fresh.Truncated != dirty.Truncated {
+		t.Fatalf("header diverged: fresh=%+v dirty=%+v", fresh, dirty)
+	}
+	if len(fresh.Question) != len(dirty.Question) {
+		t.Fatalf("question count diverged: %d vs %d", len(fresh.Question), len(dirty.Question))
+	}
+	for i := range fresh.Question {
+		if fresh.Question[i] != dirty.Question[i] {
+			t.Fatalf("question %d diverged: %+v vs %+v", i, fresh.Question[i], dirty.Question[i])
+		}
+	}
+	sections := []struct {
+		name         string
+		fresh, dirty []RR
+	}{
+		{"answer", fresh.Answer, dirty.Answer},
+		{"authority", fresh.Authority, dirty.Authority},
+		{"additional", fresh.Additional, dirty.Additional},
+	}
+	for _, s := range sections {
+		if len(s.fresh) != len(s.dirty) {
+			t.Fatalf("%s count diverged: %d vs %d", s.name, len(s.fresh), len(s.dirty))
+		}
+		for i := range s.fresh {
+			a, b := s.fresh[i], s.dirty[i]
+			if a.Name != b.Name || a.Type != b.Type || a.Class != b.Class || a.TTL != b.TTL {
+				t.Fatalf("%s[%d] RR diverged: %+v vs %+v", s.name, i, a, b)
+			}
+			if (a.Data == nil) != (b.Data == nil) {
+				t.Fatalf("%s[%d] RDATA presence diverged", s.name, i)
+			}
+			if a.Data != nil && a.Data.String() != b.Data.String() {
+				t.Fatalf("%s[%d] RDATA diverged: %q vs %q", s.name, i, a.Data.String(), b.Data.String())
+			}
+		}
+	}
+}
+
 // TestFuzzSeedsParse keeps the well-formed half of the corpus honest:
 // the packed query seeds must stay parseable as the wire format
 // evolves, so the fuzzers always start from live coverage.

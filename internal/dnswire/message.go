@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Question is a DNS question section entry.
@@ -79,26 +80,27 @@ func (m *Message) OPT() *RR {
 }
 
 // SetEDNS0 attaches (or replaces) an EDNS(0) OPT record advertising the
-// given UDP payload size and DO bit.
+// given UDP payload size and DO bit. An existing option-free OPT record's
+// RDATA value is reused in place, so re-arming EDNS on a recycled query
+// message allocates nothing.
 func (m *Message) SetEDNS0(udpSize uint16, dnssecOK bool) {
 	var ttl uint32
 	if dnssecOK {
 		ttl |= 0x8000 // DO bit lives in the high bit of the TTL field's flags half
 	}
-	opt := RR{
-		Name:  ".",
-		Type:  TypeOPT,
-		Class: Class(udpSize),
-		TTL:   ttl,
-		Data:  &OPTData{},
-	}
 	for i := range m.Additional {
 		if m.Additional[i].Type == TypeOPT {
-			m.Additional[i] = opt
+			data, ok := m.Additional[i].Data.(*OPTData)
+			if !ok || len(data.Options) != 0 {
+				data = &OPTData{}
+			}
+			m.Additional[i] = RR{Name: ".", Type: TypeOPT, Class: Class(udpSize), TTL: ttl, Data: data}
 			return
 		}
 	}
-	m.Additional = append(m.Additional, opt)
+	m.Additional = append(m.Additional, RR{
+		Name: ".", Type: TypeOPT, Class: Class(udpSize), TTL: ttl, Data: &OPTData{},
+	})
 }
 
 // DNSSECOK reports whether the message carries an OPT record with the DO bit.
@@ -130,8 +132,25 @@ const headerLen = 12
 
 // Pack encodes the message into wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	dst := make([]byte, headerLen, 512)
-	binary.BigEndian.PutUint16(dst[0:], m.ID)
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack encodes the message into wire format with name compression,
+// appending to dst and returning the extended buffer. Compression offsets
+// are relative to the message start (len(dst) at entry), so the encode may
+// land inside a larger frame. The compression state itself is pooled:
+// packing into a buffer with sufficient capacity allocates nothing.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	cmap := getCmap(len(dst))
+	out, err := m.appendPack(dst, cmap)
+	putCmap(cmap)
+	return out, err
+}
+
+func (m *Message) appendPack(dst []byte, cmap *compressionMap) ([]byte, error) {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint16(dst[base:], m.ID)
 
 	var flags uint16
 	if m.Response {
@@ -157,13 +176,12 @@ func (m *Message) Pack() ([]byte, error) {
 		flags |= 1 << 4
 	}
 	flags |= uint16(m.RCode & 0xf)
-	binary.BigEndian.PutUint16(dst[2:], flags)
-	binary.BigEndian.PutUint16(dst[4:], uint16(len(m.Question)))
-	binary.BigEndian.PutUint16(dst[6:], uint16(len(m.Answer)))
-	binary.BigEndian.PutUint16(dst[8:], uint16(len(m.Authority)))
-	binary.BigEndian.PutUint16(dst[10:], uint16(len(m.Additional)))
+	binary.BigEndian.PutUint16(dst[base+2:], flags)
+	binary.BigEndian.PutUint16(dst[base+4:], uint16(len(m.Question)))
+	binary.BigEndian.PutUint16(dst[base+6:], uint16(len(m.Answer)))
+	binary.BigEndian.PutUint16(dst[base+8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(dst[base+10:], uint16(len(m.Additional)))
 
-	cmap := compressionMap{}
 	var err error
 	for _, q := range m.Question {
 		dst, err = packName(dst, q.Name, cmap)
@@ -173,7 +191,7 @@ func (m *Message) Pack() ([]byte, error) {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(q.Type))
 		dst = binary.BigEndian.AppendUint16(dst, uint16(q.Class))
 	}
-	for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+	for _, section := range [3][]RR{m.Answer, m.Authority, m.Additional} {
 		for _, rr := range section {
 			dst, err = packRR(dst, rr, cmap)
 			if err != nil {
@@ -184,7 +202,7 @@ func (m *Message) Pack() ([]byte, error) {
 	return dst, nil
 }
 
-func packRR(dst []byte, rr RR, cmap compressionMap) ([]byte, error) {
+func packRR(dst []byte, rr RR, cmap *compressionMap) ([]byte, error) {
 	if rr.Data == nil {
 		return nil, fmt.Errorf("dnswire: record %s %s has nil RDATA", rr.Name, rr.Type)
 	}
@@ -226,12 +244,107 @@ func PackRR(rr RR) ([]byte, error) {
 	return packRR(nil, rr, nil)
 }
 
+// maxInternedNames bounds each pooled scratch's cross-message name
+// intern table. Resolver traffic re-decodes the same QNAMEs and owner
+// names all day, so the table converges on the live name set quickly;
+// once full it stops admitting new entries rather than evicting, which
+// keeps lookups allocation-free and the memory bound hard.
+const maxInternedNames = 4096
+
+// decodeScratch carries per-decode reusable state: a presentation-form
+// name buffer, the set of name strings minted so far in this message
+// (so compression-pointer reuse of the same name yields one shared
+// string), and an intern table that survives recycling so names seen in
+// earlier messages are never minted again.
+type decodeScratch struct {
+	names  []string
+	buf    []byte
+	intern map[string]string
+}
+
+var decScratchPool = sync.Pool{New: func() any {
+	return &decodeScratch{names: make([]string, 0, 16), buf: make([]byte, 0, 256)}
+}}
+
+func putDecScratch(sc *decodeScratch) {
+	// Zero the string headers so the per-message memo never pins name
+	// strings from a past message, then cap-trim oversized backing
+	// arrays. The intern table is deliberately kept: pinning up to
+	// maxInternedNames shared name strings is its job.
+	clear(sc.names)
+	sc.names = sc.names[:0]
+	if cap(sc.names) > maxRecycledNames {
+		sc.names = nil
+	}
+	sc.buf = trimRecycled(sc.buf)
+	decScratchPool.Put(sc)
+}
+
+// unpackNameCached decodes the name at msg[off:], reusing prev when the
+// decoded bytes match it (the steady state when a recycled Message sees the
+// same answers again) and otherwise deduplicating against names already
+// minted for this message. Repeated decodes of an unchanged message
+// allocate zero strings.
+func unpackNameCached(sc *decodeScratch, msg []byte, off int, prev string) (string, int, error) {
+	b, end, err := appendName(sc.buf[:0], msg, off)
+	sc.buf = b
+	if err != nil {
+		return "", 0, err
+	}
+	if prev != "" && prev == string(b) {
+		return prev, end, nil
+	}
+	for _, s := range sc.names {
+		if s == string(b) {
+			return s, end, nil
+		}
+	}
+	// The map lookup with an inline []byte→string conversion does not
+	// allocate (compiler-recognised pattern), so a steady-state decode
+	// whose names are all interned mints zero strings.
+	if s, ok := sc.intern[string(b)]; ok {
+		sc.names = append(sc.names, s)
+		return s, end, nil
+	}
+	s := string(b)
+	sc.names = append(sc.names, s)
+	if len(sc.intern) < maxInternedNames {
+		if sc.intern == nil {
+			sc.intern = make(map[string]string, 64)
+		}
+		sc.intern[s] = s
+	}
+	return s, end, nil
+}
+
 // Unpack decodes a wire-format message.
 func Unpack(b []byte) (*Message, error) {
-	if len(b) < headerLen {
-		return nil, ErrShortMessage
+	m := new(Message)
+	if err := UnpackInto(m, b); err != nil {
+		return nil, err
 	}
-	m := &Message{ID: binary.BigEndian.Uint16(b)}
+	return m, nil
+}
+
+// UnpackInto decodes a wire-format message into m, reusing m's question and
+// section slices (cap-preserving truncation) and, where types line up,
+// existing RDATA values and name strings. Decoding the same shape of
+// message into a recycled Message allocates nothing. Previous contents of m
+// are overwritten; strings and RDATA from the prior decode may be reused,
+// so callers must not hold references into a Message across UnpackInto
+// calls on it.
+func UnpackInto(m *Message, b []byte) error {
+	sc := decScratchPool.Get().(*decodeScratch)
+	err := unpackInto(m, b, sc)
+	putDecScratch(sc)
+	return err
+}
+
+func unpackInto(m *Message, b []byte, sc *decodeScratch) error {
+	if len(b) < headerLen {
+		return ErrShortMessage
+	}
+	m.ID = binary.BigEndian.Uint16(b)
 	flags := binary.BigEndian.Uint16(b[2:])
 	m.Response = flags&(1<<15) != 0
 	m.Opcode = Opcode(flags >> 11 & 0xf)
@@ -250,43 +363,57 @@ func Unpack(b []byte) (*Message, error) {
 
 	off := headerLen
 	var err error
+	prevQ := m.Question
+	m.Question = m.Question[:0]
 	for i := 0; i < qd; i++ {
+		// Read the recycled slot before append overwrites it in place.
+		var prev Question
+		if i < len(prevQ) {
+			prev = prevQ[i]
+		}
 		var q Question
-		q.Name, off, err = unpackName(b, off)
+		q.Name, off, err = unpackNameCached(sc, b, off, prev.Name)
 		if err != nil {
-			return nil, fmt.Errorf("unpacking question %d: %w", i, err)
+			return fmt.Errorf("unpacking question %d: %w", i, err)
 		}
 		if off+4 > len(b) {
-			return nil, ErrTruncatedName
+			return ErrTruncatedName
 		}
 		q.Type = Type(binary.BigEndian.Uint16(b[off:]))
 		q.Class = Class(binary.BigEndian.Uint16(b[off+2:]))
 		off += 4
 		m.Question = append(m.Question, q)
 	}
-	sections := []*[]RR{&m.Answer, &m.Authority, &m.Additional}
-	counts := []int{an, ns, ar}
+	sections := [3]*[]RR{&m.Answer, &m.Authority, &m.Additional}
+	counts := [3]int{an, ns, ar}
 	for si, count := range counts {
+		sp := sections[si]
+		prevS := *sp
+		*sp = (*sp)[:0]
 		for i := 0; i < count; i++ {
-			var rr RR
-			rr, off, err = unpackRR(b, off)
-			if err != nil {
-				return nil, fmt.Errorf("unpacking record %d of section %d: %w", i, si, err)
+			var prev RR
+			if i < len(prevS) {
+				prev = prevS[i]
 			}
-			*sections[si] = append(*sections[si], rr)
+			var rr RR
+			rr, off, err = unpackRRInto(b, off, prev, sc)
+			if err != nil {
+				return fmt.Errorf("unpacking record %d of section %d: %w", i, si, err)
+			}
+			*sp = append(*sp, rr)
 		}
 	}
 	// Extended RCODE from OPT (high 8 bits live in the OPT TTL).
 	if opt := m.OPT(); opt != nil {
 		m.RCode |= RCode(opt.TTL>>24&0xff) << 4
 	}
-	return m, nil
+	return nil
 }
 
-func unpackRR(b []byte, off int) (RR, int, error) {
+func unpackRRInto(b []byte, off int, prev RR, sc *decodeScratch) (RR, int, error) {
 	var rr RR
 	var err error
-	rr.Name, off, err = unpackName(b, off)
+	rr.Name, off, err = unpackNameCached(sc, b, off, prev.Name)
 	if err != nil {
 		return rr, 0, err
 	}
@@ -301,7 +428,7 @@ func unpackRR(b []byte, off int) (RR, int, error) {
 	if off+rdlen > len(b) {
 		return rr, 0, fmt.Errorf("dnswire: RDATA truncated for %q", rr.Name)
 	}
-	rr.Data, err = unpackRData(rr.Type, b, off, rdlen)
+	rr.Data, err = unpackRDataInto(rr.Type, b, off, rdlen, prev.Data, sc)
 	if err != nil {
 		return rr, 0, err
 	}
@@ -348,18 +475,21 @@ func (m *Message) String() string {
 }
 
 // WriteTCP writes the message to w with the 2-byte length prefix used by
-// DNS over TCP.
+// DNS over TCP. The frame is assembled in a pooled buffer, so a steady
+// stream of writes allocates nothing.
 func WriteTCP(w io.Writer, m *Message) error {
-	wire, err := m.Pack()
+	bp := GetWireBuf()
+	defer PutWireBuf(bp)
+	buf := append(*bp, 0, 0)
+	buf, err := m.AppendPack(buf)
 	if err != nil {
 		return err
 	}
-	if len(wire) > 65535 {
+	*bp = buf
+	if len(buf)-2 > 65535 {
 		return fmt.Errorf("dnswire: message exceeds TCP limit")
 	}
-	buf := make([]byte, 2+len(wire))
-	binary.BigEndian.PutUint16(buf, uint16(len(wire)))
-	copy(buf[2:], wire)
+	binary.BigEndian.PutUint16(buf, uint16(len(buf)-2))
 	_, err = w.Write(buf)
 	return err
 }

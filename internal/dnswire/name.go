@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Name handling. Throughout the framework, domain names are represented as
@@ -21,7 +22,8 @@ var (
 )
 
 // CanonicalName lower-cases s and ensures a trailing dot. The root name is
-// returned as ".".
+// returned as ".". Input that is already canonical — the steady state on
+// the query hot path — is returned as-is without allocating.
 func CanonicalName(s string) string {
 	s = strings.ToLower(strings.TrimSpace(s))
 	if s == "" || s == "." {
@@ -79,21 +81,31 @@ func ApexOf(name string) string {
 	return strings.Join(labels[len(labels)-2:], ".") + "."
 }
 
-// ValidateName checks RFC 1035 length limits on a canonical name.
+// ValidateName checks RFC 1035 length limits on a canonical name. It walks
+// the name in place — no label splitting — so the pack hot path stays
+// allocation-free.
 func ValidateName(name string) error {
 	name = CanonicalName(name)
 	if name == "." {
 		return nil
 	}
+	return validateCanonical(name)
+}
+
+// validateCanonical applies the RFC 1035 limits to an already-canonical,
+// non-root, dot-terminated name.
+func validateCanonical(name string) error {
 	total := 1 // root byte
-	for _, label := range SplitLabels(name) {
-		if len(label) == 0 {
+	for pos := 0; pos < len(name); {
+		dot := strings.IndexByte(name[pos:], '.')
+		if dot == 0 {
 			return ErrEmptyLabel
 		}
-		if len(label) > 63 {
+		if dot > 63 {
 			return ErrLabelTooLong
 		}
-		total += len(label) + 1
+		total += dot + 1
+		pos += dot + 1
 	}
 	if total > 255 {
 		return ErrNameTooLong
@@ -101,49 +113,132 @@ func ValidateName(name string) error {
 	return nil
 }
 
-// compressionMap tracks name→offset mappings while packing a message.
-// A nil map disables compression (used for RDATA fields where compression
-// is forbidden, e.g. RRSIG signer names and SVCB targets).
-type compressionMap map[string]int
+// validateNameBytes is ValidateName over the byte form a wire decode
+// produces (lower-case, dot-terminated), avoiding the string conversion.
+func validateNameBytes(name []byte) error {
+	if len(name) == 1 && name[0] == '.' {
+		return nil
+	}
+	total := 1
+	for pos := 0; pos < len(name); {
+		dot := -1
+		for i := pos; i < len(name); i++ {
+			if name[i] == '.' {
+				dot = i - pos
+				break
+			}
+		}
+		if dot == 0 {
+			return ErrEmptyLabel
+		}
+		if dot > 63 {
+			return ErrLabelTooLong
+		}
+		total += dot + 1
+		pos += dot + 1
+	}
+	if total > 255 {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// compressionMap tracks name-suffix→offset mappings while packing a
+// message. Offsets are relative to base, the message's start within the
+// destination buffer, so AppendPack can encode into the middle of a larger
+// frame and still emit receiver-correct pointers. A nil *compressionMap
+// disables compression (used for RDATA fields where compression is
+// forbidden, e.g. RRSIG signer names and SVCB targets).
+type compressionMap struct {
+	base int
+	off  map[string]int
+}
+
+// cmapPool recycles compression maps across packs; the map is cleared on
+// the way back in so no name strings are retained between messages.
+var cmapPool = sync.Pool{New: func() any {
+	return &compressionMap{off: make(map[string]int, 8)}
+}}
+
+func getCmap(base int) *compressionMap {
+	cm := cmapPool.Get().(*compressionMap)
+	cm.base = base
+	return cm
+}
+
+func putCmap(cm *compressionMap) {
+	clear(cm.off)
+	cmapPool.Put(cm)
+}
 
 // packName appends the wire form of name to dst. When cmap is non-nil,
 // compression pointers are emitted for previously seen suffixes and new
-// suffixes are registered at their offsets.
-func packName(dst []byte, name string, cmap compressionMap) ([]byte, error) {
+// suffixes are registered at their offsets. Suffix keys are sub-slices of
+// the canonical name, so the walk allocates nothing.
+func packName(dst []byte, name string, cmap *compressionMap) ([]byte, error) {
 	name = CanonicalName(name)
-	if err := ValidateName(name); err != nil {
+	if name == "." {
+		return append(dst, 0), nil
+	}
+	if err := validateCanonical(name); err != nil {
 		return nil, err
 	}
-	labels := SplitLabels(name)
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	for pos := 0; pos < len(name); {
+		suffix := name[pos:]
 		if cmap != nil {
-			if off, ok := cmap[suffix]; ok {
+			if off, ok := cmap.off[suffix]; ok {
 				if off <= 0x3fff {
-					dst = append(dst, 0xc0|byte(off>>8), byte(off))
-					return dst, nil
+					return append(dst, 0xc0|byte(off>>8), byte(off)), nil
 				}
 			}
-			if len(dst) <= 0x3fff {
-				cmap[suffix] = len(dst)
+			if rel := len(dst) - cmap.base; rel <= 0x3fff {
+				cmap.off[suffix] = rel
 			}
 		}
-		dst = append(dst, byte(len(labels[i])))
-		dst = append(dst, labels[i]...)
+		dot := strings.IndexByte(suffix, '.')
+		dst = append(dst, byte(dot))
+		dst = append(dst, suffix[:dot]...)
+		pos += dot + 1
 	}
 	return append(dst, 0), nil
 }
 
+// nameScratchPool recycles the presentation-form byte buffer unpackName
+// decodes into before the final string conversion.
+var nameScratchPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
 // unpackName reads a (possibly compressed) name from msg starting at off.
 // It returns the canonical name and the offset just past the name in the
-// original (uncompressed) stream.
+// original (uncompressed) stream. The only allocation is the returned
+// string itself.
 func unpackName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	bp := nameScratchPool.Get().(*[]byte)
+	b, end, err := appendName((*bp)[:0], msg, off)
+	if err != nil {
+		*bp = b
+		nameScratchPool.Put(bp)
+		return "", 0, err
+	}
+	name := string(b)
+	*bp = b
+	nameScratchPool.Put(bp)
+	return name, end, nil
+}
+
+// appendName decodes the (possibly compressed) name at msg[off:] into dst
+// in canonical presentation form (lower-cased, dot-terminated, root as
+// ".") and returns the appended buffer plus the offset just past the name
+// in the original stream. It allocates nothing beyond dst growth.
+func appendName(dst []byte, msg []byte, off int) ([]byte, int, error) {
+	start := len(dst)
 	ptrCount := 0
 	end := -1 // offset after the name in the original stream
 	for {
 		if off >= len(msg) {
-			return "", 0, ErrTruncatedName
+			return dst, 0, ErrTruncatedName
 		}
 		b := msg[off]
 		switch {
@@ -151,51 +246,44 @@ func unpackName(msg []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			name := sb.String()
-			if name == "" {
-				name = "."
+			if len(dst) == start {
+				dst = append(dst, '.')
 			}
-			if err := ValidateName(name); err != nil {
-				return "", 0, err
+			if err := validateNameBytes(dst[start:]); err != nil {
+				return dst, 0, err
 			}
-			return CanonicalName(name), end, nil
+			return dst, end, nil
 		case b&0xc0 == 0xc0:
 			if off+1 >= len(msg) {
-				return "", 0, ErrTruncatedName
+				return dst, 0, ErrTruncatedName
 			}
 			ptr := int(b&0x3f)<<8 | int(msg[off+1])
 			if end < 0 {
 				end = off + 2
 			}
 			if ptr >= off {
-				return "", 0, ErrBadPointer
+				return dst, 0, ErrBadPointer
 			}
 			ptrCount++
 			if ptrCount > 32 {
-				return "", 0, ErrTooManyPointer
+				return dst, 0, ErrTooManyPointer
 			}
 			off = ptr
 		case b&0xc0 != 0:
-			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xc0)
+			return dst, 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xc0)
 		default:
 			n := int(b)
 			if off+1+n > len(msg) {
-				return "", 0, ErrTruncatedName
+				return dst, 0, ErrTruncatedName
 			}
-			sb.Write(toLowerASCII(msg[off+1 : off+1+n]))
-			sb.WriteByte('.')
+			for _, c := range msg[off+1 : off+1+n] {
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				dst = append(dst, c)
+			}
+			dst = append(dst, '.')
 			off += 1 + n
 		}
 	}
-}
-
-func toLowerASCII(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		out[i] = c
-	}
-	return out
 }

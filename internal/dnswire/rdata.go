@@ -38,7 +38,7 @@ type RData interface {
 	// pack appends the wire encoding of the RDATA to dst. cmap enables
 	// owner-message name compression for the record types where RFC 1035
 	// permits it; implementations for other types ignore it.
-	pack(dst []byte, cmap compressionMap) ([]byte, error)
+	pack(dst []byte, cmap *compressionMap) ([]byte, error)
 	clone() RData
 	String() string
 }
@@ -46,7 +46,7 @@ type RData interface {
 // A (IPv4 address) record data.
 type AData struct{ Addr netip.Addr }
 
-func (d *AData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *AData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	if !d.Addr.Is4() {
 		return nil, fmt.Errorf("dnswire: A record address %v is not IPv4", d.Addr)
 	}
@@ -59,7 +59,7 @@ func (d *AData) String() string { return d.Addr.String() }
 // AAAA (IPv6 address) record data.
 type AAAAData struct{ Addr netip.Addr }
 
-func (d *AAAAData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *AAAAData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	if !d.Addr.Is6() || d.Addr.Is4In6() {
 		return nil, fmt.Errorf("dnswire: AAAA record address %v is not IPv6", d.Addr)
 	}
@@ -72,7 +72,7 @@ func (d *AAAAData) String() string { return d.Addr.String() }
 // CNAMEData aliases the owner name to Target.
 type CNAMEData struct{ Target string }
 
-func (d *CNAMEData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+func (d *CNAMEData) pack(dst []byte, cmap *compressionMap) ([]byte, error) {
 	return packName(dst, d.Target, cmap)
 }
 func (d *CNAMEData) clone() RData   { c := *d; return &c }
@@ -81,7 +81,7 @@ func (d *CNAMEData) String() string { return CanonicalName(d.Target) }
 // DNAMEData redirects the subtree under the owner to Target.
 type DNAMEData struct{ Target string }
 
-func (d *DNAMEData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *DNAMEData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	return packName(dst, d.Target, nil)
 }
 func (d *DNAMEData) clone() RData   { c := *d; return &c }
@@ -90,7 +90,7 @@ func (d *DNAMEData) String() string { return CanonicalName(d.Target) }
 // NSData names an authoritative name server for the owner zone.
 type NSData struct{ Host string }
 
-func (d *NSData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+func (d *NSData) pack(dst []byte, cmap *compressionMap) ([]byte, error) {
 	return packName(dst, d.Host, cmap)
 }
 func (d *NSData) clone() RData   { c := *d; return &c }
@@ -99,7 +99,7 @@ func (d *NSData) String() string { return CanonicalName(d.Host) }
 // PTRData maps an address back to a name.
 type PTRData struct{ Target string }
 
-func (d *PTRData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+func (d *PTRData) pack(dst []byte, cmap *compressionMap) ([]byte, error) {
 	return packName(dst, d.Target, cmap)
 }
 func (d *PTRData) clone() RData   { c := *d; return &c }
@@ -111,7 +111,7 @@ type MXData struct {
 	Host       string
 }
 
-func (d *MXData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+func (d *MXData) pack(dst []byte, cmap *compressionMap) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, d.Preference)
 	return packName(dst, d.Host, cmap)
 }
@@ -129,7 +129,7 @@ type SOAData struct {
 	Minimum uint32
 }
 
-func (d *SOAData) pack(dst []byte, cmap compressionMap) ([]byte, error) {
+func (d *SOAData) pack(dst []byte, cmap *compressionMap) ([]byte, error) {
 	var err error
 	dst, err = packName(dst, d.MName, cmap)
 	if err != nil {
@@ -155,7 +155,7 @@ func (d *SOAData) String() string {
 // TXTData carries one or more character-strings.
 type TXTData struct{ Strings []string }
 
-func (d *TXTData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *TXTData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	if len(d.Strings) == 0 {
 		return nil, fmt.Errorf("dnswire: TXT record requires at least one string")
 	}
@@ -187,7 +187,7 @@ type SRVData struct {
 	Target   string
 }
 
-func (d *SRVData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *SRVData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, d.Priority)
 	dst = binary.BigEndian.AppendUint16(dst, d.Weight)
 	dst = binary.BigEndian.AppendUint16(dst, d.Port)
@@ -209,7 +209,7 @@ type SVCBData struct {
 // AliasMode reports whether the record is in AliasMode (priority 0).
 func (d *SVCBData) AliasMode() bool { return d.Priority == 0 }
 
-func (d *SVCBData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *SVCBData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, d.Priority)
 	var err error
 	dst, err = packName(dst, d.Target, nil)
@@ -240,7 +240,7 @@ type DSData struct {
 	Digest     []byte
 }
 
-func (d *DSData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *DSData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, d.KeyTag)
 	dst = append(dst, d.Algorithm, d.DigestType)
 	return append(dst, d.Digest...), nil
@@ -265,7 +265,7 @@ type DNSKEYData struct {
 // IsKSK reports whether the key has the Secure Entry Point flag set.
 func (d *DNSKEYData) IsKSK() bool { return d.Flags&DNSKEYFlagSEP != 0 }
 
-func (d *DNSKEYData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *DNSKEYData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint16(dst, d.Flags)
 	dst = append(dst, d.Protocol, d.Algorithm)
 	return append(dst, d.PublicKey...), nil
@@ -310,7 +310,7 @@ type RRSIGData struct {
 	Signature   []byte
 }
 
-func (d *RRSIGData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *RRSIGData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	dst = d.packPresig(dst)
 	return append(dst, d.Signature...), nil
 }
@@ -350,7 +350,7 @@ type NSECData struct {
 	Types    []Type
 }
 
-func (d *NSECData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *NSECData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	var err error
 	dst, err = packName(dst, d.NextName, nil)
 	if err != nil {
@@ -404,7 +404,12 @@ func packTypeBitmap(dst []byte, types []Type) ([]byte, error) {
 }
 
 func unpackTypeBitmap(b []byte) ([]Type, error) {
-	var types []Type
+	return unpackTypeBitmapInto(nil, b)
+}
+
+// unpackTypeBitmapInto appends the decoded types to the (possibly recycled)
+// types slice.
+func unpackTypeBitmapInto(types []Type, b []byte) ([]Type, error) {
 	for len(b) > 0 {
 		if len(b) < 2 {
 			return nil, fmt.Errorf("dnswire: truncated type bitmap")
@@ -439,7 +444,7 @@ type EDNSOption struct {
 	Data []byte
 }
 
-func (d *OPTData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *OPTData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	for _, o := range d.Options {
 		dst = binary.BigEndian.AppendUint16(dst, o.Code)
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(o.Data)))
@@ -459,7 +464,7 @@ func (d *OPTData) String() string { return fmt.Sprintf("OPT(%d options)", len(d.
 // RawData carries RDATA of record types the codec does not model (RFC 3597).
 type RawData struct{ Bytes []byte }
 
-func (d *RawData) pack(dst []byte, _ compressionMap) ([]byte, error) {
+func (d *RawData) pack(dst []byte, _ *compressionMap) ([]byte, error) {
 	return append(dst, d.Bytes...), nil
 }
 func (d *RawData) clone() RData { return &RawData{Bytes: append([]byte(nil), d.Bytes...)} }
@@ -467,9 +472,22 @@ func (d *RawData) String() string {
 	return fmt.Sprintf("\\# %d %s", len(d.Bytes), hex.EncodeToString(d.Bytes))
 }
 
-// unpackRData decodes the RDATA of the given type from msg[off:off+rdlen].
-// msg is the full message so compressed names can be followed.
-func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
+// reuseString returns prev when it equals the bytes of b (no allocation),
+// otherwise mints a new string.
+func reuseString(prev string, b []byte) string {
+	if prev == string(b) {
+		return prev
+	}
+	return string(b)
+}
+
+// unpackRDataInto decodes the RDATA of the given type from
+// msg[off:off+rdlen]. msg is the full message so compressed names can be
+// followed. When prev (the RDATA occupying this slot in a recycled Message)
+// has the matching concrete type, its value is updated in place — byte
+// slices, string sets, and name strings are reused so re-decoding an
+// unchanged record allocates nothing.
+func unpackRDataInto(t Type, msg []byte, off, rdlen int, prev RData, sc *decodeScratch) (RData, error) {
 	end := off + rdlen
 	if end > len(msg) {
 		return nil, fmt.Errorf("dnswire: RDATA extends past message end")
@@ -481,15 +499,34 @@ func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
 			return nil, fmt.Errorf("dnswire: A RDATA must be 4 bytes, got %d", rdlen)
 		}
 		addr, _ := netip.AddrFromSlice(rd)
+		if d, ok := prev.(*AData); ok {
+			d.Addr = addr
+			return d, nil
+		}
 		return &AData{Addr: addr}, nil
 	case TypeAAAA:
 		if rdlen != 16 {
 			return nil, fmt.Errorf("dnswire: AAAA RDATA must be 16 bytes, got %d", rdlen)
 		}
 		addr, _ := netip.AddrFromSlice(rd)
+		if d, ok := prev.(*AAAAData); ok {
+			d.Addr = addr
+			return d, nil
+		}
 		return &AAAAData{Addr: addr}, nil
 	case TypeCNAME, TypeNS, TypePTR, TypeDNAME:
-		name, n, err := unpackName(msg, off)
+		var prevName string
+		switch d := prev.(type) {
+		case *CNAMEData:
+			prevName = d.Target
+		case *NSData:
+			prevName = d.Host
+		case *PTRData:
+			prevName = d.Target
+		case *DNAMEData:
+			prevName = d.Target
+		}
+		name, n, err := unpackNameCached(sc, msg, off, prevName)
 		if err != nil {
 			return nil, err
 		}
@@ -498,33 +535,58 @@ func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
 		}
 		switch t {
 		case TypeCNAME:
+			if d, ok := prev.(*CNAMEData); ok {
+				d.Target = name
+				return d, nil
+			}
 			return &CNAMEData{Target: name}, nil
 		case TypeNS:
+			if d, ok := prev.(*NSData); ok {
+				d.Host = name
+				return d, nil
+			}
 			return &NSData{Host: name}, nil
 		case TypePTR:
+			if d, ok := prev.(*PTRData); ok {
+				d.Target = name
+				return d, nil
+			}
 			return &PTRData{Target: name}, nil
 		default:
+			if d, ok := prev.(*DNAMEData); ok {
+				d.Target = name
+				return d, nil
+			}
 			return &DNAMEData{Target: name}, nil
 		}
 	case TypeMX:
 		if rdlen < 3 {
 			return nil, fmt.Errorf("dnswire: MX RDATA too short")
 		}
+		d, ok := prev.(*MXData)
+		if !ok {
+			d = &MXData{}
+		}
 		pref := binary.BigEndian.Uint16(rd)
-		host, n, err := unpackName(msg, off+2)
+		host, n, err := unpackNameCached(sc, msg, off+2, d.Host)
 		if err != nil {
 			return nil, err
 		}
 		if n != end {
 			return nil, fmt.Errorf("dnswire: MX RDATA has trailing bytes")
 		}
-		return &MXData{Preference: pref, Host: host}, nil
+		d.Preference, d.Host = pref, host
+		return d, nil
 	case TypeSOA:
-		mname, n, err := unpackName(msg, off)
+		d, ok := prev.(*SOAData)
+		if !ok {
+			d = &SOAData{}
+		}
+		mname, n, err := unpackNameCached(sc, msg, off, d.MName)
 		if err != nil {
 			return nil, err
 		}
-		rname, n, err := unpackName(msg, n)
+		rname, n, err := unpackNameCached(sc, msg, n, d.RName)
 		if err != nil {
 			return nil, err
 		}
@@ -532,16 +594,20 @@ func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
 			return nil, fmt.Errorf("dnswire: SOA RDATA fixed fields must be 20 bytes")
 		}
 		f := msg[n:end]
-		return &SOAData{
-			MName: mname, RName: rname,
-			Serial:  binary.BigEndian.Uint32(f[0:]),
-			Refresh: binary.BigEndian.Uint32(f[4:]),
-			Retry:   binary.BigEndian.Uint32(f[8:]),
-			Expire:  binary.BigEndian.Uint32(f[12:]),
-			Minimum: binary.BigEndian.Uint32(f[16:]),
-		}, nil
+		d.MName, d.RName = mname, rname
+		d.Serial = binary.BigEndian.Uint32(f[0:])
+		d.Refresh = binary.BigEndian.Uint32(f[4:])
+		d.Retry = binary.BigEndian.Uint32(f[8:])
+		d.Expire = binary.BigEndian.Uint32(f[12:])
+		d.Minimum = binary.BigEndian.Uint32(f[16:])
+		return d, nil
 	case TypeTXT:
-		var strs []string
+		d, ok := prev.(*TXTData)
+		if !ok {
+			d = &TXTData{}
+		}
+		prevStrs := d.Strings
+		strs := d.Strings[:0]
 		b := rd
 		for len(b) > 0 {
 			n := int(b[0])
@@ -549,104 +615,136 @@ func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
 			if len(b) < n {
 				return nil, fmt.Errorf("dnswire: truncated TXT string")
 			}
-			strs = append(strs, string(b[:n]))
+			var old string
+			if len(strs) < len(prevStrs) {
+				old = prevStrs[len(strs)]
+			}
+			strs = append(strs, reuseString(old, b[:n]))
 			b = b[n:]
 		}
 		if len(strs) == 0 {
 			return nil, fmt.Errorf("dnswire: empty TXT RDATA")
 		}
-		return &TXTData{Strings: strs}, nil
+		d.Strings = strs
+		return d, nil
 	case TypeSRV:
 		if rdlen < 7 {
 			return nil, fmt.Errorf("dnswire: SRV RDATA too short")
 		}
-		target, n, err := unpackName(msg, off+6)
+		d, ok := prev.(*SRVData)
+		if !ok {
+			d = &SRVData{}
+		}
+		target, n, err := unpackNameCached(sc, msg, off+6, d.Target)
 		if err != nil {
 			return nil, err
 		}
 		if n != end {
 			return nil, fmt.Errorf("dnswire: SRV RDATA has trailing bytes")
 		}
-		return &SRVData{
-			Priority: binary.BigEndian.Uint16(rd),
-			Weight:   binary.BigEndian.Uint16(rd[2:]),
-			Port:     binary.BigEndian.Uint16(rd[4:]),
-			Target:   target,
-		}, nil
+		d.Priority = binary.BigEndian.Uint16(rd)
+		d.Weight = binary.BigEndian.Uint16(rd[2:])
+		d.Port = binary.BigEndian.Uint16(rd[4:])
+		d.Target = target
+		return d, nil
 	case TypeSVCB, TypeHTTPS:
 		if rdlen < 3 {
 			return nil, fmt.Errorf("dnswire: SVCB RDATA too short")
 		}
+		d, ok := prev.(*SVCBData)
+		if !ok {
+			d = &SVCBData{}
+		}
 		prio := binary.BigEndian.Uint16(rd)
-		target, n, err := unpackName(msg, off+2)
+		target, n, err := unpackNameCached(sc, msg, off+2, d.Target)
 		if err != nil {
 			return nil, err
 		}
 		if n > end {
 			return nil, fmt.Errorf("dnswire: SVCB target name overruns RDATA")
 		}
-		params, err := svcb.UnpackParams(msg[n:end])
+		params, err := svcb.UnpackParamsInto(d.Params, msg[n:end])
 		if err != nil {
 			return nil, err
 		}
-		return &SVCBData{Priority: prio, Target: target, Params: params}, nil
+		d.Priority, d.Target, d.Params = prio, target, params
+		return d, nil
 	case TypeDS:
 		if rdlen < 5 {
 			return nil, fmt.Errorf("dnswire: DS RDATA too short")
 		}
-		return &DSData{
-			KeyTag:     binary.BigEndian.Uint16(rd),
-			Algorithm:  rd[2],
-			DigestType: rd[3],
-			Digest:     append([]byte(nil), rd[4:]...),
-		}, nil
+		d, ok := prev.(*DSData)
+		if !ok {
+			d = &DSData{}
+		}
+		d.KeyTag = binary.BigEndian.Uint16(rd)
+		d.Algorithm = rd[2]
+		d.DigestType = rd[3]
+		d.Digest = append(d.Digest[:0], rd[4:]...)
+		return d, nil
 	case TypeDNSKEY:
 		if rdlen < 5 {
 			return nil, fmt.Errorf("dnswire: DNSKEY RDATA too short")
 		}
-		return &DNSKEYData{
-			Flags:     binary.BigEndian.Uint16(rd),
-			Protocol:  rd[2],
-			Algorithm: rd[3],
-			PublicKey: append([]byte(nil), rd[4:]...),
-		}, nil
+		d, ok := prev.(*DNSKEYData)
+		if !ok {
+			d = &DNSKEYData{}
+		}
+		d.Flags = binary.BigEndian.Uint16(rd)
+		d.Protocol = rd[2]
+		d.Algorithm = rd[3]
+		d.PublicKey = append(d.PublicKey[:0], rd[4:]...)
+		return d, nil
 	case TypeRRSIG:
 		if rdlen < 19 {
 			return nil, fmt.Errorf("dnswire: RRSIG RDATA too short")
 		}
-		signer, n, err := unpackName(msg, off+18)
+		d, ok := prev.(*RRSIGData)
+		if !ok {
+			d = &RRSIGData{}
+		}
+		signer, n, err := unpackNameCached(sc, msg, off+18, d.SignerName)
 		if err != nil {
 			return nil, err
 		}
 		if n > end {
 			return nil, fmt.Errorf("dnswire: RRSIG signer name overruns RDATA")
 		}
-		return &RRSIGData{
-			TypeCovered: Type(binary.BigEndian.Uint16(rd)),
-			Algorithm:   rd[2],
-			Labels:      rd[3],
-			OriginalTTL: binary.BigEndian.Uint32(rd[4:]),
-			Expiration:  binary.BigEndian.Uint32(rd[8:]),
-			Inception:   binary.BigEndian.Uint32(rd[12:]),
-			KeyTag:      binary.BigEndian.Uint16(rd[16:]),
-			SignerName:  signer,
-			Signature:   append([]byte(nil), msg[n:end]...),
-		}, nil
+		d.TypeCovered = Type(binary.BigEndian.Uint16(rd))
+		d.Algorithm = rd[2]
+		d.Labels = rd[3]
+		d.OriginalTTL = binary.BigEndian.Uint32(rd[4:])
+		d.Expiration = binary.BigEndian.Uint32(rd[8:])
+		d.Inception = binary.BigEndian.Uint32(rd[12:])
+		d.KeyTag = binary.BigEndian.Uint16(rd[16:])
+		d.SignerName = signer
+		d.Signature = append(d.Signature[:0], msg[n:end]...)
+		return d, nil
 	case TypeNSEC:
-		next, n, err := unpackName(msg, off)
+		d, ok := prev.(*NSECData)
+		if !ok {
+			d = &NSECData{}
+		}
+		next, n, err := unpackNameCached(sc, msg, off, d.NextName)
 		if err != nil {
 			return nil, err
 		}
 		if n > end {
 			return nil, fmt.Errorf("dnswire: NSEC next name overruns RDATA")
 		}
-		types, err := unpackTypeBitmap(msg[n:end])
+		types, err := unpackTypeBitmapInto(d.Types[:0], msg[n:end])
 		if err != nil {
 			return nil, err
 		}
-		return &NSECData{NextName: next, Types: types}, nil
+		d.NextName, d.Types = next, types
+		return d, nil
 	case TypeOPT:
-		var opts []EDNSOption
+		d, ok := prev.(*OPTData)
+		if !ok {
+			d = &OPTData{}
+		}
+		prevOpts := d.Options
+		opts := d.Options[:0]
 		b := rd
 		for len(b) > 0 {
 			if len(b) < 4 {
@@ -658,11 +756,21 @@ func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
 			if len(b) < olen {
 				return nil, fmt.Errorf("dnswire: truncated EDNS option data")
 			}
-			opts = append(opts, EDNSOption{Code: code, Data: append([]byte(nil), b[:olen]...)})
+			var old []byte
+			if len(opts) < len(prevOpts) {
+				old = prevOpts[len(opts)].Data[:0]
+			}
+			opts = append(opts, EDNSOption{Code: code, Data: append(old, b[:olen]...)})
 			b = b[olen:]
 		}
-		return &OPTData{Options: opts}, nil
+		d.Options = opts
+		return d, nil
 	default:
-		return &RawData{Bytes: append([]byte(nil), rd...)}, nil
+		d, ok := prev.(*RawData)
+		if !ok {
+			d = &RawData{}
+		}
+		d.Bytes = append(d.Bytes[:0], rd...)
+		return d, nil
 	}
 }

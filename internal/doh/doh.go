@@ -78,43 +78,65 @@ func NewPOSTRequest(m *dnswire.Message) (*Request, error) {
 // DecodeRequest extracts the DNS query from an envelope, reporting an
 // HTTP-style status on failure.
 func DecodeRequest(req *Request) (*dnswire.Message, int, error) {
+	m := new(dnswire.Message)
+	_, status, err := DecodeRequestInto(m, req, nil)
+	if err != nil {
+		return nil, status, err
+	}
+	return m, status, nil
+}
+
+// DecodeRequestInto is the reuse-API form of DecodeRequest: the query
+// decodes into m with dnswire.UnpackInto semantics, and GET parameter
+// decoding works inside scratch, which comes back (possibly grown) for
+// the caller to recycle.
+func DecodeRequestInto(m *dnswire.Message, req *Request, scratch []byte) ([]byte, int, error) {
 	if req.Path != Path {
-		return nil, StatusNotFound, fmt.Errorf("%w: path %q", ErrBadEnvelope, req.Path)
+		return scratch, StatusNotFound, fmt.Errorf("%w: path %q", ErrBadEnvelope, req.Path)
 	}
 	switch req.Method {
 	case "GET":
 		if req.DNSParam == "" {
-			return nil, StatusBadRequest, fmt.Errorf("%w: missing dns parameter", ErrBadEnvelope)
+			return scratch, StatusBadRequest, fmt.Errorf("%w: missing dns parameter", ErrBadEnvelope)
 		}
-		m, err := dnswire.DecodeDoHParam(req.DNSParam)
+		scratch, err := dnswire.DecodeDoHParamInto(m, req.DNSParam, scratch)
 		if err != nil {
-			return nil, StatusBadRequest, err
+			return scratch, StatusBadRequest, err
 		}
-		return m, StatusOK, nil
+		return scratch, StatusOK, nil
 	case "POST":
 		if req.ContentType != dnswire.MediaTypeDNSMessage {
-			return nil, StatusUnsupportedMediaType,
+			return scratch, StatusUnsupportedMediaType,
 				fmt.Errorf("%w: content type %q", ErrBadEnvelope, req.ContentType)
 		}
-		m, err := dnswire.Unpack(req.Body)
-		if err != nil {
-			return nil, StatusBadRequest, err
+		if err := dnswire.UnpackInto(m, req.Body); err != nil {
+			return scratch, StatusBadRequest, err
 		}
-		return m, StatusOK, nil
+		return scratch, StatusOK, nil
 	default:
-		return nil, StatusMethodNotAllowed, fmt.Errorf("%w: method %q", ErrBadEnvelope, req.Method)
+		return scratch, StatusMethodNotAllowed, fmt.Errorf("%w: method %q", ErrBadEnvelope, req.Method)
 	}
 }
 
 // Message unpacks the response body into a DNS message.
 func (r *Response) Message() (*dnswire.Message, error) {
+	m := new(dnswire.Message)
+	if err := r.DecodeInto(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto is the reuse-API form of Message: the response body decodes
+// into m with dnswire.UnpackInto semantics.
+func (r *Response) DecodeInto(m *dnswire.Message) error {
 	if r.Status != StatusOK {
-		return nil, fmt.Errorf("%w: %d", ErrStatus, r.Status)
+		return fmt.Errorf("%w: %d", ErrStatus, r.Status)
 	}
 	if r.ContentType != dnswire.MediaTypeDNSMessage {
-		return nil, fmt.Errorf("%w: content type %q", ErrBadEnvelope, r.ContentType)
+		return fmt.Errorf("%w: content type %q", ErrBadEnvelope, r.ContentType)
 	}
-	return dnswire.Unpack(r.Body)
+	return dnswire.UnpackInto(m, r.Body)
 }
 
 // Exchanger is the service interface a DoH frontend registers in simnet;

@@ -155,7 +155,15 @@ func (ps Params) Pack(dst []byte) ([]byte, error) {
 // UnpackParams parses a wire-format SvcParams blob. It enforces the strictly
 // increasing key order required by RFC 9460.
 func UnpackParams(b []byte) (Params, error) {
-	var ps Params
+	return UnpackParamsInto(nil, b)
+}
+
+// UnpackParamsInto parses a wire-format SvcParams blob into the recycled
+// params slice, reusing its backing array and each slot's Value buffer.
+// Re-decoding a same-shape blob allocates nothing.
+func UnpackParamsInto(params Params, b []byte) (Params, error) {
+	prevSlots := params
+	ps := params[:0]
 	prev := -1
 	for len(b) > 0 {
 		if len(b) < 4 {
@@ -171,7 +179,12 @@ func UnpackParams(b []byte) (Params, error) {
 			return nil, fmt.Errorf("svcb: SvcParam keys not in strictly increasing order (%v after %d)", key, prev)
 		}
 		prev = int(key)
-		ps = append(ps, Param{Key: key, Value: append([]byte(nil), b[:vlen]...)})
+		// Read the recycled slot's Value before append overwrites the slot.
+		var old []byte
+		if len(ps) < len(prevSlots) {
+			old = prevSlots[len(ps)].Value[:0]
+		}
+		ps = append(ps, Param{Key: key, Value: append(old, b[:vlen]...)})
 		b = b[vlen:]
 	}
 	return ps, nil

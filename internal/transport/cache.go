@@ -3,8 +3,6 @@ package transport
 import (
 	"encoding/binary"
 	"errors"
-	"hash/fnv"
-	"strconv"
 	"sync"
 	"time"
 
@@ -119,7 +117,7 @@ type Lookup struct {
 
 type cacheShard struct {
 	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	entries map[Key]*cacheEntry
 	// head is most recently used, tail least; entries form a doubly
 	// linked list so Get/Put/evict are all O(1).
 	head, tail *cacheEntry
@@ -137,7 +135,7 @@ type cacheShard struct {
 // one copy, an ID patch, and in-place TTL rewrites — no message encode on
 // the hot path.
 type cacheEntry struct {
-	key      string
+	key      Key
 	wire     []byte
 	ttlOffs  []int
 	ttls     []uint32 // original TTLs, parallel to ttlOffs
@@ -205,7 +203,7 @@ func NewCacheWith(clock *simnet.Clock, cfg CacheConfig) *Cache {
 	}
 	c := &Cache{clock: clock, cfg: cfg, shards: make([]*cacheShard, cfg.Shards)}
 	for i := range c.shards {
-		c.shards[i] = &cacheShard{entries: map[string]*cacheEntry{}, capacity: cfg.ShardCapacity}
+		c.shards[i] = &cacheShard{entries: map[Key]*cacheEntry{}, capacity: cfg.ShardCapacity}
 	}
 	return c
 }
@@ -213,28 +211,57 @@ func NewCacheWith(clock *simnet.Clock, cfg CacheConfig) *Cache {
 // Config returns the cache's resolved lifecycle configuration.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
-// CacheKey builds the lookup key for a question. The DO bit participates
-// because responses differ (RRSIGs present or not).
-func CacheKey(q dnswire.Question, dnssecOK bool) string {
-	key := dnswire.CanonicalName(q.Name) + "|" + strconv.Itoa(int(q.Type))
-	if dnssecOK {
-		key += "|do"
-	}
-	return key
+// Key identifies a cache entry: canonical qname, qtype, and the DO bit
+// (responses differ — RRSIGs present or not). It is a comparable value
+// type used directly as the shard map key, so building one for a probe
+// allocates nothing when the question name is already canonical — the
+// steady state on the query hot path. The name string is shared with the
+// question that produced it; the cache never mutates it.
+type Key struct {
+	Name string
+	Type dnswire.Type
+	DO   bool
 }
 
-func (c *Cache) shardFor(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return c.shards[int(h.Sum32())%len(c.shards)]
+// CacheKey builds the lookup key for a question.
+func CacheKey(q dnswire.Question, dnssecOK bool) Key {
+	return Key{Name: dnswire.CanonicalName(q.Name), Type: q.Type, DO: dnssecOK}
+}
+
+// fnv32a constants (hash/fnv), inlined so shard selection neither
+// allocates a hash.Hash nor converts the key to bytes.
+const (
+	fnv32Offset = 2166136261
+	fnv32Prime  = 16777619
+)
+
+func (k Key) shardHash() uint32 {
+	h := uint32(fnv32Offset)
+	for i := 0; i < len(k.Name); i++ {
+		h ^= uint32(k.Name[i])
+		h *= fnv32Prime
+	}
+	h ^= uint32(k.Type) & 0xff
+	h *= fnv32Prime
+	h ^= uint32(k.Type) >> 8
+	h *= fnv32Prime
+	if k.DO {
+		h ^= 1
+		h *= fnv32Prime
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key Key) *cacheShard {
+	return c.shards[int(key.shardHash())%len(c.shards)]
 }
 
 // GetWire returns the cached response as a fresh wire image with the
 // given query ID patched in and every TTL aged by the virtual time
 // elapsed since storing, plus the remaining max-age. Misses, stale
 // entries, and expired entries return ok=false.
-func (c *Cache) GetWire(key string, id uint16) (body []byte, maxAge uint32, ok bool) {
-	l := c.Probe(key, id)
+func (c *Cache) GetWire(key Key, id uint16) (body []byte, maxAge uint32, ok bool) {
+	l := c.Probe(key, id, nil)
 	if l.State != StateFresh {
 		return nil, 0, false
 	}
@@ -247,7 +274,11 @@ func (c *Cache) GetWire(key string, id uint16) (body []byte, maxAge uint32, ok b
 // Misses, because the caller is expected to consult the upstream (a stale
 // body is only served — via NoteStaleServed — when that fails). Entries
 // past TTL + StaleWindow are evicted by the probe.
-func (c *Cache) Probe(key string, id uint16) Lookup {
+//
+// On a fresh hit the wire image is appended to dst (Body aliases dst's
+// backing array, so a caller handing in recycled scratch serves the hit
+// copy-free); a nil dst allocates, preserving the old behavior.
+func (c *Cache) Probe(key Key, id uint16, dst []byte) Lookup {
 	now := c.clock.Now()
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -286,9 +317,9 @@ func (c *Cache) Probe(key string, id uint16) Lookup {
 		l.NeedsRefresh = true
 	}
 	elapsed := uint32(now.Sub(e.storedAt) / time.Second)
-	out := make([]byte, len(e.wire))
-	copy(out, e.wire)
-	binary.BigEndian.PutUint16(out, id)
+	base := len(dst)
+	out := append(dst, e.wire...)
+	binary.BigEndian.PutUint16(out[base:], id)
 	for i, off := range e.ttlOffs {
 		ttl := e.ttls[i]
 		if ttl > elapsed {
@@ -296,12 +327,12 @@ func (c *Cache) Probe(key string, id uint16) Lookup {
 		} else {
 			ttl = 0
 		}
-		binary.BigEndian.PutUint32(out[off:], ttl)
+		binary.BigEndian.PutUint32(out[base+off:], ttl)
 	}
 	if e.minTTL > elapsed {
 		l.MaxAge = e.minTTL - elapsed
 	}
-	l.Body = out
+	l.Body = out[base:]
 	return l
 }
 
@@ -311,7 +342,9 @@ func (c *Cache) Probe(key string, id uint16) Lookup {
 // lock: if a sibling refreshed it meanwhile the (now fresh) body is still
 // served with capped TTLs — conservative but correct — and if it vanished
 // (LRU pressure) ok is false and the caller has nothing to serve.
-func (c *Cache) StaleWire(key string, id uint16) (body []byte, maxAge uint32, ok bool) {
+// The stale body is appended to dst under the same aliasing contract as
+// Probe; nil dst allocates a fresh copy.
+func (c *Cache) StaleWire(key Key, id uint16, dst []byte) (body []byte, maxAge uint32, ok bool) {
 	now := c.clock.Now()
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -320,24 +353,24 @@ func (c *Cache) StaleWire(key string, id uint16) (body []byte, maxAge uint32, ok
 	if !found || !e.expires.Add(c.cfg.StaleWindow).After(now) {
 		return nil, 0, false
 	}
-	out := make([]byte, len(e.wire))
-	copy(out, e.wire)
-	binary.BigEndian.PutUint16(out, id)
+	base := len(dst)
+	out := append(dst, e.wire...)
+	binary.BigEndian.PutUint16(out[base:], id)
 	for i, off := range e.ttlOffs {
 		ttl := e.ttls[i]
 		if ttl > c.cfg.StaleTTL {
 			ttl = c.cfg.StaleTTL
 		}
-		binary.BigEndian.PutUint32(out[off:], ttl)
+		binary.BigEndian.PutUint32(out[base+off:], ttl)
 	}
 	s.staleServes++
-	return out, c.cfg.StaleTTL, true
+	return out[base:], c.cfg.StaleTTL, true
 }
 
 // Get returns a copy of the cached response with TTLs aged by the virtual
 // time elapsed since it was stored, or nil on miss/expiry. It is the
 // message-level convenience over GetWire (the hot path frontends use).
-func (c *Cache) Get(key string) *dnswire.Message {
+func (c *Cache) Get(key Key) *dnswire.Message {
 	wire, _, ok := c.GetWire(key, 0)
 	if !ok {
 		return nil
@@ -352,7 +385,7 @@ func (c *Cache) Get(key string) *dnswire.Message {
 // Put stores a response. Uncacheable responses (SERVFAIL and friends) are
 // ignored; the retention window is the answer's minimum TTL, or the RFC
 // 2308 SOA-minimum (capped by MaxNegativeTTL) for negative answers.
-func (c *Cache) Put(key string, m *dnswire.Message) {
+func (c *Cache) Put(key Key, m *dnswire.Message) {
 	ttl, negative, ok := cacheTTL(m)
 	if !ok || ttl <= 0 {
 		return
@@ -485,7 +518,7 @@ func (c *Cache) Len() int {
 func (c *Cache) Flush() {
 	for _, s := range c.shards {
 		s.mu.Lock()
-		s.entries = map[string]*cacheEntry{}
+		s.entries = map[Key]*cacheEntry{}
 		s.head, s.tail = nil, nil
 		s.negEntries = 0
 		s.mu.Unlock()

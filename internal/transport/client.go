@@ -75,12 +75,22 @@ type Client struct {
 	// critical-path virtual duration; sampled exchanges attach their
 	// trace ID as the bucket exemplar.
 	ExchangeLatency *obs.Histogram
+	// ReuseAnswers opts into answer-message recycling: the *dnswire.Message
+	// an exchange returns stays valid only until this client's next
+	// exchange begins, at which point its memory is reclaimed for the next
+	// answer. Callers that consume each answer before issuing the next
+	// query (the workload engine, benchmarks, any serial driver) get a
+	// near-allocation-free exchange loop; callers that retain answers or
+	// exchange concurrently must leave it off — the default keeps the
+	// returned message caller-owned forever.
+	ReuseAnswers bool
 
 	mu          sync.Mutex
 	qid         uint16
 	dotConns    map[netip.AddrPort]*DoTConn
 	doqSessions map[netip.AddrPort]*DoQSession
 	doqTickets  map[netip.AddrPort]bool
+	lastAns     *dnswire.Message
 
 	// scratch recycles per-exchange candidate buffers. Exchange is the
 	// hottest path in a campaign (every simulated query lands here), and
@@ -88,6 +98,11 @@ type Client struct {
 	// backing array can be returned as soon as the strategy is done with
 	// it — only the winning *Upstream escapes via the Outcome.
 	scratch sync.Pool
+	// msgPool recycles attempt answer messages. Every dialer decodes into
+	// a pooled message; losers go back via Discard as soon as the strategy
+	// rules them out, and winners return only under ReuseAnswers (via the
+	// lastAns swap at the next exchange).
+	msgPool sync.Pool
 
 	staleAnswers    obs.Counter
 	negativeAnswers obs.Counter
@@ -147,6 +162,56 @@ type exchangeScratch struct {
 	cand []*Upstream
 }
 
+// getMsg pops a recycled answer message for a dial attempt to decode
+// into.
+func (c *Client) getMsg() *dnswire.Message {
+	if m, ok := c.msgPool.Get().(*dnswire.Message); ok {
+		return m
+	}
+	return new(dnswire.Message)
+}
+
+func (c *Client) putMsg(m *dnswire.Message) {
+	c.msgPool.Put(m)
+}
+
+// Discard implements Driver: return a losing attempt's answer message to
+// the recycle pool. Strategies call it for attempts whose answer can no
+// longer escape the exchange, so recycling is unconditionally safe here —
+// only the winner's message reaches the caller.
+func (c *Client) Discard(at Attempt) {
+	if at.Msg != nil {
+		c.putMsg(at.Msg)
+	}
+}
+
+// SetReuseAnswers toggles ReuseAnswers (see the field's contract). It
+// exists so serial drivers like the workload engine can opt a client in
+// for exactly the span they are its sole user.
+func (c *Client) SetReuseAnswers(on bool) {
+	if !on {
+		// Leaving reuse mode: the last answer may still be in the
+		// caller's hands, so forget it rather than recycling it.
+		c.mu.Lock()
+		c.lastAns = nil
+		c.mu.Unlock()
+	}
+	c.ReuseAnswers = on
+}
+
+// reclaimLast recycles the previous exchange's winning answer under the
+// ReuseAnswers contract: by the time the next exchange begins, the caller
+// is done with it.
+func (c *Client) reclaimLast() {
+	c.mu.Lock()
+	last := c.lastAns
+	c.lastAns = nil
+	c.mu.Unlock()
+	if last != nil {
+		c.putMsg(last)
+	}
+}
+
 // nextID allocates a query ID (DoH recommends ID 0 for cacheability; the
 // simulated stack keeps real IDs to exercise the ID-rewrite path — except
 // on DoQ streams, where the ID is rewritten to the mandatory 0).
@@ -189,7 +254,14 @@ func (c *Client) ExchangePreferring(q *dnswire.Message, pref Protocol) (*dnswire
 	if len(q.Question) == 0 {
 		return nil, fmt.Errorf("%w: query without question", doh.ErrBadEnvelope)
 	}
+	if c.ReuseAnswers {
+		c.reclaimLast()
+	}
 	name := dnswire.CanonicalName(q.Question[0].Name)
+	// Write the canonical form back so every downstream consumer — wire
+	// packing, cache keys, trace labels — reuses this one normalisation
+	// instead of re-canonicalising (and re-allocating) per site.
+	q.Question[0].Name = name
 	sc, _ := c.scratch.Get().(*exchangeScratch)
 	if sc == nil {
 		sc = new(exchangeScratch)
@@ -259,6 +331,11 @@ func (c *Client) ExchangePreferring(q *dnswire.Message, pref Protocol) (*dnswire
 		} else {
 			c.ExchangeLatency.Observe(out.Elapsed)
 		}
+	}
+	if c.ReuseAnswers {
+		c.mu.Lock()
+		c.lastAns = out.Winner.Msg
+		c.mu.Unlock()
 	}
 	return out.Winner.Msg, nil
 }
@@ -369,10 +446,12 @@ func (c *Client) Dial(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
 // offered again.
 func (c *Client) Bench(up *Upstream) {
 	if c.Pool.MarkFailed(up) {
-		c.Recorder.Emit("pool.remove", obs.L("member", up.Name))
-		c.Recorder.Emit("conn.evict", obs.L("member", up.Name))
+		if c.Recorder != nil {
+			c.Recorder.Emit("pool.remove", obs.L("member", up.Name))
+			c.Recorder.Emit("conn.evict", obs.L("member", up.Name))
+		}
 		c.evict(up.Addr)
-	} else {
+	} else if c.Recorder != nil {
 		c.Recorder.Emit("pool.cooldown", obs.L("member", up.Name))
 	}
 }
@@ -421,21 +500,24 @@ func (c *Client) sample(up *Upstream, wall time.Duration, setupRTTs int) (rtt, c
 	return d, d + time.Duration(setupRTTs)*d
 }
 
+// dialScratch is the per-attempt DoH envelope working set: the request
+// and response structs, plus the buffer the query packs (and the GET
+// parameter encodes) into. The response's Body doubles as the reply
+// buffer a pooled server appends the answer wire into.
+type dialScratch struct {
+	req  doh.Request
+	resp doh.Response
+	buf  []byte
+}
+
+var dialScratchPool = sync.Pool{New: func() any { return new(dialScratch) }}
+
 // tryDoH performs one RFC 8484 exchange with a DoH member. The doh
-// package stays observability-free, so tracing rides a type assertion:
-// servers that implement ExchangeDoHTraced (DoHServer does) record
-// server-side spans onto tr; others are exchanged untraced.
+// package stays observability-free, so the pooled and traced variants
+// ride type assertions: servers implementing ExchangeDoHPooled
+// (DoHServer does) fill the scratch response in place; legacy servers
+// fall back to ExchangeDoHTraced or plain ExchangeDoH.
 func (c *Client) tryDoH(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
-	var req *doh.Request
-	var err error
-	if c.UsePOST {
-		req, err = doh.NewPOSTRequest(q)
-	} else {
-		req, err = doh.NewGETRequest(q)
-	}
-	if err != nil {
-		return Attempt{Err: err}
-	}
 	svc, err := c.Net.Service(up.Addr)
 	if err != nil {
 		// Failure injection: the address or port is down.
@@ -445,18 +527,47 @@ func (c *Client) tryDoH(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt
 	if !ok {
 		return Attempt{Bench: true, Err: fmt.Errorf("%w: %v is not DoH", ErrNotProto, up.Addr)}
 	}
+	ds := dialScratchPool.Get().(*dialScratch)
+	defer func() {
+		ds.buf = trimRecycledBuf(ds.buf)
+		ds.resp.Body = trimRecycledBuf(ds.resp.Body)
+		dialScratchPool.Put(ds)
+	}()
+	if c.UsePOST {
+		wire, err := q.AppendPack(ds.buf[:0])
+		ds.buf = wire
+		if err != nil {
+			return Attempt{Err: err}
+		}
+		ds.req = doh.Request{
+			Method: "POST", Path: doh.Path,
+			ContentType: dnswire.MediaTypeDNSMessage, Body: wire,
+		}
+	} else {
+		param, buf, err := dnswire.AppendEncodeDoHParam(q, ds.buf)
+		ds.buf = buf
+		if err != nil {
+			return Attempt{Err: err}
+		}
+		ds.req = doh.Request{Method: "GET", Path: doh.Path, DNSParam: param}
+	}
 	start := time.Now()
-	var resp *doh.Response
-	if tx, ok := ex.(interface {
+	resp := &ds.resp
+	if px, ok := ex.(interface {
+		ExchangeDoHPooled(*doh.Request, *doh.Response, *obs.Trace)
+	}); ok {
+		px.ExchangeDoHPooled(&ds.req, resp, tr)
+	} else if tx, ok := ex.(interface {
 		ExchangeDoHTraced(*doh.Request, *obs.Trace) *doh.Response
 	}); ok && tr != nil {
-		resp = tx.ExchangeDoHTraced(req, tr)
+		resp = tx.ExchangeDoHTraced(&ds.req, tr)
 	} else {
-		resp = ex.ExchangeDoH(req)
+		resp = ex.ExchangeDoH(&ds.req)
 	}
 	rtt, cost := c.sample(up, time.Since(start), 0)
-	m, err := resp.Message()
-	if err != nil {
+	m := c.getMsg()
+	if err := resp.DecodeInto(m); err != nil {
+		c.putMsg(m)
 		// A 502 is the frontend reporting recursor trouble over a
 		// healthy transport — move on without benching, like the
 		// SERVFAIL case. Anything else (4xx, bad media type) is a
@@ -476,8 +587,10 @@ func (c *Client) tryDoT(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt
 		return Attempt{Bench: true, Err: err}
 	}
 	start := time.Now()
-	m, stale, err := conn.ExchangeTraced(q, tr)
+	m := c.getMsg()
+	stale, err := conn.ExchangePooled(q, m, tr)
 	if err != nil {
+		c.putMsg(m)
 		c.dropDoT(up.Addr)
 		return Attempt{Bench: true, Err: err}
 	}
@@ -521,18 +634,22 @@ func (c *Client) dropDoT(ap netip.AddrPort) {
 // session, dialing a session if none is cached — a full QUIC handshake
 // (one setup RTT) the first time, a 0-RTT resumption (no setup cost) once
 // the client holds the member's ticket. The mandatory zero message ID is
-// rewritten on the way out and the caller's ID restored on the answer.
+// rewritten on the way out — the exchange is synchronous, so the ID is
+// zeroed in place and restored before returning — and the caller's ID
+// restored on the answer.
 func (c *Client) tryDoQ(up *Upstream, q *dnswire.Message, tr *obs.Trace) Attempt {
 	sess, setup, err := c.doqSession(up)
 	if err != nil {
 		return Attempt{Bench: true, Err: err}
 	}
 	id := q.ID
-	wireQ := *q
-	wireQ.ID = 0
+	q.ID = 0
 	start := time.Now()
-	m, stale, err := sess.ExchangeTraced(&wireQ, tr)
+	m := c.getMsg()
+	stale, err := sess.ExchangePooled(q, m, tr)
+	q.ID = id
 	if err != nil {
+		c.putMsg(m)
 		if errors.Is(err, ErrStreamReset) {
 			// Per-stream failure: the session is fine, the query is not.
 			return Attempt{Err: err}

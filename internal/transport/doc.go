@@ -122,6 +122,36 @@
 // why campaign serving snapshots count per-exchange winners rather than
 // per-attempt frontend events.
 //
+// # Hot path and the aliasing contract
+//
+// The query hot path is allocation-free by construction: per-exchange
+// state (candidate orderings, envelope request/response scratch, DoT
+// frame reassembly, DoQ stream buffers, decoded answer Messages) lives
+// in sync.Pools, wire encoding appends into recycled buffers via the
+// dnswire reuse APIs, and cache keys are interned structs rather than
+// formatted strings. Every pool put-site runs its buffer through the
+// recycling ceiling (trimRecycledBuf) so a jumbo answer cannot pin its
+// backing array for a campaign. Pooling never feeds an RNG or an
+// ordering decision — buffer identity is invisible to the determinism
+// contract above.
+//
+// The aliasing rules that make copy-free serving safe:
+//
+//   - Cached and stale answers are served as aliases of the cache
+//     entry's stored wire where the envelope permits; the envelope
+//     layers treat served bodies as read-only and re-encode rather
+//     than patch in place.
+//   - A Message returned by Client.Exchange is owned by the caller —
+//     unless the client's ReuseAnswers mode is on, in which case it is
+//     valid only until that client's next exchange (the client reclaims
+//     it into its message pool at the next call). ReuseAnswers is
+//     therefore only safe for a serial sole-driver caller, like the
+//     workload engine, which flips it on for the duration of a run.
+//   - Strategies recycle losing attempts' Messages via Driver.Discard —
+//     exactly for attempts whose answer can no longer escape the
+//     exchange (raced/hedged losers, superseded parked SERVFAILs);
+//     winners are never discarded.
+//
 // # What the envelopes do differently
 //
 // Upstream hard failure with nothing stale: DoH answers 502 (the client

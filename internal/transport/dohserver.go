@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net/netip"
+	"sync"
 	"time"
 
 	"repro/internal/dnswire"
@@ -44,15 +45,45 @@ func (s *DoHServer) ExchangeDoH(req *doh.Request) *doh.Response {
 // tr. The doh package itself stays observability-free; traced clients
 // reach this method by type assertion.
 func (s *DoHServer) ExchangeDoHTraced(req *doh.Request, tr *obs.Trace) *doh.Response {
-	q, status, err := doh.DecodeRequest(req)
+	resp := new(doh.Response)
+	s.ExchangeDoHPooled(req, resp, tr)
+	return resp
+}
+
+// dohScratch is the per-request server-side scratch: the decoded query
+// message and the GET-parameter decode buffer. A DoH exchange is fully
+// synchronous, so the scratch is released before ExchangeDoHPooled
+// returns.
+type dohScratch struct {
+	q   dnswire.Message
+	buf []byte
+}
+
+var dohScratchPool = sync.Pool{New: func() any { return new(dohScratch) }}
+
+// ExchangeDoHPooled is the reuse-API exchange: the request decodes into
+// pooled server scratch and the answer wire is appended into resp's
+// existing Body capacity, so a warm client/server pair exchanges with no
+// envelope allocations. All other resp fields are overwritten.
+func (s *DoHServer) ExchangeDoHPooled(req *doh.Request, resp *doh.Response, tr *obs.Trace) {
+	body := resp.Body[:0]
+	sc := dohScratchPool.Get().(*dohScratch)
+	defer func() {
+		sc.buf = trimRecycledBuf(sc.buf)
+		dohScratchPool.Put(sc)
+	}()
+	buf, status, err := doh.DecodeRequestInto(&sc.q, req, sc.buf[:0])
+	sc.buf = buf
 	if err != nil {
-		return &doh.Response{Status: status}
+		*resp = doh.Response{Status: status, Body: body}
+		return
 	}
-	ans, err := s.ResolveTraced(q, tr)
+	ans, err := s.resolveAppend(&sc.q, body, tr)
 	if err != nil {
-		return &doh.Response{Status: doh.StatusServFailUpstream}
+		*resp = doh.Response{Status: doh.StatusServFailUpstream}
+		return
 	}
-	return &doh.Response{
+	*resp = doh.Response{
 		Status:      doh.StatusOK,
 		ContentType: dnswire.MediaTypeDNSMessage,
 		Body:        ans.Wire,

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -126,36 +127,67 @@ func (s *DoQSession) Exchange(q *dnswire.Message) (*dnswire.Message, bool, error
 // ExchangeTraced is Exchange with server-side span recording onto tr (a
 // nil tr traces nothing).
 func (s *DoQSession) ExchangeTraced(q *dnswire.Message, tr *obs.Trace) (*dnswire.Message, bool, error) {
-	if err := s.check(); err != nil {
+	m := new(dnswire.Message)
+	stale, err := s.ExchangePooled(q, m, tr)
+	if err != nil {
 		return nil, false, err
+	}
+	return m, stale, nil
+}
+
+// doqStream is the per-stream server-side scratch: the decoded query
+// message and the answer wire buffer. A stream is fully synchronous —
+// query in, answer out, stream done — so the scratch is released before
+// ExchangePooled returns and the whole stream costs no allocations.
+type doqStream struct {
+	q   dnswire.Message
+	buf []byte
+}
+
+var doqStreamPool = sync.Pool{New: func() any { return new(doqStream) }}
+
+// ExchangePooled is the reuse-API exchange: one stream, with the query
+// framed into a pooled buffer, parsed into pooled server scratch, and the
+// response decoded into the caller-provided message before the scratch is
+// recycled — the answer never needs an intermediate copy.
+func (s *DoQSession) ExchangePooled(q *dnswire.Message, into *dnswire.Message, tr *obs.Trace) (stale bool, err error) {
+	if err := s.check(); err != nil {
+		return false, err
 	}
 	s.srv.streams.Add(1)
 	if q.ID != 0 {
 		s.srv.resets.Add(1)
-		return nil, false, fmt.Errorf("%w: message ID %d must be 0", ErrStreamReset, q.ID)
+		return false, fmt.Errorf("%w: message ID %d must be 0", ErrStreamReset, q.ID)
 	}
 	// The frame travels length-prefixed like DoT (RFC 9250 §4.2); pack
 	// and unpack so the wire codec is exercised per stream.
-	wire, err := q.Pack()
+	bp := dnswire.GetWireBuf()
+	defer dnswire.PutWireBuf(bp)
+	frame := append(*bp, 0, 0)
+	frame, err = q.AppendPack(frame)
+	*bp = frame
 	if err != nil {
 		s.srv.resets.Add(1)
-		return nil, false, fmt.Errorf("%w: %v", ErrStreamReset, err)
+		return false, fmt.Errorf("%w: %v", ErrStreamReset, err)
 	}
-	framed := Frame(wire)
-	parsed, err := dnswire.Unpack(framed[2:])
-	if err != nil {
+	binary.BigEndian.PutUint16(frame, uint16(len(frame)-2))
+	st := doqStreamPool.Get().(*doqStream)
+	defer func() {
+		st.buf = trimRecycledBuf(st.buf)
+		doqStreamPool.Put(st)
+	}()
+	if err := dnswire.UnpackInto(&st.q, frame[2:]); err != nil {
 		s.srv.resets.Add(1)
-		return nil, false, fmt.Errorf("%w: %v", ErrStreamReset, err)
+		return false, fmt.Errorf("%w: %v", ErrStreamReset, err)
 	}
-	ans, rerr := s.srv.ResolveTraced(parsed, tr)
+	ans, rerr := s.srv.resolveAppend(&st.q, st.buf[:0], tr)
 	if rerr != nil {
 		// Like DoT, DoQ has no status channel: hard upstream failures go
 		// on the stream as a synthesized SERVFAIL.
-		m, err := dnswire.Unpack(servFailWire(parsed))
-		return m, false, err
+		return false, dnswire.UnpackInto(into, servFailWire(&st.q))
 	}
-	m, err := dnswire.Unpack(ans.Wire)
-	return m, ans.Stale, err
+	st.buf = ans.Wire
+	return ans.Stale, dnswire.UnpackInto(into, ans.Wire)
 }
 
 // Close ends the session; the next dial to the same frontend resumes

@@ -80,10 +80,55 @@ type DoTConn struct {
 
 	mu      sync.Mutex
 	rbuf    []byte              // client→server bytes not yet framed
+	roff    int                 // consumed prefix of rbuf (cursor, not re-slice)
 	replies []dotReply          // response frames not yet read
 	pending map[uint16]dotReply // responses drained by other callers, demuxed by ID
 	traces  map[uint16]*obs.Trace
 	closed  bool
+
+	// Recycled scratch, all guarded by mu: decoded query messages for the
+	// frame batch, reply wire buffers handed back after Exchange consumes
+	// them, and the batch slice itself.
+	qmsgs    []*dnswire.Message
+	replyBuf [][]byte
+	batch    []*dnswire.Message
+}
+
+// getQMsg pops a recycled query message (or makes one) for a frame decode.
+// Caller holds mu.
+func (c *DoTConn) getQMsg() *dnswire.Message {
+	if n := len(c.qmsgs); n > 0 {
+		m := c.qmsgs[n-1]
+		c.qmsgs = c.qmsgs[:n-1]
+		return m
+	}
+	return new(dnswire.Message)
+}
+
+func (c *DoTConn) putQMsg(m *dnswire.Message) {
+	if len(c.qmsgs) < 16 {
+		c.qmsgs = append(c.qmsgs, m)
+	}
+}
+
+// getReplyBuf pops a recycled reply wire buffer. Caller holds mu.
+func (c *DoTConn) getReplyBuf() []byte {
+	if n := len(c.replyBuf); n > 0 {
+		b := c.replyBuf[n-1]
+		c.replyBuf = c.replyBuf[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (c *DoTConn) putReplyBuf(b []byte) {
+	if b == nil || len(c.replyBuf) >= 16 {
+		return
+	}
+	if b = trimRecycledBuf(b); b == nil {
+		return
+	}
+	c.replyBuf = append(c.replyBuf, b)
 }
 
 // check verifies the connection is still usable: not closed by a framing
@@ -121,22 +166,30 @@ func (c *DoTConn) Write(p []byte) error {
 		return err
 	}
 	c.rbuf = append(c.rbuf, p...)
-	var batch []*dnswire.Message
+	batch := c.batch[:0]
 	for {
-		if len(c.rbuf) < 2 {
+		buf := c.rbuf[c.roff:]
+		if len(buf) < 2 {
 			break
 		}
-		n := int(binary.BigEndian.Uint16(c.rbuf))
-		if len(c.rbuf) < 2+n {
+		n := int(binary.BigEndian.Uint16(buf))
+		if len(buf) < 2+n {
 			break
 		}
-		q, err := dnswire.Unpack(c.rbuf[2 : 2+n])
-		if err != nil {
+		q := c.getQMsg()
+		if err := dnswire.UnpackInto(q, buf[2:2+n]); err != nil {
 			c.closed = true
+			c.batch = batch[:0]
 			return fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
 		batch = append(batch, q)
-		c.rbuf = c.rbuf[2+n:]
+		c.roff += 2 + n
+	}
+	if c.roff == len(c.rbuf) {
+		// Fully framed: rewind the reassembly buffer instead of letting
+		// the consumed prefix march its capacity away.
+		c.rbuf = trimRecycledBuf(c.rbuf)
+		c.roff = 0
 	}
 	for i := len(batch) - 1; i >= 0; i-- {
 		q := batch[i]
@@ -147,15 +200,19 @@ func (c *DoTConn) Write(p []byte) error {
 			tr = c.traces[q.ID]
 			delete(c.traces, q.ID)
 		}
-		ans, err := c.srv.ResolveTraced(q, tr)
+		// The reply is packed into a recycled buffer; Exchange returns it
+		// via putReplyBuf once the frame is decoded.
+		ans, err := c.srv.resolveAppend(q, c.getReplyBuf(), tr)
 		if err != nil {
 			// DoT has no status channel: a hard upstream failure goes on
 			// the wire as a synthesized SERVFAIL.
 			c.replies = append(c.replies, dotReply{wire: servFailWire(q)})
-			continue
+		} else {
+			c.replies = append(c.replies, dotReply{wire: ans.Wire, stale: ans.Stale})
 		}
-		c.replies = append(c.replies, dotReply{wire: ans.Wire, stale: ans.Stale})
+		c.putQMsg(q)
 	}
+	c.batch = batch[:0]
 	return nil
 }
 
@@ -183,14 +240,32 @@ func (c *DoTConn) Exchange(q *dnswire.Message) (*dnswire.Message, bool, error) {
 }
 
 // ExchangeTraced is Exchange with server-side span recording onto tr (a
-// nil tr traces nothing). The trace is parked by query ID before the
-// frame is written, so the server side picks it up when it resolves the
-// frame — pipelined frames from other callers stay untraced.
+// nil tr traces nothing).
 func (c *DoTConn) ExchangeTraced(q *dnswire.Message, tr *obs.Trace) (*dnswire.Message, bool, error) {
-	wire, err := q.Pack()
+	m := new(dnswire.Message)
+	stale, err := c.ExchangePooled(q, m, tr)
 	if err != nil {
 		return nil, false, err
 	}
+	return m, stale, nil
+}
+
+// ExchangePooled is the reuse-API exchange: the query is framed into a
+// pooled buffer and the response is decoded into the caller-provided
+// message, so a steady stream of exchanges over a warm connection
+// allocates nothing on this layer. The trace is parked by query ID before
+// the frame is written, so the server side picks it up when it resolves
+// the frame — pipelined frames from other callers stay untraced.
+func (c *DoTConn) ExchangePooled(q *dnswire.Message, into *dnswire.Message, tr *obs.Trace) (stale bool, err error) {
+	bp := dnswire.GetWireBuf()
+	defer dnswire.PutWireBuf(bp)
+	frame := append(*bp, 0, 0)
+	frame, err = q.AppendPack(frame)
+	*bp = frame
+	if err != nil {
+		return false, err
+	}
+	binary.BigEndian.PutUint16(frame, uint16(len(frame)-2))
 	if tr != nil {
 		c.mu.Lock()
 		if c.traces == nil {
@@ -199,34 +274,38 @@ func (c *DoTConn) ExchangeTraced(q *dnswire.Message, tr *obs.Trace) (*dnswire.Me
 		c.traces[q.ID] = tr
 		c.mu.Unlock()
 	}
-	if err := c.Write(Frame(wire)); err != nil {
-		return nil, false, err
+	// Write copies the frame into the reassembly buffer, so the pooled
+	// frame can be released as soon as it returns.
+	if err := c.Write(frame); err != nil {
+		return false, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
 		if r, ok := c.pending[q.ID]; ok {
 			delete(c.pending, q.ID)
-			m, err := dnswire.Unpack(r.wire)
-			return m, r.stale, err
+			err := dnswire.UnpackInto(into, r.wire)
+			c.putReplyBuf(r.wire)
+			return r.stale, err
 		}
 		if err := c.check(); err != nil {
-			return nil, false, err
+			return false, err
 		}
 		if len(c.replies) == 0 {
 			// The server answers synchronously on Write, so a missing
 			// response means it was lost to a connection death.
-			return nil, false, fmt.Errorf("%w: response never arrived", ErrConnClosed)
+			return false, fmt.Errorf("%w: response never arrived", ErrConnClosed)
 		}
 		r := c.replies[0]
 		c.replies = c.replies[1:]
 		if len(r.wire) < 2 {
-			return nil, false, ErrBadFrame
+			return false, ErrBadFrame
 		}
 		id := binary.BigEndian.Uint16(r.wire)
 		if id == q.ID {
-			m, err := dnswire.Unpack(r.wire)
-			return m, r.stale, err
+			err := dnswire.UnpackInto(into, r.wire)
+			c.putReplyBuf(r.wire)
+			return r.stale, err
 		}
 		c.pending[id] = r
 	}

@@ -152,7 +152,9 @@ func (f *Frontend) inCooldown() bool {
 // noteHandlerFailure arms the failure cooldown.
 func (f *Frontend) noteHandlerFailure() {
 	f.upstreamFail.Add(1)
-	f.Recorder.Emit("frontend.dead", obs.L("frontend", f.Name))
+	if f.Recorder != nil {
+		f.Recorder.Emit("frontend.dead", obs.L("frontend", f.Name))
+	}
 	if f.FailureCooldown <= 0 || f.Cache == nil {
 		return
 	}
@@ -205,12 +207,22 @@ func (f *Frontend) ResolveTraced(q *dnswire.Message, tr *obs.Trace) (Answer, err
 }
 
 func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
+	return f.resolveAppend(q, nil, tr)
+}
+
+// resolveAppend is resolve with caller-supplied wire scratch: the answer
+// body is appended to dst (aliasing its backing array, per the contract in
+// doc.go), so envelope servers that recycle a per-exchange buffer serve
+// cache hits without allocating. A nil dst restores the old copy-per-answer
+// behavior. Every tracer call site is guarded so the tr == nil fast path
+// builds no label slices.
+func (f *Frontend) resolveAppend(q *dnswire.Message, dst []byte, tr *obs.Trace) (Answer, error) {
 	f.served.Add(1)
 
 	if len(q.Question) != 1 {
 		resp := q.Reply()
 		resp.RCode = dnswire.RCodeFormErr
-		return packAnswer(resp)
+		return packAnswerAppend(resp, dst)
 	}
 	question := q.Question[0]
 	dnssecOK := q.DNSSECOK()
@@ -218,9 +230,11 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 
 	stale := false
 	if f.Cache != nil {
-		// Wire fast path: a hit is one copy + ID/TTL patches, no encode.
-		probe := f.Cache.Probe(key, q.ID)
-		tr.Add("cache.probe", 0, 0, obs.L("state", probe.State.String()))
+		// Wire fast path: a hit is one append + ID/TTL patches, no encode.
+		probe := f.Cache.Probe(key, q.ID, dst)
+		if tr != nil {
+			tr.Add("cache.probe", 0, 0, obs.L("state", probe.State.String()))
+		}
 		switch probe.State {
 		case StateFresh:
 			f.cacheHits.Add(1)
@@ -231,7 +245,9 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 			// refresh opportunity for this entry generation is forfeited
 			// and serve-stale covers the eventual expiry instead.
 			if probe.NeedsRefresh && !f.inCooldown() {
-				tr.Add("prefetch", 0, 0)
+				if tr != nil {
+					tr.Add("prefetch", 0, 0)
+				}
 				f.prefetch(key, q)
 			}
 			return Answer{Wire: probe.Body, MaxAge: probe.MaxAge}, nil
@@ -240,9 +256,13 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 			if f.inCooldown() {
 				// The handler is benched; ride the stale answer out
 				// rather than hammering a dead recursor.
-				if ans, ok := f.serveStale(key, q.ID); ok {
-					tr.Add("stale.serve", 0, 0, obs.L("reason", "cooldown"))
-					f.Recorder.Emit("frontend.stale", obs.L("reason", "cooldown"))
+				if ans, ok := f.serveStale(key, q.ID, dst); ok {
+					if tr != nil {
+						tr.Add("stale.serve", 0, 0, obs.L("reason", "cooldown"))
+					}
+					if f.Recorder != nil {
+						f.Recorder.Emit("frontend.stale", obs.L("reason", "cooldown"))
+					}
 					return ans, nil
 				}
 			}
@@ -253,13 +273,19 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 	if resp == nil {
 		f.noteHandlerFailure()
 		if stale {
-			if ans, ok := f.serveStale(key, q.ID); ok {
-				tr.Add("stale.serve", 0, 0, obs.L("reason", "upstream-dead"))
-				f.Recorder.Emit("frontend.stale", obs.L("reason", "upstream-dead"))
+			if ans, ok := f.serveStale(key, q.ID, dst); ok {
+				if tr != nil {
+					tr.Add("stale.serve", 0, 0, obs.L("reason", "upstream-dead"))
+				}
+				if f.Recorder != nil {
+					f.Recorder.Emit("frontend.stale", obs.L("reason", "upstream-dead"))
+				}
 				return ans, nil
 			}
 		}
-		tr.Add("upstream", 0, 0, obs.L("outcome", "failed"))
+		if tr != nil {
+			tr.Add("upstream", 0, 0, obs.L("outcome", "failed"))
+		}
 		return Answer{}, ErrUpstreamFailed
 	}
 	if resp.RCode == dnswire.RCodeServFail {
@@ -268,29 +294,39 @@ func (f *Frontend) resolve(q *dnswire.Message, tr *obs.Trace) (Answer, error) {
 		// SERVFAIL is not evidence of health, so any armed cooldown
 		// stays armed (it neither clears nor extends).
 		if stale {
-			if ans, ok := f.serveStale(key, q.ID); ok {
+			if ans, ok := f.serveStale(key, q.ID, dst); ok {
 				f.upstreamFail.Add(1)
-				tr.Add("stale.serve", 0, 0, obs.L("reason", "servfail"))
-				f.Recorder.Emit("frontend.stale", obs.L("reason", "servfail"))
+				if tr != nil {
+					tr.Add("stale.serve", 0, 0, obs.L("reason", "servfail"))
+				}
+				if f.Recorder != nil {
+					f.Recorder.Emit("frontend.stale", obs.L("reason", "servfail"))
+				}
 				return ans, nil
 			}
 		}
-		tr.Add("upstream", 0, 0, obs.L("rcode", "SERVFAIL"))
-		return packAnswer(resp)
+		if tr != nil {
+			tr.Add("upstream", 0, 0, obs.L("rcode", "SERVFAIL"))
+		}
+		return packAnswerAppend(resp, dst)
 	}
 	f.noteHandlerSuccess()
 	if f.Cache != nil {
 		f.Cache.Put(key, resp)
-		tr.Add("cache.put", 0, 0)
+		if tr != nil {
+			tr.Add("cache.put", 0, 0)
+		}
 	}
-	tr.Add("upstream", 0, 0, obs.L("rcode", resp.RCode.String()))
-	return packAnswer(resp)
+	if tr != nil {
+		tr.Add("upstream", 0, 0, obs.L("rcode", resp.RCode.String()))
+	}
+	return packAnswerAppend(resp, dst)
 }
 
 // serveStale materializes the stale body, marked so stubs can count it;
 // ok is false when the entry vanished since the probe (LRU pressure).
-func (f *Frontend) serveStale(key string, id uint16) (Answer, bool) {
-	body, maxAge, ok := f.Cache.StaleWire(key, id)
+func (f *Frontend) serveStale(key Key, id uint16, dst []byte) (Answer, bool) {
+	body, maxAge, ok := f.Cache.StaleWire(key, id, dst)
 	if !ok {
 		return Answer{}, false
 	}
@@ -302,7 +338,7 @@ func (f *Frontend) serveStale(key string, id uint16) (Answer, bool) {
 // already served from cache, so the refresh rides the same exchange
 // (synchronous on the virtual clock — deterministic, no goroutine races)
 // and renews the entry before it ever goes stale.
-func (f *Frontend) prefetch(key string, q *dnswire.Message) {
+func (f *Frontend) prefetch(key Key, q *dnswire.Message) {
 	resp := f.Handler.HandleDNS(q)
 	if resp == nil {
 		f.noteHandlerFailure()
@@ -313,20 +349,23 @@ func (f *Frontend) prefetch(key string, q *dnswire.Message) {
 	}
 	f.noteHandlerSuccess()
 	f.prefetches.Add(1)
-	f.Recorder.Emit("cache.prefetch", obs.L("frontend", f.Name))
+	if f.Recorder != nil {
+		f.Recorder.Emit("cache.prefetch", obs.L("frontend", f.Name))
+	}
 	f.Cache.Put(key, resp)
 }
 
-// packAnswer packs a DNS message with max-age derived from the answer's
-// minimum TTL; packing failures surface as an upstream failure so the
-// stub fails over rather than mis-parsing.
-func packAnswer(m *dnswire.Message) (Answer, error) {
-	wire, err := m.Pack()
+// packAnswerAppend packs a DNS message into dst (nil dst allocates) with
+// max-age derived from the answer's minimum TTL; packing failures surface
+// as an upstream failure so the stub fails over rather than mis-parsing.
+func packAnswerAppend(m *dnswire.Message, dst []byte) (Answer, error) {
+	base := len(dst)
+	wire, err := m.AppendPack(dst)
 	if err != nil {
 		return Answer{}, ErrUpstreamFailed
 	}
 	maxAge, _ := minAnswerTTL(m)
-	return Answer{Wire: wire, MaxAge: maxAge}, nil
+	return Answer{Wire: wire[base:], MaxAge: maxAge}, nil
 }
 
 // servFailWire synthesizes a packed SERVFAIL reply to q — what a DoT or

@@ -2,15 +2,32 @@ package transport
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"net/netip"
+	"slices"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/simnet"
 )
+
+// fnv64aString is FNV-1a over a string without hash.Hash machinery —
+// bit-identical to hash/fnv's New64a + Write, minus its per-call
+// allocations.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+func fnv64aString(s string) uint64 {
+	h := fnv64Offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnv64Prime
+	}
+	return h
+}
 
 // Balance selects how the pool orders upstreams for a query. The shapes
 // mirror the dnscrypt-proxy server-selection strategies the related work
@@ -105,6 +122,12 @@ type Upstream struct {
 	rttRing [quantileWindow]float64
 	ringLen int
 	ringPos int
+
+	// synthSeed caches the FNV-1a hash of Addr.String() for
+	// SyntheticLatency, computed once at Pool.Add so the latency model
+	// costs no per-draw allocation. Zero means unregistered (a member
+	// built outside Add); the draw falls back to hashing on the fly.
+	synthSeed uint64
 }
 
 // UpstreamStats is a read-only snapshot of one member — including its
@@ -150,6 +173,10 @@ type Pool struct {
 	ups    []*Upstream
 	rng    *rand.Rand
 	rrNext int
+	// qbuf is RTTQuantile's sort scratch (guarded by mu, at most
+	// quantileWindow entries) so hedge-timer arming costs no per-exchange
+	// allocation.
+	qbuf []float64
 }
 
 // NewPool creates an empty pool using the given balancer. The seed
@@ -163,7 +190,7 @@ func NewPool(clock *simnet.Clock, balance Balance, seed int64) *Pool {
 func (p *Pool) Add(name string, addr netip.AddrPort, proto Protocol) *Upstream {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	u := &Upstream{Name: name, Addr: addr, Proto: proto}
+	u := &Upstream{Name: name, Addr: addr, Proto: proto, synthSeed: fnv64aString(addr.String())}
 	p.ups = append(p.ups, u)
 	return u
 }
@@ -245,7 +272,9 @@ func (p *Pool) CandidatesPreferringAppend(dst []*Upstream, qname string, pref Pr
 	}
 	// Benched members that fail soonest-to-recover first.
 	benched := dst[healthy:]
-	sort.Slice(benched, func(i, j int) bool { return benched[i].downUntil.Before(benched[j].downUntil) })
+	// slices.SortFunc, not sort.Slice: the latter allocates its
+	// reflect-based swapper on every call, even with nothing to sort.
+	slices.SortFunc(benched, func(a, b *Upstream) int { return a.downUntil.Compare(b.downUntil) })
 	if pref != ProtoAny {
 		preferProto(dst[:healthy], pref)
 		preferProto(benched, pref)
@@ -311,9 +340,7 @@ func (p *Pool) pick(healthy []*Upstream, qname string) int {
 		p.rrNext++
 		return (p.rrNext - 1) % n
 	case BalanceHashAffinity:
-		h := fnv.New64a()
-		h.Write([]byte(qname))
-		return int(h.Sum64() % uint64(n))
+		return int(fnv64aString(qname) % uint64(n))
 	default:
 		return 0
 	}
@@ -368,8 +395,8 @@ func (p *Pool) RTTQuantile(u *Upstream, q float64) (d time.Duration, ok bool) {
 	if u.ringLen < quantileMinSamples {
 		return 0, false
 	}
-	buf := make([]float64, u.ringLen)
-	copy(buf, u.rttRing[:u.ringLen])
+	buf := append(p.qbuf[:0], u.rttRing[:u.ringLen]...)
+	p.qbuf = buf
 	sort.Float64s(buf)
 	if q < 0 {
 		q = 0
@@ -436,9 +463,11 @@ func SyntheticLatency(base, spread time.Duration) func(*Upstream) time.Duration 
 		if spread <= 0 {
 			return base
 		}
-		h := fnv.New64a()
-		h.Write([]byte(u.Addr.String()))
-		return base + time.Duration(h.Sum64()%uint64(spread))
+		h := u.synthSeed
+		if h == 0 {
+			h = fnv64aString(u.Addr.String())
+		}
+		return base + time.Duration(h%uint64(spread))
 	}
 }
 

@@ -1,0 +1,17 @@
+package transport
+
+// Recycled-buffer hygiene for the transport layer's pools (reply frames,
+// per-exchange wire scratch, DoT reassembly). Put-sites run buffers
+// through trimRecycledBuf so one jumbo response cannot pin its backing
+// array for the rest of a campaign.
+const maxRecycledWire = 16 << 10
+
+// trimRecycledBuf returns b truncated to zero length, or nil when its
+// backing array exceeds the recycling ceiling and should be left to the
+// GC.
+func trimRecycledBuf(b []byte) []byte {
+	if cap(b) > maxRecycledWire {
+		return nil
+	}
+	return b[:0]
+}

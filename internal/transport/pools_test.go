@@ -1,0 +1,23 @@
+package transport
+
+import "testing"
+
+// TestTrimRecycledBufCeiling pins the serving layer's recycling ceiling:
+// wire buffers at or under maxRecycledWire go back to their pools
+// truncated, oversized ones are dropped for the GC — the put-site hygiene
+// every pooled envelope scratch (DoH request/response bodies, DoT frame
+// reassembly, DoQ stream buffers) runs through.
+func TestTrimRecycledBufCeiling(t *testing.T) {
+	under := make([]byte, 37, maxRecycledWire)
+	if got := trimRecycledBuf(under); len(got) != 0 || cap(got) != maxRecycledWire {
+		t.Fatalf("under-ceiling buffer: got len=%d cap=%d, want len=0 cap=%d",
+			len(got), cap(got), maxRecycledWire)
+	}
+	over := make([]byte, 0, maxRecycledWire+1)
+	if got := trimRecycledBuf(over); got != nil {
+		t.Fatalf("over-ceiling buffer kept: cap=%d, want nil", cap(got))
+	}
+	if got := trimRecycledBuf(nil); got != nil {
+		t.Fatalf("trimRecycledBuf(nil) = %v, want nil", got)
+	}
+}

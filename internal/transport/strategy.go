@@ -71,6 +71,12 @@ type Driver interface {
 	// member wastes load and, with Pool.RemoveAfter set, can escalate a
 	// transient flap into permanent removal.
 	Benched(up *Upstream) bool
+	// Discard returns a losing attempt's answer message to the driver's
+	// recycle pool. Strategies must call it exactly for attempts whose
+	// answer can no longer escape the exchange — raced or hedged losers,
+	// and parked SERVFAILs superseded by a better answer; the winning
+	// attempt's message belongs to the exchange's caller.
+	Discard(at Attempt)
 }
 
 // Outcome is a strategy's result: the winning attempt plus per-attempt
@@ -263,8 +269,14 @@ func serialResolve(d Driver, q *dnswire.Message, candidates []*Upstream, out Out
 		// try the next pool member without benching this one. Returned
 		// as-is only if every member agrees.
 		if at.Msg.RCode == dnswire.RCodeServFail {
+			if servFail.Msg != nil {
+				d.Discard(servFail)
+			}
 			servFail = at
 			continue
+		}
+		if servFail.Msg != nil {
+			d.Discard(servFail)
 		}
 		out.Winner = at
 		return out
@@ -372,14 +384,10 @@ func (r Race) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream, tr *
 	// Both racers lost: charge the race window and fail over serially
 	// through the remaining candidates, keeping any SERVFAIL as the
 	// answer of last resort.
-	servFail, lastErr := raceResidue(atA, atB, primary, candidates[pi])
+	servFail, lastErr := raceResidue(d, atA, atB, primary, candidates[pi])
 	charge(d, &out, maxAttemptCompletion(atA.Cost, attemptCompletion(atB, stagger)))
-	rest := make([]*Upstream, 0, len(candidates)-2)
-	for i, up := range candidates {
-		if i != 0 && i != pi {
-			rest = append(rest, up)
-		}
-	}
+	var restBuf [8]*Upstream
+	rest := restTail(restBuf[:0], candidates, pi)
 	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates), tr)
 }
 
@@ -413,11 +421,13 @@ func raceDecide(d Driver, out Outcome, atA, atB Attempt, aDone, bDone time.Durat
 		charge(d, &out, aDone)
 		out.Winner = atA
 		out = accountLoser(out, atB, bDone, aDone)
+		d.Discard(atB)
 		return out, true
 	case atB.usable():
 		charge(d, &out, bDone)
 		out.Winner = atB
 		out = accountLoser(out, atA, aDone, bDone)
+		d.Discard(atA)
 		return out, true
 	}
 	return out, false
@@ -449,11 +459,15 @@ func attemptResidue(at Attempt, up *Upstream) (servFail Attempt, lastErr error) 
 	return servFail, nil
 }
 
-// raceResidue merges the residue of two losing attempts.
-func raceResidue(atA, atB Attempt, upA, upB *Upstream) (servFail Attempt, lastErr error) {
+// raceResidue merges the residue of two losing attempts, recycling the
+// SERVFAIL the later one supersedes.
+func raceResidue(d Driver, atA, atB Attempt, upA, upB *Upstream) (servFail Attempt, lastErr error) {
 	sfA, errA := attemptResidue(atA, upA)
 	sfB, errB := attemptResidue(atB, upB)
 	if sfB.Msg != nil {
+		if sfA.Msg != nil {
+			d.Discard(sfA)
+		}
 		sfA = sfB
 	}
 	if errA != nil {
@@ -463,6 +477,19 @@ func raceResidue(atA, atB Attempt, upA, upB *Upstream) (servFail Attempt, lastEr
 		lastErr = errB
 	}
 	return sfA, lastErr
+}
+
+// restTail collects the candidates a paired strategy has not yet tried —
+// everything but the head and the partner at index skip — into buf.
+// Callers hand in a stack array's empty slice, so the common fleet sizes
+// fall through serially without heap-allocating the remainder list.
+func restTail(buf []*Upstream, candidates []*Upstream, skip int) []*Upstream {
+	for i, up := range candidates {
+		if i != 0 && i != skip {
+			buf = append(buf, up)
+		}
+	}
+	return buf
 }
 
 // attemptCompletion places an attempt on the exchange timeline: launch
@@ -583,14 +610,10 @@ func (h Hedge) Resolve(d Driver, q *dnswire.Message, candidates []*Upstream, tr 
 	}
 
 	// Primary SERVFAILed and the hedge lost too: serial fallthrough.
-	servFail, lastErr := raceResidue(atA, atB, primary, understudy)
+	servFail, lastErr := raceResidue(d, atA, atB, primary, understudy)
 	charge(d, &out, maxAttemptCompletion(atA.Cost, attemptCompletion(atB, hedgeAt)))
-	rest := make([]*Upstream, 0, len(candidates)-2)
-	for i, up := range candidates {
-		if i != 0 && i != ui {
-			rest = append(rest, up)
-		}
-	}
+	var restBuf [8]*Upstream
+	rest := restTail(restBuf[:0], candidates, ui)
 	return serialResolve(d, q, rest, out, servFail, lastErr, len(candidates), tr)
 }
 

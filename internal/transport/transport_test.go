@@ -173,7 +173,7 @@ func TestCacheLRUEvictionPerShard(t *testing.T) {
 		})
 		return resp
 	}
-	key := func(i int) string {
+	key := func(i int) Key {
 		return CacheKey(dnswire.Question{Name: fmt.Sprintf("n%d.test.", i), Type: dnswire.TypeA}, false)
 	}
 	for i := 0; i < 4; i++ {
@@ -205,7 +205,7 @@ func TestCacheShardingSpreadsKeys(t *testing.T) {
 	touched := 0
 	counts := map[int]int{}
 	for i := 0; i < 200; i++ {
-		key := fmt.Sprintf("name%d.test.|65|do", i)
+		key := Key{Name: fmt.Sprintf("name%d.test.", i), Type: dnswire.TypeHTTPS, DO: true}
 		for si, s := range cache.shards {
 			if s == cache.shardFor(key) {
 				counts[si]++

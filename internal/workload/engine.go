@@ -168,6 +168,13 @@ type preferring interface {
 // for its stale-serve telemetry.
 type staleCounter interface{ StaleAnswers() uint64 }
 
+// answerReuser is the optional answer-recycling toggle
+// (*transport.Client implements it). The engine is the target's sole
+// driver for the duration of Run and discards every answer before the
+// next exchange, which is exactly the contract ReuseAnswers needs, so
+// Run flips it on for the run and restores it after.
+type answerReuser interface{ SetReuseAnswers(on bool) }
+
 // chargeQuantum is the amortised clock-charging granularity: the
 // engine's virtual clock moves in these steps instead of per event, so
 // a million clients share O(horizon/quantum) clock mutations rather
@@ -571,6 +578,13 @@ func (e *Engine) Run() Summary {
 	}
 	if e.stale != nil {
 		e.staleBase = e.stale.StaleAnswers()
+	}
+	// The engine is the target's sole driver until Run returns and never
+	// reads an answer after the next exchange starts, so the client may
+	// recycle answer messages between events.
+	if ru, ok := e.target.(answerReuser); ok {
+		ru.SetReuseAnswers(true)
+		defer ru.SetReuseAnswers(false)
 	}
 	e.sampler = obs.NewSampler(e.reg, e.clock, e.cfg.Interval, true)
 	if e.cfg.Interval > 0 {
